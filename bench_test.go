@@ -1,0 +1,512 @@
+// Package visapult_bench regenerates every experiment of the paper's
+// evaluation as a Go benchmark: one BenchmarkE<n> per entry of the experiment
+// index in DESIGN.md (E1-E12). Each benchmark reports the headline quantities
+// of the corresponding figure or claim through b.ReportMetric, so
+//
+//	go test -bench=. -benchmem
+//
+// prints the same rows the paper reports, next to the usual ns/op numbers.
+// Component-level micro-benchmarks (rendering, wire marshalling, DPSS reads,
+// striped sockets) follow the experiment benchmarks.
+package visapult_bench
+
+import (
+	"net"
+	"testing"
+
+	"visapult/internal/backend"
+	"visapult/internal/core"
+	"visapult/internal/datagen"
+	"visapult/internal/dpss"
+	"visapult/internal/ibr"
+	"visapult/internal/netsim"
+	"visapult/internal/render"
+	"visapult/internal/transfer"
+	"visapult/internal/volume"
+	"visapult/internal/wire"
+)
+
+// ---------------------------------------------------------------------------
+// Experiment benchmarks (E1-E12). These exercise the same code the visharness
+// command runs and report the paper-comparable quantities as custom metrics.
+
+// BenchmarkE1_DPSSThroughput reproduces the DPSS headline numbers: 980 Mbps
+// across a LAN, 570 Mbps across a WAN (section 2).
+func BenchmarkE1_DPSSThroughput(b *testing.B) {
+	var lan, wan float64
+	for i := 0; i < b.N; i++ {
+		r := core.RunE1()
+		for _, row := range r.Rows {
+			if row.Servers == 4 {
+				lan, wan = row.LANMbps, row.WANMbps
+			}
+		}
+	}
+	b.ReportMetric(lan, "LAN-Mbps")
+	b.ReportMetric(wan, "WAN-Mbps")
+}
+
+// BenchmarkE2_SC99Topologies reproduces the SC99 sustained rates: 250 Mbps to
+// CPlant over NTON, 150 Mbps to the show floor over SciNet (section 4.1).
+func BenchmarkE2_SC99Topologies(b *testing.B) {
+	var res *core.E2Result
+	for i := 0; i < b.N; i++ {
+		r, err := core.RunE2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = r
+	}
+	b.ReportMetric(res.CPlantMbps, "CPlant-Mbps")
+	b.ReportMetric(res.ShowFloorMbps, "showfloor-Mbps")
+}
+
+// BenchmarkE3_FirstLight reproduces Figure 10: ~3 s and ~433 Mbps to load
+// 160 MB over NTON, ~70% utilization, 8-9 s of rendering on four PEs.
+func BenchmarkE3_FirstLight(b *testing.B) {
+	var res *core.E3Result
+	for i := 0; i < b.N; i++ {
+		r, err := core.RunE3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = r
+	}
+	b.ReportMetric(res.LoadSeconds, "load-s")
+	b.ReportMetric(res.LoadMbps, "Mbps")
+	b.ReportMetric(res.Utilization*100, "util-%")
+	b.ReportMetric(res.RenderSeconds, "render-s")
+}
+
+// BenchmarkE4_SerialVsOverlappedSMPLAN reproduces Figures 12-13: ~265 s
+// serial versus ~169 s overlapped for ten timesteps on the Sun E4500.
+func BenchmarkE4_SerialVsOverlappedSMPLAN(b *testing.B) {
+	var res *core.E4Result
+	for i := 0; i < b.N; i++ {
+		r, err := core.RunE4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = r
+	}
+	b.ReportMetric(res.SerialTotal.Seconds(), "serial-s")
+	b.ReportMetric(res.OverlappedTotal.Seconds(), "overlapped-s")
+	b.ReportMetric(res.MeasuredSpeedup, "speedup")
+}
+
+// BenchmarkE5_CPlantNTON reproduces Figures 14-15: load time flat from four
+// to eight nodes, render time halved, overlapped loads inflated and unstable
+// on single-CPU nodes.
+func BenchmarkE5_CPlantNTON(b *testing.B) {
+	var res *core.E5Result
+	for i := 0; i < b.N; i++ {
+		r, err := core.RunE5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = r
+	}
+	s4, s8 := res.Row(4, backend.Serial), res.Row(8, backend.Serial)
+	o8 := res.Row(8, backend.Overlapped)
+	b.ReportMetric(s4.MeanLoad.Seconds(), "load4-s")
+	b.ReportMetric(s8.MeanLoad.Seconds(), "load8-s")
+	b.ReportMetric(s4.MeanRender.Seconds(), "render4-s")
+	b.ReportMetric(s8.MeanRender.Seconds(), "render8-s")
+	b.ReportMetric(o8.LoadCV, "overlap-load-CV")
+}
+
+// BenchmarkE6_SMPESnet reproduces Figures 16-17: ~10 s and ~128 Mbps per
+// 160 MB frame from LBL to ANL over ESnet, load-dominated, with negligible
+// overlap contention on the SMP.
+func BenchmarkE6_SMPESnet(b *testing.B) {
+	var res *core.E6Result
+	for i := 0; i < b.N; i++ {
+		r, err := core.RunE6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = r
+	}
+	b.ReportMetric(res.SerialLoad.Seconds(), "load-s")
+	b.ReportMetric(res.SerialMbps, "Mbps")
+	b.ReportMetric(res.OverlappedCV, "overlap-load-CV")
+}
+
+// BenchmarkE7_OverlapModel validates the section 4.3 analytic model against
+// the simulated pipeline across L/R ratios and timestep counts.
+func BenchmarkE7_OverlapModel(b *testing.B) {
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		r, err := core.RunE7()
+		if err != nil {
+			b.Fatal(err)
+		}
+		worst = 0
+		for _, row := range r.Rows {
+			dev := row.Simulated/row.Analytic - 1
+			if dev < 0 {
+				dev = -dev
+			}
+			if dev > worst {
+				worst = dev
+			}
+		}
+	}
+	b.ReportMetric(worst*100, "max-model-deviation-%")
+}
+
+// BenchmarkE8_IBRAVRArtifacts reproduces Figure 6 and the ~16-degree
+// artifact-free cone of section 3.3.
+func BenchmarkE8_IBRAVRArtifacts(b *testing.B) {
+	var res *core.E8Result
+	for i := 0; i < b.N; i++ {
+		r, err := core.RunE8()
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = r
+	}
+	b.ReportMetric(res.ConeDegrees, "cone-deg")
+	if len(res.Points) > 0 {
+		b.ReportMetric(res.Points[len(res.Points)-1].RMSE, "rmse-90deg")
+	}
+}
+
+// BenchmarkE9_TerascaleProjection reproduces the section 5 projections: ~8
+// minutes over NTON, ~44 minutes over ESnet, and an OC-192 needed for five
+// timesteps per second.
+func BenchmarkE9_TerascaleProjection(b *testing.B) {
+	var res *core.E9Result
+	for i := 0; i < b.N; i++ {
+		res = core.RunE9()
+	}
+	b.ReportMetric(res.NTONTransfer.Minutes(), "NTON-min")
+	b.ReportMetric(res.ESnetTransfer.Minutes(), "ESnet-min")
+	b.ReportMetric(res.MultipleOfOC12, "xOC12-needed")
+}
+
+// BenchmarkE10_PipelineTraffic reproduces the O(n^3)-to-O(n^2) traffic
+// reduction between the data source and the viewer (sections 3.4 and 4.1).
+func BenchmarkE10_PipelineTraffic(b *testing.B) {
+	var res *core.E10Result
+	for i := 0; i < b.N; i++ {
+		r, err := core.RunE10()
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = r
+	}
+	last := res.Rows[len(res.Rows)-1]
+	b.ReportMetric(last.Ratio, "reduction-x")
+	b.ReportMetric(float64(last.SourceBytes), "source-bytes")
+	b.ReportMetric(float64(last.ViewerBytes), "viewer-bytes")
+}
+
+// BenchmarkE11_PlatformContention reproduces the contention/MTU ablation:
+// overlap benefit on single-CPU cluster nodes versus jumbo frames versus the
+// SMP.
+func BenchmarkE11_PlatformContention(b *testing.B) {
+	var res *core.E11Result
+	for i := 0; i < b.N; i++ {
+		r, err := core.RunE11()
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = r
+	}
+	for _, row := range res.Rows {
+		switch row.Label {
+		case "CPlant (1 CPU/node, 1500 B MTU)":
+			b.ReportMetric(row.SpeedupVsSerial, "cluster-speedup")
+		case "Onyx2 SMP (shared NIC)":
+			b.ReportMetric(row.SpeedupVsSerial, "smp-speedup")
+		}
+	}
+}
+
+// BenchmarkE12_Decomposition reproduces the Figure 4 decomposition
+// comparison.
+func BenchmarkE12_Decomposition(b *testing.B) {
+	var res *core.E12Result
+	for i := 0; i < b.N; i++ {
+		r, err := core.RunE12()
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = r
+	}
+	b.ReportMetric(res.Rows[0].Imbalance, "slab-imbalance")
+	b.ReportMetric(float64(res.Rows[0].PerPEBytes), "slab-bytes-per-PE")
+}
+
+// ---------------------------------------------------------------------------
+// Component micro-benchmarks.
+
+func benchVolume(b *testing.B, nx, ny, nz int) *volume.Volume {
+	b.Helper()
+	gen := datagen.NewCombustion(datagen.CombustionConfig{NX: nx, NY: ny, NZ: nz, Timesteps: 1, Seed: 3})
+	return gen.Generate(0)
+}
+
+// BenchmarkRenderSlab measures the per-PE software volume rendering cost, the
+// R of the paper's model.
+func BenchmarkRenderSlab(b *testing.B) {
+	v := benchVolume(b, 80, 64, 64)
+	r := volume.Region{X1: v.NX, Y1: v.NY, Z1: v.NZ / 4}
+	tf := render.DefaultCombustionTF()
+	b.SetBytes(r.Bytes())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		render.RenderSlab(v, r, tf, volume.AxisZ)
+	}
+}
+
+// BenchmarkIBRComposite measures the viewer-side IBR compositing of slab
+// textures into a view.
+func BenchmarkIBRComposite(b *testing.B) {
+	v := benchVolume(b, 64, 64, 64)
+	m := ibr.BuildModel(v, render.DefaultCombustionTF(), volume.AxisZ, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.CompositeView(0.2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWireHeavyPayloadRoundTrip measures marshalling plus unmarshalling
+// of a typical heavy payload (a 256 KB texture).
+func BenchmarkWireHeavyPayloadRoundTrip(b *testing.B) {
+	img := render.NewImage(256, 256)
+	img.Fill(0.4, 0.3, 0.2, 0.7)
+	hp := &wire.HeavyPayload{Frame: 1, PE: 0, TexWidth: 256, TexHeight: 256, Texture: img.ToRGBA8()}
+	b.SetBytes(hp.WireSize())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		raw, err := hp.MarshalBinary()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var out wire.HeavyPayload
+		if err := out.UnmarshalBinary(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDPSSRead measures block-level reads from an in-process DPSS
+// cluster through the client API, the paper's dpssRead path.
+func BenchmarkDPSSRead(b *testing.B) {
+	cluster, err := dpss.StartCluster(dpss.ClusterConfig{Servers: 4, DisksPerServer: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cluster.Close()
+	client := cluster.NewClient()
+	defer client.Close()
+	payload := make([]byte, 4<<20)
+	if _, err := cluster.LoadBytes(client, "bench", payload, dpss.DefaultBlockSize); err != nil {
+		b.Fatal(err)
+	}
+	f, err := client.Open("bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, 1<<20)
+	b.SetBytes(int64(len(buf)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		off := int64(i%4) << 20
+		if _, err := f.ReadAt(buf, off); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStripedSocketThroughput measures the striped-socket transport used
+// between the back end and the viewer.
+func BenchmarkStripedSocketThroughput(b *testing.B) {
+	for _, lanes := range []int{1, 4} {
+		b.Run(map[int]string{1: "1lane", 4: "4lanes"}[lanes], func(b *testing.B) {
+			l, err := newLoopbackListener()
+			if err != nil {
+				b.Fatal(err)
+			}
+			sl := wire.NewStripeListener(l, 0)
+			defer sl.Close()
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				s, err := sl.Accept()
+				if err != nil {
+					return
+				}
+				buf := make([]byte, 1<<20)
+				for {
+					if _, err := s.Read(buf); err != nil {
+						return
+					}
+				}
+			}()
+			s, err := wire.DialStriped(l.Addr().String(), lanes, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			payload := make([]byte, 1<<20)
+			b.SetBytes(int64(len(payload)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Write(payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			s.Close()
+			<-done
+		})
+	}
+}
+
+// BenchmarkEndToEndSession measures a complete in-process pipeline (synthetic
+// data, 4 PEs, overlapped, local transport) per iteration.
+func BenchmarkEndToEndSession(b *testing.B) {
+	gen := datagen.NewCombustion(datagen.CombustionConfig{NX: 32, NY: 16, NZ: 16, Timesteps: 2, Seed: 5})
+	src := backend.NewSyntheticSource(gen)
+	b.SetBytes(2 * src.StepBytes())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.RunSession(core.SessionConfig{
+			PEs: 4, Source: src, Mode: backend.Overlapped, Transport: core.TransportLocal,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// newLoopbackListener opens an ephemeral TCP listener on the loopback
+// interface for transport benchmarks.
+func newLoopbackListener() (net.Listener, error) {
+	return net.Listen("tcp", "127.0.0.1:0")
+}
+
+// BenchmarkX1_QoS runs the section 5 QoS / bandwidth-reservation study.
+func BenchmarkX1_QoS(b *testing.B) {
+	var res *core.X1Result
+	for i := 0; i < b.N; i++ {
+		r, err := core.RunX1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = r
+	}
+	if shared := res.Row(core.QoSShared); shared != nil {
+		b.ReportMetric(shared.BackgroundMbps, "noQoS-bg-Mbps")
+	}
+	if reserved := res.Row(core.QoSReserved); reserved != nil {
+		b.ReportMetric(reserved.BackgroundMbps, "QoS-bg-Mbps")
+		b.ReportMetric(reserved.VisapultMbps, "QoS-vis-Mbps")
+	}
+}
+
+// BenchmarkDPSSCompression is the wire-level-compression ablation (section 5
+// future work): the same sparse volume read with and without DEFLATE between
+// the block servers and the client.
+func BenchmarkDPSSCompression(b *testing.B) {
+	sparse := volume.MustNew(64, 32, 32)
+	for z := 8; z < 16; z++ {
+		for y := 8; y < 16; y++ {
+			for x := 16; x < 48; x++ {
+				sparse.Set(x, y, z, float32(x)/64)
+			}
+		}
+	}
+	data := sparse.Marshal()
+	cluster, err := dpss.StartCluster(dpss.ClusterConfig{Servers: 2, DisksPerServer: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cluster.Close()
+	loader := cluster.NewClient()
+	if _, err := cluster.LoadBytes(loader, "zbench", data, dpss.DefaultBlockSize); err != nil {
+		b.Fatal(err)
+	}
+	loader.Close()
+
+	run := func(b *testing.B, client *dpss.Client) {
+		f, err := client.Open("zbench")
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf := make([]byte, len(data))
+		b.SetBytes(int64(len(data)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := f.ReadAt(buf, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		st := client.Stats()
+		if st.BytesRead > 0 {
+			b.ReportMetric(float64(st.WireBytes)/float64(st.BytesRead)*100, "wire-%-of-raw")
+		}
+	}
+	b.Run("plain", func(b *testing.B) {
+		client := cluster.NewClient()
+		defer client.Close()
+		run(b, client)
+	})
+	b.Run("deflate", func(b *testing.B) {
+		client := cluster.NewClient(dpss.WithClientCompression(6))
+		defer client.Close()
+		run(b, client)
+	})
+}
+
+// BenchmarkOverlapImplementations compares the threaded overlapped back end
+// (shared buffers, the paper's choice) with the MPI-style process-pair
+// alternative (per-frame copy, the design Appendix B rejects).
+func BenchmarkOverlapImplementations(b *testing.B) {
+	vols := make([]*volume.Volume, 3)
+	for i := range vols {
+		v := volume.MustNew(64, 64, 32)
+		v.Fill(float32(i+1) / 4)
+		vols[i] = v
+	}
+	src, err := backend.NewMemorySource(vols...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []backend.Mode{backend.Overlapped, backend.OverlappedProcessPair} {
+		b.Run(mode.String(), func(b *testing.B) {
+			b.SetBytes(3 * vols[0].SizeBytes())
+			var copyCost float64
+			for i := 0; i < b.N; i++ {
+				be, err := backend.New(backend.Config{
+					PEs: 1, Source: src, Mode: mode, Sinks: []backend.FrameSink{&backend.NullSink{}},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				rs, err := be.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				copyCost = float64(rs.MeanCopy().Microseconds())
+			}
+			b.ReportMetric(copyCost, "copy-us/frame")
+		})
+	}
+}
+
+// BenchmarkTransferModel measures the closed-form campaign model (it is
+// effectively free; the benchmark documents that no hidden cost exists).
+func BenchmarkTransferModel(b *testing.B) {
+	nton := netsim.NewPath("NTON", netsim.NTON)
+	cm := transfer.CampaignModel{Frame: transfer.FrameSpec{Bytes: 160 << 20}, Path: nton, Timesteps: 265}
+	for i := 0; i < b.N; i++ {
+		_ = cm.SerialTotal()
+		_ = cm.OverlappedTotal()
+		_ = cm.DatasetTransferTime()
+	}
+}

@@ -1,0 +1,189 @@
+// Command dpssctl is the administrative client for a running dpssd: it
+// stages datasets into the cache, inspects the catalog, and measures read
+// throughput the way the paper's DPSS numbers were measured.
+//
+// Usage:
+//
+//	dpssctl -master 127.0.0.1:9300 stat combustion.t0000
+//	dpssctl -master 127.0.0.1:9300 load combustion 80x32x32 5
+//	dpssctl -master 127.0.0.1:9300 bench combustion.t0000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"visapult/internal/datagen"
+	"visapult/internal/dpss"
+	"visapult/internal/offline"
+	"visapult/internal/stats"
+)
+
+func main() {
+	masterAddr := flag.String("master", "127.0.0.1:9300", "DPSS master address")
+	blockSize := flag.Int("block", dpss.DefaultBlockSize, "logical block size for new datasets")
+	streams := flag.Int("streams", 4, "parallel reader goroutines for bench")
+	flag.Parse()
+
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+	client := dpss.NewClient(*masterAddr)
+	defer client.Close()
+
+	var err error
+	switch args[0] {
+	case "stat":
+		err = runStat(client, args[1:])
+	case "load":
+		err = runLoad(client, *blockSize, args[1:])
+	case "bench":
+		err = runBench(client, *streams, args[1:])
+	case "thumbnail":
+		err = runThumbnail(client, args[1:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dpssctl: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: dpssctl [-master addr] stat <dataset> | load <base> <NXxNYxNZ> <steps> | bench <dataset> | thumbnail <base> <NXxNYxNZ> <step> <out.ppm>")
+	os.Exit(2)
+}
+
+// runThumbnail exercises the offline visualization service of the paper's
+// section 5: a preview image and catalog metadata produced next to the cache.
+func runThumbnail(client *dpss.Client, args []string) error {
+	if len(args) != 4 {
+		return fmt.Errorf("thumbnail needs <base> <NXxNYxNZ> <step> <out.ppm>")
+	}
+	base := args[0]
+	var nx, ny, nz int
+	if _, err := fmt.Sscanf(args[1], "%dx%dx%d", &nx, &ny, &nz); err != nil {
+		return fmt.Errorf("parsing dimensions %q: %w", args[1], err)
+	}
+	step, err := strconv.Atoi(args[2])
+	if err != nil || step < 0 {
+		return fmt.Errorf("invalid timestep %q", args[2])
+	}
+	img, meta, err := offline.Thumbnail(client, base, nx, ny, nz, step, offline.ThumbnailOptions{MaxDim: 64})
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(args[3])
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := img.WritePPM(f); err != nil {
+		return err
+	}
+	fmt.Printf("thumbnail: wrote %s (%dx%d)\n", args[3], img.W, img.H)
+	fmt.Printf("metadata : %s\n", meta)
+	return nil
+}
+
+func runStat(client *dpss.Client, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("stat needs a dataset name")
+	}
+	info, err := client.Stat(args[0])
+	if err != nil {
+		return err
+	}
+	fmt.Printf("dataset    : %s\n", args[0])
+	fmt.Printf("size       : %s\n", stats.HumanBytes(info.Size))
+	fmt.Printf("block size : %d bytes\n", info.BlockSize)
+	fmt.Printf("blocks     : %d\n", info.NumBlocks())
+	return nil
+}
+
+func runLoad(client *dpss.Client, blockSize int, args []string) error {
+	if len(args) != 3 {
+		return fmt.Errorf("load needs <base> <NXxNYxNZ> <steps>")
+	}
+	base := args[0]
+	var nx, ny, nz int
+	if _, err := fmt.Sscanf(args[1], "%dx%dx%d", &nx, &ny, &nz); err != nil {
+		return fmt.Errorf("parsing dimensions %q: %w", args[1], err)
+	}
+	steps, err := strconv.Atoi(args[2])
+	if err != nil || steps < 1 {
+		return fmt.Errorf("invalid step count %q", args[2])
+	}
+	gen := datagen.NewCombustion(datagen.CombustionConfig{NX: nx, NY: ny, NZ: nz, Timesteps: steps, Seed: 2000})
+	for t := 0; t < steps; t++ {
+		name := dpss.TimestepDatasetName(base, t)
+		data := gen.Generate(t).Marshal()
+		if _, err := client.Create(name, int64(len(data)), blockSize); err != nil {
+			return fmt.Errorf("creating %s: %w", name, err)
+		}
+		f, err := client.Open(name)
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		if _, err := f.WriteAt(data, 0); err != nil {
+			return fmt.Errorf("writing %s: %w", name, err)
+		}
+		fmt.Printf("loaded %s: %s in %v (%.0f Mbps)\n", name, stats.HumanBytes(int64(len(data))),
+			time.Since(start).Round(time.Millisecond), stats.Mbps(int64(len(data)), time.Since(start)))
+	}
+	return nil
+}
+
+func runBench(client *dpss.Client, streams int, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("bench needs a dataset name")
+	}
+	name := args[0]
+	info, err := client.Stat(name)
+	if err != nil {
+		return err
+	}
+	if streams < 1 {
+		streams = 1
+	}
+	f, err := client.Open(name)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	chunk := info.Size / int64(streams)
+	errCh := make(chan error, streams)
+	start := time.Now()
+	for i := 0; i < streams; i++ {
+		off := int64(i) * chunk
+		size := chunk
+		if i == streams-1 {
+			size = info.Size - off
+		}
+		go func(off, size int64) {
+			buf := make([]byte, size)
+			_, err := f.ReadAt(buf, off)
+			errCh <- err
+		}(off, size)
+	}
+	for i := 0; i < streams; i++ {
+		if err := <-errCh; err != nil {
+			return err
+		}
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("read %s in %v with %d streams: %.0f Mbps (%.1f MB/s)\n",
+		stats.HumanBytes(info.Size), elapsed.Round(time.Millisecond), streams,
+		stats.Mbps(info.Size, elapsed), stats.MBps(info.Size, elapsed))
+	cs := client.Stats()
+	fmt.Printf("client: %d block reads (%s) over %d server connections\n",
+		cs.Reads, stats.HumanBytes(cs.BytesRead), cs.Servers)
+	return nil
+}

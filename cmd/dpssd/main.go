@@ -1,0 +1,105 @@
+// Command dpssd runs a DPSS installation in one process: the master (dataset
+// catalog, logical-to-physical block mapping, load balancing) plus a
+// configurable number of block servers, each striping blocks over several
+// in-memory disks. It is the stand-in for the paper's four-server, terabyte
+// DPSS at LBL.
+//
+// Usage:
+//
+//	dpssd -master 127.0.0.1:9300 -servers 4 -disks 4
+//	dpssd -master 127.0.0.1:9300 -load combustion -dims 80x32x32 -steps 5
+//
+// The second form pre-stages a synthetic combustion dataset (one DPSS dataset
+// per timestep) so a visapult-backend can read it immediately.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"visapult/internal/datagen"
+	"visapult/internal/dpss"
+)
+
+func main() {
+	masterAddr := flag.String("master", "127.0.0.1:9300", "address for the DPSS master")
+	servers := flag.Int("servers", 4, "number of block servers")
+	disks := flag.Int("disks", 4, "disks per block server")
+	load := flag.String("load", "", "synthetic dataset base name to pre-stage (empty: none)")
+	dims := flag.String("dims", "80x32x32", "synthetic dataset dimensions, NXxNYxNZ")
+	steps := flag.Int("steps", 5, "synthetic dataset timesteps")
+	blockSize := flag.Int("block", dpss.DefaultBlockSize, "logical block size in bytes")
+	flag.Parse()
+
+	master := dpss.NewMaster()
+	addr, err := master.Listen(*masterAddr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("dpssd: master listening on %s\n", addr)
+
+	var blockServers []*dpss.BlockServer
+	for i := 0; i < *servers; i++ {
+		srv := dpss.NewBlockServer(dpss.WithDisks(*disks))
+		sAddr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			fatal(err)
+		}
+		master.RegisterServer(sAddr)
+		blockServers = append(blockServers, srv)
+		fmt.Printf("dpssd: block server %d (%d disks) on %s\n", i, *disks, sAddr)
+	}
+
+	if *load != "" {
+		if err := stageSynthetic(addr, *load, *dims, *steps, *blockSize); err != nil {
+			fatal(err)
+		}
+	}
+
+	fmt.Println("dpssd: ready (ctrl-c to stop)")
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+
+	for _, srv := range blockServers {
+		srv.Close()
+	}
+	master.Close()
+	fmt.Println("dpssd: stopped")
+}
+
+// stageSynthetic generates a synthetic combustion dataset and writes each
+// timestep into the cache through the ordinary client API.
+func stageSynthetic(masterAddr, base, dims string, steps, blockSize int) error {
+	var nx, ny, nz int
+	if _, err := fmt.Sscanf(dims, "%dx%dx%d", &nx, &ny, &nz); err != nil {
+		return fmt.Errorf("parsing -dims %q: %w", dims, err)
+	}
+	gen := datagen.NewCombustion(datagen.CombustionConfig{NX: nx, NY: ny, NZ: nz, Timesteps: steps, Seed: 2000})
+	client := dpss.NewClient(masterAddr)
+	defer client.Close()
+	for t := 0; t < steps; t++ {
+		name := dpss.TimestepDatasetName(base, t)
+		data := gen.Generate(t).Marshal()
+		if _, err := client.Create(name, int64(len(data)), blockSize); err != nil {
+			return fmt.Errorf("creating %s: %w", name, err)
+		}
+		f, err := client.Open(name)
+		if err != nil {
+			return fmt.Errorf("opening %s: %w", name, err)
+		}
+		if _, err := f.WriteAt(data, 0); err != nil {
+			return fmt.Errorf("writing %s: %w", name, err)
+		}
+		fmt.Printf("dpssd: staged %s (%d bytes)\n", name, len(data))
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "dpssd: %v\n", err)
+	os.Exit(1)
+}

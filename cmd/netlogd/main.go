@@ -1,0 +1,75 @@
+// Command netlogd is the NetLogger daemon of section 3.6: distributed
+// Visapult components connect to it over TCP and stream ULM-formatted events;
+// the daemon accumulates them into one merged event log that nlv can analyze.
+//
+// Usage:
+//
+//	netlogd -listen 127.0.0.1:9500 -out campaign.ulm
+//
+// The daemon runs until interrupted, then writes the merged log and a brief
+// phase report.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"visapult/internal/netlogger"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:9500", "address to accept NetLogger clients on")
+	out := flag.String("out", "netlog.ulm", "file to write the merged ULM event log to")
+	report := flag.Bool("report", true, "print a phase report on shutdown")
+	statusEvery := flag.Duration("status", 10*time.Second, "how often to print the event count (0 disables)")
+	flag.Parse()
+
+	d := netlogger.NewDaemon()
+	addr, err := d.Listen(*listen)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("netlogd: listening on %s (ctrl-c to stop and write %s)\n", addr, *out)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+
+	if *statusEvery > 0 {
+		ticker := time.NewTicker(*statusEvery)
+		defer ticker.Stop()
+		go func() {
+			for range ticker.C {
+				fmt.Printf("netlogd: %d events collected (%d parse errors)\n", d.Len(), d.ParseErrors())
+			}
+		}()
+	}
+
+	<-stop
+	d.Close()
+
+	events := d.Events()
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	c := netlogger.NewCollector()
+	c.Add(events...)
+	if err := c.WriteULM(f); err != nil {
+		fatal(err)
+	}
+	f.Close()
+	fmt.Printf("netlogd: wrote %d events to %s\n", len(events), *out)
+
+	if *report && len(events) > 0 {
+		fmt.Println(netlogger.PhaseReport(events))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "netlogd: %v\n", err)
+	os.Exit(1)
+}

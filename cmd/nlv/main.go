@@ -1,0 +1,72 @@
+// Command nlv is the NetLogger visualization tool: it reads a ULM event log
+// (produced by netlogd, visapult -netlog, or the campaign simulator) and
+// renders the textual equivalent of the paper's NLV lifeline plots, a
+// per-phase timing report, or a CSV export for external plotting.
+//
+// Usage:
+//
+//	nlv campaign.ulm                # lifeline plot + phase report
+//	nlv -csv out.csv campaign.ulm   # CSV export
+//	nlv -width 140 campaign.ulm
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"visapult/internal/netlogger"
+)
+
+func main() {
+	width := flag.Int("width", 100, "plot width in character columns")
+	csvOut := flag.String("csv", "", "write events as CSV to this file instead of plotting")
+	plot := flag.Bool("plot", true, "render the lifeline plot")
+	report := flag.Bool("report", true, "print the per-phase timing report")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: nlv [flags] <events.ulm>")
+		os.Exit(2)
+	}
+	raw, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	events, err := netlogger.ParseLog(string(raw))
+	if err != nil {
+		fatal(fmt.Errorf("parsing %s: %w", flag.Arg(0), err))
+	}
+	if len(events) == 0 {
+		fatal(fmt.Errorf("no events in %s", flag.Arg(0)))
+	}
+
+	if *csvOut != "" {
+		f, err := os.Create(*csvOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := netlogger.WriteCSV(f, events); err != nil {
+			fatal(err)
+		}
+		f.Close()
+		fmt.Printf("nlv: wrote %d events to %s\n", len(events), *csvOut)
+		return
+	}
+
+	if *plot {
+		opts := netlogger.NLVOptions{
+			Width:    *width,
+			TagOrder: append(append([]string{}, netlogger.BackEndTags...), netlogger.ViewerTags...),
+		}
+		fmt.Println(netlogger.RenderNLV(events, opts))
+	}
+	if *report {
+		fmt.Println(netlogger.PhaseReport(events))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "nlv: %v\n", err)
+	os.Exit(1)
+}

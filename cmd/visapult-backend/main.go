@@ -1,0 +1,125 @@
+// Command visapult-backend runs the Visapult back end as a standalone
+// process: it reads raw data either from a DPSS cache (see cmd/dpssd and
+// cmd/dpssctl) or from a built-in synthetic generator, volume-renders it in
+// parallel, and streams the per-slab textures to a visapult-viewer process
+// over one TCP connection per processing element.
+//
+// Usage:
+//
+//	visapult-backend -viewer 127.0.0.1:9400 -pes 4 -steps 5 -mode overlapped
+//	visapult-backend -viewer 127.0.0.1:9400 -dpss 127.0.0.1:9300 -dataset combustion -dims 80x32x32 -steps 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	"visapult/internal/backend"
+	"visapult/internal/datagen"
+	"visapult/internal/dpss"
+	"visapult/internal/netlogger"
+	"visapult/internal/wire"
+)
+
+func main() {
+	viewerAddr := flag.String("viewer", "127.0.0.1:9400", "address of the visapult-viewer process")
+	pes := flag.Int("pes", 4, "number of processing elements")
+	steps := flag.Int("steps", 5, "number of timesteps to process")
+	mode := flag.String("mode", "overlapped", "serial or overlapped")
+	scale := flag.Int("scale", 8, "synthetic grid divisor (ignored with -dpss)")
+	dpssMaster := flag.String("dpss", "", "DPSS master address; empty uses the synthetic generator")
+	dataset := flag.String("dataset", "combustion", "DPSS dataset base name")
+	dims := flag.String("dims", "80x32x32", "DPSS dataset dimensions, NXxNYxNZ")
+	logOut := flag.String("netlog", "", "optional file for the back end's ULM event stream")
+	flag.Parse()
+
+	m := backend.Serial
+	if *mode == "overlapped" {
+		m = backend.Overlapped
+	}
+
+	var src backend.DataSource
+	if *dpssMaster != "" {
+		var nx, ny, nz int
+		if _, err := fmt.Sscanf(*dims, "%dx%dx%d", &nx, &ny, &nz); err != nil {
+			fatal(fmt.Errorf("parsing -dims %q: %w", *dims, err))
+		}
+		client := dpss.NewClient(*dpssMaster)
+		defer client.Close()
+		s, err := backend.NewDPSSSource(client, *dataset, nx, ny, nz, *steps)
+		if err != nil {
+			fatal(err)
+		}
+		defer s.Close()
+		src = s
+	} else {
+		gen := datagen.NewCombustion(datagen.CombustionConfig{
+			NX: 640 / *scale, NY: 256 / *scale, NZ: 256 / *scale,
+			Timesteps: *steps, Seed: 2000,
+		})
+		src = backend.NewSyntheticSource(gen)
+	}
+
+	// One connection per PE, the paper's layout.
+	sinks := make([]backend.FrameSink, *pes)
+	conns := make([]*wire.Conn, *pes)
+	for i := range sinks {
+		c, err := net.Dial("tcp", *viewerAddr)
+		if err != nil {
+			fatal(fmt.Errorf("connecting PE %d to viewer %s: %w", i, *viewerAddr, err))
+		}
+		conns[i] = wire.NewConn(c)
+		sinks[i] = conns[i]
+	}
+
+	logger := netlogger.New(hostname(), "backend")
+	be, err := backend.New(backend.Config{
+		PEs: *pes, Timesteps: *steps, Mode: m, Source: src, Sinks: sinks, Logger: logger,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("visapult-backend: %d PEs, %d timesteps, %s mode -> %s\n", *pes, *steps, m, *viewerAddr)
+	stats, err := be.Run()
+	if err != nil {
+		fatal(err)
+	}
+	for _, c := range conns {
+		c.SendDone()
+		c.Close()
+	}
+
+	fmt.Printf("visapult-backend: loaded %d bytes, sent %d bytes, mean load %v, mean render %v, elapsed %v\n",
+		stats.BytesIn, stats.BytesOut, stats.MeanLoad().Round(1e6),
+		stats.MeanRender().Round(1e6), stats.Elapsed.Round(1e6))
+
+	if *logOut != "" {
+		f, err := os.Create(*logOut)
+		if err != nil {
+			fatal(err)
+		}
+		c := netlogger.NewCollector()
+		c.AddLogger(logger)
+		if err := c.WriteULM(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
+		fmt.Printf("visapult-backend: wrote %d events to %s\n", logger.Len(), *logOut)
+	}
+}
+
+func hostname() string {
+	h, err := os.Hostname()
+	if err != nil {
+		return "backend-host"
+	}
+	return h
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "visapult-backend: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,98 @@
+// Command visapult-viewer runs the Visapult viewer as a standalone process:
+// it listens for one TCP connection per back-end processing element, services
+// them concurrently while the decoupled render loop keeps compositing the
+// scene, and writes the final view as a PPM when every stream has ended.
+//
+// Usage:
+//
+//	visapult-viewer -listen 127.0.0.1:9400 -pes 4 -out view.ppm
+//
+// Pair it with cmd/visapult-backend pointed at the same address.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"net"
+	"os"
+
+	"visapult/internal/netlogger"
+	"visapult/internal/viewer"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:9400", "address to accept back-end connections on")
+	pes := flag.Int("pes", 4, "number of back-end processing elements that will connect")
+	angleDeg := flag.Float64("angle", 0, "camera rotation about Y in degrees")
+	out := flag.String("out", "viewer.ppm", "output PPM file for the final composited view")
+	logOut := flag.String("netlog", "", "optional file for the viewer's ULM event stream")
+	width := flag.Int("width", 512, "render width in pixels")
+	height := flag.Int("height", 512, "render height in pixels")
+	flag.Parse()
+
+	logger := netlogger.New(hostname(), "viewer")
+	vw, err := viewer.New(viewer.Config{
+		PEs: *pes, Logger: logger, ViewWidth: *width, ViewHeight: *height,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	vw.SetViewAngle(*angleDeg * math.Pi / 180)
+	vw.StartRenderLoop(0)
+	defer vw.Stop()
+
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fatal(err)
+	}
+	defer l.Close()
+	fmt.Printf("visapult-viewer: waiting for %d back-end connections on %s\n", *pes, l.Addr())
+
+	if err := vw.Serve(l); err != nil {
+		fatal(err)
+	}
+
+	st := vw.Stats()
+	fmt.Printf("visapult-viewer: %d payloads, %d frames completed, %d bytes received, %d renders\n",
+		st.PayloadsReceived, st.FramesCompleted, st.BytesReceived, st.RenderedFrames)
+
+	if img, err := vw.CompositeView(); err == nil {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		if err := img.WritePPM(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
+		fmt.Printf("visapult-viewer: wrote %s\n", *out)
+	}
+
+	if *logOut != "" {
+		f, err := os.Create(*logOut)
+		if err != nil {
+			fatal(err)
+		}
+		c := netlogger.NewCollector()
+		c.AddLogger(logger)
+		if err := c.WriteULM(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
+		fmt.Printf("visapult-viewer: wrote %d events to %s\n", logger.Len(), *logOut)
+	}
+}
+
+func hostname() string {
+	h, err := os.Hostname()
+	if err != nil {
+		return "viewer-host"
+	}
+	return h
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "visapult-viewer: %v\n", err)
+	os.Exit(1)
+}

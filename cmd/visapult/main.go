@@ -1,0 +1,113 @@
+// Command visapult is the single-process quick launcher: it runs the whole
+// Visapult pipeline — synthetic combustion data, the parallel back end, the
+// wire protocol and the viewer — inside one process and writes the viewer's
+// final composited image as a PPM file. It is the fastest way to see the
+// system work end to end.
+//
+// Usage:
+//
+//	visapult -pes 4 -steps 5 -mode overlapped -transport tcp -out view.ppm
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"visapult/internal/backend"
+	"visapult/internal/core"
+	"visapult/internal/datagen"
+	"visapult/internal/netlogger"
+)
+
+func main() {
+	pes := flag.Int("pes", 4, "number of back-end processing elements")
+	steps := flag.Int("steps", 5, "number of timesteps")
+	scale := flag.Int("scale", 8, "resolution divisor applied to the paper's 640x256x256 grid")
+	mode := flag.String("mode", "overlapped", "back-end mode: serial or overlapped")
+	transport := flag.String("transport", "local", "payload transport: local, tcp or striped")
+	lanes := flag.Int("lanes", 2, "sockets per PE for the striped transport")
+	angleDeg := flag.Float64("angle", 0, "viewer camera rotation about Y in degrees")
+	out := flag.String("out", "visapult.ppm", "output PPM file for the final composited view")
+	logOut := flag.String("netlog", "", "optional file to write the NetLogger ULM event stream to")
+	flag.Parse()
+
+	m := backend.Serial
+	if *mode == "overlapped" {
+		m = backend.Overlapped
+	}
+	var tr core.Transport
+	switch *transport {
+	case "tcp":
+		tr = core.TransportTCP
+	case "striped":
+		tr = core.TransportStriped
+	default:
+		tr = core.TransportLocal
+	}
+
+	gen := datagen.NewCombustion(datagen.CombustionConfig{
+		NX: 640 / *scale, NY: 256 / *scale, NZ: 256 / *scale,
+		Timesteps: *steps, Seed: 2000,
+	})
+	src := backend.NewSyntheticSource(gen)
+
+	fmt.Printf("visapult: %d PEs, %d timesteps, %s mode, %s transport, %dx%dx%d grid\n",
+		*pes, *steps, m, tr, 640 / *scale, 256 / *scale, 256 / *scale)
+
+	res, err := core.RunSession(core.SessionConfig{
+		PEs:         *pes,
+		Timesteps:   *steps,
+		Mode:        m,
+		Source:      src,
+		Transport:   tr,
+		StripeLanes: *lanes,
+		ViewAngle:   *angleDeg * math.Pi / 180,
+		FollowView:  true,
+		Instrument:  true,
+		RenderLoop:  true,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "visapult: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("back end : %d frames, loaded %d bytes, sent %d bytes, mean load %v, mean render %v\n",
+		res.Backend.Frames, res.Backend.BytesIn, res.Backend.BytesOut,
+		res.Backend.MeanLoad().Round(1e6), res.Backend.MeanRender().Round(1e6))
+	fmt.Printf("viewer   : %d payloads, %d frames completed, %d renders\n",
+		res.Viewer.PayloadsReceived, res.Viewer.FramesCompleted, res.Viewer.RenderedFrames)
+	fmt.Printf("pipeline : %.1fx traffic reduction between data source and viewer\n", res.TrafficRatio())
+	fmt.Printf("elapsed  : %v\n", res.Elapsed.Round(1e6))
+
+	if res.FinalImage != nil {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "visapult: %v\n", err)
+			os.Exit(1)
+		}
+		if err := res.FinalImage.WritePPM(f); err != nil {
+			fmt.Fprintf(os.Stderr, "visapult: writing %s: %v\n", *out, err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("view     : wrote %s (%dx%d)\n", *out, res.FinalImage.W, res.FinalImage.H)
+	}
+
+	if *logOut != "" && len(res.Events) > 0 {
+		f, err := os.Create(*logOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "visapult: %v\n", err)
+			os.Exit(1)
+		}
+		c := netlogger.NewCollector()
+		c.Add(res.Events...)
+		if err := c.WriteULM(f); err != nil {
+			fmt.Fprintf(os.Stderr, "visapult: writing %s: %v\n", *logOut, err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("netlog   : wrote %d events to %s\n", len(res.Events), *logOut)
+	}
+}

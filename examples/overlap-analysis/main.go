@@ -1,0 +1,137 @@
+// Overlap-analysis studies the paper's central performance idea (section
+// 4.3): overlapping data loading with rendering turns the per-timestep cost
+// from L+R into max(L,R). The example
+//
+//  1. measures a real serial and a real overlapped back end on this machine,
+//     with a sleep-shaped data source standing in for the WAN;
+//
+//  2. compares the measurement with the analytic model Ts = N(L+R),
+//     To = N*max(L,R) + min(L,R);
+//
+//  3. sweeps the L/R ratio on the virtual-clock simulator to show where
+//     overlapping pays off and where it cannot (the paper's "at one extreme
+//     ... nearly twice as fast; at the other ... nearly equal").
+//
+//     go run ./examples/overlap-analysis
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+	"time"
+
+	"visapult/internal/backend"
+	"visapult/internal/netsim"
+	"visapult/internal/platform"
+	"visapult/internal/transfer"
+	"visapult/internal/volume"
+
+	"visapult/internal/core"
+)
+
+// slowSource injects a fixed delay in front of every load, standing in for a
+// bandwidth-limited WAN between the DPSS and the back end.
+type slowSource struct {
+	backend.DataSource
+	delay time.Duration
+}
+
+func (s *slowSource) LoadRegion(t int, r volume.Region) (*volume.Volume, int64, error) {
+	time.Sleep(s.delay)
+	return s.DataSource.LoadRegion(t, r)
+}
+
+func main() {
+	const steps = 6
+	const loadDelay = 10 * time.Millisecond
+
+	// A volume big enough that software rendering takes a comparable time to
+	// the injected load delay, so L ~= R — the regime where overlap helps most.
+	vols := make([]*volume.Volume, steps)
+	for i := range vols {
+		v := volume.MustNew(192, 192, 96)
+		for z := 0; z < v.NZ; z++ {
+			for y := 0; y < v.NY; y++ {
+				for x := 0; x < v.NX; x++ {
+					v.Set(x, y, z, float32((x+y+z+i)%97)/97)
+				}
+			}
+		}
+		vols[i] = v
+	}
+	mem, err := backend.NewMemorySource(vols...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	src := &slowSource{DataSource: mem, delay: loadDelay}
+
+	run := func(mode backend.Mode) backend.RunStats {
+		be, err := backend.New(backend.Config{
+			PEs: 1, Source: src, Mode: mode, Sinks: []backend.FrameSink{&backend.NullSink{}},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		st, err := be.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		return st
+	}
+
+	fmt.Printf("1. real back end on this machine (%d CPUs, sleep-shaped loads):\n", runtime.NumCPU())
+	serial := run(backend.Serial)
+	over := run(backend.Overlapped)
+	measured := float64(serial.Elapsed) / float64(over.Elapsed)
+	fmt.Printf("   serial     : %v  (mean L %v, mean R %v)\n",
+		serial.Elapsed.Round(time.Millisecond), serial.MeanLoad().Round(time.Millisecond), serial.MeanRender().Round(time.Millisecond))
+	fmt.Printf("   overlapped : %v\n", over.Elapsed.Round(time.Millisecond))
+	fmt.Printf("   speedup    : %.2fx measured\n", measured)
+
+	l, r := serial.MeanLoad(), serial.MeanRender()+serial.MeanSend()
+	fmt.Printf("   model      : Ts=%v To=%v -> %.2fx predicted (ideal 2N/(N+1) = %.2fx)\n",
+		transfer.SerialTime(steps, l, r).Round(time.Millisecond),
+		transfer.OverlappedTime(steps, l, r).Round(time.Millisecond),
+		transfer.Speedup(steps, l, r), transfer.IdealSpeedup(steps))
+	// The paper's section 4.4.1 lesson reproduces itself on small hosts: when
+	// the reader and the renderer share one CPU, the overlap benefit shrinks
+	// (and load times inflate), exactly as on CPlant's single-CPU nodes.
+	if runtime.NumCPU() < 2 || measured < 1.05 {
+		fmt.Println("   host note  : loader and renderer are sharing CPUs here, so the measured benefit is")
+		fmt.Println("                limited — the CPlant contention effect of Figure 15. The SMP-style,")
+		fmt.Println("                contention-free behaviour is shown by the simulator sweep below.")
+	}
+	fmt.Println()
+
+	fmt.Println("2. L/R sweep on the virtual-clock simulator (10 timesteps, 1 PE):")
+	fmt.Println("   L/R    serial      overlapped  speedup  model")
+	for _, ratio := range []float64{0.25, 0.5, 1, 2, 4} {
+		renderSec := 10.0
+		loadSec := renderSec * ratio
+		plat := platform.Platform{
+			Name: "sweep", Kind: platform.SMP, Nodes: 1, CPUsPerNode: 2,
+			RenderSecPerMVoxel: renderSec, NIC: netsim.GigE,
+		}
+		mk := func(mode backend.Mode) *core.CampaignResult {
+			res, err := (core.Campaign{
+				Name: "sweep", Platform: plat, PEs: 1, Mode: mode, Timesteps: 10,
+				FrameBytes: int64(loadSec * 100e6 / 8),
+				VolumeDims: [3]int{100, 100, 100},
+				DataPath:   netsim.NewPath("sweep", netsim.Link{Name: "100Mbps", Bandwidth: 100e6, MTU: 1500}),
+			}).Run()
+			if err != nil {
+				log.Fatal(err)
+			}
+			return res
+		}
+		s, o := mk(backend.Serial), mk(backend.Overlapped)
+		lDur := time.Duration(loadSec * float64(time.Second))
+		rDur := time.Duration(renderSec * float64(time.Second))
+		fmt.Printf("   %-5.2f  %-10v  %-10v  %.2fx    %.2fx\n",
+			ratio, s.Total.Round(time.Second), o.Total.Round(time.Second),
+			float64(s.Total)/float64(o.Total), transfer.Speedup(10, lDur, rDur))
+	}
+	fmt.Println("\n   overlap pays the most when L and R are balanced; when one side dominates,")
+	fmt.Println("   the pipeline is bound by it and the two modes converge — exactly section 4.3.")
+}

@@ -1,0 +1,73 @@
+// Sc99-exhibit recreates the SC99 research exhibit configuration of Figure 8:
+// two datasets (cosmology and combustion) stored at different sites, two
+// compute platforms running Visapult back ends, and two network paths of very
+// different capacity. The example runs both corridors on the virtual-clock
+// campaign simulator, prints the sustained transfer rates the paper reports
+// (250 Mbps over NTON to CPlant, 150 Mbps over NTON+SciNet to the show
+// floor), and renders an NLV-style lifeline plot for one of them.
+//
+// It also runs a small real pipeline on the cosmology dataset so both code
+// paths — simulated campaigns and live sessions — appear side by side.
+//
+//	go run ./examples/sc99-exhibit
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"visapult/internal/backend"
+	"visapult/internal/core"
+	"visapult/internal/datagen"
+	"visapult/internal/netlogger"
+	"visapult/internal/render"
+)
+
+func main() {
+	fmt.Println("SC99 research exhibit (Figure 8)")
+
+	// --- The two SC99 corridors at paper scale, on the virtual clock -------
+	corridors := []core.Campaign{
+		core.SC99CPlantCampaign(),    // LBL DPSS -> SNL CPlant over NTON
+		core.SC99ShowFloorCampaign(), // LBL DPSS -> LBL booth cluster over NTON + SciNet
+	}
+	paper := []string{"250 Mbps", "150 Mbps"}
+	var showFloor *core.CampaignResult
+	for i, c := range corridors {
+		res, err := c.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-55s %4.0f Mbps sustained (paper: %s)\n", c.Name, res.LoadMbps(), paper[i])
+		showFloor = res
+	}
+
+	// An excerpt of the NLV lifeline for the show-floor corridor, the moral
+	// equivalent of the paper's profile figures.
+	fmt.Println("\nNLV lifelines for the show-floor corridor (first frames):")
+	plot := netlogger.RenderNLV(showFloor.Events, netlogger.NLVOptions{
+		Width:    96,
+		TagOrder: append(append([]string{}, netlogger.BackEndTags...), netlogger.ViewerTags...),
+	})
+	fmt.Println(plot)
+
+	// --- A live miniature of the cosmology corridor ------------------------
+	// Cosmology data volume-rendered with the cool transfer function, striped
+	// sockets between back end and viewer (the SC99 viewer drove an
+	// ImmersaDesk and a tiled display; here the output is a PPM-sized image).
+	gen := datagen.NewCosmology(datagen.CosmologyConfig{NX: 64, NY: 64, NZ: 64, Timesteps: 2, Seed: 99})
+	res, err := core.RunSession(core.SessionConfig{
+		PEs:         8,
+		Mode:        backend.Overlapped,
+		Source:      backend.NewSyntheticSource(gen),
+		TF:          render.DefaultCosmologyTF(),
+		Transport:   core.TransportStriped,
+		StripeLanes: 3,
+		RenderLoop:  true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("live cosmology run: %d PEs over striped sockets, %d frames assembled, %.1fx traffic reduction\n",
+		res.Backend.PEs, res.Viewer.FramesCompleted, res.TrafficRatio())
+}

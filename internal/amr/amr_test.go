@@ -1,0 +1,196 @@
+package amr
+
+import (
+	"strings"
+	"testing"
+
+	"visapult/internal/datagen"
+	"visapult/internal/volume"
+)
+
+func flameVolume() *volume.Volume {
+	c := datagen.NewCombustion(datagen.CombustionConfig{NX: 32, NY: 32, NZ: 32, Timesteps: 10, Seed: 4})
+	return c.Generate(5)
+}
+
+func TestBuildOnUniformVolumeDoesNotRefine(t *testing.T) {
+	v := volume.MustNew(32, 32, 32)
+	v.Fill(0.5)
+	h := Build(v, Config{})
+	if h.NumLevels() != 1 {
+		t.Errorf("uniform volume produced %d levels, want 1", h.NumLevels())
+	}
+	if len(h.BoxesAt(0)) != 64 {
+		t.Errorf("coarse boxes = %d, want 64", len(h.BoxesAt(0)))
+	}
+}
+
+func TestBuildRefinesNearFront(t *testing.T) {
+	v := flameVolume()
+	h := Build(v, Config{MaxLevels: 3, CoarseBoxes: 4, RefineThreshold: 0.2, MinBoxSize: 2})
+	if h.NumLevels() < 2 {
+		t.Fatalf("flame volume should refine: levels = %d", h.NumLevels())
+	}
+	// The refined levels should cover a minority of the domain (refinement
+	// hugs the front, it does not blanket the volume).
+	frac := h.RefinedFraction(1, v)
+	if frac <= 0 || frac >= 1 {
+		t.Errorf("level-1 coverage fraction = %v, want in (0,1)", frac)
+	}
+	if h.NumBoxes() <= 64 {
+		t.Errorf("total boxes = %d, should exceed the 64 coarse boxes", h.NumBoxes())
+	}
+}
+
+func TestBuildLevelZeroTilesVolume(t *testing.T) {
+	v := flameVolume()
+	h := Build(v, Config{CoarseBoxes: 4})
+	var regions []volume.Region
+	for _, b := range h.BoxesAt(0) {
+		regions = append(regions, b.Region)
+	}
+	if !volume.CoverageComplete(v.NX, v.NY, v.NZ, regions) {
+		t.Error("level-0 boxes must tile the volume")
+	}
+}
+
+func TestBuildRespectsMaxLevels(t *testing.T) {
+	v := flameVolume()
+	h := Build(v, Config{MaxLevels: 2, MinBoxSize: 1, RefineThreshold: 0.05})
+	if h.NumLevels() > 2 {
+		t.Errorf("levels = %d, want <= 2", h.NumLevels())
+	}
+}
+
+func TestBuildDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.MaxLevels != 3 || cfg.CoarseBoxes != 4 || cfg.RefineThreshold != 0.2 || cfg.MinBoxSize != 4 {
+		t.Errorf("defaults = %+v", cfg)
+	}
+}
+
+func TestChildrenNestInsideParents(t *testing.T) {
+	v := flameVolume()
+	h := Build(v, Config{MaxLevels: 3, MinBoxSize: 2})
+	if h.NumLevels() < 2 {
+		t.Skip("no refinement occurred")
+	}
+	for _, child := range h.BoxesAt(1) {
+		contained := false
+		cx, cy, cz := child.Region.Center()
+		for _, parent := range h.BoxesAt(0) {
+			if parent.Region.Contains(int(cx), int(cy), int(cz)) {
+				contained = true
+				break
+			}
+		}
+		if !contained {
+			t.Fatalf("child box %v not inside any level-0 box", child.Region)
+		}
+	}
+}
+
+func TestSplit8RespectsMinSize(t *testing.T) {
+	r := volume.Region{X1: 16, Y1: 16, Z1: 3}
+	children := split8(r, 4)
+	// Z extent 3 < 2*4 so Z is not split: 2x2x1 = 4 children.
+	if len(children) != 4 {
+		t.Fatalf("children = %d, want 4", len(children))
+	}
+	var back []volume.Region
+	back = append(back, children...)
+	if !volume.CoverageComplete(16, 16, 3, offsetRegions(back)) {
+		t.Error("children must tile the parent")
+	}
+}
+
+// offsetRegions is the identity here (regions are already absolute); kept as
+// a helper to make the intent of the coverage check explicit.
+func offsetRegions(rs []volume.Region) []volume.Region { return rs }
+
+func TestSplit8TooSmallReturnsSelf(t *testing.T) {
+	r := volume.Region{X1: 4, Y1: 4, Z1: 4}
+	children := split8(r, 4)
+	if len(children) != 1 || children[0] != r {
+		t.Errorf("small region should not split: %v", children)
+	}
+}
+
+func TestBoxEdges(t *testing.T) {
+	b := Box{Level: 2, Region: volume.Region{X0: 1, X1: 3, Y0: 1, Y1: 3, Z0: 1, Z1: 3}}
+	edges := BoxEdges(b)
+	if len(edges) != 12 {
+		t.Fatalf("edges = %d", len(edges))
+	}
+	for _, e := range edges {
+		if e.Level != 2 {
+			t.Error("edge should carry box level")
+		}
+		if e.A == e.B {
+			t.Error("degenerate edge")
+		}
+	}
+	// Total edge length of a 2x2x2 cube wireframe is 12 * 2 = 24.
+	var total float32
+	for _, e := range edges {
+		dx := e.B.X - e.A.X
+		dy := e.B.Y - e.A.Y
+		dz := e.B.Z - e.A.Z
+		if dx < 0 {
+			dx = -dx
+		}
+		if dy < 0 {
+			dy = -dy
+		}
+		if dz < 0 {
+			dz = -dz
+		}
+		total += dx + dy + dz
+	}
+	if total != 24 {
+		t.Errorf("total manhattan edge length = %v, want 24", total)
+	}
+}
+
+func TestWireframeSegmentsAndGeometryBytes(t *testing.T) {
+	v := flameVolume()
+	h := Build(v, Config{MaxLevels: 3, MinBoxSize: 2})
+	segs := h.WireframeSegments()
+	if len(segs) != 12*h.NumBoxes() {
+		t.Errorf("segments = %d, want %d", len(segs), 12*h.NumBoxes())
+	}
+	if h.GeometryBytes() != int64(len(segs))*28 {
+		t.Errorf("geometry bytes = %d", h.GeometryBytes())
+	}
+	// The paper says the grid geometry is "tens of kilobytes" per timestep:
+	// confirm the synthetic hierarchy is in the same rough class (well under
+	// a megabyte, far smaller than the 128 KB volume itself at this size).
+	if h.GeometryBytes() <= 0 || h.GeometryBytes() > 1<<20 {
+		t.Errorf("geometry bytes = %d, want small overlay geometry", h.GeometryBytes())
+	}
+}
+
+func TestBoxesAtOutOfRange(t *testing.T) {
+	h := Build(volume.MustNew(8, 8, 8), Config{})
+	if h.BoxesAt(-1) != nil || h.BoxesAt(10) != nil {
+		t.Error("out-of-range levels should return nil")
+	}
+}
+
+func TestHierarchyString(t *testing.T) {
+	h := Build(flameVolume(), Config{})
+	s := h.String()
+	if !strings.Contains(s, "levels") || !strings.Contains(s, "boxes") {
+		t.Errorf("string = %q", s)
+	}
+}
+
+func TestRefinedFractionEdgeCases(t *testing.T) {
+	h := Build(volume.MustNew(8, 8, 8), Config{})
+	if h.RefinedFraction(5, volume.MustNew(8, 8, 8)) != 0 {
+		t.Error("missing level should have 0 coverage")
+	}
+	if h.RefinedFraction(0, volume.MustNew(8, 8, 8)) != 1 {
+		t.Error("level 0 should cover the whole volume")
+	}
+}

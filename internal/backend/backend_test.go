@@ -1,0 +1,576 @@
+package backend
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"visapult/internal/amr"
+	"visapult/internal/datagen"
+	"visapult/internal/netlogger"
+	"visapult/internal/render"
+	"visapult/internal/volume"
+	"visapult/internal/wire"
+)
+
+// testVolume returns a small volume with a recognizable gradient.
+func testVolume(nx, ny, nz int) *volume.Volume {
+	v := volume.MustNew(nx, ny, nz)
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				v.Set(x, y, z, float32(x+y+z)/float32(nx+ny+nz))
+			}
+		}
+	}
+	return v
+}
+
+// collectSink records every payload it receives, in arrival order.
+type collectSink struct {
+	mu      sync.Mutex
+	lights  []*wire.LightPayload
+	heavies []*wire.HeavyPayload
+}
+
+func (c *collectSink) SendLight(lp *wire.LightPayload) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.lights = append(c.lights, lp)
+	return nil
+}
+
+func (c *collectSink) SendHeavy(hp *wire.HeavyPayload) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.heavies = append(c.heavies, hp)
+	return nil
+}
+
+func (c *collectSink) counts() (int, int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.lights), len(c.heavies)
+}
+
+// failSink fails every heavy send, to exercise error propagation.
+type failSink struct{}
+
+func (failSink) SendLight(*wire.LightPayload) error { return nil }
+func (failSink) SendHeavy(*wire.HeavyPayload) error { return errors.New("sink unavailable") }
+
+func memSource(t *testing.T, steps, nx, ny, nz int) *MemorySource {
+	t.Helper()
+	vols := make([]*volume.Volume, steps)
+	for i := range vols {
+		vols[i] = testVolume(nx, ny, nz)
+	}
+	src, err := NewMemorySource(vols...)
+	if err != nil {
+		t.Fatalf("memory source: %v", err)
+	}
+	return src
+}
+
+func TestNewValidation(t *testing.T) {
+	src := memSource(t, 1, 8, 8, 8)
+	sink := &NullSink{}
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"nil source", Config{PEs: 2, Sinks: []FrameSink{sink}}},
+		{"zero PEs", Config{Source: src, Sinks: []FrameSink{sink}}},
+		{"no sinks", Config{Source: src, PEs: 2}},
+		{"wrong sink count", Config{Source: src, PEs: 3, Sinks: []FrameSink{sink, sink}}},
+	}
+	for _, tc := range cases {
+		if _, err := New(tc.cfg); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+	if _, err := New(Config{Source: src, PEs: 2, Sinks: []FrameSink{sink}}); err != nil {
+		t.Errorf("valid shared-sink config rejected: %v", err)
+	}
+}
+
+func TestSerialRunDeliversEveryFrameAndPE(t *testing.T) {
+	const pes, steps = 4, 3
+	src := memSource(t, steps, 16, 12, 8)
+	sink := &collectSink{}
+	be, err := New(Config{
+		PEs: pes, Source: src, Sinks: []FrameSink{sink},
+		Mode: Serial, Axis: volume.AxisZ,
+	})
+	if err != nil {
+		t.Fatalf("new: %v", err)
+	}
+	rs, err := be.Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	nl, nh := sink.counts()
+	if nl != pes*steps || nh != pes*steps {
+		t.Fatalf("got %d light / %d heavy payloads, want %d each", nl, nh, pes*steps)
+	}
+	if rs.Frames != steps || rs.PEs != pes || len(rs.PerFrame) != pes*steps {
+		t.Fatalf("run stats %+v inconsistent", rs)
+	}
+	if rs.BytesIn == 0 || rs.BytesOut == 0 {
+		t.Fatal("expected nonzero traffic counters")
+	}
+	// Every (frame, PE) pair must appear exactly once.
+	seen := make(map[[2]int]bool)
+	for _, f := range rs.PerFrame {
+		key := [2]int{f.Frame, f.PE}
+		if seen[key] {
+			t.Fatalf("duplicate record for frame %d PE %d", f.Frame, f.PE)
+		}
+		seen[key] = true
+	}
+}
+
+func TestSlabTexturesCompositeToFullRender(t *testing.T) {
+	// The defining property of the architecture: compositing the per-PE slab
+	// textures reproduces (to within compositing error) a full-volume render.
+	const pes = 4
+	v := testVolume(24, 16, 16)
+	src, err := NewMemorySource(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := &collectSink{}
+	be, err := New(Config{PEs: pes, Source: src, Sinks: []FrameSink{sink}, Axis: volume.AxisZ})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := be.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(sink.heavies) != pes {
+		t.Fatalf("got %d heavy payloads, want %d", len(sink.heavies), pes)
+	}
+	// Rebuild images in slab order (PE rank == slab index along Z, back
+	// slabs have higher Z). Composite back-to-front.
+	images := make([]*render.Image, pes)
+	for i, hp := range sink.heavies {
+		img, err := render.FromRGBA8(hp.TexWidth, hp.TexHeight, hp.Texture)
+		if err != nil {
+			t.Fatalf("texture %d: %v", i, err)
+		}
+		images[hp.PE] = img
+	}
+	// Back-to-front along +Z means highest slab index first.
+	ordered := make([]*render.Image, 0, pes)
+	for i := pes - 1; i >= 0; i-- {
+		ordered = append(ordered, images[i])
+	}
+	composite, err := render.CompositeBackToFront(ordered)
+	if err != nil {
+		t.Fatalf("composite: %v", err)
+	}
+	full, _ := render.RenderFull(v, render.DefaultCombustionTF(), volume.AxisZ)
+	rmse, err := composite.RMSE(full)
+	if err != nil {
+		t.Fatalf("rmse: %v", err)
+	}
+	// RGBA8 quantization plus compositing-order error stays small.
+	if rmse > 0.06 {
+		t.Fatalf("slab composite deviates from full render: RMSE %.4f", rmse)
+	}
+}
+
+func TestOverlappedMatchesSerialOutput(t *testing.T) {
+	const pes, steps = 2, 4
+	src := memSource(t, steps, 16, 8, 8)
+	run := func(mode Mode) []*wire.HeavyPayload {
+		sink := &collectSink{}
+		be, err := New(Config{PEs: pes, Source: src, Sinks: []FrameSink{sink}, Mode: mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := be.Run(); err != nil {
+			t.Fatalf("run %v: %v", mode, err)
+		}
+		// Index by (frame, PE) for comparison.
+		byKey := make(map[[2]int]*wire.HeavyPayload)
+		sink.mu.Lock()
+		defer sink.mu.Unlock()
+		for _, hp := range sink.heavies {
+			byKey[[2]int{hp.Frame, hp.PE}] = hp
+		}
+		out := make([]*wire.HeavyPayload, 0, len(byKey))
+		for f := 0; f < steps; f++ {
+			for pe := 0; pe < pes; pe++ {
+				out = append(out, byKey[[2]int{f, pe}])
+			}
+		}
+		return out
+	}
+	serial := run(Serial)
+	overlapped := run(Overlapped)
+	if len(serial) != len(overlapped) {
+		t.Fatalf("payload count mismatch: %d vs %d", len(serial), len(overlapped))
+	}
+	for i := range serial {
+		if serial[i] == nil || overlapped[i] == nil {
+			t.Fatalf("missing payload at %d", i)
+		}
+		if string(serial[i].Texture) != string(overlapped[i].Texture) {
+			t.Fatalf("texture mismatch between serial and overlapped at %d", i)
+		}
+	}
+}
+
+func TestOverlappedIsNotSlowerThanSerial(t *testing.T) {
+	// With a deliberately slow data source (sleep-injected, standing in for
+	// a WAN load) and a slow downstream (standing in for render + transmit),
+	// the overlapped pipeline must beat the serial one by a visible margin.
+	// This is the paper's Figure 12-vs-13 experiment in miniature: with
+	// L ~= R, the speedup approaches 2N/(N+1).
+	const steps = 6
+	const phase = 20 * time.Millisecond
+	base := memSource(t, steps, 16, 16, 8)
+	slow := &delaySource{DataSource: base, delay: phase}
+
+	elapsed := func(mode Mode) time.Duration {
+		sink := &slowSink{delay: phase}
+		be, err := New(Config{PEs: 1, Source: slow, Sinks: []FrameSink{sink}, Mode: mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, err := be.Run()
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		return rs.Elapsed
+	}
+	serial := elapsed(Serial)
+	overlapped := elapsed(Overlapped)
+	// Theory: serial ~= steps*2*phase, overlapped ~= (steps+1)*phase. Demand
+	// at least a 20% improvement to keep the test robust under load.
+	if float64(overlapped) > 0.8*float64(serial) {
+		t.Fatalf("overlapped (%v) not sufficiently faster than serial (%v)", overlapped, serial)
+	}
+}
+
+// delaySource injects a fixed delay into every load, standing in for a slow
+// WAN link.
+type delaySource struct {
+	DataSource
+	delay time.Duration
+}
+
+func (d *delaySource) LoadRegion(t int, r volume.Region) (*volume.Volume, int64, error) {
+	time.Sleep(d.delay)
+	return d.DataSource.LoadRegion(t, r)
+}
+
+// slowSink injects a fixed delay into every heavy send, standing in for the
+// non-load half (render + transmit) of the per-frame pipeline.
+type slowSink struct {
+	NullSink
+	delay time.Duration
+}
+
+func (s *slowSink) SendHeavy(hp *wire.HeavyPayload) error {
+	time.Sleep(s.delay)
+	return s.NullSink.SendHeavy(hp)
+}
+
+func TestNetLoggerInstrumentation(t *testing.T) {
+	const pes, steps = 2, 2
+	src := memSource(t, steps, 12, 8, 8)
+	logger := netlogger.New("testhost", "backend")
+	be, err := New(Config{PEs: pes, Source: src, Sinks: []FrameSink{&NullSink{}}, Logger: logger})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := be.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	a := netlogger.Analyze(logger.Events())
+	loads := a.Phases(netlogger.BELoadStart, netlogger.BELoadEnd)
+	renders := a.Phases(netlogger.BERenderStart, netlogger.BERenderEnd)
+	if len(loads) != pes*steps || len(renders) != pes*steps {
+		t.Fatalf("got %d load / %d render phases, want %d each", len(loads), len(renders), pes*steps)
+	}
+	for _, p := range loads {
+		if p.Duration() < 0 {
+			t.Fatal("negative load phase duration")
+		}
+	}
+}
+
+func TestAxisSwitchTakesEffectAtFrameBoundary(t *testing.T) {
+	const pes, steps = 2, 3
+	src := memSource(t, steps, 16, 12, 8)
+	sink := &collectSink{}
+	be, err := New(Config{PEs: pes, Source: src, Sinks: []FrameSink{sink}, Axis: volume.AxisZ})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hint a new axis before the run starts: all frames should use it, and
+	// exactly one flip should be recorded.
+	be.SetAxis(volume.AxisX)
+	rs, err := be.Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if rs.AxisFlips != 1 {
+		t.Fatalf("axis flips = %d, want 1", rs.AxisFlips)
+	}
+	sink.mu.Lock()
+	defer sink.mu.Unlock()
+	for _, lp := range sink.lights {
+		if lp.Axis != volume.AxisX {
+			t.Fatalf("frame %d PE %d used axis %v, want X", lp.Frame, lp.PE, lp.Axis)
+		}
+	}
+}
+
+func TestGridAndElevationPayloads(t *testing.T) {
+	src := memSource(t, 1, 16, 16, 8)
+	sink := &collectSink{}
+	be, err := New(Config{
+		PEs: 2, Source: src, Sinks: []FrameSink{sink},
+		Grid:      &amr.Config{RefineThreshold: 0.3, MaxLevels: 2, MinBoxSize: 2},
+		Elevation: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := be.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	sink.mu.Lock()
+	defer sink.mu.Unlock()
+	for _, hp := range sink.heavies {
+		if len(hp.Elevation) != hp.TexWidth*hp.TexHeight {
+			t.Fatalf("elevation map has %d entries, want %d", len(hp.Elevation), hp.TexWidth*hp.TexHeight)
+		}
+	}
+	foundGrid := false
+	for _, lp := range sink.lights {
+		if lp.GridSegments > 0 {
+			foundGrid = true
+		}
+		if !lp.HasElevation {
+			t.Fatal("light payload does not announce elevation map")
+		}
+	}
+	if !foundGrid {
+		t.Fatal("no light payload announced grid segments")
+	}
+}
+
+func TestSendFailureAbortsAllPEs(t *testing.T) {
+	src := memSource(t, 4, 12, 8, 8)
+	be, err := New(Config{PEs: 3, Source: src, Sinks: []FrameSink{failSink{}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := be.Run()
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("expected run to fail when the sink fails")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("run hung after sink failure (barrier not released)")
+	}
+}
+
+func TestPerPESinks(t *testing.T) {
+	const pes = 3
+	src := memSource(t, 2, 12, 9, 6)
+	sinks := make([]FrameSink, pes)
+	collectors := make([]*collectSink, pes)
+	for i := range sinks {
+		collectors[i] = &collectSink{}
+		sinks[i] = collectors[i]
+	}
+	be, err := New(Config{PEs: pes, Source: src, Sinks: sinks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := be.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for i, c := range collectors {
+		nl, nh := c.counts()
+		if nl != 2 || nh != 2 {
+			t.Fatalf("sink %d received %d light / %d heavy, want 2 each", i, nl, nh)
+		}
+		c.mu.Lock()
+		for _, hp := range c.heavies {
+			if hp.PE != i {
+				t.Fatalf("sink %d received payload from PE %d", i, hp.PE)
+			}
+		}
+		c.mu.Unlock()
+	}
+}
+
+func TestTimestepsLimit(t *testing.T) {
+	src := memSource(t, 5, 8, 8, 8)
+	sink := &collectSink{}
+	be, err := New(Config{PEs: 1, Source: src, Sinks: []FrameSink{sink}, Timesteps: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := be.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Frames != 2 {
+		t.Fatalf("frames = %d, want 2", rs.Frames)
+	}
+}
+
+func TestSyntheticSourceCachesTimestep(t *testing.T) {
+	gen := datagen.NewCombustion(datagen.CombustionConfig{NX: 16, NY: 8, NZ: 8, Timesteps: 2, Seed: 1})
+	src := NewSyntheticSource(gen)
+	nx, ny, nz := src.Dims()
+	if nx != 16 || ny != 8 || nz != 8 {
+		t.Fatalf("dims = %d %d %d", nx, ny, nz)
+	}
+	r := volume.Region{X1: nx, Y1: ny, Z1: 4}
+	a, bytesA, err := src.LoadRegion(0, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bRegion := volume.Region{X1: nx, Y1: ny, Z0: 4, Z1: 8}
+	b, _, err := src.LoadRegion(0, bRegion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytesA != r.Bytes() {
+		t.Fatalf("bytes = %d, want %d", bytesA, r.Bytes())
+	}
+	if a.Len() == 0 || b.Len() == 0 {
+		t.Fatal("empty subvolumes")
+	}
+	if _, _, err := src.LoadRegion(99, r); err == nil {
+		t.Fatal("expected error for out-of-range timestep")
+	}
+}
+
+func TestMemorySourceValidation(t *testing.T) {
+	if _, err := NewMemorySource(); err == nil {
+		t.Fatal("expected error for empty source")
+	}
+	a := volume.MustNew(4, 4, 4)
+	b := volume.MustNew(4, 4, 5)
+	if _, err := NewMemorySource(a, b); err == nil {
+		t.Fatal("expected error for mismatched dimensions")
+	}
+	src, err := NewMemorySource(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := src.LoadRegion(3, volume.Region{X1: 4, Y1: 4, Z1: 4}); err == nil {
+		t.Fatal("expected error for out-of-range timestep")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Serial.String() != "serial" || Overlapped.String() != "overlapped" {
+		t.Fatal("unexpected Mode strings")
+	}
+}
+
+func TestRunStatsMeans(t *testing.T) {
+	rs := RunStats{PerFrame: []FrameStats{
+		{Load: 10 * time.Millisecond, Render: 20 * time.Millisecond, Send: 2 * time.Millisecond},
+		{Load: 30 * time.Millisecond, Render: 40 * time.Millisecond, Send: 4 * time.Millisecond},
+	}}
+	if rs.MeanLoad() != 20*time.Millisecond {
+		t.Fatalf("mean load = %v", rs.MeanLoad())
+	}
+	if rs.MeanRender() != 30*time.Millisecond {
+		t.Fatalf("mean render = %v", rs.MeanRender())
+	}
+	if rs.MeanSend() != 3*time.Millisecond {
+		t.Fatalf("mean send = %v", rs.MeanSend())
+	}
+	var empty RunStats
+	if empty.MeanLoad() != 0 {
+		t.Fatal("empty stats should have zero means")
+	}
+}
+
+func TestCyclicBarrierReleasesAllParties(t *testing.T) {
+	const parties, rounds = 5, 20
+	actionRuns := 0
+	b := newCyclicBarrier(parties, func() { actionRuns++ })
+	var wg sync.WaitGroup
+	for i := 0; i < parties; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				if aborted := b.Await(); aborted {
+					t.Error("unexpected abort")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if actionRuns != rounds {
+		t.Fatalf("barrier action ran %d times, want %d", actionRuns, rounds)
+	}
+}
+
+func TestCyclicBarrierAbort(t *testing.T) {
+	b := newCyclicBarrier(2, nil)
+	done := make(chan bool, 1)
+	go func() { done <- b.Await() }()
+	b.Abort()
+	select {
+	case aborted := <-done:
+		if !aborted {
+			t.Fatal("waiter not told about abort")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("abort did not release waiter")
+	}
+	if !b.Await() {
+		t.Fatal("post-abort Await should report aborted")
+	}
+}
+
+func TestLoadRegionDecompositionCoversVolumeProperty(t *testing.T) {
+	// For any PE count and axis, the per-PE loads cover every voxel exactly
+	// once (no duplication, no gaps) — the invariant behind the O(n^3) vs
+	// O(n^2) traffic argument.
+	src := memSource(t, 1, 20, 14, 10)
+	nx, ny, nz := src.Dims()
+	f := func(pesRaw, axisRaw uint8) bool {
+		pes := int(pesRaw)%6 + 1
+		axis := volume.Axis(int(axisRaw) % 3)
+		regions := volume.Slabs(nx, ny, nz, axis, pes)
+		var total int64
+		for _, r := range regions {
+			sub, bytes, err := src.LoadRegion(0, r)
+			if err != nil {
+				return false
+			}
+			if sub.SizeBytes() != bytes {
+				return false
+			}
+			total += bytes
+		}
+		return total == int64(nx)*int64(ny)*int64(nz)*4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,109 @@
+package backend
+
+import (
+	"testing"
+	"time"
+
+	"visapult/internal/volume"
+	"visapult/internal/wire"
+)
+
+func TestProcessPairMatchesOverlappedOutput(t *testing.T) {
+	// The MPI-style process-pair variant must produce byte-identical textures
+	// to the threaded overlapped variant; only its cost differs.
+	const pes, steps = 2, 3
+	src := memSource(t, steps, 16, 12, 8)
+	run := func(mode Mode) map[[2]int]*wire.HeavyPayload {
+		sink := &collectSink{}
+		be, err := New(Config{PEs: pes, Source: src, Sinks: []FrameSink{sink}, Mode: mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := be.Run(); err != nil {
+			t.Fatalf("run %v: %v", mode, err)
+		}
+		sink.mu.Lock()
+		defer sink.mu.Unlock()
+		out := make(map[[2]int]*wire.HeavyPayload)
+		for _, hp := range sink.heavies {
+			out[[2]int{hp.Frame, hp.PE}] = hp
+		}
+		return out
+	}
+	threaded := run(Overlapped)
+	pair := run(OverlappedProcessPair)
+	if len(threaded) != len(pair) {
+		t.Fatalf("payload count mismatch: %d vs %d", len(threaded), len(pair))
+	}
+	for key, hp := range threaded {
+		other, ok := pair[key]
+		if !ok {
+			t.Fatalf("process-pair run missing frame %d PE %d", key[0], key[1])
+		}
+		if string(hp.Texture) != string(other.Texture) {
+			t.Fatalf("texture mismatch for frame %d PE %d", key[0], key[1])
+		}
+	}
+}
+
+func TestProcessPairPaysCopyCost(t *testing.T) {
+	src := memSource(t, 3, 32, 32, 16)
+	runStats := func(mode Mode) RunStats {
+		be, err := New(Config{PEs: 1, Source: src, Sinks: []FrameSink{&NullSink{}}, Mode: mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, err := be.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rs
+	}
+	threaded := runStats(Overlapped)
+	pair := runStats(OverlappedProcessPair)
+	if threaded.MeanCopy() != 0 {
+		t.Fatalf("threaded overlap should not pay a copy cost, got %v", threaded.MeanCopy())
+	}
+	if pair.MeanCopy() <= 0 {
+		t.Fatal("process-pair mode should record a nonzero copy cost")
+	}
+	for _, f := range pair.PerFrame {
+		if f.Copy <= 0 {
+			t.Fatalf("frame %d has no copy cost recorded", f.Frame)
+		}
+	}
+	var serial RunStats
+	serial = runStats(Serial)
+	if serial.MeanCopy() != 0 {
+		t.Fatal("serial mode should not pay a copy cost")
+	}
+}
+
+func TestModeStringAndOverlappedHelper(t *testing.T) {
+	if OverlappedProcessPair.String() != "overlapped-process-pair" {
+		t.Fatalf("unexpected mode string %q", OverlappedProcessPair.String())
+	}
+	if !OverlappedProcessPair.overlapped() || !Overlapped.overlapped() || Serial.overlapped() {
+		t.Fatal("overlapped() helper misclassifies modes")
+	}
+}
+
+func TestProcessPairAxisSwitchStillWorks(t *testing.T) {
+	src := memSource(t, 2, 16, 12, 8)
+	sink := &collectSink{}
+	be, err := New(Config{PEs: 2, Source: src, Sinks: []FrameSink{sink}, Mode: OverlappedProcessPair, Axis: volume.AxisZ})
+	if err != nil {
+		t.Fatal(err)
+	}
+	be.SetAxis(volume.AxisY)
+	rs, err := be.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.AxisFlips != 1 {
+		t.Fatalf("axis flips = %d, want 1", rs.AxisFlips)
+	}
+	if rs.Elapsed <= 0 || rs.Elapsed > time.Minute {
+		t.Fatalf("implausible elapsed time %v", rs.Elapsed)
+	}
+}

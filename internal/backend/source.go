@@ -1,0 +1,329 @@
+// Package backend implements the Visapult back end: a parallel software
+// volume rendering engine (section 3.4 and Appendices A and B of the paper).
+//
+// The back end is organized as a set of processing elements (PEs), the
+// analogue of the paper's MPI processes. The source volume is slab-decomposed
+// across the PEs; each PE loads its slab from a data source (typically the
+// DPSS network cache), software-renders it to a semi-transparent texture, and
+// ships the texture plus metadata to the Visapult viewer over the wire
+// protocol. Two execution modes are provided:
+//
+//   - Serial: each PE loads its data for timestep t, then renders it, then
+//     sends it — the implementation profiled in Figures 12, 14 and 16.
+//   - Overlapped: each PE runs a detached reader goroutine (the paper's
+//     pthread) that loads timestep t+1 into a second buffer while the render
+//     goroutine renders timestep t, coordinated by a request/result channel
+//     pair that plays the role of the paper's SystemV semaphore pair — the
+//     implementation profiled in Figures 13, 15 and 17.
+//
+// Every phase is instrumented with NetLogger events using the tag vocabulary
+// of the paper's Table 2, so NLV-style lifeline analysis works on real runs.
+package backend
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"visapult/internal/datagen"
+	"visapult/internal/dpss"
+	"visapult/internal/volume"
+)
+
+// DataSource supplies the raw scientific data the back end visualizes. The
+// paper's back end "reads raw scientific data from one of a number of
+// different data sources"; implementations here cover in-memory data,
+// synthetic generators, and the DPSS network cache.
+type DataSource interface {
+	// Dims returns the source volume dimensions.
+	Dims() (nx, ny, nz int)
+	// Timesteps returns the number of timesteps available.
+	Timesteps() int
+	// StepBytes returns the raw size of one timestep, the quantity the
+	// paper's bandwidth figures are computed from (160 MB per step for the
+	// combustion dataset).
+	StepBytes() int64
+	// LoadRegion loads the given region of timestep t and returns it as a
+	// standalone sub-volume, along with the number of bytes that crossed the
+	// data-source boundary to satisfy the request.
+	LoadRegion(t int, r volume.Region) (*volume.Volume, int64, error)
+}
+
+// MemorySource serves timesteps already resident in memory. It is the
+// fastest source and is used by tests and by the viewer-side quickstart
+// example where no network cache is involved.
+type MemorySource struct {
+	steps []*volume.Volume
+}
+
+// NewMemorySource builds a source from pre-generated volumes. All volumes
+// must share the same dimensions.
+func NewMemorySource(steps ...*volume.Volume) (*MemorySource, error) {
+	if len(steps) == 0 {
+		return nil, fmt.Errorf("backend: memory source needs at least one timestep")
+	}
+	nx, ny, nz := steps[0].NX, steps[0].NY, steps[0].NZ
+	for i, s := range steps {
+		if s.NX != nx || s.NY != ny || s.NZ != nz {
+			return nil, fmt.Errorf("backend: timestep %d is %dx%dx%d, want %dx%dx%d",
+				i, s.NX, s.NY, s.NZ, nx, ny, nz)
+		}
+	}
+	return &MemorySource{steps: steps}, nil
+}
+
+// Dims implements DataSource.
+func (m *MemorySource) Dims() (int, int, int) {
+	return m.steps[0].NX, m.steps[0].NY, m.steps[0].NZ
+}
+
+// Timesteps implements DataSource.
+func (m *MemorySource) Timesteps() int { return len(m.steps) }
+
+// StepBytes implements DataSource.
+func (m *MemorySource) StepBytes() int64 { return m.steps[0].SizeBytes() }
+
+// LoadRegion implements DataSource.
+func (m *MemorySource) LoadRegion(t int, r volume.Region) (*volume.Volume, int64, error) {
+	if t < 0 || t >= len(m.steps) {
+		return nil, 0, fmt.Errorf("backend: timestep %d out of range [0,%d)", t, len(m.steps))
+	}
+	sub, err := r.Extract(m.steps[t])
+	if err != nil {
+		return nil, 0, err
+	}
+	return sub, r.Bytes(), nil
+}
+
+// SyntheticSource adapts a datagen generator (combustion or cosmology) to the
+// DataSource interface. Generated timesteps are cached so that the PEs of one
+// back end, which all load the same timestep concurrently, share a single
+// generation pass.
+type SyntheticSource struct {
+	gen datagen.Source
+
+	mu     sync.Mutex
+	cached int
+	vol    *volume.Volume
+}
+
+// NewSyntheticSource wraps a datagen source.
+func NewSyntheticSource(gen datagen.Source) *SyntheticSource {
+	return &SyntheticSource{gen: gen, cached: -1}
+}
+
+// Dims implements DataSource.
+func (s *SyntheticSource) Dims() (int, int, int) {
+	v := s.step(0)
+	return v.NX, v.NY, v.NZ
+}
+
+// Timesteps implements DataSource.
+func (s *SyntheticSource) Timesteps() int { return s.gen.Timesteps() }
+
+// StepBytes implements DataSource.
+func (s *SyntheticSource) StepBytes() int64 { return s.gen.StepBytes() }
+
+// step returns the cached volume for timestep t, generating it if necessary.
+func (s *SyntheticSource) step(t int) *volume.Volume {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cached != t {
+		s.vol = s.gen.Generate(t)
+		s.cached = t
+	}
+	return s.vol
+}
+
+// LoadRegion implements DataSource.
+func (s *SyntheticSource) LoadRegion(t int, r volume.Region) (*volume.Volume, int64, error) {
+	if t < 0 || t >= s.gen.Timesteps() {
+		return nil, 0, fmt.Errorf("backend: timestep %d out of range [0,%d)", t, s.gen.Timesteps())
+	}
+	sub, err := r.Extract(s.step(t))
+	if err != nil {
+		return nil, 0, err
+	}
+	return sub, r.Bytes(), nil
+}
+
+// DPSSSource reads timesteps from a DPSS cache through the block-level client
+// API — the configuration of all of the paper's field tests. Each timestep is
+// a separate dataset in the cache (created with dpss.Cluster.LoadVolume or
+// dpssctl), named by dpss.TimestepDatasetName.
+//
+// Region reads exploit the DPSS's block-level access: only the byte ranges
+// covering the requested region cross the network, not the whole file. For
+// slab decompositions along Z this is a single contiguous range; for other
+// axes it degenerates to one read per row, which is exactly the access
+// pattern the paper's block cache is designed to serve.
+type DPSSSource struct {
+	client *dpss.Client
+	base   string
+	nx     int
+	ny     int
+	nz     int
+	steps  int
+
+	mu    sync.Mutex
+	files map[int]*dpss.File
+}
+
+// NewDPSSSource builds a source reading from the given client. base is the
+// dataset base name passed to dpss.TimestepDatasetName; dims are the volume
+// dimensions of every timestep; steps is the number of timesteps staged in
+// the cache.
+func NewDPSSSource(client *dpss.Client, base string, nx, ny, nz, steps int) (*DPSSSource, error) {
+	if client == nil {
+		return nil, fmt.Errorf("backend: nil DPSS client")
+	}
+	if nx <= 0 || ny <= 0 || nz <= 0 || steps <= 0 {
+		return nil, fmt.Errorf("backend: invalid DPSS source geometry %dx%dx%d x %d steps", nx, ny, nz, steps)
+	}
+	return &DPSSSource{client: client, base: base, nx: nx, ny: ny, nz: nz, steps: steps,
+		files: make(map[int]*dpss.File)}, nil
+}
+
+// Dims implements DataSource.
+func (d *DPSSSource) Dims() (int, int, int) { return d.nx, d.ny, d.nz }
+
+// Timesteps implements DataSource.
+func (d *DPSSSource) Timesteps() int { return d.steps }
+
+// StepBytes implements DataSource.
+func (d *DPSSSource) StepBytes() int64 {
+	return int64(d.nx) * int64(d.ny) * int64(d.nz) * 4
+}
+
+// file returns (opening if needed) the DPSS file handle for timestep t.
+func (d *DPSSSource) file(t int) (*dpss.File, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if f, ok := d.files[t]; ok {
+		return f, nil
+	}
+	f, err := d.client.Open(dpss.TimestepDatasetName(d.base, t))
+	if err != nil {
+		return nil, fmt.Errorf("backend: open timestep %d: %w", t, err)
+	}
+	d.files[t] = f
+	return f, nil
+}
+
+// headerBytes is the size of the volume serialization header preceding the
+// voxel data in each DPSS dataset.
+func (d *DPSSSource) headerBytes() int64 {
+	return volume.EncodedSize(d.nx, d.ny, d.nz) - d.StepBytes()
+}
+
+// LoadRegion implements DataSource. The returned byte count is the number of
+// voxel-data bytes actually requested from the cache.
+func (d *DPSSSource) LoadRegion(t int, r volume.Region) (*volume.Volume, int64, error) {
+	if t < 0 || t >= d.steps {
+		return nil, 0, fmt.Errorf("backend: timestep %d out of range [0,%d)", t, d.steps)
+	}
+	f, err := d.file(t)
+	if err != nil {
+		return nil, 0, err
+	}
+	raw, n, err := readRegionAt(f, d.headerBytes(), d.nx, d.ny, r)
+	if err != nil {
+		return nil, n, err
+	}
+	rx, ry, rz := r.Dims()
+	sub, err := volume.FromData(rx, ry, rz, raw)
+	if err != nil {
+		return nil, n, err
+	}
+	return sub, n, nil
+}
+
+// Close closes all cached file handles.
+func (d *DPSSSource) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, f := range d.files {
+		f.Close()
+	}
+	d.files = make(map[int]*dpss.File)
+	return nil
+}
+
+// readerAt is the subset of dpss.File LoadRegion needs; taking an interface
+// keeps readRegionAt testable without a live cluster.
+type readerAt interface {
+	ReadAt(p []byte, off int64) (int, error)
+}
+
+// readRegionAt reads the float32 voxels of region r from a serialized volume
+// of size nx x ny x * starting at hdr bytes into the file. It coalesces reads
+// into the largest contiguous ranges the region layout allows.
+func readRegionAt(f readerAt, hdr int64, nx, ny int, r volume.Region) ([]float32, int64, error) {
+	rx, ry, rz := r.Dims()
+	if rx <= 0 || ry <= 0 || rz <= 0 {
+		return nil, 0, fmt.Errorf("backend: empty region %v", r)
+	}
+	out := make([]float32, rx*ry*rz)
+	buf := make([]byte, 0)
+	var bytesRead int64
+
+	readInto := func(off int64, dst []float32) error {
+		need := len(dst) * 4
+		if cap(buf) < need {
+			buf = make([]byte, need)
+		}
+		b := buf[:need]
+		if _, err := f.ReadAt(b, off); err != nil {
+			return err
+		}
+		bytesRead += int64(need)
+		for i := range dst {
+			dst[i] = float32frombytes(b[i*4:])
+		}
+		return nil
+	}
+
+	switch {
+	case r.X0 == 0 && r.X1 == nx && r.Y0 == 0 && r.Y1 == ny:
+		// Full XY planes: one contiguous range for the whole slab.
+		off := hdr + int64(r.Z0)*int64(nx)*int64(ny)*4
+		if err := readInto(off, out); err != nil {
+			return nil, bytesRead, err
+		}
+	case r.X0 == 0 && r.X1 == nx:
+		// Full X rows: one contiguous range per (z) of the Y span.
+		rowLen := rx * ry
+		for z := 0; z < rz; z++ {
+			off := hdr + (int64(r.Z0+z)*int64(nx)*int64(ny)+int64(r.Y0)*int64(nx))*4
+			if err := readInto(off, out[z*rowLen:(z+1)*rowLen]); err != nil {
+				return nil, bytesRead, err
+			}
+		}
+	default:
+		// General case: one read per (y, z) row.
+		for z := 0; z < rz; z++ {
+			for y := 0; y < ry; y++ {
+				off := hdr + ((int64(r.Z0+z)*int64(ny)+int64(r.Y0+y))*int64(nx)+int64(r.X0))*4
+				dst := out[(z*ry+y)*rx : (z*ry+y+1)*rx]
+				if err := readInto(off, dst); err != nil {
+					return nil, bytesRead, err
+				}
+			}
+		}
+	}
+	return out, bytesRead, nil
+}
+
+// float32frombytes decodes one little-endian float32 (the volume
+// serialization byte order).
+func float32frombytes(b []byte) float32 {
+	bits := uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+	return math.Float32frombits(bits)
+}
+
+// Compile-time interface checks.
+var (
+	_ DataSource = (*MemorySource)(nil)
+	_ DataSource = (*SyntheticSource)(nil)
+	_ DataSource = (*DPSSSource)(nil)
+)

@@ -1,0 +1,408 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"visapult/internal/backend"
+	"visapult/internal/dpss"
+	"visapult/internal/netlogger"
+	"visapult/internal/netsim"
+	"visapult/internal/platform"
+	"visapult/internal/sim"
+	"visapult/internal/stats"
+)
+
+// campaignOrigin is the wall-clock origin assigned to virtual time zero in
+// campaign event logs: 12 April 2000, the paper's "first light" date.
+var campaignOrigin = time.Date(2000, time.April, 12, 9, 0, 0, 0, time.UTC)
+
+// Campaign describes one simulated field test: a compute platform running the
+// Visapult back end, a WAN path from the data cache to that platform, and a
+// return path to the viewer. Campaigns execute on a virtual clock
+// (internal/sim), so the paper's 160 MB-per-timestep runs over OC-12 testbeds
+// regenerate in milliseconds of real time while preserving every timing
+// relationship the paper's NLV plots show.
+type Campaign struct {
+	// Name labels the campaign in logs and tables.
+	Name string
+	// Platform is the back-end compute platform (CPlant, Onyx2, E4500...).
+	Platform platform.Platform
+	// PEs is the number of back-end processing elements.
+	PEs int
+	// Mode selects serial or overlapped loading and rendering.
+	Mode backend.Mode
+	// Timesteps is the number of data frames processed.
+	Timesteps int
+	// FrameBytes is the raw data volume of one timestep across all PEs
+	// (160 MB for the paper's combustion dataset).
+	FrameBytes int64
+	// VolumeDims are the source grid dimensions, used to derive per-PE
+	// render cost and texture sizes; when zero they are derived from
+	// FrameBytes assuming a cubical float32 grid.
+	VolumeDims [3]int
+	// DataPath is the network path from the data source (DPSS) to the back
+	// end.
+	DataPath netsim.Path
+	// DPSS, when HasDPSSCap is true, caps the data source's aggregate
+	// delivery rate (disk- or server-bound instead of WAN-bound).
+	DPSS       dpss.ThroughputModel
+	HasDPSSCap bool
+	// ViewerPath is the network path from the back end to the viewer.
+	ViewerPath netsim.Path
+	// TexBytesPerPE overrides the per-PE heavy payload size (0 = derive from
+	// VolumeDims).
+	TexBytesPerPE int64
+	// Efficiency scales the data path bandwidth actually achieved by the
+	// implementation (1.0 = the streamlined post-SC99 code, lower values
+	// reproduce the early SC99 measurements).
+	Efficiency float64
+	// SlowStart adds a TCP window-opening penalty to the first timestep's
+	// load, visible in the paper's ESnet profiles.
+	SlowStart bool
+	// Seed makes the overlapped-load jitter deterministic.
+	Seed int64
+}
+
+// PEFrame records the virtual-time phase boundaries of one PE processing one
+// timestep.
+type PEFrame struct {
+	Frame, PE int
+	// LoadStart/LoadEnd bracket the data transfer from the source into the
+	// PE; RenderStart/RenderEnd the software volume rendering;
+	// SendStart/SendEnd the texture transmission to the viewer.
+	LoadStart, LoadEnd     time.Duration
+	RenderStart, RenderEnd time.Duration
+	SendStart, SendEnd     time.Duration
+	// BytesLoaded and BytesSent are the per-phase traffic volumes.
+	BytesLoaded, BytesSent int64
+}
+
+// Load returns the load phase duration.
+func (f PEFrame) Load() time.Duration { return f.LoadEnd - f.LoadStart }
+
+// Render returns the render phase duration.
+func (f PEFrame) Render() time.Duration { return f.RenderEnd - f.RenderStart }
+
+// Send returns the send phase duration.
+func (f PEFrame) Send() time.Duration { return f.SendEnd - f.SendStart }
+
+// CampaignResult is the outcome of one simulated campaign.
+type CampaignResult struct {
+	Campaign Campaign
+	// Total is the virtual end-to-end duration of the run.
+	Total time.Duration
+	// PerPEFrame holds one record per (PE, timestep).
+	PerPEFrame []PEFrame
+	// Events is the NetLogger stream with virtual timestamps, using the
+	// paper's Table 1 and Table 2 tag vocabulary.
+	Events []netlogger.Event
+}
+
+// MeanLoad returns the mean per-PE load time.
+func (r *CampaignResult) MeanLoad() time.Duration { return r.meanPhase(PEFrame.Load) }
+
+// MeanRender returns the mean per-PE render time.
+func (r *CampaignResult) MeanRender() time.Duration { return r.meanPhase(PEFrame.Render) }
+
+// MeanSend returns the mean per-PE send time.
+func (r *CampaignResult) MeanSend() time.Duration { return r.meanPhase(PEFrame.Send) }
+
+func (r *CampaignResult) meanPhase(get func(PEFrame) time.Duration) time.Duration {
+	if len(r.PerPEFrame) == 0 {
+		return 0
+	}
+	var total time.Duration
+	for _, f := range r.PerPEFrame {
+		total += get(f)
+	}
+	return total / time.Duration(len(r.PerPEFrame))
+}
+
+// FrameLoadSpans returns, per timestep, the span from the first PE starting
+// its load to the last PE finishing it — the quantity the paper reads off the
+// BE_LOAD_START / BE_LOAD_END traces.
+func (r *CampaignResult) FrameLoadSpans() []time.Duration {
+	spans := make([]time.Duration, r.Campaign.Timesteps)
+	starts := make([]time.Duration, r.Campaign.Timesteps)
+	ends := make([]time.Duration, r.Campaign.Timesteps)
+	for i := range starts {
+		starts[i] = -1
+	}
+	for _, f := range r.PerPEFrame {
+		if starts[f.Frame] < 0 || f.LoadStart < starts[f.Frame] {
+			starts[f.Frame] = f.LoadStart
+		}
+		if f.LoadEnd > ends[f.Frame] {
+			ends[f.Frame] = f.LoadEnd
+		}
+	}
+	for i := range spans {
+		spans[i] = ends[i] - starts[i]
+	}
+	return spans
+}
+
+// LoadMbps returns the aggregate bandwidth achieved while loading, averaged
+// over timesteps: FrameBytes divided by the mean frame load span.
+func (r *CampaignResult) LoadMbps() float64 {
+	spans := r.FrameLoadSpans()
+	if len(spans) == 0 {
+		return 0
+	}
+	var total time.Duration
+	for _, s := range spans {
+		total += s
+	}
+	mean := total / time.Duration(len(spans))
+	return stats.Mbps(r.Campaign.FrameBytes, mean)
+}
+
+// Utilization returns achieved load bandwidth over the data path's raw
+// capacity (the paper's "70% utilization of the theoretical bandwidth").
+func (r *CampaignResult) Utilization() float64 {
+	return stats.Utilization(r.LoadMbps()*1e6, r.Campaign.DataPath.Bandwidth())
+}
+
+// LoadCV returns the coefficient of variation of per-PE load times — the
+// "variability in load times from time step to time step" of Figure 15.
+func (r *CampaignResult) LoadCV() float64 {
+	xs := make([]float64, 0, len(r.PerPEFrame))
+	for _, f := range r.PerPEFrame {
+		xs = append(xs, f.Load().Seconds())
+	}
+	return stats.CoefficientOfVariation(xs)
+}
+
+// TimePerTimestep returns the steady-state virtual time between completed
+// timesteps.
+func (r *CampaignResult) TimePerTimestep() time.Duration {
+	if r.Campaign.Timesteps == 0 {
+		return 0
+	}
+	return r.Total / time.Duration(r.Campaign.Timesteps)
+}
+
+// withDefaults fills derived campaign fields.
+func (c Campaign) withDefaults() (Campaign, error) {
+	if c.PEs <= 0 {
+		return c, fmt.Errorf("core: campaign %q needs a positive PE count", c.Name)
+	}
+	if c.Timesteps <= 0 {
+		return c, fmt.Errorf("core: campaign %q needs a positive timestep count", c.Name)
+	}
+	if c.FrameBytes <= 0 {
+		return c, fmt.Errorf("core: campaign %q needs a positive frame size", c.Name)
+	}
+	if c.Efficiency <= 0 || c.Efficiency > 1 {
+		c.Efficiency = 1
+	}
+	if c.VolumeDims == [3]int{} {
+		// Assume a cubical float32 grid of the right total size.
+		n := int(math.Cbrt(float64(c.FrameBytes / 4)))
+		if n < 1 {
+			n = 1
+		}
+		c.VolumeDims = [3]int{n, n, n}
+	}
+	if c.TexBytesPerPE <= 0 {
+		// Z-slab decomposition: each PE's texture is one X-Y cross section.
+		c.TexBytesPerPE = int64(c.VolumeDims[0]) * int64(c.VolumeDims[1]) * 4
+	}
+	if len(c.ViewerPath.Hops) == 0 {
+		c.ViewerPath = netsim.NewPath("viewer-lan", netsim.GigE)
+	}
+	return c, nil
+}
+
+// voxelsPerPE returns the per-PE render workload in voxels.
+func (c Campaign) voxelsPerPE() int64 {
+	total := int64(c.VolumeDims[0]) * int64(c.VolumeDims[1]) * int64(c.VolumeDims[2])
+	return total / int64(c.PEs)
+}
+
+// effectiveDataLink folds implementation efficiency and the optional
+// DPSS-side cap into a single bottleneck link shared by all PEs.
+func (c Campaign) effectiveDataLink() netsim.Link {
+	l := c.DataPath.AsLink()
+	l.Bandwidth *= c.Efficiency
+	if c.HasDPSSCap {
+		limit := c.DPSS.AggregateMbps() * 1e6
+		if limit > 0 && limit < l.Bandwidth {
+			l.Bandwidth = limit
+			l.Name = l.Name + " (DPSS-bound)"
+		}
+	}
+	return l
+}
+
+// jitter returns a deterministic pseudo-random value in [-1, 1] for the given
+// (PE, frame) pair, seeded by the campaign seed.
+func (c Campaign) jitter(pe, frame int) float64 {
+	x := uint64(c.Seed)*2654435761 + uint64(pe)*40503 + uint64(frame)*9176 + 12345
+	// xorshift64*
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	x *= 2685821657736338717
+	return float64(x%2000001)/1000000 - 1
+}
+
+// Run executes the campaign on a virtual clock and returns its result.
+func (c Campaign) Run() (*CampaignResult, error) {
+	c, err := c.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+
+	k := sim.NewKernel()
+	dataLink := netsim.NewSharedLink(k, c.effectiveDataLink())
+	viewerLink := netsim.NewSharedLink(k, c.ViewerPath.AsLink())
+	barrier := sim.NewBarrier(k, c.PEs)
+
+	beLog := netlogger.New(c.Platform.Name, "backend")
+	vLog := netlogger.New("viewer-desktop", "viewer")
+	logAt := func(l *netlogger.Logger, at time.Duration, tag string, frame, pe int, bytes int64) {
+		fields := []netlogger.Field{
+			netlogger.Int(netlogger.FieldFrame, frame),
+			netlogger.Int(netlogger.FieldPE, pe),
+		}
+		if bytes > 0 {
+			fields = append(fields, netlogger.Int64(netlogger.FieldBytes, bytes))
+		}
+		l.LogAt(campaignOrigin.Add(at), tag, fields...)
+	}
+
+	loadBytes := c.FrameBytes / int64(c.PEs)
+	baseRender := c.Platform.RenderTime(c.voxelsPerPE())
+	overlappedAndOversubscribed := c.Mode == backend.Overlapped && c.Platform.Oversubscribed()
+	slowStartPenalty := netsim.SlowStartModel{Path: c.DataPath}.FirstTransferPenalty()
+
+	records := make([]PEFrame, 0, c.PEs*c.Timesteps)
+	recordCh := make(chan PEFrame, c.PEs*c.Timesteps)
+
+	// loadFrame performs one PE's load of one timestep in virtual time and
+	// returns the phase boundaries. Called from the PE proc (serial mode) or
+	// its reader proc (overlapped mode).
+	loadFrame := func(p *sim.Proc, pe, frame int) (start, end time.Duration) {
+		start = p.Now()
+		logAt(beLog, start, netlogger.BELoadStart, frame, pe, loadBytes)
+		if c.SlowStart && frame == 0 {
+			p.Sleep(slowStartPenalty)
+		}
+		base := dataLink.Transfer(p, loadBytes)
+		if overlappedAndOversubscribed {
+			// Loader and renderer share the node's single CPU: the load is
+			// inflated and becomes unstable (Figure 15).
+			penalty := c.Platform.EffectiveOverlapPenalty() - 1
+			jitterFrac := c.Platform.OverlapLoadJitter * c.jitter(pe, frame)
+			extra := time.Duration((penalty + jitterFrac) * float64(base))
+			if extra > 0 {
+				p.Sleep(extra)
+			}
+		}
+		end = p.Now()
+		logAt(beLog, end, netlogger.BELoadEnd, frame, pe, loadBytes)
+		return start, end
+	}
+
+	// renderAndSend performs one PE's render and send phases in virtual time.
+	renderAndSend := func(p *sim.Proc, pe, frame int, rec *PEFrame) {
+		rec.RenderStart = p.Now()
+		logAt(beLog, rec.RenderStart, netlogger.BERenderStart, frame, pe, 0)
+		renderDur := baseRender
+		if overlappedAndOversubscribed {
+			// NIC interrupt servicing for the concurrent load steals CPU
+			// from the renderer.
+			renderDur += c.Platform.InterruptLoad(loadBytes)
+		}
+		p.Sleep(renderDur)
+		rec.RenderEnd = p.Now()
+		logAt(beLog, rec.RenderEnd, netlogger.BERenderEnd, frame, pe, 0)
+
+		rec.SendStart = p.Now()
+		logAt(beLog, rec.SendStart, netlogger.BELightSend, frame, pe, 256)
+		logAt(beLog, rec.SendStart, netlogger.BEHeavySend, frame, pe, c.TexBytesPerPE)
+		logAt(vLog, rec.SendStart+c.ViewerPath.Latency(), netlogger.VFrameStart, frame, pe, 0)
+		logAt(vLog, rec.SendStart+c.ViewerPath.Latency(), netlogger.VLightPayloadStart, frame, pe, 256)
+		logAt(vLog, rec.SendStart+c.ViewerPath.Latency(), netlogger.VLightPayloadEnd, frame, pe, 256)
+		logAt(vLog, rec.SendStart+c.ViewerPath.Latency(), netlogger.VHeavyPayloadStart, frame, pe, c.TexBytesPerPE)
+		viewerLink.Transfer(p, c.TexBytesPerPE)
+		rec.SendEnd = p.Now()
+		logAt(beLog, rec.SendEnd, netlogger.BEHeavyEnd, frame, pe, c.TexBytesPerPE)
+		arrival := rec.SendEnd + c.ViewerPath.Latency()
+		logAt(vLog, arrival, netlogger.VHeavyPayloadEnd, frame, pe, c.TexBytesPerPE)
+		logAt(vLog, arrival, netlogger.VFrameEnd, frame, pe, 0)
+		rec.BytesLoaded = loadBytes
+		rec.BytesSent = c.TexBytesPerPE + 256
+	}
+
+	for pe := 0; pe < c.PEs; pe++ {
+		pe := pe
+		switch c.Mode {
+		case backend.Overlapped:
+			// Reader proc + render proc per PE, handshaking through events
+			// (the paper's semaphore pair, Appendix B).
+			reqEvs := make([]*sim.Event, c.Timesteps)
+			doneEvs := make([]*sim.Event, c.Timesteps)
+			loads := make([][2]time.Duration, c.Timesteps)
+			for t := range reqEvs {
+				reqEvs[t] = sim.NewEvent(k)
+				doneEvs[t] = sim.NewEvent(k)
+			}
+			k.Spawn(fmt.Sprintf("reader-%d", pe), func(p *sim.Proc) {
+				for t := 0; t < c.Timesteps; t++ {
+					p.Wait(reqEvs[t])
+					s, e := loadFrame(p, pe, t)
+					loads[t] = [2]time.Duration{s, e}
+					doneEvs[t].Signal()
+				}
+			})
+			k.Spawn(fmt.Sprintf("render-%d", pe), func(p *sim.Proc) {
+				reqEvs[0].Signal()
+				for t := 0; t < c.Timesteps; t++ {
+					logAt(beLog, p.Now(), netlogger.BEFrameStart, t, pe, 0)
+					p.Wait(doneEvs[t])
+					if t+1 < c.Timesteps {
+						reqEvs[t+1].Signal()
+					}
+					rec := PEFrame{Frame: t, PE: pe, LoadStart: loads[t][0], LoadEnd: loads[t][1]}
+					renderAndSend(p, pe, t, &rec)
+					logAt(beLog, p.Now(), netlogger.BEFrameEnd, t, pe, 0)
+					recordCh <- rec
+					barrier.Await(p)
+				}
+			})
+		default:
+			k.Spawn(fmt.Sprintf("pe-%d", pe), func(p *sim.Proc) {
+				for t := 0; t < c.Timesteps; t++ {
+					logAt(beLog, p.Now(), netlogger.BEFrameStart, t, pe, 0)
+					rec := PEFrame{Frame: t, PE: pe}
+					rec.LoadStart, rec.LoadEnd = loadFrame(p, pe, t)
+					renderAndSend(p, pe, t, &rec)
+					logAt(beLog, p.Now(), netlogger.BEFrameEnd, t, pe, 0)
+					recordCh <- rec
+					barrier.Await(p)
+				}
+			})
+		}
+	}
+
+	total := k.Run()
+	close(recordCh)
+	for rec := range recordCh {
+		records = append(records, rec)
+	}
+
+	collector := netlogger.NewCollector()
+	collector.AddLogger(beLog)
+	collector.AddLogger(vLog)
+
+	return &CampaignResult{
+		Campaign:   c,
+		Total:      total,
+		PerPEFrame: records,
+		Events:     collector.Events(),
+	}, nil
+}

@@ -1,0 +1,438 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"visapult/internal/backend"
+	"visapult/internal/dpss"
+	"visapult/internal/netlogger"
+	"visapult/internal/netsim"
+	"visapult/internal/platform"
+)
+
+func TestCampaignValidation(t *testing.T) {
+	bad := []Campaign{
+		{},                              // everything missing
+		{PEs: 4},                        // no timesteps
+		{PEs: 4, Timesteps: 2},          // no frame size
+		{Timesteps: 2, FrameBytes: 100}, // no PEs
+	}
+	for i, c := range bad {
+		if _, err := c.Run(); err == nil {
+			t.Errorf("campaign %d: expected validation error", i)
+		}
+	}
+}
+
+func TestCampaignDeterministic(t *testing.T) {
+	c := CPlantNTONCampaign(8, backend.Overlapped)
+	a, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Total != b.Total {
+		t.Fatalf("same campaign produced different totals: %v vs %v", a.Total, b.Total)
+	}
+	if a.MeanLoad() != b.MeanLoad() || a.LoadCV() != b.LoadCV() {
+		t.Fatal("same campaign produced different load statistics")
+	}
+}
+
+func TestCampaignEventStreamIsWellFormed(t *testing.T) {
+	res, err := FirstLightCampaign().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Events) == 0 {
+		t.Fatal("campaign produced no NetLogger events")
+	}
+	a := netlogger.Analyze(res.Events)
+	loads := a.Phases(netlogger.BELoadStart, netlogger.BELoadEnd)
+	want := res.Campaign.PEs * res.Campaign.Timesteps
+	if len(loads) != want {
+		t.Fatalf("got %d load phases, want %d", len(loads), want)
+	}
+	for _, p := range loads {
+		if p.Duration() <= 0 {
+			t.Fatal("non-positive load phase in event stream")
+		}
+	}
+	// Viewer-side events must also be present for NLV-style lifelines.
+	heavies := a.Phases(netlogger.VHeavyPayloadStart, netlogger.VHeavyPayloadEnd)
+	if len(heavies) != want {
+		t.Fatalf("got %d viewer heavy-payload phases, want %d", len(heavies), want)
+	}
+}
+
+func TestFirstLightMatchesFigure10(t *testing.T) {
+	r, err := RunE3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LoadSeconds < 2.4 || r.LoadSeconds > 3.6 {
+		t.Errorf("load time %.2f s, paper reports ~3 s", r.LoadSeconds)
+	}
+	if r.LoadMbps < 380 || r.LoadMbps > 480 {
+		t.Errorf("achieved %.0f Mbps, paper reports ~433 Mbps", r.LoadMbps)
+	}
+	if r.Utilization < 0.6 || r.Utilization > 0.8 {
+		t.Errorf("utilization %.2f, paper reports ~0.70", r.Utilization)
+	}
+	if r.RenderSeconds < 7 || r.RenderSeconds > 10 {
+		t.Errorf("render time %.1f s, paper reports 8-9 s", r.RenderSeconds)
+	}
+}
+
+func TestSC99MatchesReportedRates(t *testing.T) {
+	r, err := RunE2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CPlantMbps < 210 || r.CPlantMbps > 290 {
+		t.Errorf("CPlant path %.0f Mbps, paper reports ~250 Mbps", r.CPlantMbps)
+	}
+	if r.ShowFloorMbps < 120 || r.ShowFloorMbps > 180 {
+		t.Errorf("show-floor path %.0f Mbps, paper reports ~150 Mbps", r.ShowFloorMbps)
+	}
+	if r.CPlantMbps <= r.ShowFloorMbps {
+		t.Error("NTON path should outperform the shared SciNet path")
+	}
+}
+
+func TestE4500SerialVsOverlappedMatchesFigures12And13(t *testing.T) {
+	r, err := RunE4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, rr := r.MeanLoad.Seconds(), r.MeanRender.Seconds()
+	if l < 12 || l > 18 {
+		t.Errorf("L = %.1f s, paper reports ~15 s", l)
+	}
+	if rr < 10 || rr > 14 {
+		t.Errorf("R = %.1f s, paper reports ~12 s", rr)
+	}
+	st, ot := r.SerialTotal.Seconds(), r.OverlappedTotal.Seconds()
+	if st < 240 || st > 300 {
+		t.Errorf("serial total %.0f s, paper reports ~265 s", st)
+	}
+	if ot < 145 || ot > 195 {
+		t.Errorf("overlapped total %.0f s, paper reports ~169 s", ot)
+	}
+	if ot >= st {
+		t.Error("overlapped must be faster than serial")
+	}
+	// The measured speedup should be in the ballpark of the analytic model.
+	if diff := r.MeasuredSpeedup - r.PredictedSpeedup; diff > 0.25 || diff < -0.25 {
+		t.Errorf("measured speedup %.2f deviates from model %.2f", r.MeasuredSpeedup, r.PredictedSpeedup)
+	}
+}
+
+func TestCPlantScalingMatchesFigures14And15(t *testing.T) {
+	r, err := RunE5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s4, s8 := r.Row(4, backend.Serial), r.Row(8, backend.Serial)
+	o8 := r.Row(8, backend.Overlapped)
+	if s4 == nil || s8 == nil || o8 == nil {
+		t.Fatal("missing rows")
+	}
+	// Load time is network-bound: flat between 4 and 8 nodes (within 15%).
+	l4, l8 := s4.MeanLoad.Seconds(), s8.MeanLoad.Seconds()
+	if l8 < 0.85*l4 || l8 > 1.15*l4 {
+		t.Errorf("per-frame load changed from %.2f s (4 nodes) to %.2f s (8 nodes); paper says it stays flat", l4, l8)
+	}
+	// Rendering halves from 4 to 8 nodes.
+	r4, r8 := s4.MeanRender.Seconds(), s8.MeanRender.Seconds()
+	if r8 < 0.4*r4 || r8 > 0.6*r4 {
+		t.Errorf("render went from %.2f s to %.2f s; paper says it halves", r4, r8)
+	}
+	// Overlapped loads on single-CPU nodes are longer and more variable.
+	if o8.MeanLoad <= s8.MeanLoad {
+		t.Error("overlapped load should be inflated by CPU contention on CPlant")
+	}
+	if o8.LoadCV <= s8.LoadCV {
+		t.Error("overlapped load variability should exceed serial variability on CPlant")
+	}
+	// Overlapping still wins overall.
+	if o8.Total >= s8.Total {
+		t.Error("overlapped total should still beat serial despite contention")
+	}
+}
+
+func TestOnyx2ESnetMatchesFigures16And17(t *testing.T) {
+	r, err := RunE6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := r.SerialLoad.Seconds(); s < 8.5 || s > 11.5 {
+		t.Errorf("serial load %.1f s, paper reports ~10 s", s)
+	}
+	if r.SerialMbps < 110 || r.SerialMbps > 140 {
+		t.Errorf("achieved %.0f Mbps, paper reports ~128 Mbps", r.SerialMbps)
+	}
+	// Load-dominated: render is shorter than load.
+	if r.SerialRender >= r.SerialLoad {
+		t.Error("expected a load-dominated profile on ESnet")
+	}
+	// SMP: overlapped load close to serial (no contention), small variability.
+	if r.OverlappedLoad.Seconds() > 1.15*r.SerialLoad.Seconds() {
+		t.Errorf("overlapped load %.1f s is too inflated for an SMP", r.OverlappedLoad.Seconds())
+	}
+	if r.OverlappedCV > 0.1 {
+		t.Errorf("overlapped load CV %.2f too high for an SMP", r.OverlappedCV)
+	}
+	if r.OverlappedTotal >= r.SerialTotal {
+		t.Error("overlapped must beat serial on the SMP")
+	}
+}
+
+func TestOverlapModelValidation(t *testing.T) {
+	r, err := RunE7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, row := range r.Rows {
+		// The simulated pipeline should track the analytic model within 10%.
+		ratio := row.Simulated / row.Analytic
+		if ratio < 0.9 || ratio > 1.1 {
+			t.Errorf("N=%d L=%.1f R=%.1f: simulated %.3f vs analytic %.3f",
+				row.Timesteps, row.LoadSeconds, row.RenderSeconds, row.Simulated, row.Analytic)
+		}
+		// Speedup never exceeds 2x and approaches the ideal bound when L=R.
+		if row.Analytic > 2 {
+			t.Errorf("analytic speedup %.2f exceeds the 2x bound", row.Analytic)
+		}
+		if row.LoadSeconds == row.RenderSeconds {
+			if diff := row.Analytic - row.Ideal; diff > 1e-9 || diff < -1e-9 {
+				t.Errorf("L=R speedup %.4f != ideal %.4f", row.Analytic, row.Ideal)
+			}
+		}
+	}
+}
+
+func TestIBRAVRArtifactsGrowOffAxisAndSwitchingBoundsThem(t *testing.T) {
+	if testing.Short() {
+		t.Skip("rendering sweep")
+	}
+	r, err := RunE8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := r.Points
+	if len(pts) < 5 {
+		t.Fatal("expected several sweep points")
+	}
+	if pts[0].AngleDegrees != 0 {
+		t.Fatal("sweep must start at 0 degrees")
+	}
+	// Error grows as the view rotates off axis (compare 0 vs 45 degrees).
+	var at0, at45, at75 float64
+	var sw75 float64
+	for _, p := range pts {
+		switch p.AngleDegrees {
+		case 0:
+			at0 = p.RMSE
+		case 45:
+			at45 = p.RMSE
+		case 75:
+			at75 = p.RMSE
+			sw75 = p.WithSwitchingRMSE
+		}
+	}
+	if at45 <= at0 {
+		t.Errorf("error at 45 degrees (%.4f) not larger than on-axis (%.4f)", at45, at0)
+	}
+	// Beyond 45 degrees the axis switch uses the X decomposition, so the
+	// effective error is bounded by the 45-degree worst case.
+	if sw75 >= at75 {
+		t.Errorf("axis switching did not reduce the 75-degree error (%.4f vs %.4f)", sw75, at75)
+	}
+	if r.ConeDegrees < 5 || r.ConeDegrees > 40 {
+		t.Errorf("artifact-free cone %.0f degrees; paper reports ~16", r.ConeDegrees)
+	}
+}
+
+func TestTerascaleProjectionsMatchSection5(t *testing.T) {
+	r := RunE9()
+	if min := 8 * time.Minute; r.NTONTransfer < min || r.NTONTransfer > 11*time.Minute {
+		t.Errorf("NTON dataset transfer %v, paper reports ~8 minutes", r.NTONTransfer)
+	}
+	if r.ESnetTransfer < 40*time.Minute || r.ESnetTransfer > 60*time.Minute {
+		t.Errorf("ESnet dataset transfer %v, paper reports ~44 minutes", r.ESnetTransfer)
+	}
+	if r.NTONPerStep < 2*time.Second || r.NTONPerStep > 4*time.Second {
+		t.Errorf("NTON per-step %v, paper reports ~3 s", r.NTONPerStep)
+	}
+	if r.ESnetPerStep < 9*time.Second || r.ESnetPerStep > 15*time.Second {
+		t.Errorf("ESnet per-step %v, paper reports ~10 s", r.ESnetPerStep)
+	}
+	// Five timesteps per second needs roughly an OC-192 (~15x the OC-12).
+	if r.MultipleOfOC12 < 9 || r.MultipleOfOC12 > 16 {
+		t.Errorf("required bandwidth is %.1fx OC-12, paper reports ~15x", r.MultipleOfOC12)
+	}
+	if r.OC192SufficientBy < 1 {
+		t.Error("an OC-192 should satisfy the 5 steps/s target")
+	}
+}
+
+func TestContentionAblation(t *testing.T) {
+	r, err := RunE11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byLabel := map[string]E11Row{}
+	for _, row := range r.Rows {
+		byLabel[row.Label] = row
+	}
+	std := byLabel["CPlant (1 CPU/node, 1500 B MTU)"]
+	jumbo := byLabel["CPlant (1 CPU/node, jumbo frames)"]
+	smp := byLabel["Onyx2 SMP (shared NIC)"]
+	if std.Label == "" || jumbo.Label == "" || smp.Label == "" {
+		t.Fatal("missing ablation rows")
+	}
+	if jumbo.MeanLoad >= std.MeanLoad {
+		t.Error("jumbo frames should reduce the overlapped load inflation")
+	}
+	if smp.LoadCV >= std.LoadCV {
+		t.Error("the SMP should show less load variability than the single-CPU cluster")
+	}
+	if smp.SpeedupVsSerial <= 1 || std.SpeedupVsSerial <= 1 {
+		t.Error("overlap should pay off on every platform")
+	}
+}
+
+func TestDecompositionComparison(t *testing.T) {
+	r, err := RunE12()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("expected 3 strategies, got %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.Regions != 8 {
+			t.Errorf("%s: %d regions, want 8", row.Strategy, row.Regions)
+		}
+		// LoadImbalance is max-over-mean: 1.0 means perfectly balanced.
+		if row.Imbalance > 1.05 {
+			t.Errorf("%s: voxel imbalance %.3f too high for the paper grid", row.Strategy, row.Imbalance)
+		}
+		if !row.OrderedCompose {
+			t.Errorf("%s: object-order decompositions need ordered compositing", row.Strategy)
+		}
+	}
+}
+
+func TestCampaignDPSSCapLimitsThroughput(t *testing.T) {
+	// A DPSS slower than the WAN becomes the bottleneck.
+	c := FirstLightCampaign()
+	c.HasDPSSCap = true
+	c.DPSS = dpssSlowModel()
+	res, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	unbounded, err := FirstLightCampaign().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LoadMbps() >= unbounded.LoadMbps() {
+		t.Errorf("DPSS cap did not lower throughput: %.0f vs %.0f Mbps", res.LoadMbps(), unbounded.LoadMbps())
+	}
+}
+
+func TestCampaignSlowStartAffectsFirstFrameOnly(t *testing.T) {
+	c := ANLESnetCampaign(backend.Serial)
+	res, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans := res.FrameLoadSpans()
+	if len(spans) < 3 {
+		t.Fatal("need at least 3 frames")
+	}
+	if spans[0] <= spans[1] {
+		t.Error("first frame should carry the TCP slow-start penalty")
+	}
+	// Steady-state frames are alike.
+	diff := spans[1] - spans[2]
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > spans[1]/5 {
+		t.Errorf("steady-state frames differ too much: %v vs %v", spans[1], spans[2])
+	}
+}
+
+func TestExperimentsRegistryRunsEverything(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment")
+	}
+	for _, e := range Experiments() {
+		tbl, err := e.Run()
+		if err != nil {
+			t.Errorf("%s: %v", e.ID, err)
+			continue
+		}
+		out := tbl.String()
+		if !strings.Contains(out, "==") || len(tbl.Rows) == 0 {
+			t.Errorf("%s: empty or malformed table:\n%s", e.ID, out)
+		}
+	}
+}
+
+func TestPaperDatasetTransferTimes(t *testing.T) {
+	nton, esnet := PaperDatasetTransferTimes()
+	if nton >= esnet {
+		t.Error("NTON must move the dataset faster than ESnet")
+	}
+	if nton < 7*time.Minute || nton > 11*time.Minute {
+		t.Errorf("NTON transfer %v out of the paper's ballpark", nton)
+	}
+}
+
+// dpssSlowModel returns a deliberately underprovisioned DPSS (one server, two
+// slow disks) for the bottleneck-cap test.
+func dpssSlowModel() dpss.ThroughputModel {
+	m := dpss.PaperWANModel()
+	m.Servers = 1
+	m.DisksPerServer = 2
+	m.DiskMBps = 5
+	return m
+}
+
+func TestCampaignCustomPlatform(t *testing.T) {
+	// A platform with zero render cost turns the campaign into a pure
+	// transfer measurement matching the analytic link model.
+	plat := platform.Platform{
+		Name: "zero-render", Kind: platform.SMP, Nodes: 1, CPUsPerNode: 4,
+		RenderSecPerMVoxel: 0, NIC: netsim.GigE,
+	}
+	link := netsim.Link{Name: "test", Bandwidth: 100e6, MTU: 1500}
+	c := Campaign{
+		Name: "pure-transfer", Platform: plat, PEs: 4, Mode: backend.Serial, Timesteps: 3,
+		FrameBytes: 100e6 / 8, // exactly one second per frame at 100 Mbps
+		VolumeDims: [3]int{64, 64, 64},
+		DataPath:   netsim.NewPath("test", link),
+	}
+	res, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans := res.FrameLoadSpans()
+	for i, s := range spans {
+		if s < 950*time.Millisecond || s > 1100*time.Millisecond {
+			t.Errorf("frame %d load span %v, want ~1 s", i, s)
+		}
+	}
+}

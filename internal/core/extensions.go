@@ -1,0 +1,236 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"visapult/internal/netsim"
+	"visapult/internal/sim"
+	"visapult/internal/stats"
+)
+
+// This file implements studies of the paper's section 5 proposals — the
+// things the authors say the system needs next rather than things it already
+// had. They are indexed as X-experiments (X1, X2, ...) to keep them distinct
+// from the E1-E12 reproduction index.
+
+// ---------------------------------------------------------------------------
+// X1: Quality of Service / bandwidth reservation.
+//
+// Section 5: "In our testing we were able to completely saturate the WAN link
+// in each network configuration. QoS is needed to insure that this
+// application does not adversely affect other bandwidth-sensitive
+// applications using the link, and to provide some minimum bandwidth
+// guarantees to a Visapult session."
+
+// QoSScenario identifies one sharing configuration of the study.
+type QoSScenario string
+
+// The three scenarios of the QoS study.
+const (
+	// QoSAlone is Visapult with the WAN to itself (the paper's field tests).
+	QoSAlone QoSScenario = "Visapult alone"
+	// QoSShared is Visapult plus background traffic with no reservation:
+	// everything shares the link packet-fairly, flow by flow.
+	QoSShared QoSScenario = "shared link, no QoS"
+	// QoSReserved gives Visapult a hard reservation of part of the link and
+	// leaves the remainder to the background traffic.
+	QoSReserved QoSScenario = "QoS: 70% reserved for Visapult"
+)
+
+// QoSRow is the outcome of one scenario.
+type QoSRow struct {
+	Scenario QoSScenario
+	// VisapultLoad is the mean per-timestep load span.
+	VisapultLoad time.Duration
+	// VisapultMbps is Visapult's achieved aggregate load bandwidth.
+	VisapultMbps float64
+	// BackgroundMbps is the aggregate bandwidth the competing applications
+	// achieved while Visapult ran (zero when there are none).
+	BackgroundMbps float64
+	// LoadCV is the variability of Visapult's per-PE load times; reservations
+	// are what make it predictable on a shared link.
+	LoadCV float64
+}
+
+// X1Result is the QoS study outcome.
+type X1Result struct {
+	Rows []QoSRow
+	// ReservedFraction is the share of the link reserved for Visapult in the
+	// QoSReserved scenario.
+	ReservedFraction float64
+}
+
+// qosStudyConfig fixes the study's workload: the paper's ESnet configuration
+// (the link every other DOE application also wants to use).
+type qosStudyConfig struct {
+	link            netsim.Link
+	pes             int
+	frames          int
+	frameBytes      int64
+	backgroundFlows int
+	reserved        float64
+}
+
+func defaultQoSConfig() qosStudyConfig {
+	return qosStudyConfig{
+		link:            netsim.ESnet,
+		pes:             8,
+		frames:          6,
+		frameBytes:      paperFrameBytes,
+		backgroundFlows: 2,
+		reserved:        0.70,
+	}
+}
+
+// RunX1 runs the QoS study: Visapult alone, Visapult against background
+// traffic with no reservation, and Visapult with a bandwidth reservation.
+func RunX1() (*X1Result, error) {
+	cfg := defaultQoSConfig()
+	res := &X1Result{ReservedFraction: cfg.reserved}
+	for _, scenario := range []QoSScenario{QoSAlone, QoSShared, QoSReserved} {
+		row, err := runQoSScenario(cfg, scenario)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Row returns the row for the given scenario, or nil.
+func (r *X1Result) Row(s QoSScenario) *QoSRow {
+	for i := range r.Rows {
+		if r.Rows[i].Scenario == s {
+			return &r.Rows[i]
+		}
+	}
+	return nil
+}
+
+// runQoSScenario simulates one sharing configuration on the virtual clock.
+func runQoSScenario(cfg qosStudyConfig, scenario QoSScenario) (QoSRow, error) {
+	k := sim.NewKernel()
+
+	// Link partitioning: with a reservation, Visapult and the background
+	// traffic live on disjoint bandwidth partitions; otherwise they share one
+	// link flow-fairly.
+	visLinkSpec := cfg.link
+	bgLinkSpec := cfg.link
+	if scenario == QoSReserved {
+		visLinkSpec.Bandwidth *= cfg.reserved
+		visLinkSpec.Name += " (reserved share)"
+		bgLinkSpec.Bandwidth *= 1 - cfg.reserved
+		bgLinkSpec.Name += " (best-effort share)"
+	}
+	visLink := netsim.NewSharedLink(k, visLinkSpec)
+	bgLink := visLink
+	if scenario == QoSReserved {
+		bgLink = netsim.NewSharedLink(k, bgLinkSpec)
+	}
+
+	// Visapult: one flow per PE, a barrier between timesteps, exactly like
+	// the campaign simulator's load phase.
+	perPE := cfg.frameBytes / int64(cfg.pes)
+	barrier := sim.NewBarrier(k, cfg.pes)
+	type span struct{ start, end time.Duration }
+	loads := make([][]span, cfg.pes)
+	visDone := sim.NewEvent(k)
+	finished := 0
+	for pe := 0; pe < cfg.pes; pe++ {
+		pe := pe
+		loads[pe] = make([]span, cfg.frames)
+		k.Spawn(fmt.Sprintf("vis-pe-%d", pe), func(p *sim.Proc) {
+			for t := 0; t < cfg.frames; t++ {
+				start := p.Now()
+				visLink.Transfer(p, perPE)
+				loads[pe][t] = span{start, p.Now()}
+				barrier.Await(p)
+			}
+			finished++
+			if finished == cfg.pes {
+				visDone.Signal()
+			}
+		})
+	}
+
+	// Background applications: bulk flows that keep sending until Visapult
+	// finishes (checking between chunks). Their achieved bandwidth while
+	// Visapult runs is the "adversely affect other applications" metric.
+	const bgChunk = 4 << 20
+	var bgBytes int64
+	if scenario != QoSAlone {
+		for i := 0; i < cfg.backgroundFlows; i++ {
+			k.Spawn(fmt.Sprintf("background-%d", i), func(p *sim.Proc) {
+				for !visDone.Signaled() {
+					bgLink.Transfer(p, bgChunk)
+					if !visDone.Signaled() {
+						bgBytes += bgChunk
+					}
+				}
+			})
+		}
+	}
+
+	k.Run()
+
+	// Visapult's end time is when its last PE finished its last frame.
+	var visEnd time.Duration
+	var perPELoads []float64
+	frameSpans := make([]span, cfg.frames)
+	for pe := range loads {
+		for t, s := range loads[pe] {
+			if s.end > visEnd {
+				visEnd = s.end
+			}
+			perPELoads = append(perPELoads, (s.end - s.start).Seconds())
+			if frameSpans[t].start == 0 || s.start < frameSpans[t].start {
+				frameSpans[t].start = s.start
+			}
+			if s.end > frameSpans[t].end {
+				frameSpans[t].end = s.end
+			}
+		}
+	}
+	var meanSpan time.Duration
+	for _, fs := range frameSpans {
+		meanSpan += fs.end - fs.start
+	}
+	meanSpan /= time.Duration(cfg.frames)
+
+	row := QoSRow{
+		Scenario:     scenario,
+		VisapultLoad: meanSpan,
+		VisapultMbps: stats.Mbps(cfg.frameBytes, meanSpan),
+		LoadCV:       stats.CoefficientOfVariation(perPELoads),
+	}
+	if scenario != QoSAlone && visEnd > 0 {
+		row.BackgroundMbps = stats.Mbps(bgBytes, visEnd)
+	}
+	return row, nil
+}
+
+// Table renders the QoS study.
+func (r *X1Result) Table() *Table {
+	t := &Table{
+		ID:      "X1",
+		Title:   "QoS / bandwidth reservation on ESnet (section 5 future work)",
+		Columns: []string{"scenario", "Visapult load/frame", "Visapult Mbps", "background Mbps", "load CV"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(string(row.Scenario), fmtSeconds(row.VisapultLoad.Seconds()),
+			fmtMbps(row.VisapultMbps), fmtMbps(row.BackgroundMbps), fmt.Sprintf("%.2f", row.LoadCV))
+	}
+	t.AddNote("without QoS the striped Visapult flows crowd the background traffic out of the link while")
+	t.AddNote("Visapult itself slows unpredictably with whatever else is running; a %.0f%% reservation bounds", r.ReservedFraction*100)
+	t.AddNote("both sides: Visapult keeps a guaranteed rate and the background keeps the remainder.")
+	return t
+}
+
+// Extensions lists the future-work studies, in the same shape as
+// Experiments().
+func Extensions() []Experiment {
+	return []Experiment{
+		{"x1", "QoS / bandwidth reservation", func() (*Table, error) { r, err := RunX1(); return tableOrNil(r, err) }},
+	}
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestQoSStudyShapes(t *testing.T) {
+	r, err := RunX1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	alone := r.Row(QoSAlone)
+	shared := r.Row(QoSShared)
+	reserved := r.Row(QoSReserved)
+	if alone == nil || shared == nil || reserved == nil {
+		t.Fatal("missing scenario rows")
+	}
+
+	// Alone, Visapult saturates the link (the paper's observation).
+	if alone.VisapultMbps < 90 || alone.VisapultMbps > 105 {
+		t.Errorf("alone: %.0f Mbps, expected to saturate the ~100 Mbps link", alone.VisapultMbps)
+	}
+	if alone.BackgroundMbps != 0 {
+		t.Error("alone: no background traffic should be reported")
+	}
+
+	// Without QoS, the many striped Visapult flows crowd out the background
+	// application: it gets far less than a fair half of the link, and
+	// Visapult itself slows relative to running alone.
+	if shared.BackgroundMbps <= 0 {
+		t.Fatal("shared: background traffic should make some progress")
+	}
+	if shared.BackgroundMbps > 0.35*alone.VisapultMbps {
+		t.Errorf("shared: background got %.0f Mbps; the unreserved link should let Visapult crowd it out",
+			shared.BackgroundMbps)
+	}
+	if shared.VisapultLoad <= alone.VisapultLoad {
+		t.Error("shared: Visapult loads should be slower than when it has the link to itself")
+	}
+
+	// With a reservation, the background application is guaranteed the
+	// unreserved share, and Visapult's loads are bounded by its reservation.
+	if reserved.BackgroundMbps <= shared.BackgroundMbps {
+		t.Errorf("reservation should protect the background traffic: %.0f vs %.0f Mbps",
+			reserved.BackgroundMbps, shared.BackgroundMbps)
+	}
+	expectedVis := alone.VisapultMbps * r.ReservedFraction
+	if reserved.VisapultMbps < 0.9*expectedVis || reserved.VisapultMbps > 1.1*expectedVis {
+		t.Errorf("reserved: Visapult got %.0f Mbps, expected about %.0f (its reservation)",
+			reserved.VisapultMbps, expectedVis)
+	}
+
+	// Table renders.
+	out := r.Table().String()
+	if !strings.Contains(out, "X1") || !strings.Contains(out, "reserved") {
+		t.Errorf("table output unexpected:\n%s", out)
+	}
+}
+
+func TestExtensionsRegistry(t *testing.T) {
+	exts := Extensions()
+	if len(exts) == 0 {
+		t.Fatal("no extensions registered")
+	}
+	for _, e := range exts {
+		tbl, err := e.Run()
+		if err != nil {
+			t.Errorf("%s: %v", e.ID, err)
+			continue
+		}
+		if len(tbl.Rows) == 0 {
+			t.Errorf("%s: empty table", e.ID)
+		}
+	}
+}

@@ -1,0 +1,404 @@
+// Package core orchestrates complete Visapult sessions and reproduces the
+// paper's field-test campaigns.
+//
+// It offers two complementary execution paths:
+//
+//   - Session (session.go): a real, concurrent pipeline — data source
+//     (in-memory, synthetic or DPSS), the parallel back end of
+//     internal/backend, the wire protocol of internal/wire (optionally over
+//     real TCP, optionally striped and bandwidth-shaped), and the viewer of
+//     internal/viewer. Everything actually runs; NetLogger events carry real
+//     wall-clock timestamps.
+//
+//   - Campaign (campaign.go): a virtual-clock simulation of the paper's
+//     year-2000 field tests. The WAN testbeds (NTON, ESnet, SciNet), the
+//     terabyte DPSS installations and the CPlant/Onyx2/E4500 platforms are
+//     modelled with internal/netsim, internal/dpss.ThroughputModel and
+//     internal/platform, so the experiments of Figures 10-17 can be
+//     regenerated at the paper's scale (160 MB per timestep) in milliseconds
+//     of real time.
+//
+// experiments.go maps every table and figure of the paper's evaluation onto
+// one of those two paths (experiments E1-E12 of DESIGN.md).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"visapult/internal/backend"
+	"visapult/internal/netlogger"
+	"visapult/internal/netsim"
+	"visapult/internal/render"
+	"visapult/internal/viewer"
+	"visapult/internal/volume"
+	"visapult/internal/wire"
+)
+
+// Transport selects how the back end's payloads reach the viewer in a
+// Session.
+type Transport int
+
+// Session transports.
+const (
+	// TransportLocal delivers payloads with an in-process sink (no sockets).
+	TransportLocal Transport = iota
+	// TransportTCP gives every PE its own TCP connection to the viewer, the
+	// paper's one-connection-per-PE layout.
+	TransportTCP
+	// TransportStriped gives every PE a striped bundle of TCP connections
+	// (section 3.4's "striped sockets").
+	TransportStriped
+)
+
+// String implements fmt.Stringer.
+func (t Transport) String() string {
+	switch t {
+	case TransportTCP:
+		return "tcp"
+	case TransportStriped:
+		return "striped-tcp"
+	default:
+		return "local"
+	}
+}
+
+// SessionConfig describes one end-to-end Visapult run.
+type SessionConfig struct {
+	// PEs is the number of back-end processing elements.
+	PEs int
+	// Timesteps bounds the run; 0 means every timestep of the source.
+	Timesteps int
+	// Mode selects serial or overlapped loading in the back end.
+	Mode backend.Mode
+	// Axis is the initial slab decomposition axis.
+	Axis volume.Axis
+	// Source supplies the raw data (memory, synthetic, or DPSS).
+	Source backend.DataSource
+	// TF is the transfer function; nil selects the combustion default.
+	TF render.TransferFunction
+	// Transport selects local delivery or real sockets.
+	Transport Transport
+	// StripeLanes is the number of sockets per PE for TransportStriped
+	// (default 2).
+	StripeLanes int
+	// ViewerShaper, when non-nil, throttles the back-end-to-viewer writes to
+	// emulate a WAN between them.
+	ViewerShaper *netsim.Shaper
+	// FollowView makes the viewer feed best-axis hints back to the back end
+	// (section 3.3 axis switching).
+	FollowView bool
+	// ViewAngle is the viewer's camera rotation about Y in radians.
+	ViewAngle float64
+	// Instrument enables NetLogger instrumentation on both components.
+	Instrument bool
+	// RenderLoop starts the viewer's decoupled render goroutine for the
+	// duration of the run.
+	RenderLoop bool
+}
+
+// SessionResult reports what a session did.
+type SessionResult struct {
+	Backend backend.RunStats
+	Viewer  viewer.Stats
+	// Events is the merged NetLogger stream (empty unless Instrument).
+	Events []netlogger.Event
+	// Elapsed is the end-to-end wall-clock time of the run.
+	Elapsed time.Duration
+	// FinalImage is the viewer's last composited view (nil if the scene
+	// stayed empty).
+	FinalImage *render.Image
+}
+
+// TrafficRatio returns source-side bytes over viewer-side bytes, the pipeline
+// reduction factor of experiment E10.
+func (r *SessionResult) TrafficRatio() float64 {
+	if r.Backend.BytesOut == 0 {
+		return 0
+	}
+	return float64(r.Backend.BytesIn) / float64(r.Backend.BytesOut)
+}
+
+// RunSession executes a complete Visapult pipeline and blocks until every
+// timestep has been loaded, rendered, transmitted and assembled in the
+// viewer.
+func RunSession(cfg SessionConfig) (*SessionResult, error) {
+	if cfg.Source == nil {
+		return nil, errors.New("core: SessionConfig.Source is required")
+	}
+	if cfg.PEs <= 0 {
+		return nil, fmt.Errorf("core: PEs must be positive, got %d", cfg.PEs)
+	}
+	if cfg.StripeLanes <= 0 {
+		cfg.StripeLanes = 2
+	}
+
+	var beLogger, vLogger *netlogger.Logger
+	if cfg.Instrument {
+		beLogger = netlogger.New("backend-host", "backend")
+		vLogger = netlogger.New("viewer-host", "viewer")
+	}
+
+	// The back end is created after the viewer so the axis-hint hook can
+	// reference it; captured through this pointer.
+	var be *backend.BackEnd
+
+	vcfg := viewer.Config{
+		PEs:       cfg.PEs,
+		Timesteps: cfg.Timesteps,
+		Logger:    vLogger,
+	}
+	if cfg.FollowView && cfg.Transport == TransportLocal {
+		vcfg.AxisHint = func(frame int, axis volume.Axis) {
+			if be != nil {
+				be.SetAxis(axis)
+			}
+		}
+	}
+	vw, err := viewer.New(vcfg)
+	if err != nil {
+		return nil, err
+	}
+	vw.SetViewAngle(cfg.ViewAngle)
+
+	tr, err := buildTransport(cfg, vw, &be)
+	if err != nil {
+		return nil, err
+	}
+	defer tr.closeAll()
+
+	be, err = backend.New(backend.Config{
+		PEs:       cfg.PEs,
+		Timesteps: cfg.Timesteps,
+		Mode:      cfg.Mode,
+		Axis:      cfg.Axis,
+		Source:    cfg.Source,
+		TF:        cfg.TF,
+		Sinks:     tr.sinks,
+		Logger:    beLogger,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	if cfg.RenderLoop {
+		vw.StartRenderLoop(0)
+		defer vw.Stop()
+	}
+
+	start := time.Now()
+	beStats, runErr := be.Run()
+	// Announce the end of every stream, wait for the viewer's service
+	// goroutines to drain, and only then tear the sockets down.
+	finishErr := tr.finish()
+	serveErr := tr.serveWait()
+	closeErr := tr.closeAll()
+	elapsed := time.Since(start)
+	if runErr != nil {
+		return nil, runErr
+	}
+	if serveErr != nil {
+		return nil, serveErr
+	}
+	if finishErr != nil {
+		return nil, finishErr
+	}
+	if closeErr != nil {
+		return nil, closeErr
+	}
+
+	res := &SessionResult{
+		Backend: beStats,
+		Viewer:  vw.Stats(),
+		Elapsed: elapsed,
+	}
+	if img, err := vw.CompositeView(); err == nil {
+		res.FinalImage = img
+	}
+	if cfg.Instrument {
+		collector := netlogger.NewCollector()
+		collector.AddLogger(beLogger)
+		collector.AddLogger(vLogger)
+		res.Events = collector.Events()
+	}
+	return res, nil
+}
+
+// transport bundles the per-PE sinks with the functions that drive the
+// teardown sequence: finish announces end-of-stream, serveWait drains the
+// viewer-side service goroutines, closeAll tears the sockets down.
+type transport struct {
+	sinks     []backend.FrameSink
+	finish    func() error
+	serveWait func() error
+	closeAll  func() error
+}
+
+// buildTransport wires the back end's sinks to the viewer according to the
+// configured transport.
+func buildTransport(cfg SessionConfig, vw *viewer.Viewer, be **backend.BackEnd) (*transport, error) {
+	noop := func() error { return nil }
+
+	switch cfg.Transport {
+	case TransportLocal:
+		sink := viewer.NewLocalSink(vw)
+		return &transport{
+			sinks:     []backend.FrameSink{sink},
+			finish:    noop,
+			serveWait: noop,
+			closeAll:  noop,
+		}, nil
+
+	case TransportTCP, TransportStriped:
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, fmt.Errorf("core: listen: %w", err)
+		}
+		var stripeL *wire.StripeListener
+		if cfg.Transport == TransportStriped {
+			stripeL = wire.NewStripeListener(l, 0)
+		}
+
+		// Viewer side: accept one logical connection per PE and service it.
+		serveErrs := make([]error, cfg.PEs)
+		var serveWG sync.WaitGroup
+		accepted := make(chan *wire.Conn, cfg.PEs)
+		acceptErr := make(chan error, 1)
+		go func() {
+			for i := 0; i < cfg.PEs; i++ {
+				var conn *wire.Conn
+				if stripeL != nil {
+					s, err := stripeL.Accept()
+					if err != nil {
+						acceptErr <- err
+						return
+					}
+					conn = wire.NewConn(s)
+				} else {
+					c, err := l.Accept()
+					if err != nil {
+						acceptErr <- err
+						return
+					}
+					conn = wire.NewConn(c)
+				}
+				accepted <- conn
+			}
+		}()
+
+		// Back-end side: dial one logical connection per PE.
+		conns := make([]*wire.Conn, cfg.PEs)
+		sinks := make([]backend.FrameSink, cfg.PEs)
+		for i := 0; i < cfg.PEs; i++ {
+			var rw *wire.Conn
+			if cfg.Transport == TransportStriped {
+				s, err := wire.DialStriped(l.Addr().String(), cfg.StripeLanes, 0)
+				if err != nil {
+					l.Close()
+					return nil, fmt.Errorf("core: dial striped: %w", err)
+				}
+				rw = wire.NewConn(s)
+			} else {
+				c, err := net.Dial("tcp", l.Addr().String())
+				if err != nil {
+					l.Close()
+					return nil, fmt.Errorf("core: dial: %w", err)
+				}
+				if cfg.ViewerShaper != nil {
+					rw = wire.NewConn(netsim.NewShapedConn(c, cfg.ViewerShaper, 0))
+				} else {
+					rw = wire.NewConn(c)
+				}
+			}
+			conns[i] = rw
+			sinks[i] = rw
+		}
+
+		// Wait for the viewer side to have accepted all connections, then
+		// start the service goroutines.
+		viewerConns := make([]*wire.Conn, cfg.PEs)
+		for i := 0; i < cfg.PEs; i++ {
+			select {
+			case conn := <-accepted:
+				viewerConns[i] = conn
+			case err := <-acceptErr:
+				l.Close()
+				return nil, fmt.Errorf("core: accept: %w", err)
+			case <-time.After(30 * time.Second):
+				l.Close()
+				return nil, errors.New("core: timed out waiting for viewer connections")
+			}
+		}
+		for i, conn := range viewerConns {
+			serveWG.Add(1)
+			go func(i int, conn *wire.Conn) {
+				defer serveWG.Done()
+				serveErrs[i] = vw.ServeConn(conn)
+			}(i, conn)
+		}
+
+		// Axis hints written by the viewer come back on the back-end side of
+		// each connection; forward them to the back end when FollowView is
+		// set, otherwise drain them.
+		var hintWG sync.WaitGroup
+		for _, conn := range conns {
+			hintWG.Add(1)
+			go func(conn *wire.Conn) {
+				defer hintWG.Done()
+				for {
+					m, err := conn.ReadMessage()
+					if err != nil {
+						return
+					}
+					if m.Type != wire.MsgAxisHint || !cfg.FollowView {
+						continue
+					}
+					if hint, err := wire.DecodeAxisHint(m); err == nil && *be != nil {
+						(*be).SetAxis(hint.Axis)
+					}
+				}
+			}(conn)
+		}
+
+		var finishOnce, closeOnce sync.Once
+		finish := func() error {
+			var firstErr error
+			finishOnce.Do(func() {
+				for _, conn := range conns {
+					if err := conn.SendDone(); err != nil && firstErr == nil {
+						firstErr = err
+					}
+				}
+			})
+			return firstErr
+		}
+		closeAll := func() error {
+			var firstErr error
+			closeOnce.Do(func() {
+				for _, conn := range conns {
+					if err := conn.Close(); err != nil && firstErr == nil {
+						firstErr = err
+					}
+				}
+				if stripeL != nil {
+					stripeL.Close()
+				} else {
+					l.Close()
+				}
+				hintWG.Wait()
+			})
+			return firstErr
+		}
+		serveWait := func() error {
+			serveWG.Wait()
+			return errors.Join(serveErrs...)
+		}
+		return &transport{sinks: sinks, finish: finish, serveWait: serveWait, closeAll: closeAll}, nil
+
+	default:
+		return nil, fmt.Errorf("core: unknown transport %d", cfg.Transport)
+	}
+}

@@ -1,0 +1,295 @@
+// Package datagen synthesizes the scientific datasets the paper visualizes.
+//
+// The original field tests used two datasets that are not publicly
+// distributable: a reactive-chemistry combustion simulation from NERSC's
+// Center for Computational Sciences and Engineering (a 640x256x256 grid, 160
+// MB per time step, 265 time steps) and a hydrodynamic cosmology simulation.
+// This package substitutes procedurally-generated fields with the same sizes,
+// layouts and qualitative structure:
+//
+//   - Combustion: an expanding, wrinkled reaction front (a hot sphere whose
+//     surface is perturbed by multi-octave value noise) that advances over
+//     time, so successive timesteps differ smoothly and volume renderings
+//     show a flame-like shell.
+//   - Cosmology: a density field built from a superposition of clustered
+//     Gaussian halos plus a filamentary noise background, evolving by slow
+//     gravitational sharpening over time.
+//
+// Both generators are deterministic given a seed, so experiments are
+// reproducible and data can be regenerated instead of stored.
+package datagen
+
+import (
+	"math"
+
+	"visapult/internal/volume"
+)
+
+// hash3 is a deterministic integer hash of a 3-D lattice point and seed,
+// returning a value in [0, 1).
+func hash3(x, y, z, seed int64) float64 {
+	h := uint64(x)*0x9E3779B185EBCA87 ^ uint64(y)*0xC2B2AE3D27D4EB4F ^ uint64(z)*0x165667B19E3779F9 ^ uint64(seed)*0x27D4EB2F165667C5
+	h ^= h >> 33
+	h *= 0xFF51AFD7ED558CCD
+	h ^= h >> 33
+	h *= 0xC4CEB9FE1A85EC53
+	h ^= h >> 33
+	return float64(h>>11) / float64(1<<53)
+}
+
+// smoothstep is the cubic Hermite interpolant used for value noise.
+func smoothstep(t float64) float64 { return t * t * (3 - 2*t) }
+
+// valueNoise3 returns smooth value noise in [0, 1) at a continuous 3-D point
+// for the given lattice frequency and seed.
+func valueNoise3(x, y, z float64, seed int64) float64 {
+	x0, y0, z0 := math.Floor(x), math.Floor(y), math.Floor(z)
+	fx, fy, fz := smoothstep(x-x0), smoothstep(y-y0), smoothstep(z-z0)
+	ix, iy, iz := int64(x0), int64(y0), int64(z0)
+	lerp := func(a, b, t float64) float64 { return a + t*(b-a) }
+	c000 := hash3(ix, iy, iz, seed)
+	c100 := hash3(ix+1, iy, iz, seed)
+	c010 := hash3(ix, iy+1, iz, seed)
+	c110 := hash3(ix+1, iy+1, iz, seed)
+	c001 := hash3(ix, iy, iz+1, seed)
+	c101 := hash3(ix+1, iy, iz+1, seed)
+	c011 := hash3(ix, iy+1, iz+1, seed)
+	c111 := hash3(ix+1, iy+1, iz+1, seed)
+	return lerp(
+		lerp(lerp(c000, c100, fx), lerp(c010, c110, fx), fy),
+		lerp(lerp(c001, c101, fx), lerp(c011, c111, fx), fy),
+		fz)
+}
+
+// FractalNoise3 sums octaves of value noise ("fractal Brownian motion"),
+// returning a value roughly in [0, 1).
+func FractalNoise3(x, y, z float64, octaves int, seed int64) float64 {
+	if octaves < 1 {
+		octaves = 1
+	}
+	var sum, norm float64
+	amp := 1.0
+	freq := 1.0
+	for o := 0; o < octaves; o++ {
+		sum += amp * valueNoise3(x*freq, y*freq, z*freq, seed+int64(o)*7919)
+		norm += amp
+		amp *= 0.5
+		freq *= 2
+	}
+	return sum / norm
+}
+
+// CombustionConfig parameterizes the synthetic combustion dataset.
+type CombustionConfig struct {
+	NX, NY, NZ int
+	Timesteps  int
+	Seed       int64
+	// FrontSpeed is the fraction of the domain the reaction front advances
+	// per timestep (default 0.5 / Timesteps).
+	FrontSpeed float64
+	// Wrinkle controls how strongly noise perturbs the front (default 0.15).
+	Wrinkle float64
+}
+
+// PaperCombustionConfig returns the full-size configuration of the April 2000
+// "first light" campaign: a 640x256x256 grid (160 MB per step) and 265 steps.
+// Generating a full-size step takes a while; tests use smaller grids.
+func PaperCombustionConfig() CombustionConfig {
+	return CombustionConfig{NX: 640, NY: 256, NZ: 256, Timesteps: 265, Seed: 2000}
+}
+
+// Combustion generates synthetic combustion timesteps.
+type Combustion struct {
+	cfg CombustionConfig
+}
+
+// NewCombustion validates the configuration and returns a generator.
+func NewCombustion(cfg CombustionConfig) *Combustion {
+	if cfg.NX <= 0 {
+		cfg.NX = 64
+	}
+	if cfg.NY <= 0 {
+		cfg.NY = 64
+	}
+	if cfg.NZ <= 0 {
+		cfg.NZ = 64
+	}
+	if cfg.Timesteps <= 0 {
+		cfg.Timesteps = 1
+	}
+	if cfg.FrontSpeed <= 0 {
+		cfg.FrontSpeed = 0.5 / float64(cfg.Timesteps)
+	}
+	if cfg.Wrinkle <= 0 {
+		cfg.Wrinkle = 0.15
+	}
+	return &Combustion{cfg: cfg}
+}
+
+// Config returns the effective (defaulted) configuration.
+func (c *Combustion) Config() CombustionConfig { return c.cfg }
+
+// Timesteps returns the number of timesteps available.
+func (c *Combustion) Timesteps() int { return c.cfg.Timesteps }
+
+// StepBytes returns the encoded size of one timestep.
+func (c *Combustion) StepBytes() int64 {
+	return volume.EncodedSize(c.cfg.NX, c.cfg.NY, c.cfg.NZ)
+}
+
+// Generate produces timestep t (0-based). Values lie in [0, 1]: near 1 inside
+// the burned region, a sharp ridge at the reaction front, and near 0 in the
+// unburned gas.
+func (c *Combustion) Generate(t int) *volume.Volume {
+	cfg := c.cfg
+	v := volume.MustNew(cfg.NX, cfg.NY, cfg.NZ)
+	// Front radius grows with time; expressed in units of the half-diagonal.
+	radius := 0.15 + cfg.FrontSpeed*float64(t)
+	cx, cy, cz := float64(cfg.NX)/2, float64(cfg.NY)/2, float64(cfg.NZ)/2
+	// Scale factor so the radius is relative to the smallest half-dimension.
+	minHalf := math.Min(cx, math.Min(cy, cz))
+	noiseScale := 4.0
+	for z := 0; z < cfg.NZ; z++ {
+		for y := 0; y < cfg.NY; y++ {
+			for x := 0; x < cfg.NX; x++ {
+				dx := (float64(x) - cx) / minHalf
+				dy := (float64(y) - cy) / minHalf
+				dz := (float64(z) - cz) / minHalf
+				r := math.Sqrt(dx*dx + dy*dy + dz*dz)
+				wrinkle := cfg.Wrinkle * (FractalNoise3(
+					float64(x)/float64(cfg.NX)*noiseScale,
+					float64(y)/float64(cfg.NY)*noiseScale,
+					float64(z)/float64(cfg.NZ)*noiseScale,
+					3, cfg.Seed) - 0.5)
+				d := r - (radius + wrinkle)
+				// Sigmoid shell: hot (1) inside, cold (0) outside, with a
+				// bright rim at the front itself.
+				burned := 1 / (1 + math.Exp(20*d))
+				rim := math.Exp(-d * d * 200)
+				val := 0.7*burned + 0.6*rim
+				if val > 1 {
+					val = 1
+				}
+				v.Set(x, y, z, float32(val))
+			}
+		}
+	}
+	return v
+}
+
+// CosmologyConfig parameterizes the synthetic cosmology dataset.
+type CosmologyConfig struct {
+	NX, NY, NZ int
+	Timesteps  int
+	Seed       int64
+	Halos      int // number of density peaks (default 48)
+}
+
+// Cosmology generates a synthetic large-scale-structure density field.
+type Cosmology struct {
+	cfg   CosmologyConfig
+	halos []haloDesc
+}
+
+type haloDesc struct {
+	x, y, z float64 // in [0,1) domain coordinates
+	mass    float64
+	scale   float64
+}
+
+// NewCosmology validates the configuration and returns a generator.
+func NewCosmology(cfg CosmologyConfig) *Cosmology {
+	if cfg.NX <= 0 {
+		cfg.NX = 64
+	}
+	if cfg.NY <= 0 {
+		cfg.NY = 64
+	}
+	if cfg.NZ <= 0 {
+		cfg.NZ = 64
+	}
+	if cfg.Timesteps <= 0 {
+		cfg.Timesteps = 1
+	}
+	if cfg.Halos <= 0 {
+		cfg.Halos = 48
+	}
+	c := &Cosmology{cfg: cfg}
+	for i := 0; i < cfg.Halos; i++ {
+		c.halos = append(c.halos, haloDesc{
+			x:     hash3(int64(i), 1, 0, cfg.Seed),
+			y:     hash3(int64(i), 2, 0, cfg.Seed),
+			z:     hash3(int64(i), 3, 0, cfg.Seed),
+			mass:  0.3 + hash3(int64(i), 4, 0, cfg.Seed),
+			scale: 0.02 + 0.05*hash3(int64(i), 5, 0, cfg.Seed),
+		})
+	}
+	return c
+}
+
+// Config returns the effective configuration.
+func (c *Cosmology) Config() CosmologyConfig { return c.cfg }
+
+// Timesteps returns the number of timesteps available.
+func (c *Cosmology) Timesteps() int { return c.cfg.Timesteps }
+
+// StepBytes returns the encoded size of one timestep.
+func (c *Cosmology) StepBytes() int64 {
+	return volume.EncodedSize(c.cfg.NX, c.cfg.NY, c.cfg.NZ)
+}
+
+// Generate produces density timestep t. Over time structure sharpens:
+// halo widths shrink and peak densities grow, mimicking gravitational
+// collapse.
+func (c *Cosmology) Generate(t int) *volume.Volume {
+	cfg := c.cfg
+	v := volume.MustNew(cfg.NX, cfg.NY, cfg.NZ)
+	evolve := 1.0
+	if cfg.Timesteps > 1 {
+		evolve = float64(t) / float64(cfg.Timesteps-1)
+	}
+	// Gravitational collapse: halos both shrink slightly and grow in mass,
+	// with mass growth dominating so the density contrast of the field rises
+	// monotonically over the run.
+	sharpen := 1 - 0.3*evolve // scale shrink factor
+	boost := 1 + 2*evolve     // mass growth factor
+	for z := 0; z < cfg.NZ; z++ {
+		pz := float64(z) / float64(cfg.NZ)
+		for y := 0; y < cfg.NY; y++ {
+			py := float64(y) / float64(cfg.NY)
+			for x := 0; x < cfg.NX; x++ {
+				px := float64(x) / float64(cfg.NX)
+				density := 0.3 * FractalNoise3(px*6, py*6, pz*6, 4, cfg.Seed+11)
+				for _, h := range c.halos {
+					dx, dy, dz := px-h.x, py-h.y, pz-h.z
+					r2 := dx*dx + dy*dy + dz*dz
+					s := h.scale * sharpen
+					density += h.mass * boost * math.Exp(-r2/(2*s*s))
+				}
+				if density > 4 {
+					density = 4
+				}
+				v.Set(x, y, z, float32(density/4))
+			}
+		}
+	}
+	return v
+}
+
+// Source is the common interface of the synthetic dataset generators,
+// consumed by the DPSS loader and the Visapult back end's synthetic data
+// source.
+type Source interface {
+	// Generate returns the volume for timestep t (0-based).
+	Generate(t int) *volume.Volume
+	// Timesteps returns how many timesteps the dataset has.
+	Timesteps() int
+	// StepBytes returns the encoded size of one timestep.
+	StepBytes() int64
+}
+
+// Compile-time interface checks.
+var (
+	_ Source = (*Combustion)(nil)
+	_ Source = (*Cosmology)(nil)
+)

@@ -1,0 +1,198 @@
+package datagen
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"visapult/internal/volume"
+)
+
+func TestHash3DeterministicAndDistributed(t *testing.T) {
+	a := hash3(1, 2, 3, 42)
+	b := hash3(1, 2, 3, 42)
+	if a != b {
+		t.Error("hash3 not deterministic")
+	}
+	if hash3(1, 2, 3, 42) == hash3(1, 2, 3, 43) {
+		t.Error("seed should change hash")
+	}
+	if hash3(1, 2, 3, 42) == hash3(2, 2, 3, 42) {
+		t.Error("coordinate should change hash")
+	}
+	// Range check over a sample of points.
+	var sum float64
+	const n = 1000
+	for i := 0; i < n; i++ {
+		v := hash3(int64(i), int64(i*7), int64(i*13), 1)
+		if v < 0 || v >= 1 {
+			t.Fatalf("hash3 out of range: %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; mean < 0.4 || mean > 0.6 {
+		t.Errorf("hash3 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestValueNoiseSmoothAndBounded(t *testing.T) {
+	prev := valueNoise3(0, 0.3, 0.7, 7)
+	for i := 1; i <= 100; i++ {
+		x := float64(i) * 0.01
+		v := valueNoise3(x, 0.3, 0.7, 7)
+		if v < 0 || v >= 1 {
+			t.Fatalf("noise out of range: %v", v)
+		}
+		if math.Abs(v-prev) > 0.2 {
+			t.Fatalf("noise not smooth: jump of %v at x=%v", math.Abs(v-prev), x)
+		}
+		prev = v
+	}
+}
+
+func TestFractalNoiseBounded(t *testing.T) {
+	f := func(xi, yi, zi uint8, oct uint8) bool {
+		x, y, z := float64(xi)/16, float64(yi)/16, float64(zi)/16
+		v := FractalNoise3(x, y, z, int(oct%6), 99)
+		return v >= 0 && v < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCombustionDefaults(t *testing.T) {
+	c := NewCombustion(CombustionConfig{})
+	cfg := c.Config()
+	if cfg.NX != 64 || cfg.Timesteps != 1 || cfg.FrontSpeed <= 0 || cfg.Wrinkle <= 0 {
+		t.Errorf("defaults not applied: %+v", cfg)
+	}
+	if c.Timesteps() != 1 {
+		t.Error("timesteps accessor")
+	}
+}
+
+func TestCombustionGenerateShape(t *testing.T) {
+	c := NewCombustion(CombustionConfig{NX: 32, NY: 32, NZ: 32, Timesteps: 10, Seed: 1})
+	v := c.Generate(2)
+	if v.NX != 32 || v.NY != 32 || v.NZ != 32 {
+		t.Fatalf("dims = %dx%dx%d", v.NX, v.NY, v.NZ)
+	}
+	min, max := v.MinMax()
+	if min < 0 || max > 1 {
+		t.Errorf("values out of [0,1]: %v..%v", min, max)
+	}
+	// Center (inside the burned region) should be hotter than a corner.
+	if v.At(16, 16, 16) <= v.At(0, 0, 0) {
+		t.Errorf("center %v should exceed corner %v", v.At(16, 16, 16), v.At(0, 0, 0))
+	}
+}
+
+func TestCombustionDeterministic(t *testing.T) {
+	cfg := CombustionConfig{NX: 16, NY: 16, NZ: 16, Timesteps: 5, Seed: 7}
+	a := NewCombustion(cfg).Generate(3)
+	b := NewCombustion(cfg).Generate(3)
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatal("combustion not deterministic")
+		}
+	}
+}
+
+func TestCombustionFrontAdvances(t *testing.T) {
+	c := NewCombustion(CombustionConfig{NX: 32, NY: 32, NZ: 32, Timesteps: 20, Seed: 3})
+	early := c.Generate(0)
+	late := c.Generate(19)
+	// The burned (hot) fraction should grow over time.
+	frac := func(v *volume.Volume) float64 {
+		hot := 0
+		for _, x := range v.Data {
+			if x > 0.5 {
+				hot++
+			}
+		}
+		return float64(hot) / float64(v.Len())
+	}
+	if frac(late) <= frac(early) {
+		t.Errorf("front did not advance: early=%v late=%v", frac(early), frac(late))
+	}
+}
+
+func TestCombustionSuccessiveStepsSimilar(t *testing.T) {
+	c := NewCombustion(CombustionConfig{NX: 24, NY: 24, NZ: 24, Timesteps: 50, Seed: 5})
+	a := c.Generate(10)
+	b := c.Generate(11)
+	var diff float64
+	for i := range a.Data {
+		diff += math.Abs(float64(a.Data[i] - b.Data[i]))
+	}
+	mean := diff / float64(a.Len())
+	if mean > 0.1 {
+		t.Errorf("successive steps differ too much: mean abs diff %v", mean)
+	}
+}
+
+func TestCombustionStepBytes(t *testing.T) {
+	c := NewCombustion(CombustionConfig{NX: 16, NY: 8, NZ: 4})
+	if c.StepBytes() != volume.EncodedSize(16, 8, 4) {
+		t.Errorf("step bytes = %d", c.StepBytes())
+	}
+}
+
+func TestPaperCombustionConfig(t *testing.T) {
+	cfg := PaperCombustionConfig()
+	if cfg.NX != 640 || cfg.NY != 256 || cfg.NZ != 256 || cfg.Timesteps != 265 {
+		t.Errorf("paper config = %+v", cfg)
+	}
+	// Raw voxel payload should be exactly the paper's 160 MB per step.
+	rawBytes := int64(cfg.NX) * int64(cfg.NY) * int64(cfg.NZ) * 4
+	if rawBytes != 160<<20 {
+		t.Errorf("paper step size = %d bytes, want 160 MiB", rawBytes)
+	}
+}
+
+func TestCosmologyDefaultsAndDeterminism(t *testing.T) {
+	c := NewCosmology(CosmologyConfig{})
+	if c.Config().Halos != 48 || c.Config().NX != 64 {
+		t.Errorf("defaults = %+v", c.Config())
+	}
+	cfg := CosmologyConfig{NX: 16, NY: 16, NZ: 16, Timesteps: 4, Seed: 9, Halos: 8}
+	a := NewCosmology(cfg).Generate(2)
+	b := NewCosmology(cfg).Generate(2)
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatal("cosmology not deterministic")
+		}
+	}
+}
+
+func TestCosmologyStructureSharpens(t *testing.T) {
+	c := NewCosmology(CosmologyConfig{NX: 24, NY: 24, NZ: 24, Timesteps: 10, Seed: 13, Halos: 12})
+	early := c.Generate(0)
+	late := c.Generate(9)
+	// Gravitational collapse: the density contrast (stddev of values) grows.
+	contrast := func(v *volume.Volume) float64 {
+		mean := v.Mean()
+		var ss float64
+		for _, x := range v.Data {
+			d := float64(x) - mean
+			ss += d * d
+		}
+		return math.Sqrt(ss / float64(v.Len()))
+	}
+	if contrast(late) <= contrast(early) {
+		t.Errorf("contrast did not grow: early=%v late=%v", contrast(early), contrast(late))
+	}
+}
+
+func TestCosmologyBoundedValues(t *testing.T) {
+	c := NewCosmology(CosmologyConfig{NX: 16, NY: 16, NZ: 16, Timesteps: 2, Seed: 21, Halos: 30})
+	v := c.Generate(1)
+	min, max := v.MinMax()
+	if min < 0 || max > 1 {
+		t.Errorf("values out of range: %v..%v", min, max)
+	}
+	if c.Timesteps() != 2 || c.StepBytes() != volume.EncodedSize(16, 16, 16) {
+		t.Error("accessors")
+	}
+}

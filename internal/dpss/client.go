@@ -1,0 +1,450 @@
+package dpss
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"visapult/internal/netlogger"
+	"visapult/internal/netsim"
+)
+
+// Client is the DPSS client library: the Go equivalent of the paper's
+// dpssOpen / dpssRead / dpssLSeek / dpssClose API. The client keeps one TCP
+// connection per block server and issues block requests to all servers in
+// parallel, so a single large read engages every server (and every disk
+// behind it) at once — "the speed of the client scales with the speed of the
+// server, assuming the client host is powerful enough".
+type Client struct {
+	masterAddr string
+	shaper     *netsim.Shaper
+	latency    time.Duration
+	logger     *netlogger.Logger
+	// compress, when positive, requests DEFLATE-compressed blocks at that
+	// level (the section 5 "wire level compression" extension).
+	compress int
+
+	mu     sync.Mutex
+	master net.Conn
+	conns  map[string]*serverConn
+	closed bool
+
+	bytesRead       int64
+	reads           int64
+	wireBytes       int64
+	compressedRaw   int64
+	compressedReads int64
+}
+
+// serverConn serializes request/response exchanges on one block-server
+// connection. Parallelism across servers comes from having one of these per
+// server, mirroring the original client's thread-per-server design.
+type serverConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+	out  io.Writer
+}
+
+// ClientOption configures a Client.
+type ClientOption func(*Client)
+
+// WithClientShaper paces all of the client's outbound traffic with one
+// shaper; combined with a server-side shaper this brackets a WAN emulation.
+func WithClientShaper(sh *netsim.Shaper) ClientOption {
+	return func(c *Client) { c.shaper = sh }
+}
+
+// WithClientLatency adds a fixed delay before each request, emulating WAN
+// round-trip latency on the request path.
+func WithClientLatency(d time.Duration) ClientOption {
+	return func(c *Client) { c.latency = d }
+}
+
+// WithClientLogger attaches NetLogger instrumentation to the client.
+func WithClientLogger(l *netlogger.Logger) ClientOption {
+	return func(c *Client) { c.logger = l }
+}
+
+// NewClient creates a client for the master at masterAddr. No connection is
+// made until the first call.
+func NewClient(masterAddr string, opts ...ClientOption) *Client {
+	c := &Client{masterAddr: masterAddr, conns: make(map[string]*serverConn)}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// masterConn lazily dials the master.
+func (c *Client) masterConn() (net.Conn, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, errors.New("dpss: client closed")
+	}
+	if c.master != nil {
+		return c.master, nil
+	}
+	conn, err := net.Dial("tcp", c.masterAddr)
+	if err != nil {
+		return nil, fmt.Errorf("dpss: dialing master %s: %w", c.masterAddr, err)
+	}
+	c.master = conn
+	return conn, nil
+}
+
+// masterCall performs one synchronous request/response with the master.
+func (c *Client) masterCall(msgType byte, payload []byte) ([]byte, error) {
+	conn, err := c.masterConn()
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := writeFrame(conn, msgType, payload); err != nil {
+		return nil, err
+	}
+	respType, resp, err := readFrame(conn)
+	if err != nil {
+		return nil, err
+	}
+	if respType == msgError {
+		return nil, interpretError(string(resp))
+	}
+	return resp, nil
+}
+
+// interpretError maps an error string from the wire back to a sentinel error
+// where possible so callers can use errors.Is.
+func interpretError(msg string) error {
+	switch {
+	case contains(msg, ErrUnknownDataset.Error()):
+		return fmt.Errorf("%w (%s)", ErrUnknownDataset, msg)
+	case contains(msg, ErrUnknownBlock.Error()):
+		return fmt.Errorf("%w (%s)", ErrUnknownBlock, msg)
+	case contains(msg, ErrAccessDenied.Error()):
+		return fmt.Errorf("%w (%s)", ErrAccessDenied, msg)
+	default:
+		return errors.New(msg)
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 || indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+// serverConnFor lazily dials a block server.
+func (c *Client) serverConnFor(addr string) (*serverConn, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, errors.New("dpss: client closed")
+	}
+	if sc, ok := c.conns[addr]; ok {
+		return sc, nil
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dpss: dialing block server %s: %w", addr, err)
+	}
+	var out io.Writer = conn
+	if c.shaper != nil || c.latency > 0 {
+		out = netsim.NewShapedConn(conn, c.shaper, c.latency)
+	}
+	sc := &serverConn{conn: conn, out: out}
+	c.conns[addr] = sc
+	return sc, nil
+}
+
+// call performs one synchronous block request on a server connection.
+func (sc *serverConn) call(msgType byte, payload []byte) ([]byte, error) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if err := writeFrame(sc.out, msgType, payload); err != nil {
+		return nil, err
+	}
+	respType, resp, err := readFrame(sc.conn)
+	if err != nil {
+		return nil, err
+	}
+	if respType == msgError {
+		return nil, interpretError(string(resp))
+	}
+	return resp, nil
+}
+
+// Create registers a new dataset with the master and returns its layout.
+func (c *Client) Create(name string, size int64, blockSize int) (DatasetInfo, error) {
+	e := &encoder{}
+	e.str(name).u64(uint64(size)).u32(uint32(blockSize))
+	resp, err := c.masterCall(msgCreate, e.buf)
+	if err != nil {
+		return DatasetInfo{}, err
+	}
+	return decodeDatasetInfo(resp)
+}
+
+// Open looks a dataset up with the master and returns a File handle with
+// Unix-like semantics.
+func (c *Client) Open(name string) (*File, error) {
+	e := &encoder{}
+	e.str(name)
+	resp, err := c.masterCall(msgOpen, e.buf)
+	if err != nil {
+		return nil, err
+	}
+	info, err := decodeDatasetInfo(resp)
+	if err != nil {
+		return nil, err
+	}
+	if c.logger != nil {
+		c.logger.Log("DPSS_OPEN", netlogger.Str("DATASET", name), netlogger.Int64(netlogger.FieldBytes, info.Size))
+	}
+	return &File{client: c, info: info}, nil
+}
+
+// Stat returns a dataset's layout without opening it.
+func (c *Client) Stat(name string) (DatasetInfo, error) {
+	e := &encoder{}
+	e.str(name)
+	resp, err := c.masterCall(msgStat, e.buf)
+	if err != nil {
+		return DatasetInfo{}, err
+	}
+	return decodeDatasetInfo(resp)
+}
+
+// readBlock fetches one logical block from its server.
+func (c *Client) readBlock(info DatasetInfo, block int64) ([]byte, error) {
+	if c.compress > 0 {
+		return c.readBlockCompressed(info, block)
+	}
+	sc, err := c.serverConnFor(info.ServerFor(block))
+	if err != nil {
+		return nil, err
+	}
+	e := &encoder{}
+	e.str(info.Name).u64(uint64(block))
+	data, err := sc.call(msgReadBlock, e.buf)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.bytesRead += int64(len(data))
+	c.reads++
+	c.mu.Unlock()
+	return data, nil
+}
+
+// writeBlock stores one logical block on its server.
+func (c *Client) writeBlock(info DatasetInfo, block int64, data []byte) error {
+	sc, err := c.serverConnFor(info.ServerFor(block))
+	if err != nil {
+		return err
+	}
+	e := &encoder{}
+	e.str(info.Name).u64(uint64(block)).bytes(data)
+	_, err = sc.call(msgWriteBlock, e.buf)
+	return err
+}
+
+// ClientStats summarizes client activity.
+type ClientStats struct {
+	// BytesRead is the raw (decompressed) data volume delivered to callers.
+	BytesRead int64
+	Reads     int64
+	Servers   int
+	// WireBytes is the volume that actually crossed the network for
+	// compressed reads; CompressedReads counts how many block reads used the
+	// wire-level compression extension.
+	WireBytes       int64
+	CompressedReads int64
+}
+
+// Stats returns a snapshot of the client's counters.
+func (c *Client) Stats() ClientStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return ClientStats{
+		BytesRead: c.bytesRead, Reads: c.reads, Servers: len(c.conns),
+		WireBytes: c.wireBytes, CompressedReads: c.compressedReads,
+	}
+}
+
+// Close tears down every connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	var first error
+	if c.master != nil {
+		if err := c.master.Close(); err != nil && first == nil {
+			first = err
+		}
+		c.master = nil
+	}
+	for addr, sc := range c.conns {
+		if err := sc.conn.Close(); err != nil && first == nil {
+			first = err
+		}
+		delete(c.conns, addr)
+	}
+	return first
+}
+
+// File is an open dataset with Unix-like read semantics (the dpssRead /
+// dpssLSeek of the original API), implementing io.Reader, io.ReaderAt and
+// io.Seeker.
+type File struct {
+	client *Client
+	info   DatasetInfo
+	mu     sync.Mutex
+	offset int64
+}
+
+// Info returns the dataset layout.
+func (f *File) Info() DatasetInfo { return f.info }
+
+// Size returns the dataset size in bytes.
+func (f *File) Size() int64 { return f.info.Size }
+
+// ReadAt reads len(p) bytes starting at offset off, fetching every involved
+// block from its server in parallel. It implements io.ReaderAt.
+func (f *File) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("dpss: negative offset %d", off)
+	}
+	if off >= f.info.Size {
+		return 0, io.EOF
+	}
+	want := int64(len(p))
+	if off+want > f.info.Size {
+		want = f.info.Size - off
+	}
+	if want == 0 {
+		return 0, nil
+	}
+	blockSize := int64(f.info.BlockSize)
+	firstBlock := off / blockSize
+	lastBlock := (off + want - 1) / blockSize
+
+	type result struct {
+		block int64
+		data  []byte
+		err   error
+	}
+	numBlocks := int(lastBlock - firstBlock + 1)
+	results := make([]result, numBlocks)
+	var wg sync.WaitGroup
+	for i := 0; i < numBlocks; i++ {
+		i := i
+		block := firstBlock + int64(i)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			data, err := f.client.readBlock(f.info, block)
+			results[i] = result{block: block, data: data, err: err}
+		}()
+	}
+	wg.Wait()
+
+	total := 0
+	for _, r := range results {
+		if r.err != nil {
+			return total, r.err
+		}
+		blockStart := r.block * blockSize
+		// Portion of this block that overlaps [off, off+want).
+		copyFrom := int64(0)
+		if off > blockStart {
+			copyFrom = off - blockStart
+		}
+		copyTo := int64(len(r.data))
+		if blockStart+copyTo > off+want {
+			copyTo = off + want - blockStart
+		}
+		if copyFrom >= copyTo {
+			continue
+		}
+		dst := blockStart + copyFrom - off
+		n := copy(p[dst:dst+(copyTo-copyFrom)], r.data[copyFrom:copyTo])
+		total += n
+	}
+	var err error
+	if int64(total) < int64(len(p)) {
+		err = io.EOF
+	}
+	return total, err
+}
+
+// Read reads from the current offset, advancing it. It implements io.Reader.
+func (f *File) Read(p []byte) (int, error) {
+	f.mu.Lock()
+	off := f.offset
+	f.mu.Unlock()
+	n, err := f.ReadAt(p, off)
+	f.mu.Lock()
+	f.offset = off + int64(n)
+	f.mu.Unlock()
+	return n, err
+}
+
+// Seek implements io.Seeker (the dpssLSeek of the original API).
+func (f *File) Seek(offset int64, whence int) (int64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var next int64
+	switch whence {
+	case io.SeekStart:
+		next = offset
+	case io.SeekCurrent:
+		next = f.offset + offset
+	case io.SeekEnd:
+		next = f.info.Size + offset
+	default:
+		return 0, fmt.Errorf("dpss: bad whence %d", whence)
+	}
+	if next < 0 {
+		return 0, fmt.Errorf("dpss: negative resulting offset %d", next)
+	}
+	f.offset = next
+	return next, nil
+}
+
+// Close releases the handle. The client's connections stay up for other
+// files.
+func (f *File) Close() error { return nil }
+
+// WriteAt stores len(p) bytes at offset off, used by the dataset loader. The
+// write must be block-aligned except for the final partial block.
+func (f *File) WriteAt(p []byte, off int64) (int, error) {
+	if off%int64(f.info.BlockSize) != 0 {
+		return 0, fmt.Errorf("dpss: write offset %d not block-aligned", off)
+	}
+	blockSize := int64(f.info.BlockSize)
+	written := 0
+	for written < len(p) {
+		block := (off + int64(written)) / blockSize
+		end := written + f.info.BlockSize
+		if end > len(p) {
+			end = len(p)
+		}
+		if err := f.client.writeBlock(f.info, block, p[written:end]); err != nil {
+			return written, err
+		}
+		written = end
+	}
+	return written, nil
+}

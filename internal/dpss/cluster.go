@@ -1,0 +1,149 @@
+package dpss
+
+import (
+	"fmt"
+	"io"
+
+	"visapult/internal/netsim"
+	"visapult/internal/volume"
+)
+
+// Cluster is a convenience wrapper that runs a complete in-process DPSS — one
+// master plus a set of block servers on loopback TCP — for examples, tests
+// and the live campaigns. It corresponds to one physical DPSS deployment in
+// the paper (e.g. "Berkeley Lab: .75 TB, 4 server DPSS" in the SC99 diagram).
+type Cluster struct {
+	Master  *Master
+	Servers []*BlockServer
+	// MasterAddr and ServerAddrs are the listening addresses.
+	MasterAddr  string
+	ServerAddrs []string
+}
+
+// ClusterConfig sizes an in-process DPSS.
+type ClusterConfig struct {
+	// Servers is the number of block servers (default 4, the paper's typical
+	// deployment).
+	Servers int
+	// DisksPerServer is the number of disks per server (default 4).
+	DisksPerServer int
+	// ServerShaper, when non-nil, is applied to every server's responses so
+	// the aggregate DPSS-to-client traffic is limited to one WAN path. A
+	// single shared shaper models all servers sitting behind the same WAN
+	// link, which is the paper's topology.
+	ServerShaper *netsim.Shaper
+}
+
+// StartCluster launches the master and block servers on ephemeral loopback
+// ports and registers the servers with the master.
+func StartCluster(cfg ClusterConfig) (*Cluster, error) {
+	if cfg.Servers <= 0 {
+		cfg.Servers = 4
+	}
+	if cfg.DisksPerServer <= 0 {
+		cfg.DisksPerServer = 4
+	}
+	c := &Cluster{Master: NewMaster()}
+	masterAddr, err := c.Master.Listen("127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("dpss: starting master: %w", err)
+	}
+	c.MasterAddr = masterAddr
+	for i := 0; i < cfg.Servers; i++ {
+		opts := []ServerOption{WithDisks(cfg.DisksPerServer)}
+		if cfg.ServerShaper != nil {
+			opts = append(opts, WithServerShaper(cfg.ServerShaper))
+		}
+		srv := NewBlockServer(opts...)
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("dpss: starting block server %d: %w", i, err)
+		}
+		c.Servers = append(c.Servers, srv)
+		c.ServerAddrs = append(c.ServerAddrs, addr)
+		c.Master.RegisterServer(addr)
+	}
+	return c, nil
+}
+
+// NewClient returns a client pointed at the cluster's master.
+func (c *Cluster) NewClient(opts ...ClientOption) *Client {
+	return NewClient(c.MasterAddr, opts...)
+}
+
+// Close shuts down every component.
+func (c *Cluster) Close() error {
+	var first error
+	for _, s := range c.Servers {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if c.Master != nil {
+		if err := c.Master.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// TotalBytesServed sums the bytes served by all block servers.
+func (c *Cluster) TotalBytesServed() int64 {
+	var total int64
+	for _, s := range c.Servers {
+		total += s.Stats().BytesServed
+	}
+	return total
+}
+
+// LoadBytes creates a dataset of the given name and stores data into the
+// cluster through a client, block by block. It is the "migrate the files from
+// HPSS to a nearby DPSS cache" step of the paper.
+func (c *Cluster) LoadBytes(client *Client, name string, data []byte, blockSize int) (DatasetInfo, error) {
+	info, err := client.Create(name, int64(len(data)), blockSize)
+	if err != nil {
+		return DatasetInfo{}, err
+	}
+	f := &File{client: client, info: info}
+	if _, err := f.WriteAt(data, 0); err != nil {
+		return DatasetInfo{}, err
+	}
+	return info, nil
+}
+
+// LoadReader streams a dataset of known size from r into the cluster.
+func (c *Cluster) LoadReader(client *Client, name string, r io.Reader, size int64, blockSize int) (DatasetInfo, error) {
+	info, err := client.Create(name, size, blockSize)
+	if err != nil {
+		return DatasetInfo{}, err
+	}
+	f := &File{client: client, info: info}
+	buf := make([]byte, info.BlockSize)
+	var off int64
+	for off < size {
+		want := int64(info.BlockSize)
+		if off+want > size {
+			want = size - off
+		}
+		if _, err := io.ReadFull(r, buf[:want]); err != nil {
+			return DatasetInfo{}, fmt.Errorf("dpss: loading %q at offset %d: %w", name, off, err)
+		}
+		if _, err := f.WriteAt(buf[:want], off); err != nil {
+			return DatasetInfo{}, err
+		}
+		off += want
+	}
+	return info, nil
+}
+
+// LoadVolume stores an encoded volume as a dataset named name.
+func (c *Cluster) LoadVolume(client *Client, name string, v *volume.Volume, blockSize int) (DatasetInfo, error) {
+	return c.LoadBytes(client, name, v.Marshal(), blockSize)
+}
+
+// TimestepDatasetName is the naming convention for time-varying datasets
+// staged into the cache: one dataset per timestep.
+func TimestepDatasetName(base string, timestep int) string {
+	return fmt.Sprintf("%s.t%04d", base, timestep)
+}

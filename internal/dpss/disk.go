@@ -1,0 +1,138 @@
+package dpss
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Disk models one physical disk attached to a block server. Blocks are kept
+// in memory (the DPSS is a cache, not an archive); an optional service-rate
+// model adds a seek latency plus size/rate delay per access so that
+// disk-level parallelism is observable in throughput experiments.
+type Disk struct {
+	mu sync.Mutex
+	// blocks maps "dataset/blockID" to block contents.
+	blocks map[string][]byte
+
+	// ServiceRate is the sustained transfer rate in bytes per second; zero
+	// disables the delay model (tests and functional examples).
+	ServiceRate float64
+	// SeekTime is the fixed per-access positioning delay.
+	SeekTime time.Duration
+
+	bytesRead    int64
+	bytesWritten int64
+	reads        int64
+	writes       int64
+}
+
+// NewDisk returns an empty in-memory disk with no delay model.
+func NewDisk() *Disk {
+	return &Disk{blocks: make(map[string][]byte)}
+}
+
+// NewDiskWithModel returns a disk whose accesses are paced by the given
+// service rate (bytes/second) and seek time.
+func NewDiskWithModel(serviceRate float64, seek time.Duration) *Disk {
+	d := NewDisk()
+	d.ServiceRate = serviceRate
+	d.SeekTime = seek
+	return d
+}
+
+func blockKey(dataset string, block int64) string {
+	return fmt.Sprintf("%s/%d", dataset, block)
+}
+
+// delay sleeps for the modelled access time of a transfer of n bytes.
+func (d *Disk) delay(n int) {
+	if d.SeekTime > 0 {
+		time.Sleep(d.SeekTime)
+	}
+	if d.ServiceRate > 0 && n > 0 {
+		time.Sleep(time.Duration(float64(n) / d.ServiceRate * float64(time.Second)))
+	}
+}
+
+// WriteBlock stores a block (copying the data).
+func (d *Disk) WriteBlock(dataset string, block int64, data []byte) {
+	d.delay(len(data))
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	d.mu.Lock()
+	d.blocks[blockKey(dataset, block)] = cp
+	d.bytesWritten += int64(len(data))
+	d.writes++
+	d.mu.Unlock()
+}
+
+// ReadBlock returns a copy of a stored block, or ErrUnknownBlock.
+func (d *Disk) ReadBlock(dataset string, block int64) ([]byte, error) {
+	d.mu.Lock()
+	data, ok := d.blocks[blockKey(dataset, block)]
+	d.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s block %d", ErrUnknownBlock, dataset, block)
+	}
+	d.delay(len(data))
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	d.mu.Lock()
+	d.bytesRead += int64(len(data))
+	d.reads++
+	d.mu.Unlock()
+	return cp, nil
+}
+
+// HasBlock reports whether the disk stores the given block.
+func (d *Disk) HasBlock(dataset string, block int64) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	_, ok := d.blocks[blockKey(dataset, block)]
+	return ok
+}
+
+// DropDataset removes every block of the named dataset and returns how many
+// blocks were evicted, supporting the cache role of the DPSS.
+func (d *Disk) DropDataset(dataset string) int {
+	prefix := dataset + "/"
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	dropped := 0
+	for k := range d.blocks {
+		if len(k) > len(prefix) && k[:len(prefix)] == prefix {
+			delete(d.blocks, k)
+			dropped++
+		}
+	}
+	return dropped
+}
+
+// DiskStats summarizes one disk's activity.
+type DiskStats struct {
+	Blocks       int
+	BytesStored  int64
+	BytesRead    int64
+	BytesWritten int64
+	Reads        int64
+	Writes       int64
+}
+
+// Stats returns a snapshot of the disk's counters.
+func (d *Disk) Stats() DiskStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var stored int64
+	for _, b := range d.blocks {
+		stored += int64(len(b))
+	}
+	return DiskStats{
+		Blocks:       len(d.blocks),
+		BytesStored:  stored,
+		BytesRead:    d.bytesRead,
+		BytesWritten: d.bytesWritten,
+		Reads:        d.reads,
+		Writes:       d.writes,
+	}
+}

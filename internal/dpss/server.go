@@ -1,0 +1,278 @@
+package dpss
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"visapult/internal/netlogger"
+	"visapult/internal/netsim"
+)
+
+// BlockServer is one DPSS block server: it owns a set of disks (blocks are
+// striped across them by logical block number) and serves read/write block
+// requests over TCP. A typical DPSS deployment in the paper was four such
+// servers, each with several disk controllers and several disks per
+// controller.
+type BlockServer struct {
+	mu      sync.Mutex
+	disks   []*Disk
+	ln      net.Listener
+	conns   map[net.Conn]struct{}
+	closed  bool
+	wg      sync.WaitGroup
+	shaper  *netsim.Shaper
+	logger  *netlogger.Logger
+	served  int64 // bytes sent to clients
+	stored  int64 // bytes written by loaders
+	reqs    int64
+	errored int64
+}
+
+// ServerOption configures a BlockServer.
+type ServerOption func(*BlockServer)
+
+// WithDisks sets the number of disks (default 4) using the default in-memory
+// disk with no delay model.
+func WithDisks(n int) ServerOption {
+	return func(s *BlockServer) {
+		if n < 1 {
+			n = 1
+		}
+		s.disks = make([]*Disk, n)
+		for i := range s.disks {
+			s.disks[i] = NewDisk()
+		}
+	}
+}
+
+// WithDiskModels sets explicit disks (with service-rate models).
+func WithDiskModels(disks ...*Disk) ServerOption {
+	return func(s *BlockServer) {
+		if len(disks) > 0 {
+			s.disks = disks
+		}
+	}
+}
+
+// WithServerShaper rate-limits the server's responses, emulating the
+// server-side network interface.
+func WithServerShaper(sh *netsim.Shaper) ServerOption {
+	return func(s *BlockServer) { s.shaper = sh }
+}
+
+// WithServerLogger attaches a NetLogger logger for server-side events.
+func WithServerLogger(l *netlogger.Logger) ServerOption {
+	return func(s *BlockServer) { s.logger = l }
+}
+
+// NewBlockServer creates a block server with the given options (4 in-memory
+// disks by default).
+func NewBlockServer(opts ...ServerOption) *BlockServer {
+	s := &BlockServer{conns: make(map[net.Conn]struct{})}
+	WithDisks(4)(s)
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// NumDisks returns how many disks the server stripes over.
+func (s *BlockServer) NumDisks() int { return len(s.disks) }
+
+// diskFor returns the disk that stores the given logical block, striping
+// round-robin by block number.
+func (s *BlockServer) diskFor(block int64) *Disk {
+	return s.disks[int(block%int64(len(s.disks)))]
+}
+
+// Listen starts the server on addr ("127.0.0.1:0" for an ephemeral port) and
+// returns the bound address.
+func (s *BlockServer) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+// Addr returns the listening address ("" if not listening).
+func (s *BlockServer) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+func (s *BlockServer) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return
+			}
+			continue
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *BlockServer) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	var out net.Conn = conn
+	if s.shaper != nil {
+		out = netsim.NewShapedConn(conn, s.shaper, 0)
+	}
+	for {
+		msgType, payload, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		s.reqs++
+		s.mu.Unlock()
+		switch msgType {
+		case msgReadBlock:
+			s.handleRead(out, payload)
+		case msgReadBlockZ:
+			s.handleReadCompressed(out, payload)
+		case msgWriteBlock:
+			s.handleWrite(out, payload)
+		default:
+			s.replyError(out, fmt.Errorf("%w: unexpected message %d", ErrProtocol, msgType))
+		}
+	}
+}
+
+func (s *BlockServer) handleRead(out net.Conn, payload []byte) {
+	d := &decoder{buf: payload}
+	dataset := d.str()
+	block := int64(d.u64())
+	if d.err != nil {
+		s.replyError(out, d.err)
+		return
+	}
+	data, err := s.diskFor(block).ReadBlock(dataset, block)
+	if err != nil {
+		s.replyError(out, err)
+		return
+	}
+	if s.logger != nil {
+		s.logger.Log("DPSS_BLOCK_READ", netlogger.Str("DATASET", dataset),
+			netlogger.Int64("BLOCK", block), netlogger.Int64(netlogger.FieldBytes, int64(len(data))))
+	}
+	s.mu.Lock()
+	s.served += int64(len(data))
+	s.mu.Unlock()
+	writeFrame(out, msgOK, data) //nolint:errcheck // client disconnects surface on next read
+}
+
+func (s *BlockServer) handleWrite(out net.Conn, payload []byte) {
+	d := &decoder{buf: payload}
+	dataset := d.str()
+	block := int64(d.u64())
+	data := d.bytes()
+	if d.err != nil {
+		s.replyError(out, d.err)
+		return
+	}
+	s.diskFor(block).WriteBlock(dataset, block, data)
+	s.mu.Lock()
+	s.stored += int64(len(data))
+	s.mu.Unlock()
+	writeFrame(out, msgOK, nil) //nolint:errcheck
+}
+
+func (s *BlockServer) replyError(out net.Conn, err error) {
+	s.mu.Lock()
+	s.errored++
+	s.mu.Unlock()
+	writeFrame(out, msgError, []byte(err.Error())) //nolint:errcheck
+}
+
+// ServerStats summarizes a block server's activity.
+type ServerStats struct {
+	Requests     int64
+	Errors       int64
+	BytesServed  int64
+	BytesStored  int64
+	Disks        int
+	BlocksStored int
+}
+
+// Stats returns a snapshot of the server's counters.
+func (s *BlockServer) Stats() ServerStats {
+	s.mu.Lock()
+	st := ServerStats{
+		Requests:    s.reqs,
+		Errors:      s.errored,
+		BytesServed: s.served,
+		BytesStored: s.stored,
+		Disks:       len(s.disks),
+	}
+	s.mu.Unlock()
+	for _, d := range s.disks {
+		st.BlocksStored += d.Stats().Blocks
+	}
+	return st
+}
+
+// DropDataset evicts a dataset from all of the server's disks.
+func (s *BlockServer) DropDataset(dataset string) int {
+	total := 0
+	for _, d := range s.disks {
+		total += d.DropDataset(dataset)
+	}
+	return total
+}
+
+// Close stops the listener and tears down open connections.
+func (s *BlockServer) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+	return err
+}

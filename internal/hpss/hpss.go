@@ -1,0 +1,166 @@
+// Package hpss simulates the tertiary archival storage system of the paper's
+// data pipeline (HPSS). The paper's datasets live on an archive that is "not
+// typically tuned for wide-area network access, and only provide[s] full
+// file, not block level, access to data"; before a Visapult run the relevant
+// timesteps are migrated from the archive to a nearby DPSS cache.
+//
+// The simulator reproduces exactly those two properties: whole-file-only
+// retrieval at a modest (tape/staging) rate, plus a Migrate helper that stages
+// files into a DPSS cluster and reports the staging cost, so experiments can
+// show why a block-level network cache is necessary at all.
+package hpss
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"visapult/internal/dpss"
+	"visapult/internal/stats"
+)
+
+// ErrNotFound reports a missing archive file.
+var ErrNotFound = errors.New("hpss: file not found")
+
+// Archive is a simulated tertiary storage system holding whole files.
+type Archive struct {
+	mu    sync.Mutex
+	files map[string][]byte
+	// RetrievalRate is the sustained staging rate in bytes per second; zero
+	// means instantaneous (tests).
+	RetrievalRate float64
+	// MountLatency is the fixed per-retrieval delay (tape mount, staging
+	// queue); zero means none.
+	MountLatency time.Duration
+
+	retrievals     int64
+	bytesRetrieved int64
+}
+
+// NewArchive creates an empty archive with no delay model.
+func NewArchive() *Archive {
+	return &Archive{files: make(map[string][]byte)}
+}
+
+// NewArchiveWithModel creates an archive whose retrievals are paced by the
+// given rate and mount latency. The defaults used by the experiment harness
+// (20 MB/s, 10 s mount) are representative of late-1990s tape staging.
+func NewArchiveWithModel(rate float64, mount time.Duration) *Archive {
+	a := NewArchive()
+	a.RetrievalRate = rate
+	a.MountLatency = mount
+	return a
+}
+
+// Store places a whole file in the archive (copying the data).
+func (a *Archive) Store(name string, data []byte) {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	a.mu.Lock()
+	a.files[name] = cp
+	a.mu.Unlock()
+}
+
+// Files returns the archived file names, sorted.
+func (a *Archive) Files() []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	names := make([]string, 0, len(a.files))
+	for n := range a.files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Size returns the size of an archived file, or an error if it is absent.
+func (a *Archive) Size(name string) (int64, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	data, ok := a.files[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return int64(len(data)), nil
+}
+
+// Retrieve returns the entire file. There is deliberately no partial-read
+// API: that is the archival-storage limitation that motivates the DPSS.
+func (a *Archive) Retrieve(name string) ([]byte, error) {
+	a.mu.Lock()
+	data, ok := a.files[name]
+	a.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	if a.MountLatency > 0 {
+		time.Sleep(a.MountLatency)
+	}
+	if a.RetrievalRate > 0 {
+		time.Sleep(time.Duration(float64(len(data)) / a.RetrievalRate * float64(time.Second)))
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	a.mu.Lock()
+	a.retrievals++
+	a.bytesRetrieved += int64(len(data))
+	a.mu.Unlock()
+	return cp, nil
+}
+
+// RetrievalTime returns the modelled time to stage a file of the given size
+// without actually sleeping, for analytic experiments.
+func (a *Archive) RetrievalTime(size int64) time.Duration {
+	d := a.MountLatency
+	if a.RetrievalRate > 0 {
+		d += time.Duration(float64(size) / a.RetrievalRate * float64(time.Second))
+	}
+	return d
+}
+
+// Stats summarizes archive activity.
+type Stats struct {
+	Files          int
+	Retrievals     int64
+	BytesRetrieved int64
+}
+
+// Stats returns a snapshot of the archive counters.
+func (a *Archive) Stats() Stats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return Stats{Files: len(a.files), Retrievals: a.retrievals, BytesRetrieved: a.bytesRetrieved}
+}
+
+// MigrationReport describes one archive-to-DPSS staging operation.
+type MigrationReport struct {
+	File      string
+	Bytes     int64
+	Elapsed   time.Duration
+	RateMBps  float64
+	BlockSize int
+}
+
+// Migrate stages an archived file into the DPSS cluster as a dataset of the
+// same name, returning a report of the staging cost. This is the
+// "migrate the files from HPSS to a nearby DPSS cache" step of section 3.5.
+func Migrate(a *Archive, cluster *dpss.Cluster, client *dpss.Client, name string, blockSize int) (MigrationReport, error) {
+	start := time.Now()
+	data, err := a.Retrieve(name)
+	if err != nil {
+		return MigrationReport{}, err
+	}
+	if _, err := cluster.LoadBytes(client, name, data, blockSize); err != nil {
+		return MigrationReport{}, fmt.Errorf("hpss: staging %q into DPSS: %w", name, err)
+	}
+	elapsed := time.Since(start)
+	return MigrationReport{
+		File:      name,
+		Bytes:     int64(len(data)),
+		Elapsed:   elapsed,
+		RateMBps:  stats.MBps(int64(len(data)), elapsed),
+		BlockSize: blockSize,
+	}, nil
+}

@@ -1,0 +1,145 @@
+package hpss
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"visapult/internal/dpss"
+	"visapult/internal/stats"
+)
+
+func TestStoreRetrieve(t *testing.T) {
+	a := NewArchive()
+	data := []byte("combustion timestep 0")
+	a.Store("combustion.t0000", data)
+	got, err := a.Retrieve("combustion.t0000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("retrieve mismatch")
+	}
+	// Mutating the returned copy must not affect the archive.
+	got[0] = 'X'
+	again, _ := a.Retrieve("combustion.t0000")
+	if again[0] != 'c' {
+		t.Error("archive returned aliased storage")
+	}
+	if _, err := a.Retrieve("missing"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing file error = %v", err)
+	}
+	if sz, err := a.Size("combustion.t0000"); err != nil || sz != int64(len(data)) {
+		t.Errorf("size = %d, %v", sz, err)
+	}
+	if _, err := a.Size("missing"); !errors.Is(err, ErrNotFound) {
+		t.Error("missing size should fail")
+	}
+	st := a.Stats()
+	if st.Files != 1 || st.Retrievals != 2 || st.BytesRetrieved != 2*int64(len(data)) {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestFilesSorted(t *testing.T) {
+	a := NewArchive()
+	a.Store("b", nil)
+	a.Store("a", nil)
+	a.Store("c", nil)
+	files := a.Files()
+	if len(files) != 3 || files[0] != "a" || files[2] != "c" {
+		t.Errorf("files = %v", files)
+	}
+}
+
+func TestRetrievalDelayModel(t *testing.T) {
+	a := NewArchiveWithModel(1*stats.MB, 20*time.Millisecond)
+	a.Store("f", make([]byte, 100<<10)) // ~100ms at 1 MB/s plus 20ms mount
+	start := time.Now()
+	if _, err := a.Retrieve("f"); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 60*time.Millisecond {
+		t.Errorf("modelled retrieval too fast: %v", elapsed)
+	}
+	// Analytic time should agree with the model without sleeping.
+	want := 20*time.Millisecond + time.Duration(float64(100<<10)/float64(1*stats.MB)*float64(time.Second))
+	if got := a.RetrievalTime(100 << 10); got != want {
+		t.Errorf("RetrievalTime = %v, want %v", got, want)
+	}
+}
+
+func TestMigrateToDPSS(t *testing.T) {
+	a := NewArchive()
+	data := make([]byte, 256<<10)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	a.Store("cosmology.t0005", data)
+
+	cluster, err := dpss.StartCluster(dpss.ClusterConfig{Servers: 2, DisksPerServer: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	client := cluster.NewClient()
+	defer client.Close()
+
+	report, err := Migrate(a, cluster, client, "cosmology.t0005", 32<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Bytes != int64(len(data)) || report.BlockSize != 32<<10 {
+		t.Errorf("report = %+v", report)
+	}
+	if report.RateMBps <= 0 {
+		t.Error("rate should be positive")
+	}
+
+	// After migration the data is block-addressable from the cache.
+	f, err := client.Open("cosmology.t0005")
+	if err != nil {
+		t.Fatal(err)
+	}
+	part := make([]byte, 1000)
+	if _, err := f.ReadAt(part, 100_000); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(part, data[100_000:101_000]) {
+		t.Error("migrated data corrupted")
+	}
+}
+
+func TestMigrateMissingFile(t *testing.T) {
+	a := NewArchive()
+	cluster, err := dpss.StartCluster(dpss.ClusterConfig{Servers: 1, DisksPerServer: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	client := cluster.NewClient()
+	defer client.Close()
+	if _, err := Migrate(a, cluster, client, "missing", 0); !errors.Is(err, ErrNotFound) {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestMigrateDuplicateDatasetFails(t *testing.T) {
+	a := NewArchive()
+	a.Store("dup", []byte("x"))
+	cluster, err := dpss.StartCluster(dpss.ClusterConfig{Servers: 1, DisksPerServer: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	client := cluster.NewClient()
+	defer client.Close()
+	if _, err := Migrate(a, cluster, client, "dup", 16); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Migrate(a, cluster, client, "dup", 16); err == nil {
+		t.Error("second migration of the same dataset should fail")
+	}
+}

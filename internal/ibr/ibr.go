@@ -1,0 +1,318 @@
+// Package ibr implements the image-based-rendering-assisted volume rendering
+// (IBRAVR) model that Visapult's viewer is built around (paper section 3.3,
+// citing Mueller et al.).
+//
+// The back end volume-renders each slab of an axis-aligned slab decomposition
+// to a semi-transparent texture; the viewer places each texture on a quad at
+// the slab's center plane and lets the graphics system rotate and composite
+// the textured quads instead of re-rendering the volume. This package
+// provides:
+//
+//   - SlabTexture / Model: the viewer-side representation of a decomposed
+//     timestep.
+//   - BestAxis: the per-frame view-axis selection the Visapult viewer sends
+//     back to the back end so it can switch to X-, Y- or Z-aligned slabs.
+//   - CompositeView: a software approximation of rendering the textured quads
+//     at a small off-axis rotation (the quads' screen-space parallax shift),
+//     which exhibits exactly the off-axis artifacts of the paper's Figure 6.
+//   - ArtifactError / ArtifactFreeCone: the quantitative version of the
+//     "objects viewed within a cone of about sixteen degrees appear to be
+//     relatively free of visual artifacts" claim, reproduced as experiment E8.
+package ibr
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"visapult/internal/render"
+	"visapult/internal/volume"
+)
+
+// SlabTexture is one slab's rendered image plus the geometric metadata the
+// viewer needs to place it: this is the content of Visapult's light+heavy
+// payload pair for one processing element.
+type SlabTexture struct {
+	// Image is the slab's volume rendering.
+	Image *render.Image
+	// Axis is the decomposition axis the slab belongs to.
+	Axis volume.Axis
+	// CenterOffset is the slab center's coordinate along Axis, relative to
+	// the volume center (negative is nearer the eye under the renderer's
+	// camera convention).
+	CenterOffset float64
+	// Thickness is the slab extent along Axis in voxels.
+	Thickness float64
+	// Elevation optionally carries the quadmesh offset map extension.
+	Elevation []float32
+}
+
+// Model is a complete IBRAVR model for one timestep: the ordered set of slab
+// textures for a given decomposition axis.
+type Model struct {
+	Axis     volume.Axis
+	Slabs    []SlabTexture
+	VolumeNX int
+	VolumeNY int
+	VolumeNZ int
+}
+
+// ErrNoSlabs indicates an empty model.
+var ErrNoSlabs = errors.New("ibr: model has no slabs")
+
+// BuildModel renders count slabs of v along axis with the given transfer
+// function and assembles them into a Model. It is used by tests, the
+// single-process examples and the artifact experiment; the distributed path
+// builds the same model from textures received over the network.
+func BuildModel(v *volume.Volume, tf render.TransferFunction, axis volume.Axis, count int) *Model {
+	regions := volume.SlabsOf(v, axis, count)
+	images, _ := render.RenderSlabs(v, regions, tf, axis)
+	m := &Model{Axis: axis, VolumeNX: v.NX, VolumeNY: v.NY, VolumeNZ: v.NZ}
+	half := float64(v.Dim(axis)) / 2
+	for i, r := range regions {
+		var lo, hi int
+		switch axis {
+		case volume.AxisX:
+			lo, hi = r.X0, r.X1
+		case volume.AxisY:
+			lo, hi = r.Y0, r.Y1
+		default:
+			lo, hi = r.Z0, r.Z1
+		}
+		m.Slabs = append(m.Slabs, SlabTexture{
+			Image:        images[i],
+			Axis:         axis,
+			CenterOffset: (float64(lo)+float64(hi))/2 - half,
+			Thickness:    float64(hi - lo),
+		})
+	}
+	return m
+}
+
+// TextureBytes returns the total size of the model's textures as shipped to
+// the viewer (RGBA8).
+func (m *Model) TextureBytes() int64 {
+	var total int64
+	for _, s := range m.Slabs {
+		total += int64(s.Image.W) * int64(s.Image.H) * 4
+	}
+	return total
+}
+
+// AxisAlignedView composites the slab textures with no rotation; with the
+// slabs in decomposition order this reproduces the full axis-aligned volume
+// rendering (up to compositing arithmetic).
+func (m *Model) AxisAlignedView() (*render.Image, error) {
+	if len(m.Slabs) == 0 {
+		return nil, ErrNoSlabs
+	}
+	images := make([]*render.Image, len(m.Slabs))
+	for i, s := range m.Slabs {
+		images[i] = s.Image
+	}
+	return render.CompositeSlabs(images)
+}
+
+// CompositeView approximates what the viewer's graphics system displays when
+// the IBR model is rotated by angle (radians) about the vertical axis: each
+// slab quad's screen-space position shifts by its depth offset times
+// tan(angle), and the shifted textures are composited far-to-near. The
+// approximation error relative to truly re-rendering the volume at that angle
+// is the IBRAVR artifact.
+func (m *Model) CompositeView(angle float64) (*render.Image, error) {
+	if len(m.Slabs) == 0 {
+		return nil, ErrNoSlabs
+	}
+	tan := math.Tan(angle)
+	// Far-to-near: the renderer's camera looks down the +axis, so larger
+	// CenterOffset is farther; composite those first.
+	ordered := make([]*render.Image, 0, len(m.Slabs))
+	for i := len(m.Slabs) - 1; i >= 0; i-- {
+		s := m.Slabs[i]
+		shift := int(math.Round(s.CenterOffset * tan))
+		ordered = append(ordered, s.Image.ShiftX(shift))
+	}
+	return render.CompositeBackToFront(ordered)
+}
+
+// ViewVector is a unit-less view direction in world coordinates.
+type ViewVector struct {
+	X, Y, Z float64
+}
+
+// BestAxis returns the decomposition axis most closely aligned with the view
+// direction, together with the off-axis angle (radians) between the view and
+// that axis. This is the quantity the Visapult viewer computes per frame and
+// transmits to the back end (paper section 3.3: "the Visapult viewer computes
+// the best view axis, and transmits this information to the back end").
+func BestAxis(view ViewVector) (volume.Axis, float64) {
+	norm := math.Sqrt(view.X*view.X + view.Y*view.Y + view.Z*view.Z)
+	if norm == 0 {
+		return volume.AxisZ, 0
+	}
+	ax, ay, az := math.Abs(view.X)/norm, math.Abs(view.Y)/norm, math.Abs(view.Z)/norm
+	best := volume.AxisZ
+	bestCos := az
+	if ax > bestCos {
+		best, bestCos = volume.AxisX, ax
+	}
+	if ay > bestCos {
+		best, bestCos = volume.AxisY, ay
+	}
+	if bestCos > 1 {
+		bestCos = 1
+	}
+	return best, math.Acos(bestCos)
+}
+
+// ViewFromYRotation returns the view direction obtained by rotating the +Z
+// view by angle radians about the Y axis.
+func ViewFromYRotation(angle float64) ViewVector {
+	return ViewVector{X: math.Sin(angle), Y: 0, Z: math.Cos(angle)}
+}
+
+// ArtifactError measures the IBRAVR off-axis artifact at the given rotation
+// angle: the RMSE between the IBR composite of the model (slab quads shifted
+// and blended) and a true volume re-rendering at that angle.
+func ArtifactError(v *volume.Volume, tf render.TransferFunction, m *Model, angle float64) (float64, error) {
+	approx, err := m.CompositeView(angle)
+	if err != nil {
+		return 0, err
+	}
+	truth, _ := render.RenderRotatedY(v, tf, angle)
+	return approx.RMSE(truth)
+}
+
+// ConePoint is one sample of the artifact-error-versus-angle curve.
+type ConePoint struct {
+	AngleDegrees float64
+	RMSE         float64
+	// WithSwitching is the error when the viewer is allowed to switch to the
+	// best decomposition axis for this angle (the Visapult extension); the
+	// off-axis angle is then measured from the nearest axis, never exceeding
+	// 45 degrees.
+	WithSwitchingRMSE float64
+}
+
+// ArtifactSweep evaluates the artifact error at each angle (degrees), both
+// without and with the axis-switching extension. Models are built per axis
+// with the given slab count.
+func ArtifactSweep(v *volume.Volume, tf render.TransferFunction, slabs int, anglesDeg []float64) ([]ConePoint, error) {
+	modelZ := BuildModel(v, tf, volume.AxisZ, slabs)
+	modelX := BuildModel(v, tf, volume.AxisX, slabs)
+	var out []ConePoint
+	for _, deg := range anglesDeg {
+		rad := deg * math.Pi / 180
+		rmse, err := ArtifactError(v, tf, modelZ, rad)
+		if err != nil {
+			return nil, err
+		}
+		// With axis switching the viewer uses the X-aligned decomposition
+		// once the view is closer to the X axis than the Z axis; its
+		// effective off-axis angle is then (90 - deg).
+		p := ConePoint{AngleDegrees: deg, RMSE: rmse, WithSwitchingRMSE: rmse}
+		if deg > 45 {
+			effective := (90 - deg) * math.Pi / 180
+			// The X model viewed "straight on" corresponds to rotating the
+			// world by 90 degrees; approximate the residual error by the X
+			// model's own off-axis error at the residual angle.
+			sw, err := ArtifactError(v, tf, modelX, effective)
+			if err != nil {
+				return nil, err
+			}
+			p.WithSwitchingRMSE = sw
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// ArtifactFreeCone returns the largest angle (degrees, scanned in 1-degree
+// steps up to maxDeg) whose artifact error stays below threshold times the
+// error at 45 degrees. The paper reports roughly a sixteen-degree cone.
+func ArtifactFreeCone(v *volume.Volume, tf render.TransferFunction, slabs int, threshold float64, maxDeg int) (float64, error) {
+	if threshold <= 0 {
+		threshold = 0.35
+	}
+	if maxDeg <= 0 || maxDeg > 60 {
+		maxDeg = 45
+	}
+	m := BuildModel(v, tf, volume.AxisZ, slabs)
+	ref, err := ArtifactError(v, tf, m, 45*math.Pi/180)
+	if err != nil {
+		return 0, err
+	}
+	if ref <= 0 {
+		return float64(maxDeg), nil
+	}
+	limit := threshold * ref
+	last := 0.0
+	for deg := 1; deg <= maxDeg; deg++ {
+		rmse, err := ArtifactError(v, tf, m, float64(deg)*math.Pi/180)
+		if err != nil {
+			return 0, err
+		}
+		if rmse > limit {
+			return last, nil
+		}
+		last = float64(deg)
+	}
+	return last, nil
+}
+
+// QuadmeshElevation computes the per-texel elevation (depth-offset) map of
+// the IBRAVR quadmesh extension: for each texture pixel, the offset from the
+// slab center plane to the first sample along the ray whose opacity exceeds
+// half the final accumulated opacity. Returned as a W*H slice in texture
+// order.
+func QuadmeshElevation(v *volume.Volume, r volume.Region, tf render.TransferFunction, axis volume.Axis) []float32 {
+	img, _ := render.RenderSlab(v, r, tf, axis)
+	w, h := img.W, img.H
+	out := make([]float32, w*h)
+	var dd int
+	switch axis {
+	case volume.AxisX:
+		dd = r.X1 - r.X0
+	case volume.AxisY:
+		dd = r.Y1 - r.Y0
+	default:
+		dd = r.Z1 - r.Z0
+	}
+	voxelAt := func(u, vv, d int) float32 {
+		switch axis {
+		case volume.AxisX:
+			return v.At(r.X0+d, r.Y0+u, r.Z0+vv)
+		case volume.AxisY:
+			return v.At(r.X0+u, r.Y0+d, r.Z0+vv)
+		default:
+			return v.At(r.X0+u, r.Y0+vv, r.Z0+d)
+		}
+	}
+	half := float32(dd) / 2
+	for vv := 0; vv < h; vv++ {
+		for u := 0; u < w; u++ {
+			_, _, _, finalA := img.At(u, vv)
+			if finalA <= 0 {
+				out[vv*w+u] = 0
+				continue
+			}
+			var acc float32
+			elev := float32(0)
+			for d := 0; d < dd; d++ {
+				_, _, _, sa := tf.Map(voxelAt(u, vv, d))
+				acc += (1 - acc) * sa
+				if acc >= finalA/2 {
+					elev = float32(d) - half
+					break
+				}
+			}
+			out[vv*w+u] = elev
+		}
+	}
+	return out
+}
+
+// String implements fmt.Stringer.
+func (m *Model) String() string {
+	return fmt.Sprintf("IBR model: %d slabs along %v, %d texture bytes", len(m.Slabs), m.Axis, m.TextureBytes())
+}

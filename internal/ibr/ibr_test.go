@@ -1,0 +1,228 @@
+package ibr
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"visapult/internal/datagen"
+	"visapult/internal/render"
+	"visapult/internal/volume"
+)
+
+func testVolume() *volume.Volume {
+	gen := datagen.NewCombustion(datagen.CombustionConfig{NX: 24, NY: 24, NZ: 24, Timesteps: 4, Seed: 17})
+	return gen.Generate(2)
+}
+
+func TestBuildModelGeometry(t *testing.T) {
+	v := testVolume()
+	m := BuildModel(v, render.FireTF{}, volume.AxisZ, 4)
+	if len(m.Slabs) != 4 {
+		t.Fatalf("slabs = %d", len(m.Slabs))
+	}
+	if m.VolumeNX != 24 || m.Axis != volume.AxisZ {
+		t.Errorf("model metadata = %+v", m)
+	}
+	// Slab centers must be symmetric about the volume center and ordered.
+	offsets := []float64{m.Slabs[0].CenterOffset, m.Slabs[1].CenterOffset, m.Slabs[2].CenterOffset, m.Slabs[3].CenterOffset}
+	if offsets[0] != -9 || offsets[1] != -3 || offsets[2] != 3 || offsets[3] != 9 {
+		t.Errorf("center offsets = %v", offsets)
+	}
+	for _, s := range m.Slabs {
+		if s.Thickness != 6 {
+			t.Errorf("thickness = %v", s.Thickness)
+		}
+		if s.Image.W != 24 || s.Image.H != 24 {
+			t.Errorf("texture dims = %dx%d", s.Image.W, s.Image.H)
+		}
+	}
+	if m.TextureBytes() != 4*24*24*4 {
+		t.Errorf("texture bytes = %d", m.TextureBytes())
+	}
+	if !strings.Contains(m.String(), "4 slabs") {
+		t.Errorf("string = %q", m.String())
+	}
+}
+
+func TestAxisAlignedViewMatchesFullRender(t *testing.T) {
+	v := testVolume()
+	tf := render.FireTF{}
+	m := BuildModel(v, tf, volume.AxisZ, 6)
+	view, err := m.AxisAlignedView()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reference, _ := render.RenderFull(v, tf, volume.AxisZ)
+	rmse, err := view.RMSE(reference)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rmse > 0.02 {
+		t.Errorf("axis-aligned IBR view should match full render, RMSE = %v", rmse)
+	}
+}
+
+func TestEmptyModelErrors(t *testing.T) {
+	m := &Model{}
+	if _, err := m.AxisAlignedView(); !errors.Is(err, ErrNoSlabs) {
+		t.Error("axis-aligned view of empty model should fail")
+	}
+	if _, err := m.CompositeView(0.1); !errors.Is(err, ErrNoSlabs) {
+		t.Error("composite view of empty model should fail")
+	}
+}
+
+func TestCompositeViewZeroAngleEqualsAxisAligned(t *testing.T) {
+	v := testVolume()
+	m := BuildModel(v, render.FireTF{}, volume.AxisZ, 4)
+	a, err := m.CompositeView(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.AxisAlignedView()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rmse, err := a.RMSE(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rmse != 0 {
+		t.Errorf("zero-angle composite should equal axis-aligned view, RMSE = %v", rmse)
+	}
+}
+
+func TestArtifactErrorGrowsOffAxis(t *testing.T) {
+	// The paper's Figure 6: near-axis views are high fidelity; rotating away
+	// from the axis introduces artifacts that grow with angle.
+	v := testVolume()
+	tf := render.FireTF{}
+	m := BuildModel(v, tf, volume.AxisZ, 6)
+	var prev float64
+	angles := []float64{2, 10, 25, 40}
+	for i, deg := range angles {
+		rmse, err := ArtifactError(v, tf, m, deg*math.Pi/180)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && rmse < prev {
+			t.Errorf("artifact error should grow with angle: %v deg -> %v, previous %v", deg, rmse, prev)
+		}
+		prev = rmse
+	}
+	small, _ := ArtifactError(v, tf, m, 2*math.Pi/180)
+	large, _ := ArtifactError(v, tf, m, 40*math.Pi/180)
+	if large < 2*small {
+		t.Errorf("40-degree error (%v) should be much larger than 2-degree error (%v)", large, small)
+	}
+}
+
+func TestArtifactFreeConeIsModerate(t *testing.T) {
+	// The paper reports an artifact-free cone of roughly sixteen degrees.
+	// With a synthetic dataset and an RMSE criterion the exact value varies,
+	// but it must be a moderate cone: more than a few degrees, well under 45.
+	v := testVolume()
+	cone, err := ArtifactFreeCone(v, render.FireTF{}, 6, 0.35, 45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cone < 4 || cone > 40 {
+		t.Errorf("artifact-free cone = %v degrees, want a moderate cone (paper: ~16)", cone)
+	}
+}
+
+func TestArtifactSweepWithSwitching(t *testing.T) {
+	v := testVolume()
+	points, err := ArtifactSweep(v, render.FireTF{}, 4, []float64{5, 30, 60, 85})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("points = %d", len(points))
+	}
+	// Below 45 degrees switching changes nothing.
+	if points[0].WithSwitchingRMSE != points[0].RMSE {
+		t.Error("switching should not apply below 45 degrees")
+	}
+	// Near 90 degrees, switching to the X-aligned slabs must beat staying on Z.
+	last := points[len(points)-1]
+	if last.WithSwitchingRMSE >= last.RMSE {
+		t.Errorf("at %v degrees switching (%v) should beat no switching (%v)",
+			last.AngleDegrees, last.WithSwitchingRMSE, last.RMSE)
+	}
+}
+
+func TestBestAxis(t *testing.T) {
+	cases := []struct {
+		view ViewVector
+		want volume.Axis
+	}{
+		{ViewVector{0, 0, 1}, volume.AxisZ},
+		{ViewVector{0, 0, -1}, volume.AxisZ},
+		{ViewVector{1, 0, 0.2}, volume.AxisX},
+		{ViewVector{0, -3, 0.2}, volume.AxisY},
+	}
+	for _, c := range cases {
+		axis, off := BestAxis(c.view)
+		if axis != c.want {
+			t.Errorf("BestAxis(%+v) = %v, want %v", c.view, axis, c.want)
+		}
+		if off < 0 || off > math.Pi/2 {
+			t.Errorf("off-axis angle = %v", off)
+		}
+	}
+	// Zero view defaults to Z with no offset.
+	if axis, off := BestAxis(ViewVector{}); axis != volume.AxisZ || off != 0 {
+		t.Error("zero view vector default")
+	}
+	// Perfectly aligned view has zero off-axis angle.
+	if _, off := BestAxis(ViewVector{0, 0, 5}); off > 1e-9 {
+		t.Errorf("aligned off-axis angle = %v", off)
+	}
+}
+
+func TestBestAxisSwitchesAt45Degrees(t *testing.T) {
+	justUnder := ViewFromYRotation(44 * math.Pi / 180)
+	justOver := ViewFromYRotation(46 * math.Pi / 180)
+	if axis, _ := BestAxis(justUnder); axis != volume.AxisZ {
+		t.Error("44 degrees should still pick Z")
+	}
+	if axis, _ := BestAxis(justOver); axis != volume.AxisX {
+		t.Error("46 degrees should switch to X")
+	}
+}
+
+func TestViewFromYRotation(t *testing.T) {
+	v := ViewFromYRotation(0)
+	if v.Z != 1 || v.X != 0 {
+		t.Errorf("zero rotation view = %+v", v)
+	}
+	v = ViewFromYRotation(math.Pi / 2)
+	if math.Abs(v.X-1) > 1e-9 || math.Abs(v.Z) > 1e-9 {
+		t.Errorf("90-degree view = %+v", v)
+	}
+}
+
+func TestQuadmeshElevation(t *testing.T) {
+	v := testVolume()
+	regions := volume.SlabsOf(v, volume.AxisZ, 2)
+	elev := QuadmeshElevation(v, regions[0], render.FireTF{}, volume.AxisZ)
+	if len(elev) != 24*24 {
+		t.Fatalf("elevation length = %d", len(elev))
+	}
+	thickness := float32(regions[0].Z1 - regions[0].Z0)
+	nonZero := 0
+	for _, e := range elev {
+		if e < -thickness/2 || e > thickness/2 {
+			t.Fatalf("elevation %v outside slab half-thickness %v", e, thickness/2)
+		}
+		if e != 0 {
+			nonZero++
+		}
+	}
+	if nonZero == 0 {
+		t.Error("elevation map is entirely flat for a structured volume")
+	}
+}

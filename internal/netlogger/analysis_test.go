@@ -1,0 +1,289 @@
+package netlogger
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// buildSyntheticRun fabricates a back-end/viewer event log shaped like the
+// paper's serial runs: per frame, load (L) then render (R) then heavy send,
+// on each of numPEs back-end workers, plus matching viewer receive events.
+func buildSyntheticRun(frames, numPEs int, load, render, send time.Duration) []Event {
+	origin := time.Date(2000, 4, 12, 10, 0, 0, 0, time.UTC)
+	var events []Event
+	for pe := 0; pe < numPEs; pe++ {
+		be := New("cplant", "backend-worker")
+		t := origin
+		for f := 0; f < frames; f++ {
+			be.LogAt(t, BEFrameStart, Int(FieldFrame, f), Int(FieldPE, pe))
+			be.LogAt(t, BELoadStart, Int(FieldFrame, f), Int(FieldPE, pe))
+			t = t.Add(load)
+			be.LogAt(t, BELoadEnd, Int(FieldFrame, f), Int(FieldPE, pe), Int64(FieldBytes, 40<<20))
+			be.LogAt(t, BERenderStart, Int(FieldFrame, f), Int(FieldPE, pe))
+			t = t.Add(render)
+			be.LogAt(t, BERenderEnd, Int(FieldFrame, f), Int(FieldPE, pe))
+			be.LogAt(t, BEHeavySend, Int(FieldFrame, f), Int(FieldPE, pe))
+			t = t.Add(send)
+			be.LogAt(t, BEHeavyEnd, Int(FieldFrame, f), Int(FieldPE, pe), Int64(FieldBytes, 1<<20))
+			be.LogAt(t, BEFrameEnd, Int(FieldFrame, f), Int(FieldPE, pe))
+		}
+		events = append(events, be.Events()...)
+	}
+	viewer := New("desktop", "viewer-worker")
+	t := origin
+	for f := 0; f < frames; f++ {
+		viewer.LogAt(t, VFrameStart, Int(FieldFrame, f), Int(FieldPE, 0))
+		t = t.Add(load + render)
+		viewer.LogAt(t, VHeavyPayloadStart, Int(FieldFrame, f), Int(FieldPE, 0))
+		t = t.Add(send)
+		viewer.LogAt(t, VHeavyPayloadEnd, Int(FieldFrame, f), Int(FieldPE, 0), Int64(FieldBytes, 1<<20))
+		viewer.LogAt(t, VFrameEnd, Int(FieldFrame, f), Int(FieldPE, 0))
+	}
+	return append(events, viewer.Events()...)
+}
+
+func TestAnalyzeEmptyLog(t *testing.T) {
+	a := Analyze(nil)
+	if a.Span() != 0 {
+		t.Error("empty span should be 0")
+	}
+	if len(a.Tags()) != 0 {
+		t.Error("no tags expected")
+	}
+	if len(a.Phases(BELoadStart, BELoadEnd)) != 0 {
+		t.Error("no phases expected")
+	}
+}
+
+func TestPhasesMatchedPerFrameAndPE(t *testing.T) {
+	events := buildSyntheticRun(3, 4, 2*time.Second, time.Second, 500*time.Millisecond)
+	a := Analyze(events)
+	loads := a.Phases(BELoadStart, BELoadEnd)
+	if len(loads) != 12 { // 3 frames x 4 PEs
+		t.Fatalf("load phases = %d, want 12", len(loads))
+	}
+	for _, p := range loads {
+		if p.Duration() != 2*time.Second {
+			t.Errorf("load duration = %v (frame %d pe %d)", p.Duration(), p.Frame, p.PE)
+		}
+		if p.Bytes != 40<<20 {
+			t.Errorf("bytes = %d", p.Bytes)
+		}
+		if p.Mbps() <= 0 {
+			t.Errorf("mbps = %v", p.Mbps())
+		}
+	}
+	renders := a.PhaseDurations(BERenderStart, BERenderEnd)
+	if len(renders) != 12 {
+		t.Fatalf("render phases = %d", len(renders))
+	}
+	for _, d := range renders {
+		if d != time.Second {
+			t.Errorf("render duration = %v", d)
+		}
+	}
+}
+
+func TestPhasesUnmatchedStartDropped(t *testing.T) {
+	l := New("h", "p")
+	base := time.Unix(100, 0).UTC()
+	l.LogAt(base, BELoadStart, Int(FieldFrame, 0), Int(FieldPE, 0))
+	// End for a different frame: must not pair.
+	l.LogAt(base.Add(time.Second), BELoadEnd, Int(FieldFrame, 1), Int(FieldPE, 0))
+	a := Analyze(l.Events())
+	if got := len(a.Phases(BELoadStart, BELoadEnd)); got != 0 {
+		t.Errorf("phases = %d, want 0", got)
+	}
+}
+
+func TestSummarizePhase(t *testing.T) {
+	events := buildSyntheticRun(5, 2, 3*time.Second, 2*time.Second, time.Second)
+	a := Analyze(events)
+	s := a.SummarizePhase(BELoadStart, BELoadEnd)
+	if s.Count != 10 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.Mean != 3*time.Second || s.Min != 3*time.Second || s.Max != 3*time.Second {
+		t.Errorf("mean/min/max = %v/%v/%v", s.Mean, s.Min, s.Max)
+	}
+	if s.CoV != 0 {
+		t.Errorf("constant durations should have zero CoV, got %v", s.CoV)
+	}
+	if s.AggregateMbps <= 0 {
+		t.Errorf("aggregate Mbps = %v", s.AggregateMbps)
+	}
+	empty := a.SummarizePhase("NO_SUCH", "TAGS")
+	if empty.Count != 0 {
+		t.Error("empty phase should have zero count")
+	}
+}
+
+func TestFrameSpan(t *testing.T) {
+	events := buildSyntheticRun(2, 3, time.Second, time.Second, time.Second)
+	a := Analyze(events)
+	spans := a.FrameSpan(BEFrameStart, BEFrameEnd)
+	if len(spans) != 2 {
+		t.Fatalf("frame spans = %d", len(spans))
+	}
+	for f, d := range spans {
+		if d != 3*time.Second {
+			t.Errorf("frame %d span = %v, want 3s", f, d)
+		}
+	}
+}
+
+func TestTagsAndFilters(t *testing.T) {
+	events := buildSyntheticRun(1, 1, time.Second, time.Second, time.Second)
+	a := Analyze(events)
+	tags := a.Tags()
+	if len(tags) < 10 {
+		t.Errorf("tags = %v", tags)
+	}
+	if got := a.FilterTag(BELoadEnd); len(got) != 1 {
+		t.Errorf("FilterTag = %d", len(got))
+	}
+	if got := a.FilterProg("viewer-worker"); len(got) != 4 {
+		t.Errorf("FilterProg = %d", len(got))
+	}
+	if got := a.FilterProg("nonexistent"); len(got) != 0 {
+		t.Errorf("FilterProg nonexistent = %d", len(got))
+	}
+}
+
+func TestOverlapFractionSerialVsOverlapped(t *testing.T) {
+	origin := time.Date(2000, 4, 12, 0, 0, 0, 0, time.UTC)
+	mk := func(overlapped bool) []Event {
+		l := New("host", "backend-worker")
+		t := origin
+		for f := 0; f < 4; f++ {
+			l.LogAt(t, BELoadStart, Int(FieldFrame, f), Int(FieldPE, 0))
+			loadEnd := t.Add(2 * time.Second)
+			l.LogAt(loadEnd, BELoadEnd, Int(FieldFrame, f), Int(FieldPE, 0))
+			var renderStart time.Time
+			if overlapped && f > 0 {
+				// render frame f-1 while loading frame f
+				renderStart = t
+			} else {
+				renderStart = loadEnd
+			}
+			l.LogAt(renderStart, BERenderStart, Int(FieldFrame, f), Int(FieldPE, 0))
+			l.LogAt(renderStart.Add(2*time.Second), BERenderEnd, Int(FieldFrame, f), Int(FieldPE, 0))
+			if overlapped {
+				t = loadEnd
+			} else {
+				t = renderStart.Add(2 * time.Second)
+			}
+		}
+		return l.Events()
+	}
+	serial := Analyze(mk(false)).OverlapFraction(BELoadStart, BELoadEnd, BERenderStart, BERenderEnd)
+	overlapped := Analyze(mk(true)).OverlapFraction(BELoadStart, BELoadEnd, BERenderStart, BERenderEnd)
+	if serial != 0 {
+		t.Errorf("serial overlap fraction = %v, want 0", serial)
+	}
+	if overlapped <= serial {
+		t.Errorf("overlapped fraction %v should exceed serial %v", overlapped, serial)
+	}
+}
+
+func TestLifelinesGrouping(t *testing.T) {
+	events := buildSyntheticRun(1, 3, time.Second, time.Second, time.Second)
+	a := Analyze(events)
+	lines := a.Lifelines()
+	// 3 backend PEs + 1 viewer stream.
+	if len(lines) != 4 {
+		t.Fatalf("lifelines = %d", len(lines))
+	}
+	// Sorted by prog: backend-worker before viewer-worker, PEs ascending.
+	if lines[0].Prog != "backend-worker" || lines[0].PE != 0 {
+		t.Errorf("first lifeline = %+v", lines[0])
+	}
+	if lines[3].Prog != "viewer-worker" {
+		t.Errorf("last lifeline = %+v", lines[3])
+	}
+	for _, ll := range lines {
+		if len(ll.Events) == 0 {
+			t.Error("lifeline with no events")
+		}
+	}
+}
+
+func TestRenderNLV(t *testing.T) {
+	events := buildSyntheticRun(3, 2, time.Second, time.Second, time.Second)
+	out := RenderNLV(events, NLVOptions{Width: 60, TagOrder: BackEndTags})
+	if !strings.Contains(out, BELoadStart) || !strings.Contains(out, BEFrameEnd) {
+		t.Errorf("plot missing tag rows:\n%s", out)
+	}
+	if !strings.Contains(out, "o") {
+		t.Error("plot has no event markers")
+	}
+	// The first tag in TagOrder must be printed on the last (bottom) tag row.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	bottomTagRow := lines[len(lines)-3]
+	if !strings.HasPrefix(bottomTagRow, BEFrameStart) {
+		t.Errorf("bottom row = %q, want %s first", bottomTagRow, BEFrameStart)
+	}
+}
+
+func TestRenderNLVEmpty(t *testing.T) {
+	out := RenderNLV(nil, NLVOptions{})
+	if !strings.Contains(out, "empty") {
+		t.Errorf("empty log rendering = %q", out)
+	}
+}
+
+func TestRenderNLVDefaultsAndUnlistedTags(t *testing.T) {
+	l := New("h", "p")
+	l.LogAt(time.Unix(0, 0).UTC(), "CUSTOM_TAG")
+	l.LogAt(time.Unix(1, 0).UTC(), "OTHER_TAG")
+	out := RenderNLV(l.Events(), NLVOptions{TagOrder: []string{"OTHER_TAG"}})
+	if !strings.Contains(out, "CUSTOM_TAG") {
+		t.Error("unlisted tags should still be rendered")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	events := buildSyntheticRun(2, 1, time.Second, time.Second, time.Second)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != len(events)+1 {
+		t.Fatalf("csv lines = %d, want %d", len(lines), len(events)+1)
+	}
+	if !strings.HasPrefix(lines[0], "elapsed_seconds,host,prog") {
+		t.Errorf("header = %q", lines[0])
+	}
+	// First data row should be at elapsed 0.
+	if !strings.HasPrefix(lines[1], "0.000000,") {
+		t.Errorf("first row = %q", lines[1])
+	}
+}
+
+func TestPhaseReport(t *testing.T) {
+	events := buildSyntheticRun(3, 2, 2*time.Second, time.Second, 500*time.Millisecond)
+	report := PhaseReport(events)
+	for _, want := range []string{"BE load", "BE render", "BE heavy send", "Viewer heavy payload"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+	// Phases with no events should be omitted, not rendered as zero rows.
+	if strings.Contains(report, "Viewer light payload") {
+		t.Errorf("report should omit absent phases:\n%s", report)
+	}
+}
+
+func TestElapsedAndSpan(t *testing.T) {
+	events := buildSyntheticRun(2, 1, time.Second, time.Second, time.Second)
+	a := Analyze(events)
+	if a.Elapsed(a.Origin()) != 0 {
+		t.Error("elapsed at origin should be 0")
+	}
+	if a.Span() != 6*time.Second {
+		t.Errorf("span = %v, want 6s", a.Span())
+	}
+}

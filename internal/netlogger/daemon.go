@@ -1,0 +1,161 @@
+package netlogger
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"net"
+	"sync"
+)
+
+// Daemon is the netlogd event collection service: distributed Visapult
+// components dial it (see DialSink) and stream ULM lines; the daemon
+// accumulates them into a single event log for later analysis, exactly as the
+// original NetLogger daemon did for the paper's field tests.
+type Daemon struct {
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	events   []Event
+	parseErr int
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewDaemon returns a daemon that is not yet listening.
+func NewDaemon() *Daemon { return &Daemon{conns: make(map[net.Conn]struct{})} }
+
+// Listen starts accepting connections on addr (e.g. "127.0.0.1:0"). It
+// returns the bound address. Serving happens on background goroutines; call
+// Close to stop.
+func (d *Daemon) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	d.mu.Lock()
+	d.ln = ln
+	d.mu.Unlock()
+	d.wg.Add(1)
+	go d.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+// Addr returns the listening address, or "" if not listening.
+func (d *Daemon) Addr() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.ln == nil {
+		return ""
+	}
+	return d.ln.Addr().String()
+}
+
+func (d *Daemon) acceptLoop(ln net.Listener) {
+	defer d.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			d.mu.Lock()
+			closed := d.closed
+			d.mu.Unlock()
+			if closed {
+				return
+			}
+			continue
+		}
+		d.mu.Lock()
+		if d.closed {
+			d.mu.Unlock()
+			conn.Close()
+			return
+		}
+		d.conns[conn] = struct{}{}
+		d.mu.Unlock()
+		d.wg.Add(1)
+		go d.serveConn(conn)
+	}
+}
+
+func (d *Daemon) serveConn(conn net.Conn) {
+	defer d.wg.Done()
+	defer func() {
+		conn.Close()
+		d.mu.Lock()
+		delete(d.conns, conn)
+		d.mu.Unlock()
+	}()
+	d.Ingest(conn) //nolint:errcheck // connection teardown is expected
+}
+
+// Ingest consumes ULM lines from r until EOF, accumulating parsed events.
+// It is exported so that tests and the nlv tool can feed the daemon from
+// files as well as sockets.
+func (d *Daemon) Ingest(r io.Reader) error {
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 64<<10), 1<<20)
+	for scanner.Scan() {
+		line := scanner.Text()
+		if line == "" {
+			continue
+		}
+		e, err := ParseULM(line)
+		d.mu.Lock()
+		if err != nil {
+			d.parseErr++
+		} else {
+			d.events = append(d.events, e)
+		}
+		d.mu.Unlock()
+	}
+	return scanner.Err()
+}
+
+// Events returns the accumulated events sorted by timestamp.
+func (d *Daemon) Events() []Event {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]Event, len(d.events))
+	copy(out, d.events)
+	SortByTime(out)
+	return out
+}
+
+// Len returns the number of events accumulated so far.
+func (d *Daemon) Len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.events)
+}
+
+// ParseErrors returns the number of malformed lines received.
+func (d *Daemon) ParseErrors() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.parseErr
+}
+
+// Close stops the listener and waits for connection handlers to drain.
+// Events already accumulated remain available.
+func (d *Daemon) Close() error {
+	d.mu.Lock()
+	d.closed = true
+	ln := d.ln
+	conns := make([]net.Conn, 0, len(d.conns))
+	for c := range d.conns {
+		conns = append(conns, c)
+	}
+	d.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	d.wg.Wait()
+	return err
+}

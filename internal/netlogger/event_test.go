@@ -1,0 +1,204 @@
+package netlogger
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestULMRoundTrip(t *testing.T) {
+	e := Event{
+		Time:  time.Date(2000, 4, 12, 9, 30, 15, 123456000, time.UTC),
+		Host:  "cplant-node-3",
+		Prog:  "backend-worker",
+		Tag:   BELoadEnd,
+		Level: 1,
+		Fields: map[string]string{
+			FieldFrame: "7",
+			FieldPE:    "3",
+			FieldBytes: "41943040",
+		},
+	}
+	line := e.ULM()
+	got, err := ParseULM(line)
+	if err != nil {
+		t.Fatalf("ParseULM: %v", err)
+	}
+	if !got.Time.Equal(e.Time) {
+		t.Errorf("time = %v, want %v", got.Time, e.Time)
+	}
+	if got.Host != e.Host || got.Prog != e.Prog || got.Tag != e.Tag || got.Level != e.Level {
+		t.Errorf("identity fields differ: %+v", got)
+	}
+	if got.Frame() != 7 || got.PE() != 3 || got.Bytes() != 41943040 {
+		t.Errorf("field accessors: frame=%d pe=%d bytes=%d", got.Frame(), got.PE(), got.Bytes())
+	}
+}
+
+func TestULMDeterministicFieldOrder(t *testing.T) {
+	e := Event{
+		Time: time.Unix(0, 0).UTC(), Host: "h", Prog: "p", Tag: "T",
+		Fields: map[string]string{"Z": "1", "A": "2", "M": "3"},
+	}
+	first := e.ULM()
+	for i := 0; i < 10; i++ {
+		if e.ULM() != first {
+			t.Fatal("ULM encoding is not deterministic")
+		}
+	}
+	if !strings.Contains(first, "A=2 M=3 Z=1") {
+		t.Errorf("fields not sorted: %q", first)
+	}
+}
+
+func TestULMSanitizesTokens(t *testing.T) {
+	e := Event{
+		Time: time.Unix(0, 0).UTC(), Host: "bad host", Prog: "a=b", Tag: "TAG WITH SPACE",
+	}
+	line := e.ULM()
+	got, err := ParseULM(line)
+	if err != nil {
+		t.Fatalf("sanitized line should parse: %v (%q)", err, line)
+	}
+	if strings.ContainsAny(got.Host, " =") || strings.ContainsAny(got.Tag, " =") {
+		t.Errorf("sanitization failed: %+v", got)
+	}
+}
+
+func TestULMEmptyFieldsBecomeDash(t *testing.T) {
+	e := Event{Time: time.Unix(0, 0).UTC(), Tag: "X"}
+	line := e.ULM()
+	got, err := ParseULM(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Host != "-" || got.Prog != "-" {
+		t.Errorf("empty host/prog should encode as '-': %+v", got)
+	}
+}
+
+func TestParseULMErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"no equals sign here",
+		"DATE=20000412093015.123456", // missing NL.EVNT
+		"NL.EVNT=FOO",                // missing DATE
+		"DATE=notadate NL.EVNT=FOO",  // bad date
+		"DATE=20000412093015.123456 NL.EVNT=F LVL=x", // bad level
+	}
+	for _, c := range cases {
+		if _, err := ParseULM(c); err == nil {
+			t.Errorf("ParseULM(%q) should fail", c)
+		}
+	}
+}
+
+func TestEventAccessorsAbsent(t *testing.T) {
+	e := Event{Fields: map[string]string{}}
+	if e.Frame() != -1 || e.PE() != -1 || e.Bytes() != 0 {
+		t.Errorf("absent fields: frame=%d pe=%d bytes=%d", e.Frame(), e.PE(), e.Bytes())
+	}
+	e.Fields[FieldFrame] = "xyz"
+	if e.Frame() != -1 {
+		t.Error("malformed FRAME should return -1")
+	}
+}
+
+func TestParseLog(t *testing.T) {
+	l := New("host", "prog")
+	l.Log(BEFrameStart, Int(FieldFrame, 0))
+	l.Log(BEFrameEnd, Int(FieldFrame, 0))
+	var b strings.Builder
+	for _, e := range l.Events() {
+		b.WriteString(e.ULM() + "\n\n") // blank lines should be skipped
+	}
+	events, err := ParseLog(b.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("parsed %d events", len(events))
+	}
+	if events[0].Tag != BEFrameStart || events[1].Tag != BEFrameEnd {
+		t.Errorf("tags = %v %v", events[0].Tag, events[1].Tag)
+	}
+}
+
+func TestParseLogStopsAtMalformedLine(t *testing.T) {
+	text := Event{Time: time.Unix(0, 0).UTC(), Tag: "OK"}.ULM() + "\ngarbage line\n"
+	events, err := ParseLog(text)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if len(events) != 1 {
+		t.Fatalf("events before error = %d", len(events))
+	}
+}
+
+func TestSortByTimeStable(t *testing.T) {
+	base := time.Unix(1000, 0).UTC()
+	events := []Event{
+		{Time: base.Add(2 * time.Second), Tag: "C"},
+		{Time: base, Tag: "A1"},
+		{Time: base, Tag: "A2"},
+		{Time: base.Add(time.Second), Tag: "B"},
+	}
+	SortByTime(events)
+	wantTags := []string{"A1", "A2", "B", "C"}
+	for i, w := range wantTags {
+		if events[i].Tag != w {
+			t.Fatalf("order = %v", events)
+		}
+	}
+}
+
+func TestULMRoundTripProperty(t *testing.T) {
+	f := func(frame uint16, pe uint8, bytes uint32, secs uint32) bool {
+		e := Event{
+			Time:  time.Unix(int64(secs), int64(frame)*1000).UTC(),
+			Host:  "host",
+			Prog:  "prog",
+			Tag:   BEHeavyEnd,
+			Level: 1,
+			Fields: map[string]string{
+				FieldFrame: Int(FieldFrame, int(frame)).Value,
+				FieldPE:    Int(FieldPE, int(pe)).Value,
+				FieldBytes: Int64(FieldBytes, int64(bytes)).Value,
+			},
+		}
+		got, err := ParseULM(e.ULM())
+		if err != nil {
+			return false
+		}
+		return got.Frame() == int(frame) && got.PE() == int(pe) && got.Bytes() == int64(bytes) &&
+			got.Time.Equal(e.Time.Truncate(time.Microsecond))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStandardTagLists(t *testing.T) {
+	if len(BackEndTags) != 10 {
+		t.Errorf("backend tags = %d", len(BackEndTags))
+	}
+	if len(ViewerTags) != 6 {
+		t.Errorf("viewer tags = %d", len(ViewerTags))
+	}
+	if BackEndTags[0] != BEFrameStart || ViewerTags[len(ViewerTags)-1] != VFrameEnd {
+		t.Error("tag ordering does not match the paper's tables")
+	}
+}
+
+func TestFieldConstructors(t *testing.T) {
+	if f := Int("N", 42); f.Key != "N" || f.Value != "42" {
+		t.Errorf("Int = %+v", f)
+	}
+	if f := Int64("B", 1<<40); f.Value != "1099511627776" {
+		t.Errorf("Int64 = %+v", f)
+	}
+	if f := Str("S", "v"); f.Value != "v" {
+		t.Errorf("Str = %+v", f)
+	}
+}

@@ -1,0 +1,248 @@
+package netlogger
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func fixedClock(start time.Time, step time.Duration) Clock {
+	i := 0
+	var mu sync.Mutex
+	return func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		t := start.Add(time.Duration(i) * step)
+		i++
+		return t
+	}
+}
+
+func TestLoggerEmitsAndRetains(t *testing.T) {
+	l := New("viz1", "viewer-master")
+	l.Log(VFrameStart, Int(FieldFrame, 0))
+	l.Log(VFrameEnd, Int(FieldFrame, 0))
+	if l.Len() != 2 {
+		t.Fatalf("len = %d", l.Len())
+	}
+	evs := l.Events()
+	if evs[0].Host != "viz1" || evs[0].Prog != "viewer-master" {
+		t.Errorf("identity = %+v", evs[0])
+	}
+	if evs[0].Tag != VFrameStart || evs[1].Tag != VFrameEnd {
+		t.Errorf("tags = %v", evs)
+	}
+	if l.Host() != "viz1" || l.Prog() != "viewer-master" {
+		t.Error("accessors")
+	}
+}
+
+func TestLoggerEventsReturnsCopy(t *testing.T) {
+	l := New("h", "p")
+	l.Log("A")
+	evs := l.Events()
+	evs[0].Tag = "MUTATED"
+	if l.Events()[0].Tag != "A" {
+		t.Error("Events must return a copy")
+	}
+}
+
+func TestLoggerSinkReceivesULM(t *testing.T) {
+	var buf bytes.Buffer
+	l := New("h", "p", WithSink(&buf), WithLevel(3))
+	l.Log(BELoadStart, Int(FieldFrame, 1), Int(FieldPE, 0))
+	line := strings.TrimSpace(buf.String())
+	e, err := ParseULM(line)
+	if err != nil {
+		t.Fatalf("sink line unparseable: %v", err)
+	}
+	if e.Tag != BELoadStart || e.Level != 3 || e.Frame() != 1 {
+		t.Errorf("parsed = %+v", e)
+	}
+}
+
+func TestLoggerAddSink(t *testing.T) {
+	l := New("h", "p")
+	l.Log("BEFORE")
+	var buf bytes.Buffer
+	l.AddSink(&buf)
+	l.AddSink(nil) // ignored
+	l.Log("AFTER")
+	if strings.Contains(buf.String(), "BEFORE") {
+		t.Error("sink should only receive events after attachment")
+	}
+	if !strings.Contains(buf.String(), "AFTER") {
+		t.Error("sink did not receive event")
+	}
+}
+
+func TestLoggerWithClock(t *testing.T) {
+	start := time.Date(2000, 4, 12, 0, 0, 0, 0, time.UTC)
+	l := New("h", "p", WithClock(fixedClock(start, time.Second)))
+	e1 := l.Log("A")
+	e2 := l.Log("B")
+	if !e1.Time.Equal(start) || !e2.Time.Equal(start.Add(time.Second)) {
+		t.Errorf("clock not honored: %v %v", e1.Time, e2.Time)
+	}
+	// nil clock option is ignored.
+	l2 := New("h", "p", WithClock(nil))
+	if l2.Log("X").Time.IsZero() {
+		t.Error("nil clock should fall back to time.Now")
+	}
+}
+
+func TestLoggerLogAt(t *testing.T) {
+	l := New("h", "p")
+	ts := time.Date(1999, 11, 14, 12, 0, 0, 0, time.UTC)
+	e := l.LogAt(ts, BERenderEnd, Int(FieldFrame, 5))
+	if !e.Time.Equal(ts) {
+		t.Errorf("LogAt time = %v", e.Time)
+	}
+	if e.Frame() != 5 {
+		t.Errorf("frame = %d", e.Frame())
+	}
+}
+
+func TestLoggerReset(t *testing.T) {
+	l := New("h", "p")
+	l.Log("A")
+	l.Reset()
+	if l.Len() != 0 {
+		t.Error("reset did not clear events")
+	}
+}
+
+func TestLoggerConcurrentUse(t *testing.T) {
+	l := New("h", "p")
+	var wg sync.WaitGroup
+	const goroutines = 8
+	const perG = 200
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				l.Log(BEFrameStart, Int(FieldFrame, i), Int(FieldPE, g))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if l.Len() != goroutines*perG {
+		t.Fatalf("len = %d, want %d", l.Len(), goroutines*perG)
+	}
+}
+
+func TestCollectorMergesAndSorts(t *testing.T) {
+	start := time.Date(2000, 1, 1, 0, 0, 0, 0, time.UTC)
+	backend := New("cplant", "backend-worker", WithClock(fixedClock(start.Add(time.Second), time.Second)))
+	viewer := New("desktop", "viewer-master", WithClock(fixedClock(start, 3*time.Second)))
+	backend.Log(BELoadStart)
+	backend.Log(BELoadEnd)
+	viewer.Log(VFrameStart)
+	viewer.Log(VFrameEnd)
+
+	c := NewCollector()
+	c.AddLogger(backend)
+	c.AddLogger(viewer)
+	if c.Len() != 4 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	evs := c.Events()
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Time.Before(evs[i-1].Time) {
+			t.Fatal("collector events not sorted")
+		}
+	}
+	var buf bytes.Buffer
+	if err := c.WriteULM(&buf); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseLog(buf.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed) != 4 {
+		t.Fatalf("round-trip parsed %d events", len(parsed))
+	}
+}
+
+func TestDaemonCollectsFromTCPClients(t *testing.T) {
+	d := NewDaemon()
+	addr, err := d.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if d.Addr() != addr {
+		t.Errorf("Addr = %q want %q", d.Addr(), addr)
+	}
+
+	sink, err := DialSink(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := New("backend", "backend-worker", WithSink(sink))
+	for frame := 0; frame < 5; frame++ {
+		l.Log(BELoadStart, Int(FieldFrame, frame), Int(FieldPE, 0))
+		l.Log(BELoadEnd, Int(FieldFrame, frame), Int(FieldPE, 0), Int64(FieldBytes, 1<<20))
+	}
+	sink.Close()
+
+	deadline := time.Now().Add(2 * time.Second)
+	for d.Len() < 10 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if d.Len() != 10 {
+		t.Fatalf("daemon accumulated %d events, want 10", d.Len())
+	}
+	if d.ParseErrors() != 0 {
+		t.Errorf("parse errors = %d", d.ParseErrors())
+	}
+	evs := d.Events()
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Time.Before(evs[i-1].Time) {
+			t.Fatal("daemon events not sorted")
+		}
+	}
+}
+
+func TestDaemonReadFromCountsParseErrors(t *testing.T) {
+	d := NewDaemon()
+	good := Event{Time: time.Unix(0, 0).UTC(), Tag: "OK"}.ULM()
+	input := good + "\nnot a ulm line\n" + good + "\n"
+	if err := d.Ingest(strings.NewReader(input)); err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 2 {
+		t.Errorf("events = %d", d.Len())
+	}
+	if d.ParseErrors() != 1 {
+		t.Errorf("parse errors = %d", d.ParseErrors())
+	}
+}
+
+func TestDaemonCloseWithOpenClients(t *testing.T) {
+	d := NewDaemon()
+	addr, err := d.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink, err := DialSink(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sink.Close()
+	// Close must not hang even though a client connection is still open.
+	done := make(chan struct{})
+	go func() {
+		d.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(3 * time.Second):
+		t.Fatal("Daemon.Close hung with an open client connection")
+	}
+}

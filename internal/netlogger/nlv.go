@@ -1,0 +1,165 @@
+package netlogger
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// NLVOptions controls rendering of an ASCII lifeline plot.
+type NLVOptions struct {
+	// Width is the number of character columns used for the time axis
+	// (default 100).
+	Width int
+	// TagOrder fixes the vertical order of tags (bottom of the paper's plots
+	// is the first element here). Tags present in the log but not listed are
+	// appended. If empty, tags appear in first-appearance order.
+	TagOrder []string
+	// Marker is the rune used to plot an event (default 'o').
+	Marker rune
+}
+
+// RenderNLV renders a textual approximation of an NLV plot: one row per tag,
+// one column per time bucket, with a marker wherever at least one event with
+// that tag falls in the bucket. It is the moral equivalent of the paper's
+// Figures 10 and 12-17 and is what the nlv command prints.
+func RenderNLV(events []Event, opts NLVOptions) string {
+	if opts.Width <= 0 {
+		opts.Width = 100
+	}
+	if opts.Marker == 0 {
+		opts.Marker = 'o'
+	}
+	a := Analyze(events)
+	if len(a.Events()) == 0 {
+		return "(empty event log)\n"
+	}
+	span := a.Span()
+	if span <= 0 {
+		span = time.Second
+	}
+
+	// Assemble the tag rows.
+	order := append([]string(nil), opts.TagOrder...)
+	listed := make(map[string]bool, len(order))
+	for _, t := range order {
+		listed[t] = true
+	}
+	for _, t := range a.Tags() {
+		if !listed[t] {
+			order = append(order, t)
+		}
+	}
+
+	// Column for each event.
+	colOf := func(e Event) int {
+		frac := float64(a.Elapsed(e.Time)) / float64(span)
+		col := int(frac * float64(opts.Width-1))
+		if col < 0 {
+			col = 0
+		}
+		if col >= opts.Width {
+			col = opts.Width - 1
+		}
+		return col
+	}
+
+	rows := make(map[string][]rune, len(order))
+	for _, t := range order {
+		row := make([]rune, opts.Width)
+		for i := range row {
+			row[i] = '.'
+		}
+		rows[t] = row
+	}
+	for _, e := range a.Events() {
+		row, ok := rows[e.Tag]
+		if !ok {
+			continue
+		}
+		row[colOf(e)] = opts.Marker
+	}
+
+	labelWidth := 0
+	for _, t := range order {
+		if len(t) > labelWidth {
+			labelWidth = len(t)
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "NLV lifeline plot: %d events over %s\n", len(a.Events()), span.Round(time.Millisecond))
+	// Top-to-bottom print, but the paper lists the first tag at the bottom,
+	// so print in reverse order.
+	for i := len(order) - 1; i >= 0; i-- {
+		t := order[i]
+		fmt.Fprintf(&b, "%-*s |%s|\n", labelWidth, t, string(rows[t]))
+	}
+	// Time axis.
+	fmt.Fprintf(&b, "%-*s +%s+\n", labelWidth, "", strings.Repeat("-", opts.Width))
+	fmt.Fprintf(&b, "%-*s 0%*s\n", labelWidth, "", opts.Width, fmt.Sprintf("%.1fs", span.Seconds()))
+	return b.String()
+}
+
+// WriteCSV exports events as CSV with columns
+// elapsed_seconds,host,prog,pe,frame,tag,bytes — a convenient form for
+// re-plotting the lifelines with external tools.
+func WriteCSV(w io.Writer, events []Event) error {
+	a := Analyze(events)
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"elapsed_seconds", "host", "prog", "pe", "frame", "tag", "bytes"}); err != nil {
+		return err
+	}
+	for _, e := range a.Events() {
+		rec := []string{
+			strconv.FormatFloat(a.Elapsed(e.Time).Seconds(), 'f', 6, 64),
+			e.Host,
+			e.Prog,
+			strconv.Itoa(e.PE()),
+			strconv.Itoa(e.Frame()),
+			e.Tag,
+			strconv.FormatInt(e.Bytes(), 10),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// PhaseReport renders a human-readable table of phase summaries for the
+// standard back-end and viewer phases found in the log. It is used by the
+// nlv tool and by EXPERIMENTS.md generation.
+func PhaseReport(events []Event) string {
+	a := Analyze(events)
+	type pair struct{ name, start, end string }
+	pairs := []pair{
+		{"BE load", BELoadStart, BELoadEnd},
+		{"BE render", BERenderStart, BERenderEnd},
+		{"BE heavy send", BEHeavySend, BEHeavyEnd},
+		{"BE frame", BEFrameStart, BEFrameEnd},
+		{"Viewer light payload", VLightPayloadStart, VLightPayloadEnd},
+		{"Viewer heavy payload", VHeavyPayloadStart, VHeavyPayloadEnd},
+		{"Viewer frame", VFrameStart, VFrameEnd},
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-22s %6s %10s %10s %10s %8s %12s\n",
+		"phase", "count", "mean", "min", "max", "cov", "agg Mbps")
+	for _, p := range pairs {
+		s := a.SummarizePhase(p.start, p.end)
+		if s.Count == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%-22s %6d %10s %10s %10s %8.3f %12.1f\n",
+			p.name, s.Count,
+			s.Mean.Round(time.Millisecond),
+			s.Min.Round(time.Millisecond),
+			s.Max.Round(time.Millisecond),
+			s.CoV, s.AggregateMbps)
+	}
+	return b.String()
+}

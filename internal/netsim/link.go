@@ -1,0 +1,209 @@
+// Package netsim models the wide-area and local-area networks used in the
+// Visapult field tests.
+//
+// The paper's campaigns ran over NTON (an OC-12 lambda between LBL and
+// SNL-CA), ESnet (a shared OC-12 backbone delivering roughly 100 Mbps to the
+// application between LBL and ANL), SciNet (the SC99 show-floor network) and
+// gigabit-ethernet LANs. None of those testbeds exist any more, so this
+// package substitutes two interchangeable implementations of the same
+// behaviour:
+//
+//   - An analytic/simulated layer (Link, Path, SharedLink) used with the
+//     internal/sim virtual clock. SharedLink is a processor-sharing flow
+//     model: concurrent transfers split the bandwidth fairly, which is what
+//     makes the paper's "adding back-end nodes does not reduce load time once
+//     the WAN is saturated" observation come out of the model rather than
+//     being baked in.
+//
+//   - A traffic shaper (Shaper, ShapedConn) that throttles real loopback TCP
+//     connections to a configured rate so the live examples and integration
+//     tests exercise real sockets with WAN-like bandwidth.
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"visapult/internal/stats"
+)
+
+// Link describes a point-to-point network segment: a capacity in bits per
+// second, a one-way propagation latency, and an MTU. Link is a pure value
+// type used for analytic estimates; SharedLink adds contention on a virtual
+// clock.
+type Link struct {
+	Name      string
+	Bandwidth float64 // bits per second
+	Latency   time.Duration
+	MTU       int // bytes per frame on the wire
+}
+
+// Standard testbed links from the paper. Bandwidths are the theoretical line
+// rates discussed in the text; EffectiveESnet reflects the ~100 Mbps the
+// authors measured with iperf on the shared ESnet path.
+var (
+	// NTON is the OC-12 (622 Mbps) path between LBL and SNL-CA: high
+	// bandwidth, low latency (same metropolitan area).
+	NTON = Link{Name: "NTON (OC-12)", Bandwidth: 622 * stats.Mega, Latency: 2 * time.Millisecond, MTU: 1500}
+	// OC48 is the NTON backbone rate used on the SC99 show floor uplink.
+	OC48 = Link{Name: "OC-48", Bandwidth: 2488 * stats.Mega, Latency: 5 * time.Millisecond, MTU: 1500}
+	// OC192 is the rate the paper estimates terascale visualization needs.
+	OC192 = Link{Name: "OC-192", Bandwidth: 9953 * stats.Mega, Latency: 5 * time.Millisecond, MTU: 1500}
+	// ESnet is the shared LBL-ANL path; line rate OC-12 but roughly 100 Mbps
+	// available to a single application, with cross-country latency.
+	ESnet = Link{Name: "ESnet (shared OC-12)", Bandwidth: 100 * stats.Mega, Latency: 30 * time.Millisecond, MTU: 1500}
+	// SciNet is the SC99 show-floor network; the paper attributes the lower
+	// 150 Mbps SC99 rate to sharing on this segment.
+	SciNet = Link{Name: "SciNet (SC99 floor)", Bandwidth: 350 * stats.Mega, Latency: 12 * time.Millisecond, MTU: 1500}
+	// GigE is a local gigabit-ethernet segment (the E4500 and Onyx2 hosts).
+	GigE = Link{Name: "Gigabit Ethernet LAN", Bandwidth: 1000 * stats.Mega, Latency: 200 * time.Microsecond, MTU: 1500}
+	// GigEJumbo is gigabit ethernet with 9000-byte jumbo frames, which the
+	// paper notes reduce interrupt overhead but are problematic over a WAN.
+	GigEJumbo = Link{Name: "Gigabit Ethernet (jumbo)", Bandwidth: 1000 * stats.Mega, Latency: 200 * time.Microsecond, MTU: 9000}
+)
+
+// TransferTime returns the analytic time to move bytes over the link: one
+// latency plus serialization at the link bandwidth. It ignores contention;
+// use SharedLink for that.
+func (l Link) TransferTime(bytes int64) time.Duration {
+	if bytes <= 0 {
+		return l.Latency
+	}
+	return l.Latency + stats.TransferTime(bytes, l.Bandwidth)
+}
+
+// Throughput returns the effective application throughput in bits per second
+// for a transfer of the given size, accounting for the latency term.
+func (l Link) Throughput(bytes int64) float64 {
+	d := l.TransferTime(bytes)
+	if d <= 0 {
+		return 0
+	}
+	return float64(bytes) * 8 / d.Seconds()
+}
+
+// Frames returns how many link-layer frames a transfer of the given size
+// requires with this link's MTU.
+func (l Link) Frames(bytes int64) int64 {
+	if bytes <= 0 {
+		return 0
+	}
+	mtu := int64(l.MTU)
+	if mtu <= 0 {
+		mtu = 1500
+	}
+	return (bytes + mtu - 1) / mtu
+}
+
+// InterruptCost estimates the CPU time a receiving host spends servicing
+// network interrupts for a transfer of the given size, given a per-interrupt
+// service cost. The paper's section 4.4.1 attributes part of the cluster's
+// loader/renderer contention to NIC interrupt load, and notes that 9 KB jumbo
+// frames (versus 1.5 KB) lower it; this helper makes that effect quantitative
+// for experiment E11.
+func (l Link) InterruptCost(bytes int64, perInterrupt time.Duration) time.Duration {
+	return time.Duration(l.Frames(bytes)) * perInterrupt
+}
+
+// String implements fmt.Stringer.
+func (l Link) String() string {
+	return fmt.Sprintf("%s: %s, %v latency, MTU %d", l.Name, stats.HumanRate(l.Bandwidth), l.Latency, l.MTU)
+}
+
+// Path is an ordered sequence of links between two endpoints, e.g.
+// DPSS@LBL -> NTON -> Oakland POP -> SciNet -> SC99 booth. Its effective
+// bandwidth is the bottleneck link and its latency is the sum of the hops.
+type Path struct {
+	Name  string
+	Hops  []Link
+	share float64 // fraction of the bottleneck available (0 means 1.0)
+}
+
+// NewPath builds a path from hops. An empty hop list yields a zero-latency,
+// infinite-bandwidth path, which is never what an experiment wants, so
+// callers should pass at least one hop.
+func NewPath(name string, hops ...Link) Path {
+	return Path{Name: name, Hops: append([]Link(nil), hops...)}
+}
+
+// WithShare returns a copy of the path whose bottleneck bandwidth is scaled
+// by fraction (0 < fraction <= 1), modelling a segment shared with other
+// traffic, such as SciNet during the SC99 exhibit.
+func (p Path) WithShare(fraction float64) Path {
+	if fraction <= 0 || fraction > 1 {
+		fraction = 1
+	}
+	q := p
+	q.share = fraction
+	return q
+}
+
+// Bandwidth returns the bottleneck bandwidth of the path in bits per second,
+// scaled by any configured share fraction.
+func (p Path) Bandwidth() float64 {
+	if len(p.Hops) == 0 {
+		return 0
+	}
+	min := p.Hops[0].Bandwidth
+	for _, h := range p.Hops[1:] {
+		if h.Bandwidth < min {
+			min = h.Bandwidth
+		}
+	}
+	if p.share > 0 {
+		min *= p.share
+	}
+	return min
+}
+
+// Latency returns the end-to-end one-way latency of the path.
+func (p Path) Latency() time.Duration {
+	var total time.Duration
+	for _, h := range p.Hops {
+		total += h.Latency
+	}
+	return total
+}
+
+// MTU returns the smallest MTU along the path (1500 if the path is empty).
+func (p Path) MTU() int {
+	mtu := 0
+	for _, h := range p.Hops {
+		if h.MTU > 0 && (mtu == 0 || h.MTU < mtu) {
+			mtu = h.MTU
+		}
+	}
+	if mtu == 0 {
+		mtu = 1500
+	}
+	return mtu
+}
+
+// AsLink collapses the path into a single equivalent Link.
+func (p Path) AsLink() Link {
+	return Link{Name: p.Name, Bandwidth: p.Bandwidth(), Latency: p.Latency(), MTU: p.MTU()}
+}
+
+// TransferTime returns the analytic time to move bytes across the path.
+func (p Path) TransferTime(bytes int64) time.Duration {
+	return p.AsLink().TransferTime(bytes)
+}
+
+// RTT returns the round-trip time of the path.
+func (p Path) RTT() time.Duration { return 2 * p.Latency() }
+
+// TCPWindowLimitedThroughput returns the throughput ceiling imposed by a TCP
+// window of the given size over this path (window / RTT), in bits per second.
+// The paper notes that the first ESnet timestep ran slower "until the TCP
+// window fully opened"; experiments use this to model slow-start ramp-up.
+func (p Path) TCPWindowLimitedThroughput(windowBytes int) float64 {
+	rtt := p.RTT()
+	if rtt <= 0 {
+		return p.Bandwidth()
+	}
+	limit := float64(windowBytes) * 8 / rtt.Seconds()
+	if bw := p.Bandwidth(); limit > bw {
+		return bw
+	}
+	return limit
+}

@@ -1,0 +1,175 @@
+package netsim
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"visapult/internal/stats"
+)
+
+func TestLinkTransferTime(t *testing.T) {
+	// 160 MB over NTON (622 Mbps) should take roughly 2.2 seconds plus
+	// latency, which matches the paper's ~3 s observation once protocol
+	// overhead and contention are added by higher layers.
+	d := NTON.TransferTime(160 * stats.MB)
+	if d < 2*time.Second || d > 3*time.Second {
+		t.Errorf("160MB over NTON = %v, want ~2.2s", d)
+	}
+	// Zero bytes costs only latency.
+	if got := NTON.TransferTime(0); got != NTON.Latency {
+		t.Errorf("zero-byte transfer = %v", got)
+	}
+}
+
+func TestLinkThroughputBelowCapacity(t *testing.T) {
+	// Achieved throughput is always below line rate because of latency.
+	thr := ESnet.Throughput(160 * stats.MB)
+	if thr >= ESnet.Bandwidth {
+		t.Errorf("throughput %v >= capacity %v", thr, ESnet.Bandwidth)
+	}
+	if thr < 0.9*ESnet.Bandwidth {
+		t.Errorf("large transfer should approach capacity, got %v", thr)
+	}
+}
+
+func TestLinkFrames(t *testing.T) {
+	if got := GigE.Frames(1500); got != 1 {
+		t.Errorf("1500B = %d frames", got)
+	}
+	if got := GigE.Frames(1501); got != 2 {
+		t.Errorf("1501B = %d frames", got)
+	}
+	if got := GigE.Frames(0); got != 0 {
+		t.Errorf("0B = %d frames", got)
+	}
+	// Jumbo frames need ~6x fewer frames.
+	std := GigE.Frames(9000 * 1000)
+	jumbo := GigEJumbo.Frames(9000 * 1000)
+	if std < 5*jumbo {
+		t.Errorf("jumbo frames should cut frame count ~6x: std=%d jumbo=%d", std, jumbo)
+	}
+}
+
+func TestLinkFramesDefaultMTU(t *testing.T) {
+	l := Link{Bandwidth: 1e9}
+	if got := l.Frames(3000); got != 2 {
+		t.Errorf("frames with default MTU = %d", got)
+	}
+}
+
+func TestInterruptCostJumboVsStandard(t *testing.T) {
+	per := 10 * time.Microsecond
+	std := GigE.InterruptCost(160*stats.MB, per)
+	jumbo := GigEJumbo.InterruptCost(160*stats.MB, per)
+	if jumbo >= std {
+		t.Errorf("jumbo interrupt cost %v should be less than standard %v", jumbo, std)
+	}
+	ratio := float64(std) / float64(jumbo)
+	if ratio < 5.5 || ratio > 6.5 {
+		t.Errorf("interrupt cost ratio = %v, want ~6 (9000/1500)", ratio)
+	}
+}
+
+func TestLinkString(t *testing.T) {
+	s := NTON.String()
+	if !strings.Contains(s, "622.00 Mbps") || !strings.Contains(s, "NTON") {
+		t.Errorf("link string = %q", s)
+	}
+}
+
+func TestPathBottleneck(t *testing.T) {
+	// LBL -> NTON -> OC-48 -> SciNet: bottleneck is SciNet.
+	p := NewPath("LBL to SC99 floor", GigE, NTON, OC48, SciNet)
+	if p.Bandwidth() != SciNet.Bandwidth {
+		t.Errorf("bottleneck = %v, want %v", p.Bandwidth(), SciNet.Bandwidth)
+	}
+	wantLat := GigE.Latency + NTON.Latency + OC48.Latency + SciNet.Latency
+	if p.Latency() != wantLat {
+		t.Errorf("latency = %v, want %v", p.Latency(), wantLat)
+	}
+	if p.MTU() != 1500 {
+		t.Errorf("MTU = %d", p.MTU())
+	}
+	if p.RTT() != 2*wantLat {
+		t.Errorf("RTT = %v", p.RTT())
+	}
+}
+
+func TestPathWithShare(t *testing.T) {
+	p := NewPath("shared", SciNet).WithShare(0.5)
+	if got := p.Bandwidth(); got != SciNet.Bandwidth/2 {
+		t.Errorf("shared bandwidth = %v", got)
+	}
+	// Invalid shares are ignored.
+	if got := NewPath("x", SciNet).WithShare(0).Bandwidth(); got != SciNet.Bandwidth {
+		t.Errorf("share 0 should be ignored, got %v", got)
+	}
+	if got := NewPath("x", SciNet).WithShare(2).Bandwidth(); got != SciNet.Bandwidth {
+		t.Errorf("share 2 should be ignored, got %v", got)
+	}
+}
+
+func TestPathEmpty(t *testing.T) {
+	p := NewPath("empty")
+	if p.Bandwidth() != 0 {
+		t.Errorf("empty path bandwidth = %v", p.Bandwidth())
+	}
+	if p.MTU() != 1500 {
+		t.Errorf("empty path MTU = %d", p.MTU())
+	}
+}
+
+func TestPathAsLinkConsistent(t *testing.T) {
+	p := NewPath("LBL-ANL", GigE, ESnet)
+	l := p.AsLink()
+	if l.Bandwidth != p.Bandwidth() || l.Latency != p.Latency() {
+		t.Errorf("AsLink mismatch: %+v vs path", l)
+	}
+	if p.TransferTime(stats.MB) != l.TransferTime(stats.MB) {
+		t.Error("TransferTime should agree between Path and AsLink")
+	}
+}
+
+func TestTCPWindowLimitedThroughput(t *testing.T) {
+	p := NewPath("LBL-ANL", ESnet)
+	// A tiny 64 KB window over a 60 ms RTT cannot fill 100 Mbps.
+	limited := p.TCPWindowLimitedThroughput(64 << 10)
+	if limited >= p.Bandwidth() {
+		t.Errorf("64KB window should limit throughput below capacity, got %v", limited)
+	}
+	// A huge window is capped at the path bandwidth.
+	if got := p.TCPWindowLimitedThroughput(64 << 20); got != p.Bandwidth() {
+		t.Errorf("large window should be capped at bandwidth, got %v", got)
+	}
+	// Zero RTT path returns bandwidth.
+	zero := NewPath("zero", Link{Bandwidth: 1e9})
+	if zero.TCPWindowLimitedThroughput(1) != 1e9 {
+		t.Error("zero-RTT path should return bandwidth")
+	}
+}
+
+func TestTransferTimeMonotonicProperty(t *testing.T) {
+	f := func(a, b uint32) bool {
+		x, y := int64(a), int64(b)
+		if x > y {
+			x, y = y, x
+		}
+		return NTON.TransferTime(x) <= NTON.TransferTime(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestThroughputNeverExceedsCapacityProperty(t *testing.T) {
+	f := func(b uint32) bool {
+		thr := ESnet.Throughput(int64(b))
+		return thr <= ESnet.Bandwidth*(1+1e-9) && !math.IsNaN(thr)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

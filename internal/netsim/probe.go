@@ -1,0 +1,66 @@
+package netsim
+
+import (
+	"time"
+
+	"visapult/internal/sim"
+	"visapult/internal/stats"
+)
+
+// ProbeResult is the outcome of an iperf-style bandwidth measurement over a
+// simulated link. The paper calibrates its expectations for the ESnet path
+// with iperf ("delivers an average bandwidth of approximately 100 Mbps as
+// measured with commonly available network tools, such as iperf") and then
+// observes that Visapult's parallel loads slightly exceed that single-stream
+// figure; the probe lets experiments reproduce that comparison.
+type ProbeResult struct {
+	Streams   int
+	Bytes     int64
+	Elapsed   time.Duration
+	Mbps      float64
+	PerStream []float64 // per-stream achieved Mbps
+}
+
+// Iperf measures the throughput of a shared link using the given number of
+// parallel streams, each transferring bytesPerStream. It runs on its own
+// kernel, so it can be called standalone.
+func Iperf(link Link, streams int, bytesPerStream int64) ProbeResult {
+	if streams < 1 {
+		streams = 1
+	}
+	k := sim.NewKernel()
+	shared := NewSharedLink(k, link)
+	res := ProbeResult{Streams: streams, PerStream: make([]float64, streams)}
+	for i := 0; i < streams; i++ {
+		i := i
+		k.Spawn("iperf-stream", func(p *sim.Proc) {
+			d := shared.Transfer(p, bytesPerStream)
+			res.PerStream[i] = stats.Mbps(bytesPerStream, d)
+		})
+	}
+	end := k.Run()
+	res.Bytes = int64(streams) * bytesPerStream
+	res.Elapsed = end
+	res.Mbps = stats.Mbps(res.Bytes, end)
+	return res
+}
+
+// SlowStartModel approximates TCP slow-start ramp-up for the first transfer
+// over a long-latency path: the effective throughput of the first
+// windowGrowthRTTs round trips is halved. The paper observes that the first
+// ESnet timestep loads slowly "until the TCP window fully opened"; the
+// back-end simulation uses this to reproduce that first-frame penalty.
+type SlowStartModel struct {
+	Path             Path
+	WindowGrowthRTTs int
+}
+
+// FirstTransferPenalty returns extra time to add to the first transfer of a
+// session over the path.
+func (m SlowStartModel) FirstTransferPenalty() time.Duration {
+	rtts := m.WindowGrowthRTTs
+	if rtts <= 0 {
+		rtts = 10
+	}
+	return time.Duration(rtts) * m.Path.RTT()
+}

@@ -1,0 +1,199 @@
+package netsim
+
+import (
+	"math"
+	"time"
+
+	"visapult/internal/sim"
+	"visapult/internal/stats"
+)
+
+// SharedLink is a processor-sharing model of a network segment running on a
+// virtual clock: all concurrent transfers split the link bandwidth equally,
+// and completion times are recomputed whenever a flow joins or leaves.
+//
+// This is the piece that reproduces the paper's saturation results: when the
+// Visapult back end grows from four to eight processing elements, the
+// per-element fair share halves but the aggregate stays pinned at the link
+// rate, so total load time does not improve (Figure 14), whereas rendering
+// time keeps scaling with the number of elements.
+type SharedLink struct {
+	k      *sim.Kernel
+	link   Link
+	flows  map[int]*flow
+	nextID int
+	last   time.Duration // virtual time of the last remaining-bytes update
+	timer  *sim.Timer
+	// Statistics.
+	totalBytes     int64
+	totalTransfers int
+	peakConcurrent int
+	busy           time.Duration
+}
+
+type flow struct {
+	id        int
+	remaining float64 // bits still to move
+	done      *sim.Event
+	bytes     int64
+	started   time.Duration
+}
+
+// NewSharedLink creates a shared link on kernel k with the given description.
+func NewSharedLink(k *sim.Kernel, link Link) *SharedLink {
+	return &SharedLink{k: k, link: link, flows: make(map[int]*flow)}
+}
+
+// Link returns the underlying link description.
+func (s *SharedLink) Link() Link { return s.link }
+
+// Kernel returns the virtual clock this link runs on.
+func (s *SharedLink) Kernel() *sim.Kernel { return s.k }
+
+// advance applies elapsed virtual time to every active flow at the current
+// fair share.
+func (s *SharedLink) advance() {
+	now := s.k.Now()
+	elapsed := now - s.last
+	s.last = now
+	n := len(s.flows)
+	if n == 0 || elapsed <= 0 {
+		return
+	}
+	s.busy += elapsed
+	share := s.link.Bandwidth / float64(n)
+	moved := share * elapsed.Seconds()
+	for _, f := range s.flows {
+		f.remaining -= moved
+		if f.remaining < 0 {
+			f.remaining = 0
+		}
+	}
+}
+
+// epsilonBits is the completion threshold: flows with fewer remaining bits
+// than this are considered finished. It absorbs the floating-point and
+// nanosecond-quantization residue left over when completion times are rounded
+// up to whole virtual nanoseconds; one bit of slack is far below anything the
+// experiments measure.
+const epsilonBits = 1.0
+
+// reschedule completes any finished flows and programs the timer for the next
+// completion.
+func (s *SharedLink) reschedule() {
+	// Complete finished flows first.
+	for id, f := range s.flows {
+		if f.remaining <= epsilonBits {
+			delete(s.flows, id)
+			f.done.Signal()
+		}
+	}
+	if s.timer != nil {
+		s.timer.Stop()
+		s.timer = nil
+	}
+	n := len(s.flows)
+	if n == 0 {
+		return
+	}
+	minRemaining := -1.0
+	for _, f := range s.flows {
+		if minRemaining < 0 || f.remaining < minRemaining {
+			minRemaining = f.remaining
+		}
+	}
+	share := s.link.Bandwidth / float64(n)
+	// Round the next completion up to a whole virtual nanosecond so the timer
+	// always makes forward progress (a truncated-to-zero delay would spin).
+	next := time.Duration(math.Ceil(minRemaining / share * float64(time.Second)))
+	if next <= 0 {
+		next = time.Nanosecond
+	}
+	s.timer = s.k.After(next, func() {
+		s.advance()
+		s.reschedule()
+	})
+}
+
+// Transfer moves bytes across the link on behalf of process p, blocking p in
+// virtual time for one propagation latency plus its fair share of the link.
+// It returns the elapsed virtual time for the transfer.
+func (s *SharedLink) Transfer(p *sim.Proc, bytes int64) time.Duration {
+	start := p.Now()
+	if s.link.Latency > 0 {
+		p.Sleep(s.link.Latency)
+	}
+	if bytes <= 0 {
+		return p.Now() - start
+	}
+	s.advance()
+	f := &flow{
+		id:        s.nextID,
+		remaining: float64(bytes) * 8,
+		done:      sim.NewEvent(s.k),
+		bytes:     bytes,
+		started:   p.Now(),
+	}
+	s.nextID++
+	s.flows[f.id] = f
+	s.totalTransfers++
+	s.totalBytes += bytes
+	if len(s.flows) > s.peakConcurrent {
+		s.peakConcurrent = len(s.flows)
+	}
+	s.reschedule()
+	p.Wait(f.done)
+	return p.Now() - start
+}
+
+// TransferAsync starts a transfer from a timer/kernel context and returns an
+// event that fires when it completes. It does not model the propagation
+// latency (callers that need it should add it themselves).
+func (s *SharedLink) TransferAsync(bytes int64) *sim.Event {
+	done := sim.NewEvent(s.k)
+	if bytes <= 0 {
+		done.Signal()
+		return done
+	}
+	s.advance()
+	f := &flow{id: s.nextID, remaining: float64(bytes) * 8, done: done, bytes: bytes, started: s.k.Now()}
+	s.nextID++
+	s.flows[f.id] = f
+	s.totalTransfers++
+	s.totalBytes += bytes
+	if len(s.flows) > s.peakConcurrent {
+		s.peakConcurrent = len(s.flows)
+	}
+	s.reschedule()
+	return done
+}
+
+// LinkStats summarizes the traffic a SharedLink carried.
+type LinkStats struct {
+	TotalBytes     int64
+	Transfers      int
+	PeakConcurrent int
+	BusyTime       time.Duration
+	// AchievedMbps is the average rate over the busy time (0 if never busy).
+	AchievedMbps float64
+	// UtilizationOfCapacity is AchievedMbps over the link rate, in [0,1].
+	UtilizationOfCapacity float64
+}
+
+// Stats returns a snapshot of the traffic carried so far.
+func (s *SharedLink) Stats() LinkStats {
+	ls := LinkStats{
+		TotalBytes:     s.totalBytes,
+		Transfers:      s.totalTransfers,
+		PeakConcurrent: s.peakConcurrent,
+		BusyTime:       s.busy,
+	}
+	if s.busy > 0 {
+		ls.AchievedMbps = stats.Mbps(s.totalBytes, s.busy)
+		ls.UtilizationOfCapacity = stats.Utilization(ls.AchievedMbps*stats.Mega, s.link.Bandwidth)
+	}
+	return ls
+}
+
+// ActiveFlows returns the number of in-flight transfers.
+func (s *SharedLink) ActiveFlows() int { return len(s.flows) }

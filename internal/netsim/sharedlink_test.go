@@ -1,0 +1,210 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"visapult/internal/sim"
+	"visapult/internal/stats"
+)
+
+func TestSharedLinkSingleTransferMatchesAnalytic(t *testing.T) {
+	k := sim.NewKernel()
+	s := NewSharedLink(k, NTON)
+	var elapsed time.Duration
+	k.Spawn("xfer", func(p *sim.Proc) {
+		elapsed = s.Transfer(p, 160*stats.MB)
+	})
+	k.Run()
+	want := NTON.TransferTime(160 * stats.MB)
+	diff := elapsed - want
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 10*time.Millisecond {
+		t.Errorf("shared-link single transfer %v, analytic %v", elapsed, want)
+	}
+}
+
+func TestSharedLinkFairSharing(t *testing.T) {
+	// Two equal transfers starting together should each take ~2x the solo
+	// time, and the link should finish both at the same moment.
+	k := sim.NewKernel()
+	s := NewSharedLink(k, GigE)
+	const bytes = 50 * stats.MB
+	var d1, d2 time.Duration
+	k.Spawn("a", func(p *sim.Proc) { d1 = s.Transfer(p, bytes) })
+	k.Spawn("b", func(p *sim.Proc) { d2 = s.Transfer(p, bytes) })
+	k.Run()
+	solo := GigE.TransferTime(bytes)
+	if d1 < 2*solo-50*time.Millisecond || d1 > 2*solo+50*time.Millisecond {
+		t.Errorf("shared transfer a = %v, want ~%v", d1, 2*solo)
+	}
+	diff := d1 - d2
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 10*time.Millisecond {
+		t.Errorf("equal flows should finish together: %v vs %v", d1, d2)
+	}
+}
+
+func TestSharedLinkAggregateSaturation(t *testing.T) {
+	// This is the paper's Figure 14 observation: with the WAN saturated,
+	// doubling the number of parallel readers does not reduce the total time
+	// to move a fixed amount of data.
+	timeFor := func(readers int) time.Duration {
+		k := sim.NewKernel()
+		s := NewSharedLink(k, NTON)
+		total := int64(160 * stats.MB)
+		per := total / int64(readers)
+		for i := 0; i < readers; i++ {
+			k.Spawn("pe", func(p *sim.Proc) { s.Transfer(p, per) })
+		}
+		return k.Run()
+	}
+	t4 := timeFor(4)
+	t8 := timeFor(8)
+	ratio := float64(t8) / float64(t4)
+	if ratio < 0.95 || ratio > 1.05 {
+		t.Errorf("saturated link: 8 readers %v vs 4 readers %v (ratio %.3f), want ~equal", t8, t4, ratio)
+	}
+}
+
+func TestSharedLinkLateJoiner(t *testing.T) {
+	// Flow B joins halfway through flow A; A slows down after B joins.
+	k := sim.NewKernel()
+	link := Link{Name: "test", Bandwidth: 80 * stats.Mega, Latency: 0} // 10 decimal MB/s
+	s := NewSharedLink(k, link)
+	const xfer = 20 * 1000 * 1000 // 20 decimal MB: 2 s alone at this rate
+	var aDone, bDone time.Duration
+	k.Spawn("a", func(p *sim.Proc) {
+		s.Transfer(p, xfer)
+		aDone = p.Now()
+	})
+	k.Spawn("b", func(p *sim.Proc) {
+		p.Sleep(time.Second)
+		s.Transfer(p, xfer)
+		bDone = p.Now()
+	})
+	k.Run()
+	// A: 1s alone (10MB done), then shares; 10MB left at 5MB/s => 2 more s => ~3s.
+	if aDone < 2900*time.Millisecond || aDone > 3100*time.Millisecond {
+		t.Errorf("flow A finished at %v, want ~3s", aDone)
+	}
+	// B: starts at 1s with 20MB; shares until 3s (10MB done), then alone 10MB at 10MB/s => ~4s.
+	if bDone < 3900*time.Millisecond || bDone > 4100*time.Millisecond {
+		t.Errorf("flow B finished at %v, want ~4s", bDone)
+	}
+}
+
+func TestSharedLinkZeroBytes(t *testing.T) {
+	k := sim.NewKernel()
+	s := NewSharedLink(k, NTON)
+	var d time.Duration
+	k.Spawn("z", func(p *sim.Proc) { d = s.Transfer(p, 0) })
+	k.Run()
+	if d != NTON.Latency {
+		t.Errorf("zero-byte transfer = %v, want latency only", d)
+	}
+	if s.Stats().Transfers != 0 {
+		t.Error("zero-byte transfer should not count")
+	}
+}
+
+func TestSharedLinkStats(t *testing.T) {
+	k := sim.NewKernel()
+	s := NewSharedLink(k, NTON)
+	for i := 0; i < 4; i++ {
+		k.Spawn("pe", func(p *sim.Proc) { s.Transfer(p, 10*stats.MB) })
+	}
+	k.Run()
+	st := s.Stats()
+	if st.TotalBytes != 40*stats.MB {
+		t.Errorf("total bytes = %d", st.TotalBytes)
+	}
+	if st.Transfers != 4 {
+		t.Errorf("transfers = %d", st.Transfers)
+	}
+	if st.PeakConcurrent != 4 {
+		t.Errorf("peak concurrency = %d", st.PeakConcurrent)
+	}
+	// Link should have been close to fully utilized while busy.
+	if st.UtilizationOfCapacity < 0.95 || st.UtilizationOfCapacity > 1.0+1e-9 {
+		t.Errorf("utilization = %v", st.UtilizationOfCapacity)
+	}
+	if s.ActiveFlows() != 0 {
+		t.Errorf("active flows after run = %d", s.ActiveFlows())
+	}
+	if s.Link().Name != NTON.Name {
+		t.Error("Link() accessor mismatch")
+	}
+	if s.Kernel() != k {
+		t.Error("Kernel() accessor mismatch")
+	}
+}
+
+func TestSharedLinkTransferAsync(t *testing.T) {
+	k := sim.NewKernel()
+	link := Link{Name: "t", Bandwidth: 80 * stats.Mega}
+	s := NewSharedLink(k, link)
+	var doneAt time.Duration
+	k.Spawn("waiter", func(p *sim.Proc) {
+		ev := s.TransferAsync(10 * 1000 * 1000) // 1 second at 10 decimal MB/s
+		p.Wait(ev)
+		doneAt = p.Now()
+	})
+	k.Run()
+	if doneAt < 950*time.Millisecond || doneAt > 1050*time.Millisecond {
+		t.Errorf("async transfer completed at %v, want ~1s", doneAt)
+	}
+	// Zero-byte async transfer completes immediately.
+	ev := s.TransferAsync(0)
+	if !ev.Signaled() {
+		t.Error("zero-byte async transfer should complete immediately")
+	}
+}
+
+func TestIperfSingleVsParallelStreams(t *testing.T) {
+	single := Iperf(ESnet, 1, 64*stats.MB)
+	multi := Iperf(ESnet, 8, 8*stats.MB)
+	// Both should be near (just under) the 100 Mbps capacity.
+	if single.Mbps < 90 || single.Mbps > 100.5 {
+		t.Errorf("single-stream iperf = %.1f Mbps", single.Mbps)
+	}
+	if multi.Mbps < 90 || multi.Mbps > 100.5 {
+		t.Errorf("8-stream iperf = %.1f Mbps", multi.Mbps)
+	}
+	if multi.Streams != 8 || len(multi.PerStream) != 8 {
+		t.Errorf("stream bookkeeping wrong: %+v", multi)
+	}
+	if multi.Bytes != 64*stats.MB {
+		t.Errorf("bytes = %d", multi.Bytes)
+	}
+	// Per-stream rates should each be roughly capacity/streams.
+	for _, r := range multi.PerStream {
+		if r < 9 || r > 14 {
+			t.Errorf("per-stream rate = %.1f Mbps, want ~12.5", r)
+		}
+	}
+}
+
+func TestIperfClampsStreams(t *testing.T) {
+	r := Iperf(GigE, 0, stats.MB)
+	if r.Streams != 1 {
+		t.Errorf("streams = %d", r.Streams)
+	}
+}
+
+func TestSlowStartModel(t *testing.T) {
+	m := SlowStartModel{Path: NewPath("LBL-ANL", ESnet), WindowGrowthRTTs: 10}
+	pen := m.FirstTransferPenalty()
+	if pen != 10*NewPath("LBL-ANL", ESnet).RTT() {
+		t.Errorf("penalty = %v", pen)
+	}
+	// Default RTT count when unset.
+	m2 := SlowStartModel{Path: NewPath("LBL-ANL", ESnet)}
+	if m2.FirstTransferPenalty() <= 0 {
+		t.Error("default penalty should be positive")
+	}
+}

@@ -1,0 +1,140 @@
+// Package offline implements the paper's proposed DPSS-side "off-line
+// visualization services" (section 5): "the offline and automatic creation of
+// thumbnail representations of datasets or metadata."
+//
+// The service reads a dataset straight from the cache through the ordinary
+// block-level client API — but only the strided subsample a small preview
+// needs, so the cost scales with the thumbnail, not with the dataset — and
+// renders it with the same transfer functions the full pipeline uses. It also
+// extracts the metadata summary (dimensions, value range, occupancy) a
+// catalog browser would show next to the thumbnail.
+package offline
+
+import (
+	"fmt"
+	"math"
+
+	"visapult/internal/backend"
+	"visapult/internal/dpss"
+	"visapult/internal/render"
+	"visapult/internal/volume"
+)
+
+// ThumbnailOptions configures the preview service.
+type ThumbnailOptions struct {
+	// MaxDim bounds the longest axis of the subsampled preview volume
+	// (default 32): the service never pulls more than roughly MaxDim^3
+	// voxels from the cache.
+	MaxDim int
+	// TF is the transfer function used for the preview render; nil selects
+	// the combustion default.
+	TF render.TransferFunction
+	// Axis is the view axis of the preview image.
+	Axis volume.Axis
+}
+
+// Metadata is the catalog summary produced alongside a thumbnail.
+type Metadata struct {
+	Dataset    string
+	NX, NY, NZ int
+	// Stride is the subsampling step used along each axis.
+	Stride int
+	// Min, Max and Mean summarize the sampled values.
+	Min, Max float32
+	Mean     float64
+	// Occupancy is the fraction of sampled voxels above 1% of the maximum —
+	// a quick "how much of this volume is interesting" signal.
+	Occupancy float64
+	// BytesRead is how much data the service pulled from the cache, which is
+	// the point of doing this next to the data instead of on a desktop.
+	BytesRead int64
+}
+
+// Thumbnail renders a small preview of one timestep dataset stored in a DPSS
+// cache and returns it with the catalog metadata. dims are the stored
+// volume's dimensions; the dataset must have been written by LoadVolume /
+// dpssctl load (a serialized volume).
+func Thumbnail(client *dpss.Client, base string, nx, ny, nz, timestep int, opts ThumbnailOptions) (*render.Image, *Metadata, error) {
+	if client == nil {
+		return nil, nil, fmt.Errorf("offline: nil DPSS client")
+	}
+	if opts.MaxDim <= 0 {
+		opts.MaxDim = 32
+	}
+	if opts.TF == nil {
+		opts.TF = render.DefaultCombustionTF()
+	}
+
+	src, err := backend.NewDPSSSource(client, base, nx, ny, nz, timestep+1)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer src.Close()
+
+	longest := max(nx, ny, nz)
+	stride := (longest + opts.MaxDim - 1) / opts.MaxDim
+	if stride < 1 {
+		stride = 1
+	}
+
+	// Pull only the sampled planes from the cache: one region per sampled Z
+	// plane, each a contiguous range of the stored file.
+	outNX, outNY, outNZ := sampledDim(nx, stride), sampledDim(ny, stride), sampledDim(nz, stride)
+	preview := volume.MustNew(outNX, outNY, outNZ)
+	var bytesRead int64
+	for zi := 0; zi < outNZ; zi++ {
+		z := zi * stride
+		plane, n, err := src.LoadRegion(timestep, volume.Region{X0: 0, X1: nx, Y0: 0, Y1: ny, Z0: z, Z1: z + 1})
+		if err != nil {
+			return nil, nil, fmt.Errorf("offline: sampling plane %d of %s: %w", z, base, err)
+		}
+		bytesRead += n
+		for yi := 0; yi < outNY; yi++ {
+			for xi := 0; xi < outNX; xi++ {
+				preview.Set(xi, yi, zi, plane.At(xi*stride, yi*stride, 0))
+			}
+		}
+	}
+
+	img, _ := render.RenderFull(preview, opts.TF, opts.Axis)
+
+	minV, maxV := preview.MinMax()
+	meta := &Metadata{
+		Dataset: dpss.TimestepDatasetName(base, timestep),
+		NX:      nx, NY: ny, NZ: nz,
+		Stride:    stride,
+		Min:       minV,
+		Max:       maxV,
+		Mean:      preview.Mean(),
+		Occupancy: occupancy(preview, maxV),
+		BytesRead: bytesRead,
+	}
+	return img, meta, nil
+}
+
+// sampledDim returns how many samples a stride produces along an axis.
+func sampledDim(n, stride int) int {
+	return (n + stride - 1) / stride
+}
+
+// occupancy returns the fraction of voxels above 1% of the maximum value.
+func occupancy(v *volume.Volume, maxV float32) float64 {
+	if maxV <= 0 || v.Len() == 0 {
+		return 0
+	}
+	threshold := maxV / 100
+	count := 0
+	for _, x := range v.Data {
+		if x > threshold && !math.IsNaN(float64(x)) {
+			count++
+		}
+	}
+	return float64(count) / float64(v.Len())
+}
+
+// String summarizes the metadata on one line, the way a catalog listing
+// would.
+func (m *Metadata) String() string {
+	return fmt.Sprintf("%s %dx%dx%d stride=%d range=[%.3f,%.3f] mean=%.3f occupancy=%.1f%% sampled=%d bytes",
+		m.Dataset, m.NX, m.NY, m.NZ, m.Stride, m.Min, m.Max, m.Mean, m.Occupancy*100, m.BytesRead)
+}

@@ -1,0 +1,97 @@
+package offline
+
+import (
+	"strings"
+	"testing"
+
+	"visapult/internal/datagen"
+	"visapult/internal/dpss"
+	"visapult/internal/volume"
+)
+
+// stagedCluster starts a cluster with one synthetic combustion timestep
+// staged as "thumb.t0000" and returns the cluster, a fresh client and the
+// staged volume.
+func stagedCluster(t *testing.T, nx, ny, nz int) (*dpss.Cluster, *dpss.Client, *volume.Volume) {
+	t.Helper()
+	cluster, err := dpss.StartCluster(dpss.ClusterConfig{Servers: 2, DisksPerServer: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cluster.Close() })
+	gen := datagen.NewCombustion(datagen.CombustionConfig{NX: nx, NY: ny, NZ: nz, Timesteps: 1, Seed: 55})
+	v := gen.Generate(0)
+	loader := cluster.NewClient()
+	if _, err := cluster.LoadVolume(loader, dpss.TimestepDatasetName("thumb", 0), v, dpss.DefaultBlockSize); err != nil {
+		t.Fatal(err)
+	}
+	loader.Close()
+	client := cluster.NewClient()
+	t.Cleanup(func() { client.Close() })
+	return cluster, client, v
+}
+
+func TestThumbnailRendersAndSummarizes(t *testing.T) {
+	const nx, ny, nz = 64, 48, 32
+	_, client, v := stagedCluster(t, nx, ny, nz)
+
+	img, meta, err := Thumbnail(client, "thumb", nx, ny, nz, 0, ThumbnailOptions{MaxDim: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img == nil || img.W == 0 || img.H == 0 {
+		t.Fatal("no thumbnail image produced")
+	}
+	if img.MeanAlpha() == 0 {
+		t.Fatal("thumbnail is fully transparent; the combustion front should be visible")
+	}
+	// The preview dimensions must respect MaxDim.
+	if img.W > 16 || img.H > 16 {
+		t.Fatalf("thumbnail image %dx%d exceeds MaxDim", img.W, img.H)
+	}
+	if meta.Stride < nx/16 {
+		t.Fatalf("stride %d too small for MaxDim 16 on a %d-wide volume", meta.Stride, nx)
+	}
+	// The service must have read far less than the whole dataset.
+	if meta.BytesRead >= v.SizeBytes() {
+		t.Fatalf("thumbnail read %d bytes, the whole dataset is %d", meta.BytesRead, v.SizeBytes())
+	}
+	if meta.BytesRead == 0 {
+		t.Fatal("no bytes read from the cache")
+	}
+	// Metadata sanity.
+	minV, maxV := v.MinMax()
+	if meta.Min < minV-1e-3 || meta.Max > maxV+1e-3 {
+		t.Fatalf("sampled range [%f,%f] outside the true range [%f,%f]", meta.Min, meta.Max, minV, maxV)
+	}
+	if meta.Occupancy <= 0 || meta.Occupancy > 1 {
+		t.Fatalf("occupancy %.2f out of range", meta.Occupancy)
+	}
+	if !strings.Contains(meta.String(), "thumb.t0000") {
+		t.Fatalf("metadata summary %q missing dataset name", meta.String())
+	}
+}
+
+func TestThumbnailDefaultsAndErrors(t *testing.T) {
+	const nx, ny, nz = 32, 32, 16
+	_, client, _ := stagedCluster(t, nx, ny, nz)
+
+	// Zero options pick sensible defaults.
+	img, meta, err := Thumbnail(client, "thumb", nx, ny, nz, 0, ThumbnailOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.W > 32 || meta.Stride < 1 {
+		t.Fatalf("defaults produced image %dx%d with stride %d", img.W, img.H, meta.Stride)
+	}
+
+	if _, _, err := Thumbnail(nil, "thumb", nx, ny, nz, 0, ThumbnailOptions{}); err == nil {
+		t.Fatal("expected error for nil client")
+	}
+	if _, _, err := Thumbnail(client, "missing", nx, ny, nz, 0, ThumbnailOptions{}); err == nil {
+		t.Fatal("expected error for unknown dataset")
+	}
+	if _, _, err := Thumbnail(client, "thumb", 0, 0, 0, 0, ThumbnailOptions{}); err == nil {
+		t.Fatal("expected error for invalid dimensions")
+	}
+}

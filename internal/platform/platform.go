@@ -1,0 +1,237 @@
+// Package platform describes the compute platforms of the paper's field
+// tests so that the simulated campaigns can reproduce their distinguishing
+// behaviour.
+//
+// The paper contrasts two platform classes for the Visapult back end:
+//
+//   - Distributed-memory clusters with one CPU per node and a NIC per node
+//     (Sandia's CPlant Linux/Alpha cluster). The overlapped reader thread and
+//     the render process share the single CPU, so overlapping I/O with
+//     rendering inflates and destabilizes load times (Figure 15), partly due
+//     to NIC interrupt servicing.
+//
+//   - Shared-memory multiprocessors (the ANL SGI Onyx2, the LBL Sun E4500)
+//     where each back-end process group maps onto its own CPU, so overlap
+//     costs almost nothing — but all processes share one NIC.
+//
+// A Platform captures the knobs that matter for those effects: CPUs per node,
+// per-node versus shared network interfaces, per-voxel render cost, and the
+// contention penalty applied to overlapped loading on single-CPU nodes.
+package platform
+
+import (
+	"fmt"
+	"time"
+
+	"visapult/internal/netsim"
+)
+
+// Kind distinguishes the two architecture classes the paper compares.
+type Kind int
+
+// Platform kinds.
+const (
+	// Cluster is a distributed-memory machine: one back-end PE per node,
+	// reader thread and render process share that node's CPU(s).
+	Cluster Kind = iota
+	// SMP is a shared-memory machine: every PE (and its reader thread) gets
+	// its own CPU, but all PEs share the host's network interface.
+	SMP
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if k == Cluster {
+		return "cluster"
+	}
+	return "SMP"
+}
+
+// Platform describes one back-end compute platform.
+type Platform struct {
+	Name string
+	Kind Kind
+	// Nodes is the number of nodes (cluster) or 1 (SMP).
+	Nodes int
+	// CPUsPerNode is the CPU count per node (1 for CPlant, 8-16 for SMPs).
+	CPUsPerNode int
+	// RenderSecPerMVoxel is the software volume rendering cost in seconds per
+	// million voxels per CPU. Calibrated so the paper's observed render times
+	// come out (e.g. ~8-9 s for a quarter of 640x256x256 on 4 CPlant CPUs).
+	RenderSecPerMVoxel float64
+	// NIC is the node's network interface (per node on a cluster, shared on
+	// an SMP).
+	NIC netsim.Link
+	// SharedNIC is true when all PEs share one interface (the SMP case).
+	SharedNIC bool
+	// InterruptCostPerFrame is the CPU time consumed servicing one NIC
+	// interrupt; with standard 1500-byte frames this is what makes the data
+	// loader compete with the renderer for the CPU.
+	InterruptCostPerFrame time.Duration
+	// OverlapLoadPenalty is the fractional inflation of load time when
+	// loading overlaps rendering on a node whose CPUs are oversubscribed
+	// (reader + renderer > CPUs). Zero for SMPs with enough CPUs.
+	OverlapLoadPenalty float64
+	// OverlapLoadJitter is the coefficient of variation of the overlapped
+	// load-time inflation, reproducing the "variability in load times from
+	// time step to time step" of Figure 15.
+	OverlapLoadJitter float64
+}
+
+// MaxPEs returns how many back-end processing elements the platform can host:
+// one per node on a cluster, one per CPU on an SMP.
+func (p Platform) MaxPEs() int {
+	if p.Kind == Cluster {
+		return p.Nodes
+	}
+	return p.CPUsPerNode
+}
+
+// RenderTime returns the time one PE needs to software-render voxels voxels.
+func (p Platform) RenderTime(voxels int64) time.Duration {
+	mvox := float64(voxels) / 1e6
+	return time.Duration(mvox * p.RenderSecPerMVoxel * float64(time.Second))
+}
+
+// Oversubscribed reports whether running a reader thread alongside the render
+// process oversubscribes a node's CPUs (the CPlant situation).
+func (p Platform) Oversubscribed() bool {
+	return p.CPUsPerNode < 2
+}
+
+// EffectiveOverlapPenalty returns the load-time inflation factor (>= 1) that
+// applies when loading and rendering are overlapped on this platform.
+func (p Platform) EffectiveOverlapPenalty() float64 {
+	if !p.Oversubscribed() {
+		return 1
+	}
+	return 1 + p.OverlapLoadPenalty
+}
+
+// InterruptLoad returns the CPU time consumed by NIC interrupts while
+// receiving the given number of bytes on one node.
+func (p Platform) InterruptLoad(bytes int64) time.Duration {
+	return p.NIC.InterruptCost(bytes, p.InterruptCostPerFrame)
+}
+
+// String implements fmt.Stringer.
+func (p Platform) String() string {
+	return fmt.Sprintf("%s (%s, %d nodes x %d CPUs)", p.Name, p.Kind, p.Nodes, p.CPUsPerNode)
+}
+
+// The platforms of the paper's campaigns. Render rates are calibrated against
+// the timings reported in sections 4.2-4.4:
+//   - CPlant: 160 MB timestep (41.9 Mvoxel) on 4 PEs rendered in ~8-9 s, so
+//     ~10.5 Mvoxel per PE in ~8.5 s => ~0.8 s/Mvoxel.
+//   - E4500: R ~= 12 s for one-eighth of the same timestep per PE
+//     (~5.2 Mvoxel) => ~2.3 s/Mvoxel (336 MHz UltraSPARC-II).
+//   - Onyx2: load-dominated runs; render calibrated slightly faster than the
+//     E4500.
+var (
+	// CPlant is the Sandia Livermore Linux/Alpha cluster: single-CPU nodes,
+	// a gigabit NIC per node, pronounced loader/renderer contention when
+	// overlapped.
+	CPlant = Platform{
+		Name:                  "SNL CPlant (Linux/Alpha cluster)",
+		Kind:                  Cluster,
+		Nodes:                 32,
+		CPUsPerNode:           1,
+		RenderSecPerMVoxel:    0.8,
+		NIC:                   netsim.GigE,
+		SharedNIC:             false,
+		InterruptCostPerFrame: 12 * time.Microsecond,
+		OverlapLoadPenalty:    0.25,
+		OverlapLoadJitter:     0.20,
+	}
+	// Onyx2 is the sixteen-processor SGI Onyx2 SMP at ANL, with a single
+	// shared gigabit interface.
+	Onyx2 = Platform{
+		Name:                  "ANL SGI Onyx2 (16-CPU SMP)",
+		Kind:                  SMP,
+		Nodes:                 1,
+		CPUsPerNode:           16,
+		RenderSecPerMVoxel:    1.6,
+		NIC:                   netsim.GigE,
+		SharedNIC:             true,
+		InterruptCostPerFrame: 8 * time.Microsecond,
+		OverlapLoadPenalty:    0.05,
+		OverlapLoadJitter:     0.05,
+	}
+	// E4500 is the eight-processor Sun Microsystems E4500 (336 MHz
+	// UltraSPARC-II) used for the serial-versus-overlapped LAN comparison of
+	// Figures 12-13.
+	E4500 = Platform{
+		Name:                  "LBL Sun E4500 (8-CPU SMP)",
+		Kind:                  SMP,
+		Nodes:                 1,
+		CPUsPerNode:           8,
+		RenderSecPerMVoxel:    2.3,
+		NIC:                   netsim.GigE,
+		SharedNIC:             true,
+		InterruptCostPerFrame: 10 * time.Microsecond,
+		OverlapLoadPenalty:    0.05,
+		OverlapLoadJitter:     0.05,
+	}
+	// T3E stands in for the NERSC Cray T3E that rendered the combustion data
+	// during SC99; treated as a cluster with fast nodes and a shared external
+	// link.
+	T3E = Platform{
+		Name:                  "NERSC Cray T3E",
+		Kind:                  Cluster,
+		Nodes:                 64,
+		CPUsPerNode:           1,
+		RenderSecPerMVoxel:    0.6,
+		NIC:                   netsim.GigE,
+		SharedNIC:             true,
+		InterruptCostPerFrame: 10 * time.Microsecond,
+		OverlapLoadPenalty:    0.2,
+		OverlapLoadJitter:     0.15,
+	}
+	// ViewerDesktop is the workstation running the Visapult viewer; only its
+	// NIC matters to the experiments.
+	ViewerDesktop = Platform{
+		Name:                  "Viewer desktop workstation",
+		Kind:                  SMP,
+		Nodes:                 1,
+		CPUsPerNode:           2,
+		RenderSecPerMVoxel:    3.0,
+		NIC:                   netsim.GigE,
+		SharedNIC:             true,
+		InterruptCostPerFrame: 10 * time.Microsecond,
+	}
+)
+
+// WithNodes returns a copy of the platform limited to n nodes (cluster) or n
+// CPUs (SMP); n is clamped to at least 1 and at most the platform maximum.
+func (p Platform) WithNodes(n int) Platform {
+	if n < 1 {
+		n = 1
+	}
+	q := p
+	if p.Kind == Cluster {
+		if n > p.Nodes {
+			n = p.Nodes
+		}
+		q.Nodes = n
+	} else {
+		if n > p.CPUsPerNode {
+			n = p.CPUsPerNode
+		}
+		q.CPUsPerNode = n
+	}
+	return q
+}
+
+// WithJumboFrames returns a copy of the platform whose NIC uses 9000-byte
+// jumbo frames, reducing per-byte interrupt overhead (experiment E11).
+func (p Platform) WithJumboFrames() Platform {
+	q := p
+	nic := q.NIC
+	nic.MTU = 9000
+	nic.Name = nic.Name + " (jumbo frames)"
+	q.NIC = nic
+	// Lower interrupt pressure also shrinks the overlap penalty on
+	// oversubscribed nodes, in proportion to the frame-count reduction.
+	q.OverlapLoadPenalty = p.OverlapLoadPenalty * 1500 / 9000 * 2
+	return q
+}

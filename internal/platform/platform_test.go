@@ -1,0 +1,114 @@
+package platform
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"visapult/internal/stats"
+)
+
+func TestKindString(t *testing.T) {
+	if Cluster.String() != "cluster" || SMP.String() != "SMP" {
+		t.Error("kind names")
+	}
+}
+
+func TestMaxPEs(t *testing.T) {
+	if CPlant.MaxPEs() != 32 {
+		t.Errorf("CPlant PEs = %d", CPlant.MaxPEs())
+	}
+	if Onyx2.MaxPEs() != 16 {
+		t.Errorf("Onyx2 PEs = %d", Onyx2.MaxPEs())
+	}
+	if E4500.MaxPEs() != 8 {
+		t.Errorf("E4500 PEs = %d", E4500.MaxPEs())
+	}
+}
+
+func TestRenderTimeCalibration(t *testing.T) {
+	// Paper section 4.2: rendering one 160 MB timestep (41.9 Mvoxel) spread
+	// over four CPlant PEs took "about eight or nine seconds".
+	perPE := int64(640*256*256) / 4
+	r := CPlant.RenderTime(perPE)
+	if r < 7*time.Second || r > 10*time.Second {
+		t.Errorf("CPlant per-PE render of a quarter timestep = %v, want ~8-9s", r)
+	}
+	// Paper section 4.3: on the E4500, R was approximately 12 seconds with
+	// eight PEs working on a large dataset (~5.2 Mvoxel per PE).
+	perPE = int64(640*256*256) / 8
+	r = E4500.RenderTime(perPE)
+	if r < 10*time.Second || r > 14*time.Second {
+		t.Errorf("E4500 per-PE render of an eighth timestep = %v, want ~12s", r)
+	}
+}
+
+func TestOversubscriptionAndOverlapPenalty(t *testing.T) {
+	if !CPlant.Oversubscribed() {
+		t.Error("single-CPU CPlant nodes should be oversubscribed by reader+renderer")
+	}
+	if Onyx2.Oversubscribed() || E4500.Oversubscribed() {
+		t.Error("SMPs should not be oversubscribed")
+	}
+	if CPlant.EffectiveOverlapPenalty() <= 1 {
+		t.Error("cluster overlap penalty should inflate load time")
+	}
+	if Onyx2.EffectiveOverlapPenalty() != 1 {
+		t.Error("SMP overlap penalty should be 1 (no inflation)")
+	}
+}
+
+func TestInterruptLoad(t *testing.T) {
+	bytes := int64(160 * stats.MB)
+	std := CPlant.InterruptLoad(bytes)
+	if std <= 0 {
+		t.Fatal("interrupt load should be positive")
+	}
+	jumbo := CPlant.WithJumboFrames().InterruptLoad(bytes)
+	if jumbo*5 > std {
+		t.Errorf("jumbo frames should cut interrupt load ~6x: std=%v jumbo=%v", std, jumbo)
+	}
+}
+
+func TestWithNodes(t *testing.T) {
+	four := CPlant.WithNodes(4)
+	if four.MaxPEs() != 4 {
+		t.Errorf("WithNodes(4) PEs = %d", four.MaxPEs())
+	}
+	if CPlant.MaxPEs() != 32 {
+		t.Error("WithNodes must not mutate the original")
+	}
+	if CPlant.WithNodes(0).MaxPEs() != 1 {
+		t.Error("WithNodes(0) should clamp to 1")
+	}
+	if CPlant.WithNodes(1000).MaxPEs() != 32 {
+		t.Error("WithNodes should clamp to the platform maximum")
+	}
+	smp := E4500.WithNodes(4)
+	if smp.MaxPEs() != 4 || smp.Nodes != 1 {
+		t.Errorf("SMP WithNodes = %+v", smp)
+	}
+}
+
+func TestWithJumboFrames(t *testing.T) {
+	j := CPlant.WithJumboFrames()
+	if j.NIC.MTU != 9000 {
+		t.Errorf("MTU = %d", j.NIC.MTU)
+	}
+	if j.OverlapLoadPenalty >= CPlant.OverlapLoadPenalty {
+		t.Error("jumbo frames should reduce the overlap penalty")
+	}
+	if CPlant.NIC.MTU != 1500 {
+		t.Error("WithJumboFrames must not mutate the original")
+	}
+	if !strings.Contains(j.NIC.Name, "jumbo") {
+		t.Error("NIC name should note jumbo frames")
+	}
+}
+
+func TestPlatformString(t *testing.T) {
+	s := CPlant.String()
+	if !strings.Contains(s, "CPlant") || !strings.Contains(s, "cluster") {
+		t.Errorf("string = %q", s)
+	}
+}

@@ -1,0 +1,219 @@
+// Package render implements the software volume rendering engine the Visapult
+// back end runs on each processing element: transfer functions, axis-aligned
+// ray casting over a slab of the domain decomposition, Porter-Duff "over"
+// compositing of the resulting semi-transparent images, and a small float
+// RGBA image type that doubles as the texture payload shipped to the viewer.
+package render
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Image is a float32 RGBA image with straight (non-premultiplied) alpha,
+// stored row-major, four channels per pixel. Channel values are nominally in
+// [0, 1].
+type Image struct {
+	W, H int
+	Pix  []float32
+}
+
+// NewImage allocates a transparent black image.
+func NewImage(w, h int) *Image {
+	if w < 1 {
+		w = 1
+	}
+	if h < 1 {
+		h = 1
+	}
+	return &Image{W: w, H: h, Pix: make([]float32, w*h*4)}
+}
+
+// idx returns the base index of pixel (x, y).
+func (im *Image) idx(x, y int) int { return (y*im.W + x) * 4 }
+
+// At returns the RGBA value at (x, y). No bounds checking.
+func (im *Image) At(x, y int) (r, g, b, a float32) {
+	i := im.idx(x, y)
+	return im.Pix[i], im.Pix[i+1], im.Pix[i+2], im.Pix[i+3]
+}
+
+// Set stores an RGBA value at (x, y). No bounds checking.
+func (im *Image) Set(x, y int, r, g, b, a float32) {
+	i := im.idx(x, y)
+	im.Pix[i], im.Pix[i+1], im.Pix[i+2], im.Pix[i+3] = r, g, b, a
+}
+
+// Clone returns a deep copy.
+func (im *Image) Clone() *Image {
+	out := &Image{W: im.W, H: im.H, Pix: make([]float32, len(im.Pix))}
+	copy(out.Pix, im.Pix)
+	return out
+}
+
+// Fill sets every pixel to the given color.
+func (im *Image) Fill(r, g, b, a float32) {
+	for i := 0; i < len(im.Pix); i += 4 {
+		im.Pix[i], im.Pix[i+1], im.Pix[i+2], im.Pix[i+3] = r, g, b, a
+	}
+}
+
+// Bytes returns the storage size of the pixel data in bytes.
+func (im *Image) Bytes() int64 { return int64(len(im.Pix)) * 4 }
+
+// OverPixel composites src over dst (Porter-Duff "over" with straight alpha)
+// and returns the result.
+func OverPixel(srcR, srcG, srcB, srcA, dstR, dstG, dstB, dstA float32) (r, g, b, a float32) {
+	outA := srcA + dstA*(1-srcA)
+	if outA <= 0 {
+		return 0, 0, 0, 0
+	}
+	r = (srcR*srcA + dstR*dstA*(1-srcA)) / outA
+	g = (srcG*srcA + dstG*dstA*(1-srcA)) / outA
+	b = (srcB*srcA + dstB*dstA*(1-srcA)) / outA
+	return r, g, b, outA
+}
+
+// ErrImageSize reports mismatched image dimensions in a compositing call.
+var ErrImageSize = errors.New("render: image dimensions differ")
+
+// Over composites src over im in place (im is the background). The images
+// must have identical dimensions.
+func (im *Image) Over(src *Image) error {
+	if im.W != src.W || im.H != src.H {
+		return fmt.Errorf("%w: %dx%d over %dx%d", ErrImageSize, src.W, src.H, im.W, im.H)
+	}
+	for i := 0; i < len(im.Pix); i += 4 {
+		r, g, b, a := OverPixel(
+			src.Pix[i], src.Pix[i+1], src.Pix[i+2], src.Pix[i+3],
+			im.Pix[i], im.Pix[i+1], im.Pix[i+2], im.Pix[i+3])
+		im.Pix[i], im.Pix[i+1], im.Pix[i+2], im.Pix[i+3] = r, g, b, a
+	}
+	return nil
+}
+
+// CompositeBackToFront layers images in slice order: images[0] is the
+// farthest layer, images[len-1] the nearest. All images must share
+// dimensions. The result is a new image; the inputs are unmodified.
+//
+// This is the ordered recombination step that object-order parallel volume
+// rendering requires (paper section 3.2), and it is exactly what the viewer's
+// IBR compositor does with the per-slab textures.
+func CompositeBackToFront(images []*Image) (*Image, error) {
+	if len(images) == 0 {
+		return nil, errors.New("render: no images to composite")
+	}
+	out := images[0].Clone()
+	for _, layer := range images[1:] {
+		if err := out.Over(layer); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// RMSE returns the root-mean-square difference between two images over all
+// four channels, in [0, ~1]. It is the artifact metric used for experiment
+// E8 (IBRAVR off-axis error).
+func (im *Image) RMSE(other *Image) (float64, error) {
+	if im.W != other.W || im.H != other.H {
+		return 0, fmt.Errorf("%w: %dx%d vs %dx%d", ErrImageSize, im.W, im.H, other.W, other.H)
+	}
+	var sum float64
+	for i := range im.Pix {
+		d := float64(im.Pix[i] - other.Pix[i])
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(im.Pix))), nil
+}
+
+// MeanAlpha returns the average alpha of the image, a cheap "how much stuff
+// is visible" measure used in tests.
+func (im *Image) MeanAlpha() float64 {
+	var sum float64
+	for i := 3; i < len(im.Pix); i += 4 {
+		sum += float64(im.Pix[i])
+	}
+	return sum / float64(im.W*im.H)
+}
+
+// ToRGBA8 converts the image to 8-bit RGBA bytes (clamping to [0,1]), the
+// format the wire protocol ships to the viewer as a texture.
+func (im *Image) ToRGBA8() []byte {
+	out := make([]byte, im.W*im.H*4)
+	for i, f := range im.Pix {
+		if f < 0 {
+			f = 0
+		}
+		if f > 1 {
+			f = 1
+		}
+		out[i] = byte(f*255 + 0.5)
+	}
+	return out
+}
+
+// FromRGBA8 builds a float image from 8-bit RGBA bytes.
+func FromRGBA8(w, h int, data []byte) (*Image, error) {
+	if len(data) != w*h*4 {
+		return nil, fmt.Errorf("render: RGBA8 buffer length %d does not match %dx%d", len(data), w, h)
+	}
+	im := NewImage(w, h)
+	for i, b := range data {
+		im.Pix[i] = float32(b) / 255
+	}
+	return im, nil
+}
+
+// WritePPM writes the image as a binary PPM (P6) file, dropping alpha. This
+// gives the examples a zero-dependency way to emit viewable renderings.
+func (im *Image) WritePPM(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "P6\n%d %d\n255\n", im.W, im.H); err != nil {
+		return err
+	}
+	row := make([]byte, im.W*3)
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			r, g, b, a := im.At(x, y)
+			// Composite over black so transparent regions render dark.
+			row[x*3+0] = clamp8(r * a)
+			row[x*3+1] = clamp8(g * a)
+			row[x*3+2] = clamp8(b * a)
+		}
+		if _, err := w.Write(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func clamp8(f float32) byte {
+	if f < 0 {
+		f = 0
+	}
+	if f > 1 {
+		f = 1
+	}
+	return byte(f*255 + 0.5)
+}
+
+// ShiftX returns a copy of the image translated horizontally by dx pixels
+// (positive moves content right); exposed pixels become transparent. The IBR
+// compositor uses this to approximate texture-mapped slab quads under small
+// off-axis rotations.
+func (im *Image) ShiftX(dx int) *Image {
+	out := NewImage(im.W, im.H)
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			sx := x - dx
+			if sx < 0 || sx >= im.W {
+				continue
+			}
+			r, g, b, a := im.At(sx, y)
+			out.Set(x, y, r, g, b, a)
+		}
+	}
+	return out
+}

@@ -1,0 +1,206 @@
+package render
+
+import (
+	"math"
+
+	"visapult/internal/volume"
+)
+
+// The renderer uses an orthographic camera at minus-infinity on the view
+// axis, looking in the positive axis direction: voxels with a smaller
+// coordinate along the view axis are nearer the eye. Per-slab images are
+// accumulated front-to-back with Porter-Duff "under"; multi-slab recombination
+// therefore composites slabs in decreasing-coordinate order (farthest first)
+// with "over".
+
+// imagePlaneDims returns the image width and height for a region viewed along
+// axis: the two remaining axes map to (x, y) of the image.
+func imagePlaneDims(r volume.Region, axis volume.Axis) (w, h int) {
+	nx, ny, nz := r.Dims()
+	switch axis {
+	case volume.AxisX:
+		return ny, nz
+	case volume.AxisY:
+		return nx, nz
+	default:
+		return nx, ny
+	}
+}
+
+// RenderStats reports the work a rendering call performed; experiment E12
+// uses it to compare decomposition strategies.
+type RenderStats struct {
+	Rays             int
+	Samples          int
+	NonEmptySamples  int
+	EarlyTerminated  int
+	OutputPixelBytes int64
+}
+
+// RenderSlab volume-renders the given region of v viewed along axis, using
+// one ray per image pixel and one sample per voxel step. It returns the
+// rendered image and the work statistics.
+//
+// This is the per-PE workhorse of the Visapult back end: each processing
+// element calls it on its slab of the domain decomposition, producing the
+// semi-transparent texture shipped to the viewer.
+func RenderSlab(v *volume.Volume, r volume.Region, tf TransferFunction, axis volume.Axis) (*Image, RenderStats) {
+	w, h := imagePlaneDims(r, axis)
+	img := NewImage(w, h)
+	var st RenderStats
+	st.OutputPixelBytes = img.Bytes()
+
+	// Iteration orders: for each pixel (u, w), march along the view axis.
+	var du, dv, dd int // extents along image-u, image-v and depth
+	switch axis {
+	case volume.AxisX:
+		du, dv, dd = r.Y1-r.Y0, r.Z1-r.Z0, r.X1-r.X0
+	case volume.AxisY:
+		du, dv, dd = r.X1-r.X0, r.Z1-r.Z0, r.Y1-r.Y0
+	default:
+		du, dv, dd = r.X1-r.X0, r.Y1-r.Y0, r.Z1-r.Z0
+	}
+	// voxelAt maps (u, v, depth) in region-local coordinates to the voxel.
+	voxelAt := func(u, vv, d int) float32 {
+		switch axis {
+		case volume.AxisX:
+			return v.At(r.X0+d, r.Y0+u, r.Z0+vv)
+		case volume.AxisY:
+			return v.At(r.X0+u, r.Y0+d, r.Z0+vv)
+		default:
+			return v.At(r.X0+u, r.Y0+vv, r.Z0+d)
+		}
+	}
+
+	const opacityCutoff = 0.98
+	for vv := 0; vv < dv; vv++ {
+		for u := 0; u < du; u++ {
+			st.Rays++
+			var accR, accG, accB, accA float32
+			for d := 0; d < dd; d++ {
+				st.Samples++
+				val := voxelAt(u, vv, d)
+				sr, sg, sb, sa := tf.Map(val)
+				if sa <= 0 {
+					continue
+				}
+				st.NonEmptySamples++
+				// Front-to-back "under" accumulation with straight alpha.
+				accR += (1 - accA) * sa * sr
+				accG += (1 - accA) * sa * sg
+				accB += (1 - accA) * sa * sb
+				accA += (1 - accA) * sa
+				if accA >= opacityCutoff {
+					st.EarlyTerminated++
+					break
+				}
+			}
+			if accA > 0 {
+				img.Set(u, vv, accR/accA, accG/accA, accB/accA, accA)
+			}
+		}
+	}
+	return img, st
+}
+
+// RenderSlabs renders each region of a slab decomposition and returns the
+// per-slab images in the same order as the regions, along with aggregate
+// statistics. All regions must share the same perpendicular extents (which
+// slab decompositions guarantee), so the images are composable.
+func RenderSlabs(v *volume.Volume, regions []volume.Region, tf TransferFunction, axis volume.Axis) ([]*Image, RenderStats) {
+	images := make([]*Image, len(regions))
+	var total RenderStats
+	for i, r := range regions {
+		img, st := RenderSlab(v, r, tf, axis)
+		images[i] = img
+		total.Rays += st.Rays
+		total.Samples += st.Samples
+		total.NonEmptySamples += st.NonEmptySamples
+		total.EarlyTerminated += st.EarlyTerminated
+		total.OutputPixelBytes += st.OutputPixelBytes
+	}
+	return images, total
+}
+
+// CompositeSlabs recombines per-slab images produced by RenderSlabs into the
+// full axis-aligned view. Slab regions are ordered by increasing coordinate
+// (nearest first, given the camera convention above), so the composite runs
+// over them in reverse: farthest slab first.
+func CompositeSlabs(images []*Image) (*Image, error) {
+	reversed := make([]*Image, len(images))
+	for i, img := range images {
+		reversed[len(images)-1-i] = img
+	}
+	return CompositeBackToFront(reversed)
+}
+
+// RenderFull renders the entire volume along axis in a single pass (no
+// decomposition). It is the reference against which decomposed + recombined
+// renderings are validated.
+func RenderFull(v *volume.Volume, tf TransferFunction, axis volume.Axis) (*Image, RenderStats) {
+	full := volume.Region{X1: v.NX, Y1: v.NY, Z1: v.NZ}
+	return RenderSlab(v, full, tf, axis)
+}
+
+// RenderRotatedY ray-casts the whole volume with the viewing direction
+// rotated by angle (radians) about the vertical (Y) axis away from the +Z
+// axis, using an orthographic camera. The image is NX x NY pixels, matching
+// the axis-aligned Z view, so it can be compared directly against IBR
+// approximations of the same view. It is the "ground truth" renderer for
+// experiment E8 (IBRAVR off-axis artifacts, paper Figure 6).
+func RenderRotatedY(v *volume.Volume, tf TransferFunction, angle float64) (*Image, RenderStats) {
+	w, h := v.NX, v.NY
+	img := NewImage(w, h)
+	var st RenderStats
+	st.OutputPixelBytes = img.Bytes()
+
+	sin, cos := math.Sin(angle), math.Cos(angle)
+	// Camera basis: view direction d, image-plane right vector u (both in the
+	// XZ plane), up vector along +Y.
+	dirX, dirZ := sin, cos
+	rightX, rightZ := cos, -sin
+	cx := float64(v.NX) / 2
+	cy := float64(v.NY) / 2
+	cz := float64(v.NZ) / 2
+	// March far enough to cross the volume at any rotation.
+	depth := int(math.Ceil(math.Hypot(float64(v.NX), float64(v.NZ))))
+	const opacityCutoff = 0.98
+
+	for py := 0; py < h; py++ {
+		for px := 0; px < w; px++ {
+			st.Rays++
+			// Ray origin on the image plane through the volume center.
+			ox := cx + (float64(px)-float64(w)/2)*rightX - float64(depth)/2*dirX
+			oy := cy + (float64(py) - float64(h)/2)
+			oz := cz + (float64(px)-float64(w)/2)*rightZ - float64(depth)/2*dirZ
+			var accR, accG, accB, accA float32
+			for step := 0; step < depth; step++ {
+				x := ox + float64(step)*dirX
+				y := oy
+				z := oz + float64(step)*dirZ
+				if x < 0 || y < 0 || z < 0 || x > float64(v.NX-1) || y > float64(v.NY-1) || z > float64(v.NZ-1) {
+					continue
+				}
+				st.Samples++
+				val := v.Sample(x, y, z)
+				sr, sg, sb, sa := tf.Map(val)
+				if sa <= 0 {
+					continue
+				}
+				st.NonEmptySamples++
+				accR += (1 - accA) * sa * sr
+				accG += (1 - accA) * sa * sg
+				accB += (1 - accA) * sa * sb
+				accA += (1 - accA) * sa
+				if accA >= opacityCutoff {
+					st.EarlyTerminated++
+					break
+				}
+			}
+			if accA > 0 {
+				img.Set(px, py, accR/accA, accG/accA, accB/accA, accA)
+			}
+		}
+	}
+	return img, st
+}

@@ -1,0 +1,378 @@
+package render
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"visapult/internal/datagen"
+	"visapult/internal/volume"
+)
+
+func TestImageBasics(t *testing.T) {
+	im := NewImage(4, 3)
+	if im.W != 4 || im.H != 3 || len(im.Pix) != 48 {
+		t.Fatalf("image = %+v", im)
+	}
+	im.Set(2, 1, 0.1, 0.2, 0.3, 0.4)
+	r, g, b, a := im.At(2, 1)
+	if r != 0.1 || g != 0.2 || b != 0.3 || a != 0.4 {
+		t.Error("set/at mismatch")
+	}
+	if im.Bytes() != 192 {
+		t.Errorf("bytes = %d", im.Bytes())
+	}
+	c := im.Clone()
+	c.Set(2, 1, 0, 0, 0, 0)
+	if _, _, _, a := im.At(2, 1); a != 0.4 {
+		t.Error("clone shares storage")
+	}
+	// Degenerate sizes clamp to 1x1.
+	if tiny := NewImage(0, -3); tiny.W != 1 || tiny.H != 1 {
+		t.Error("degenerate image size should clamp")
+	}
+}
+
+func TestOverPixelOpaqueAndTransparent(t *testing.T) {
+	// Opaque source completely covers destination.
+	r, g, b, a := OverPixel(1, 0, 0, 1, 0, 1, 0, 1)
+	if r != 1 || g != 0 || b != 0 || a != 1 {
+		t.Errorf("opaque over = %v %v %v %v", r, g, b, a)
+	}
+	// Transparent source leaves destination.
+	r, g, b, a = OverPixel(1, 1, 1, 0, 0, 0.5, 0, 0.5)
+	if r != 0 || g != 0.5 || b != 0 || a != 0.5 {
+		t.Errorf("transparent over = %v %v %v %v", r, g, b, a)
+	}
+	// Both transparent.
+	_, _, _, a = OverPixel(1, 1, 1, 0, 1, 1, 1, 0)
+	if a != 0 {
+		t.Errorf("transparent+transparent alpha = %v", a)
+	}
+	// 50% white over opaque black = 50% gray, still opaque.
+	r, g, b, a = OverPixel(1, 1, 1, 0.5, 0, 0, 0, 1)
+	if math.Abs(float64(r)-0.5) > 1e-6 || a != 1 {
+		t.Errorf("half-white over black = %v %v %v %v", r, g, b, a)
+	}
+}
+
+func TestOverPixelAlphaMonotoneProperty(t *testing.T) {
+	// Compositing can never reduce coverage: out alpha >= max(src, dst) - eps.
+	f := func(sa, da uint8) bool {
+		s := float32(sa) / 255
+		d := float32(da) / 255
+		_, _, _, out := OverPixel(0.5, 0.5, 0.5, s, 0.2, 0.2, 0.2, d)
+		maxIn := s
+		if d > maxIn {
+			maxIn = d
+		}
+		return out >= maxIn-1e-6 && out <= 1+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestImageOverSizeMismatch(t *testing.T) {
+	a := NewImage(2, 2)
+	b := NewImage(3, 2)
+	if err := a.Over(b); !errors.Is(err, ErrImageSize) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := a.RMSE(b); !errors.Is(err, ErrImageSize) {
+		t.Errorf("rmse err = %v", err)
+	}
+}
+
+func TestCompositeBackToFront(t *testing.T) {
+	far := NewImage(2, 2)
+	far.Fill(0, 0, 1, 1) // opaque blue background
+	near := NewImage(2, 2)
+	near.Set(0, 0, 1, 0, 0, 1) // one opaque red pixel
+	out, err := CompositeBackToFront([]*Image{far, near})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, _, b, _ := out.At(0, 0); r != 1 || b != 0 {
+		t.Error("near layer should win where opaque")
+	}
+	if _, _, b, _ := out.At(1, 1); b != 1 {
+		t.Error("background should show through transparent pixels")
+	}
+	if _, err := CompositeBackToFront(nil); err == nil {
+		t.Error("empty composite should fail")
+	}
+}
+
+func TestRMSEAndMeanAlpha(t *testing.T) {
+	a := NewImage(2, 2)
+	b := NewImage(2, 2)
+	if rmse, _ := a.RMSE(b); rmse != 0 {
+		t.Error("identical images should have zero RMSE")
+	}
+	b.Fill(1, 1, 1, 1)
+	rmse, _ := a.RMSE(b)
+	if rmse != 1 {
+		t.Errorf("all-channels-different RMSE = %v", rmse)
+	}
+	if b.MeanAlpha() != 1 || a.MeanAlpha() != 0 {
+		t.Error("mean alpha")
+	}
+}
+
+func TestToRGBA8RoundTrip(t *testing.T) {
+	im := NewImage(3, 2)
+	im.Set(0, 0, 0.25, 0.5, 0.75, 1)
+	im.Set(2, 1, 1.5, -0.5, 0, 0.5) // out-of-range values clamp
+	data := im.ToRGBA8()
+	if len(data) != 3*2*4 {
+		t.Fatalf("len = %d", len(data))
+	}
+	back, err := FromRGBA8(3, 2, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, _, _, _ := back.At(2, 1); r != 1 {
+		t.Errorf("clamped value = %v", r)
+	}
+	if r, g, _, _ := back.At(0, 0); math.Abs(float64(r)-0.25) > 0.01 || math.Abs(float64(g)-0.5) > 0.01 {
+		t.Error("8-bit round trip lost too much precision")
+	}
+	if _, err := FromRGBA8(3, 2, data[:5]); err == nil {
+		t.Error("short buffer should fail")
+	}
+}
+
+func TestWritePPM(t *testing.T) {
+	im := NewImage(2, 2)
+	im.Fill(1, 0, 0, 1)
+	var buf bytes.Buffer
+	if err := im.WritePPM(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "P6\n2 2\n255\n") {
+		t.Errorf("header = %q", buf.String()[:12])
+	}
+	if buf.Len() != 11+2*2*3 {
+		t.Errorf("ppm size = %d", buf.Len())
+	}
+}
+
+func TestShiftX(t *testing.T) {
+	im := NewImage(4, 1)
+	im.Set(1, 0, 1, 1, 1, 1)
+	right := im.ShiftX(2)
+	if _, _, _, a := right.At(3, 0); a != 1 {
+		t.Error("shift right lost pixel")
+	}
+	if _, _, _, a := right.At(1, 0); a != 0 {
+		t.Error("original position should be cleared")
+	}
+	left := im.ShiftX(-1)
+	if _, _, _, a := left.At(0, 0); a != 1 {
+		t.Error("shift left lost pixel")
+	}
+	off := im.ShiftX(10)
+	if off.MeanAlpha() != 0 {
+		t.Error("shifting beyond width should empty the image")
+	}
+}
+
+func TestTransferFunctions(t *testing.T) {
+	for _, tf := range []TransferFunction{Grayscale{}, FireTF{}, CoolTF{}, DefaultCombustionTF(), DefaultCosmologyTF()} {
+		for _, v := range []float32{-1, 0, 0.01, 0.3, 0.5, 0.9, 1, 2} {
+			r, g, b, a := tf.Map(v)
+			for _, c := range []float32{r, g, b, a} {
+				if c < 0 || c > 1 {
+					t.Errorf("%T.Map(%v) out of range: %v %v %v %v", tf, v, r, g, b, a)
+				}
+			}
+		}
+		// Higher values should be at least as opaque as low ones.
+		_, _, _, aLo := tf.Map(0.2)
+		_, _, _, aHi := tf.Map(0.9)
+		if aHi < aLo {
+			t.Errorf("%T: opacity not monotone (%v < %v)", tf, aHi, aLo)
+		}
+	}
+}
+
+func TestFireTFThreshold(t *testing.T) {
+	tf := FireTF{Threshold: 0.3}
+	if _, _, _, a := tf.Map(0.2); a != 0 {
+		t.Error("below-threshold samples should be transparent")
+	}
+	if _, _, _, a := tf.Map(0.9); a <= 0 {
+		t.Error("above-threshold samples should be visible")
+	}
+}
+
+func TestPiecewiseTF(t *testing.T) {
+	tf := Piecewise{Points: []ControlPoint{
+		{Value: 0, A: 0},
+		{Value: 0.5, R: 1, A: 0.5},
+		{Value: 1, R: 1, G: 1, B: 1, A: 1},
+	}}
+	if _, _, _, a := tf.Map(0); a != 0 {
+		t.Error("at first point")
+	}
+	r, _, _, a := tf.Map(0.25)
+	if math.Abs(float64(r)-0.5) > 1e-6 || math.Abs(float64(a)-0.25) > 1e-6 {
+		t.Errorf("interpolated = %v %v", r, a)
+	}
+	if r, g, b, a := tf.Map(2); r != 1 || g != 1 || b != 1 || a != 1 {
+		t.Error("clamp to last point")
+	}
+	empty := Piecewise{}
+	if _, _, _, a := empty.Map(0.5); a != 0 {
+		t.Error("empty piecewise should be transparent")
+	}
+}
+
+func testVolume() *volume.Volume {
+	gen := datagen.NewCombustion(datagen.CombustionConfig{NX: 24, NY: 20, NZ: 16, Timesteps: 4, Seed: 11})
+	return gen.Generate(2)
+}
+
+func TestRenderSlabDimensions(t *testing.T) {
+	v := testVolume()
+	full := volume.Region{X1: v.NX, Y1: v.NY, Z1: v.NZ}
+	cases := []struct {
+		axis volume.Axis
+		w, h int
+	}{
+		{volume.AxisZ, 24, 20},
+		{volume.AxisY, 24, 16},
+		{volume.AxisX, 20, 16},
+	}
+	for _, c := range cases {
+		img, st := RenderSlab(v, full, FireTF{}, c.axis)
+		if img.W != c.w || img.H != c.h {
+			t.Errorf("axis %v: image %dx%d, want %dx%d", c.axis, img.W, img.H, c.w, c.h)
+		}
+		if st.Rays != c.w*c.h {
+			t.Errorf("axis %v: rays = %d", c.axis, st.Rays)
+		}
+		if st.Samples == 0 || st.NonEmptySamples == 0 {
+			t.Errorf("axis %v: no samples taken", c.axis)
+		}
+		if img.MeanAlpha() <= 0 {
+			t.Errorf("axis %v: rendering is empty", c.axis)
+		}
+	}
+}
+
+func TestRenderSlabEmptyVolumeIsTransparent(t *testing.T) {
+	v := volume.MustNew(8, 8, 8) // all zeros
+	full := volume.Region{X1: 8, Y1: 8, Z1: 8}
+	img, st := RenderSlab(v, full, FireTF{}, volume.AxisZ)
+	if img.MeanAlpha() != 0 {
+		t.Error("empty volume should render transparent")
+	}
+	if st.NonEmptySamples != 0 {
+		t.Error("no non-empty samples expected")
+	}
+}
+
+func TestRenderSlabEarlyTermination(t *testing.T) {
+	v := volume.MustNew(8, 8, 32)
+	v.Fill(1) // fully opaque everywhere
+	full := volume.Region{X1: 8, Y1: 8, Z1: 32}
+	_, st := RenderSlab(v, full, Grayscale{}, volume.AxisZ)
+	if st.EarlyTerminated != st.Rays {
+		t.Errorf("early terminated %d of %d rays", st.EarlyTerminated, st.Rays)
+	}
+	// Early termination means far fewer samples than rays x depth.
+	if st.Samples >= st.Rays*32 {
+		t.Errorf("samples = %d, early termination had no effect", st.Samples)
+	}
+}
+
+func TestSlabDecompositionCompositesToFullRender(t *testing.T) {
+	// The defining property of the object-order algorithm: rendering slabs
+	// independently and compositing them in depth order reproduces the
+	// single-pass rendering.
+	v := testVolume()
+	tf := FireTF{}
+	for _, slabCount := range []int{1, 2, 4, 8} {
+		regions := volume.SlabsOf(v, volume.AxisZ, slabCount)
+		images, _ := RenderSlabs(v, regions, tf, volume.AxisZ)
+		composite, err := CompositeSlabs(images)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reference, _ := RenderFull(v, tf, volume.AxisZ)
+		rmse, err := composite.RMSE(reference)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rmse > 0.02 {
+			t.Errorf("%d slabs: composite differs from reference, RMSE = %v", slabCount, rmse)
+		}
+	}
+}
+
+func TestRenderSlabsAggregateStats(t *testing.T) {
+	v := testVolume()
+	regions := volume.SlabsOf(v, volume.AxisZ, 4)
+	_, st := RenderSlabs(v, regions, FireTF{}, volume.AxisZ)
+	if st.Rays != 4*24*20 {
+		t.Errorf("aggregate rays = %d", st.Rays)
+	}
+	if st.OutputPixelBytes != 4*int64(24*20*4*4) {
+		t.Errorf("output bytes = %d", st.OutputPixelBytes)
+	}
+}
+
+func TestViewerPayloadMuchSmallerThanVolume(t *testing.T) {
+	// The architectural claim behind Visapult: the viewer-bound data is
+	// O(n^2) while the source data is O(n^3).
+	v := testVolume()
+	regions := volume.SlabsOf(v, volume.AxisZ, 4)
+	images, _ := RenderSlabs(v, regions, FireTF{}, volume.AxisZ)
+	var viewerBytes int64
+	for _, img := range images {
+		viewerBytes += int64(len(img.ToRGBA8()))
+	}
+	if viewerBytes*4 > v.SizeBytes() {
+		t.Errorf("viewer payload %d should be much smaller than volume %d", viewerBytes, v.SizeBytes())
+	}
+}
+
+func TestRenderRotatedYZeroAngleMatchesAxisAligned(t *testing.T) {
+	v := testVolume()
+	tf := FireTF{}
+	rotated, st := RenderRotatedY(v, tf, 0)
+	reference, _ := RenderFull(v, tf, volume.AxisZ)
+	if rotated.W != reference.W || rotated.H != reference.H {
+		t.Fatalf("rotated dims %dx%d vs reference %dx%d", rotated.W, rotated.H, reference.W, reference.H)
+	}
+	rmse, err := rotated.RMSE(reference)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interpolation differences allow a small tolerance.
+	if rmse > 0.08 {
+		t.Errorf("zero-angle rotated render differs from axis-aligned: RMSE = %v", rmse)
+	}
+	if st.Rays != v.NX*v.NY {
+		t.Errorf("rays = %d", st.Rays)
+	}
+}
+
+func TestRenderRotatedYChangesWithAngle(t *testing.T) {
+	v := testVolume()
+	tf := FireTF{}
+	a0, _ := RenderRotatedY(v, tf, 0)
+	a30, _ := RenderRotatedY(v, tf, 30*math.Pi/180)
+	rmse, err := a0.RMSE(a30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rmse == 0 {
+		t.Error("rotating the view should change the image")
+	}
+}

@@ -1,0 +1,144 @@
+package render
+
+// TransferFunction maps a scalar voxel value (nominally in [0, 1]) to an RGBA
+// color with straight alpha. It is the classic volume-rendering transfer
+// function of Drebin/Carpenter/Hanrahan, which the paper cites as the basis
+// of its software renderer.
+type TransferFunction interface {
+	Map(v float32) (r, g, b, a float32)
+}
+
+// Grayscale is a linear gray ramp whose opacity scales with the value.
+type Grayscale struct {
+	// OpacityScale multiplies the per-sample alpha (default treated as 1).
+	OpacityScale float32
+}
+
+// Map implements TransferFunction.
+func (t Grayscale) Map(v float32) (r, g, b, a float32) {
+	scale := t.OpacityScale
+	if scale == 0 {
+		scale = 1
+	}
+	v = clamp01(v)
+	return v, v, v, v * scale
+}
+
+// FireTF is a black-body style colormap (black, red, orange, yellow, white)
+// suited to the combustion data: cold gas is transparent, the reaction front
+// glows.
+type FireTF struct {
+	// Threshold below which samples are fully transparent (default 0.05).
+	Threshold float32
+	// OpacityScale multiplies per-sample alpha (default 0.7).
+	OpacityScale float32
+}
+
+// Map implements TransferFunction.
+func (t FireTF) Map(v float32) (r, g, b, a float32) {
+	thr := t.Threshold
+	if thr == 0 {
+		thr = 0.05
+	}
+	scale := t.OpacityScale
+	if scale == 0 {
+		scale = 0.7
+	}
+	v = clamp01(v)
+	if v < thr {
+		return 0, 0, 0, 0
+	}
+	// Piecewise ramp through black -> red -> orange -> yellow -> white.
+	switch {
+	case v < 0.25:
+		r = v / 0.25
+	case v < 0.5:
+		r = 1
+		g = (v - 0.25) / 0.25 * 0.5
+	case v < 0.75:
+		r = 1
+		g = 0.5 + (v-0.5)/0.25*0.5
+	default:
+		r = 1
+		g = 1
+		b = (v - 0.75) / 0.25
+	}
+	a = (v - thr) / (1 - thr) * scale
+	return r, g, b, clamp01(a)
+}
+
+// CoolTF is a blue/white colormap for the cosmology density field: low
+// density is deep blue and translucent, high density is bright white.
+type CoolTF struct {
+	OpacityScale float32
+}
+
+// Map implements TransferFunction.
+func (t CoolTF) Map(v float32) (r, g, b, a float32) {
+	scale := t.OpacityScale
+	if scale == 0 {
+		scale = 0.5
+	}
+	v = clamp01(v)
+	return v, v * 0.8, 0.4 + 0.6*v, v * scale
+}
+
+// Piecewise is a table-driven transfer function: control points are linearly
+// interpolated. Points must be supplied with increasing Value; lookups clamp
+// to the ends.
+type Piecewise struct {
+	Points []ControlPoint
+}
+
+// ControlPoint is one (value -> color) entry of a Piecewise transfer function.
+type ControlPoint struct {
+	Value      float32
+	R, G, B, A float32
+}
+
+// Map implements TransferFunction.
+func (t Piecewise) Map(v float32) (r, g, b, a float32) {
+	pts := t.Points
+	if len(pts) == 0 {
+		return 0, 0, 0, 0
+	}
+	v = clamp01(v)
+	if v <= pts[0].Value {
+		p := pts[0]
+		return p.R, p.G, p.B, p.A
+	}
+	for i := 1; i < len(pts); i++ {
+		if v <= pts[i].Value {
+			lo, hi := pts[i-1], pts[i]
+			span := hi.Value - lo.Value
+			var f float32
+			if span > 0 {
+				f = (v - lo.Value) / span
+			}
+			return lo.R + f*(hi.R-lo.R),
+				lo.G + f*(hi.G-lo.G),
+				lo.B + f*(hi.B-lo.B),
+				lo.A + f*(hi.A-lo.A)
+		}
+	}
+	p := pts[len(pts)-1]
+	return p.R, p.G, p.B, p.A
+}
+
+// DefaultCombustionTF returns the transfer function the examples use for the
+// synthetic combustion data.
+func DefaultCombustionTF() TransferFunction { return FireTF{} }
+
+// DefaultCosmologyTF returns the transfer function the examples use for the
+// synthetic cosmology data.
+func DefaultCosmologyTF() TransferFunction { return CoolTF{} }
+
+func clamp01(v float32) float32 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

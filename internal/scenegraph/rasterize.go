@@ -1,0 +1,136 @@
+package scenegraph
+
+import (
+	"math"
+
+	"visapult/internal/render"
+	"visapult/internal/volume"
+)
+
+// Rasterizer draws a scene into a render.Image with a software pipeline:
+// texture quads are composited far-to-near (the IBR step), then line sets and
+// text annotations are drawn on top. It is the stand-in for the paper's
+// OpenGL/ImmersaDesk display path and lets the examples and tests observe
+// exactly what the user would see.
+type Rasterizer struct {
+	// Width and Height of the output image.
+	Width, Height int
+	// ViewAxis selects the axis-aligned projection used to place geometry
+	// (texture quads are already screen-aligned images).
+	ViewAxis volume.Axis
+	// WorldW and WorldH are the world-space extents mapped onto the image
+	// (defaults to Width and Height, i.e. one voxel per pixel).
+	WorldW, WorldH float64
+}
+
+// Render produces an image of the scene.
+func (rz Rasterizer) Render(s *Scene) *render.Image {
+	w, h := rz.Width, rz.Height
+	if w <= 0 {
+		w = 256
+	}
+	if h <= 0 {
+		h = 256
+	}
+	out := render.NewImage(w, h)
+
+	// 1. IBR composite of the slab textures, far to near.
+	for _, quad := range s.TextureQuads() {
+		layer := scaleToFit(quad.Image, w, h)
+		out.Over(layer) //nolint:errcheck // scaleToFit guarantees matching dims
+	}
+
+	// 2. Vector geometry on top.
+	worldW, worldH := rz.WorldW, rz.WorldH
+	if worldW <= 0 {
+		worldW = float64(w)
+	}
+	if worldH <= 0 {
+		worldH = float64(h)
+	}
+	sx := float64(w-1) / worldW
+	sy := float64(h-1) / worldH
+	for _, ls := range s.LineSets() {
+		for _, seg := range ls.Segments {
+			x0, y0 := rz.project(float64(seg.A.X), float64(seg.A.Y), float64(seg.A.Z), sx, sy)
+			x1, y1 := rz.project(float64(seg.B.X), float64(seg.B.Y), float64(seg.B.Z), sx, sy)
+			drawLine(out, x0, y0, x1, y1, ls.R, ls.G, ls.B, ls.A)
+		}
+	}
+	return out
+}
+
+// project maps a world point to pixel coordinates under the axis-aligned
+// orthographic projection.
+func (rz Rasterizer) project(x, y, z, sx, sy float64) (int, int) {
+	var u, v float64
+	switch rz.ViewAxis {
+	case volume.AxisX:
+		u, v = y, z
+	case volume.AxisY:
+		u, v = x, z
+	default:
+		u, v = x, y
+	}
+	return int(math.Round(u * sx)), int(math.Round(v * sy))
+}
+
+// scaleToFit resamples img to (w, h) with nearest-neighbour sampling; if the
+// sizes already match it returns img unchanged.
+func scaleToFit(img *render.Image, w, h int) *render.Image {
+	if img.W == w && img.H == h {
+		return img
+	}
+	out := render.NewImage(w, h)
+	for y := 0; y < h; y++ {
+		sy := y * img.H / h
+		for x := 0; x < w; x++ {
+			sx := x * img.W / w
+			r, g, b, a := img.At(sx, sy)
+			out.Set(x, y, r, g, b, a)
+		}
+	}
+	return out
+}
+
+// drawLine draws a straight line with Bresenham's algorithm, alpha-blending
+// the color over the existing pixels.
+func drawLine(img *render.Image, x0, y0, x1, y1 int, r, g, b, a float32) {
+	dx := abs(x1 - x0)
+	dy := -abs(y1 - y0)
+	sx := 1
+	if x0 > x1 {
+		sx = -1
+	}
+	sy := 1
+	if y0 > y1 {
+		sy = -1
+	}
+	err := dx + dy
+	for {
+		if x0 >= 0 && x0 < img.W && y0 >= 0 && y0 < img.H {
+			dr, dg, db, da := img.At(x0, y0)
+			nr, ng, nb, na := render.OverPixel(r, g, b, a, dr, dg, db, da)
+			img.Set(x0, y0, nr, ng, nb, na)
+		}
+		if x0 == x1 && y0 == y1 {
+			return
+		}
+		e2 := 2 * err
+		if e2 >= dy {
+			err += dy
+			x0 += sx
+		}
+		if e2 <= dx {
+			err += dx
+			y0 += sy
+		}
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

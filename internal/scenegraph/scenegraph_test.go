@@ -1,0 +1,246 @@
+package scenegraph
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"visapult/internal/amr"
+	"visapult/internal/render"
+	"visapult/internal/volume"
+)
+
+func TestVec3Arithmetic(t *testing.T) {
+	a := Vec3{1, 2, 3}
+	b := Vec3{4, 5, 6}
+	if a.Add(b) != (Vec3{5, 7, 9}) {
+		t.Error("add")
+	}
+	if b.Sub(a) != (Vec3{3, 3, 3}) {
+		t.Error("sub")
+	}
+	if a.Scale(2) != (Vec3{2, 4, 6}) {
+		t.Error("scale")
+	}
+	if a.Dot(b) != 32 {
+		t.Error("dot")
+	}
+}
+
+func TestGroupAddRemoveFind(t *testing.T) {
+	g := NewGroup("root")
+	child := NewGroup("volumes")
+	quad := NewTextureQuad("slab-0", render.NewImage(2, 2), Vec3{}, 0, 2, 2)
+	child.Add(quad)
+	g.Add(child, NewTextNode("label", "t=0", Vec3{}))
+	if len(g.Children()) != 2 {
+		t.Fatalf("children = %d", len(g.Children()))
+	}
+	if g.Find("slab-0") != Node(quad) {
+		t.Error("Find should locate nested nodes")
+	}
+	if g.Find("missing") != nil {
+		t.Error("Find for missing node should be nil")
+	}
+	if !g.Remove("label") {
+		t.Error("Remove should report success")
+	}
+	if g.Remove("label") {
+		t.Error("second Remove should fail")
+	}
+	if g.Name() != "root" || child.Name() != "volumes" || quad.Name() != "slab-0" {
+		t.Error("names")
+	}
+}
+
+func TestSceneUpdateBumpsVersion(t *testing.T) {
+	s := NewScene()
+	if s.Version() != 0 {
+		t.Error("initial version should be 0")
+	}
+	s.Update(func(root *Group) { root.Add(NewGroup("a")) })
+	s.Update(func(root *Group) { root.Add(NewGroup("b")) })
+	if s.Version() != 2 {
+		t.Errorf("version = %d", s.Version())
+	}
+	if s.NodeCount() != 2 {
+		t.Errorf("node count = %d", s.NodeCount())
+	}
+}
+
+func TestSceneTextureQuadsDepthSorted(t *testing.T) {
+	s := NewScene()
+	s.Update(func(root *Group) {
+		root.Add(
+			NewTextureQuad("near", render.NewImage(1, 1), Vec3{}, 1, 1, 1),
+			NewTextureQuad("far", render.NewImage(1, 1), Vec3{}, 10, 1, 1),
+			NewTextureQuad("mid", render.NewImage(1, 1), Vec3{}, 5, 1, 1),
+		)
+	})
+	quads := s.TextureQuads()
+	if len(quads) != 3 {
+		t.Fatalf("quads = %d", len(quads))
+	}
+	if quads[0].Name() != "far" || quads[1].Name() != "mid" || quads[2].Name() != "near" {
+		t.Errorf("order = %s %s %s", quads[0].Name(), quads[1].Name(), quads[2].Name())
+	}
+}
+
+func TestSceneLineSetsCollected(t *testing.T) {
+	s := NewScene()
+	segs := []amr.Segment{{A: amr.Point3{}, B: amr.Point3{X: 1}}}
+	s.Update(func(root *Group) {
+		grids := NewGroup("grids")
+		grids.Add(NewLineSet("level0", segs, 1, 1, 1, 1))
+		root.Add(grids)
+	})
+	lines := s.LineSets()
+	if len(lines) != 1 || len(lines[0].Segments) != 1 {
+		t.Fatalf("line sets = %+v", lines)
+	}
+	if !strings.Contains(s.String(), "1 line sets") {
+		t.Errorf("string = %q", s.String())
+	}
+}
+
+func TestSceneConcurrentUpdateAndRead(t *testing.T) {
+	// The paper's core viewer property: I/O threads update the scene while
+	// the render thread reads it. Run both concurrently under the race
+	// detector's eye.
+	s := NewScene()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	renderDone := make(chan struct{})
+	// Render thread analogue: keeps reading until the I/O threads finish.
+	go func() {
+		defer close(renderDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = s.TextureQuads()
+				_ = s.Version()
+			}
+		}
+	}()
+	// Four I/O service threads.
+	for pe := 0; pe < 4; pe++ {
+		wg.Add(1)
+		go func(pe int) {
+			defer wg.Done()
+			for frame := 0; frame < 50; frame++ {
+				img := render.NewImage(4, 4)
+				s.Update(func(root *Group) {
+					name := quadName(pe)
+					root.Remove(name)
+					q := NewTextureQuad(name, img, Vec3{}, float64(pe), 4, 4)
+					q.Frame = frame
+					root.Add(q)
+				})
+			}
+		}(pe)
+	}
+	wg.Wait()
+	close(stop)
+	<-renderDone
+	if got := len(s.TextureQuads()); got != 4 {
+		t.Errorf("final quads = %d, want 4 (one per PE)", got)
+	}
+	if s.Version() != 4*50 {
+		t.Errorf("version = %d", s.Version())
+	}
+}
+
+func quadName(pe int) string {
+	return "slab-" + string(rune('0'+pe))
+}
+
+func TestRasterizerCompositesQuadsAndLines(t *testing.T) {
+	s := NewScene()
+	// A red background quad (far) and a half-transparent green quad (near).
+	red := render.NewImage(8, 8)
+	red.Fill(1, 0, 0, 1)
+	green := render.NewImage(8, 8)
+	green.Fill(0, 1, 0, 0.5)
+	s.Update(func(root *Group) {
+		root.Add(
+			NewTextureQuad("far", red, Vec3{}, 10, 8, 8),
+			NewTextureQuad("near", green, Vec3{}, 1, 8, 8),
+		)
+		root.Add(NewLineSet("grid", []amr.Segment{
+			{A: amr.Point3{X: 0, Y: 0}, B: amr.Point3{X: 7, Y: 7}},
+		}, 0, 0, 1, 1))
+	})
+	out := Rasterizer{Width: 8, Height: 8, ViewAxis: volume.AxisZ, WorldW: 8, WorldH: 8}.Render(s)
+	// A pixel off the line should be the red/green blend.
+	r, g, _, a := out.At(5, 2)
+	if a != 1 {
+		t.Errorf("alpha = %v", a)
+	}
+	if r <= 0.2 || g <= 0.2 {
+		t.Errorf("expected red+green blend, got r=%v g=%v", r, g)
+	}
+	// A pixel on the diagonal line should show blue.
+	_, _, b, _ := out.At(4, 4)
+	if b <= 0.5 {
+		t.Errorf("line pixel blue = %v", b)
+	}
+}
+
+func TestRasterizerScalesTextures(t *testing.T) {
+	s := NewScene()
+	small := render.NewImage(4, 4)
+	small.Fill(1, 1, 1, 1)
+	s.Update(func(root *Group) { root.Add(NewTextureQuad("t", small, Vec3{}, 0, 4, 4)) })
+	out := Rasterizer{Width: 16, Height: 16}.Render(s)
+	if out.W != 16 || out.H != 16 {
+		t.Fatalf("output dims %dx%d", out.W, out.H)
+	}
+	if out.MeanAlpha() < 0.99 {
+		t.Errorf("scaled texture should fill output, alpha = %v", out.MeanAlpha())
+	}
+}
+
+func TestRasterizerDefaults(t *testing.T) {
+	out := Rasterizer{}.Render(NewScene())
+	if out.W != 256 || out.H != 256 {
+		t.Errorf("default dims %dx%d", out.W, out.H)
+	}
+	if out.MeanAlpha() != 0 {
+		t.Error("empty scene should render transparent")
+	}
+}
+
+func TestRasterizerProjectionAxes(t *testing.T) {
+	segs := []amr.Segment{{A: amr.Point3{X: 0, Y: 0, Z: 0}, B: amr.Point3{X: 0, Y: 7, Z: 7}}}
+	for _, axis := range []volume.Axis{volume.AxisX, volume.AxisY, volume.AxisZ} {
+		s := NewScene()
+		s.Update(func(root *Group) { root.Add(NewLineSet("l", segs, 1, 1, 1, 1)) })
+		out := Rasterizer{Width: 8, Height: 8, ViewAxis: axis, WorldW: 8, WorldH: 8}.Render(s)
+		if out.MeanAlpha() == 0 {
+			t.Errorf("axis %v: line not drawn", axis)
+		}
+	}
+}
+
+func TestDrawLineClipsToImage(t *testing.T) {
+	img := render.NewImage(4, 4)
+	// A line that leaves the image must not panic.
+	drawLine(img, -5, -5, 10, 10, 1, 0, 0, 1)
+	if img.MeanAlpha() == 0 {
+		t.Error("in-bounds portion of the line should be drawn")
+	}
+}
+
+func TestTextNodeAndElevation(t *testing.T) {
+	txt := NewTextNode("label", "timestep 7", Vec3{X: 1})
+	if txt.Text != "timestep 7" || txt.Name() != "label" {
+		t.Error("text node fields")
+	}
+	q := NewTextureQuad("q", render.NewImage(2, 2), Vec3{}, 0, 2, 2)
+	q.Elevation = make([]float32, 4)
+	if len(q.Elevation) != 4 {
+		t.Error("elevation map should be assignable")
+	}
+}

@@ -1,0 +1,507 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestClockStartsAtZero(t *testing.T) {
+	k := NewKernel()
+	if k.Now() != 0 {
+		t.Fatalf("clock should start at 0, got %v", k.Now())
+	}
+}
+
+func TestSingleProcSleep(t *testing.T) {
+	k := NewKernel()
+	var woke time.Duration
+	k.Spawn("sleeper", func(p *Proc) {
+		p.Sleep(5 * time.Second)
+		woke = p.Now()
+	})
+	end := k.Run()
+	if woke != 5*time.Second {
+		t.Errorf("proc woke at %v, want 5s", woke)
+	}
+	if end != 5*time.Second {
+		t.Errorf("kernel ended at %v, want 5s", end)
+	}
+	if k.LiveProcs() != 0 {
+		t.Errorf("live procs = %d", k.LiveProcs())
+	}
+}
+
+func TestNegativeSleepIsZero(t *testing.T) {
+	k := NewKernel()
+	k.Spawn("p", func(p *Proc) {
+		p.Sleep(-time.Second)
+		if p.Now() != 0 {
+			t.Errorf("negative sleep advanced clock to %v", p.Now())
+		}
+	})
+	k.Run()
+}
+
+func TestMultipleProcsInterleave(t *testing.T) {
+	k := NewKernel()
+	var order []string
+	k.Spawn("a", func(p *Proc) {
+		p.Sleep(2 * time.Second)
+		order = append(order, "a@2")
+		p.Sleep(3 * time.Second)
+		order = append(order, "a@5")
+	})
+	k.Spawn("b", func(p *Proc) {
+		p.Sleep(1 * time.Second)
+		order = append(order, "b@1")
+		p.Sleep(3 * time.Second)
+		order = append(order, "b@4")
+	})
+	k.Run()
+	want := []string{"b@1", "a@2", "b@4", "a@5"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	k := NewKernel()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.Spawn("p", func(p *Proc) {
+			p.Sleep(time.Second)
+			order = append(order, i)
+		})
+	}
+	k.Run()
+	for i := 0; i < 10; i++ {
+		if order[i] != i {
+			t.Fatalf("same-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestEventSignalWakesWaiters(t *testing.T) {
+	k := NewKernel()
+	ev := NewEvent(k)
+	var wokeAt []time.Duration
+	for i := 0; i < 3; i++ {
+		k.Spawn("waiter", func(p *Proc) {
+			p.Wait(ev)
+			wokeAt = append(wokeAt, p.Now())
+		})
+	}
+	k.Spawn("signaller", func(p *Proc) {
+		p.Sleep(7 * time.Second)
+		ev.Signal()
+	})
+	k.Run()
+	if len(wokeAt) != 3 {
+		t.Fatalf("only %d waiters woke", len(wokeAt))
+	}
+	for _, at := range wokeAt {
+		if at != 7*time.Second {
+			t.Errorf("waiter woke at %v", at)
+		}
+	}
+	if !ev.Signaled() {
+		t.Error("event should be signalled")
+	}
+}
+
+func TestWaitOnSignaledEventReturnsImmediately(t *testing.T) {
+	k := NewKernel()
+	ev := NewEvent(k)
+	ev.Signal()
+	ran := false
+	k.Spawn("p", func(p *Proc) {
+		p.Wait(ev)
+		ran = true
+		if p.Now() != 0 {
+			t.Errorf("wait on signalled event advanced time to %v", p.Now())
+		}
+	})
+	k.Run()
+	if !ran {
+		t.Error("proc never ran")
+	}
+}
+
+func TestDoubleSignalIsNoop(t *testing.T) {
+	k := NewKernel()
+	ev := NewEvent(k)
+	count := 0
+	k.Spawn("w", func(p *Proc) {
+		p.Wait(ev)
+		count++
+	})
+	k.Spawn("s", func(p *Proc) {
+		ev.Signal()
+		ev.Signal()
+	})
+	k.Run()
+	if count != 1 {
+		t.Fatalf("waiter woke %d times", count)
+	}
+}
+
+func TestSpawnDoneEvent(t *testing.T) {
+	k := NewKernel()
+	var childDoneAt time.Duration
+	done := k.Spawn("child", func(p *Proc) {
+		p.Sleep(4 * time.Second)
+	})
+	k.Spawn("parent", func(p *Proc) {
+		p.Wait(done)
+		childDoneAt = p.Now()
+	})
+	k.Run()
+	if childDoneAt != 4*time.Second {
+		t.Errorf("parent observed child done at %v", childDoneAt)
+	}
+}
+
+func TestNestedSpawn(t *testing.T) {
+	k := NewKernel()
+	var leafAt time.Duration
+	k.Spawn("root", func(p *Proc) {
+		p.Sleep(time.Second)
+		done := p.Spawn("leaf", func(q *Proc) {
+			q.Sleep(2 * time.Second)
+			leafAt = q.Now()
+		})
+		p.Wait(done)
+		if p.Now() != 3*time.Second {
+			t.Errorf("root resumed at %v", p.Now())
+		}
+	})
+	k.Run()
+	if leafAt != 3*time.Second {
+		t.Errorf("leaf finished at %v", leafAt)
+	}
+}
+
+func TestWaitAll(t *testing.T) {
+	k := NewKernel()
+	e1, e2 := NewEvent(k), NewEvent(k)
+	var at time.Duration
+	k.Spawn("w", func(p *Proc) {
+		p.WaitAll(e1, e2)
+		at = p.Now()
+	})
+	k.Spawn("s1", func(p *Proc) { p.Sleep(2 * time.Second); e1.Signal() })
+	k.Spawn("s2", func(p *Proc) { p.Sleep(5 * time.Second); e2.Signal() })
+	k.Run()
+	if at != 5*time.Second {
+		t.Errorf("WaitAll returned at %v, want 5s", at)
+	}
+}
+
+func TestWaitTimeoutExpires(t *testing.T) {
+	k := NewKernel()
+	ev := NewEvent(k)
+	var ok bool
+	var at time.Duration
+	k.Spawn("w", func(p *Proc) {
+		ok = p.WaitTimeout(ev, 3*time.Second)
+		at = p.Now()
+	})
+	k.Run()
+	if ok {
+		t.Error("timeout should have expired")
+	}
+	if at != 3*time.Second {
+		t.Errorf("woke at %v", at)
+	}
+	if len(k.TimedOut()) != 1 {
+		t.Errorf("TimedOut = %v", k.TimedOut())
+	}
+}
+
+func TestWaitTimeoutSignalledFirst(t *testing.T) {
+	k := NewKernel()
+	ev := NewEvent(k)
+	var ok bool
+	var at time.Duration
+	k.Spawn("w", func(p *Proc) {
+		ok = p.WaitTimeout(ev, 10*time.Second)
+		at = p.Now()
+	})
+	k.Spawn("s", func(p *Proc) { p.Sleep(2 * time.Second); ev.Signal() })
+	end := k.Run()
+	if !ok {
+		t.Error("event should have been observed before the timeout")
+	}
+	if at != 2*time.Second {
+		t.Errorf("woke at %v", at)
+	}
+	// The stopped timer must not stretch the simulation to 10s.
+	if end != 2*time.Second {
+		t.Errorf("kernel ended at %v, want 2s", end)
+	}
+	if len(k.TimedOut()) != 0 {
+		t.Errorf("TimedOut = %v", k.TimedOut())
+	}
+}
+
+func TestTimerFiresAndStops(t *testing.T) {
+	k := NewKernel()
+	fired := 0
+	tm := k.After(5*time.Second, func() { fired++ })
+	k.After(10*time.Second, func() { fired += 10 })
+	stopped := k.After(7*time.Second, func() { fired += 100 })
+	if !stopped.Stop() {
+		t.Error("Stop on pending timer should return true")
+	}
+	if stopped.Stop() {
+		t.Error("second Stop should return false")
+	}
+	k.Run()
+	if fired != 11 {
+		t.Errorf("fired = %d, want 11", fired)
+	}
+	if tm.When() != 5*time.Second {
+		t.Errorf("When = %v", tm.When())
+	}
+}
+
+func TestRunUntilLimit(t *testing.T) {
+	k := NewKernel()
+	var lastWake time.Duration
+	k.Spawn("p", func(p *Proc) {
+		for i := 0; i < 100; i++ {
+			p.Sleep(time.Second)
+			lastWake = p.Now()
+		}
+	})
+	end := k.RunUntil(10 * time.Second)
+	if end != 10*time.Second {
+		t.Errorf("end = %v", end)
+	}
+	if lastWake > 10*time.Second {
+		t.Errorf("proc ran past the limit: %v", lastWake)
+	}
+}
+
+func TestBarrierReleasesAllTogether(t *testing.T) {
+	k := NewKernel()
+	const parties = 4
+	b := NewBarrier(k, parties)
+	var releasedAt []time.Duration
+	for i := 0; i < parties; i++ {
+		delay := time.Duration(i+1) * time.Second
+		k.Spawn("pe", func(p *Proc) {
+			p.Sleep(delay)
+			b.Await(p)
+			releasedAt = append(releasedAt, p.Now())
+		})
+	}
+	k.Run()
+	if len(releasedAt) != parties {
+		t.Fatalf("released %d parties", len(releasedAt))
+	}
+	for _, at := range releasedAt {
+		if at != time.Duration(parties)*time.Second {
+			t.Errorf("party released at %v, want %v", at, time.Duration(parties)*time.Second)
+		}
+	}
+}
+
+func TestBarrierReusableAcrossGenerations(t *testing.T) {
+	k := NewKernel()
+	const parties = 3
+	const rounds = 5
+	b := NewBarrier(k, parties)
+	counts := make([]int, parties)
+	for i := 0; i < parties; i++ {
+		i := i
+		k.Spawn("pe", func(p *Proc) {
+			for r := 0; r < rounds; r++ {
+				p.Sleep(time.Duration(i+1) * time.Millisecond)
+				b.Await(p)
+				counts[i]++
+			}
+		})
+	}
+	k.Run()
+	for i, c := range counts {
+		if c != rounds {
+			t.Errorf("party %d completed %d rounds", i, c)
+		}
+	}
+	if k.LiveProcs() != 0 {
+		t.Errorf("live procs = %d (barrier deadlock?)", k.LiveProcs())
+	}
+}
+
+func TestResourceSerializesWhenFull(t *testing.T) {
+	k := NewKernel()
+	cpu := NewResource(k, 1)
+	var finish []time.Duration
+	for i := 0; i < 3; i++ {
+		k.Spawn("task", func(p *Proc) {
+			cpu.Acquire(p, 1)
+			p.Sleep(2 * time.Second)
+			cpu.Release(1)
+			finish = append(finish, p.Now())
+		})
+	}
+	k.Run()
+	want := []time.Duration{2 * time.Second, 4 * time.Second, 6 * time.Second}
+	if len(finish) != 3 {
+		t.Fatalf("finish = %v", finish)
+	}
+	for i := range want {
+		if finish[i] != want[i] {
+			t.Errorf("finish[%d] = %v, want %v", i, finish[i], want[i])
+		}
+	}
+}
+
+func TestResourceParallelWhenCapacityAllows(t *testing.T) {
+	k := NewKernel()
+	cpus := NewResource(k, 4)
+	var finish []time.Duration
+	for i := 0; i < 4; i++ {
+		k.Spawn("task", func(p *Proc) {
+			cpus.Acquire(p, 1)
+			p.Sleep(2 * time.Second)
+			cpus.Release(1)
+			finish = append(finish, p.Now())
+		})
+	}
+	k.Run()
+	for _, f := range finish {
+		if f != 2*time.Second {
+			t.Errorf("task finished at %v, want 2s (parallel)", f)
+		}
+	}
+	if cpus.InUse() != 0 {
+		t.Errorf("resource still in use: %d", cpus.InUse())
+	}
+	if cpus.Capacity() != 4 {
+		t.Errorf("capacity = %d", cpus.Capacity())
+	}
+}
+
+func TestResourceClampsRequests(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, 2)
+	k.Spawn("big", func(p *Proc) {
+		r.Acquire(p, 100) // clamped to 2
+		if r.InUse() != 2 {
+			t.Errorf("in use = %d", r.InUse())
+		}
+		r.Release(100)
+		if r.InUse() != 0 {
+			t.Errorf("after release in use = %d", r.InUse())
+		}
+	})
+	k.Run()
+}
+
+func TestResourceFIFOGrantOrder(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, 1)
+	var order []int
+	k.Spawn("holder", func(p *Proc) {
+		r.Acquire(p, 1)
+		p.Sleep(time.Second)
+		r.Release(1)
+	})
+	for i := 0; i < 5; i++ {
+		i := i
+		k.Spawn("waiter", func(p *Proc) {
+			p.Sleep(time.Duration(i) * time.Millisecond) // arrive in order
+			r.Acquire(p, 1)
+			order = append(order, i)
+			r.Release(1)
+		})
+	}
+	k.Run()
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("grant order = %v", order)
+		}
+	}
+}
+
+func TestTraceCallbackInvoked(t *testing.T) {
+	k := NewKernel()
+	var events []string
+	k.SetTrace(func(_ time.Duration, what string) { events = append(events, what) })
+	k.Spawn("worker", func(p *Proc) { p.Sleep(time.Second) })
+	k.Run()
+	if len(events) < 2 {
+		t.Fatalf("expected spawn+done trace events, got %v", events)
+	}
+}
+
+func TestNamedAndAnonymousProcs(t *testing.T) {
+	k := NewKernel()
+	k.Spawn("", func(p *Proc) {
+		if p.Name() == "" {
+			t.Error("anonymous proc should get a generated name")
+		}
+		if p.Kernel() != k {
+			t.Error("Kernel() mismatch")
+		}
+	})
+	k.Spawn("named", func(p *Proc) {
+		if p.Name() != "named" {
+			t.Errorf("name = %q", p.Name())
+		}
+	})
+	k.Run()
+}
+
+func TestSleepSumEqualsTotalProperty(t *testing.T) {
+	// Property: a single process sleeping k times for d each finishes at k*d.
+	f := func(reps, ms uint8) bool {
+		k := NewKernel()
+		n := int(reps%20) + 1
+		d := time.Duration(int(ms)+1) * time.Millisecond
+		var end time.Duration
+		k.Spawn("p", func(p *Proc) {
+			for i := 0; i < n; i++ {
+				p.Sleep(d)
+			}
+			end = p.Now()
+		})
+		k.Run()
+		return end == time.Duration(n)*d
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestManyProcsDeterministic(t *testing.T) {
+	run := func() time.Duration {
+		k := NewKernel()
+		b := NewBarrier(k, 16)
+		for i := 0; i < 16; i++ {
+			i := i
+			k.Spawn("pe", func(p *Proc) {
+				for step := 0; step < 10; step++ {
+					p.Sleep(time.Duration((i*7+step*3)%11+1) * time.Millisecond)
+					b.Await(p)
+				}
+			})
+		}
+		return k.Run()
+	}
+	first := run()
+	for i := 0; i < 3; i++ {
+		if got := run(); got != first {
+			t.Fatalf("non-deterministic result: %v vs %v", got, first)
+		}
+	}
+}

@@ -1,0 +1,251 @@
+// Package stats provides small statistical helpers used by the Visapult
+// experiment harness: summary statistics over float64 samples, percentile
+// estimation, and unit conversions between bytes, bits and transfer rates.
+//
+// The paper reports most results as throughput in megabits per second (Mbps)
+// and elapsed wall-clock seconds; the helpers here keep those conversions in
+// one place so that every experiment reports rates the same way the paper
+// does.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Summary holds descriptive statistics for a sample of float64 values.
+type Summary struct {
+	N      int
+	Min    float64
+	Max    float64
+	Mean   float64
+	Median float64
+	StdDev float64
+	P10    float64
+	P90    float64
+	P99    float64
+	Sum    float64
+}
+
+// Summarize computes a Summary over xs. An empty slice yields a zero Summary.
+func Summarize(xs []float64) Summary {
+	var s Summary
+	s.N = len(xs)
+	if s.N == 0 {
+		return s
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Min = sorted[0]
+	s.Max = sorted[len(sorted)-1]
+	for _, x := range sorted {
+		s.Sum += x
+	}
+	s.Mean = s.Sum / float64(s.N)
+	s.Median = Percentile(sorted, 50)
+	s.P10 = Percentile(sorted, 10)
+	s.P90 = Percentile(sorted, 90)
+	s.P99 = Percentile(sorted, 99)
+	var ss float64
+	for _, x := range sorted {
+		d := x - s.Mean
+		ss += d * d
+	}
+	if s.N > 1 {
+		s.StdDev = math.Sqrt(ss / float64(s.N-1))
+	}
+	return s
+}
+
+// Percentile returns the p-th percentile (0..100) of sorted, using linear
+// interpolation between closest ranks. sorted must be in ascending order.
+func Percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// CoefficientOfVariation returns stddev/mean, a unitless measure of the
+// variability of a sample. The paper uses load-time variability across
+// timesteps as evidence of CPU contention on cluster nodes (Figure 15); the
+// experiments report it with this helper. Returns 0 when the mean is 0.
+func CoefficientOfVariation(xs []float64) float64 {
+	s := Summarize(xs)
+	if s.Mean == 0 {
+		return 0
+	}
+	return s.StdDev / s.Mean
+}
+
+// Byte-size and rate units. The paper mixes megabytes (data sizes) and
+// megabits per second (network rates); these constants keep the factors
+// explicit.
+const (
+	KB = 1 << 10
+	MB = 1 << 20
+	GB = 1 << 30
+	TB = 1 << 40
+
+	// Decimal units, used for network rates (an OC-12 is 622 * 1e6 bit/s).
+	Kilo = 1e3
+	Mega = 1e6
+	Giga = 1e9
+)
+
+// Mbps converts a byte count moved in the given duration to megabits per
+// second. A non-positive duration yields 0.
+func Mbps(bytes int64, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	bits := float64(bytes) * 8
+	return bits / d.Seconds() / Mega
+}
+
+// MBps converts a byte count moved in the given duration to megabytes
+// (2^20 bytes) per second. A non-positive duration yields 0.
+func MBps(bytes int64, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(bytes) / d.Seconds() / MB
+}
+
+// TransferTime returns how long moving bytes at rate bitsPerSec takes,
+// ignoring latency. A non-positive rate yields 0.
+func TransferTime(bytes int64, bitsPerSec float64) time.Duration {
+	if bitsPerSec <= 0 {
+		return 0
+	}
+	seconds := float64(bytes) * 8 / bitsPerSec
+	return time.Duration(seconds * float64(time.Second))
+}
+
+// Utilization returns achieved/capacity clamped to [0, 1]; both arguments are
+// rates in the same unit. The paper reports "70% utilization of the
+// theoretical bandwidth limit" for the first-light campaign.
+func Utilization(achieved, capacity float64) float64 {
+	if capacity <= 0 {
+		return 0
+	}
+	u := achieved / capacity
+	if u < 0 {
+		return 0
+	}
+	if u > 1 {
+		return 1
+	}
+	return u
+}
+
+// HumanBytes renders a byte count with a binary-unit suffix (B, KB, MB, GB,
+// TB) using two significant decimals, e.g. "160.00 MB".
+func HumanBytes(b int64) string {
+	switch {
+	case b >= TB:
+		return fmt.Sprintf("%.2f TB", float64(b)/TB)
+	case b >= GB:
+		return fmt.Sprintf("%.2f GB", float64(b)/GB)
+	case b >= MB:
+		return fmt.Sprintf("%.2f MB", float64(b)/MB)
+	case b >= KB:
+		return fmt.Sprintf("%.2f KB", float64(b)/KB)
+	default:
+		return fmt.Sprintf("%d B", b)
+	}
+}
+
+// HumanRate renders a bits-per-second rate with a decimal-unit suffix,
+// e.g. "622.08 Mbps".
+func HumanRate(bitsPerSec float64) string {
+	switch {
+	case bitsPerSec >= Giga:
+		return fmt.Sprintf("%.2f Gbps", bitsPerSec/Giga)
+	case bitsPerSec >= Mega:
+		return fmt.Sprintf("%.2f Mbps", bitsPerSec/Mega)
+	case bitsPerSec >= Kilo:
+		return fmt.Sprintf("%.2f Kbps", bitsPerSec/Kilo)
+	default:
+		return fmt.Sprintf("%.2f bps", bitsPerSec)
+	}
+}
+
+// Histogram is a fixed-bin histogram over float64 samples.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	Under  int // samples below Lo
+	Over   int // samples at or above Hi
+	Total  int
+}
+
+// NewHistogram creates a histogram with bins equal-width bins over [lo, hi).
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins < 1 {
+		bins = 1
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
+}
+
+// Add records a sample.
+func (h *Histogram) Add(x float64) {
+	h.Total++
+	if x < h.Lo {
+		h.Under++
+		return
+	}
+	if x >= h.Hi {
+		h.Over++
+		return
+	}
+	bin := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Counts)))
+	if bin >= len(h.Counts) {
+		bin = len(h.Counts) - 1
+	}
+	h.Counts[bin]++
+}
+
+// Bin returns the count in bin i.
+func (h *Histogram) Bin(i int) int { return h.Counts[i] }
+
+// Fraction returns the fraction of all samples that fell into bin i.
+func (h *Histogram) Fraction(i int) float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / float64(h.Total)
+}

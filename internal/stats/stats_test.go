@@ -1,0 +1,273 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 || s.StdDev != 0 {
+		t.Fatalf("empty summary not zero: %+v", s)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{42})
+	if s.N != 1 || s.Min != 42 || s.Max != 42 || s.Mean != 42 || s.Median != 42 {
+		t.Fatalf("bad single summary: %+v", s)
+	}
+	if s.StdDev != 0 {
+		t.Fatalf("stddev of single sample should be 0, got %v", s.StdDev)
+	}
+}
+
+func TestSummarizeKnown(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	s := Summarize(xs)
+	if s.N != 8 {
+		t.Fatalf("N = %d", s.N)
+	}
+	if !almostEqual(s.Mean, 5, 1e-12) {
+		t.Errorf("mean = %v, want 5", s.Mean)
+	}
+	// Sample stddev of this classic set is sqrt(32/7).
+	if !almostEqual(s.StdDev, math.Sqrt(32.0/7.0), 1e-12) {
+		t.Errorf("stddev = %v", s.StdDev)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Errorf("min/max = %v/%v", s.Min, s.Max)
+	}
+}
+
+func TestPercentileEndpoints(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5}
+	if Percentile(sorted, 0) != 1 {
+		t.Errorf("p0 = %v", Percentile(sorted, 0))
+	}
+	if Percentile(sorted, 100) != 5 {
+		t.Errorf("p100 = %v", Percentile(sorted, 100))
+	}
+	if Percentile(sorted, 50) != 3 {
+		t.Errorf("p50 = %v", Percentile(sorted, 50))
+	}
+	if got := Percentile(sorted, 25); !almostEqual(got, 2, 1e-12) {
+		t.Errorf("p25 = %v", got)
+	}
+}
+
+func TestPercentileDegenerate(t *testing.T) {
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty percentile should be 0")
+	}
+	if Percentile([]float64{7}, 99) != 7 {
+		t.Error("single-element percentile should return the element")
+	}
+}
+
+func TestPercentileWithinRangeProperty(t *testing.T) {
+	f := func(xs []float64, p float64) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true
+			}
+		}
+		p = math.Mod(math.Abs(p), 100)
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		v := Percentile(sorted, p)
+		return v >= sorted[0] && v <= sorted[len(sorted)-1]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("mean of empty should be 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); !almostEqual(got, 2, 1e-12) {
+		t.Errorf("mean = %v", got)
+	}
+}
+
+func TestCoefficientOfVariation(t *testing.T) {
+	// Constant samples: zero variability.
+	if cv := CoefficientOfVariation([]float64{3, 3, 3, 3}); cv != 0 {
+		t.Errorf("cv of constant = %v", cv)
+	}
+	// Higher spread means higher CV.
+	lo := CoefficientOfVariation([]float64{10, 10.5, 9.5, 10})
+	hi := CoefficientOfVariation([]float64{10, 20, 1, 15})
+	if hi <= lo {
+		t.Errorf("expected hi CV %v > lo CV %v", hi, lo)
+	}
+	if CoefficientOfVariation([]float64{0, 0}) != 0 {
+		t.Error("cv with zero mean should be 0")
+	}
+}
+
+func TestMbps(t *testing.T) {
+	// 160 MB in 3 seconds is roughly the paper's 433 Mbps bullet (it uses
+	// decimal-ish rounding); binary MB gives ~447, so just check the
+	// ballpark and the exact formula.
+	got := Mbps(160*MB, 3*time.Second)
+	want := float64(160*MB) * 8 / 3 / Mega
+	if !almostEqual(got, want, 1e-9) {
+		t.Errorf("Mbps = %v want %v", got, want)
+	}
+	if got < 400 || got > 470 {
+		t.Errorf("160MB/3s should be in the 400-470 Mbps range, got %v", got)
+	}
+	if Mbps(100, 0) != 0 {
+		t.Error("zero duration should give 0")
+	}
+}
+
+func TestMBps(t *testing.T) {
+	if got := MBps(100*MB, 2*time.Second); !almostEqual(got, 50, 1e-9) {
+		t.Errorf("MBps = %v", got)
+	}
+	if MBps(1, -time.Second) != 0 {
+		t.Error("negative duration should give 0")
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	// 622 Mbps link, 160 MB: ~2.16 s.
+	d := TransferTime(160*MB, 622*Mega)
+	if d < 2*time.Second || d > 2500*time.Millisecond {
+		t.Errorf("transfer time = %v", d)
+	}
+	if TransferTime(100, 0) != 0 {
+		t.Error("zero rate should give 0 duration")
+	}
+}
+
+func TestTransferTimeRoundTripProperty(t *testing.T) {
+	f := func(kb uint16) bool {
+		bytes := int64(kb)*KB + 1
+		rate := 100 * Mega
+		d := TransferTime(bytes, float64(rate))
+		back := Mbps(bytes, d)
+		return almostEqual(back, 100, 0.5)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	if got := Utilization(433, 622); got < 0.69 || got > 0.71 {
+		t.Errorf("433/622 utilization = %v", got)
+	}
+	if Utilization(700, 622) != 1 {
+		t.Error("over-capacity should clamp to 1")
+	}
+	if Utilization(-1, 622) != 0 {
+		t.Error("negative achieved should clamp to 0")
+	}
+	if Utilization(10, 0) != 0 {
+		t.Error("zero capacity should give 0")
+	}
+}
+
+func TestHumanBytes(t *testing.T) {
+	cases := map[int64]string{
+		512:        "512 B",
+		2 * KB:     "2.00 KB",
+		160 * MB:   "160.00 MB",
+		3 * GB / 2: "1.50 GB",
+		2 * TB:     "2.00 TB",
+	}
+	for in, want := range cases {
+		if got := HumanBytes(in); got != want {
+			t.Errorf("HumanBytes(%d) = %q want %q", in, got, want)
+		}
+	}
+}
+
+func TestHumanRate(t *testing.T) {
+	cases := map[float64]string{
+		100:         "100.00 bps",
+		5 * Kilo:    "5.00 Kbps",
+		622 * Mega:  "622.00 Mbps",
+		2.4 * Giga:  "2.40 Gbps",
+		9600 * Mega: "9.60 Gbps",
+	}
+	for in, want := range cases {
+		if got := HumanRate(in); got != want {
+			t.Errorf("HumanRate(%v) = %q want %q", in, got, want)
+		}
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	h.Add(-1)
+	h.Add(11)
+	if h.Total != 12 {
+		t.Fatalf("total = %d", h.Total)
+	}
+	if h.Under != 1 || h.Over != 1 {
+		t.Fatalf("under/over = %d/%d", h.Under, h.Over)
+	}
+	for i := 0; i < 10; i++ {
+		if h.Bin(i) != 1 {
+			t.Errorf("bin %d = %d, want 1", i, h.Bin(i))
+		}
+	}
+	if f := h.Fraction(0); !almostEqual(f, 1.0/12.0, 1e-12) {
+		t.Errorf("fraction = %v", f)
+	}
+}
+
+func TestHistogramDegenerateConstruction(t *testing.T) {
+	h := NewHistogram(5, 5, 0) // hi <= lo and zero bins must be repaired
+	h.Add(5)
+	if h.Total != 1 {
+		t.Fatal("sample lost")
+	}
+	if len(h.Counts) != 1 {
+		t.Fatalf("bins = %d", len(h.Counts))
+	}
+}
+
+func TestHistogramFractionEmpty(t *testing.T) {
+	h := NewHistogram(0, 1, 4)
+	if h.Fraction(2) != 0 {
+		t.Error("fraction of empty histogram should be 0")
+	}
+}
+
+func TestHistogramCountsSumProperty(t *testing.T) {
+	f := func(samples []float64) bool {
+		h := NewHistogram(-100, 100, 20)
+		for _, s := range samples {
+			if math.IsNaN(s) {
+				continue
+			}
+			h.Add(s)
+		}
+		sum := h.Under + h.Over
+		for _, c := range h.Counts {
+			sum += c
+		}
+		return sum == h.Total
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

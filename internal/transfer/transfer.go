@@ -1,0 +1,157 @@
+// Package transfer implements the analytic performance models of the paper's
+// section 4.3 and the terascale projections of section 5: serial versus
+// overlapped pipeline time, the 2N/(N+1) speedup bound, bandwidth-limited
+// dataset transfer times, and the bandwidth required to hit a target frame
+// rate.
+package transfer
+
+import (
+	"time"
+
+	"visapult/internal/netsim"
+	"visapult/internal/stats"
+)
+
+// SerialTime is Ts = N * (L + R): per timestep, each processing element loads
+// its data and then renders it, so the per-frame cost is the sum.
+func SerialTime(n int, load, render time.Duration) time.Duration {
+	if n < 0 {
+		n = 0
+	}
+	return time.Duration(n) * (load + render)
+}
+
+// OverlappedTime is To = N * max(L, R) + min(L, R): the pipeline is limited by
+// the slower of loading and rendering, plus one fill (the first load or the
+// last render, whichever is smaller).
+func OverlappedTime(n int, load, render time.Duration) time.Duration {
+	if n <= 0 {
+		return 0
+	}
+	max, min := load, render
+	if render > load {
+		max, min = render, load
+	}
+	return time.Duration(n)*max + min
+}
+
+// Speedup returns Ts / To for the given parameters. When L == R this
+// approaches 2N/(N+1), the paper's "nearly 100 percent improvement" bound.
+func Speedup(n int, load, render time.Duration) float64 {
+	to := OverlappedTime(n, load, render)
+	if to <= 0 {
+		return 0
+	}
+	return float64(SerialTime(n, load, render)) / float64(to)
+}
+
+// IdealSpeedup is the closed-form limit 2N/(N+1) reached when L == R.
+func IdealSpeedup(n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return 2 * float64(n) / float64(n+1)
+}
+
+// FrameSpec describes one timestep of a campaign for the analytic model.
+type FrameSpec struct {
+	// Bytes is the amount of raw data the back end loads per timestep
+	// (160 MB for the paper's combustion dataset).
+	Bytes int64
+	// RenderTime is the per-timestep software rendering time across the
+	// back end (the R of the model).
+	RenderTime time.Duration
+}
+
+// CampaignModel couples a frame specification with a network path and a
+// timestep count and answers the questions the paper's section 5 asks.
+type CampaignModel struct {
+	Frame     FrameSpec
+	Path      netsim.Path
+	Timesteps int
+}
+
+// LoadTime returns the bandwidth-limited time to move one timestep over the
+// path (the L of the model).
+func (c CampaignModel) LoadTime() time.Duration {
+	return c.Path.TransferTime(c.Frame.Bytes)
+}
+
+// SerialTotal returns the end-to-end time for the whole campaign with a
+// serial back end.
+func (c CampaignModel) SerialTotal() time.Duration {
+	return SerialTime(c.Timesteps, c.LoadTime(), c.Frame.RenderTime)
+}
+
+// OverlappedTotal returns the end-to-end time with an overlapped back end.
+func (c CampaignModel) OverlappedTotal() time.Duration {
+	return OverlappedTime(c.Timesteps, c.LoadTime(), c.Frame.RenderTime)
+}
+
+// TimePerTimestep returns the steady-state time between new timesteps arriving
+// at the viewer for an overlapped back end: max(L, R).
+func (c CampaignModel) TimePerTimestep() time.Duration {
+	l, r := c.LoadTime(), c.Frame.RenderTime
+	if l > r {
+		return l
+	}
+	return r
+}
+
+// TotalBytes returns the total raw data volume of the campaign.
+func (c CampaignModel) TotalBytes() int64 {
+	return c.Frame.Bytes * int64(c.Timesteps)
+}
+
+// DatasetTransferTime returns the time to move the entire dataset over the
+// path at full utilization, the quantity behind the paper's "the time
+// required to move our 265-timestep dataset (41.4 gigabytes) over NTON is on
+// the order of eight minutes, while over ESnet ... 44 minutes".
+func (c CampaignModel) DatasetTransferTime() time.Duration {
+	return stats.TransferTime(c.TotalBytes(), c.Path.Bandwidth())
+}
+
+// RequiredBandwidth returns the sustained network bandwidth (bits per second)
+// needed to deliver the campaign's timesteps at the target rate
+// (timesteps per second). The paper's target of five timesteps per second for
+// a 160 MB timestep works out to roughly an OC-192.
+func RequiredBandwidth(frameBytes int64, timestepsPerSecond float64) float64 {
+	if timestepsPerSecond <= 0 {
+		return 0
+	}
+	return float64(frameBytes) * 8 * timestepsPerSecond
+}
+
+// RequiredBandwidthMultiple returns how many times faster than the given path
+// the network must be to reach the target timestep rate.
+func RequiredBandwidthMultiple(frameBytes int64, timestepsPerSecond float64, p netsim.Path) float64 {
+	bw := p.Bandwidth()
+	if bw <= 0 {
+		return 0
+	}
+	return RequiredBandwidth(frameBytes, timestepsPerSecond) / bw
+}
+
+// PipelineHop names one stage boundary of the visualization pipeline for
+// traffic accounting (experiment E10).
+type PipelineHop int
+
+// The two network hops of the Visapult pipeline.
+const (
+	// HopSourceToBackEnd is the DPSS (or file system) to back-end transfer:
+	// the full raw volume, O(n^3).
+	HopSourceToBackEnd PipelineHop = iota
+	// HopBackEndToViewer is the back-end to viewer transfer: per-slab
+	// textures plus grid geometry, O(n^2).
+	HopBackEndToViewer
+)
+
+// TrafficRatio returns sourceBytes / viewerBytes, the data-reduction factor
+// the back end achieves. The paper's architecture argument is that this ratio
+// is large and grows linearly with the volume resolution.
+func TrafficRatio(sourceBytes, viewerBytes int64) float64 {
+	if viewerBytes <= 0 {
+		return 0
+	}
+	return float64(sourceBytes) / float64(viewerBytes)
+}

@@ -1,0 +1,205 @@
+package transfer
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"visapult/internal/netsim"
+	"visapult/internal/stats"
+)
+
+func TestSerialAndOverlappedTimes(t *testing.T) {
+	l, r := 15*time.Second, 12*time.Second
+	// Paper section 4.3: ten timesteps on the E4500, L ~= 15 s, R ~= 12 s;
+	// serial ~= 265 s, overlapped ~= 169 s. The model gives the ideal values
+	// 270 s and 162 s, which bracket the measurements.
+	ts := SerialTime(10, l, r)
+	to := OverlappedTime(10, l, r)
+	if ts != 270*time.Second {
+		t.Errorf("serial = %v", ts)
+	}
+	if to != 162*time.Second {
+		t.Errorf("overlapped = %v", to)
+	}
+	if math.Abs(ts.Seconds()-265) > 10 {
+		t.Errorf("serial model %v too far from the paper's 265 s", ts)
+	}
+	if math.Abs(to.Seconds()-169) > 10 {
+		t.Errorf("overlapped model %v too far from the paper's 169 s", to)
+	}
+}
+
+func TestOverlappedDegenerateCases(t *testing.T) {
+	if OverlappedTime(0, time.Second, time.Second) != 0 {
+		t.Error("zero timesteps should take zero time")
+	}
+	if SerialTime(-1, time.Second, time.Second) != 0 {
+		t.Error("negative timesteps should clamp")
+	}
+	// Render much longer than load: overlap saves only the loads that hide.
+	to := OverlappedTime(5, 1*time.Second, 10*time.Second)
+	if to != 51*time.Second {
+		t.Errorf("render-bound overlapped = %v", to)
+	}
+	// Load much longer than render: network-bound.
+	to = OverlappedTime(5, 10*time.Second, 1*time.Second)
+	if to != 51*time.Second {
+		t.Errorf("load-bound overlapped = %v", to)
+	}
+}
+
+func TestSpeedupApproachesIdeal(t *testing.T) {
+	// Equal L and R: speedup = 2N/(N+1).
+	for _, n := range []int{1, 2, 10, 100} {
+		got := Speedup(n, 7*time.Second, 7*time.Second)
+		want := IdealSpeedup(n)
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("n=%d speedup = %v, want %v", n, got, want)
+		}
+	}
+	if IdealSpeedup(0) != 0 {
+		t.Error("ideal speedup of 0 steps")
+	}
+	if Speedup(0, time.Second, time.Second) != 0 {
+		t.Error("speedup with no timesteps should be 0")
+	}
+}
+
+func TestSpeedupDiminishesWithImbalance(t *testing.T) {
+	n := 20
+	balanced := Speedup(n, 10*time.Second, 10*time.Second)
+	mild := Speedup(n, 10*time.Second, 5*time.Second)
+	severe := Speedup(n, 10*time.Second, time.Second)
+	if !(balanced > mild && mild > severe) {
+		t.Errorf("speedups should fall with imbalance: %v %v %v", balanced, mild, severe)
+	}
+	if severe < 1 {
+		t.Error("overlap should never be slower than serial")
+	}
+}
+
+func TestSpeedupBoundsProperty(t *testing.T) {
+	f := func(nRaw, lRaw, rRaw uint16) bool {
+		n := int(nRaw%50) + 1
+		l := time.Duration(int(lRaw%1000)+1) * time.Millisecond
+		r := time.Duration(int(rRaw%1000)+1) * time.Millisecond
+		s := Speedup(n, l, r)
+		// Overlap never hurts and never beats 2x.
+		return s >= 1-1e-9 && s <= 2+1e-9 && s <= IdealSpeedup(n)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOverlappedNeverExceedsSerialProperty(t *testing.T) {
+	f := func(nRaw, lRaw, rRaw uint16) bool {
+		n := int(nRaw % 100)
+		l := time.Duration(lRaw) * time.Millisecond
+		r := time.Duration(rRaw) * time.Millisecond
+		return OverlappedTime(n, l, r) <= SerialTime(n, l, r)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func paperCampaign(path netsim.Path) CampaignModel {
+	return CampaignModel{
+		Frame:     FrameSpec{Bytes: 160 * stats.MB, RenderTime: 8 * time.Second},
+		Path:      path,
+		Timesteps: 265,
+	}
+}
+
+func TestCampaignLoadTimeNTON(t *testing.T) {
+	c := paperCampaign(netsim.NewPath("LBL-SNL", netsim.NTON))
+	l := c.LoadTime()
+	// The paper measured ~3 s for 160 MB over NTON; the pure bandwidth bound
+	// is ~2.2 s.
+	if l < 2*time.Second || l > 3500*time.Millisecond {
+		t.Errorf("NTON load time = %v", l)
+	}
+}
+
+func TestCampaignDatasetTransferProjections(t *testing.T) {
+	// Paper section 5: moving the 265-timestep dataset takes on the order of
+	// eight minutes over NTON and ~44 minutes over ESnet.
+	nton := paperCampaign(netsim.NewPath("NTON", netsim.NTON))
+	esnet := paperCampaign(netsim.NewPath("ESnet", netsim.ESnet))
+	ntonTime := nton.DatasetTransferTime()
+	esnetTime := esnet.DatasetTransferTime()
+	if ntonTime < 7*time.Minute || ntonTime > 11*time.Minute {
+		t.Errorf("NTON dataset transfer = %v, paper says ~8 minutes", ntonTime)
+	}
+	if esnetTime < 40*time.Minute || esnetTime > 65*time.Minute {
+		t.Errorf("ESnet dataset transfer = %v, paper says ~44 minutes", esnetTime)
+	}
+	if nton.TotalBytes() != 265*160*stats.MB {
+		t.Errorf("total bytes = %d", nton.TotalBytes())
+	}
+}
+
+func TestCampaignPerTimestepRates(t *testing.T) {
+	// "a new timestep every 3 seconds" over NTON, "every 10 seconds" over
+	// ESnet (section 5). Our model's steady-state per-timestep time is
+	// max(L, R); with R = 8 s the NTON case is render-bound at ~8 s and the
+	// pure network time is ~2.2 s — check the load times directly.
+	nton := paperCampaign(netsim.NewPath("NTON", netsim.NTON))
+	esnet := paperCampaign(netsim.NewPath("ESnet", netsim.ESnet))
+	if nton.LoadTime() > 3500*time.Millisecond {
+		t.Errorf("NTON per-timestep load = %v, paper says ~3 s", nton.LoadTime())
+	}
+	es := esnet.LoadTime()
+	if es < 9*time.Second || es > 16*time.Second {
+		t.Errorf("ESnet per-timestep load = %v, paper says ~10 s", es)
+	}
+	if esnet.TimePerTimestep() != es {
+		t.Error("ESnet campaign should be load-bound")
+	}
+	if nton.TimePerTimestep() != nton.Frame.RenderTime {
+		t.Error("NTON campaign with an 8s render should be render-bound")
+	}
+}
+
+func TestCampaignSerialVsOverlappedTotals(t *testing.T) {
+	c := paperCampaign(netsim.NewPath("ESnet", netsim.ESnet))
+	if c.OverlappedTotal() >= c.SerialTotal() {
+		t.Error("overlapped campaign should be faster")
+	}
+}
+
+func TestRequiredBandwidthForFiveStepsPerSecond(t *testing.T) {
+	// Paper section 5: five timesteps per second for a 160 MB timestep needs
+	// roughly fifteen times the OC-12, i.e. about an OC-192.
+	need := RequiredBandwidth(160*stats.MB, 5)
+	oc12 := netsim.NewPath("NTON", netsim.NTON)
+	multiple := RequiredBandwidthMultiple(160*stats.MB, 5, oc12)
+	if multiple < 9 || multiple > 12 {
+		t.Errorf("required multiple of OC-12 = %.1f (paper's rough estimate was ~15x)", multiple)
+	}
+	if need < 0.6*netsim.OC192.Bandwidth || need > 1.1*netsim.OC192.Bandwidth {
+		t.Errorf("required bandwidth = %v, want on the order of an OC-192 (%v)", need, netsim.OC192.Bandwidth)
+	}
+	if RequiredBandwidth(160*stats.MB, 0) != 0 {
+		t.Error("zero rate needs zero bandwidth")
+	}
+	if RequiredBandwidthMultiple(1, 1, netsim.NewPath("empty")) != 0 {
+		t.Error("empty path multiple should be 0")
+	}
+}
+
+func TestTrafficRatio(t *testing.T) {
+	// O(n^3) vs O(n^2): a 256^3 volume vs 4 slabs of 256^2 RGBA textures.
+	source := int64(256*256*256) * 4
+	viewer := int64(4*256*256) * 4
+	ratio := TrafficRatio(source, viewer)
+	if ratio != 64 {
+		t.Errorf("ratio = %v", ratio)
+	}
+	if TrafficRatio(100, 0) != 0 {
+		t.Error("zero viewer bytes")
+	}
+}

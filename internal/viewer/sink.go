@@ -1,0 +1,75 @@
+package viewer
+
+import (
+	"fmt"
+	"sync"
+
+	"visapult/internal/netlogger"
+	"visapult/internal/wire"
+)
+
+// LocalSink connects a back end to a viewer inside a single process, pairing
+// each PE's light payload with the heavy payload that follows it and handing
+// both to Viewer.Deliver. It satisfies the back end's FrameSink interface
+// (SendLight / SendHeavy), so quickstart-style sessions can skip the network
+// entirely while exercising exactly the same payload path.
+//
+// One LocalSink serves any number of PEs concurrently: pending light payloads
+// are keyed by PE rank, matching the back end's invariant that each PE sends
+// its light payload immediately before its heavy payload.
+type LocalSink struct {
+	viewer *Viewer
+
+	mu      sync.Mutex
+	pending map[int]*wire.LightPayload
+}
+
+// NewLocalSink builds a sink delivering into v.
+func NewLocalSink(v *Viewer) *LocalSink {
+	return &LocalSink{viewer: v, pending: make(map[int]*wire.LightPayload)}
+}
+
+// SendLight records the metadata for the PE's next heavy payload.
+func (s *LocalSink) SendLight(lp *wire.LightPayload) error {
+	if lp == nil {
+		return fmt.Errorf("viewer: nil light payload")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.pending[lp.PE]; ok {
+		return fmt.Errorf("viewer: PE %d sent light payload for frame %d before heavy payload for frame %d",
+			lp.PE, lp.Frame, old.Frame)
+	}
+	s.pending[lp.PE] = lp
+	// With no wire in between, receipt coincides with the send; log the
+	// paper's viewer-side tags here so NLV-style analysis works for local
+	// sessions too.
+	s.viewer.log(netlogger.VFrameStart, lp.Frame, lp.PE, 0)
+	s.viewer.log(netlogger.VLightPayloadStart, lp.Frame, lp.PE, lp.WireSize())
+	s.viewer.log(netlogger.VLightPayloadEnd, lp.Frame, lp.PE, lp.WireSize())
+	return nil
+}
+
+// SendHeavy pairs the heavy payload with its pending metadata and delivers
+// both to the viewer.
+func (s *LocalSink) SendHeavy(hp *wire.HeavyPayload) error {
+	if hp == nil {
+		return fmt.Errorf("viewer: nil heavy payload")
+	}
+	s.mu.Lock()
+	lp, ok := s.pending[hp.PE]
+	if ok {
+		delete(s.pending, hp.PE)
+	}
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("viewer: PE %d sent heavy payload for frame %d with no preceding metadata", hp.PE, hp.Frame)
+	}
+	s.viewer.log(netlogger.VHeavyPayloadStart, hp.Frame, hp.PE, hp.WireSize())
+	if err := s.viewer.Deliver(lp, hp); err != nil {
+		return err
+	}
+	s.viewer.log(netlogger.VHeavyPayloadEnd, hp.Frame, hp.PE, hp.WireSize())
+	s.viewer.log(netlogger.VFrameEnd, hp.Frame, hp.PE, 0)
+	return nil
+}

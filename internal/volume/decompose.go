@@ -1,0 +1,268 @@
+package volume
+
+import (
+	"fmt"
+)
+
+// Region is an axis-aligned box within a volume, expressed as half-open
+// voxel ranges: [X0,X1) x [Y0,Y1) x [Z0,Z1).
+type Region struct {
+	X0, Y0, Z0 int
+	X1, Y1, Z1 int
+}
+
+// Dims returns the region's extent along each axis.
+func (r Region) Dims() (nx, ny, nz int) { return r.X1 - r.X0, r.Y1 - r.Y0, r.Z1 - r.Z0 }
+
+// Voxels returns the number of voxels in the region.
+func (r Region) Voxels() int {
+	nx, ny, nz := r.Dims()
+	if nx <= 0 || ny <= 0 || nz <= 0 {
+		return 0
+	}
+	return nx * ny * nz
+}
+
+// Bytes returns the storage size of the region's voxels (4 bytes each).
+func (r Region) Bytes() int64 { return int64(r.Voxels()) * 4 }
+
+// Contains reports whether the voxel (x, y, z) lies inside the region.
+func (r Region) Contains(x, y, z int) bool {
+	return x >= r.X0 && x < r.X1 && y >= r.Y0 && y < r.Y1 && z >= r.Z0 && z < r.Z1
+}
+
+// Overlaps reports whether two regions share any voxels.
+func (r Region) Overlaps(o Region) bool {
+	return r.X0 < o.X1 && o.X0 < r.X1 &&
+		r.Y0 < o.Y1 && o.Y0 < r.Y1 &&
+		r.Z0 < o.Z1 && o.Z0 < r.Z1
+}
+
+// Center returns the region's center in voxel coordinates.
+func (r Region) Center() (x, y, z float64) {
+	return float64(r.X0+r.X1) / 2, float64(r.Y0+r.Y1) / 2, float64(r.Z0+r.Z1) / 2
+}
+
+// String implements fmt.Stringer.
+func (r Region) String() string {
+	return fmt.Sprintf("[%d,%d)x[%d,%d)x[%d,%d)", r.X0, r.X1, r.Y0, r.Y1, r.Z0, r.Z1)
+}
+
+// Extract copies the region's voxels out of v into a new volume.
+func (r Region) Extract(v *Volume) (*Volume, error) {
+	return v.Subvolume(r.X0, r.Y0, r.Z0, r.X1, r.Y1, r.Z1)
+}
+
+// Decomposition names the partitioning strategies of the paper's Figure 4.
+type Decomposition int
+
+// The three decompositions discussed in section 3.2.
+const (
+	// SlabDecomposition cuts the volume into 1-D slabs perpendicular to one
+	// axis. This is what IBRAVR and the Visapult back end use: each slab is
+	// volume rendered to one texture.
+	SlabDecomposition Decomposition = iota
+	// ShaftDecomposition cuts along two axes, producing long shafts.
+	ShaftDecomposition
+	// BlockDecomposition cuts along all three axes, producing bricks.
+	BlockDecomposition
+)
+
+// String implements fmt.Stringer.
+func (d Decomposition) String() string {
+	switch d {
+	case SlabDecomposition:
+		return "slab"
+	case ShaftDecomposition:
+		return "shaft"
+	case BlockDecomposition:
+		return "block"
+	default:
+		return fmt.Sprintf("Decomposition(%d)", int(d))
+	}
+}
+
+// splitRange divides [0, n) into count contiguous pieces whose sizes differ by
+// at most one voxel.
+func splitRange(n, count int) [][2]int {
+	if count < 1 {
+		count = 1
+	}
+	if count > n {
+		count = n
+	}
+	out := make([][2]int, 0, count)
+	base := n / count
+	rem := n % count
+	start := 0
+	for i := 0; i < count; i++ {
+		size := base
+		if i < rem {
+			size++
+		}
+		out = append(out, [2]int{start, start + size})
+		start += size
+	}
+	return out
+}
+
+// Slabs decomposes an (nx, ny, nz) volume into count slabs perpendicular to
+// axis. If count exceeds the axis extent, fewer (one-voxel-thick) slabs are
+// returned. Slabs are ordered by increasing coordinate along the axis, which
+// is the back-to-front order the IBR compositor needs when looking down the
+// negative axis direction.
+func Slabs(nx, ny, nz int, axis Axis, count int) []Region {
+	var ranges [][2]int
+	var out []Region
+	switch axis {
+	case AxisX:
+		ranges = splitRange(nx, count)
+		for _, r := range ranges {
+			out = append(out, Region{X0: r[0], X1: r[1], Y1: ny, Z1: nz})
+		}
+	case AxisY:
+		ranges = splitRange(ny, count)
+		for _, r := range ranges {
+			out = append(out, Region{Y0: r[0], Y1: r[1], X1: nx, Z1: nz})
+		}
+	default:
+		ranges = splitRange(nz, count)
+		for _, r := range ranges {
+			out = append(out, Region{Z0: r[0], Z1: r[1], X1: nx, Y1: ny})
+		}
+	}
+	return out
+}
+
+// SlabsOf is Slabs applied to an existing volume's dimensions.
+func SlabsOf(v *Volume, axis Axis, count int) []Region {
+	return Slabs(v.NX, v.NY, v.NZ, axis, count)
+}
+
+// Shafts decomposes the volume into countA x countB shafts: the volume is cut
+// along the two axes other than longAxis (the shafts run the full length of
+// longAxis).
+func Shafts(nx, ny, nz int, longAxis Axis, countA, countB int) []Region {
+	var out []Region
+	switch longAxis {
+	case AxisX: // cut along Y and Z
+		for _, yr := range splitRange(ny, countA) {
+			for _, zr := range splitRange(nz, countB) {
+				out = append(out, Region{X1: nx, Y0: yr[0], Y1: yr[1], Z0: zr[0], Z1: zr[1]})
+			}
+		}
+	case AxisY: // cut along X and Z
+		for _, xr := range splitRange(nx, countA) {
+			for _, zr := range splitRange(nz, countB) {
+				out = append(out, Region{X0: xr[0], X1: xr[1], Y1: ny, Z0: zr[0], Z1: zr[1]})
+			}
+		}
+	default: // cut along X and Y
+		for _, xr := range splitRange(nx, countA) {
+			for _, yr := range splitRange(ny, countB) {
+				out = append(out, Region{X0: xr[0], X1: xr[1], Y0: yr[0], Y1: yr[1], Z1: nz})
+			}
+		}
+	}
+	return out
+}
+
+// Blocks decomposes the volume into cx x cy x cz bricks.
+func Blocks(nx, ny, nz, cx, cy, cz int) []Region {
+	var out []Region
+	for _, xr := range splitRange(nx, cx) {
+		for _, yr := range splitRange(ny, cy) {
+			for _, zr := range splitRange(nz, cz) {
+				out = append(out, Region{
+					X0: xr[0], X1: xr[1],
+					Y0: yr[0], Y1: yr[1],
+					Z0: zr[0], Z1: zr[1],
+				})
+			}
+		}
+	}
+	return out
+}
+
+// Decompose applies the named strategy, producing roughly n regions. Slab
+// decomposition produces exactly n (or the axis extent, if smaller); shaft
+// and block decompositions produce the closest factorization of n.
+func Decompose(v *Volume, d Decomposition, axis Axis, n int) []Region {
+	if n < 1 {
+		n = 1
+	}
+	switch d {
+	case SlabDecomposition:
+		return SlabsOf(v, axis, n)
+	case ShaftDecomposition:
+		a, b := twoFactor(n)
+		return Shafts(v.NX, v.NY, v.NZ, axis, a, b)
+	default:
+		a, b, c := threeFactor(n)
+		return Blocks(v.NX, v.NY, v.NZ, a, b, c)
+	}
+}
+
+// twoFactor returns the most-square factorization a*b = n with a <= b.
+func twoFactor(n int) (int, int) {
+	best := [2]int{1, n}
+	for a := 1; a*a <= n; a++ {
+		if n%a == 0 {
+			best = [2]int{a, n / a}
+		}
+	}
+	return best[0], best[1]
+}
+
+// threeFactor returns a roughly cubic factorization a*b*c = n.
+func threeFactor(n int) (int, int, int) {
+	bestA, bestB, bestC := 1, 1, n
+	bestSpread := n
+	for a := 1; a*a*a <= n; a++ {
+		if n%a != 0 {
+			continue
+		}
+		b, c := twoFactor(n / a)
+		spread := c - a
+		if spread < bestSpread {
+			bestA, bestB, bestC, bestSpread = a, b, c, spread
+		}
+	}
+	return bestA, bestB, bestC
+}
+
+// LoadImbalance returns max/mean voxel count across regions, a measure of how
+// evenly a decomposition spreads work (1.0 is perfectly balanced).
+func LoadImbalance(regions []Region) float64 {
+	if len(regions) == 0 {
+		return 0
+	}
+	var total, max int
+	for _, r := range regions {
+		v := r.Voxels()
+		total += v
+		if v > max {
+			max = v
+		}
+	}
+	mean := float64(total) / float64(len(regions))
+	if mean == 0 {
+		return 0
+	}
+	return float64(max) / mean
+}
+
+// CoverageComplete reports whether the regions exactly tile the (nx, ny, nz)
+// volume: total voxel count matches and no two regions overlap.
+func CoverageComplete(nx, ny, nz int, regions []Region) bool {
+	total := 0
+	for i, r := range regions {
+		total += r.Voxels()
+		for j := i + 1; j < len(regions); j++ {
+			if r.Overlaps(regions[j]) {
+				return false
+			}
+		}
+	}
+	return total == nx*ny*nz
+}

@@ -1,0 +1,259 @@
+package volume
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRegionBasics(t *testing.T) {
+	r := Region{X0: 1, X1: 3, Y0: 0, Y1: 4, Z0: 2, Z1: 5}
+	nx, ny, nz := r.Dims()
+	if nx != 2 || ny != 4 || nz != 3 {
+		t.Errorf("dims = %d %d %d", nx, ny, nz)
+	}
+	if r.Voxels() != 24 {
+		t.Errorf("voxels = %d", r.Voxels())
+	}
+	if r.Bytes() != 96 {
+		t.Errorf("bytes = %d", r.Bytes())
+	}
+	if !r.Contains(1, 0, 2) || r.Contains(3, 0, 2) || r.Contains(1, 0, 5) {
+		t.Error("contains wrong")
+	}
+	cx, cy, cz := r.Center()
+	if cx != 2 || cy != 2 || cz != 3.5 {
+		t.Errorf("center = %v %v %v", cx, cy, cz)
+	}
+	if r.String() == "" {
+		t.Error("string")
+	}
+	// Degenerate region has zero voxels.
+	if (Region{X0: 2, X1: 1, Y1: 1, Z1: 1}).Voxels() != 0 {
+		t.Error("degenerate region should have 0 voxels")
+	}
+}
+
+func TestRegionOverlaps(t *testing.T) {
+	a := Region{X1: 2, Y1: 2, Z1: 2}
+	b := Region{X0: 1, X1: 3, Y1: 2, Z1: 2}
+	c := Region{X0: 2, X1: 4, Y1: 2, Z1: 2}
+	if !a.Overlaps(b) || !b.Overlaps(a) {
+		t.Error("a and b should overlap")
+	}
+	if a.Overlaps(c) {
+		t.Error("a and c share only a face, not voxels")
+	}
+}
+
+func TestRegionExtract(t *testing.T) {
+	v := MustNew(4, 4, 4)
+	v.Set(2, 2, 2, 5)
+	r := Region{X0: 2, X1: 4, Y0: 2, Y1: 4, Z0: 2, Z1: 4}
+	sub, err := r.Extract(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.At(0, 0, 0) != 5 {
+		t.Error("extract contents wrong")
+	}
+}
+
+func TestSlabsCoverAndOrder(t *testing.T) {
+	for _, axis := range []Axis{AxisX, AxisY, AxisZ} {
+		slabs := Slabs(64, 32, 16, axis, 4)
+		if len(slabs) != 4 {
+			t.Fatalf("axis %v: %d slabs", axis, len(slabs))
+		}
+		if !CoverageComplete(64, 32, 16, slabs) {
+			t.Errorf("axis %v: slabs do not tile the volume", axis)
+		}
+		// Ordered by increasing coordinate along the axis.
+		for i := 1; i < len(slabs); i++ {
+			var prevHi, curLo int
+			switch axis {
+			case AxisX:
+				prevHi, curLo = slabs[i-1].X1, slabs[i].X0
+			case AxisY:
+				prevHi, curLo = slabs[i-1].Y1, slabs[i].Y0
+			default:
+				prevHi, curLo = slabs[i-1].Z1, slabs[i].Z0
+			}
+			if prevHi != curLo {
+				t.Errorf("axis %v: slabs not contiguous/ordered", axis)
+			}
+		}
+	}
+}
+
+func TestSlabsUnevenSplit(t *testing.T) {
+	slabs := Slabs(10, 4, 4, AxisX, 3)
+	if len(slabs) != 3 {
+		t.Fatalf("slabs = %d", len(slabs))
+	}
+	sizes := []int{slabs[0].X1 - slabs[0].X0, slabs[1].X1 - slabs[1].X0, slabs[2].X1 - slabs[2].X0}
+	if sizes[0]+sizes[1]+sizes[2] != 10 {
+		t.Errorf("sizes = %v", sizes)
+	}
+	for _, s := range sizes {
+		if s < 3 || s > 4 {
+			t.Errorf("slab thickness %d should differ by at most one", s)
+		}
+	}
+	if LoadImbalance(slabs) > 1.25 {
+		t.Errorf("imbalance = %v", LoadImbalance(slabs))
+	}
+}
+
+func TestSlabsMoreThanExtent(t *testing.T) {
+	slabs := Slabs(4, 8, 8, AxisX, 16)
+	if len(slabs) != 4 {
+		t.Fatalf("requesting more slabs than the axis extent should clamp, got %d", len(slabs))
+	}
+	if !CoverageComplete(4, 8, 8, slabs) {
+		t.Error("clamped slabs should still tile")
+	}
+}
+
+func TestSlabsOfMatchesVolume(t *testing.T) {
+	v := MustNew(8, 6, 4)
+	slabs := SlabsOf(v, AxisZ, 2)
+	if len(slabs) != 2 || !CoverageComplete(8, 6, 4, slabs) {
+		t.Error("SlabsOf wrong")
+	}
+}
+
+func TestShaftsTile(t *testing.T) {
+	for _, axis := range []Axis{AxisX, AxisY, AxisZ} {
+		shafts := Shafts(16, 16, 16, axis, 2, 3)
+		if len(shafts) != 6 {
+			t.Fatalf("shafts = %d", len(shafts))
+		}
+		if !CoverageComplete(16, 16, 16, shafts) {
+			t.Errorf("axis %v: shafts do not tile", axis)
+		}
+		// Every shaft spans the full long axis.
+		for _, s := range shafts {
+			nx, ny, nz := s.Dims()
+			var long int
+			switch axis {
+			case AxisX:
+				long = nx
+			case AxisY:
+				long = ny
+			default:
+				long = nz
+			}
+			if long != 16 {
+				t.Errorf("shaft does not span the long axis: %v", s)
+			}
+		}
+	}
+}
+
+func TestBlocksTile(t *testing.T) {
+	blocks := Blocks(12, 10, 8, 3, 2, 2)
+	if len(blocks) != 12 {
+		t.Fatalf("blocks = %d", len(blocks))
+	}
+	if !CoverageComplete(12, 10, 8, blocks) {
+		t.Error("blocks do not tile")
+	}
+}
+
+func TestDecomposeStrategies(t *testing.T) {
+	v := MustNew(32, 32, 32)
+	slabs := Decompose(v, SlabDecomposition, AxisZ, 8)
+	if len(slabs) != 8 || !CoverageComplete(32, 32, 32, slabs) {
+		t.Error("slab decomposition wrong")
+	}
+	shafts := Decompose(v, ShaftDecomposition, AxisZ, 8)
+	if len(shafts) != 8 || !CoverageComplete(32, 32, 32, shafts) {
+		t.Error("shaft decomposition wrong")
+	}
+	blocks := Decompose(v, BlockDecomposition, AxisZ, 8)
+	if len(blocks) != 8 || !CoverageComplete(32, 32, 32, blocks) {
+		t.Error("block decomposition wrong")
+	}
+	// n < 1 clamps to 1.
+	if got := Decompose(v, SlabDecomposition, AxisX, 0); len(got) != 1 {
+		t.Error("n=0 should clamp to a single region")
+	}
+}
+
+func TestDecompositionString(t *testing.T) {
+	if SlabDecomposition.String() != "slab" || ShaftDecomposition.String() != "shaft" || BlockDecomposition.String() != "block" {
+		t.Error("names")
+	}
+	if Decomposition(9).String() == "" {
+		t.Error("unknown should render")
+	}
+}
+
+func TestTwoThreeFactor(t *testing.T) {
+	a, b := twoFactor(12)
+	if a*b != 12 || a > b {
+		t.Errorf("twoFactor(12) = %d x %d", a, b)
+	}
+	x, y, z := threeFactor(27)
+	if x*y*z != 27 {
+		t.Errorf("threeFactor(27) = %d %d %d", x, y, z)
+	}
+	x, y, z = threeFactor(7) // prime
+	if x*y*z != 7 {
+		t.Errorf("threeFactor(7) = %d %d %d", x, y, z)
+	}
+}
+
+func TestLoadImbalanceEdgeCases(t *testing.T) {
+	if LoadImbalance(nil) != 0 {
+		t.Error("no regions should give 0")
+	}
+	equal := Slabs(16, 4, 4, AxisX, 4)
+	if LoadImbalance(equal) != 1 {
+		t.Errorf("perfectly balanced imbalance = %v", LoadImbalance(equal))
+	}
+	if LoadImbalance([]Region{{}}) != 0 {
+		t.Error("zero-voxel regions should give 0")
+	}
+}
+
+func TestCoverageCompleteDetectsOverlapAndGap(t *testing.T) {
+	// Overlap.
+	overlapping := []Region{
+		{X1: 3, Y1: 4, Z1: 4},
+		{X0: 2, X1: 4, Y1: 4, Z1: 4},
+	}
+	if CoverageComplete(4, 4, 4, overlapping) {
+		t.Error("overlapping regions reported as complete")
+	}
+	// Gap.
+	gap := []Region{{X1: 1, Y1: 4, Z1: 4}}
+	if CoverageComplete(4, 4, 4, gap) {
+		t.Error("gap reported as complete")
+	}
+}
+
+func TestSlabsTileProperty(t *testing.T) {
+	f := func(nx, ny, nz, count uint8, axisRaw uint8) bool {
+		x, y, z := int(nx%32)+1, int(ny%32)+1, int(nz%32)+1
+		c := int(count%12) + 1
+		axis := Axis(axisRaw % 3)
+		slabs := Slabs(x, y, z, axis, c)
+		return CoverageComplete(x, y, z, slabs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBlocksTileProperty(t *testing.T) {
+	f := func(n uint8) bool {
+		parts := int(n%16) + 1
+		v := MustNew(24, 24, 24)
+		regions := Decompose(v, BlockDecomposition, AxisX, parts)
+		return CoverageComplete(24, 24, 24, regions) && len(regions) == parts
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

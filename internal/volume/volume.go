@@ -1,0 +1,333 @@
+// Package volume provides the scientific-data substrate for Visapult:
+// three-dimensional scalar grids (the combustion and cosmology fields of the
+// paper), the slab / shaft / block domain decompositions of Figure 4, and a
+// compact binary encoding used both for file storage and for staging data
+// into the DPSS block cache.
+//
+// Grid values are float32, matching the paper's "each grid value was
+// represented with a single IEEE floating point number" (so the 640x256x256
+// combustion grid is 160 MB per time step).
+package volume
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Volume is a dense 3-D scalar field with X-fastest (row-major) storage:
+// index = x + y*NX + z*NX*NY.
+type Volume struct {
+	NX, NY, NZ int
+	Data       []float32
+}
+
+// ErrDimension reports invalid volume dimensions.
+var ErrDimension = errors.New("volume: dimensions must be positive")
+
+// New allocates a zero-filled volume of the given dimensions.
+func New(nx, ny, nz int) (*Volume, error) {
+	if nx <= 0 || ny <= 0 || nz <= 0 {
+		return nil, fmt.Errorf("%w: %dx%dx%d", ErrDimension, nx, ny, nz)
+	}
+	return &Volume{NX: nx, NY: ny, NZ: nz, Data: make([]float32, nx*ny*nz)}, nil
+}
+
+// MustNew is New that panics on invalid dimensions; for tests and examples
+// with constant sizes.
+func MustNew(nx, ny, nz int) *Volume {
+	v, err := New(nx, ny, nz)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// FromData wraps an existing slice as a volume. The slice length must equal
+// nx*ny*nz.
+func FromData(nx, ny, nz int, data []float32) (*Volume, error) {
+	if nx <= 0 || ny <= 0 || nz <= 0 {
+		return nil, fmt.Errorf("%w: %dx%dx%d", ErrDimension, nx, ny, nz)
+	}
+	if len(data) != nx*ny*nz {
+		return nil, fmt.Errorf("volume: data length %d does not match %dx%dx%d", len(data), nx, ny, nz)
+	}
+	return &Volume{NX: nx, NY: ny, NZ: nz, Data: data}, nil
+}
+
+// Len returns the number of voxels.
+func (v *Volume) Len() int { return v.NX * v.NY * v.NZ }
+
+// SizeBytes returns the in-memory size of the voxel data in bytes.
+func (v *Volume) SizeBytes() int64 { return int64(v.Len()) * 4 }
+
+// Index returns the linear index of voxel (x, y, z). No bounds checking.
+func (v *Volume) Index(x, y, z int) int { return x + y*v.NX + z*v.NX*v.NY }
+
+// At returns the value at (x, y, z). No bounds checking.
+func (v *Volume) At(x, y, z int) float32 { return v.Data[v.Index(x, y, z)] }
+
+// Set stores a value at (x, y, z). No bounds checking.
+func (v *Volume) Set(x, y, z int, val float32) { v.Data[v.Index(x, y, z)] = val }
+
+// InBounds reports whether (x, y, z) lies inside the volume.
+func (v *Volume) InBounds(x, y, z int) bool {
+	return x >= 0 && x < v.NX && y >= 0 && y < v.NY && z >= 0 && z < v.NZ
+}
+
+// Clone returns a deep copy of the volume.
+func (v *Volume) Clone() *Volume {
+	out := &Volume{NX: v.NX, NY: v.NY, NZ: v.NZ, Data: make([]float32, len(v.Data))}
+	copy(out.Data, v.Data)
+	return out
+}
+
+// MinMax returns the smallest and largest voxel values. NaNs are ignored; a
+// volume of only NaNs returns (0, 0).
+func (v *Volume) MinMax() (min, max float32) {
+	first := true
+	for _, x := range v.Data {
+		if math.IsNaN(float64(x)) {
+			continue
+		}
+		if first {
+			min, max = x, x
+			first = false
+			continue
+		}
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max
+}
+
+// Normalize rescales the voxel values in place to [0, 1]. A constant volume
+// becomes all zeros.
+func (v *Volume) Normalize() {
+	min, max := v.MinMax()
+	span := max - min
+	if span == 0 {
+		for i := range v.Data {
+			v.Data[i] = 0
+		}
+		return
+	}
+	inv := 1 / span
+	for i := range v.Data {
+		v.Data[i] = (v.Data[i] - min) * inv
+	}
+}
+
+// Mean returns the arithmetic mean of the voxel values.
+func (v *Volume) Mean() float64 {
+	var sum float64
+	for _, x := range v.Data {
+		sum += float64(x)
+	}
+	return sum / float64(len(v.Data))
+}
+
+// Fill sets every voxel to val.
+func (v *Volume) Fill(val float32) {
+	for i := range v.Data {
+		v.Data[i] = val
+	}
+}
+
+// Sample returns the value at the (possibly fractional) location using
+// trilinear interpolation, clamping coordinates to the volume bounds.
+func (v *Volume) Sample(x, y, z float64) float32 {
+	clamp := func(f float64, hi int) (int, int, float64) {
+		if f < 0 {
+			f = 0
+		}
+		if f > float64(hi-1) {
+			f = float64(hi - 1)
+		}
+		i0 := int(math.Floor(f))
+		i1 := i0 + 1
+		if i1 > hi-1 {
+			i1 = hi - 1
+		}
+		return i0, i1, f - float64(i0)
+	}
+	x0, x1, fx := clamp(x, v.NX)
+	y0, y1, fy := clamp(y, v.NY)
+	z0, z1, fz := clamp(z, v.NZ)
+	lerp := func(a, b float32, t float64) float32 { return a + float32(t)*(b-a) }
+	c00 := lerp(v.At(x0, y0, z0), v.At(x1, y0, z0), fx)
+	c10 := lerp(v.At(x0, y1, z0), v.At(x1, y1, z0), fx)
+	c01 := lerp(v.At(x0, y0, z1), v.At(x1, y0, z1), fx)
+	c11 := lerp(v.At(x0, y1, z1), v.At(x1, y1, z1), fx)
+	c0 := lerp(c00, c10, fy)
+	c1 := lerp(c01, c11, fy)
+	return lerp(c0, c1, fz)
+}
+
+// Subvolume copies the axis-aligned box [x0,x1) x [y0,y1) x [z0,z1) into a
+// new volume. Bounds are clamped to the source volume; an empty intersection
+// is an error.
+func (v *Volume) Subvolume(x0, y0, z0, x1, y1, z1 int) (*Volume, error) {
+	clampRange := func(lo, hi, n int) (int, int) {
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > n {
+			hi = n
+		}
+		return lo, hi
+	}
+	x0, x1 = clampRange(x0, x1, v.NX)
+	y0, y1 = clampRange(y0, y1, v.NY)
+	z0, z1 = clampRange(z0, z1, v.NZ)
+	if x1 <= x0 || y1 <= y0 || z1 <= z0 {
+		return nil, fmt.Errorf("volume: empty subvolume [%d,%d)x[%d,%d)x[%d,%d)", x0, x1, y0, y1, z0, z1)
+	}
+	out := MustNew(x1-x0, y1-y0, z1-z0)
+	for z := z0; z < z1; z++ {
+		for y := y0; y < y1; y++ {
+			srcBase := v.Index(x0, y, z)
+			dstBase := out.Index(0, y-y0, z-z0)
+			copy(out.Data[dstBase:dstBase+(x1-x0)], v.Data[srcBase:srcBase+(x1-x0)])
+		}
+	}
+	return out, nil
+}
+
+// Axis identifies one of the three coordinate axes, used both for domain
+// decomposition and for the IBRAVR best-view-axis switching.
+type Axis int
+
+// The three axes.
+const (
+	AxisX Axis = iota
+	AxisY
+	AxisZ
+)
+
+// String implements fmt.Stringer.
+func (a Axis) String() string {
+	switch a {
+	case AxisX:
+		return "X"
+	case AxisY:
+		return "Y"
+	case AxisZ:
+		return "Z"
+	default:
+		return fmt.Sprintf("Axis(%d)", int(a))
+	}
+}
+
+// Dim returns the volume's extent along the given axis.
+func (v *Volume) Dim(a Axis) int {
+	switch a {
+	case AxisX:
+		return v.NX
+	case AxisY:
+		return v.NY
+	default:
+		return v.NZ
+	}
+}
+
+const headerMagic = "VISAVOL1"
+
+// WriteTo serializes the volume as a small header (magic, dimensions) followed
+// by the voxel data in little-endian IEEE-754 order. It implements
+// io.WriterTo.
+func (v *Volume) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	if m, err := io.WriteString(w, headerMagic); err != nil {
+		return int64(m), err
+	}
+	n += int64(len(headerMagic))
+	dims := [3]uint32{uint32(v.NX), uint32(v.NY), uint32(v.NZ)}
+	if err := binary.Write(w, binary.LittleEndian, dims[:]); err != nil {
+		return n, err
+	}
+	n += 12
+	buf := make([]byte, 4*len(v.Data))
+	for i, f := range v.Data {
+		binary.LittleEndian.PutUint32(buf[i*4:], math.Float32bits(f))
+	}
+	m, err := w.Write(buf)
+	n += int64(m)
+	return n, err
+}
+
+// Read deserializes a volume previously written with WriteTo.
+func Read(r io.Reader) (*Volume, error) {
+	magic := make([]byte, len(headerMagic))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return nil, fmt.Errorf("volume: reading header: %w", err)
+	}
+	if string(magic) != headerMagic {
+		return nil, fmt.Errorf("volume: bad magic %q", magic)
+	}
+	var dims [3]uint32
+	if err := binary.Read(r, binary.LittleEndian, dims[:]); err != nil {
+		return nil, fmt.Errorf("volume: reading dimensions: %w", err)
+	}
+	nx, ny, nz := int(dims[0]), int(dims[1]), int(dims[2])
+	v, err := New(nx, ny, nz)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 4*v.Len())
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, fmt.Errorf("volume: reading voxels: %w", err)
+	}
+	for i := range v.Data {
+		v.Data[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[i*4:]))
+	}
+	return v, nil
+}
+
+// EncodedSize returns the number of bytes WriteTo produces for a volume of
+// the given dimensions.
+func EncodedSize(nx, ny, nz int) int64 {
+	return int64(len(headerMagic)) + 12 + int64(nx)*int64(ny)*int64(nz)*4
+}
+
+// Marshal returns the WriteTo encoding as a byte slice.
+func (v *Volume) Marshal() []byte {
+	buf := make([]byte, 0, EncodedSize(v.NX, v.NY, v.NZ))
+	w := &sliceWriter{buf: buf}
+	v.WriteTo(w) //nolint:errcheck // sliceWriter cannot fail
+	return w.buf
+}
+
+// Unmarshal parses a volume from a byte slice produced by Marshal.
+func Unmarshal(data []byte) (*Volume, error) {
+	return Read(byteReaderAt(data))
+}
+
+type sliceWriter struct{ buf []byte }
+
+func (w *sliceWriter) Write(p []byte) (int, error) {
+	w.buf = append(w.buf, p...)
+	return len(p), nil
+}
+
+func byteReaderAt(data []byte) io.Reader { return &byteReader{data: data} }
+
+type byteReader struct {
+	data []byte
+	off  int
+}
+
+func (r *byteReader) Read(p []byte) (int, error) {
+	if r.off >= len(r.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, r.data[r.off:])
+	r.off += n
+	return n, nil
+}

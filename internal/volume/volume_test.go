@@ -1,0 +1,284 @@
+package volume
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndAccessors(t *testing.T) {
+	v, err := New(4, 5, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Len() != 120 {
+		t.Errorf("len = %d", v.Len())
+	}
+	if v.SizeBytes() != 480 {
+		t.Errorf("size = %d", v.SizeBytes())
+	}
+	v.Set(3, 4, 5, 7.5)
+	if v.At(3, 4, 5) != 7.5 {
+		t.Error("set/at mismatch")
+	}
+	if !v.InBounds(3, 4, 5) || v.InBounds(4, 4, 5) || v.InBounds(-1, 0, 0) {
+		t.Error("InBounds wrong")
+	}
+	if v.Dim(AxisX) != 4 || v.Dim(AxisY) != 5 || v.Dim(AxisZ) != 6 {
+		t.Error("Dim wrong")
+	}
+}
+
+func TestNewInvalidDimensions(t *testing.T) {
+	for _, dims := range [][3]int{{0, 1, 1}, {1, -1, 1}, {1, 1, 0}} {
+		if _, err := New(dims[0], dims[1], dims[2]); !errors.Is(err, ErrDimension) {
+			t.Errorf("New(%v) error = %v, want ErrDimension", dims, err)
+		}
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew should panic on invalid dimensions")
+		}
+	}()
+	MustNew(0, 0, 0)
+}
+
+func TestFromData(t *testing.T) {
+	data := make([]float32, 8)
+	v, err := FromData(2, 2, 2, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Len() != 8 {
+		t.Error("len")
+	}
+	if _, err := FromData(2, 2, 2, make([]float32, 7)); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := FromData(0, 2, 2, data); err == nil {
+		t.Error("invalid dims should fail")
+	}
+}
+
+func TestIndexLayoutXFastest(t *testing.T) {
+	v := MustNew(3, 4, 5)
+	if v.Index(1, 0, 0) != 1 {
+		t.Error("x should be fastest")
+	}
+	if v.Index(0, 1, 0) != 3 {
+		t.Error("y stride should be NX")
+	}
+	if v.Index(0, 0, 1) != 12 {
+		t.Error("z stride should be NX*NY")
+	}
+}
+
+func TestMinMaxNormalize(t *testing.T) {
+	v := MustNew(2, 2, 1)
+	v.Data = []float32{3, -1, 7, 5}
+	min, max := v.MinMax()
+	if min != -1 || max != 7 {
+		t.Errorf("minmax = %v %v", min, max)
+	}
+	v.Normalize()
+	min, max = v.MinMax()
+	if min != 0 || max != 1 {
+		t.Errorf("normalized minmax = %v %v", min, max)
+	}
+	// Constant volume normalizes to zeros.
+	c := MustNew(2, 1, 1)
+	c.Fill(42)
+	c.Normalize()
+	if c.Data[0] != 0 || c.Data[1] != 0 {
+		t.Error("constant volume should normalize to zero")
+	}
+}
+
+func TestMinMaxIgnoresNaN(t *testing.T) {
+	v := MustNew(3, 1, 1)
+	v.Data = []float32{float32(math.NaN()), 2, 1}
+	min, max := v.MinMax()
+	if min != 1 || max != 2 {
+		t.Errorf("minmax with NaN = %v %v", min, max)
+	}
+}
+
+func TestMeanAndFill(t *testing.T) {
+	v := MustNew(2, 2, 1)
+	v.Fill(2.5)
+	if v.Mean() != 2.5 {
+		t.Errorf("mean = %v", v.Mean())
+	}
+}
+
+func TestClone(t *testing.T) {
+	v := MustNew(2, 2, 2)
+	v.Set(1, 1, 1, 9)
+	c := v.Clone()
+	c.Set(1, 1, 1, 0)
+	if v.At(1, 1, 1) != 9 {
+		t.Error("clone should not share data")
+	}
+}
+
+func TestSampleAtGridPoints(t *testing.T) {
+	v := MustNew(3, 3, 3)
+	for z := 0; z < 3; z++ {
+		for y := 0; y < 3; y++ {
+			for x := 0; x < 3; x++ {
+				v.Set(x, y, z, float32(x+10*y+100*z))
+			}
+		}
+	}
+	if got := v.Sample(1, 2, 1); got != 121 {
+		t.Errorf("sample at grid point = %v", got)
+	}
+	// Midpoint between (0,0,0)=0 and (1,0,0)=1 is 0.5.
+	if got := v.Sample(0.5, 0, 0); got != 0.5 {
+		t.Errorf("midpoint sample = %v", got)
+	}
+	// Out-of-range coordinates clamp.
+	if got := v.Sample(-5, -5, -5); got != v.At(0, 0, 0) {
+		t.Errorf("clamped low sample = %v", got)
+	}
+	if got := v.Sample(99, 99, 99); got != v.At(2, 2, 2) {
+		t.Errorf("clamped high sample = %v", got)
+	}
+}
+
+func TestSubvolume(t *testing.T) {
+	v := MustNew(4, 4, 4)
+	for i := range v.Data {
+		v.Data[i] = float32(i)
+	}
+	sub, err := v.Subvolume(1, 1, 1, 3, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NX != 2 || sub.NY != 2 || sub.NZ != 2 {
+		t.Fatalf("sub dims = %dx%dx%d", sub.NX, sub.NY, sub.NZ)
+	}
+	if sub.At(0, 0, 0) != v.At(1, 1, 1) || sub.At(1, 1, 1) != v.At(2, 2, 2) {
+		t.Error("subvolume contents wrong")
+	}
+	// Clamping.
+	big, err := v.Subvolume(-5, -5, -5, 100, 100, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Len() != v.Len() {
+		t.Error("clamped subvolume should cover whole volume")
+	}
+	// Empty.
+	if _, err := v.Subvolume(2, 2, 2, 2, 2, 2); err == nil {
+		t.Error("empty subvolume should fail")
+	}
+}
+
+func TestWriteToReadRoundTrip(t *testing.T) {
+	v := MustNew(5, 3, 2)
+	for i := range v.Data {
+		v.Data[i] = float32(i) * 1.5
+	}
+	var buf bytes.Buffer
+	n, err := v.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != EncodedSize(5, 3, 2) {
+		t.Errorf("bytes written = %d, want %d", n, EncodedSize(5, 3, 2))
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NX != 5 || got.NY != 3 || got.NZ != 2 {
+		t.Fatalf("dims = %dx%dx%d", got.NX, got.NY, got.NZ)
+	}
+	for i := range v.Data {
+		if got.Data[i] != v.Data[i] {
+			t.Fatalf("voxel %d = %v, want %v", i, got.Data[i], v.Data[i])
+		}
+	}
+}
+
+func TestMarshalUnmarshal(t *testing.T) {
+	v := MustNew(2, 3, 4)
+	v.Set(1, 2, 3, -7.25)
+	data := v.Marshal()
+	if int64(len(data)) != EncodedSize(2, 3, 4) {
+		t.Errorf("marshal size = %d", len(data))
+	}
+	got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.At(1, 2, 3) != -7.25 {
+		t.Error("round trip value wrong")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	if _, err := Read(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input should fail")
+	}
+	if _, err := Read(bytes.NewReader([]byte("BADMAGICranDOMdata"))); err == nil {
+		t.Error("bad magic should fail")
+	}
+	// Truncated voxel data.
+	v := MustNew(4, 4, 4)
+	data := v.Marshal()
+	if _, err := Unmarshal(data[:len(data)-10]); err == nil {
+		t.Error("truncated data should fail")
+	}
+}
+
+func TestPaperDatasetSize(t *testing.T) {
+	// The paper's combustion grid: 640x256x256 float32 = 160 MB per step.
+	bytes := int64(640) * 256 * 256 * 4
+	if bytes != 160*1024*1024 {
+		t.Fatalf("640x256x256 float32 = %d bytes, want 160 MiB", bytes)
+	}
+}
+
+func TestAxisString(t *testing.T) {
+	if AxisX.String() != "X" || AxisY.String() != "Y" || AxisZ.String() != "Z" {
+		t.Error("axis names")
+	}
+	if Axis(9).String() == "" {
+		t.Error("unknown axis should still render")
+	}
+}
+
+func TestMarshalRoundTripProperty(t *testing.T) {
+	f := func(nx, ny, nz uint8, seed int64) bool {
+		x, y, z := int(nx%6)+1, int(ny%6)+1, int(nz%6)+1
+		v := MustNew(x, y, z)
+		s := seed
+		for i := range v.Data {
+			s = s*6364136223846793005 + 1442695040888963407
+			v.Data[i] = float32(s%1000) / 7
+		}
+		got, err := Unmarshal(v.Marshal())
+		if err != nil {
+			return false
+		}
+		if got.NX != x || got.NY != y || got.NZ != z {
+			return false
+		}
+		for i := range v.Data {
+			if got.Data[i] != v.Data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,439 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The paper's viewer receives data "over multiple simultaneous network
+// connections (implemented with a custom TCP-based protocol over striped
+// sockets)". A Stripe reproduces that transport: one logical byte stream
+// carried over N parallel sockets. The writer chops the stream into
+// sequence-numbered chunks distributed round-robin over the sockets; the
+// reader pulls chunks from every socket concurrently and reassembles them in
+// sequence order. Striping lets a single logical connection fill a
+// long-fat-pipe WAN when one TCP stream's window would not.
+
+// DefaultChunkSize is the striping granularity used when none is specified.
+const DefaultChunkSize = 64 << 10
+
+// stripeMagic opens the per-socket handshake of a striped dial.
+var stripeMagic = [8]byte{'V', 'S', 'P', 'S', 'T', 'R', 'P', '1'}
+
+// stripeGroupCounter disambiguates stripe groups originating from the same
+// process.
+var stripeGroupCounter atomic.Uint32
+
+// chunk is one striped unit in flight between writer and reader goroutines.
+type chunk struct {
+	seq  uint64
+	data []byte
+	eof  bool
+}
+
+// Stripe is a logical bidirectional byte stream carried over several
+// underlying connections. It implements io.ReadWriteCloser and is intended to
+// be wrapped by NewConn. A Stripe supports one concurrent reader and one
+// concurrent writer, matching the Conn contract.
+type Stripe struct {
+	conns     []io.ReadWriteCloser
+	chunkSize int
+
+	// Write side.
+	wmu    sync.Mutex
+	wseq   uint64
+	wq     []chan chunk
+	wg     sync.WaitGroup
+	werrMu sync.Mutex
+	werr   error
+	closed bool
+
+	// Read side.
+	readOnce sync.Once
+	rch      chan chunk
+	rerrCh   chan error
+	rbuf     map[uint64][]byte
+	rnext    uint64
+	rpending []byte
+	reof     int // number of sockets that reached EOF
+	rerr     error
+}
+
+// NewStripe builds a Stripe over the given connections. chunkSize <= 0 uses
+// DefaultChunkSize. The connection order must match on both ends only in
+// count, not in index: reassembly is driven entirely by sequence numbers.
+func NewStripe(conns []io.ReadWriteCloser, chunkSize int) (*Stripe, error) {
+	if len(conns) == 0 {
+		return nil, errors.New("wire: stripe needs at least one connection")
+	}
+	if chunkSize <= 0 {
+		chunkSize = DefaultChunkSize
+	}
+	s := &Stripe{
+		conns:     conns,
+		chunkSize: chunkSize,
+		wq:        make([]chan chunk, len(conns)),
+		rch:       make(chan chunk, 4*len(conns)),
+		rerrCh:    make(chan error, len(conns)),
+		rbuf:      make(map[uint64][]byte),
+	}
+	for i := range conns {
+		s.wq[i] = make(chan chunk, 4)
+		s.wg.Add(1)
+		go s.writeLoop(i)
+	}
+	return s, nil
+}
+
+// Lanes returns the number of underlying connections.
+func (s *Stripe) Lanes() int { return len(s.conns) }
+
+// writeLoop drains one socket's chunk queue, preserving per-socket order.
+func (s *Stripe) writeLoop(i int) {
+	defer s.wg.Done()
+	w := s.conns[i]
+	var hdr [12]byte
+	for c := range s.wq[i] {
+		binary.BigEndian.PutUint64(hdr[:8], c.seq)
+		if c.eof {
+			binary.BigEndian.PutUint32(hdr[8:], 0xFFFFFFFF)
+			if _, err := w.Write(hdr[:]); err != nil {
+				s.setWriteErr(err)
+			}
+			continue
+		}
+		binary.BigEndian.PutUint32(hdr[8:], uint32(len(c.data)))
+		if _, err := w.Write(hdr[:]); err != nil {
+			s.setWriteErr(err)
+			continue
+		}
+		if _, err := w.Write(c.data); err != nil {
+			s.setWriteErr(err)
+		}
+	}
+}
+
+func (s *Stripe) setWriteErr(err error) {
+	s.werrMu.Lock()
+	if s.werr == nil {
+		s.werr = err
+	}
+	s.werrMu.Unlock()
+}
+
+func (s *Stripe) writeErr() error {
+	s.werrMu.Lock()
+	defer s.werrMu.Unlock()
+	return s.werr
+}
+
+// Write chops p into chunks and distributes them round-robin over the
+// underlying connections. It returns len(p) unless a previous chunk already
+// failed to send.
+func (s *Stripe) Write(p []byte) (int, error) {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	if s.closed {
+		return 0, errors.New("wire: write on closed stripe")
+	}
+	if err := s.writeErr(); err != nil {
+		return 0, err
+	}
+	total := len(p)
+	for len(p) > 0 {
+		n := s.chunkSize
+		if n > len(p) {
+			n = len(p)
+		}
+		data := make([]byte, n)
+		copy(data, p[:n])
+		lane := int(s.wseq % uint64(len(s.conns)))
+		s.wq[lane] <- chunk{seq: s.wseq, data: data}
+		s.wseq++
+		p = p[n:]
+	}
+	return total, nil
+}
+
+// readLoop pulls chunks off one socket and forwards them to the reassembly
+// channel until EOF or error.
+func (s *Stripe) readLoop(i int) {
+	r := s.conns[i]
+	var hdr [12]byte
+	for {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, net.ErrClosed) {
+				s.rerrCh <- io.EOF
+			} else {
+				s.rerrCh <- err
+			}
+			return
+		}
+		seq := binary.BigEndian.Uint64(hdr[:8])
+		n := binary.BigEndian.Uint32(hdr[8:])
+		if n == 0xFFFFFFFF {
+			// End-of-stream marker for the whole stripe.
+			s.rerrCh <- io.EOF
+			return
+		}
+		if n > uint32(maxFramePayload) {
+			s.rerrCh <- fmt.Errorf("wire: stripe chunk of %d bytes exceeds limit", n)
+			return
+		}
+		data := make([]byte, n)
+		if _, err := io.ReadFull(r, data); err != nil {
+			s.rerrCh <- err
+			return
+		}
+		s.rch <- chunk{seq: seq, data: data}
+	}
+}
+
+// startReaders lazily launches one reader goroutine per socket the first time
+// Read is called, so a write-only user never spawns them.
+func (s *Stripe) startReaders() {
+	s.readOnce.Do(func() {
+		for i := range s.conns {
+			go s.readLoop(i)
+		}
+	})
+}
+
+// Read reassembles the striped stream in sequence order.
+func (s *Stripe) Read(p []byte) (int, error) {
+	s.startReaders()
+	for {
+		if len(s.rpending) > 0 {
+			n := copy(p, s.rpending)
+			s.rpending = s.rpending[n:]
+			return n, nil
+		}
+		if data, ok := s.rbuf[s.rnext]; ok {
+			delete(s.rbuf, s.rnext)
+			s.rnext++
+			s.rpending = data
+			continue
+		}
+		// Drain chunks that have already arrived before acting on errors or
+		// end-of-stream signals: each lane queues all of its data chunks
+		// before it reports EOF, so an end-of-stream marker must never
+		// overtake data still sitting in the reassembly channel.
+		select {
+		case c := <-s.rch:
+			s.rbuf[c.seq] = c.data
+			continue
+		default:
+		}
+		if s.rerr != nil {
+			return 0, s.rerr
+		}
+		if s.reof >= len(s.conns) {
+			return 0, io.EOF
+		}
+		select {
+		case c := <-s.rch:
+			s.rbuf[c.seq] = c.data
+		case err := <-s.rerrCh:
+			if err == io.EOF {
+				s.reof++
+			} else {
+				s.rerr = err
+			}
+		}
+	}
+}
+
+// Close flushes the write side, sends end-of-stream markers on every lane and
+// closes the underlying connections.
+func (s *Stripe) Close() error {
+	s.wmu.Lock()
+	if s.closed {
+		s.wmu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for i := range s.wq {
+		s.wq[i] <- chunk{seq: s.wseq, eof: true}
+		close(s.wq[i])
+	}
+	s.wmu.Unlock()
+	s.wg.Wait()
+	var firstErr error
+	for _, c := range s.conns {
+		if err := c.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if werr := s.writeErr(); werr != nil && firstErr == nil {
+		firstErr = werr
+	}
+	return firstErr
+}
+
+// DialStriped opens n parallel TCP connections to addr and returns them as a
+// single logical Stripe. The remote end must accept them with a
+// StripeListener.
+func DialStriped(addr string, n, chunkSize int) (*Stripe, error) {
+	if n < 1 {
+		n = 1
+	}
+	group := stripeGroupCounter.Add(1)
+	nonce := uint32(time.Now().UnixNano())
+	conns := make([]io.ReadWriteCloser, 0, n)
+	cleanup := func() {
+		for _, c := range conns {
+			c.Close()
+		}
+	}
+	for i := 0; i < n; i++ {
+		c, err := net.Dial("tcp", addr)
+		if err != nil {
+			cleanup()
+			return nil, fmt.Errorf("wire: dial stripe lane %d: %w", i, err)
+		}
+		var hello [20]byte
+		copy(hello[:8], stripeMagic[:])
+		binary.BigEndian.PutUint32(hello[8:], group)
+		binary.BigEndian.PutUint32(hello[12:], nonce)
+		binary.BigEndian.PutUint16(hello[16:], uint16(i))
+		binary.BigEndian.PutUint16(hello[18:], uint16(n))
+		if _, err := c.Write(hello[:]); err != nil {
+			c.Close()
+			cleanup()
+			return nil, fmt.Errorf("wire: stripe handshake: %w", err)
+		}
+		conns = append(conns, c)
+	}
+	return NewStripe(conns, chunkSize)
+}
+
+// StripeListener groups incoming striped connections back into logical
+// Stripes. Each call to Accept blocks until every lane of the next stripe
+// group has arrived.
+type StripeListener struct {
+	l         net.Listener
+	chunkSize int
+
+	mu      sync.Mutex
+	partial map[uint64][]laneConn
+	ready   chan []laneConn
+	errCh   chan error
+	started bool
+	closed  bool
+}
+
+type laneConn struct {
+	index int
+	total int
+	conn  net.Conn
+}
+
+// NewStripeListener wraps a net.Listener. chunkSize <= 0 uses
+// DefaultChunkSize.
+func NewStripeListener(l net.Listener, chunkSize int) *StripeListener {
+	if chunkSize <= 0 {
+		chunkSize = DefaultChunkSize
+	}
+	return &StripeListener{
+		l:         l,
+		chunkSize: chunkSize,
+		partial:   make(map[uint64][]laneConn),
+		ready:     make(chan []laneConn, 8),
+		errCh:     make(chan error, 1),
+	}
+}
+
+// Addr returns the listener's address.
+func (sl *StripeListener) Addr() net.Addr { return sl.l.Addr() }
+
+// acceptLoop performs handshakes and groups lanes by (group, nonce).
+func (sl *StripeListener) acceptLoop() {
+	for {
+		c, err := sl.l.Accept()
+		if err != nil {
+			sl.errCh <- err
+			return
+		}
+		go sl.handshake(c)
+	}
+}
+
+func (sl *StripeListener) handshake(c net.Conn) {
+	var hello [20]byte
+	c.SetReadDeadline(time.Now().Add(10 * time.Second))
+	if _, err := io.ReadFull(c, hello[:]); err != nil {
+		c.Close()
+		return
+	}
+	c.SetReadDeadline(time.Time{})
+	if string(hello[:8]) != string(stripeMagic[:]) {
+		c.Close()
+		return
+	}
+	group := binary.BigEndian.Uint32(hello[8:])
+	nonce := binary.BigEndian.Uint32(hello[12:])
+	index := int(binary.BigEndian.Uint16(hello[16:]))
+	total := int(binary.BigEndian.Uint16(hello[18:]))
+	if total < 1 || index < 0 || index >= total {
+		c.Close()
+		return
+	}
+	key := uint64(group)<<32 | uint64(nonce)
+	sl.mu.Lock()
+	sl.partial[key] = append(sl.partial[key], laneConn{index: index, total: total, conn: c})
+	lanes := sl.partial[key]
+	complete := len(lanes) == total
+	if complete {
+		delete(sl.partial, key)
+	}
+	sl.mu.Unlock()
+	if complete {
+		sort.Slice(lanes, func(i, j int) bool { return lanes[i].index < lanes[j].index })
+		sl.ready <- lanes
+	}
+}
+
+// Accept returns the next fully assembled Stripe.
+func (sl *StripeListener) Accept() (*Stripe, error) {
+	sl.mu.Lock()
+	if !sl.started {
+		sl.started = true
+		go sl.acceptLoop()
+	}
+	sl.mu.Unlock()
+	select {
+	case lanes := <-sl.ready:
+		conns := make([]io.ReadWriteCloser, len(lanes))
+		for i, lc := range lanes {
+			conns[i] = lc.conn
+		}
+		return NewStripe(conns, sl.chunkSize)
+	case err := <-sl.errCh:
+		return nil, err
+	}
+}
+
+// Close stops the listener. Already-accepted stripes stay usable.
+func (sl *StripeListener) Close() error {
+	sl.mu.Lock()
+	if sl.closed {
+		sl.mu.Unlock()
+		return nil
+	}
+	sl.closed = true
+	for _, lanes := range sl.partial {
+		for _, lc := range lanes {
+			lc.conn.Close()
+		}
+	}
+	sl.partial = make(map[uint64][]laneConn)
+	sl.mu.Unlock()
+	return sl.l.Close()
+}
