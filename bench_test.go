@@ -11,6 +11,7 @@
 package visapult_bench
 
 import (
+	"context"
 	"net"
 	"testing"
 
@@ -375,7 +376,7 @@ func BenchmarkEndToEndSession(b *testing.B) {
 	b.SetBytes(2 * src.StepBytes())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.RunSession(core.SessionConfig{
+		if _, err := core.RunSession(context.Background(), core.SessionConfig{
 			PEs: 4, Source: src, Mode: backend.Overlapped, Transport: core.TransportLocal,
 		}); err != nil {
 			b.Fatal(err)
@@ -488,7 +489,7 @@ func BenchmarkOverlapImplementations(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				rs, err := be.Run()
+				rs, err := be.Run(context.Background())
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -16,10 +16,8 @@ import (
 	"strconv"
 	"time"
 
-	"visapult/internal/datagen"
-	"visapult/internal/dpss"
-	"visapult/internal/offline"
-	"visapult/internal/stats"
+	"visapult/pkg/visapult"
+	"visapult/pkg/visapult/dpss"
 )
 
 func main() {
@@ -74,16 +72,11 @@ func runThumbnail(client *dpss.Client, args []string) error {
 	if err != nil || step < 0 {
 		return fmt.Errorf("invalid timestep %q", args[2])
 	}
-	img, meta, err := offline.Thumbnail(client, base, nx, ny, nz, step, offline.ThumbnailOptions{MaxDim: 64})
+	img, meta, err := dpss.Thumbnail(client, base, nx, ny, nz, step, dpss.ThumbnailOptions{MaxDim: 64})
 	if err != nil {
 		return err
 	}
-	f, err := os.Create(args[3])
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	if err := img.WritePPM(f); err != nil {
+	if err := visapult.WritePPM(args[3], img); err != nil {
 		return err
 	}
 	fmt.Printf("thumbnail: wrote %s (%dx%d)\n", args[3], img.W, img.H)
@@ -100,7 +93,7 @@ func runStat(client *dpss.Client, args []string) error {
 		return err
 	}
 	fmt.Printf("dataset    : %s\n", args[0])
-	fmt.Printf("size       : %s\n", stats.HumanBytes(info.Size))
+	fmt.Printf("size       : %s\n", visapult.HumanBytes(info.Size))
 	fmt.Printf("block size : %d bytes\n", info.BlockSize)
 	fmt.Printf("blocks     : %d\n", info.NumBlocks())
 	return nil
@@ -119,24 +112,13 @@ func runLoad(client *dpss.Client, blockSize int, args []string) error {
 	if err != nil || steps < 1 {
 		return fmt.Errorf("invalid step count %q", args[2])
 	}
-	gen := datagen.NewCombustion(datagen.CombustionConfig{NX: nx, NY: ny, NZ: nz, Timesteps: steps, Seed: 2000})
-	for t := 0; t < steps; t++ {
-		name := dpss.TimestepDatasetName(base, t)
-		data := gen.Generate(t).Marshal()
-		if _, err := client.Create(name, int64(len(data)), blockSize); err != nil {
-			return fmt.Errorf("creating %s: %w", name, err)
-		}
-		f, err := client.Open(name)
-		if err != nil {
-			return err
-		}
-		start := time.Now()
-		if _, err := f.WriteAt(data, 0); err != nil {
-			return fmt.Errorf("writing %s: %w", name, err)
-		}
-		fmt.Printf("loaded %s: %s in %v (%.0f Mbps)\n", name, stats.HumanBytes(int64(len(data))),
-			time.Since(start).Round(time.Millisecond), stats.Mbps(int64(len(data)), time.Since(start)))
+	stepBytes, writeTime, err := dpss.StageCombustion(client, base, nx, ny, nz, steps, blockSize, 2000)
+	if err != nil {
+		return err
 	}
+	total := stepBytes * int64(steps)
+	fmt.Printf("loaded %d timesteps of %s: %s written in %v (%.0f Mbps)\n", steps, base,
+		visapult.HumanBytes(total), writeTime.Round(time.Millisecond), visapult.Mbps(total, writeTime))
 	return nil
 }
 
@@ -180,10 +162,10 @@ func runBench(client *dpss.Client, streams int, args []string) error {
 	}
 	elapsed := time.Since(start)
 	fmt.Printf("read %s in %v with %d streams: %.0f Mbps (%.1f MB/s)\n",
-		stats.HumanBytes(info.Size), elapsed.Round(time.Millisecond), streams,
-		stats.Mbps(info.Size, elapsed), stats.MBps(info.Size, elapsed))
+		visapult.HumanBytes(info.Size), elapsed.Round(time.Millisecond), streams,
+		visapult.Mbps(info.Size, elapsed), visapult.MBps(info.Size, elapsed))
 	cs := client.Stats()
 	fmt.Printf("client: %d block reads (%s) over %d server connections\n",
-		cs.Reads, stats.HumanBytes(cs.BytesRead), cs.Servers)
+		cs.Reads, visapult.HumanBytes(cs.BytesRead), cs.Servers)
 	return nil
 }

@@ -20,8 +20,7 @@ import (
 	"os/signal"
 	"syscall"
 
-	"visapult/internal/datagen"
-	"visapult/internal/dpss"
+	"visapult/pkg/visapult/dpss"
 )
 
 func main() {
@@ -54,9 +53,17 @@ func main() {
 	}
 
 	if *load != "" {
-		if err := stageSynthetic(addr, *load, *dims, *steps, *blockSize); err != nil {
+		var nx, ny, nz int
+		if _, err := fmt.Sscanf(*dims, "%dx%dx%d", &nx, &ny, &nz); err != nil {
+			fatal(fmt.Errorf("parsing -dims %q: %w", *dims, err))
+		}
+		client := dpss.NewClient(addr)
+		stepBytes, _, err := dpss.StageCombustion(client, *load, nx, ny, nz, *steps, *blockSize, 2000)
+		client.Close()
+		if err != nil {
 			fatal(err)
 		}
+		fmt.Printf("dpssd: staged %d timesteps of %s (%d bytes each)\n", *steps, *load, stepBytes)
 	}
 
 	fmt.Println("dpssd: ready (ctrl-c to stop)")
@@ -69,34 +76,6 @@ func main() {
 	}
 	master.Close()
 	fmt.Println("dpssd: stopped")
-}
-
-// stageSynthetic generates a synthetic combustion dataset and writes each
-// timestep into the cache through the ordinary client API.
-func stageSynthetic(masterAddr, base, dims string, steps, blockSize int) error {
-	var nx, ny, nz int
-	if _, err := fmt.Sscanf(dims, "%dx%dx%d", &nx, &ny, &nz); err != nil {
-		return fmt.Errorf("parsing -dims %q: %w", dims, err)
-	}
-	gen := datagen.NewCombustion(datagen.CombustionConfig{NX: nx, NY: ny, NZ: nz, Timesteps: steps, Seed: 2000})
-	client := dpss.NewClient(masterAddr)
-	defer client.Close()
-	for t := 0; t < steps; t++ {
-		name := dpss.TimestepDatasetName(base, t)
-		data := gen.Generate(t).Marshal()
-		if _, err := client.Create(name, int64(len(data)), blockSize); err != nil {
-			return fmt.Errorf("creating %s: %w", name, err)
-		}
-		f, err := client.Open(name)
-		if err != nil {
-			return fmt.Errorf("opening %s: %w", name, err)
-		}
-		if _, err := f.WriteAt(data, 0); err != nil {
-			return fmt.Errorf("writing %s: %w", name, err)
-		}
-		fmt.Printf("dpssd: staged %s (%d bytes)\n", name, len(data))
-	}
-	return nil
 }
 
 func fatal(err error) {

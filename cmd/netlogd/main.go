@@ -18,7 +18,7 @@ import (
 	"syscall"
 	"time"
 
-	"visapult/internal/netlogger"
+	"visapult/pkg/visapult/netlog"
 )
 
 func main() {
@@ -28,7 +28,7 @@ func main() {
 	statusEvery := flag.Duration("status", 10*time.Second, "how often to print the event count (0 disables)")
 	flag.Parse()
 
-	d := netlogger.NewDaemon()
+	d := netlog.NewDaemon()
 	addr, err := d.Listen(*listen)
 	if err != nil {
 		fatal(err)
@@ -56,7 +56,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	c := netlogger.NewCollector()
+	c := netlog.NewCollector()
 	c.Add(events...)
 	if err := c.WriteULM(f); err != nil {
 		fatal(err)
@@ -65,7 +65,7 @@ func main() {
 	fmt.Printf("netlogd: wrote %d events to %s\n", len(events), *out)
 
 	if *report && len(events) > 0 {
-		fmt.Println(netlogger.PhaseReport(events))
+		fmt.Println(netlog.PhaseReport(events))
 	}
 }
 

@@ -15,7 +15,7 @@ import (
 	"fmt"
 	"os"
 
-	"visapult/internal/netlogger"
+	"visapult/pkg/visapult/netlog"
 )
 
 func main() {
@@ -33,7 +33,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	events, err := netlogger.ParseLog(string(raw))
+	events, err := netlog.ParseLog(string(raw))
 	if err != nil {
 		fatal(fmt.Errorf("parsing %s: %w", flag.Arg(0), err))
 	}
@@ -46,7 +46,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if err := netlogger.WriteCSV(f, events); err != nil {
+		if err := netlog.WriteCSV(f, events); err != nil {
 			fatal(err)
 		}
 		f.Close()
@@ -55,14 +55,14 @@ func main() {
 	}
 
 	if *plot {
-		opts := netlogger.NLVOptions{
+		opts := netlog.NLVOptions{
 			Width:    *width,
-			TagOrder: append(append([]string{}, netlogger.BackEndTags...), netlogger.ViewerTags...),
+			TagOrder: append(append([]string{}, netlog.BackEndTags...), netlog.ViewerTags...),
 		}
-		fmt.Println(netlogger.RenderNLV(events, opts))
+		fmt.Println(netlog.RenderNLV(events, opts))
 	}
 	if *report {
-		fmt.Println(netlogger.PhaseReport(events))
+		fmt.Println(netlog.PhaseReport(events))
 	}
 }
 

@@ -11,16 +11,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"net"
 	"os"
+	"os/signal"
+	"time"
 
-	"visapult/internal/backend"
-	"visapult/internal/datagen"
-	"visapult/internal/dpss"
-	"visapult/internal/netlogger"
-	"visapult/internal/wire"
+	"visapult/pkg/visapult"
+	"visapult/pkg/visapult/dpss"
 )
 
 func main() {
@@ -32,15 +31,16 @@ func main() {
 	dpssMaster := flag.String("dpss", "", "DPSS master address; empty uses the synthetic generator")
 	dataset := flag.String("dataset", "combustion", "DPSS dataset base name")
 	dims := flag.String("dims", "80x32x32", "DPSS dataset dimensions, NXxNYxNZ")
+	followView := flag.Bool("follow-view", false, "let the viewer's axis hints steer the slab decomposition")
 	logOut := flag.String("netlog", "", "optional file for the back end's ULM event stream")
 	flag.Parse()
 
-	m := backend.Serial
+	m := visapult.Serial
 	if *mode == "overlapped" {
-		m = backend.Overlapped
+		m = visapult.Overlapped
 	}
 
-	var src backend.DataSource
+	var src visapult.Source
 	if *dpssMaster != "" {
 		var nx, ny, nz int
 		if _, err := fmt.Sscanf(*dims, "%dx%dx%d", &nx, &ny, &nz); err != nil {
@@ -48,75 +48,43 @@ func main() {
 		}
 		client := dpss.NewClient(*dpssMaster)
 		defer client.Close()
-		s, err := backend.NewDPSSSource(client, *dataset, nx, ny, nz, *steps)
+		s, err := visapult.NewDPSSSource(client, *dataset, nx, ny, nz, *steps)
 		if err != nil {
 			fatal(err)
 		}
 		defer s.Close()
 		src = s
 	} else {
-		gen := datagen.NewCombustion(datagen.CombustionConfig{
-			NX: 640 / *scale, NY: 256 / *scale, NZ: 256 / *scale,
-			Timesteps: *steps, Seed: 2000,
-		})
-		src = backend.NewSyntheticSource(gen)
+		src = visapult.NewPaperCombustionSource(*scale, *steps)
 	}
 
-	// One connection per PE, the paper's layout.
-	sinks := make([]backend.FrameSink, *pes)
-	conns := make([]*wire.Conn, *pes)
-	for i := range sinks {
-		c, err := net.Dial("tcp", *viewerAddr)
-		if err != nil {
-			fatal(fmt.Errorf("connecting PE %d to viewer %s: %w", i, *viewerAddr, err))
-		}
-		conns[i] = wire.NewConn(c)
-		sinks[i] = conns[i]
-	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
-	logger := netlogger.New(hostname(), "backend")
-	be, err := backend.New(backend.Config{
-		PEs: *pes, Timesteps: *steps, Mode: m, Source: src, Sinks: sinks, Logger: logger,
+	fmt.Printf("visapult-backend: %d PEs, %d timesteps, %s mode -> %s\n", *pes, *steps, m, *viewerAddr)
+	rep, err := visapult.RunBackend(ctx, visapult.BackendConfig{
+		ViewerAddr: *viewerAddr,
+		PEs:        *pes,
+		Timesteps:  *steps,
+		Mode:       m,
+		Source:     src,
+		FollowView: *followView,
+		Instrument: true,
 	})
 	if err != nil {
 		fatal(err)
 	}
 
-	fmt.Printf("visapult-backend: %d PEs, %d timesteps, %s mode -> %s\n", *pes, *steps, m, *viewerAddr)
-	stats, err := be.Run()
-	if err != nil {
-		fatal(err)
-	}
-	for _, c := range conns {
-		c.SendDone()
-		c.Close()
-	}
-
 	fmt.Printf("visapult-backend: loaded %d bytes, sent %d bytes, mean load %v, mean render %v, elapsed %v\n",
-		stats.BytesIn, stats.BytesOut, stats.MeanLoad().Round(1e6),
-		stats.MeanRender().Round(1e6), stats.Elapsed.Round(1e6))
+		rep.Stats.BytesIn, rep.Stats.BytesOut, rep.Stats.MeanLoad().Round(time.Millisecond),
+		rep.Stats.MeanRender().Round(time.Millisecond), rep.Stats.Elapsed.Round(time.Millisecond))
 
 	if *logOut != "" {
-		f, err := os.Create(*logOut)
-		if err != nil {
+		if err := visapult.WriteULM(*logOut, rep.Events); err != nil {
 			fatal(err)
 		}
-		c := netlogger.NewCollector()
-		c.AddLogger(logger)
-		if err := c.WriteULM(f); err != nil {
-			fatal(err)
-		}
-		f.Close()
-		fmt.Printf("visapult-backend: wrote %d events to %s\n", logger.Len(), *logOut)
+		fmt.Printf("visapult-backend: wrote %d events to %s\n", len(rep.Events), *logOut)
 	}
-}
-
-func hostname() string {
-	h, err := os.Hostname()
-	if err != nil {
-		return "backend-host"
-	}
-	return h
 }
 
 func fatal(err error) {

@@ -11,14 +11,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
 	"net"
 	"os"
+	"os/signal"
 
-	"visapult/internal/netlogger"
-	"visapult/internal/viewer"
+	"visapult/pkg/visapult"
 )
 
 func main() {
@@ -31,65 +32,41 @@ func main() {
 	height := flag.Int("height", 512, "render height in pixels")
 	flag.Parse()
 
-	logger := netlogger.New(hostname(), "viewer")
-	vw, err := viewer.New(viewer.Config{
-		PEs: *pes, Logger: logger, ViewWidth: *width, ViewHeight: *height,
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	rep, err := visapult.ServeViewer(ctx, visapult.ViewerConfig{
+		ListenAddr: *listen,
+		PEs:        *pes,
+		Width:      *width,
+		Height:     *height,
+		ViewAngle:  *angleDeg * math.Pi / 180,
+		RenderLoop: true,
+		Instrument: true,
+		OnListen: func(addr net.Addr) {
+			fmt.Printf("visapult-viewer: waiting for %d back-end connections on %s\n", *pes, addr)
+		},
 	})
 	if err != nil {
 		fatal(err)
 	}
-	vw.SetViewAngle(*angleDeg * math.Pi / 180)
-	vw.StartRenderLoop(0)
-	defer vw.Stop()
 
-	l, err := net.Listen("tcp", *listen)
-	if err != nil {
-		fatal(err)
-	}
-	defer l.Close()
-	fmt.Printf("visapult-viewer: waiting for %d back-end connections on %s\n", *pes, l.Addr())
-
-	if err := vw.Serve(l); err != nil {
-		fatal(err)
-	}
-
-	st := vw.Stats()
 	fmt.Printf("visapult-viewer: %d payloads, %d frames completed, %d bytes received, %d renders\n",
-		st.PayloadsReceived, st.FramesCompleted, st.BytesReceived, st.RenderedFrames)
+		rep.Stats.PayloadsReceived, rep.Stats.FramesCompleted, rep.Stats.BytesReceived, rep.Stats.RenderedFrames)
 
-	if img, err := vw.CompositeView(); err == nil {
-		f, err := os.Create(*out)
-		if err != nil {
+	if rep.FinalImage != nil {
+		if err := visapult.WritePPM(*out, rep.FinalImage); err != nil {
 			fatal(err)
 		}
-		if err := img.WritePPM(f); err != nil {
-			fatal(err)
-		}
-		f.Close()
 		fmt.Printf("visapult-viewer: wrote %s\n", *out)
 	}
 
 	if *logOut != "" {
-		f, err := os.Create(*logOut)
-		if err != nil {
+		if err := visapult.WriteULM(*logOut, rep.Events); err != nil {
 			fatal(err)
 		}
-		c := netlogger.NewCollector()
-		c.AddLogger(logger)
-		if err := c.WriteULM(f); err != nil {
-			fatal(err)
-		}
-		f.Close()
-		fmt.Printf("visapult-viewer: wrote %d events to %s\n", logger.Len(), *logOut)
+		fmt.Printf("visapult-viewer: wrote %d events to %s\n", len(rep.Events), *logOut)
 	}
-}
-
-func hostname() string {
-	h, err := os.Hostname()
-	if err != nil {
-		return "viewer-host"
-	}
-	return h
 }
 
 func fatal(err error) {

@@ -10,15 +10,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
 	"os"
+	"os/signal"
+	"time"
 
-	"visapult/internal/backend"
-	"visapult/internal/core"
-	"visapult/internal/datagen"
-	"visapult/internal/netlogger"
+	"visapult/pkg/visapult"
 )
 
 func main() {
@@ -29,85 +29,80 @@ func main() {
 	transport := flag.String("transport", "local", "payload transport: local, tcp or striped")
 	lanes := flag.Int("lanes", 2, "sockets per PE for the striped transport")
 	angleDeg := flag.Float64("angle", 0, "viewer camera rotation about Y in degrees")
+	timeout := flag.Duration("timeout", 0, "abort the run after this long (0 = no deadline)")
 	out := flag.String("out", "visapult.ppm", "output PPM file for the final composited view")
 	logOut := flag.String("netlog", "", "optional file to write the NetLogger ULM event stream to")
 	flag.Parse()
 
-	m := backend.Serial
-	if *mode == "overlapped" {
-		m = backend.Overlapped
+	if *scale < 1 {
+		*scale = 1
 	}
-	var tr core.Transport
+	m := visapult.Serial
+	if *mode == "overlapped" {
+		m = visapult.Overlapped
+	}
+	tr := visapult.TransportLocal
 	switch *transport {
 	case "tcp":
-		tr = core.TransportTCP
+		tr = visapult.TransportTCP
 	case "striped":
-		tr = core.TransportStriped
-	default:
-		tr = core.TransportLocal
+		tr = visapult.TransportStriped
 	}
 
-	gen := datagen.NewCombustion(datagen.CombustionConfig{
-		NX: 640 / *scale, NY: 256 / *scale, NZ: 256 / *scale,
-		Timesteps: *steps, Seed: 2000,
-	})
-	src := backend.NewSyntheticSource(gen)
+	p, err := visapult.New(
+		visapult.WithSource(visapult.NewPaperCombustionSource(*scale, *steps)),
+		visapult.WithPEs(*pes),
+		visapult.WithTimesteps(*steps),
+		visapult.WithMode(m),
+		visapult.WithTransport(tr),
+		visapult.WithStripeLanes(*lanes),
+		visapult.WithViewAngle(*angleDeg*math.Pi/180),
+		visapult.WithFollowView(),
+		visapult.WithInstrumentation(),
+		visapult.WithRenderLoop(),
+	)
+	if err != nil {
+		fatal(err)
+	}
 
 	fmt.Printf("visapult: %d PEs, %d timesteps, %s mode, %s transport, %dx%dx%d grid\n",
 		*pes, *steps, m, tr, 640 / *scale, 256 / *scale, 256 / *scale)
 
-	res, err := core.RunSession(core.SessionConfig{
-		PEs:         *pes,
-		Timesteps:   *steps,
-		Mode:        m,
-		Source:      src,
-		Transport:   tr,
-		StripeLanes: *lanes,
-		ViewAngle:   *angleDeg * math.Pi / 180,
-		FollowView:  true,
-		Instrument:  true,
-		RenderLoop:  true,
-	})
+	// Ctrl-C (or the -timeout deadline) cancels the run cleanly.
+	ctx, cancel := visapult.Deadline(context.Background(), *timeout)
+	defer cancel()
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt)
+	defer stop()
+
+	res, err := p.Run(ctx)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "visapult: %v\n", err)
-		os.Exit(1)
+		fatal(err)
 	}
 
 	fmt.Printf("back end : %d frames, loaded %d bytes, sent %d bytes, mean load %v, mean render %v\n",
 		res.Backend.Frames, res.Backend.BytesIn, res.Backend.BytesOut,
-		res.Backend.MeanLoad().Round(1e6), res.Backend.MeanRender().Round(1e6))
+		res.Backend.MeanLoad().Round(time.Millisecond), res.Backend.MeanRender().Round(time.Millisecond))
 	fmt.Printf("viewer   : %d payloads, %d frames completed, %d renders\n",
 		res.Viewer.PayloadsReceived, res.Viewer.FramesCompleted, res.Viewer.RenderedFrames)
 	fmt.Printf("pipeline : %.1fx traffic reduction between data source and viewer\n", res.TrafficRatio())
-	fmt.Printf("elapsed  : %v\n", res.Elapsed.Round(1e6))
+	fmt.Printf("elapsed  : %v\n", res.Elapsed.Round(time.Millisecond))
 
 	if res.FinalImage != nil {
-		f, err := os.Create(*out)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "visapult: %v\n", err)
-			os.Exit(1)
+		if err := visapult.WritePPM(*out, res.FinalImage); err != nil {
+			fatal(err)
 		}
-		if err := res.FinalImage.WritePPM(f); err != nil {
-			fmt.Fprintf(os.Stderr, "visapult: writing %s: %v\n", *out, err)
-			os.Exit(1)
-		}
-		f.Close()
 		fmt.Printf("view     : wrote %s (%dx%d)\n", *out, res.FinalImage.W, res.FinalImage.H)
 	}
 
 	if *logOut != "" && len(res.Events) > 0 {
-		f, err := os.Create(*logOut)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "visapult: %v\n", err)
-			os.Exit(1)
+		if err := visapult.WriteULM(*logOut, res.Events); err != nil {
+			fatal(err)
 		}
-		c := netlogger.NewCollector()
-		c.Add(res.Events...)
-		if err := c.WriteULM(f); err != nil {
-			fmt.Fprintf(os.Stderr, "visapult: writing %s: %v\n", *logOut, err)
-			os.Exit(1)
-		}
-		f.Close()
 		fmt.Printf("netlog   : wrote %d events to %s\n", len(res.Events), *logOut)
 	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "visapult: %v\n", err)
+	os.Exit(1)
 }

@@ -1,0 +1,83 @@
+// Command visapultd serves many concurrent Visapult pipelines from one
+// process: a visapult.Manager behind an HTTP control plane. Backends create
+// named runs with a JSON spec, start and cancel them, poll status, and
+// stream live per-frame metrics over server-sent events while a bounded
+// worker pool executes the pipelines.
+//
+// Usage:
+//
+//	visapultd -listen 127.0.0.1:9600 -workers 4
+//
+// Endpoints:
+//
+//	GET    /healthz                   liveness probe
+//	GET    /api/runs                  list runs
+//	POST   /api/runs                  create a run (JSON spec; "start":true launches it)
+//	GET    /api/runs/{name}           run status
+//	POST   /api/runs/{name}/start     queue the run on the worker pool
+//	POST   /api/runs/{name}/cancel    cancel the run
+//	DELETE /api/runs/{name}           remove a finished run
+//	GET    /api/runs/{name}/result    summary of a completed run
+//	GET    /api/runs/{name}/metrics   per-frame metrics snapshot
+//	GET    /api/runs/{name}/stream    live per-frame metrics (SSE)
+//
+// Example:
+//
+//	curl -X POST localhost:9600/api/runs -d '{
+//	  "name": "demo", "start": true,
+//	  "source": {"kind": "combustion", "nx": 80, "ny": 32, "nz": 32, "timesteps": 4},
+//	  "pes": 4, "mode": "overlapped", "transport": "tcp", "instrument": true
+//	}'
+//	curl localhost:9600/api/runs/demo/stream
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"visapult/pkg/visapult"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:9600", "address to serve the HTTP API on")
+	workers := flag.Int("workers", 4, "maximum pipelines executing concurrently")
+	flag.Parse()
+
+	mgr := visapult.NewManager(*workers)
+	srv := &http.Server{Addr: *listen, Handler: newServer(mgr).handler()}
+
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Printf("visapultd: serving on %s (%d workers; ctrl-c to stop)\n", *listen, *workers)
+		errCh <- srv.ListenAndServe()
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	select {
+	case <-stop:
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "visapultd: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Println("visapultd: shutting down")
+	// Close the manager first: it cancels every run and closes their metric
+	// channels, which is what lets open SSE streams end. With the streams
+	// unblocked, Shutdown can actually drain instead of burning its timeout.
+	mgr.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	srv.Shutdown(ctx)
+	fmt.Println("visapultd: stopped")
+}

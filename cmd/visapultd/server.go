@@ -1,0 +1,420 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strings"
+	"time"
+
+	"visapult/pkg/visapult"
+)
+
+// server exposes a visapult.Manager over HTTP: JSON control endpoints for
+// the run lifecycle plus a live per-frame metrics stream (server-sent
+// events), the run-manager shape a backend integrates against.
+type server struct {
+	mgr *visapult.Manager
+}
+
+func newServer(mgr *visapult.Manager) *server { return &server{mgr: mgr} }
+
+// handler builds the route table.
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /api/runs", s.handleList)
+	mux.HandleFunc("POST /api/runs", s.handleCreate)
+	mux.HandleFunc("GET /api/runs/{name}", s.handleStatus)
+	mux.HandleFunc("DELETE /api/runs/{name}", s.handleRemove)
+	mux.HandleFunc("POST /api/runs/{name}/start", s.handleStart)
+	mux.HandleFunc("POST /api/runs/{name}/cancel", s.handleCancel)
+	mux.HandleFunc("GET /api/runs/{name}/result", s.handleResult)
+	mux.HandleFunc("GET /api/runs/{name}/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /api/runs/{name}/stream", s.handleStream)
+	return mux
+}
+
+// runSpec is the JSON shape of a pipeline configuration.
+type runSpec struct {
+	Name   string     `json:"name"`
+	Source sourceSpec `json:"source"`
+	// PEs, Timesteps, Mode, Transport, StripeLanes mirror the facade
+	// options; zero values select the facade defaults.
+	PEs         int    `json:"pes,omitempty"`
+	Timesteps   int    `json:"timesteps,omitempty"`
+	Mode        string `json:"mode,omitempty"`      // serial | overlapped | process-pair
+	Transport   string `json:"transport,omitempty"` // local | tcp | striped
+	StripeLanes int    `json:"stripeLanes,omitempty"`
+	// ViewerBandwidthMbps caps the back-end-to-viewer path (0 = unshaped).
+	ViewerBandwidthMbps float64 `json:"viewerBandwidthMbps,omitempty"`
+	FollowView          bool    `json:"followView,omitempty"`
+	ViewAngleDeg        float64 `json:"viewAngleDeg,omitempty"`
+	Instrument          bool    `json:"instrument,omitempty"`
+	RenderLoop          bool    `json:"renderLoop,omitempty"`
+	// Start launches the run immediately after creation.
+	Start bool `json:"start,omitempty"`
+}
+
+// sourceSpec selects and sizes the data source.
+type sourceSpec struct {
+	Kind      string `json:"kind"` // combustion | cosmology | paper
+	NX        int    `json:"nx,omitempty"`
+	NY        int    `json:"ny,omitempty"`
+	NZ        int    `json:"nz,omitempty"`
+	Timesteps int    `json:"timesteps,omitempty"`
+	Seed      int64  `json:"seed,omitempty"`
+	// Scale divides the paper's 640x256x256 grid for kind "paper".
+	Scale int `json:"scale,omitempty"`
+}
+
+// options translates the spec into facade options.
+func (spec *runSpec) options() ([]visapult.Option, error) {
+	var src visapult.Source
+	switch strings.ToLower(spec.Source.Kind) {
+	case "", "combustion":
+		src = visapult.NewCombustionSource(visapult.CombustionSpec{
+			NX: spec.Source.NX, NY: spec.Source.NY, NZ: spec.Source.NZ,
+			Timesteps: spec.Source.Timesteps, Seed: spec.Source.Seed,
+		})
+	case "cosmology":
+		src = visapult.NewCosmologySource(visapult.CosmologySpec{
+			NX: spec.Source.NX, NY: spec.Source.NY, NZ: spec.Source.NZ,
+			Timesteps: spec.Source.Timesteps, Seed: spec.Source.Seed,
+		})
+	case "paper":
+		scale := spec.Source.Scale
+		if scale <= 0 {
+			scale = 8
+		}
+		src = visapult.NewPaperCombustionSource(scale, spec.Source.Timesteps)
+	default:
+		return nil, fmt.Errorf("unknown source kind %q", spec.Source.Kind)
+	}
+	opts := []visapult.Option{visapult.WithSource(src)}
+
+	if spec.PEs > 0 {
+		opts = append(opts, visapult.WithPEs(spec.PEs))
+	}
+	if spec.Timesteps > 0 {
+		opts = append(opts, visapult.WithTimesteps(spec.Timesteps))
+	}
+	switch strings.ToLower(spec.Mode) {
+	case "", "serial":
+	case "overlapped":
+		opts = append(opts, visapult.WithMode(visapult.Overlapped))
+	case "process-pair":
+		opts = append(opts, visapult.WithMode(visapult.OverlappedProcessPair))
+	default:
+		return nil, fmt.Errorf("unknown mode %q", spec.Mode)
+	}
+	switch strings.ToLower(spec.Transport) {
+	case "", "local":
+	case "tcp":
+		opts = append(opts, visapult.WithTransport(visapult.TransportTCP))
+	case "striped":
+		opts = append(opts, visapult.WithTransport(visapult.TransportStriped))
+	default:
+		return nil, fmt.Errorf("unknown transport %q", spec.Transport)
+	}
+	if spec.StripeLanes > 0 {
+		opts = append(opts, visapult.WithStripeLanes(spec.StripeLanes))
+	}
+	if spec.ViewerBandwidthMbps > 0 {
+		opts = append(opts, visapult.WithViewerBandwidth(spec.ViewerBandwidthMbps*1e6))
+	}
+	if spec.FollowView {
+		opts = append(opts, visapult.WithFollowView())
+	}
+	if spec.ViewAngleDeg != 0 {
+		opts = append(opts, visapult.WithViewAngle(spec.ViewAngleDeg*math.Pi/180))
+	}
+	if spec.Instrument {
+		opts = append(opts, visapult.WithInstrumentation())
+	}
+	if spec.RenderLoop {
+		opts = append(opts, visapult.WithRenderLoop())
+	}
+	return opts, nil
+}
+
+// statusJSON is the wire shape of a run status.
+type statusJSON struct {
+	Name       string `json:"name"`
+	State      string `json:"state"`
+	Error      string `json:"error,omitempty"`
+	FramesSent int    `json:"framesSent"`
+	Created    string `json:"created,omitempty"`
+	Started    string `json:"started,omitempty"`
+	Finished   string `json:"finished,omitempty"`
+}
+
+func toStatusJSON(st visapult.RunStatus) statusJSON {
+	fmtTime := func(t time.Time) string {
+		if t.IsZero() {
+			return ""
+		}
+		return t.UTC().Format(time.RFC3339Nano)
+	}
+	return statusJSON{
+		Name:       st.Name,
+		State:      st.State.String(),
+		Error:      st.Error,
+		FramesSent: st.FramesSent,
+		Created:    fmtTime(st.Created),
+		Started:    fmtTime(st.Started),
+		Finished:   fmtTime(st.Finished),
+	}
+}
+
+// metricJSON is the wire shape of one per-frame metric.
+type metricJSON struct {
+	Frame       int     `json:"frame"`
+	PE          int     `json:"pe"`
+	LoadMs      float64 `json:"loadMs"`
+	RenderMs    float64 `json:"renderMs"`
+	SendMs      float64 `json:"sendMs"`
+	BytesLoaded int64   `json:"bytesLoaded"`
+	BytesSent   int64   `json:"bytesSent"`
+}
+
+func toMetricJSON(fm visapult.FrameMetric) metricJSON {
+	return metricJSON{
+		Frame:       fm.Frame,
+		PE:          fm.PE,
+		LoadMs:      float64(fm.Load) / float64(time.Millisecond),
+		RenderMs:    float64(fm.Render) / float64(time.Millisecond),
+		SendMs:      float64(fm.Send) / float64(time.Millisecond),
+		BytesLoaded: fm.BytesLoaded,
+		BytesSent:   fm.BytesSent,
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// errorCode maps manager errors onto HTTP statuses.
+func errorCode(err error) int {
+	switch {
+	case errors.Is(err, visapult.ErrUnknownRun):
+		return http.StatusNotFound
+	case errors.Is(err, visapult.ErrRunExists),
+		errors.Is(err, visapult.ErrRunNotPending),
+		errors.Is(err, visapult.ErrRunActive),
+		errors.Is(err, visapult.ErrNoResult):
+		return http.StatusConflict
+	case errors.Is(err, visapult.ErrManagerClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+func (s *server) handleList(w http.ResponseWriter, r *http.Request) {
+	statuses := s.mgr.List()
+	out := make([]statusJSON, len(statuses))
+	for i, st := range statuses {
+		out[i] = toStatusJSON(st)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"runs": out})
+}
+
+func (s *server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var spec runSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding run spec: %w", err))
+		return
+	}
+	if spec.Name == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("run name is required"))
+		return
+	}
+	opts, err := spec.options()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.mgr.Create(spec.Name, opts...); err != nil {
+		writeError(w, errorCode(err), err)
+		return
+	}
+	if spec.Start {
+		if err := s.mgr.Start(spec.Name); err != nil {
+			writeError(w, errorCode(err), err)
+			return
+		}
+	}
+	st, err := s.mgr.Status(spec.Name)
+	if err != nil {
+		writeError(w, errorCode(err), err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, toStatusJSON(st))
+}
+
+func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st, err := s.mgr.Status(r.PathValue("name"))
+	if err != nil {
+		writeError(w, errorCode(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, toStatusJSON(st))
+}
+
+func (s *server) handleStart(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := s.mgr.Start(name); err != nil {
+		writeError(w, errorCode(err), err)
+		return
+	}
+	st, _ := s.mgr.Status(name)
+	writeJSON(w, http.StatusOK, toStatusJSON(st))
+}
+
+func (s *server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := s.mgr.Cancel(name); err != nil {
+		writeError(w, errorCode(err), err)
+		return
+	}
+	st, _ := s.mgr.Status(name)
+	writeJSON(w, http.StatusOK, toStatusJSON(st))
+}
+
+func (s *server) handleRemove(w http.ResponseWriter, r *http.Request) {
+	if err := s.mgr.Remove(r.PathValue("name")); err != nil {
+		writeError(w, errorCode(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"removed": true})
+}
+
+func (s *server) handleResult(w http.ResponseWriter, r *http.Request) {
+	res, err := s.mgr.Result(r.PathValue("name"))
+	if err != nil {
+		writeError(w, errorCode(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"frames":           res.Backend.Frames,
+		"pes":              res.Backend.PEs,
+		"mode":             res.Backend.Mode.String(),
+		"bytesIn":          res.Backend.BytesIn,
+		"bytesOut":         res.Backend.BytesOut,
+		"trafficRatio":     res.TrafficRatio(),
+		"axisFlips":        res.Backend.AxisFlips,
+		"framesCompleted":  res.Viewer.FramesCompleted,
+		"payloadsReceived": res.Viewer.PayloadsReceived,
+		"elapsedMs":        float64(res.Elapsed) / float64(time.Millisecond),
+		"events":           len(res.Events),
+	})
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	metrics, err := s.mgr.Metrics(r.PathValue("name"))
+	if err != nil {
+		writeError(w, errorCode(err), err)
+		return
+	}
+	out := make([]metricJSON, len(metrics))
+	for i, fm := range metrics {
+		out[i] = toMetricJSON(fm)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"metrics": out})
+}
+
+// handleStream serves per-frame metrics as server-sent events: one "metric"
+// event per (PE, timestep) as the pipeline produces them, then a final
+// "status" event when the run reaches a terminal state.
+func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	ch, cancel, err := s.mgr.Subscribe(name)
+	if err != nil {
+		writeError(w, errorCode(err), err)
+		return
+	}
+	defer cancel()
+
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("streaming unsupported"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	send := func(event string, v any) bool {
+		data, err := json.Marshal(v)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data); err != nil {
+			return false
+		}
+		flusher.Flush()
+		return true
+	}
+
+	// Replay what already happened so late subscribers see the whole run.
+	// Frames recorded between Subscribe and the snapshot arrive on both
+	// paths; the (frame, PE) key — unique per run — deduplicates them.
+	seen := make(map[[2]int]bool)
+	if snapshot, err := s.mgr.Metrics(name); err == nil {
+		for _, fm := range snapshot {
+			seen[[2]int{fm.Frame, fm.PE}] = true
+			if !send("metric", toMetricJSON(fm)) {
+				return
+			}
+		}
+	}
+	for {
+		select {
+		case fm, ok := <-ch:
+			if !ok { // run finished
+				// Backfill anything the bounded subscriber buffer dropped
+				// during bursts, so the stream's metric events always add
+				// up to the final status's FramesSent.
+				if snapshot, err := s.mgr.Metrics(name); err == nil {
+					for _, fm := range snapshot {
+						key := [2]int{fm.Frame, fm.PE}
+						if seen[key] {
+							continue
+						}
+						seen[key] = true
+						if !send("metric", toMetricJSON(fm)) {
+							return
+						}
+					}
+				}
+				if st, err := s.mgr.Status(name); err == nil {
+					send("status", toStatusJSON(st))
+				}
+				return
+			}
+			key := [2]int{fm.Frame, fm.PE}
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			if !send("metric", toMetricJSON(fm)) {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

@@ -1,0 +1,258 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"visapult/pkg/visapult"
+)
+
+func newTestServer(t *testing.T, workers int) (*httptest.Server, *visapult.Manager) {
+	t.Helper()
+	mgr := visapult.NewManager(workers)
+	t.Cleanup(mgr.Close)
+	ts := httptest.NewServer(newServer(mgr).handler())
+	t.Cleanup(ts.Close)
+	return ts, mgr
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decode[T any](t *testing.T, resp *http.Response) T {
+	t.Helper()
+	defer resp.Body.Close()
+	var v T
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// smallSpec is a run spec that completes in well under a second.
+func smallSpec(name string, start bool) runSpec {
+	return runSpec{
+		Name:   name,
+		Source: sourceSpec{Kind: "combustion", NX: 24, NY: 16, NZ: 16, Timesteps: 2, Seed: 7},
+		PEs:    2, Mode: "overlapped", Transport: "local",
+		Start: start,
+	}
+}
+
+func waitState(t *testing.T, url, name, want string) statusJSON {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(url + "/api/runs/" + name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := decode[statusJSON](t, resp)
+		if st.State == want {
+			return st
+		}
+		if st.State == "failed" && want != "failed" {
+			t.Fatalf("run %s failed: %s", name, st.Error)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("run %s never reached state %q", name, want)
+	return statusJSON{}
+}
+
+func TestCreateStartAndComplete(t *testing.T) {
+	ts, _ := newTestServer(t, 2)
+
+	resp := postJSON(t, ts.URL+"/api/runs", smallSpec("demo", true))
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: got %d", resp.StatusCode)
+	}
+	st := decode[statusJSON](t, resp)
+	if st.Name != "demo" {
+		t.Fatalf("created run named %q", st.Name)
+	}
+
+	final := waitState(t, ts.URL, "demo", "done")
+	if final.FramesSent != 2*2 { // PEs x timesteps
+		t.Errorf("framesSent = %d, want 4", final.FramesSent)
+	}
+
+	// Result summary.
+	resp, err := http.Get(ts.URL + "/api/runs/demo/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := decode[map[string]any](t, resp)
+	if res["frames"].(float64) != 2 {
+		t.Errorf("result frames = %v, want 2", res["frames"])
+	}
+	if res["trafficRatio"].(float64) <= 1 {
+		t.Errorf("traffic ratio %v not > 1", res["trafficRatio"])
+	}
+
+	// Metrics snapshot.
+	resp, err = http.Get(ts.URL + "/api/runs/demo/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := decode[map[string][]metricJSON](t, resp)
+	if len(metrics["metrics"]) != 4 {
+		t.Errorf("metrics snapshot has %d entries, want 4", len(metrics["metrics"]))
+	}
+
+	// Remove.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/api/runs/demo", nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("remove: got %d", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/api/runs/demo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status after remove: got %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestCreateValidation(t *testing.T) {
+	ts, _ := newTestServer(t, 1)
+
+	for _, tc := range []struct {
+		name string
+		spec runSpec
+		code int
+	}{
+		{"missing name", runSpec{Source: sourceSpec{Kind: "combustion"}}, http.StatusBadRequest},
+		{"bad source", runSpec{Name: "x", Source: sourceSpec{Kind: "noexist"}}, http.StatusBadRequest},
+		{"bad mode", runSpec{Name: "x", Mode: "warp", Source: sourceSpec{Kind: "combustion"}}, http.StatusBadRequest},
+		{"bad transport", runSpec{Name: "x", Transport: "pigeon", Source: sourceSpec{Kind: "combustion"}}, http.StatusBadRequest},
+	} {
+		resp := postJSON(t, ts.URL+"/api/runs", tc.spec)
+		resp.Body.Close()
+		if resp.StatusCode != tc.code {
+			t.Errorf("%s: got %d, want %d", tc.name, resp.StatusCode, tc.code)
+		}
+	}
+
+	// Duplicate names conflict.
+	resp := postJSON(t, ts.URL+"/api/runs", smallSpec("dup", false))
+	resp.Body.Close()
+	resp = postJSON(t, ts.URL+"/api/runs", smallSpec("dup", false))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("duplicate create: got %d, want 409", resp.StatusCode)
+	}
+}
+
+func TestListAndConcurrentRuns(t *testing.T) {
+	ts, _ := newTestServer(t, 4)
+
+	const n = 4
+	for i := 0; i < n; i++ {
+		resp := postJSON(t, ts.URL+"/api/runs", smallSpec(fmt.Sprintf("run-%d", i), true))
+		resp.Body.Close()
+	}
+	for i := 0; i < n; i++ {
+		waitState(t, ts.URL, fmt.Sprintf("run-%d", i), "done")
+	}
+	resp, err := http.Get(ts.URL + "/api/runs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	list := decode[map[string][]statusJSON](t, resp)
+	if len(list["runs"]) != n {
+		t.Fatalf("list has %d runs, want %d", len(list["runs"]), n)
+	}
+	for _, st := range list["runs"] {
+		if st.State != "done" {
+			t.Errorf("run %s in state %s, want done", st.Name, st.State)
+		}
+	}
+}
+
+func TestCancelQueuedRun(t *testing.T) {
+	// One worker, so a second started run waits in the queue where Cancel
+	// can catch it.
+	ts, _ := newTestServer(t, 1)
+
+	// A paper-scale source keeps the hog busy for many seconds — long enough
+	// that both cancels land while it still occupies the only worker.
+	slow := runSpec{
+		Name:   "hog",
+		Source: sourceSpec{Kind: "paper", Scale: 2, Timesteps: 8},
+		PEs:    2, Mode: "serial", Transport: "local", Start: true,
+	}
+	resp := postJSON(t, ts.URL+"/api/runs", slow)
+	resp.Body.Close()
+	resp = postJSON(t, ts.URL+"/api/runs", smallSpec("queued", true))
+	resp.Body.Close()
+
+	resp = postJSON(t, ts.URL+"/api/runs/queued/cancel", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel: got %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	waitState(t, ts.URL, "queued", "canceled")
+
+	// Cancelling the running hog aborts it mid-run through its context.
+	resp = postJSON(t, ts.URL+"/api/runs/hog/cancel", nil)
+	resp.Body.Close()
+	waitState(t, ts.URL, "hog", "canceled")
+}
+
+func TestMetricsStream(t *testing.T) {
+	ts, _ := newTestServer(t, 2)
+
+	resp := postJSON(t, ts.URL+"/api/runs", smallSpec("streamed", true))
+	resp.Body.Close()
+
+	resp, err := http.Get(ts.URL + "/api/runs/streamed/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("stream content type %q", ct)
+	}
+
+	var metricEvents, statusEvents int
+	scanner := bufio.NewScanner(resp.Body)
+	for scanner.Scan() {
+		line := scanner.Text()
+		switch {
+		case strings.HasPrefix(line, "event: metric"):
+			metricEvents++
+		case strings.HasPrefix(line, "event: status"):
+			statusEvents++
+		}
+	}
+	if metricEvents != 4 { // 2 PEs x 2 timesteps, deduplicated
+		t.Errorf("stream carried %d metric events, want 4", metricEvents)
+	}
+	if statusEvents != 1 {
+		t.Errorf("stream carried %d status events, want 1", statusEvents)
+	}
+}

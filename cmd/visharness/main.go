@@ -19,7 +19,7 @@ import (
 	"os"
 	"strings"
 
-	"visapult/internal/core"
+	"visapult/pkg/visapult"
 )
 
 func main() {
@@ -27,7 +27,7 @@ func main() {
 	list := flag.Bool("list", false, "list available experiments and exit")
 	flag.Parse()
 
-	experiments := append(core.Experiments(), core.Extensions()...)
+	experiments := append(visapult.Experiments(), visapult.Extensions()...)
 	if *list {
 		for _, e := range experiments {
 			fmt.Printf("%-4s %s\n", e.ID, e.Title)

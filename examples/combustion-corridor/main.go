@@ -12,20 +12,18 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"visapult/internal/backend"
-	"visapult/internal/core"
-	"visapult/internal/datagen"
-	"visapult/internal/dpss"
-	"visapult/internal/netlogger"
-	"visapult/internal/netsim"
-	"visapult/internal/stats"
-	"visapult/internal/volume"
+	"visapult/pkg/visapult"
+	"visapult/pkg/visapult/dpss"
+	"visapult/pkg/visapult/netlog"
 )
 
 func main() {
+	ctx := context.Background()
+
 	// --- Part 1: a real, miniaturized corridor -----------------------------
 	// Scaled-down grid so the example finishes in seconds; the data path and
 	// code are identical to a full-scale run.
@@ -39,9 +37,9 @@ func main() {
 	// bucket shared by every server models the bottleneck. The rate is scaled
 	// with the data so the example shows WAN-bound loads without taking
 	// minutes.
-	wan := netsim.NTON
+	wan := visapult.NTON
 	wan.Bandwidth = 200e6 // a scaled-down "OC-12" for the miniature dataset
-	shaper := netsim.ShaperForLink(wan)
+	shaper := visapult.ShaperForLink(wan)
 
 	cluster, err := dpss.StartCluster(dpss.ClusterConfig{Servers: 4, DisksPerServer: 4, ServerShaper: shaper})
 	if err != nil {
@@ -52,22 +50,18 @@ func main() {
 	// Stage the synthetic combustion timesteps into the cache (the paper's
 	// HPSS-to-DPSS migration step).
 	loaderClient := cluster.NewClient()
-	gen := datagen.NewCombustion(datagen.CombustionConfig{NX: nx, NY: ny, NZ: nz, Timesteps: steps, Seed: 2000})
-	for t := 0; t < steps; t++ {
-		name := dpss.TimestepDatasetName("combustion", t)
-		if _, err := cluster.LoadVolume(loaderClient, name, gen.Generate(t), dpss.DefaultBlockSize); err != nil {
-			log.Fatal(err)
-		}
+	if _, _, err := dpss.StageCombustion(loaderClient, "combustion", nx, ny, nz, steps, dpss.DefaultBlockSize, 2000); err != nil {
+		log.Fatal(err)
 	}
 	loaderClient.Close()
 	fmt.Printf("staged %d timesteps (%s each) on a 4-server DPSS behind a shared %s link\n",
-		steps, stats.HumanBytes(int64(nx*ny*nz*4)), wan.Name)
+		steps, visapult.HumanBytes(int64(nx*ny*nz*4)), wan.Name)
 
 	// The back end reads its slabs from the cache through the block-level
 	// client API.
 	client := cluster.NewClient()
 	defer client.Close()
-	src, err := backend.NewDPSSSource(client, "combustion", nx, ny, nz, steps)
+	src, err := visapult.NewDPSSSource(client, "combustion", nx, ny, nz, steps)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -76,26 +70,30 @@ func main() {
 	// Slabs along Z match the file's storage order, so each PE's load is one
 	// contiguous block-aligned range — the access pattern the DPSS serves
 	// best.
-	res, err := core.RunSession(core.SessionConfig{
-		PEs:        pes,
-		Mode:       backend.Overlapped,
-		Axis:       volume.AxisZ,
-		Source:     src,
-		Transport:  core.TransportTCP,
-		Instrument: true,
-	})
+	p, err := visapult.New(
+		visapult.WithSource(src),
+		visapult.WithPEs(pes),
+		visapult.WithMode(visapult.Overlapped),
+		visapult.WithAxis(visapult.AxisZ),
+		visapult.WithTransport(visapult.TransportTCP),
+		visapult.WithInstrumentation(),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	a := netlogger.Analyze(res.Events)
-	load := a.SummarizePhase(netlogger.BELoadStart, netlogger.BELoadEnd)
+	res, err := p.Run(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	a := netlog.Analyze(res.Events)
+	load := a.SummarizePhase(netlog.BELoadStart, netlog.BELoadEnd)
 	fmt.Printf("real run : %d frames on %d PEs, per-PE load mean %v, aggregate %s loaded in %v\n",
-		res.Backend.Frames, pes, load.Mean.Round(1e6), stats.HumanBytes(res.Backend.BytesIn), res.Elapsed.Round(1e6))
+		res.Backend.Frames, pes, load.Mean.Round(1e6), visapult.HumanBytes(res.Backend.BytesIn), res.Elapsed.Round(1e6))
 	fmt.Printf("           viewer received %s (%.1fx reduction)\n",
-		stats.HumanBytes(res.Backend.BytesOut), res.TrafficRatio())
+		visapult.HumanBytes(res.Backend.BytesOut), res.TrafficRatio())
 
 	// --- Part 2: the same campaign at paper scale, on the virtual clock ----
-	sim, err := core.FirstLightCampaign().Run()
+	sim, err := visapult.FirstLightCampaign().Run(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -16,41 +16,38 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"runtime"
 	"time"
 
-	"visapult/internal/backend"
-	"visapult/internal/netsim"
-	"visapult/internal/platform"
-	"visapult/internal/transfer"
-	"visapult/internal/volume"
-
-	"visapult/internal/core"
+	"visapult/pkg/visapult"
 )
 
 // slowSource injects a fixed delay in front of every load, standing in for a
-// bandwidth-limited WAN between the DPSS and the back end.
+// bandwidth-limited WAN between the DPSS and the back end. Wrapping another
+// Source is all it takes to plug into the pipeline.
 type slowSource struct {
-	backend.DataSource
+	visapult.Source
 	delay time.Duration
 }
 
-func (s *slowSource) LoadRegion(t int, r volume.Region) (*volume.Volume, int64, error) {
+func (s *slowSource) LoadRegion(t int, r visapult.Region) (*visapult.Volume, int64, error) {
 	time.Sleep(s.delay)
-	return s.DataSource.LoadRegion(t, r)
+	return s.Source.LoadRegion(t, r)
 }
 
 func main() {
+	ctx := context.Background()
 	const steps = 6
 	const loadDelay = 10 * time.Millisecond
 
 	// A volume big enough that software rendering takes a comparable time to
 	// the injected load delay, so L ~= R — the regime where overlap helps most.
-	vols := make([]*volume.Volume, steps)
+	vols := make([]*visapult.Volume, steps)
 	for i := range vols {
-		v := volume.MustNew(192, 192, 96)
+		v := visapult.NewVolume(192, 192, 96)
 		for z := 0; z < v.NZ; z++ {
 			for y := 0; y < v.NY; y++ {
 				for x := 0; x < v.NX; x++ {
@@ -60,29 +57,32 @@ func main() {
 		}
 		vols[i] = v
 	}
-	mem, err := backend.NewMemorySource(vols...)
+	mem, err := visapult.NewMemorySource(vols...)
 	if err != nil {
 		log.Fatal(err)
 	}
-	src := &slowSource{DataSource: mem, delay: loadDelay}
+	src := &slowSource{Source: mem, delay: loadDelay}
 
-	run := func(mode backend.Mode) backend.RunStats {
-		be, err := backend.New(backend.Config{
-			PEs: 1, Source: src, Mode: mode, Sinks: []backend.FrameSink{&backend.NullSink{}},
-		})
+	run := func(mode visapult.Mode) visapult.RunStats {
+		p, err := visapult.New(
+			visapult.WithSource(src),
+			visapult.WithPEs(1),
+			visapult.WithMode(mode),
+			visapult.WithoutViewer(), // measure only the load/render pipeline
+		)
 		if err != nil {
 			log.Fatal(err)
 		}
-		st, err := be.Run()
+		res, err := p.Run(ctx)
 		if err != nil {
 			log.Fatal(err)
 		}
-		return st
+		return res.Backend
 	}
 
 	fmt.Printf("1. real back end on this machine (%d CPUs, sleep-shaped loads):\n", runtime.NumCPU())
-	serial := run(backend.Serial)
-	over := run(backend.Overlapped)
+	serial := run(visapult.Serial)
+	over := run(visapult.Overlapped)
 	measured := float64(serial.Elapsed) / float64(over.Elapsed)
 	fmt.Printf("   serial     : %v  (mean L %v, mean R %v)\n",
 		serial.Elapsed.Round(time.Millisecond), serial.MeanLoad().Round(time.Millisecond), serial.MeanRender().Round(time.Millisecond))
@@ -91,9 +91,9 @@ func main() {
 
 	l, r := serial.MeanLoad(), serial.MeanRender()+serial.MeanSend()
 	fmt.Printf("   model      : Ts=%v To=%v -> %.2fx predicted (ideal 2N/(N+1) = %.2fx)\n",
-		transfer.SerialTime(steps, l, r).Round(time.Millisecond),
-		transfer.OverlappedTime(steps, l, r).Round(time.Millisecond),
-		transfer.Speedup(steps, l, r), transfer.IdealSpeedup(steps))
+		visapult.SerialTime(steps, l, r).Round(time.Millisecond),
+		visapult.OverlappedTime(steps, l, r).Round(time.Millisecond),
+		visapult.Speedup(steps, l, r), visapult.IdealSpeedup(steps))
 	// The paper's section 4.4.1 lesson reproduces itself on small hosts: when
 	// the reader and the renderer share one CPU, the overlap benefit shrinks
 	// (and load times inflate), exactly as on CPlant's single-CPU nodes.
@@ -109,28 +109,28 @@ func main() {
 	for _, ratio := range []float64{0.25, 0.5, 1, 2, 4} {
 		renderSec := 10.0
 		loadSec := renderSec * ratio
-		plat := platform.Platform{
-			Name: "sweep", Kind: platform.SMP, Nodes: 1, CPUsPerNode: 2,
-			RenderSecPerMVoxel: renderSec, NIC: netsim.GigE,
+		plat := visapult.Platform{
+			Name: "sweep", Kind: visapult.SMPPlatform, Nodes: 1, CPUsPerNode: 2,
+			RenderSecPerMVoxel: renderSec, NIC: visapult.GigE,
 		}
-		mk := func(mode backend.Mode) *core.CampaignResult {
-			res, err := (core.Campaign{
+		mk := func(mode visapult.Mode) *visapult.CampaignResult {
+			res, err := (visapult.Campaign{
 				Name: "sweep", Platform: plat, PEs: 1, Mode: mode, Timesteps: 10,
 				FrameBytes: int64(loadSec * 100e6 / 8),
 				VolumeDims: [3]int{100, 100, 100},
-				DataPath:   netsim.NewPath("sweep", netsim.Link{Name: "100Mbps", Bandwidth: 100e6, MTU: 1500}),
-			}).Run()
+				DataPath:   visapult.NewPath("sweep", visapult.Link{Name: "100Mbps", Bandwidth: 100e6, MTU: 1500}),
+			}).Run(ctx)
 			if err != nil {
 				log.Fatal(err)
 			}
 			return res
 		}
-		s, o := mk(backend.Serial), mk(backend.Overlapped)
+		s, o := mk(visapult.Serial), mk(visapult.Overlapped)
 		lDur := time.Duration(loadSec * float64(time.Second))
 		rDur := time.Duration(renderSec * float64(time.Second))
 		fmt.Printf("   %-5.2f  %-10v  %-10v  %.2fx    %.2fx\n",
 			ratio, s.Total.Round(time.Second), o.Total.Round(time.Second),
-			float64(s.Total)/float64(o.Total), transfer.Speedup(10, lDur, rDur))
+			float64(s.Total)/float64(o.Total), visapult.Speedup(10, lDur, rDur))
 	}
 	fmt.Println("\n   overlap pays the most when L and R are balanced; when one side dominates,")
 	fmt.Println("   the pipeline is bound by it and the two modes converge — exactly section 4.3.")

@@ -8,33 +8,35 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
-	"os"
 
-	"visapult/internal/backend"
-	"visapult/internal/core"
-	"visapult/internal/datagen"
-	"visapult/internal/netlogger"
+	"visapult/pkg/visapult"
+	"visapult/pkg/visapult/netlog"
 )
 
 func main() {
 	// A reduced-resolution stand-in for the paper's 640x256x256 combustion
-	// dataset (use scale 1 for the full 160 MB-per-timestep grid).
-	gen := datagen.NewCombustion(datagen.CombustionConfig{
+	// dataset (use NewPaperCombustionSource(1, ...) for the full 160
+	// MB-per-timestep grid).
+	src := visapult.NewCombustionSource(visapult.CombustionSpec{
 		NX: 80, NY: 32, NZ: 32, Timesteps: 4, Seed: 2000,
 	})
-	src := backend.NewSyntheticSource(gen)
 
-	res, err := core.RunSession(core.SessionConfig{
-		PEs:        4,                  // four processing elements, like the first-light campaign
-		Mode:       backend.Overlapped, // load timestep t+1 while rendering timestep t
-		Source:     src,
-		Transport:  core.TransportTCP, // real sockets, one connection per PE
-		FollowView: true,              // viewer steers the slab axis (IBRAVR axis switching)
-		Instrument: true,              // NetLogger events for NLV-style analysis
-		RenderLoop: true,              // decoupled viewer render thread
-	})
+	p, err := visapult.New(
+		visapult.WithSource(src),
+		visapult.WithPEs(4),                           // four processing elements, like the first-light campaign
+		visapult.WithMode(visapult.Overlapped),        // load timestep t+1 while rendering timestep t
+		visapult.WithTransport(visapult.TransportTCP), // real sockets, one connection per PE
+		visapult.WithFollowView(),                     // viewer steers the slab axis (IBRAVR axis switching)
+		visapult.WithInstrumentation(),                // NetLogger events for NLV-style analysis
+		visapult.WithRenderLoop(),                     // decoupled viewer render thread
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := p.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -49,20 +51,15 @@ func main() {
 
 	// The session captured the same event vocabulary the paper's NLV plots
 	// use; summarize the per-phase timings.
-	a := netlogger.Analyze(res.Events)
-	load := a.SummarizePhase(netlogger.BELoadStart, netlogger.BELoadEnd)
-	render := a.SummarizePhase(netlogger.BERenderStart, netlogger.BERenderEnd)
+	a := netlog.Analyze(res.Events)
+	load := a.SummarizePhase(netlog.BELoadStart, netlog.BELoadEnd)
+	render := a.SummarizePhase(netlog.BERenderStart, netlog.BERenderEnd)
 	fmt.Printf("  phases   : load mean %v, render mean %v (from %d NetLogger events)\n",
 		load.Mean, render.Mean, len(res.Events))
 
 	// Write the viewer's final composited image.
 	if res.FinalImage != nil {
-		f, err := os.Create("quickstart.ppm")
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer f.Close()
-		if err := res.FinalImage.WritePPM(f); err != nil {
+		if err := visapult.WritePPM("quickstart.ppm", res.FinalImage); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Println("  image    : wrote quickstart.ppm")

@@ -13,28 +13,27 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"visapult/internal/backend"
-	"visapult/internal/core"
-	"visapult/internal/datagen"
-	"visapult/internal/netlogger"
-	"visapult/internal/render"
+	"visapult/pkg/visapult"
+	"visapult/pkg/visapult/netlog"
 )
 
 func main() {
+	ctx := context.Background()
 	fmt.Println("SC99 research exhibit (Figure 8)")
 
 	// --- The two SC99 corridors at paper scale, on the virtual clock -------
-	corridors := []core.Campaign{
-		core.SC99CPlantCampaign(),    // LBL DPSS -> SNL CPlant over NTON
-		core.SC99ShowFloorCampaign(), // LBL DPSS -> LBL booth cluster over NTON + SciNet
+	corridors := []visapult.Campaign{
+		visapult.SC99CPlantCampaign(),    // LBL DPSS -> SNL CPlant over NTON
+		visapult.SC99ShowFloorCampaign(), // LBL DPSS -> LBL booth cluster over NTON + SciNet
 	}
 	paper := []string{"250 Mbps", "150 Mbps"}
-	var showFloor *core.CampaignResult
+	var showFloor *visapult.CampaignResult
 	for i, c := range corridors {
-		res, err := c.Run()
+		res, err := c.Run(ctx)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -45,9 +44,9 @@ func main() {
 	// An excerpt of the NLV lifeline for the show-floor corridor, the moral
 	// equivalent of the paper's profile figures.
 	fmt.Println("\nNLV lifelines for the show-floor corridor (first frames):")
-	plot := netlogger.RenderNLV(showFloor.Events, netlogger.NLVOptions{
+	plot := netlog.RenderNLV(showFloor.Events, netlog.NLVOptions{
 		Width:    96,
-		TagOrder: append(append([]string{}, netlogger.BackEndTags...), netlogger.ViewerTags...),
+		TagOrder: append(append([]string{}, netlog.BackEndTags...), netlog.ViewerTags...),
 	})
 	fmt.Println(plot)
 
@@ -55,16 +54,21 @@ func main() {
 	// Cosmology data volume-rendered with the cool transfer function, striped
 	// sockets between back end and viewer (the SC99 viewer drove an
 	// ImmersaDesk and a tiled display; here the output is a PPM-sized image).
-	gen := datagen.NewCosmology(datagen.CosmologyConfig{NX: 64, NY: 64, NZ: 64, Timesteps: 2, Seed: 99})
-	res, err := core.RunSession(core.SessionConfig{
-		PEs:         8,
-		Mode:        backend.Overlapped,
-		Source:      backend.NewSyntheticSource(gen),
-		TF:          render.DefaultCosmologyTF(),
-		Transport:   core.TransportStriped,
-		StripeLanes: 3,
-		RenderLoop:  true,
-	})
+	p, err := visapult.New(
+		visapult.WithSource(visapult.NewCosmologySource(visapult.CosmologySpec{
+			NX: 64, NY: 64, NZ: 64, Timesteps: 2, Seed: 99,
+		})),
+		visapult.WithPEs(8),
+		visapult.WithMode(visapult.Overlapped),
+		visapult.WithTransferFunction(visapult.CosmologyTF()),
+		visapult.WithTransport(visapult.TransportStriped),
+		visapult.WithStripeLanes(3),
+		visapult.WithRenderLoop(),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := p.Run(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}

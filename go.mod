@@ -1,0 +1,3 @@
+module visapult
+
+go 1.24

@@ -1,6 +1,7 @@
 package backend
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -102,6 +103,11 @@ type Config struct {
 	Sinks []FrameSink
 	// Logger receives NetLogger events; nil disables instrumentation.
 	Logger *netlogger.Logger
+	// OnFrame, when non-nil, is called once per (PE, timestep) as soon as
+	// that PE has finished sending the frame. Run managers use it to stream
+	// live per-frame metrics; it is called from the PE goroutines and must be
+	// safe for concurrent use.
+	OnFrame func(FrameStats)
 	// Grid, when non-nil, builds an AMR hierarchy over each PE's slab and
 	// ships its wireframe with the heavy payload (Figure 3).
 	Grid *amr.Config
@@ -379,22 +385,42 @@ func (b *BackEnd) renderAndSend(rank int, lf loadedFrame) (FrameStats, error) {
 	return fs, nil
 }
 
-// record appends one PE-frame record to the run statistics.
+// record appends one PE-frame record to the run statistics and feeds the
+// OnFrame hook.
 func (b *BackEnd) record(fs FrameStats) {
 	b.mu.Lock()
 	b.perFrame = append(b.perFrame, fs)
 	b.mu.Unlock()
+	if b.cfg.OnFrame != nil {
+		b.cfg.OnFrame(fs)
+	}
 }
 
 // Run executes the back end: one goroutine per PE, a frame barrier between
 // timesteps (the paper's MPI barrier of Figure 18), and — in overlapped mode
-// — one detached reader goroutine per PE. It returns aggregate statistics;
-// the first PE error aborts the run.
-func (b *BackEnd) Run() (RunStats, error) {
+// — one reader goroutine per PE. It returns aggregate statistics; the first
+// PE error aborts the run. Cancelling ctx aborts the run at the next phase
+// boundary: the barrier releases every PE, the reader goroutines are signalled
+// to stop, and Run returns ctx.Err().
+func (b *BackEnd) Run(ctx context.Context) (RunStats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	start := time.Now()
 	b.latchAxis()
 
 	barrier := newCyclicBarrier(b.cfg.PEs, b.latchAxis)
+	// A cancelled context releases every PE blocked at the barrier.
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			barrier.Abort()
+		case <-watchDone:
+		}
+	}()
+
 	errs := make([]error, b.cfg.PEs)
 	var wg sync.WaitGroup
 	for rank := 0; rank < b.cfg.PEs; rank++ {
@@ -402,9 +428,9 @@ func (b *BackEnd) Run() (RunStats, error) {
 		go func(rank int) {
 			defer wg.Done()
 			if b.cfg.Mode.overlapped() {
-				errs[rank] = b.runPEOverlapped(rank, barrier)
+				errs[rank] = b.runPEOverlapped(ctx, rank, barrier)
 			} else {
-				errs[rank] = b.runPESerial(rank, barrier)
+				errs[rank] = b.runPESerial(ctx, rank, barrier)
 			}
 		}(rank)
 	}
@@ -424,17 +450,29 @@ func (b *BackEnd) Run() (RunStats, error) {
 		rs.BytesIn += f.BytesLoaded
 		rs.BytesOut += f.BytesSent
 	}
-	for _, err := range errs {
-		if err != nil {
+	// When a PE failed, a context error outranks it: every PE reports
+	// errAborted once the watcher trips the barrier, which would mask the
+	// cause. A run whose PEs all finished cleanly stays a success even if
+	// ctx expired in the instant after the last frame.
+	for _, peErr := range errs {
+		if peErr == nil {
+			continue
+		}
+		if err := ctx.Err(); err != nil {
 			return rs, err
 		}
+		return rs, peErr
 	}
 	return rs, nil
 }
 
 // runPESerial is the serial per-PE loop: load, render, send, barrier.
-func (b *BackEnd) runPESerial(rank int, barrier *cyclicBarrier) error {
+func (b *BackEnd) runPESerial(ctx context.Context, rank int, barrier *cyclicBarrier) error {
 	for frame := 0; frame < b.frames; frame++ {
+		if err := ctx.Err(); err != nil {
+			barrier.Abort()
+			return err
+		}
 		axis := b.Axis()
 		b.log(netlogger.BEFrameStart, frame, rank, 0)
 		lf := b.load(rank, frame, axis)
@@ -452,25 +490,52 @@ func (b *BackEnd) runPESerial(rank int, barrier *cyclicBarrier) error {
 	return nil
 }
 
-// runPEOverlapped is the overlapped per-PE loop of Appendix B: a detached
-// reader goroutine loads timestep t+1 while the render goroutine processes
-// timestep t. The request and result channels play the role of the paper's
-// SystemV semaphores A and B; Go's garbage-collected slab volumes replace the
+// runPEOverlapped is the overlapped per-PE loop of Appendix B: a reader
+// goroutine loads timestep t+1 while the render goroutine processes timestep
+// t. The request and result channels play the role of the paper's SystemV
+// semaphores A and B; Go's garbage-collected slab volumes replace the
 // explicit double-buffered shared memory block.
-func (b *BackEnd) runPEOverlapped(rank int, barrier *cyclicBarrier) error {
+//
+// Unlike the paper's detached pthread, the reader is joined before the PE
+// returns: a failed PE, a closed viewer sink, or a cancelled context stops
+// the reader instead of leaking it past the end of the run.
+func (b *BackEnd) runPEOverlapped(ctx context.Context, rank int, barrier *cyclicBarrier) error {
 	req := make(chan struct {
 		frame int
 		axis  volume.Axis
 	}, 1)
 	res := make(chan loadedFrame, 1)
 	done := make(chan struct{})
-	defer close(done)
+	readerDone := make(chan struct{})
 
-	// Reader goroutine (the paper's detached pthread). In process-pair mode
+	// Join the reader on every exit path: close(done) releases it from any
+	// channel operation, then wait for it to finish (a load already in
+	// flight completes first; the data sources bound that time). The join is
+	// bounded: a source whose read hangs without a deadline cannot observe
+	// any stop signal, and leaking that one goroutine beats hanging the
+	// whole run — and with it the caller that owns the source and would
+	// close it.
+	defer func() {
+		close(done)
+		close(req)
+		select {
+		case <-readerDone:
+		default:
+			t := time.NewTimer(readerJoinGrace)
+			defer t.Stop()
+			select {
+			case <-readerDone:
+			case <-t.C:
+			}
+		}
+	}()
+
+	// Reader goroutine (the paper's reader pthread). In process-pair mode
 	// the reader stands in for a separate MPI rank, so the loaded timestep is
 	// transmitted (deep-copied) to the renderer instead of shared — the extra
 	// cost Appendix B avoids with the threaded design.
 	go func() {
+		defer close(readerDone)
 		for {
 			select {
 			case r, ok := <-req:
@@ -487,13 +552,16 @@ func (b *BackEnd) runPEOverlapped(rank int, barrier *cyclicBarrier) error {
 				case res <- lf:
 				case <-done:
 					return
+				case <-ctx.Done():
+					return
 				}
 			case <-done:
+				return
+			case <-ctx.Done():
 				return
 			}
 		}
 	}()
-	defer close(req)
 
 	// Prime the pipeline with frame 0 (the render process "first requests
 	// data from time step zero").
@@ -504,7 +572,13 @@ func (b *BackEnd) runPEOverlapped(rank int, barrier *cyclicBarrier) error {
 
 	for frame := 0; frame < b.frames; frame++ {
 		b.log(netlogger.BEFrameStart, frame, rank, 0)
-		lf := <-res
+		var lf loadedFrame
+		select {
+		case lf = <-res:
+		case <-ctx.Done():
+			barrier.Abort()
+			return ctx.Err()
+		}
 		// Immediately request the next timestep so loading overlaps the
 		// rendering below. The axis hint latched at the last barrier applies.
 		if frame+1 < b.frames {
@@ -529,6 +603,12 @@ func (b *BackEnd) runPEOverlapped(rank int, barrier *cyclicBarrier) error {
 
 // errAborted is returned by PEs that stopped because another PE failed.
 var errAborted = errors.New("backend: run aborted by peer PE failure")
+
+// readerJoinGrace bounds how long an exiting PE waits for its reader
+// goroutine once the stop signal is posted. Normal loads finish well inside
+// it; only a source read hung without a deadline exhausts it, and that
+// reader is then deliberately detached.
+const readerJoinGrace = 5 * time.Second
 
 // cyclicBarrier synchronizes the PE goroutines at each frame boundary and
 // runs an action (axis latching) exactly once per cycle. Abort releases all

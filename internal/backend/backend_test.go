@@ -1,6 +1,7 @@
 package backend
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"testing"
@@ -107,7 +108,7 @@ func TestSerialRunDeliversEveryFrameAndPE(t *testing.T) {
 	if err != nil {
 		t.Fatalf("new: %v", err)
 	}
-	rs, err := be.Run()
+	rs, err := be.Run(context.Background())
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -146,7 +147,7 @@ func TestSlabTexturesCompositeToFullRender(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := be.Run(); err != nil {
+	if _, err := be.Run(context.Background()); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	if len(sink.heavies) != pes {
@@ -191,7 +192,7 @@ func TestOverlappedMatchesSerialOutput(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := be.Run(); err != nil {
+		if _, err := be.Run(context.Background()); err != nil {
 			t.Fatalf("run %v: %v", mode, err)
 		}
 		// Index by (frame, PE) for comparison.
@@ -241,7 +242,7 @@ func TestOverlappedIsNotSlowerThanSerial(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		rs, err := be.Run()
+		rs, err := be.Run(context.Background())
 		if err != nil {
 			t.Fatalf("run: %v", err)
 		}
@@ -288,7 +289,7 @@ func TestNetLoggerInstrumentation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := be.Run(); err != nil {
+	if _, err := be.Run(context.Background()); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	a := netlogger.Analyze(logger.Events())
@@ -315,7 +316,7 @@ func TestAxisSwitchTakesEffectAtFrameBoundary(t *testing.T) {
 	// Hint a new axis before the run starts: all frames should use it, and
 	// exactly one flip should be recorded.
 	be.SetAxis(volume.AxisX)
-	rs, err := be.Run()
+	rs, err := be.Run(context.Background())
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -342,7 +343,7 @@ func TestGridAndElevationPayloads(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := be.Run(); err != nil {
+	if _, err := be.Run(context.Background()); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	sink.mu.Lock()
@@ -374,7 +375,7 @@ func TestSendFailureAbortsAllPEs(t *testing.T) {
 	}
 	done := make(chan error, 1)
 	go func() {
-		_, err := be.Run()
+		_, err := be.Run(context.Background())
 		done <- err
 	}()
 	select {
@@ -400,7 +401,7 @@ func TestPerPESinks(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := be.Run(); err != nil {
+	if _, err := be.Run(context.Background()); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	for i, c := range collectors {
@@ -425,7 +426,7 @@ func TestTimestepsLimit(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rs, err := be.Run()
+	rs, err := be.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package backend
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -19,7 +20,7 @@ func TestProcessPairMatchesOverlappedOutput(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := be.Run(); err != nil {
+		if _, err := be.Run(context.Background()); err != nil {
 			t.Fatalf("run %v: %v", mode, err)
 		}
 		sink.mu.Lock()
@@ -53,7 +54,7 @@ func TestProcessPairPaysCopyCost(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		rs, err := be.Run()
+		rs, err := be.Run(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -96,7 +97,7 @@ func TestProcessPairAxisSwitchStillWorks(t *testing.T) {
 		t.Fatal(err)
 	}
 	be.SetAxis(volume.AxisY)
-	rs, err := be.Run()
+	rs, err := be.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,154 @@
+package backend
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"visapult/internal/datagen"
+	"visapult/internal/volume"
+	"visapult/internal/wire"
+)
+
+// brokenSink fails every send, standing in for a viewer whose connection
+// died mid-run.
+type brokenSink struct{}
+
+var errSinkDown = errors.New("sink down")
+
+func (brokenSink) SendLight(*wire.LightPayload) error { return errSinkDown }
+func (brokenSink) SendHeavy(*wire.HeavyPayload) error { return errSinkDown }
+
+// slowLoadSource delays every load so readers are reliably in flight when
+// the run aborts.
+type slowLoadSource struct {
+	DataSource
+	delay time.Duration
+	loads atomic.Int64
+}
+
+func (s *slowLoadSource) LoadRegion(t int, r volume.Region) (*volume.Volume, int64, error) {
+	s.loads.Add(1)
+	time.Sleep(s.delay)
+	return s.DataSource.LoadRegion(t, r)
+}
+
+// waitGoroutines polls until the goroutine count settles back to the
+// baseline (or times out).
+func waitGoroutines(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	var after int
+	for time.Now().Before(deadline) {
+		runtime.GC()
+		after = runtime.NumGoroutine()
+		if after <= before {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Errorf("goroutines leaked: %d before, %d after", before, after)
+}
+
+func newSlowSource(steps int, delay time.Duration) *slowLoadSource {
+	gen := datagen.NewCombustion(datagen.CombustionConfig{
+		NX: 24, NY: 16, NZ: 16, Timesteps: steps, Seed: 7,
+	})
+	return &slowLoadSource{DataSource: NewSyntheticSource(gen), delay: delay}
+}
+
+// TestOverlappedFailedSinkJoinsReaders is the regression test for the
+// detached-reader leak: a PE whose sink fails must stop and join its reader
+// goroutine instead of leaving it loading timesteps nobody will render.
+func TestOverlappedFailedSinkJoinsReaders(t *testing.T) {
+	before := runtime.NumGoroutine()
+	src := newSlowSource(50, 5*time.Millisecond)
+	be, err := New(Config{
+		PEs: 4, Mode: Overlapped, Source: src,
+		Sinks: []FrameSink{brokenSink{}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = be.Run(context.Background())
+	if !errors.Is(err, errSinkDown) {
+		t.Fatalf("Run returned %v, want the sink failure", err)
+	}
+	waitGoroutines(t, before)
+	// The readers must not have churned through the whole dataset after the
+	// abort: at most frame 0 and the prefetched frame 1 per PE.
+	if loads := src.loads.Load(); loads > 4*2 {
+		t.Errorf("readers performed %d loads after the sink died, want <= 8", loads)
+	}
+}
+
+// TestOverlappedContextCancelJoinsReaders cancels an overlapped run mid-way
+// and checks both the PE goroutines and their readers exit.
+func TestOverlappedContextCancelJoinsReaders(t *testing.T) {
+	before := runtime.NumGoroutine()
+	src := newSlowSource(100, 5*time.Millisecond)
+	be, err := New(Config{
+		PEs: 2, Mode: Overlapped, Source: src,
+		Sinks: []FrameSink{&NullSink{}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = be.Run(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run returned %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("cancelled run took %v", elapsed)
+	}
+	waitGoroutines(t, before)
+}
+
+// TestSerialContextCancel covers the serial loop's ctx check.
+func TestSerialContextCancel(t *testing.T) {
+	src := newSlowSource(100, 5*time.Millisecond)
+	be, err := New(Config{
+		PEs: 2, Mode: Serial, Source: src,
+		Sinks: []FrameSink{&NullSink{}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	if _, err := be.Run(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run returned %v, want context.Canceled", err)
+	}
+}
+
+// TestOnFrameHook checks the per-frame hook fires once per (PE, timestep).
+func TestOnFrameHook(t *testing.T) {
+	var calls atomic.Int64
+	src := newSlowSource(3, 0)
+	be, err := New(Config{
+		PEs: 2, Mode: Overlapped, Source: src,
+		Sinks:   []FrameSink{&NullSink{}},
+		OnFrame: func(FrameStats) { calls.Add(1) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := be.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := calls.Load(); got != 2*3 {
+		t.Errorf("OnFrame fired %d times, want 6", got)
+	}
+}

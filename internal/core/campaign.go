@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -249,8 +250,17 @@ func (c Campaign) jitter(pe, frame int) float64 {
 	return float64(x%2000001)/1000000 - 1
 }
 
-// Run executes the campaign on a virtual clock and returns its result.
-func (c Campaign) Run() (*CampaignResult, error) {
+// Run executes the campaign on a virtual clock and returns its result. The
+// simulation itself completes in milliseconds of real time, so ctx is checked
+// once before the kernel runs; a cancelled context fails the campaign without
+// starting it.
+func (c Campaign) Run(ctx context.Context) (*CampaignResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	c, err := c.withDefaults()
 	if err != nil {
 		return nil, err

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -20,7 +21,7 @@ func TestCampaignValidation(t *testing.T) {
 		{Timesteps: 2, FrameBytes: 100}, // no PEs
 	}
 	for i, c := range bad {
-		if _, err := c.Run(); err == nil {
+		if _, err := c.Run(context.Background()); err == nil {
 			t.Errorf("campaign %d: expected validation error", i)
 		}
 	}
@@ -28,11 +29,11 @@ func TestCampaignValidation(t *testing.T) {
 
 func TestCampaignDeterministic(t *testing.T) {
 	c := CPlantNTONCampaign(8, backend.Overlapped)
-	a, err := c.Run()
+	a, err := c.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := c.Run()
+	b, err := c.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +46,7 @@ func TestCampaignDeterministic(t *testing.T) {
 }
 
 func TestCampaignEventStreamIsWellFormed(t *testing.T) {
-	res, err := FirstLightCampaign().Run()
+	res, err := FirstLightCampaign().Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -338,11 +339,11 @@ func TestCampaignDPSSCapLimitsThroughput(t *testing.T) {
 	c := FirstLightCampaign()
 	c.HasDPSSCap = true
 	c.DPSS = dpssSlowModel()
-	res, err := c.Run()
+	res, err := c.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	unbounded, err := FirstLightCampaign().Run()
+	unbounded, err := FirstLightCampaign().Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -353,7 +354,7 @@ func TestCampaignDPSSCapLimitsThroughput(t *testing.T) {
 
 func TestCampaignSlowStartAffectsFirstFrameOnly(t *testing.T) {
 	c := ANLESnetCampaign(backend.Serial)
-	res, err := c.Run()
+	res, err := c.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -425,7 +426,7 @@ func TestCampaignCustomPlatform(t *testing.T) {
 		VolumeDims: [3]int{64, 64, 64},
 		DataPath:   netsim.NewPath("test", link),
 	}
-	res, err := c.Run()
+	res, err := c.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -91,11 +92,11 @@ type E2Result struct {
 
 // RunE2 simulates the two SC99 data paths.
 func RunE2() (*E2Result, error) {
-	cp, err := SC99CPlantCampaign().Run()
+	cp, err := SC99CPlantCampaign().Run(context.Background())
 	if err != nil {
 		return nil, err
 	}
-	sf, err := SC99ShowFloorCampaign().Run()
+	sf, err := SC99ShowFloorCampaign().Run(context.Background())
 	if err != nil {
 		return nil, err
 	}
@@ -130,7 +131,7 @@ type E3Result struct {
 
 // RunE3 simulates the first-light campaign.
 func RunE3() (*E3Result, error) {
-	res, err := FirstLightCampaign().Run()
+	res, err := FirstLightCampaign().Run(context.Background())
 	if err != nil {
 		return nil, err
 	}
@@ -181,11 +182,11 @@ type E4Result struct {
 
 // RunE4 simulates the serial and overlapped E4500 runs.
 func RunE4() (*E4Result, error) {
-	serial, err := E4500LANCampaign(backend.Serial).Run()
+	serial, err := E4500LANCampaign(backend.Serial).Run(context.Background())
 	if err != nil {
 		return nil, err
 	}
-	over, err := E4500LANCampaign(backend.Overlapped).Run()
+	over, err := E4500LANCampaign(backend.Overlapped).Run(context.Background())
 	if err != nil {
 		return nil, err
 	}
@@ -245,7 +246,7 @@ func RunE5() (*E5Result, error) {
 	res := &E5Result{}
 	for _, nodes := range []int{4, 8} {
 		for _, mode := range []backend.Mode{backend.Serial, backend.Overlapped} {
-			cr, err := CPlantNTONCampaign(nodes, mode).Run()
+			cr, err := CPlantNTONCampaign(nodes, mode).Run(context.Background())
 			if err != nil {
 				return nil, err
 			}
@@ -305,11 +306,11 @@ type E6Result struct {
 
 // RunE6 simulates the ANL/ESnet runs.
 func RunE6() (*E6Result, error) {
-	serial, err := ANLESnetCampaign(backend.Serial).Run()
+	serial, err := ANLESnetCampaign(backend.Serial).Run(context.Background())
 	if err != nil {
 		return nil, err
 	}
-	over, err := ANLESnetCampaign(backend.Overlapped).Run()
+	over, err := ANLESnetCampaign(backend.Overlapped).Run(context.Background())
 	if err != nil {
 		return nil, err
 	}
@@ -381,7 +382,7 @@ func RunE7() (*E7Result, error) {
 				Name: "e7-serial", Platform: plat, PEs: 1, Mode: backend.Serial, Timesteps: n,
 				FrameBytes: frameBytes, VolumeDims: [3]int{100, 100, 100},
 				DataPath: netsim.NewPath("model-link", netsim.Link{Name: "100Mbps", Bandwidth: 100e6, MTU: 1500}),
-			}).Run()
+			}).Run(context.Background())
 			if err != nil {
 				return nil, err
 			}
@@ -389,7 +390,7 @@ func RunE7() (*E7Result, error) {
 				Name: "e7-overlapped", Platform: plat, PEs: 1, Mode: backend.Overlapped, Timesteps: n,
 				FrameBytes: frameBytes, VolumeDims: [3]int{100, 100, 100},
 				DataPath: netsim.NewPath("model-link", netsim.Link{Name: "100Mbps", Bandwidth: 100e6, MTU: 1500}),
-			}).Run()
+			}).Run(context.Background())
 			if err != nil {
 				return nil, err
 			}
@@ -552,7 +553,7 @@ func RunE10() (*E10Result, error) {
 		dims := [3]int{n, n, n}
 		gen := datagen.NewCombustion(datagen.CombustionConfig{NX: n, NY: n, NZ: n, Timesteps: 1, Seed: 10})
 		src := backend.NewSyntheticSource(gen)
-		sr, err := RunSession(SessionConfig{
+		sr, err := RunSession(context.Background(), SessionConfig{
 			PEs: 4, Source: src, Mode: backend.Serial, Transport: TransportLocal,
 		})
 		if err != nil {
@@ -624,13 +625,13 @@ func RunE11() (*E11Result, error) {
 	for _, cfg := range configs {
 		campaign := CPlantNTONCampaign(8, backend.Overlapped)
 		campaign.Platform = cfg.plat
-		over, err := campaign.Run()
+		over, err := campaign.Run(context.Background())
 		if err != nil {
 			return nil, err
 		}
 		serialCampaign := campaign
 		serialCampaign.Mode = backend.Serial
-		serial, err := serialCampaign.Run()
+		serial, err := serialCampaign.Run(context.Background())
 		if err != nil {
 			return nil, err
 		}

@@ -23,6 +23,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -98,6 +99,10 @@ type SessionConfig struct {
 	// RenderLoop starts the viewer's decoupled render goroutine for the
 	// duration of the run.
 	RenderLoop bool
+	// OnFrame, when non-nil, receives each PE's per-frame statistics as soon
+	// as that PE finishes sending the frame. Called concurrently from the
+	// back-end PE goroutines.
+	OnFrame func(backend.FrameStats)
 }
 
 // SessionResult reports what a session did.
@@ -124,8 +129,12 @@ func (r *SessionResult) TrafficRatio() float64 {
 
 // RunSession executes a complete Visapult pipeline and blocks until every
 // timestep has been loaded, rendered, transmitted and assembled in the
-// viewer.
-func RunSession(cfg SessionConfig) (*SessionResult, error) {
+// viewer, or until ctx is cancelled — cancellation aborts the back end at the
+// next phase boundary, tears the transport down, and returns ctx's error.
+func RunSession(ctx context.Context, cfg SessionConfig) (*SessionResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if cfg.Source == nil {
 		return nil, errors.New("core: SessionConfig.Source is required")
 	}
@@ -164,7 +173,7 @@ func RunSession(cfg SessionConfig) (*SessionResult, error) {
 	}
 	vw.SetViewAngle(cfg.ViewAngle)
 
-	tr, err := buildTransport(cfg, vw, &be)
+	tr, err := buildTransport(ctx, cfg, vw, &be)
 	if err != nil {
 		return nil, err
 	}
@@ -179,6 +188,7 @@ func RunSession(cfg SessionConfig) (*SessionResult, error) {
 		TF:        cfg.TF,
 		Sinks:     tr.sinks,
 		Logger:    beLogger,
+		OnFrame:   cfg.OnFrame,
 	})
 	if err != nil {
 		return nil, err
@@ -190,7 +200,7 @@ func RunSession(cfg SessionConfig) (*SessionResult, error) {
 	}
 
 	start := time.Now()
-	beStats, runErr := be.Run()
+	beStats, runErr := be.Run(ctx)
 	// Announce the end of every stream, wait for the viewer's service
 	// goroutines to drain, and only then tear the sockets down.
 	finishErr := tr.finish()
@@ -239,7 +249,7 @@ type transport struct {
 
 // buildTransport wires the back end's sinks to the viewer according to the
 // configured transport.
-func buildTransport(cfg SessionConfig, vw *viewer.Viewer, be **backend.BackEnd) (*transport, error) {
+func buildTransport(ctx context.Context, cfg SessionConfig, vw *viewer.Viewer, be **backend.BackEnd) (*transport, error) {
 	noop := func() error { return nil }
 
 	switch cfg.Transport {
@@ -267,7 +277,9 @@ func buildTransport(cfg SessionConfig, vw *viewer.Viewer, be **backend.BackEnd) 
 		var serveWG sync.WaitGroup
 		accepted := make(chan *wire.Conn, cfg.PEs)
 		acceptErr := make(chan error, 1)
+		acceptorDone := make(chan struct{})
 		go func() {
+			defer close(acceptorDone)
 			for i := 0; i < cfg.PEs; i++ {
 				var conn *wire.Conn
 				if stripeL != nil {
@@ -289,22 +301,56 @@ func buildTransport(cfg SessionConfig, vw *viewer.Viewer, be **backend.BackEnd) 
 			}
 		}()
 
-		// Back-end side: dial one logical connection per PE.
+		// Back-end side: dial one logical connection per PE. On any setup
+		// failure, every connection opened so far — dialed, accepted into
+		// viewerConns, or still sitting in the accepted channel — must be
+		// closed, or their goroutines (striped lane writers in particular)
+		// outlive the failed session.
 		conns := make([]*wire.Conn, cfg.PEs)
 		sinks := make([]backend.FrameSink, cfg.PEs)
+		viewerConns := make([]*wire.Conn, cfg.PEs)
+		failCleanup := func() {
+			for _, c := range conns {
+				if c != nil {
+					c.Close()
+				}
+			}
+			for _, c := range viewerConns {
+				if c != nil {
+					c.Close()
+				}
+			}
+			// Stop the acceptor before draining: closing the listener fails
+			// its pending Accept, and joining it guarantees no connection is
+			// pushed into the channel after the drain below.
+			if stripeL != nil {
+				stripeL.Close() // also closes partial lane conns and l
+			} else {
+				l.Close()
+			}
+			<-acceptorDone
+			for {
+				select {
+				case c := <-accepted:
+					c.Close()
+				default:
+					return
+				}
+			}
+		}
 		for i := 0; i < cfg.PEs; i++ {
 			var rw *wire.Conn
 			if cfg.Transport == TransportStriped {
 				s, err := wire.DialStriped(l.Addr().String(), cfg.StripeLanes, 0)
 				if err != nil {
-					l.Close()
+					failCleanup()
 					return nil, fmt.Errorf("core: dial striped: %w", err)
 				}
 				rw = wire.NewConn(s)
 			} else {
 				c, err := net.Dial("tcp", l.Addr().String())
 				if err != nil {
-					l.Close()
+					failCleanup()
 					return nil, fmt.Errorf("core: dial: %w", err)
 				}
 				if cfg.ViewerShaper != nil {
@@ -319,16 +365,18 @@ func buildTransport(cfg SessionConfig, vw *viewer.Viewer, be **backend.BackEnd) 
 
 		// Wait for the viewer side to have accepted all connections, then
 		// start the service goroutines.
-		viewerConns := make([]*wire.Conn, cfg.PEs)
 		for i := 0; i < cfg.PEs; i++ {
 			select {
 			case conn := <-accepted:
 				viewerConns[i] = conn
 			case err := <-acceptErr:
-				l.Close()
+				failCleanup()
 				return nil, fmt.Errorf("core: accept: %w", err)
+			case <-ctx.Done():
+				failCleanup()
+				return nil, ctx.Err()
 			case <-time.After(30 * time.Second):
-				l.Close()
+				failCleanup()
 				return nil, errors.New("core: timed out waiting for viewer connections")
 			}
 		}
@@ -381,6 +429,14 @@ func buildTransport(cfg SessionConfig, vw *viewer.Viewer, be **backend.BackEnd) 
 				for _, conn := range conns {
 					if err := conn.Close(); err != nil && firstErr == nil {
 						firstErr = err
+					}
+				}
+				// The viewer-side halves must be closed too: a striped
+				// connection owns per-lane writer goroutines that only a
+				// Close releases.
+				for _, conn := range viewerConns {
+					if conn != nil {
+						conn.Close()
 					}
 				}
 				if stripeL != nil {

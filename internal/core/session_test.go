@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -21,20 +22,20 @@ func smallSource(steps int) *backend.SyntheticSource {
 }
 
 func TestRunSessionValidation(t *testing.T) {
-	if _, err := RunSession(SessionConfig{PEs: 2}); err == nil {
+	if _, err := RunSession(context.Background(), SessionConfig{PEs: 2}); err == nil {
 		t.Fatal("expected error for missing source")
 	}
-	if _, err := RunSession(SessionConfig{Source: smallSource(1)}); err == nil {
+	if _, err := RunSession(context.Background(), SessionConfig{Source: smallSource(1)}); err == nil {
 		t.Fatal("expected error for missing PE count")
 	}
-	if _, err := RunSession(SessionConfig{Source: smallSource(1), PEs: 1, Transport: Transport(99)}); err == nil {
+	if _, err := RunSession(context.Background(), SessionConfig{Source: smallSource(1), PEs: 1, Transport: Transport(99)}); err == nil {
 		t.Fatal("expected error for unknown transport")
 	}
 }
 
 func TestRunSessionLocal(t *testing.T) {
 	const pes, steps = 4, 3
-	res, err := RunSession(SessionConfig{
+	res, err := RunSession(context.Background(), SessionConfig{
 		PEs: pes, Source: smallSource(steps), Mode: backend.Overlapped,
 		Transport: TransportLocal, Instrument: true, RenderLoop: true,
 	})
@@ -65,7 +66,7 @@ func TestRunSessionLocal(t *testing.T) {
 
 func TestRunSessionTCP(t *testing.T) {
 	const pes, steps = 2, 2
-	res, err := RunSession(SessionConfig{
+	res, err := RunSession(context.Background(), SessionConfig{
 		PEs: pes, Source: smallSource(steps), Transport: TransportTCP, Instrument: true,
 	})
 	if err != nil {
@@ -81,7 +82,7 @@ func TestRunSessionTCP(t *testing.T) {
 
 func TestRunSessionStriped(t *testing.T) {
 	const pes, steps = 2, 2
-	res, err := RunSession(SessionConfig{
+	res, err := RunSession(context.Background(), SessionConfig{
 		PEs: pes, Source: smallSource(steps), Transport: TransportStriped, StripeLanes: 3,
 	})
 	if err != nil {
@@ -95,7 +96,7 @@ func TestRunSessionStriped(t *testing.T) {
 func TestRunSessionShapedViewerPath(t *testing.T) {
 	// Shaping the back-end-to-viewer path must not lose any payloads.
 	shaper := netsim.NewShaper(20e6/8, 64<<10) // 20 Mbps
-	res, err := RunSession(SessionConfig{
+	res, err := RunSession(context.Background(), SessionConfig{
 		PEs: 1, Source: smallSource(2), Transport: TransportTCP, ViewerShaper: shaper,
 	})
 	if err != nil {
@@ -109,7 +110,7 @@ func TestRunSessionShapedViewerPath(t *testing.T) {
 func TestRunSessionFollowViewSwitchesAxis(t *testing.T) {
 	// With the camera rotated 90 degrees about Y, the viewer should steer the
 	// back end to an X-axis decomposition after the first completed frame.
-	res, err := RunSession(SessionConfig{
+	res, err := RunSession(context.Background(), SessionConfig{
 		PEs: 2, Source: smallSource(4), Transport: TransportLocal,
 		FollowView: true, ViewAngle: math.Pi / 2, Axis: volume.AxisZ,
 	})

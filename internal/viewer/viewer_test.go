@@ -1,6 +1,7 @@
 package viewer
 
 import (
+	"context"
 	"math"
 	"net"
 	"sync"
@@ -372,7 +373,7 @@ func TestEndToEndWithRealBackEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := be.Run(); err != nil {
+	if _, err := be.Run(context.Background()); err != nil {
 		t.Fatalf("backend run: %v", err)
 	}
 	st := vw.Stats()

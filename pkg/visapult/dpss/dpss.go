@@ -1,0 +1,143 @@
+// Package dpss is the public surface of the Distributed-Parallel Storage
+// System reproduction: the network data cache of the paper's section 3.2
+// (master catalog, striped block servers, block-level client API).
+//
+// It re-exports the internal implementation as aliases, so clients built
+// here plug straight into visapult.NewDPSSSource, and adds the staging
+// helpers the administrative tools use.
+package dpss
+
+import (
+	"fmt"
+	"time"
+
+	"visapult/internal/datagen"
+	"visapult/internal/dpss"
+	"visapult/internal/offline"
+	"visapult/internal/render"
+	"visapult/internal/volume"
+)
+
+// Volume is a dense float32 scalar field (the same type as
+// visapult.Volume).
+type Volume = volume.Volume
+
+// Image is a float RGBA image (the same type as visapult.Image).
+type Image = render.Image
+
+// Client is the block-level DPSS client: Create, Open, Stat, and striped
+// parallel block reads across the cluster's servers.
+type Client = dpss.Client
+
+// ClientOption configures a client.
+type ClientOption = dpss.ClientOption
+
+// NewClient connects to the master at the given address.
+var NewClient = dpss.NewClient
+
+// WithClientCompression requests DEFLATE-compressed block reads at the given
+// level — the paper's section 5 "wire level compression" extension.
+var WithClientCompression = dpss.WithClientCompression
+
+// WithClientShaper shapes the client's reads to emulate a WAN.
+var WithClientShaper = dpss.WithClientShaper
+
+// File is an open dataset handle; it implements io.ReaderAt over the
+// cluster's blocks.
+type File = dpss.File
+
+// DatasetInfo describes one cached dataset.
+type DatasetInfo = dpss.DatasetInfo
+
+// Master is the dataset catalog and logical-to-physical block mapper.
+type Master = dpss.Master
+
+// NewMaster builds a master; call Listen to serve.
+var NewMaster = dpss.NewMaster
+
+// BlockServer serves blocks striped over several in-memory disks.
+type BlockServer = dpss.BlockServer
+
+// ServerOption configures a block server.
+type ServerOption = dpss.ServerOption
+
+// NewBlockServer builds a block server; call Listen to serve.
+var NewBlockServer = dpss.NewBlockServer
+
+// WithDisks sets the number of disks a block server stripes over.
+var WithDisks = dpss.WithDisks
+
+// Cluster is an in-process DPSS installation (master plus block servers),
+// the stand-in for the paper's four-server terabyte DPSS at LBL.
+type Cluster = dpss.Cluster
+
+// ClusterConfig sizes a cluster.
+type ClusterConfig = dpss.ClusterConfig
+
+// StartCluster starts an in-process cluster.
+var StartCluster = dpss.StartCluster
+
+// DefaultBlockSize is the cache's default logical block size.
+const DefaultBlockSize = dpss.DefaultBlockSize
+
+// TimestepDatasetName names timestep t of a multi-step dataset (base.tNNNN).
+var TimestepDatasetName = dpss.TimestepDatasetName
+
+// ThumbnailOptions configures offline preview generation.
+type ThumbnailOptions = offline.ThumbnailOptions
+
+// ThumbnailMetadata is the catalog metadata produced next to a preview.
+type ThumbnailMetadata = offline.Metadata
+
+// Thumbnail renders a preview image plus catalog metadata for one cached
+// timestep — the paper's section 5 offline visualization service.
+func Thumbnail(client *Client, base string, nx, ny, nz, timestep int, opts ThumbnailOptions) (*Image, *ThumbnailMetadata, error) {
+	return offline.Thumbnail(client, base, nx, ny, nz, timestep, opts)
+}
+
+// StageCombustion generates the synthetic combustion dataset and writes each
+// timestep into the cache through the ordinary client API (the paper's
+// HPSS-to-DPSS migration step). It returns the per-timestep encoded size and
+// the time spent in cache writes alone — data generation excluded — so
+// callers can report genuine cache throughput.
+func StageCombustion(client *Client, base string, nx, ny, nz, steps, blockSize int, seed int64) (stepBytes int64, writeTime time.Duration, err error) {
+	if seed == 0 {
+		seed = 2000
+	}
+	if blockSize <= 0 {
+		blockSize = DefaultBlockSize
+	}
+	gen := datagen.NewCombustion(datagen.CombustionConfig{
+		NX: nx, NY: ny, NZ: nz, Timesteps: steps, Seed: seed,
+	})
+	for t := 0; t < steps; t++ {
+		name := TimestepDatasetName(base, t)
+		data := gen.Generate(t).Marshal()
+		stepBytes = int64(len(data))
+		if _, err := client.Create(name, int64(len(data)), blockSize); err != nil {
+			return stepBytes, writeTime, fmt.Errorf("creating %s: %w", name, err)
+		}
+		f, err := client.Open(name)
+		if err != nil {
+			return stepBytes, writeTime, fmt.Errorf("opening %s: %w", name, err)
+		}
+		start := time.Now()
+		_, werr := f.WriteAt(data, 0)
+		writeTime += time.Since(start)
+		if werr != nil {
+			return stepBytes, writeTime, fmt.Errorf("writing %s: %w", name, werr)
+		}
+	}
+	return stepBytes, writeTime, nil
+}
+
+// StageVolumes writes pre-built volumes into the cache as consecutive
+// timesteps of base.
+func StageVolumes(cluster *Cluster, client *Client, base string, blockSize int, vols ...*Volume) error {
+	for t, v := range vols {
+		if _, err := cluster.LoadVolume(client, TimestepDatasetName(base, t), v, blockSize); err != nil {
+			return err
+		}
+	}
+	return nil
+}

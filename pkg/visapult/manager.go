@@ -1,0 +1,500 @@
+package visapult
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// RunState is the lifecycle state of a managed run.
+type RunState int
+
+// Managed run states. Transitions: Pending -> Queued -> Running ->
+// {Done, Failed, Canceled}; Cancel short-circuits Pending/Queued runs
+// straight to Canceled.
+const (
+	// StatePending: created, not yet started.
+	StatePending RunState = iota
+	// StateQueued: started, waiting for a worker-pool slot.
+	StateQueued
+	// StateRunning: executing on a worker.
+	StateRunning
+	// StateDone: completed successfully; the Result is available.
+	StateDone
+	// StateFailed: completed with an error.
+	StateFailed
+	// StateCanceled: cancelled before or during execution.
+	StateCanceled
+)
+
+// String implements fmt.Stringer.
+func (s RunState) String() string {
+	switch s {
+	case StatePending:
+		return "pending"
+	case StateQueued:
+		return "queued"
+	case StateRunning:
+		return "running"
+	case StateDone:
+		return "done"
+	case StateFailed:
+		return "failed"
+	case StateCanceled:
+		return "canceled"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Terminal reports whether the state is final.
+func (s RunState) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// RunStatus is a point-in-time snapshot of one managed run.
+type RunStatus struct {
+	Name  string
+	State RunState
+	// Error is the failure message (empty unless State is Failed or
+	// Canceled).
+	Error string
+	// FramesSent counts (PE, timestep) frame records emitted so far — a
+	// live progress indicator while the run executes.
+	FramesSent int
+	// Created, Started and Finished are the lifecycle timestamps; Started
+	// and Finished are zero until the run reaches the corresponding state.
+	Created  time.Time
+	Started  time.Time
+	Finished time.Time
+}
+
+// Manager error conditions, distinguishable with errors.Is so callers (the
+// visapultd HTTP layer, for one) can map them to responses without parsing
+// messages.
+var (
+	// ErrUnknownRun: the named run does not exist.
+	ErrUnknownRun = errors.New("visapult: unknown run")
+	// ErrRunExists: Create was called with a name already in use.
+	ErrRunExists = errors.New("visapult: run already exists")
+	// ErrManagerClosed: the manager is shut down.
+	ErrManagerClosed = errors.New("visapult: manager is closed")
+	// ErrRunNotPending: Start was called on a run past the pending state.
+	ErrRunNotPending = errors.New("visapult: run is not pending")
+	// ErrRunActive: Remove was called on a run that has not finished.
+	ErrRunActive = errors.New("visapult: run is still active")
+	// ErrNoResult: Result was called on a run not in StateDone.
+	ErrNoResult = errors.New("visapult: run has no result")
+)
+
+// Manager owns a set of named pipeline runs and executes them on a bounded
+// worker pool, so one process serves many concurrent sessions instead of one
+// pipeline per process. All methods are safe for concurrent use.
+type Manager struct {
+	sem chan struct{}
+
+	mu     sync.Mutex
+	runs   map[string]*managedRun
+	closed bool
+
+	baseCtx   context.Context
+	cancelAll context.CancelFunc
+	wg        sync.WaitGroup
+}
+
+// managedRun is the manager-side record of one run.
+type managedRun struct {
+	name string
+	opts []Option
+
+	mu       sync.Mutex
+	state    RunState
+	err      error
+	result   *Result
+	metrics  []FrameMetric
+	subs     map[int]chan FrameMetric
+	nextSub  int
+	created  time.Time
+	startedT time.Time
+	finished time.Time
+	cancel   context.CancelFunc
+	done     chan struct{}
+}
+
+// NewManager builds a manager executing at most workers runs concurrently;
+// workers <= 0 selects 4 (the paper's first-light PE count, a sane default
+// for pipelines that are themselves parallel).
+func NewManager(workers int) *Manager {
+	if workers <= 0 {
+		workers = 4
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Manager{
+		sem:       make(chan struct{}, workers),
+		runs:      make(map[string]*managedRun),
+		baseCtx:   ctx,
+		cancelAll: cancel,
+	}
+}
+
+// Create registers a new named run with the given pipeline options. The
+// options are validated immediately; the run starts executing only when
+// Start is called.
+func (m *Manager) Create(name string, opts ...Option) error {
+	if name == "" {
+		return errors.New("visapult: run name must not be empty")
+	}
+	// Validate eagerly so a bad spec fails at Create, not mid-queue.
+	if _, err := New(opts...); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrManagerClosed
+	}
+	if _, ok := m.runs[name]; ok {
+		return fmt.Errorf("run %q: %w", name, ErrRunExists)
+	}
+	m.runs[name] = &managedRun{
+		name:    name,
+		opts:    opts,
+		state:   StatePending,
+		subs:    make(map[int]chan FrameMetric),
+		created: time.Now(),
+		done:    make(chan struct{}),
+	}
+	return nil
+}
+
+// get returns the named run or an error.
+func (m *Manager) get(name string) (*managedRun, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r, ok := m.runs[name]
+	if !ok {
+		return nil, fmt.Errorf("run %q: %w", name, ErrUnknownRun)
+	}
+	return r, nil
+}
+
+// Start queues the named run for execution. It returns immediately; the run
+// executes as soon as a worker-pool slot frees up.
+//
+// Lock order is m.mu strictly before r.mu, matching every other method, and
+// the closed-check and wg.Add form one atomic step — otherwise Start could
+// pass the check, Close could run to completion, and the worker goroutine
+// would outlive Close (tripping the WaitGroup's add-during-wait detector).
+func (m *Manager) Start(name string) error {
+	m.mu.Lock()
+	r, ok := m.runs[name]
+	if !ok {
+		m.mu.Unlock()
+		return fmt.Errorf("run %q: %w", name, ErrUnknownRun)
+	}
+	if m.closed {
+		m.mu.Unlock()
+		return ErrManagerClosed
+	}
+	m.wg.Add(1)
+	m.mu.Unlock()
+
+	r.mu.Lock()
+	if r.state != StatePending {
+		st := r.state
+		r.mu.Unlock()
+		m.wg.Done() // the reservation above goes unused
+		return fmt.Errorf("visapult: run %q is %s: %w", name, st, ErrRunNotPending)
+	}
+	ctx, cancel := context.WithCancel(m.baseCtx)
+	r.state = StateQueued
+	r.cancel = cancel
+	r.mu.Unlock()
+
+	go m.execute(r, ctx)
+	return nil
+}
+
+// execute acquires a pool slot and runs the pipeline, moving the run through
+// its lifecycle states.
+func (m *Manager) execute(r *managedRun, ctx context.Context) {
+	defer m.wg.Done()
+
+	// Wait for a worker slot — or for cancellation while still queued.
+	select {
+	case m.sem <- struct{}{}:
+		defer func() { <-m.sem }()
+	case <-ctx.Done():
+		r.finish(nil, ctx.Err())
+		return
+	}
+
+	r.mu.Lock()
+	if r.state != StateQueued { // cancelled while waiting for the slot
+		r.mu.Unlock()
+		return
+	}
+	r.state = StateRunning
+	r.startedT = time.Now()
+	r.mu.Unlock()
+
+	opts := append(append([]Option(nil), r.opts...), WithFrameHook(r.observe))
+	p, err := New(opts...)
+	if err != nil { // cannot happen: validated at Create
+		r.finish(nil, err)
+		return
+	}
+	res, err := p.Run(ctx)
+	if err == nil {
+		r.finish(res, nil)
+		return
+	}
+	// Prefer the cancellation cause when the context was cancelled: the
+	// pipeline may surface it as a transport error instead of ctx.Err().
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		err = ctxErr
+	}
+	r.finish(nil, err)
+}
+
+// observe records one frame metric and fans it out to subscribers.
+func (r *managedRun) observe(fm FrameMetric) {
+	r.mu.Lock()
+	r.metrics = append(r.metrics, fm)
+	for _, ch := range r.subs {
+		select {
+		case ch <- fm:
+		default: // slow subscriber: drop rather than stall the pipeline
+		}
+	}
+	r.mu.Unlock()
+}
+
+// finish moves the run to its terminal state and closes subscriptions.
+func (r *managedRun) finish(res *Result, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.finishLocked(res, err)
+}
+
+// finishLocked is finish with r.mu already held.
+func (r *managedRun) finishLocked(res *Result, err error) {
+	if r.state.Terminal() {
+		return
+	}
+	// Release the run's child context: without this every completed run
+	// stays registered on the manager's base context for the daemon's
+	// lifetime.
+	if r.cancel != nil {
+		r.cancel()
+	}
+	r.finished = time.Now()
+	switch {
+	case err == nil:
+		r.state = StateDone
+		r.result = res
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		r.state = StateCanceled
+		r.err = err
+	default:
+		r.state = StateFailed
+		r.err = err
+	}
+	for id, ch := range r.subs {
+		close(ch)
+		delete(r.subs, id)
+	}
+	close(r.done)
+}
+
+// Cancel stops the named run. A pending run moves straight to Canceled; a
+// queued or running run is cancelled through its context and reaches
+// Canceled when the pipeline unwinds. Cancelling a finished run is a no-op.
+func (m *Manager) Cancel(name string) error {
+	r, err := m.get(name)
+	if err != nil {
+		return err
+	}
+	// Decide and act under one critical section: releasing r.mu between the
+	// state check and the action would let a concurrent Start promote a
+	// Pending run to Running after we chose the pending path, leaving a
+	// "canceled" run whose pipeline keeps executing.
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch {
+	case r.state.Terminal():
+		return nil
+	case r.state == StatePending:
+		r.finishLocked(nil, context.Canceled)
+		return nil
+	default:
+		r.cancel()
+		return nil
+	}
+}
+
+// Wait blocks until the named run reaches a terminal state and returns its
+// result (nil unless it finished in StateDone, in which case err is nil).
+func (m *Manager) Wait(ctx context.Context, name string) (*Result, error) {
+	r, err := m.get(name)
+	if err != nil {
+		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	select {
+	case <-r.done:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.result, r.err
+}
+
+// Status returns a snapshot of the named run.
+func (m *Manager) Status(name string) (RunStatus, error) {
+	r, err := m.get(name)
+	if err != nil {
+		return RunStatus{}, err
+	}
+	return r.status(), nil
+}
+
+func (r *managedRun) status() RunStatus {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := RunStatus{
+		Name:       r.name,
+		State:      r.state,
+		FramesSent: len(r.metrics),
+		Created:    r.created,
+		Started:    r.startedT,
+		Finished:   r.finished,
+	}
+	if r.err != nil {
+		st.Error = r.err.Error()
+	}
+	return st
+}
+
+// List returns a snapshot of every run, sorted by name.
+func (m *Manager) List() []RunStatus {
+	m.mu.Lock()
+	runs := make([]*managedRun, 0, len(m.runs))
+	for _, r := range m.runs {
+		runs = append(runs, r)
+	}
+	m.mu.Unlock()
+	out := make([]RunStatus, len(runs))
+	for i, r := range runs {
+		out[i] = r.status()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Metrics returns a copy of the per-frame metrics recorded so far for the
+// named run.
+func (m *Manager) Metrics(name string) ([]FrameMetric, error) {
+	r, err := m.get(name)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]FrameMetric(nil), r.metrics...), nil
+}
+
+// Subscribe returns a channel of live frame metrics for the named run and a
+// cancel function releasing the subscription. The channel is closed when the
+// run finishes. A subscriber that falls behind misses frames rather than
+// stalling the pipeline; pair Subscribe with Metrics for a complete record.
+func (m *Manager) Subscribe(name string) (<-chan FrameMetric, func(), error) {
+	r, err := m.get(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	ch := make(chan FrameMetric, 64)
+	r.mu.Lock()
+	if r.state.Terminal() {
+		r.mu.Unlock()
+		close(ch)
+		return ch, func() {}, nil
+	}
+	id := r.nextSub
+	r.nextSub++
+	r.subs[id] = ch
+	r.mu.Unlock()
+	once := sync.Once{}
+	cancel := func() {
+		once.Do(func() {
+			r.mu.Lock()
+			if sub, ok := r.subs[id]; ok {
+				close(sub)
+				delete(r.subs, id)
+			}
+			r.mu.Unlock()
+		})
+	}
+	return ch, cancel, nil
+}
+
+// Result returns the finished run's result; an error if the run is not in
+// StateDone.
+func (m *Manager) Result(name string) (*Result, error) {
+	r, err := m.get(name)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.state != StateDone {
+		return nil, fmt.Errorf("run %q is %s: %w", name, r.state, ErrNoResult)
+	}
+	return r.result, nil
+}
+
+// Remove deletes a terminal run from the manager's table.
+func (m *Manager) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r, ok := m.runs[name]
+	if !ok {
+		return fmt.Errorf("run %q: %w", name, ErrUnknownRun)
+	}
+	r.mu.Lock()
+	terminal := r.state.Terminal()
+	r.mu.Unlock()
+	if !terminal {
+		return fmt.Errorf("run %q is %s, cancel it first: %w", name, r.status().State, ErrRunActive)
+	}
+	delete(m.runs, name)
+	return nil
+}
+
+// Close cancels every run, waits for the workers to unwind, and marks the
+// manager closed. Safe to call more than once.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	m.closed = true
+	runs := make([]*managedRun, 0, len(m.runs))
+	for _, r := range m.runs {
+		runs = append(runs, r)
+	}
+	m.mu.Unlock()
+	m.cancelAll()
+	for _, r := range runs {
+		r.mu.Lock()
+		pending := r.state == StatePending
+		r.mu.Unlock()
+		if pending {
+			r.finish(nil, context.Canceled)
+		}
+	}
+	m.wg.Wait()
+}

@@ -1,0 +1,334 @@
+package visapult
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+func smallOpts() []Option {
+	return []Option{
+		WithSource(smallSource(2)),
+		WithPEs(2),
+		WithMode(Overlapped),
+	}
+}
+
+func TestManagerLifecycleValidation(t *testing.T) {
+	m := NewManager(2)
+	defer m.Close()
+
+	if err := m.Create(""); err == nil {
+		t.Error("expected error for empty run name")
+	}
+	if err := m.Create("bad"); err == nil {
+		t.Error("expected error for a spec with no source")
+	}
+	if err := m.Create("a", smallOpts()...); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Create("a", smallOpts()...); err == nil {
+		t.Error("expected error for duplicate run name")
+	}
+	if err := m.Start("nope"); err == nil {
+		t.Error("expected error starting an unknown run")
+	}
+	if _, err := m.Status("nope"); err == nil {
+		t.Error("expected error for unknown run status")
+	}
+	if err := m.Remove("a"); err == nil {
+		t.Error("expected error removing a pending run")
+	}
+
+	st, err := m.Status("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StatePending {
+		t.Errorf("fresh run state %s, want pending", st.State)
+	}
+}
+
+// TestManagerConcurrentRuns drives more parallel runs than the worker pool
+// admits and checks they all complete — the acceptance bar is >= 4
+// concurrent sessions with clean teardown.
+func TestManagerConcurrentRuns(t *testing.T) {
+	before := runtime.NumGoroutine()
+	m := NewManager(4)
+
+	const n = 6
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("run-%d", i)
+		if err := m.Create(name, smallOpts()...); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Start(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			res, err := m.Wait(context.Background(), name)
+			if err != nil {
+				t.Errorf("%s: %v", name, err)
+				return
+			}
+			if res.Viewer.FramesCompleted != 2 {
+				t.Errorf("%s completed %d frames, want 2", name, res.Viewer.FramesCompleted)
+			}
+		}(fmt.Sprintf("run-%d", i))
+	}
+	wg.Wait()
+
+	for _, st := range m.List() {
+		if st.State != StateDone {
+			t.Errorf("run %s finished in state %s", st.Name, st.State)
+		}
+		if st.FramesSent != 2*2 {
+			t.Errorf("run %s streamed %d frame metrics, want 4", st.Name, st.FramesSent)
+		}
+		if st.Started.IsZero() || st.Finished.IsZero() {
+			t.Errorf("run %s missing lifecycle timestamps: %+v", st.Name, st)
+		}
+	}
+
+	m.Close()
+	checkNoGoroutineLeak(t, before)
+}
+
+// TestManagerCancelMidRun cancels a slow running pipeline and checks the
+// state lands in Canceled without leaking goroutines.
+func TestManagerCancelMidRun(t *testing.T) {
+	before := runtime.NumGoroutine()
+	m := NewManager(2)
+
+	src := &slowTestSource{Source: smallSource(100), delay: 20 * time.Millisecond}
+	if err := m.Create("slow", WithSource(src), WithPEs(2), WithMode(Overlapped)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start("slow"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Let it get going, then cancel.
+	deadline := time.Now().Add(5 * time.Second)
+	for src.loads.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := m.Cancel("slow"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Wait(context.Background(), "slow"); err == nil {
+		t.Fatal("cancelled run returned a nil error from Wait")
+	}
+	st, err := m.Status("slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateCanceled {
+		t.Fatalf("cancelled run in state %s", st.State)
+	}
+	// Cancelling again is a no-op.
+	if err := m.Cancel("slow"); err != nil {
+		t.Errorf("re-cancel errored: %v", err)
+	}
+
+	m.Close()
+	checkNoGoroutineLeak(t, before)
+}
+
+// TestManagerCancelQueued checks a run cancelled while waiting for a worker
+// slot never executes.
+func TestManagerCancelQueued(t *testing.T) {
+	m := NewManager(1)
+	defer m.Close()
+
+	hog := &slowTestSource{Source: smallSource(100), delay: 20 * time.Millisecond}
+	if err := m.Create("hog", WithSource(hog), WithPEs(1)); err != nil {
+		t.Fatal(err)
+	}
+	queued := &slowTestSource{Source: smallSource(2), delay: 0}
+	if err := m.Create("queued", WithSource(queued), WithPEs(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start("hog"); err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the hog actually holds the single worker slot; only then is
+	// the second run guaranteed to queue rather than race it for the slot.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if st, _ := m.Status("hog"); st.State == StateRunning {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := m.Start("queued"); err != nil {
+		t.Fatal(err)
+	}
+
+	if st, _ := m.Status("queued"); st.State != StateQueued {
+		t.Fatalf("second run state %s, want queued behind the single worker", st.State)
+	}
+	if err := m.Cancel("queued"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Wait(context.Background(), "queued"); err == nil {
+		t.Fatal("cancelled queued run returned nil from Wait")
+	}
+	if st, _ := m.Status("queued"); st.State != StateCanceled {
+		t.Fatalf("queued run state %s, want canceled", st.State)
+	}
+	if queued.loads.Load() != 0 {
+		t.Errorf("cancelled queued run performed %d loads", queued.loads.Load())
+	}
+	if err := m.Cancel("hog"); err != nil {
+		t.Fatal(err)
+	}
+	m.Wait(context.Background(), "hog")
+}
+
+// TestManagerStateTransitions watches one run move pending -> queued/running
+// -> done.
+func TestManagerStateTransitions(t *testing.T) {
+	m := NewManager(1)
+	defer m.Close()
+
+	if err := m.Create("r", smallOpts()...); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := m.Status("r")
+	if st.State != StatePending {
+		t.Fatalf("state %s, want pending", st.State)
+	}
+	if err := m.Start("r"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start("r"); err == nil {
+		t.Error("double start succeeded")
+	}
+	if _, err := m.Wait(context.Background(), "r"); err != nil {
+		t.Fatal(err)
+	}
+	st, _ = m.Status("r")
+	if st.State != StateDone {
+		t.Fatalf("final state %s, want done", st.State)
+	}
+	if !st.State.Terminal() {
+		t.Error("done state not terminal")
+	}
+	if _, err := m.Result("r"); err != nil {
+		t.Errorf("result unavailable after done: %v", err)
+	}
+	if err := m.Remove("r"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Status("r"); err == nil {
+		t.Error("removed run still has status")
+	}
+}
+
+// TestManagerSubscribe streams metrics while the run executes.
+func TestManagerSubscribe(t *testing.T) {
+	m := NewManager(1)
+	defer m.Close()
+
+	src := &slowTestSource{Source: smallSource(3), delay: 10 * time.Millisecond}
+	if err := m.Create("s", WithSource(src), WithPEs(2)); err != nil {
+		t.Fatal(err)
+	}
+	ch, cancel, err := m.Subscribe("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+	if err := m.Start("s"); err != nil {
+		t.Fatal(err)
+	}
+
+	var streamed int
+	for range ch {
+		streamed++
+	}
+	if streamed != 2*3 {
+		t.Errorf("streamed %d metrics, want 6", streamed)
+	}
+	snapshot, err := m.Metrics("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snapshot) != 6 {
+		t.Errorf("metrics snapshot has %d entries, want 6", len(snapshot))
+	}
+	// Subscribing to a finished run yields a closed channel, not an error.
+	ch2, cancel2, err := m.Subscribe("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel2()
+	if _, ok := <-ch2; ok {
+		t.Error("subscription to a finished run delivered a metric")
+	}
+}
+
+// TestManagerWaitContext checks Wait respects its own context.
+func TestManagerWaitContext(t *testing.T) {
+	m := NewManager(1)
+	defer m.Close()
+
+	src := &slowTestSource{Source: smallSource(100), delay: 20 * time.Millisecond}
+	if err := m.Create("w", WithSource(src), WithPEs(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start("w"); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, err := m.Wait(ctx, "w"); err == nil {
+		t.Fatal("Wait ignored its context deadline")
+	}
+	m.Cancel("w")
+	m.Wait(context.Background(), "w")
+}
+
+// TestManagerClose cancels everything in flight.
+func TestManagerClose(t *testing.T) {
+	before := runtime.NumGoroutine()
+	m := NewManager(2)
+
+	src := func() Source {
+		return &slowTestSource{Source: smallSource(100), delay: 20 * time.Millisecond}
+	}
+	for i := 0; i < 3; i++ {
+		name := fmt.Sprintf("c-%d", i)
+		if err := m.Create(name, WithSource(src()), WithPEs(1)); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Start(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One run never started: Close must finish it too.
+	if err := m.Create("never-started", smallOpts()...); err != nil {
+		t.Fatal(err)
+	}
+
+	m.Close()
+	for _, st := range m.List() {
+		if !st.State.Terminal() {
+			t.Errorf("run %s left in state %s after Close", st.Name, st.State)
+		}
+	}
+	if err := m.Create("late", smallOpts()...); err == nil {
+		t.Error("Create succeeded on a closed manager")
+	}
+	checkNoGoroutineLeak(t, before)
+}

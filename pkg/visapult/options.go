@@ -1,0 +1,187 @@
+package visapult
+
+import (
+	"errors"
+	"fmt"
+
+	"visapult/internal/backend"
+	"visapult/internal/core"
+	"visapult/internal/netsim"
+)
+
+// config collects everything the options can set; New validates it and Run
+// translates it into the internal session configuration.
+type config struct {
+	source        Source
+	pes           int
+	timesteps     int
+	mode          Mode
+	axis          Axis
+	tf            TransferFunction
+	transport     Transport
+	stripeLanes   int
+	viewerShaper  *Shaper
+	followView    bool
+	viewAngle     float64
+	instrument    bool
+	renderLoop    bool
+	discardViewer bool
+	onFrame       func(FrameMetric)
+}
+
+func defaultConfig() config {
+	return config{pes: 4, stripeLanes: 2}
+}
+
+func (c *config) validate() error {
+	if c.source == nil {
+		return errors.New("visapult: a Source is required (use WithSource)")
+	}
+	if c.pes <= 0 {
+		return fmt.Errorf("visapult: PEs must be positive, got %d", c.pes)
+	}
+	if c.timesteps < 0 {
+		return fmt.Errorf("visapult: timesteps must be non-negative, got %d", c.timesteps)
+	}
+	if c.stripeLanes <= 0 {
+		return fmt.Errorf("visapult: stripe lanes must be positive, got %d", c.stripeLanes)
+	}
+	switch c.transport {
+	case TransportLocal, TransportTCP, TransportStriped:
+	default:
+		return fmt.Errorf("visapult: unknown transport %d", c.transport)
+	}
+	if c.discardViewer && c.transport != TransportLocal {
+		return errors.New("visapult: WithoutViewer requires the local transport")
+	}
+	return nil
+}
+
+func (c *config) sessionConfig() core.SessionConfig {
+	return core.SessionConfig{
+		PEs:          c.pes,
+		Timesteps:    c.timesteps,
+		Mode:         c.mode,
+		Axis:         c.axis,
+		Source:       c.source,
+		TF:           c.tf,
+		Transport:    c.transport,
+		StripeLanes:  c.stripeLanes,
+		ViewerShaper: c.viewerShaper,
+		FollowView:   c.followView,
+		ViewAngle:    c.viewAngle,
+		Instrument:   c.instrument,
+		RenderLoop:   c.renderLoop,
+		OnFrame:      c.onFrame,
+	}
+}
+
+// Option configures a Pipeline built by New.
+type Option func(*config)
+
+// WithSource sets the data source feeding the back end. Required.
+func WithSource(s Source) Option {
+	return func(c *config) { c.source = s }
+}
+
+// WithPEs sets the number of back-end processing elements (default 4, the
+// paper's first-light configuration).
+func WithPEs(n int) Option {
+	return func(c *config) { c.pes = n }
+}
+
+// WithTimesteps bounds the number of timesteps processed; 0 (the default)
+// processes every timestep the source offers.
+func WithTimesteps(n int) Option {
+	return func(c *config) { c.timesteps = n }
+}
+
+// WithMode selects how each PE schedules loading relative to rendering:
+// Serial, Overlapped, or OverlappedProcessPair (default Serial).
+func WithMode(m Mode) Option {
+	return func(c *config) { c.mode = m }
+}
+
+// WithAxis sets the initial slab decomposition axis (default X).
+func WithAxis(a Axis) Option {
+	return func(c *config) { c.axis = a }
+}
+
+// WithTransferFunction overrides the volume-rendering transfer function; the
+// default is the combustion palette.
+func WithTransferFunction(tf TransferFunction) Option {
+	return func(c *config) { c.tf = tf }
+}
+
+// WithTransport selects how payloads reach the viewer: TransportLocal (an
+// in-process sink, the default), TransportTCP (one connection per PE, the
+// paper's layout), or TransportStriped (a striped socket bundle per PE,
+// section 3.4).
+func WithTransport(t Transport) Option {
+	return func(c *config) { c.transport = t }
+}
+
+// WithStripeLanes sets the number of sockets per PE for TransportStriped
+// (default 2).
+func WithStripeLanes(n int) Option {
+	return func(c *config) { c.stripeLanes = n }
+}
+
+// WithViewerShaper throttles the back-end-to-viewer writes through the given
+// token-bucket shaper, emulating a WAN between them.
+func WithViewerShaper(s *Shaper) Option {
+	return func(c *config) { c.viewerShaper = s }
+}
+
+// WithViewerBandwidth is WithViewerShaper for the common case: it caps the
+// back-end-to-viewer path at the given rate in bits per second.
+func WithViewerBandwidth(bitsPerSec float64) Option {
+	return func(c *config) { c.viewerShaper = netsim.NewShaper(bitsPerSec/8, 64<<10) }
+}
+
+// WithFollowView makes the viewer feed best-axis hints back to the back end
+// after every completed frame (section 3.3's IBRAVR axis switching).
+func WithFollowView() Option {
+	return func(c *config) { c.followView = true }
+}
+
+// WithViewAngle sets the viewer camera's rotation about Y in radians.
+func WithViewAngle(radians float64) Option {
+	return func(c *config) { c.viewAngle = radians }
+}
+
+// WithInstrumentation enables NetLogger instrumentation on both components;
+// the merged event stream is returned in Result.Events.
+func WithInstrumentation() Option {
+	return func(c *config) { c.instrument = true }
+}
+
+// WithRenderLoop starts the viewer's decoupled render goroutine for the
+// duration of the run (the paper's desktop interactivity thread).
+func WithRenderLoop() Option {
+	return func(c *config) { c.renderLoop = true }
+}
+
+// WithoutViewer replaces the viewer with a discarding sink so the run
+// measures only the load/render pipeline. Requires the local transport.
+func WithoutViewer() Option {
+	return func(c *config) { c.discardViewer = true }
+}
+
+// WithFrameHook registers a callback invoked once per (PE, timestep) as soon
+// as that PE finishes sending the frame. It is called concurrently from the
+// PE goroutines; Manager uses it to stream live metrics.
+func WithFrameHook(fn func(FrameMetric)) Option {
+	return func(c *config) {
+		if fn == nil {
+			return
+		}
+		prev := c.onFrame
+		c.onFrame = func(fs backend.FrameStats) {
+			if prev != nil {
+				prev(fs)
+			}
+			fn(fs)
+		}
+	}
+}

@@ -1,0 +1,195 @@
+package visapult
+
+import (
+	"visapult/internal/backend"
+	"visapult/internal/core"
+	"visapult/internal/netlogger"
+	"visapult/internal/netsim"
+	"visapult/internal/platform"
+	"visapult/internal/render"
+	"visapult/internal/stats"
+	"visapult/internal/transfer"
+	"visapult/internal/viewer"
+	"visapult/internal/volume"
+)
+
+// This file is the curated alias surface of the facade: the internal types a
+// public consumer legitimately touches when building pipelines, wrapping
+// sources, or reproducing the paper's campaigns. Aliases (type X = internal.Y)
+// rather than wrappers, so values flow between the facade and the pipeline
+// internals without conversion.
+
+// Mode selects how each PE schedules data loading relative to rendering
+// (section 4.3 and Appendix B of the paper).
+type Mode = backend.Mode
+
+// Back-end execution modes.
+const (
+	// Serial loads timestep t, renders it, sends it, then starts t+1.
+	Serial = backend.Serial
+	// Overlapped loads timestep t+1 while rendering t (the paper's pthread +
+	// shared-memory design).
+	Overlapped = backend.Overlapped
+	// OverlappedProcessPair is the rejected MPI-only alternative of Appendix
+	// B: the loaded timestep is copied between reader and renderer.
+	OverlappedProcessPair = backend.OverlappedProcessPair
+)
+
+// Transport selects how the back end's payloads reach the viewer.
+type Transport = core.Transport
+
+// Pipeline transports.
+const (
+	// TransportLocal delivers payloads with an in-process sink (no sockets).
+	TransportLocal = core.TransportLocal
+	// TransportTCP gives every PE its own TCP connection to the viewer.
+	TransportTCP = core.TransportTCP
+	// TransportStriped gives every PE a striped bundle of TCP connections
+	// (section 3.4's "striped sockets").
+	TransportStriped = core.TransportStriped
+)
+
+// Axis identifies a slab decomposition axis.
+type Axis = volume.Axis
+
+// Decomposition axes.
+const (
+	AxisX = volume.AxisX
+	AxisY = volume.AxisY
+	AxisZ = volume.AxisZ
+)
+
+// Volume is a dense float32 scalar field; the payload of every Source.
+type Volume = volume.Volume
+
+// NewVolume allocates a zero-filled volume, panicking on non-positive
+// dimensions.
+func NewVolume(nx, ny, nz int) *Volume { return volume.MustNew(nx, ny, nz) }
+
+// Region is an axis-aligned sub-box of a volume, the unit of a Source load.
+type Region = volume.Region
+
+// RunStats aggregates one back-end run; FrameMetric records one (PE,
+// timestep) within it.
+type (
+	RunStats    = backend.RunStats
+	FrameMetric = backend.FrameStats
+)
+
+// ViewerStats is the viewer-side counter snapshot of a run.
+type ViewerStats = viewer.Stats
+
+// Image is a float RGBA image; WritePPM serializes it for display.
+type Image = render.Image
+
+// TransferFunction maps a scalar voxel value to premultiplied RGBA.
+type TransferFunction = render.TransferFunction
+
+// CombustionTF returns the default combustion (fire) transfer function.
+func CombustionTF() TransferFunction { return render.DefaultCombustionTF() }
+
+// CosmologyTF returns the cool-palette transfer function used for the SC99
+// cosmology dataset.
+func CosmologyTF() TransferFunction { return render.DefaultCosmologyTF() }
+
+// Event is one NetLogger event; see package visapult/pkg/visapult/netlog for
+// analysis, ULM serialization and NLV rendering.
+type Event = netlogger.Event
+
+// Shaper is a token-bucket bandwidth shaper used to emulate WAN links on
+// real connections.
+type Shaper = netsim.Shaper
+
+// NewShaper builds a shaper from a byte rate and a burst size in bytes.
+func NewShaper(rateBytesPerSec, burstBytes float64) *Shaper {
+	return netsim.NewShaper(rateBytesPerSec, burstBytes)
+}
+
+// ShaperForLink builds a shaper matching a testbed link's bandwidth.
+func ShaperForLink(l Link) *Shaper { return netsim.ShaperForLink(l) }
+
+// Link is one modelled network segment; Path a sequence of them.
+type (
+	Link = netsim.Link
+	Path = netsim.Path
+)
+
+// NewPath builds a path from hops; its bandwidth is the bottleneck hop's.
+func NewPath(name string, hops ...Link) Path { return netsim.NewPath(name, hops...) }
+
+// The paper's testbed links.
+var (
+	NTON   = netsim.NTON
+	OC48   = netsim.OC48
+	OC192  = netsim.OC192
+	ESnet  = netsim.ESnet
+	SciNet = netsim.SciNet
+	GigE   = netsim.GigE
+)
+
+// Platform models a back-end compute platform for campaign simulation.
+type Platform = platform.Platform
+
+// PlatformKind distinguishes clusters (shared CPU per node) from SMPs.
+type PlatformKind = platform.Kind
+
+// Platform kinds.
+const (
+	ClusterPlatform = platform.Cluster
+	SMPPlatform     = platform.SMP
+)
+
+// The paper's field-test platforms.
+var (
+	CPlant = platform.CPlant
+	Onyx2  = platform.Onyx2
+	E4500  = platform.E4500
+)
+
+// Campaign is a virtual-clock simulation of one of the paper's field tests;
+// CampaignResult its outcome. Campaigns regenerate the paper's 160
+// MB-per-timestep WAN runs in milliseconds of real time.
+type (
+	Campaign       = core.Campaign
+	CampaignResult = core.CampaignResult
+)
+
+// The paper's campaign presets (Figures 10-17).
+var (
+	FirstLightCampaign    = core.FirstLightCampaign
+	SC99CPlantCampaign    = core.SC99CPlantCampaign
+	SC99ShowFloorCampaign = core.SC99ShowFloorCampaign
+	E4500LANCampaign      = core.E4500LANCampaign
+	CPlantNTONCampaign    = core.CPlantNTONCampaign
+	ANLESnetCampaign      = core.ANLESnetCampaign
+)
+
+// Experiment is one entry of the paper's evaluation (E1-E12) or of the
+// section 5 extension studies (X1...); Table its printable result.
+type (
+	Experiment = core.Experiment
+	Table      = core.Table
+)
+
+// Experiments returns the E1-E12 index of the paper's evaluation.
+func Experiments() []Experiment { return core.Experiments() }
+
+// Extensions returns the X-series studies of the paper's section 5
+// proposals.
+func Extensions() []Experiment { return core.Extensions() }
+
+// Overlap pipeline model (section 4.3): serial and overlapped totals for n
+// timesteps with per-timestep load and render costs, and their ratio.
+var (
+	SerialTime     = transfer.SerialTime
+	OverlappedTime = transfer.OverlappedTime
+	Speedup        = transfer.Speedup
+	IdealSpeedup   = transfer.IdealSpeedup
+)
+
+// Formatting helpers shared by the command-line tools.
+var (
+	HumanBytes = stats.HumanBytes
+	Mbps       = stats.Mbps
+	MBps       = stats.MBps
+)

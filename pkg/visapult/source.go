@@ -1,0 +1,111 @@
+package visapult
+
+import (
+	"visapult/internal/backend"
+	"visapult/internal/datagen"
+	"visapult/internal/dpss"
+)
+
+// Source supplies the raw scientific data a pipeline visualizes. The paper's
+// back end "reads raw scientific data from one of a number of different data
+// sources"; the three constructors below cover the same ground — volumes
+// already in memory, the synthetic combustion/cosmology generators, and the
+// DPSS network data cache of all the paper's field tests. Any type
+// implementing the interface (dimensions, timestep count, per-step size, and
+// region loads) works; wrap an existing Source to inject delays or faults.
+type Source = backend.DataSource
+
+// NewMemorySource serves timesteps already resident in memory. All volumes
+// must share the same dimensions. It is the fastest source, used by tests
+// and by viewer-side work where no network cache is involved.
+func NewMemorySource(steps ...*Volume) (Source, error) {
+	return backend.NewMemorySource(steps...)
+}
+
+// CombustionSpec configures the synthetic stand-in for the paper's
+// combustion dataset. The zero value of NX/NY/NZ selects the paper's
+// 640x256x256 grid divided by 8; Timesteps defaults to 5.
+type CombustionSpec struct {
+	NX, NY, NZ int
+	Timesteps  int
+	Seed       int64
+}
+
+// NewCombustionSource builds a synthetic combustion source. Generated
+// timesteps are cached so all PEs of one back end share a single generation
+// pass.
+func NewCombustionSource(spec CombustionSpec) Source {
+	if spec.NX <= 0 || spec.NY <= 0 || spec.NZ <= 0 {
+		spec.NX, spec.NY, spec.NZ = 640/8, 256/8, 256/8
+	}
+	if spec.Timesteps <= 0 {
+		spec.Timesteps = 5
+	}
+	if spec.Seed == 0 {
+		spec.Seed = 2000
+	}
+	return backend.NewSyntheticSource(datagen.NewCombustion(datagen.CombustionConfig{
+		NX: spec.NX, NY: spec.NY, NZ: spec.NZ,
+		Timesteps: spec.Timesteps, Seed: spec.Seed,
+	}))
+}
+
+// CosmologySpec configures the synthetic stand-in for the SC99 cosmology
+// dataset. The zero value selects a 64^3 grid with 2 timesteps.
+type CosmologySpec struct {
+	NX, NY, NZ int
+	Timesteps  int
+	Seed       int64
+}
+
+// NewCosmologySource builds a synthetic cosmology source; pair it with
+// CosmologyTF for the SC99 palette.
+func NewCosmologySource(spec CosmologySpec) Source {
+	if spec.NX <= 0 || spec.NY <= 0 || spec.NZ <= 0 {
+		spec.NX, spec.NY, spec.NZ = 64, 64, 64
+	}
+	if spec.Timesteps <= 0 {
+		spec.Timesteps = 2
+	}
+	if spec.Seed == 0 {
+		spec.Seed = 99
+	}
+	return backend.NewSyntheticSource(datagen.NewCosmology(datagen.CosmologyConfig{
+		NX: spec.NX, NY: spec.NY, NZ: spec.NZ,
+		Timesteps: spec.Timesteps, Seed: spec.Seed,
+	}))
+}
+
+// NewPaperCombustionSource returns the combustion dataset at the paper's
+// 640x256x256 resolution divided by scale (use 1 for the full 160
+// MB-per-timestep grid).
+func NewPaperCombustionSource(scale, timesteps int) Source {
+	if scale < 1 {
+		scale = 1
+	}
+	if timesteps < 1 {
+		timesteps = 1
+	}
+	return NewCombustionSource(CombustionSpec{
+		NX: 640 / scale, NY: 256 / scale, NZ: 256 / scale,
+		Timesteps: timesteps,
+	})
+}
+
+// DPSSSource reads timesteps from a DPSS cache through the block-level
+// client API — the configuration of all the paper's field tests. It
+// implements Source; Close releases the cached dataset handles.
+type DPSSSource = backend.DPSSSource
+
+// NewDPSSSource builds a source reading from the given DPSS client. base is
+// the dataset base name (each timestep is a separate dataset named
+// base.tNNNN); nx, ny, nz are the per-timestep volume dimensions; steps is
+// the number of timesteps staged in the cache.
+func NewDPSSSource(client *DPSSClient, base string, nx, ny, nz, steps int) (*DPSSSource, error) {
+	return backend.NewDPSSSource(client, base, nx, ny, nz, steps)
+}
+
+// DPSSClient is the block-level client of the DPSS network data cache; see
+// the visapult/pkg/visapult/dpss package for the full client and cluster
+// API.
+type DPSSClient = dpss.Client
