@@ -1,0 +1,67 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: visapult
+cpu: Intel(R) Xeon(R) CPU
+BenchmarkE1_DPSSThroughput-8                   1          52143761 ns/op               980.9 LAN-Mbps        570.3 WAN-Mbps
+BenchmarkE3_FirstLight-8                       1         104485668 ns/op                 3.021 load-s       433.4 Mbps          8.533 render-s         70.25 util-%
+BenchmarkRenderSlab-8                          1            867037 ns/op         1511608 voxels/op
+PASS
+ok      visapult        12.774s
+`
+
+func TestParse(t *testing.T) {
+	doc, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Goos != "linux" || doc.Goarch != "amd64" || doc.Pkg != "visapult" {
+		t.Errorf("header parsed as %q/%q/%q", doc.Goos, doc.Goarch, doc.Pkg)
+	}
+	if len(doc.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(doc.Benchmarks))
+	}
+
+	e1 := doc.Benchmarks[0]
+	if e1.Name != "E1_DPSSThroughput" {
+		t.Errorf("name %q, want E1_DPSSThroughput (suffix stripped)", e1.Name)
+	}
+	if e1.Iterations != 1 {
+		t.Errorf("iterations %d, want 1", e1.Iterations)
+	}
+	if got := e1.Metrics["LAN-Mbps"]; got != 980.9 {
+		t.Errorf("LAN-Mbps = %v, want 980.9", got)
+	}
+	if got := e1.Metrics["WAN-Mbps"]; got != 570.3 {
+		t.Errorf("WAN-Mbps = %v, want 570.3", got)
+	}
+
+	e3 := doc.Benchmarks[1]
+	if len(e3.Metrics) != 5 { // ns/op + 4 custom metrics
+		t.Errorf("E3 carries %d metrics, want 5: %+v", len(e3.Metrics), e3.Metrics)
+	}
+	if got := e3.Metrics["util-%"]; got != 70.25 {
+		t.Errorf("util-%% = %v, want 70.25", got)
+	}
+}
+
+func TestParseIgnoresNoise(t *testing.T) {
+	noise := `random text
+Benchmark
+BenchmarkNoFields-8
+FAIL
+`
+	doc, err := parse(strings.NewReader(noise))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 0 {
+		t.Errorf("parsed %d benchmarks from noise, want 0: %+v", len(doc.Benchmarks), doc.Benchmarks)
+	}
+}

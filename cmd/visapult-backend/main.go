@@ -4,16 +4,23 @@
 // parallel, and streams the per-slab textures to a visapult-viewer process
 // over one TCP connection per processing element.
 //
+// With -serve-control it instead runs as a dispatch worker: it listens for
+// runs placed on it by a visapultd scheduler (register the worker with
+// POST /api/workers) and streams per-frame metrics back over the control
+// connection, so many backend processes form one scheduled pool.
+//
 // Usage:
 //
 //	visapult-backend -viewer 127.0.0.1:9400 -pes 4 -steps 5 -mode overlapped
 //	visapult-backend -viewer 127.0.0.1:9400 -dpss 127.0.0.1:9300 -dataset combustion -dims 80x32x32 -steps 5
+//	visapult-backend -serve-control 127.0.0.1:9700 -capacity 2
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"os/signal"
 	"time"
@@ -33,7 +40,14 @@ func main() {
 	dims := flag.String("dims", "80x32x32", "DPSS dataset dimensions, NXxNYxNZ")
 	followView := flag.Bool("follow-view", false, "let the viewer's axis hints steer the slab decomposition")
 	logOut := flag.String("netlog", "", "optional file for the back end's ULM event stream")
+	serveControl := flag.String("serve-control", "", "worker mode: listen on this address for runs dispatched by visapultd")
+	capacity := flag.Int("capacity", 2, "concurrent dispatched runs in -serve-control mode")
 	flag.Parse()
+
+	if *serveControl != "" {
+		serveWorker(*serveControl, *capacity)
+		return
+	}
 
 	m := visapult.Serial
 	if *mode == "overlapped" {
@@ -85,6 +99,28 @@ func main() {
 		}
 		fmt.Printf("visapult-backend: wrote %d events to %s\n", len(rep.Events), *logOut)
 	}
+}
+
+// serveWorker runs the process as a dispatch worker until interrupted.
+func serveWorker(addr string, capacity int) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fatal(err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	fmt.Printf("visapult-backend: worker mode, control on %s, capacity %d (ctrl-c to stop)\n",
+		ln.Addr(), capacity)
+	err = visapult.ServeWorker(ctx, ln, visapult.WorkerConfig{
+		Capacity: capacity,
+		Logf: func(format string, args ...any) {
+			fmt.Printf("visapult-backend: "+format+"\n", args...)
+		},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("visapult-backend: worker stopped")
 }
 
 func fatal(err error) {

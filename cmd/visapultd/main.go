@@ -4,22 +4,34 @@
 // stream live per-frame metrics over server-sent events while a bounded
 // worker pool executes the pipelines.
 //
+// Registering remote workers (visapult-backend processes started with
+// -serve-control) turns the daemon into a multi-backend scheduler: runs are
+// placed on the least-loaded live worker, stream their metrics back over the
+// control connection, and are re-queued onto another worker if theirs dies
+// mid-run. With no workers registered every run executes in-process, as
+// before.
+//
 // Usage:
 //
 //	visapultd -listen 127.0.0.1:9600 -workers 4
+//	visapultd -listen 127.0.0.1:9600 -worker 127.0.0.1:9700 -worker 127.0.0.1:9701
 //
 // Endpoints:
 //
 //	GET    /healthz                   liveness probe
 //	GET    /api/runs                  list runs
 //	POST   /api/runs                  create a run (JSON spec; "start":true launches it)
-//	GET    /api/runs/{name}           run status
+//	GET    /api/runs/{name}           run status (includes placement attempts)
 //	POST   /api/runs/{name}/start     queue the run on the worker pool
 //	POST   /api/runs/{name}/cancel    cancel the run
 //	DELETE /api/runs/{name}           remove a finished run
 //	GET    /api/runs/{name}/result    summary of a completed run
 //	GET    /api/runs/{name}/metrics   per-frame metrics snapshot
 //	GET    /api/runs/{name}/stream    live per-frame metrics (SSE)
+//	GET    /api/workers               list registered workers
+//	POST   /api/workers               register a worker {"addr":"host:port","capacity":2}
+//	POST   /api/workers/{id}/drain    stop placing runs on the worker
+//	DELETE /api/workers/{id}          forget the worker
 //
 // Example:
 //
@@ -47,10 +59,32 @@ import (
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:9600", "address to serve the HTTP API on")
-	workers := flag.Int("workers", 4, "maximum pipelines executing concurrently")
+	workers := flag.Int("workers", 4, "maximum pipelines executing concurrently in-process")
+	var workerAddrs []string
+	flag.Func("worker", "control address of a visapult-backend -serve-control worker to register at startup (repeatable)",
+		func(addr string) error {
+			workerAddrs = append(workerAddrs, addr)
+			return nil
+		})
 	flag.Parse()
 
 	mgr := visapult.NewManager(*workers)
+	// Register boot workers concurrently, off the startup path: a dead
+	// address costs its own 5s probe, not a serial delay of the HTTP API.
+	// A worker that is down at boot is not fatal: the operator can register
+	// it later through the API.
+	for _, addr := range workerAddrs {
+		go func(addr string) {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			ws, err := mgr.RegisterWorker(ctx, addr, 0)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "visapultd: %v\n", err)
+				return
+			}
+			fmt.Printf("visapultd: registered worker %s at %s (capacity %d)\n", ws.ID, ws.Addr, ws.Capacity)
+		}(addr)
+	}
 	srv := &http.Server{Addr: *listen, Handler: newServer(mgr).handler()}
 
 	errCh := make(chan error, 1)

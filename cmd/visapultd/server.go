@@ -4,17 +4,16 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"math"
 	"net/http"
-	"strings"
 	"time"
 
 	"visapult/pkg/visapult"
 )
 
 // server exposes a visapult.Manager over HTTP: JSON control endpoints for
-// the run lifecycle plus a live per-frame metrics stream (server-sent
-// events), the run-manager shape a backend integrates against.
+// the run lifecycle and the remote-worker pool, plus a live per-frame
+// metrics stream (server-sent events) — the run-manager shape a backend
+// integrates against.
 type server struct {
 	mgr *visapult.Manager
 }
@@ -34,131 +33,55 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET /api/runs/{name}/result", s.handleResult)
 	mux.HandleFunc("GET /api/runs/{name}/metrics", s.handleMetrics)
 	mux.HandleFunc("GET /api/runs/{name}/stream", s.handleStream)
+	mux.HandleFunc("GET /api/workers", s.handleWorkerList)
+	mux.HandleFunc("POST /api/workers", s.handleWorkerRegister)
+	mux.HandleFunc("POST /api/workers/{id}/drain", s.handleWorkerDrain)
+	mux.HandleFunc("DELETE /api/workers/{id}", s.handleWorkerRemove)
 	return mux
 }
 
-// runSpec is the JSON shape of a pipeline configuration.
+// runSpec is the JSON shape of a run creation request: the serializable
+// pipeline spec (shared with the worker dispatch protocol) plus the run's
+// name and launch flag. Spec-created runs are scheduled onto registered
+// workers when any are live.
 type runSpec struct {
-	Name   string     `json:"name"`
-	Source sourceSpec `json:"source"`
-	// PEs, Timesteps, Mode, Transport, StripeLanes mirror the facade
-	// options; zero values select the facade defaults.
-	PEs         int    `json:"pes,omitempty"`
-	Timesteps   int    `json:"timesteps,omitempty"`
-	Mode        string `json:"mode,omitempty"`      // serial | overlapped | process-pair
-	Transport   string `json:"transport,omitempty"` // local | tcp | striped
-	StripeLanes int    `json:"stripeLanes,omitempty"`
-	// ViewerBandwidthMbps caps the back-end-to-viewer path (0 = unshaped).
-	ViewerBandwidthMbps float64 `json:"viewerBandwidthMbps,omitempty"`
-	FollowView          bool    `json:"followView,omitempty"`
-	ViewAngleDeg        float64 `json:"viewAngleDeg,omitempty"`
-	Instrument          bool    `json:"instrument,omitempty"`
-	RenderLoop          bool    `json:"renderLoop,omitempty"`
+	Name string `json:"name"`
+	visapult.RunSpec
 	// Start launches the run immediately after creation.
 	Start bool `json:"start,omitempty"`
 }
 
-// sourceSpec selects and sizes the data source.
-type sourceSpec struct {
-	Kind      string `json:"kind"` // combustion | cosmology | paper
-	NX        int    `json:"nx,omitempty"`
-	NY        int    `json:"ny,omitempty"`
-	NZ        int    `json:"nz,omitempty"`
-	Timesteps int    `json:"timesteps,omitempty"`
-	Seed      int64  `json:"seed,omitempty"`
-	// Scale divides the paper's 640x256x256 grid for kind "paper".
-	Scale int `json:"scale,omitempty"`
-}
-
-// options translates the spec into facade options.
-func (spec *runSpec) options() ([]visapult.Option, error) {
-	var src visapult.Source
-	switch strings.ToLower(spec.Source.Kind) {
-	case "", "combustion":
-		src = visapult.NewCombustionSource(visapult.CombustionSpec{
-			NX: spec.Source.NX, NY: spec.Source.NY, NZ: spec.Source.NZ,
-			Timesteps: spec.Source.Timesteps, Seed: spec.Source.Seed,
-		})
-	case "cosmology":
-		src = visapult.NewCosmologySource(visapult.CosmologySpec{
-			NX: spec.Source.NX, NY: spec.Source.NY, NZ: spec.Source.NZ,
-			Timesteps: spec.Source.Timesteps, Seed: spec.Source.Seed,
-		})
-	case "paper":
-		scale := spec.Source.Scale
-		if scale <= 0 {
-			scale = 8
-		}
-		src = visapult.NewPaperCombustionSource(scale, spec.Source.Timesteps)
-	default:
-		return nil, fmt.Errorf("unknown source kind %q", spec.Source.Kind)
-	}
-	opts := []visapult.Option{visapult.WithSource(src)}
-
-	if spec.PEs > 0 {
-		opts = append(opts, visapult.WithPEs(spec.PEs))
-	}
-	if spec.Timesteps > 0 {
-		opts = append(opts, visapult.WithTimesteps(spec.Timesteps))
-	}
-	switch strings.ToLower(spec.Mode) {
-	case "", "serial":
-	case "overlapped":
-		opts = append(opts, visapult.WithMode(visapult.Overlapped))
-	case "process-pair":
-		opts = append(opts, visapult.WithMode(visapult.OverlappedProcessPair))
-	default:
-		return nil, fmt.Errorf("unknown mode %q", spec.Mode)
-	}
-	switch strings.ToLower(spec.Transport) {
-	case "", "local":
-	case "tcp":
-		opts = append(opts, visapult.WithTransport(visapult.TransportTCP))
-	case "striped":
-		opts = append(opts, visapult.WithTransport(visapult.TransportStriped))
-	default:
-		return nil, fmt.Errorf("unknown transport %q", spec.Transport)
-	}
-	if spec.StripeLanes > 0 {
-		opts = append(opts, visapult.WithStripeLanes(spec.StripeLanes))
-	}
-	if spec.ViewerBandwidthMbps > 0 {
-		opts = append(opts, visapult.WithViewerBandwidth(spec.ViewerBandwidthMbps*1e6))
-	}
-	if spec.FollowView {
-		opts = append(opts, visapult.WithFollowView())
-	}
-	if spec.ViewAngleDeg != 0 {
-		opts = append(opts, visapult.WithViewAngle(spec.ViewAngleDeg*math.Pi/180))
-	}
-	if spec.Instrument {
-		opts = append(opts, visapult.WithInstrumentation())
-	}
-	if spec.RenderLoop {
-		opts = append(opts, visapult.WithRenderLoop())
-	}
-	return opts, nil
-}
-
 // statusJSON is the wire shape of a run status.
 type statusJSON struct {
-	Name       string `json:"name"`
-	State      string `json:"state"`
-	Error      string `json:"error,omitempty"`
-	FramesSent int    `json:"framesSent"`
-	Created    string `json:"created,omitempty"`
-	Started    string `json:"started,omitempty"`
-	Finished   string `json:"finished,omitempty"`
+	Name       string        `json:"name"`
+	State      string        `json:"state"`
+	Error      string        `json:"error,omitempty"`
+	FramesSent int           `json:"framesSent"`
+	Created    string        `json:"created,omitempty"`
+	Started    string        `json:"started,omitempty"`
+	Finished   string        `json:"finished,omitempty"`
+	Worker     string        `json:"worker,omitempty"`
+	Attempts   []attemptJSON `json:"attempts,omitempty"`
+}
+
+// attemptJSON is the wire shape of one placement attempt.
+type attemptJSON struct {
+	Worker  string `json:"worker"`
+	Addr    string `json:"addr,omitempty"`
+	Started string `json:"started,omitempty"`
+	Ended   string `json:"ended,omitempty"`
+	Error   string `json:"error,omitempty"`
+}
+
+func fmtTime(t time.Time) string {
+	if t.IsZero() {
+		return ""
+	}
+	return t.UTC().Format(time.RFC3339Nano)
 }
 
 func toStatusJSON(st visapult.RunStatus) statusJSON {
-	fmtTime := func(t time.Time) string {
-		if t.IsZero() {
-			return ""
-		}
-		return t.UTC().Format(time.RFC3339Nano)
-	}
-	return statusJSON{
+	out := statusJSON{
 		Name:       st.Name,
 		State:      st.State.String(),
 		Error:      st.Error,
@@ -166,6 +89,42 @@ func toStatusJSON(st visapult.RunStatus) statusJSON {
 		Created:    fmtTime(st.Created),
 		Started:    fmtTime(st.Started),
 		Finished:   fmtTime(st.Finished),
+		Worker:     st.Worker,
+	}
+	for _, a := range st.Attempts {
+		out.Attempts = append(out.Attempts, attemptJSON{
+			Worker:  a.Worker,
+			Addr:    a.Addr,
+			Started: fmtTime(a.Started),
+			Ended:   fmtTime(a.Ended),
+			Error:   a.Error,
+		})
+	}
+	return out
+}
+
+// workerJSON is the wire shape of a registered worker.
+type workerJSON struct {
+	ID         string `json:"id"`
+	Addr       string `json:"addr"`
+	Capacity   int    `json:"capacity"`
+	Active     int    `json:"active"`
+	State      string `json:"state"`
+	Registered string `json:"registered,omitempty"`
+	Failures   int    `json:"failures,omitempty"`
+	LastError  string `json:"lastError,omitempty"`
+}
+
+func toWorkerJSON(ws visapult.WorkerStatus) workerJSON {
+	return workerJSON{
+		ID:         ws.ID,
+		Addr:       ws.Addr,
+		Capacity:   ws.Capacity,
+		Active:     ws.Active,
+		State:      ws.State.String(),
+		Registered: fmtTime(ws.Registered),
+		Failures:   ws.Failures,
+		LastError:  ws.LastError,
 	}
 }
 
@@ -205,11 +164,13 @@ func writeError(w http.ResponseWriter, code int, err error) {
 // errorCode maps manager errors onto HTTP statuses.
 func errorCode(err error) int {
 	switch {
-	case errors.Is(err, visapult.ErrUnknownRun):
+	case errors.Is(err, visapult.ErrUnknownRun),
+		errors.Is(err, visapult.ErrUnknownWorker):
 		return http.StatusNotFound
 	case errors.Is(err, visapult.ErrRunExists),
 		errors.Is(err, visapult.ErrRunNotPending),
 		errors.Is(err, visapult.ErrRunActive),
+		errors.Is(err, visapult.ErrWorkerExists),
 		errors.Is(err, visapult.ErrNoResult):
 		return http.StatusConflict
 	case errors.Is(err, visapult.ErrManagerClosed):
@@ -242,12 +203,9 @@ func (s *server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("run name is required"))
 		return
 	}
-	opts, err := spec.options()
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	if err := s.mgr.Create(spec.Name, opts...); err != nil {
+	// CreateSpec keeps the serializable spec alongside the run, which is
+	// what makes it placeable on registered remote workers.
+	if err := s.mgr.CreateSpec(spec.Name, spec.RunSpec); err != nil {
 		writeError(w, errorCode(err), err)
 		return
 	}
@@ -336,6 +294,57 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"metrics": out})
 }
 
+// workerRegisterRequest is the JSON body of POST /api/workers.
+type workerRegisterRequest struct {
+	// Addr is the worker's control address (visapult-backend -serve-control).
+	Addr string `json:"addr"`
+	// Capacity overrides the worker's advertised slot count; 0 adopts it.
+	Capacity int `json:"capacity,omitempty"`
+}
+
+func (s *server) handleWorkerList(w http.ResponseWriter, r *http.Request) {
+	workers := s.mgr.Workers()
+	out := make([]workerJSON, len(workers))
+	for i, ws := range workers {
+		out[i] = toWorkerJSON(ws)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"workers": out})
+}
+
+func (s *server) handleWorkerRegister(w http.ResponseWriter, r *http.Request) {
+	var req workerRegisterRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding worker registration: %w", err))
+		return
+	}
+	if req.Addr == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("worker addr is required"))
+		return
+	}
+	ws, err := s.mgr.RegisterWorker(r.Context(), req.Addr, req.Capacity)
+	if err != nil {
+		writeError(w, errorCode(err), err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, toWorkerJSON(ws))
+}
+
+func (s *server) handleWorkerDrain(w http.ResponseWriter, r *http.Request) {
+	if err := s.mgr.DrainWorker(r.PathValue("id")); err != nil {
+		writeError(w, errorCode(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"draining": true})
+}
+
+func (s *server) handleWorkerRemove(w http.ResponseWriter, r *http.Request) {
+	if err := s.mgr.RemoveWorker(r.PathValue("id")); err != nil {
+		writeError(w, errorCode(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"removed": true})
+}
+
 // handleStream serves per-frame metrics as server-sent events: one "metric"
 // event per (PE, timestep) as the pipeline produces them, then a final
 // "status" event when the run reaches a terminal state.
@@ -371,12 +380,23 @@ func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
 
 	// Replay what already happened so late subscribers see the whole run.
 	// Frames recorded between Subscribe and the snapshot arrive on both
-	// paths; the (frame, PE) key — unique per run — deduplicates them.
-	seen := make(map[[2]int]bool)
+	// paths. Deduplication is by value, not just (frame, PE) key: a run
+	// re-queued onto another worker re-streams its frames with that
+	// attempt's own timings, and those must reach the client (latest wins)
+	// rather than be mistaken for replay duplicates of the dead attempt.
+	sent := make(map[[2]int]metricJSON)
+	relay := func(fm visapult.FrameMetric) bool {
+		key := [2]int{fm.Frame, fm.PE}
+		mj := toMetricJSON(fm)
+		if prev, ok := sent[key]; ok && prev == mj {
+			return true
+		}
+		sent[key] = mj
+		return send("metric", mj)
+	}
 	if snapshot, err := s.mgr.Metrics(name); err == nil {
 		for _, fm := range snapshot {
-			seen[[2]int{fm.Frame, fm.PE}] = true
-			if !send("metric", toMetricJSON(fm)) {
+			if !relay(fm) {
 				return
 			}
 		}
@@ -386,16 +406,11 @@ func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
 		case fm, ok := <-ch:
 			if !ok { // run finished
 				// Backfill anything the bounded subscriber buffer dropped
-				// during bursts, so the stream's metric events always add
-				// up to the final status's FramesSent.
+				// during bursts, so the stream ends with every (frame, PE)
+				// of the final snapshot carrying its final values.
 				if snapshot, err := s.mgr.Metrics(name); err == nil {
 					for _, fm := range snapshot {
-						key := [2]int{fm.Frame, fm.PE}
-						if seen[key] {
-							continue
-						}
-						seen[key] = true
-						if !send("metric", toMetricJSON(fm)) {
+						if !relay(fm) {
 							return
 						}
 					}
@@ -405,12 +420,7 @@ func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
 				}
 				return
 			}
-			key := [2]int{fm.Frame, fm.PE}
-			if seen[key] {
-				continue
-			}
-			seen[key] = true
-			if !send("metric", toMetricJSON(fm)) {
+			if !relay(fm) {
 				return
 			}
 		case <-r.Context().Done():

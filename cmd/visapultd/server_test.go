@@ -3,8 +3,10 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -49,9 +51,11 @@ func decode[T any](t *testing.T, resp *http.Response) T {
 // smallSpec is a run spec that completes in well under a second.
 func smallSpec(name string, start bool) runSpec {
 	return runSpec{
-		Name:   name,
-		Source: sourceSpec{Kind: "combustion", NX: 24, NY: 16, NZ: 16, Timesteps: 2, Seed: 7},
-		PEs:    2, Mode: "overlapped", Transport: "local",
+		Name: name,
+		RunSpec: visapult.RunSpec{
+			Source: visapult.SourceSpec{Kind: "combustion", NX: 24, NY: 16, NZ: 16, Timesteps: 2, Seed: 7},
+			PEs:    2, Mode: "overlapped", Transport: "local",
+		},
 		Start: start,
 	}
 }
@@ -145,10 +149,10 @@ func TestCreateValidation(t *testing.T) {
 		spec runSpec
 		code int
 	}{
-		{"missing name", runSpec{Source: sourceSpec{Kind: "combustion"}}, http.StatusBadRequest},
-		{"bad source", runSpec{Name: "x", Source: sourceSpec{Kind: "noexist"}}, http.StatusBadRequest},
-		{"bad mode", runSpec{Name: "x", Mode: "warp", Source: sourceSpec{Kind: "combustion"}}, http.StatusBadRequest},
-		{"bad transport", runSpec{Name: "x", Transport: "pigeon", Source: sourceSpec{Kind: "combustion"}}, http.StatusBadRequest},
+		{"missing name", runSpec{RunSpec: visapult.RunSpec{Source: visapult.SourceSpec{Kind: "combustion"}}}, http.StatusBadRequest},
+		{"bad source", runSpec{Name: "x", RunSpec: visapult.RunSpec{Source: visapult.SourceSpec{Kind: "noexist"}}}, http.StatusBadRequest},
+		{"bad mode", runSpec{Name: "x", RunSpec: visapult.RunSpec{Mode: "warp", Source: visapult.SourceSpec{Kind: "combustion"}}}, http.StatusBadRequest},
+		{"bad transport", runSpec{Name: "x", RunSpec: visapult.RunSpec{Transport: "pigeon", Source: visapult.SourceSpec{Kind: "combustion"}}}, http.StatusBadRequest},
 	} {
 		resp := postJSON(t, ts.URL+"/api/runs", tc.spec)
 		resp.Body.Close()
@@ -201,9 +205,12 @@ func TestCancelQueuedRun(t *testing.T) {
 	// A paper-scale source keeps the hog busy for many seconds — long enough
 	// that both cancels land while it still occupies the only worker.
 	slow := runSpec{
-		Name:   "hog",
-		Source: sourceSpec{Kind: "paper", Scale: 2, Timesteps: 8},
-		PEs:    2, Mode: "serial", Transport: "local", Start: true,
+		Name: "hog",
+		RunSpec: visapult.RunSpec{
+			Source: visapult.SourceSpec{Kind: "paper", Scale: 2, Timesteps: 8},
+			PEs:    2, Mode: "serial", Transport: "local",
+		},
+		Start: true,
 	}
 	resp := postJSON(t, ts.URL+"/api/runs", slow)
 	resp.Body.Close()
@@ -221,6 +228,132 @@ func TestCancelQueuedRun(t *testing.T) {
 	resp = postJSON(t, ts.URL+"/api/runs/hog/cancel", nil)
 	resp.Body.Close()
 	waitState(t, ts.URL, "hog", "canceled")
+}
+
+// startHTTPTestWorker stands up a real in-process dispatch worker for the
+// HTTP-level scheduler tests.
+func startHTTPTestWorker(t *testing.T, capacity int) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		visapult.ServeWorker(ctx, ln, visapult.WorkerConfig{Capacity: capacity})
+	}()
+	t.Cleanup(func() { cancel(); <-done })
+	return ln.Addr().String()
+}
+
+// TestWorkerEndpoints drives the whole remote path over HTTP: register a
+// worker, dispatch a run to it, watch the SSE metrics arrive, and check the
+// run status records the placement. Then drain and remove the worker.
+func TestWorkerEndpoints(t *testing.T) {
+	ts, _ := newTestServer(t, 2)
+	addr := startHTTPTestWorker(t, 2)
+
+	// Registering a bogus address fails the liveness probe.
+	resp := postJSON(t, ts.URL+"/api/workers", map[string]any{"addr": "127.0.0.1:1"})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("registering unreachable worker: got %d, want 400", resp.StatusCode)
+	}
+
+	resp = postJSON(t, ts.URL+"/api/workers", map[string]any{"addr": addr})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register worker: got %d", resp.StatusCode)
+	}
+	worker := decode[workerJSON](t, resp)
+	if worker.ID == "" || worker.State != "live" || worker.Capacity != 2 {
+		t.Fatalf("registered worker %+v, want a live worker with capacity 2", worker)
+	}
+
+	// Duplicate registration conflicts.
+	resp = postJSON(t, ts.URL+"/api/workers", map[string]any{"addr": addr})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("duplicate worker registration: got %d, want 409", resp.StatusCode)
+	}
+
+	resp, err := http.Get(ts.URL + "/api/workers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	workers := decode[map[string][]workerJSON](t, resp)
+	if len(workers["workers"]) != 1 {
+		t.Fatalf("worker list %+v, want 1 entry", workers["workers"])
+	}
+
+	// A run created over HTTP is dispatched to the worker; its metrics come
+	// back over the control connection and feed the same SSE stream local
+	// runs use.
+	resp = postJSON(t, ts.URL+"/api/runs", smallSpec("remote", true))
+	resp.Body.Close()
+	resp, err = http.Get(ts.URL + "/api/runs/remote/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var metricEvents, statusEvents int
+	scanner := bufio.NewScanner(resp.Body)
+	for scanner.Scan() {
+		switch line := scanner.Text(); {
+		case strings.HasPrefix(line, "event: metric"):
+			metricEvents++
+		case strings.HasPrefix(line, "event: status"):
+			statusEvents++
+		}
+	}
+	resp.Body.Close()
+	if metricEvents != 4 { // 2 PEs x 2 timesteps, streamed from the worker
+		t.Errorf("remote run streamed %d metric events, want 4", metricEvents)
+	}
+	if statusEvents != 1 {
+		t.Errorf("remote run streamed %d status events, want 1", statusEvents)
+	}
+
+	st := waitState(t, ts.URL, "remote", "done")
+	if st.Worker != worker.ID {
+		t.Errorf("run executed on %q, want worker %s", st.Worker, worker.ID)
+	}
+	if len(st.Attempts) != 1 || st.Attempts[0].Worker != worker.ID || st.Attempts[0].Addr != addr {
+		t.Errorf("attempts %+v, want one placement on %s@%s", st.Attempts, worker.ID, addr)
+	}
+	if st.FramesSent != 4 {
+		t.Errorf("framesSent %d, want 4", st.FramesSent)
+	}
+
+	// Drain, then remove.
+	resp = postJSON(t, ts.URL+"/api/workers/"+worker.ID+"/drain", nil)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("drain: got %d", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/api/workers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	workers = decode[map[string][]workerJSON](t, resp)
+	if got := workers["workers"][0].State; got != "draining" {
+		t.Errorf("worker state %q after drain, want draining", got)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/api/workers/"+worker.ID, nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("remove worker: got %d", resp.StatusCode)
+	}
+	resp = postJSON(t, ts.URL+"/api/workers/"+worker.ID+"/drain", nil)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("draining removed worker: got %d, want 404", resp.StatusCode)
+	}
 }
 
 func TestMetricsStream(t *testing.T) {

@@ -1,0 +1,115 @@
+package visapult
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+)
+
+// Client side of the scheduler's control protocol: dial a worker, ship a
+// RunSpec, relay the frame stream, and classify how the exchange ended. The
+// classification is what drives the Manager's failure handling — a
+// remoteRunError means the worker is healthy and the run itself failed (retry
+// elsewhere, worker stays live), while any transport-level error means the
+// worker is gone (retry elsewhere AND mark the worker dead).
+
+// remoteRunError is a run failure reported by a live worker over the
+// protocol, as opposed to a dropped connection.
+type remoteRunError struct{ msg string }
+
+func (e *remoteRunError) Error() string { return e.msg }
+
+// errWorkerBusy is a dispatch rejected by a worker's own capacity gate. The
+// pool's slot accounting makes this rare (another client of the same worker,
+// or a capacity registered higher than the worker's); it is retried without
+// declaring the worker dead.
+var errWorkerBusy = errors.New("visapult: worker at capacity")
+
+// pingTimeout bounds a health probe when the caller's context has no
+// deadline of its own.
+const pingTimeout = 5 * time.Second
+
+// pingWorker checks that a worker answers the control protocol and returns
+// its advertised capacity and load.
+func pingWorker(ctx context.Context, addr string) (WorkerHello, error) {
+	// Bound the whole probe — including the dial, which against a
+	// blackholed address would otherwise block for the kernel's SYN retry
+	// timeout (minutes) when the caller's context has no deadline.
+	if _, ok := ctx.Deadline(); !ok {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, pingTimeout)
+		defer cancel()
+	}
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return WorkerHello{}, err
+	}
+	defer conn.Close()
+	dl, _ := ctx.Deadline()
+	conn.SetDeadline(dl)
+	if err := json.NewEncoder(conn).Encode(workerRequest{Op: opPing}); err != nil {
+		return WorkerHello{}, err
+	}
+	var rep workerReply
+	if err := json.NewDecoder(conn).Decode(&rep); err != nil {
+		return WorkerHello{}, err
+	}
+	if rep.Pong == nil {
+		if rep.Error != "" {
+			return WorkerHello{}, errors.New(rep.Error)
+		}
+		return WorkerHello{}, errors.New("visapult: malformed ping reply")
+	}
+	return *rep.Pong, nil
+}
+
+// dispatchRun executes one spec on the worker at addr, invoking onFrame for
+// every streamed frame metric, and returns the run's result. Cancelling ctx
+// closes the connection, which cancels the run on the worker too.
+func dispatchRun(ctx context.Context, addr, name string, spec RunSpec, onFrame func(FrameMetric)) (*Result, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("visapult: dialing worker %s: %w", addr, err)
+	}
+	defer conn.Close()
+	// A cancelled dispatch context closes the connection: that both unblocks
+	// the decode loop below and tells the worker to abort the run.
+	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	defer stop()
+
+	if err := json.NewEncoder(conn).Encode(workerRequest{Op: opRun, Name: name, Spec: &spec}); err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, ctxErr
+		}
+		return nil, fmt.Errorf("visapult: sending run %q to worker %s: %w", name, addr, err)
+	}
+	dec := json.NewDecoder(conn)
+	for {
+		var rep workerReply
+		if err := dec.Decode(&rep); err != nil {
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				return nil, ctxErr
+			}
+			// The stream ended without a terminal reply: the worker died.
+			return nil, fmt.Errorf("visapult: worker %s dropped run %q: %w", addr, name, err)
+		}
+		switch {
+		case rep.Frame != nil:
+			if onFrame != nil {
+				onFrame(*rep.Frame)
+			}
+		case rep.Result != nil:
+			return rep.Result.result(), nil
+		case rep.Error != "":
+			if rep.Busy {
+				return nil, errWorkerBusy
+			}
+			return nil, &remoteRunError{rep.Error}
+		}
+	}
+}

@@ -62,14 +62,33 @@ type RunStatus struct {
 	// Error is the failure message (empty unless State is Failed or
 	// Canceled).
 	Error string
-	// FramesSent counts (PE, timestep) frame records emitted so far — a
-	// live progress indicator while the run executes.
+	// FramesSent counts (PE, timestep) frame records emitted so far by the
+	// current placement — a live progress indicator while the run executes.
 	FramesSent int
 	// Created, Started and Finished are the lifecycle timestamps; Started
 	// and Finished are zero until the run reaches the corresponding state.
 	Created  time.Time
 	Started  time.Time
 	Finished time.Time
+	// Worker is the ID of the worker currently (or finally) executing the
+	// run — "local" for in-process execution, empty before placement.
+	Worker string
+	// Attempts is the placement history: one entry per time the scheduler
+	// put the run somewhere, including the re-queues after worker failures.
+	Attempts []RunAttempt
+}
+
+// RunAttempt records one placement of a run on a worker (or locally).
+type RunAttempt struct {
+	// Worker is the pool ID of the worker, or "local".
+	Worker string
+	// Addr is the worker's control address; empty for local execution.
+	Addr    string
+	Started time.Time
+	// Ended is zero while the attempt is still executing.
+	Ended time.Time
+	// Error is why the attempt ended, empty on success.
+	Error string
 }
 
 // Manager error conditions, distinguishable with errors.Is so callers (the
@@ -91,14 +110,17 @@ var (
 )
 
 // Manager owns a set of named pipeline runs and executes them on a bounded
-// worker pool, so one process serves many concurrent sessions instead of one
-// pipeline per process. All methods are safe for concurrent use.
+// local worker pool — or, once remote workers are registered with
+// RegisterWorker, schedules spec-described runs across them with
+// failure-aware re-queueing. All methods are safe for concurrent use.
 type Manager struct {
-	sem chan struct{}
+	sem  chan struct{}
+	pool *workerPool
 
-	mu     sync.Mutex
-	runs   map[string]*managedRun
-	closed bool
+	mu          sync.Mutex
+	runs        map[string]*managedRun
+	closed      bool
+	maxAttempts int
 
 	baseCtx   context.Context
 	cancelAll context.CancelFunc
@@ -109,6 +131,10 @@ type Manager struct {
 type managedRun struct {
 	name string
 	opts []Option
+	// spec is non-nil for runs registered through CreateSpec; only those are
+	// eligible for remote placement (options are closures and cannot cross
+	// the wire).
+	spec *RunSpec
 
 	mu       sync.Mutex
 	state    RunState
@@ -122,28 +148,50 @@ type managedRun struct {
 	finished time.Time
 	cancel   context.CancelFunc
 	done     chan struct{}
+	workerID string
+	attempts []RunAttempt
 }
 
-// NewManager builds a manager executing at most workers runs concurrently;
-// workers <= 0 selects 4 (the paper's first-light PE count, a sane default
-// for pipelines that are themselves parallel).
+// NewManager builds a manager executing at most workers runs concurrently on
+// the local machine; workers <= 0 selects 4 (the paper's first-light PE
+// count, a sane default for pipelines that are themselves parallel). Remote
+// capacity is added separately with RegisterWorker.
 func NewManager(workers int) *Manager {
 	if workers <= 0 {
 		workers = 4
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Manager{
-		sem:       make(chan struct{}, workers),
-		runs:      make(map[string]*managedRun),
-		baseCtx:   ctx,
-		cancelAll: cancel,
+		sem:         make(chan struct{}, workers),
+		pool:        newWorkerPool(),
+		runs:        make(map[string]*managedRun),
+		maxAttempts: defaultMaxAttempts,
+		baseCtx:     ctx,
+		cancelAll:   cancel,
 	}
 }
 
 // Create registers a new named run with the given pipeline options. The
 // options are validated immediately; the run starts executing only when
-// Start is called.
+// Start is called. Option-built runs always execute locally — use CreateSpec
+// for runs the scheduler may place on remote workers.
 func (m *Manager) Create(name string, opts ...Option) error {
+	return m.create(name, opts, nil)
+}
+
+// CreateSpec registers a new named run from a serializable RunSpec. Unlike
+// Create, spec-described runs are eligible for placement on the remote
+// workers registered with RegisterWorker; with none live they execute
+// locally, exactly like Create.
+func (m *Manager) CreateSpec(name string, spec RunSpec) error {
+	opts, err := spec.Options()
+	if err != nil {
+		return err
+	}
+	return m.create(name, opts, &spec)
+}
+
+func (m *Manager) create(name string, opts []Option, spec *RunSpec) error {
 	if name == "" {
 		return errors.New("visapult: run name must not be empty")
 	}
@@ -162,6 +210,7 @@ func (m *Manager) Create(name string, opts ...Option) error {
 	m.runs[name] = &managedRun{
 		name:    name,
 		opts:    opts,
+		spec:    spec,
 		state:   StatePending,
 		subs:    make(map[int]chan FrameMetric),
 		created: time.Now(),
@@ -218,11 +267,20 @@ func (m *Manager) Start(name string) error {
 	return nil
 }
 
-// execute acquires a pool slot and runs the pipeline, moving the run through
-// its lifecycle states.
+// execute routes a queued run to the scheduler (spec-described runs) or the
+// local worker pool (option-built runs).
 func (m *Manager) execute(r *managedRun, ctx context.Context) {
 	defer m.wg.Done()
+	if r.spec != nil {
+		m.executeRemote(r, ctx, *r.spec)
+		return
+	}
+	m.executeLocal(r, ctx)
+}
 
+// executeLocal acquires a local pool slot and runs the pipeline in-process,
+// moving the run through its lifecycle states.
+func (m *Manager) executeLocal(r *managedRun, ctx context.Context) {
 	// Wait for a worker slot — or for cancellation while still queued.
 	select {
 	case m.sem <- struct{}{}:
@@ -232,14 +290,9 @@ func (m *Manager) execute(r *managedRun, ctx context.Context) {
 		return
 	}
 
-	r.mu.Lock()
-	if r.state != StateQueued { // cancelled while waiting for the slot
-		r.mu.Unlock()
+	if !r.beginAttempt("local", "") { // cancelled while waiting for the slot
 		return
 	}
-	r.state = StateRunning
-	r.startedT = time.Now()
-	r.mu.Unlock()
 
 	opts := append(append([]Option(nil), r.opts...), WithFrameHook(r.observe))
 	p, err := New(opts...)
@@ -258,6 +311,77 @@ func (m *Manager) execute(r *managedRun, ctx context.Context) {
 		err = ctxErr
 	}
 	r.finish(nil, err)
+}
+
+// beginAttempt moves a queued run to Running on the given worker ("local"
+// for in-process execution) and opens an attempt record. It reports false —
+// placement must not proceed — if the run left the queued state meanwhile.
+func (r *managedRun) beginAttempt(workerID, addr string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.state != StateQueued {
+		return false
+	}
+	r.state = StateRunning
+	if r.startedT.IsZero() {
+		r.startedT = time.Now()
+	}
+	r.workerID = workerID
+	r.attempts = append(r.attempts, RunAttempt{
+		Worker: workerID, Addr: addr, Started: time.Now(),
+	})
+	return true
+}
+
+// requeue returns a running run to the queue after a failed attempt, closing
+// the attempt record with the failure. It reports false if the run reached a
+// terminal state meanwhile.
+func (r *managedRun) requeue(errMsg string) bool {
+	return r.backToQueue(errMsg, true)
+}
+
+// dropAttempt returns a running run to the queue and erases its open
+// attempt record — for placements the worker rejected before executing
+// anything (busy), which are scheduling misses rather than run history. It
+// reports false if the run reached a terminal state meanwhile.
+func (r *managedRun) dropAttempt() bool {
+	return r.backToQueue("", false)
+}
+
+// backToQueue moves a running run back to the queue, disposing of the open
+// attempt record (closed with errMsg, or erased entirely) and resetting the
+// per-placement frame metrics — the next attempt re-streams the run from
+// scratch.
+func (r *managedRun) backToQueue(errMsg string, keepAttempt bool) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if keepAttempt {
+		r.closeAttemptLocked(time.Now(), errMsg)
+	} else if n := len(r.attempts); n > 0 && r.attempts[n-1].Ended.IsZero() {
+		r.attempts = r.attempts[:n-1]
+	}
+	if r.state != StateRunning {
+		return false
+	}
+	r.state = StateQueued
+	r.workerID = ""
+	r.metrics = nil
+	return true
+}
+
+// attemptCount returns how many placements the run has consumed.
+func (r *managedRun) attemptCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.attempts)
+}
+
+// closeAttemptLocked stamps the open attempt record, if any, with r.mu held.
+func (r *managedRun) closeAttemptLocked(when time.Time, errMsg string) {
+	if n := len(r.attempts); n > 0 && r.attempts[n-1].Ended.IsZero() {
+		r.attempts[n-1].Ended = when
+		r.attempts[n-1].Error = errMsg
+	}
 }
 
 // observe records one frame metric and fans it out to subscribers.
@@ -292,6 +416,11 @@ func (r *managedRun) finishLocked(res *Result, err error) {
 		r.cancel()
 	}
 	r.finished = time.Now()
+	var errMsg string
+	if err != nil {
+		errMsg = err.Error()
+	}
+	r.closeAttemptLocked(r.finished, errMsg)
 	switch {
 	case err == nil:
 		r.state = StateDone
@@ -375,6 +504,8 @@ func (r *managedRun) status() RunStatus {
 		Created:    r.created,
 		Started:    r.startedT,
 		Finished:   r.finished,
+		Worker:     r.workerID,
+		Attempts:   append([]RunAttempt(nil), r.attempts...),
 	}
 	if r.err != nil {
 		st.Error = r.err.Error()
@@ -479,6 +610,13 @@ func (m *Manager) Remove(name string) error {
 
 // Close cancels every run, waits for the workers to unwind, and marks the
 // manager closed. Safe to call more than once.
+//
+// Runs that were created but never started have no execute goroutine to
+// unwind them, so Close fails them directly with ErrManagerClosed — without
+// this they would sit in StatePending forever and wedge any Wait on them.
+// Queued and running runs (local or remotely placed) are cancelled through
+// the shared base context and reach their terminal state before Close
+// returns.
 func (m *Manager) Close() {
 	m.mu.Lock()
 	m.closed = true
@@ -493,7 +631,7 @@ func (m *Manager) Close() {
 		pending := r.state == StatePending
 		r.mu.Unlock()
 		if pending {
-			r.finish(nil, context.Canceled)
+			r.finish(nil, fmt.Errorf("run %q never started: %w", r.name, ErrManagerClosed))
 		}
 	}
 	m.wg.Wait()

@@ -2,6 +2,7 @@ package visapult
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -331,4 +332,34 @@ func TestManagerClose(t *testing.T) {
 		t.Error("Create succeeded on a closed manager")
 	}
 	checkNoGoroutineLeak(t, before)
+}
+
+// TestManagerCloseFailsPendingRun is the regression test for the
+// never-started-run case: Close must move a run that was created but never
+// started to a terminal failed state — not leave it Pending forever — so a
+// Wait on it returns instead of blocking.
+func TestManagerCloseFailsPendingRun(t *testing.T) {
+	m := NewManager(1)
+	if err := m.Create("never-started", smallOpts()...); err != nil {
+		t.Fatal(err)
+	}
+	m.Close()
+
+	st, err := m.Status("never-started")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.State.Terminal() {
+		t.Fatalf("pending run left in non-terminal state %s after Close", st.State)
+	}
+	if st.State != StateFailed {
+		t.Errorf("pending run state %s after Close, want failed", st.State)
+	}
+
+	// Wait must return immediately with the terminal error, not block.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := m.Wait(ctx, "never-started"); !errors.Is(err, ErrManagerClosed) {
+		t.Errorf("Wait returned %v, want ErrManagerClosed", err)
+	}
 }

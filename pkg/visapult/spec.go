@@ -1,0 +1,121 @@
+package visapult
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// RunSpec is the serializable description of a pipeline: everything the
+// functional options can express with data alone (no closures), in the JSON
+// shape the visapultd control plane accepts. A spec-described run can be
+// executed anywhere — in-process through Options, or shipped over the
+// scheduler's control protocol to a remote visapult-backend worker. Runs
+// registered with Manager.CreateSpec are eligible for remote placement; runs
+// registered with Manager.Create carry arbitrary options (closures, custom
+// Sources) and always execute locally.
+type RunSpec struct {
+	Source SourceSpec `json:"source"`
+	// PEs, Timesteps, Mode, Transport, StripeLanes mirror the facade
+	// options; zero values select the facade defaults.
+	PEs         int    `json:"pes,omitempty"`
+	Timesteps   int    `json:"timesteps,omitempty"`
+	Mode        string `json:"mode,omitempty"`      // serial | overlapped | process-pair
+	Transport   string `json:"transport,omitempty"` // local | tcp | striped
+	StripeLanes int    `json:"stripeLanes,omitempty"`
+	// ViewerBandwidthMbps caps the back-end-to-viewer path (0 = unshaped).
+	ViewerBandwidthMbps float64 `json:"viewerBandwidthMbps,omitempty"`
+	FollowView          bool    `json:"followView,omitempty"`
+	ViewAngleDeg        float64 `json:"viewAngleDeg,omitempty"`
+	Instrument          bool    `json:"instrument,omitempty"`
+	RenderLoop          bool    `json:"renderLoop,omitempty"`
+}
+
+// SourceSpec selects and sizes the data source of a RunSpec.
+type SourceSpec struct {
+	Kind      string `json:"kind"` // combustion | cosmology | paper
+	NX        int    `json:"nx,omitempty"`
+	NY        int    `json:"ny,omitempty"`
+	NZ        int    `json:"nz,omitempty"`
+	Timesteps int    `json:"timesteps,omitempty"`
+	Seed      int64  `json:"seed,omitempty"`
+	// Scale divides the paper's 640x256x256 grid for kind "paper".
+	Scale int `json:"scale,omitempty"`
+}
+
+// source builds the described data source.
+func (s *SourceSpec) source() (Source, error) {
+	switch strings.ToLower(s.Kind) {
+	case "", "combustion":
+		return NewCombustionSource(CombustionSpec{
+			NX: s.NX, NY: s.NY, NZ: s.NZ,
+			Timesteps: s.Timesteps, Seed: s.Seed,
+		}), nil
+	case "cosmology":
+		return NewCosmologySource(CosmologySpec{
+			NX: s.NX, NY: s.NY, NZ: s.NZ,
+			Timesteps: s.Timesteps, Seed: s.Seed,
+		}), nil
+	case "paper":
+		scale := s.Scale
+		if scale <= 0 {
+			scale = 8
+		}
+		return NewPaperCombustionSource(scale, s.Timesteps), nil
+	default:
+		return nil, fmt.Errorf("visapult: unknown source kind %q", s.Kind)
+	}
+}
+
+// Options translates the spec into facade options for New.
+func (spec *RunSpec) Options() ([]Option, error) {
+	src, err := spec.Source.source()
+	if err != nil {
+		return nil, err
+	}
+	opts := []Option{WithSource(src)}
+
+	if spec.PEs > 0 {
+		opts = append(opts, WithPEs(spec.PEs))
+	}
+	if spec.Timesteps > 0 {
+		opts = append(opts, WithTimesteps(spec.Timesteps))
+	}
+	switch strings.ToLower(spec.Mode) {
+	case "", "serial":
+	case "overlapped":
+		opts = append(opts, WithMode(Overlapped))
+	case "process-pair":
+		opts = append(opts, WithMode(OverlappedProcessPair))
+	default:
+		return nil, fmt.Errorf("visapult: unknown mode %q", spec.Mode)
+	}
+	switch strings.ToLower(spec.Transport) {
+	case "", "local":
+	case "tcp":
+		opts = append(opts, WithTransport(TransportTCP))
+	case "striped":
+		opts = append(opts, WithTransport(TransportStriped))
+	default:
+		return nil, fmt.Errorf("visapult: unknown transport %q", spec.Transport)
+	}
+	if spec.StripeLanes > 0 {
+		opts = append(opts, WithStripeLanes(spec.StripeLanes))
+	}
+	if spec.ViewerBandwidthMbps > 0 {
+		opts = append(opts, WithViewerBandwidth(spec.ViewerBandwidthMbps*1e6))
+	}
+	if spec.FollowView {
+		opts = append(opts, WithFollowView())
+	}
+	if spec.ViewAngleDeg != 0 {
+		opts = append(opts, WithViewAngle(spec.ViewAngleDeg*math.Pi/180))
+	}
+	if spec.Instrument {
+		opts = append(opts, WithInstrumentation())
+	}
+	if spec.RenderLoop {
+		opts = append(opts, WithRenderLoop())
+	}
+	return opts, nil
+}

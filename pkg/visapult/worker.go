@@ -1,0 +1,313 @@
+package visapult
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+)
+
+// The scheduler's control protocol: newline-delimited JSON over one TCP
+// connection per dispatched run, mirroring the paper's deployment where a
+// pool of back-end workers executes sessions near the data while a control
+// plane places work on them.
+//
+// Client -> worker: one workerRequest ("ping" or "run"), optionally followed
+// by {"op":"cancel"}. Worker -> client: for "ping" a single pong reply; for
+// "run" a stream of frame replies (one per (PE, timestep), feeding the same
+// Subscribe/SSE path local runs use) terminated by exactly one result or
+// error reply. A worker that dies mid-run simply drops the connection — the
+// missing terminal reply is how the dispatcher distinguishes a dead worker
+// (re-queue the run elsewhere) from a run that failed on a healthy one.
+
+// Control protocol operations.
+const (
+	opPing   = "ping"
+	opRun    = "run"
+	opCancel = "cancel"
+)
+
+// workerRequest is a client -> worker control message.
+type workerRequest struct {
+	Op   string   `json:"op"`
+	Name string   `json:"name,omitempty"`
+	Spec *RunSpec `json:"spec,omitempty"`
+}
+
+// workerReply is a worker -> client control message; exactly one field is
+// populated per message.
+type workerReply struct {
+	Pong   *WorkerHello  `json:"pong,omitempty"`
+	Frame  *FrameMetric  `json:"frame,omitempty"`
+	Result *RemoteResult `json:"result,omitempty"`
+	Error  string        `json:"error,omitempty"`
+	// Busy marks an Error reply caused by capacity, not by the run itself.
+	Busy bool `json:"busy,omitempty"`
+}
+
+// WorkerHello is a worker's answer to a ping: its configured capacity and
+// current load.
+type WorkerHello struct {
+	Capacity int `json:"capacity"`
+	Active   int `json:"active"`
+}
+
+// RemoteResult is the summary a worker ships back for a completed run. It
+// carries the full per-frame statistics but not the NetLogger event stream or
+// the final image — those stay with the worker (remote runs report metrics;
+// pixels belong to the viewer the worker's pipeline fed).
+type RemoteResult struct {
+	Backend RunStats      `json:"backend"`
+	Viewer  ViewerStats   `json:"viewer"`
+	Elapsed time.Duration `json:"elapsed"`
+}
+
+// result converts the wire summary back into a facade Result.
+func (rr *RemoteResult) result() *Result {
+	return &Result{Backend: rr.Backend, Viewer: rr.Viewer, Elapsed: rr.Elapsed}
+}
+
+// WorkerConfig configures ServeWorker.
+type WorkerConfig struct {
+	// Capacity is the number of dispatched runs the worker executes
+	// concurrently (default 2); beyond it, dispatch requests are rejected
+	// with a busy reply.
+	Capacity int
+	// Logf, when non-nil, receives one line per accepted and completed run.
+	Logf func(format string, args ...any)
+}
+
+// ServeWorker turns the calling process into a dispatch worker: it accepts
+// control connections on l and executes each dispatched RunSpec as an
+// in-process pipeline, streaming per-frame metrics back as they happen.
+// cmd/visapult-backend's -serve-control mode is this function; tests use it
+// directly to stand up in-process fake workers.
+//
+// ServeWorker blocks until ctx is cancelled (returning nil) or the listener
+// fails (returning the error). Cancelling ctx closes the listener and every
+// in-flight connection first, then aborts the running pipelines — so a
+// killed worker looks like a dropped connection to its dispatchers, which is
+// what triggers their re-queue path.
+func ServeWorker(ctx context.Context, l net.Listener, cfg WorkerConfig) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = 2
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	ws := &workerServer{ctx: ctx, capacity: cfg.Capacity, logf: logf,
+		conns: make(map[net.Conn]struct{})}
+
+	// Close the listener AND the accepted connections on cancellation, in
+	// that order: connections dropping before any polite error reply can be
+	// written is what makes a shutdown indistinguishable from a crash to the
+	// dispatchers — exactly the signal their re-queueing needs.
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			l.Close()
+			ws.closeConns()
+		case <-watchDone:
+		}
+	}()
+
+	var err error
+	backoff := 5 * time.Millisecond
+	for {
+		conn, aerr := l.Accept()
+		if aerr != nil {
+			if ctx.Err() != nil || errors.Is(aerr, net.ErrClosed) {
+				break
+			}
+			// Transient accept failures (fd exhaustion, aborted handshakes)
+			// must not take the whole worker out of the pool; back off and
+			// keep serving, like net/http.Server does.
+			if isTransientAccept(aerr) {
+				logf("worker: accept: %v (retrying in %v)", aerr, backoff)
+				select {
+				case <-time.After(backoff):
+				case <-ctx.Done():
+				}
+				backoff = min(2*backoff, time.Second)
+				continue
+			}
+			err = aerr
+			break
+		}
+		backoff = 5 * time.Millisecond
+		if !ws.track(conn) {
+			conn.Close()
+			break
+		}
+		ws.wg.Add(1)
+		go ws.handle(conn)
+	}
+	ws.wg.Wait()
+	return err
+}
+
+// isTransientAccept reports whether an Accept error is worth retrying
+// rather than shutting the worker down.
+func isTransientAccept(err error) bool {
+	return errors.Is(err, syscall.EMFILE) ||
+		errors.Is(err, syscall.ENFILE) ||
+		errors.Is(err, syscall.ECONNABORTED) ||
+		errors.Is(err, syscall.EINTR)
+}
+
+// workerServer is the shared state of one ServeWorker invocation.
+type workerServer struct {
+	ctx      context.Context
+	capacity int
+	logf     func(string, ...any)
+	active   atomic.Int64
+	wg       sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+}
+
+// track records an accepted connection for shutdown; false once closing.
+func (ws *workerServer) track(c net.Conn) bool {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	if ws.closed {
+		return false
+	}
+	ws.conns[c] = struct{}{}
+	return true
+}
+
+func (ws *workerServer) untrack(c net.Conn) {
+	ws.mu.Lock()
+	delete(ws.conns, c)
+	ws.mu.Unlock()
+}
+
+func (ws *workerServer) closeConns() {
+	ws.mu.Lock()
+	ws.closed = true
+	conns := make([]net.Conn, 0, len(ws.conns))
+	for c := range ws.conns {
+		conns = append(conns, c)
+	}
+	ws.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// tryAcquire claims a capacity slot, failing when the worker is full.
+func (ws *workerServer) tryAcquire() bool {
+	for {
+		a := ws.active.Load()
+		if int(a) >= ws.capacity {
+			return false
+		}
+		if ws.active.CompareAndSwap(a, a+1) {
+			return true
+		}
+	}
+}
+
+// handle services one control connection: a single request, then (for runs)
+// the reply stream.
+func (ws *workerServer) handle(conn net.Conn) {
+	defer ws.wg.Done()
+	defer ws.untrack(conn)
+	defer conn.Close()
+
+	dec := json.NewDecoder(conn)
+	var req workerRequest
+	if err := dec.Decode(&req); err != nil {
+		return
+	}
+	// Frame replies come concurrently from the PE goroutines while the
+	// terminal reply comes from this goroutine; one mutex serializes them on
+	// the wire.
+	enc := json.NewEncoder(conn)
+	var sendMu sync.Mutex
+	send := func(rep workerReply) {
+		sendMu.Lock()
+		defer sendMu.Unlock()
+		enc.Encode(rep) // a failed write means the dispatcher is gone; nothing to do
+	}
+
+	switch req.Op {
+	case opPing:
+		send(workerReply{Pong: &WorkerHello{Capacity: ws.capacity, Active: int(ws.active.Load())}})
+	case opRun:
+		ws.run(req, dec, send)
+	default:
+		send(workerReply{Error: "visapult: unknown control op " + req.Op})
+	}
+}
+
+// run executes one dispatched spec, streaming frames and a terminal reply.
+func (ws *workerServer) run(req workerRequest, dec *json.Decoder, send func(workerReply)) {
+	if req.Spec == nil {
+		send(workerReply{Error: "visapult: dispatch request carries no spec"})
+		return
+	}
+	if !ws.tryAcquire() {
+		send(workerReply{Error: "visapult: worker at capacity", Busy: true})
+		return
+	}
+	defer ws.active.Add(-1)
+
+	opts, err := req.Spec.Options()
+	if err != nil {
+		send(workerReply{Error: err.Error()})
+		return
+	}
+	opts = append(opts, WithFrameHook(func(fm FrameMetric) {
+		send(workerReply{Frame: &fm})
+	}))
+	p, err := New(opts...)
+	if err != nil {
+		send(workerReply{Error: err.Error()})
+		return
+	}
+
+	// The run lives as long as the worker and the dispatcher both do: the
+	// monitor goroutine cancels it when the client drops the connection or
+	// sends an explicit cancel.
+	runCtx, cancel := context.WithCancel(ws.ctx)
+	defer cancel()
+	go func() {
+		for {
+			var msg workerRequest
+			if err := dec.Decode(&msg); err != nil || msg.Op == opCancel {
+				cancel()
+				return
+			}
+		}
+	}()
+
+	ws.logf("worker: run %q dispatched (%d active)", req.Name, ws.active.Load())
+	res, err := p.Run(runCtx)
+	if err != nil {
+		// On worker shutdown, say nothing: the dropped connection is the
+		// protocol's "worker died" signal and must not be softened into a
+		// run error, which dispatchers attribute to the run, not the worker.
+		if ws.ctx.Err() != nil {
+			return
+		}
+		ws.logf("worker: run %q failed: %v", req.Name, err)
+		send(workerReply{Error: err.Error()})
+		return
+	}
+	ws.logf("worker: run %q done in %v", req.Name, res.Elapsed)
+	send(workerReply{Result: &RemoteResult{Backend: res.Backend, Viewer: res.Viewer, Elapsed: res.Elapsed}})
+}
