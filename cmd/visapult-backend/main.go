@@ -9,9 +9,16 @@
 // POST /api/workers) and streams per-frame metrics back over the control
 // connection, so many backend processes form one scheduled pool.
 //
+// With -viewers (plural) the run is multicast: every frame is rendered once
+// and its per-slab textures are shipped to each listed viewer over that
+// viewer's own connections and bounded send queue — the paper's ImmersaDesk +
+// tiled display exhibit. A slow or dead viewer loses frames; it never stalls
+// the render loop or the other viewers.
+//
 // Usage:
 //
 //	visapult-backend -viewer 127.0.0.1:9400 -pes 4 -steps 5 -mode overlapped
+//	visapult-backend -viewers 127.0.0.1:9400,127.0.0.1:9401 -pes 4 -steps 5
 //	visapult-backend -viewer 127.0.0.1:9400 -dpss 127.0.0.1:9300 -dataset combustion -dims 80x32x32 -steps 5
 //	visapult-backend -serve-control 127.0.0.1:9700 -capacity 2
 package main
@@ -23,6 +30,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"time"
 
 	"visapult/pkg/visapult"
@@ -31,6 +39,8 @@ import (
 
 func main() {
 	viewerAddr := flag.String("viewer", "127.0.0.1:9400", "address of the visapult-viewer process")
+	viewerAddrs := flag.String("viewers", "", "comma-separated viewer addresses; the run is multicast to all of them (overrides -viewer)")
+	viewerQueue := flag.Int("viewer-queue", 0, "per-viewer send queue bound in frames for -viewers (0 = default)")
 	pes := flag.Int("pes", 4, "number of processing elements")
 	steps := flag.Int("steps", 5, "number of timesteps to process")
 	mode := flag.String("mode", "overlapped", "serial or overlapped")
@@ -75,15 +85,29 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	fmt.Printf("visapult-backend: %d PEs, %d timesteps, %s mode -> %s\n", *pes, *steps, m, *viewerAddr)
+	var addrs []string
+	if *viewerAddrs != "" {
+		for _, a := range strings.Split(*viewerAddrs, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				addrs = append(addrs, a)
+			}
+		}
+	}
+	target := *viewerAddr
+	if len(addrs) > 0 {
+		target = strings.Join(addrs, ", ")
+	}
+	fmt.Printf("visapult-backend: %d PEs, %d timesteps, %s mode -> %s\n", *pes, *steps, m, target)
 	rep, err := visapult.RunBackend(ctx, visapult.BackendConfig{
-		ViewerAddr: *viewerAddr,
-		PEs:        *pes,
-		Timesteps:  *steps,
-		Mode:       m,
-		Source:     src,
-		FollowView: *followView,
-		Instrument: true,
+		ViewerAddr:  *viewerAddr,
+		ViewerAddrs: addrs,
+		ViewerQueue: *viewerQueue,
+		PEs:         *pes,
+		Timesteps:   *steps,
+		Mode:        m,
+		Source:      src,
+		FollowView:  *followView,
+		Instrument:  true,
 	})
 	if err != nil {
 		fatal(err)
@@ -92,6 +116,10 @@ func main() {
 	fmt.Printf("visapult-backend: loaded %d bytes, sent %d bytes, mean load %v, mean render %v, elapsed %v\n",
 		rep.Stats.BytesIn, rep.Stats.BytesOut, rep.Stats.MeanLoad().Round(time.Millisecond),
 		rep.Stats.MeanRender().Round(time.Millisecond), rep.Stats.Elapsed.Round(time.Millisecond))
+	for _, d := range rep.Viewers {
+		fmt.Printf("visapult-backend: viewer %s: %d frames sent, %d dropped, %d bytes\n",
+			d.ID, d.FramesSent, d.FramesDropped, d.BytesSent)
+	}
 
 	if *logOut != "" {
 		if err := visapult.WriteULM(*logOut, rep.Events); err != nil {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -33,6 +34,9 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET /api/runs/{name}/result", s.handleResult)
 	mux.HandleFunc("GET /api/runs/{name}/metrics", s.handleMetrics)
 	mux.HandleFunc("GET /api/runs/{name}/stream", s.handleStream)
+	mux.HandleFunc("GET /api/runs/{name}/viewers", s.handleViewerList)
+	mux.HandleFunc("POST /api/runs/{name}/viewers", s.handleViewerAttach)
+	mux.HandleFunc("DELETE /api/runs/{name}/viewers/{id}", s.handleViewerDetach)
 	mux.HandleFunc("GET /api/workers", s.handleWorkerList)
 	mux.HandleFunc("POST /api/workers", s.handleWorkerRegister)
 	mux.HandleFunc("POST /api/workers/{id}/drain", s.handleWorkerDrain)
@@ -53,15 +57,52 @@ type runSpec struct {
 
 // statusJSON is the wire shape of a run status.
 type statusJSON struct {
-	Name       string        `json:"name"`
-	State      string        `json:"state"`
-	Error      string        `json:"error,omitempty"`
-	FramesSent int           `json:"framesSent"`
-	Created    string        `json:"created,omitempty"`
-	Started    string        `json:"started,omitempty"`
-	Finished   string        `json:"finished,omitempty"`
-	Worker     string        `json:"worker,omitempty"`
-	Attempts   []attemptJSON `json:"attempts,omitempty"`
+	Name       string               `json:"name"`
+	State      string               `json:"state"`
+	Error      string               `json:"error,omitempty"`
+	FramesSent int                  `json:"framesSent"`
+	Created    string               `json:"created,omitempty"`
+	Started    string               `json:"started,omitempty"`
+	Finished   string               `json:"finished,omitempty"`
+	Worker     string               `json:"worker,omitempty"`
+	Attempts   []attemptJSON        `json:"attempts,omitempty"`
+	Viewers    []viewerDeliveryJSON `json:"viewers,omitempty"`
+}
+
+// viewerDeliveryJSON is the wire shape of one fan-out viewer's delivery
+// record.
+type viewerDeliveryJSON struct {
+	ID            string `json:"id"`
+	Attached      string `json:"attached,omitempty"`
+	StartFrame    int    `json:"startFrame"`
+	FramesSent    int    `json:"framesSent"`
+	FramesDropped int    `json:"framesDropped"`
+	QueueDepth    int    `json:"queueDepth"`
+	BytesSent     int64  `json:"bytesSent"`
+	Detached      bool   `json:"detached,omitempty"`
+	Error         string `json:"error,omitempty"`
+}
+
+func toViewerDeliveryJSON(d visapult.ViewerDelivery) viewerDeliveryJSON {
+	return viewerDeliveryJSON{
+		ID:            d.ID,
+		Attached:      fmtTime(d.Attached),
+		StartFrame:    d.StartFrame,
+		FramesSent:    d.FramesSent,
+		FramesDropped: d.FramesDropped,
+		QueueDepth:    d.QueueDepth,
+		BytesSent:     d.BytesSent,
+		Detached:      d.Detached,
+		Error:         d.Error,
+	}
+}
+
+func toViewerDeliveriesJSON(ds []visapult.ViewerDelivery) []viewerDeliveryJSON {
+	out := make([]viewerDeliveryJSON, len(ds))
+	for i, d := range ds {
+		out[i] = toViewerDeliveryJSON(d)
+	}
+	return out
 }
 
 // attemptJSON is the wire shape of one placement attempt.
@@ -100,6 +141,7 @@ func toStatusJSON(st visapult.RunStatus) statusJSON {
 			Error:   a.Error,
 		})
 	}
+	out.Viewers = toViewerDeliveriesJSON(st.Viewers)
 	return out
 }
 
@@ -171,6 +213,7 @@ func errorCode(err error) int {
 		errors.Is(err, visapult.ErrRunNotPending),
 		errors.Is(err, visapult.ErrRunActive),
 		errors.Is(err, visapult.ErrWorkerExists),
+		errors.Is(err, visapult.ErrNoFanout),
 		errors.Is(err, visapult.ErrNoResult):
 		return http.StatusConflict
 	case errors.Is(err, visapult.ErrManagerClosed):
@@ -294,6 +337,49 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"metrics": out})
 }
 
+// viewerAttachRequest is the JSON body of POST /api/runs/{name}/viewers.
+type viewerAttachRequest struct {
+	// ID names the viewer to attach; it must be unique among the run's
+	// currently attached viewers.
+	ID string `json:"id"`
+}
+
+func (s *server) handleViewerList(w http.ResponseWriter, r *http.Request) {
+	vds, err := s.mgr.Viewers(r.PathValue("name"))
+	if err != nil {
+		writeError(w, errorCode(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"viewers": toViewerDeliveriesJSON(vds)})
+}
+
+func (s *server) handleViewerAttach(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req viewerAttachRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding viewer attach request: %w", err))
+		return
+	}
+	if req.ID == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("viewer id is required"))
+		return
+	}
+	if err := s.mgr.AttachViewer(name, req.ID); err != nil {
+		writeError(w, errorCode(err), err)
+		return
+	}
+	vds, _ := s.mgr.Viewers(name)
+	writeJSON(w, http.StatusCreated, map[string]any{"viewers": toViewerDeliveriesJSON(vds)})
+}
+
+func (s *server) handleViewerDetach(w http.ResponseWriter, r *http.Request) {
+	if err := s.mgr.DetachViewer(r.PathValue("name"), r.PathValue("id")); err != nil {
+		writeError(w, errorCode(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"detached": true})
+}
+
 // workerRegisterRequest is the JSON body of POST /api/workers.
 type workerRegisterRequest struct {
 	// Addr is the worker's control address (visapult-backend -serve-control).
@@ -378,6 +464,37 @@ func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
 		return true
 	}
 
+	// Fan-out runs interleave "viewers" events with the metric stream: one
+	// whenever the per-viewer delivery snapshot (frames sent/dropped, queue
+	// depth, attach/detach) changes — rate-limited, since the counters move
+	// with nearly every metric and re-marshalling the full list per frame
+	// would dwarf the metric stream itself. The final emission (force) runs
+	// unthrottled so the stream always ends with the settled tallies.
+	// Single-viewer and remotely placed runs have no fan-out and stream no
+	// such events.
+	var lastViewers []byte
+	var lastViewersAt time.Time
+	emitViewers := func(force bool) bool {
+		if !force && time.Since(lastViewersAt) < 250*time.Millisecond {
+			return true
+		}
+		vds, err := s.mgr.Viewers(name)
+		if err != nil {
+			return true
+		}
+		data, err := json.Marshal(toViewerDeliveriesJSON(vds))
+		if err != nil || bytes.Equal(data, lastViewers) {
+			return true
+		}
+		lastViewers = data
+		lastViewersAt = time.Now()
+		if _, err := fmt.Fprintf(w, "event: viewers\ndata: %s\n\n", data); err != nil {
+			return false
+		}
+		flusher.Flush()
+		return true
+	}
+
 	// Replay what already happened so late subscribers see the whole run.
 	// Frames recorded between Subscribe and the snapshot arrive on both
 	// paths. Deduplication is by value, not just (frame, PE) key: a run
@@ -401,6 +518,9 @@ func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
+	if !emitViewers(false) {
+		return
+	}
 	for {
 		select {
 		case fm, ok := <-ch:
@@ -415,12 +535,18 @@ func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
 						}
 					}
 				}
+				if !emitViewers(true) {
+					return
+				}
 				if st, err := s.mgr.Status(name); err == nil {
 					send("status", toStatusJSON(st))
 				}
 				return
 			}
 			if !relay(fm) {
+				return
+			}
+			if !emitViewers(false) {
 				return
 			}
 		case <-r.Context().Done():

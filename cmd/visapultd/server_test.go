@@ -389,3 +389,184 @@ func TestMetricsStream(t *testing.T) {
 		t.Errorf("stream carried %d status events, want 1", statusEvents)
 	}
 }
+
+// fanoutSpec is a fan-out run spec: one back end multicasting to n viewers.
+func fanoutSpec(name string, viewers int, start bool) runSpec {
+	spec := smallSpec(name, start)
+	spec.Viewers = viewers
+	return spec
+}
+
+// TestViewerEndpoints drives the fan-out control surface over HTTP: a run
+// created with viewers, listed mid-run, one attached and one detached
+// dynamically, and the final status carrying every delivery record.
+func TestViewerEndpoints(t *testing.T) {
+	ts, _ := newTestServer(t, 2)
+
+	// Viewer operations on a single-viewer run conflict.
+	resp := postJSON(t, ts.URL+"/api/runs", smallSpec("plain", true))
+	resp.Body.Close()
+	waitState(t, ts.URL, "plain", "done")
+	resp, err := http.Get(ts.URL + "/api/runs/plain/viewers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("viewer list on single-viewer run: got %d, want 409", resp.StatusCode)
+	}
+
+	// A longer fan-out run leaves room to attach and detach mid-flight.
+	spec := fanoutSpec("fan", 2, true)
+	spec.Source = visapult.SourceSpec{Kind: "paper", Scale: 4, Timesteps: 6}
+	resp = postJSON(t, ts.URL+"/api/runs", spec)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create fan-out run: got %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Wait for the fan-out to come live, then list its viewers.
+	deadline := time.Now().Add(15 * time.Second)
+	var viewers map[string][]viewerDeliveryJSON
+	for {
+		resp, err = http.Get(ts.URL + "/api/runs/fan/viewers")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode == http.StatusOK {
+			viewers = decode[map[string][]viewerDeliveryJSON](t, resp)
+			break
+		}
+		resp.Body.Close()
+		if time.Now().After(deadline) {
+			t.Fatal("fan-out never came live")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if len(viewers["viewers"]) != 2 {
+		t.Fatalf("initial viewer list %+v, want 2 viewers", viewers["viewers"])
+	}
+
+	// Dynamic attach; duplicate ids conflict; missing id is a 400.
+	resp = postJSON(t, ts.URL+"/api/runs/fan/viewers", map[string]string{"id": "wall"})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("attach: got %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	resp = postJSON(t, ts.URL+"/api/runs/fan/viewers", map[string]string{"id": "wall"})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest && resp.StatusCode != http.StatusConflict {
+		t.Errorf("duplicate attach: got %d, want conflict", resp.StatusCode)
+	}
+	resp = postJSON(t, ts.URL+"/api/runs/fan/viewers", map[string]string{})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("attach without id: got %d, want 400", resp.StatusCode)
+	}
+
+	// Dynamic detach.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/api/runs/fan/viewers/wall", nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("detach: got %d", resp.StatusCode)
+	}
+	req, _ = http.NewRequest(http.MethodDelete, ts.URL+"/api/runs/fan/viewers/ghost", nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Error("detaching unknown viewer succeeded")
+	}
+
+	final := waitState(t, ts.URL, "fan", "done")
+	if len(final.Viewers) != 3 {
+		t.Fatalf("final status viewers %+v, want 3 records", final.Viewers)
+	}
+	byID := map[string]viewerDeliveryJSON{}
+	for _, d := range final.Viewers {
+		byID[d.ID] = d
+	}
+	if d := byID["viewer-0"]; d.FramesSent == 0 {
+		t.Errorf("viewer-0 delivered nothing: %+v", d)
+	}
+	if d := byID["wall"]; !d.Detached {
+		t.Errorf("wall not marked detached: %+v", d)
+	}
+}
+
+// TestStreamWithMultipleViewers is the SSE regression test for fan-out runs:
+// per-viewer metrics are distinguishable in the stream, and the metric
+// deduplication of the replay path still holds alongside them.
+func TestStreamWithMultipleViewers(t *testing.T) {
+	ts, _ := newTestServer(t, 2)
+
+	resp := postJSON(t, ts.URL+"/api/runs", fanoutSpec("fanstream", 3, true))
+	resp.Body.Close()
+
+	resp, err := http.Get(ts.URL + "/api/runs/fanstream/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	var metricEvents, statusEvents int
+	var viewerPayloads [][]viewerDeliveryJSON
+	var expectData string
+	scanner := bufio.NewScanner(resp.Body)
+	for scanner.Scan() {
+		line := scanner.Text()
+		switch {
+		case strings.HasPrefix(line, "event: metric"):
+			metricEvents++
+		case strings.HasPrefix(line, "event: status"):
+			statusEvents++
+		case strings.HasPrefix(line, "event: viewers"):
+			expectData = "viewers"
+		case strings.HasPrefix(line, "data: ") && expectData == "viewers":
+			expectData = ""
+			var vds []viewerDeliveryJSON
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &vds); err != nil {
+				t.Fatalf("undecodable viewers event %q: %v", line, err)
+			}
+			viewerPayloads = append(viewerPayloads, vds)
+		}
+	}
+
+	// Dedup from PR 2 still holds: exactly one metric event per (frame, PE).
+	if metricEvents != 4 { // 2 PEs x 2 timesteps
+		t.Errorf("stream carried %d metric events, want 4", metricEvents)
+	}
+	if statusEvents != 1 {
+		t.Errorf("stream carried %d status events, want 1", statusEvents)
+	}
+	if len(viewerPayloads) == 0 {
+		t.Fatal("stream carried no viewers events")
+	}
+	last := viewerPayloads[len(viewerPayloads)-1]
+	if len(last) != 3 {
+		t.Fatalf("final viewers event has %d entries, want 3: %+v", len(last), last)
+	}
+	ids := map[string]bool{}
+	for _, d := range last {
+		ids[d.ID] = true
+		if d.FramesSent == 0 {
+			t.Errorf("viewer %s delivered nothing by the end of the stream: %+v", d.ID, d)
+		}
+	}
+	if len(ids) != 3 {
+		t.Errorf("viewer ids not distinguishable: %v", ids)
+	}
+
+	// The terminal status event carries the same per-viewer records (checked
+	// via the status endpoint, which shares the JSON shape).
+	final := waitState(t, ts.URL, "fanstream", "done")
+	if len(final.Viewers) != 3 {
+		t.Errorf("final status carries %d viewers, want 3", len(final.Viewers))
+	}
+}

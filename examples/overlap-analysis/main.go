@@ -33,9 +33,9 @@ type slowSource struct {
 	delay time.Duration
 }
 
-func (s *slowSource) LoadRegion(t int, r visapult.Region) (*visapult.Volume, int64, error) {
+func (s *slowSource) LoadRegion(ctx context.Context, t int, r visapult.Region) (*visapult.Volume, int64, error) {
 	time.Sleep(s.delay)
-	return s.Source.LoadRegion(t, r)
+	return s.Source.LoadRegion(ctx, t, r)
 }
 
 func main() {

@@ -298,13 +298,14 @@ type loadedFrame struct {
 	err     error
 }
 
-// load fetches one PE's slab of one timestep and logs the load phase.
-func (b *BackEnd) load(rank, frame int, axis volume.Axis) loadedFrame {
+// load fetches one PE's slab of one timestep and logs the load phase. A
+// cancelled ctx aborts a network-backed load in flight.
+func (b *BackEnd) load(ctx context.Context, rank, frame int, axis volume.Axis) loadedFrame {
 	regions := volume.Slabs(b.nx, b.ny, b.nz, axis, b.cfg.PEs)
 	region := regions[rank]
 	b.log(netlogger.BELoadStart, frame, rank, region.Bytes())
 	start := time.Now()
-	vol, bytes, err := b.cfg.Source.LoadRegion(frame, region)
+	vol, bytes, err := b.cfg.Source.LoadRegion(ctx, frame, region)
 	dur := time.Since(start)
 	b.log(netlogger.BELoadEnd, frame, rank, bytes)
 	return loadedFrame{frame: frame, axis: axis, region: region, vol: vol, bytes: bytes, dur: dur, err: err}
@@ -475,7 +476,7 @@ func (b *BackEnd) runPESerial(ctx context.Context, rank int, barrier *cyclicBarr
 		}
 		axis := b.Axis()
 		b.log(netlogger.BEFrameStart, frame, rank, 0)
-		lf := b.load(rank, frame, axis)
+		lf := b.load(ctx, rank, frame, axis)
 		fs, err := b.renderAndSend(rank, lf)
 		if err != nil {
 			barrier.Abort()
@@ -542,7 +543,7 @@ func (b *BackEnd) runPEOverlapped(ctx context.Context, rank int, barrier *cyclic
 				if !ok {
 					return
 				}
-				lf := b.load(rank, r.frame, r.axis)
+				lf := b.load(ctx, rank, r.frame, r.axis)
 				if b.cfg.Mode == OverlappedProcessPair && lf.err == nil {
 					copyStart := time.Now()
 					lf.vol = lf.vol.Clone()

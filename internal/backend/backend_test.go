@@ -264,9 +264,9 @@ type delaySource struct {
 	delay time.Duration
 }
 
-func (d *delaySource) LoadRegion(t int, r volume.Region) (*volume.Volume, int64, error) {
+func (d *delaySource) LoadRegion(ctx context.Context, t int, r volume.Region) (*volume.Volume, int64, error) {
 	time.Sleep(d.delay)
-	return d.DataSource.LoadRegion(t, r)
+	return d.DataSource.LoadRegion(ctx, t, r)
 }
 
 // slowSink injects a fixed delay into every heavy send, standing in for the
@@ -443,12 +443,12 @@ func TestSyntheticSourceCachesTimestep(t *testing.T) {
 		t.Fatalf("dims = %d %d %d", nx, ny, nz)
 	}
 	r := volume.Region{X1: nx, Y1: ny, Z1: 4}
-	a, bytesA, err := src.LoadRegion(0, r)
+	a, bytesA, err := src.LoadRegion(context.Background(), 0, r)
 	if err != nil {
 		t.Fatal(err)
 	}
 	bRegion := volume.Region{X1: nx, Y1: ny, Z0: 4, Z1: 8}
-	b, _, err := src.LoadRegion(0, bRegion)
+	b, _, err := src.LoadRegion(context.Background(), 0, bRegion)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -458,7 +458,7 @@ func TestSyntheticSourceCachesTimestep(t *testing.T) {
 	if a.Len() == 0 || b.Len() == 0 {
 		t.Fatal("empty subvolumes")
 	}
-	if _, _, err := src.LoadRegion(99, r); err == nil {
+	if _, _, err := src.LoadRegion(context.Background(), 99, r); err == nil {
 		t.Fatal("expected error for out-of-range timestep")
 	}
 }
@@ -476,7 +476,7 @@ func TestMemorySourceValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := src.LoadRegion(3, volume.Region{X1: 4, Y1: 4, Z1: 4}); err == nil {
+	if _, _, err := src.LoadRegion(context.Background(), 3, volume.Region{X1: 4, Y1: 4, Z1: 4}); err == nil {
 		t.Fatal("expected error for out-of-range timestep")
 	}
 }
@@ -560,7 +560,7 @@ func TestLoadRegionDecompositionCoversVolumeProperty(t *testing.T) {
 		regions := volume.Slabs(nx, ny, nz, axis, pes)
 		var total int64
 		for _, r := range regions {
-			sub, bytes, err := src.LoadRegion(0, r)
+			sub, bytes, err := src.LoadRegion(context.Background(), 0, r)
 			if err != nil {
 				return false
 			}

@@ -1,0 +1,348 @@
+package backend
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"visapult/internal/volume"
+	"visapult/internal/wire"
+)
+
+// recordSink collects delivered (frame, PE) pairs; optionally it blocks until
+// released, standing in for a stalled viewer connection.
+type recordSink struct {
+	mu      sync.Mutex
+	got     [][2]int // (frame, pe) in arrival order
+	pending *wire.LightPayload
+
+	block   chan struct{} // non-nil: SendHeavy waits until closed
+	failErr error
+}
+
+func (r *recordSink) SendLight(lp *wire.LightPayload) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.failErr != nil {
+		return r.failErr
+	}
+	r.pending = lp
+	return nil
+}
+
+func (r *recordSink) SendHeavy(hp *wire.HeavyPayload) error {
+	if r.block != nil {
+		<-r.block
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.failErr != nil {
+		return r.failErr
+	}
+	r.got = append(r.got, [2]int{hp.Frame, hp.PE})
+	r.pending = nil
+	return nil
+}
+
+func (r *recordSink) pairs() [][2]int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([][2]int(nil), r.got...)
+}
+
+// publishFrame pushes one full frame (all PEs) through the fan-out's sinks.
+func publishFrame(t *testing.T, sinks []FrameSink, frame int) {
+	t.Helper()
+	for pe, s := range sinks {
+		lp := &wire.LightPayload{Frame: frame, PE: pe, SlabIndex: pe, SlabCount: len(sinks), TexWidth: 1, TexHeight: 1, BytesPerPixel: 4}
+		hp := &wire.HeavyPayload{Frame: frame, PE: pe, TexWidth: 1, TexHeight: 1, Texture: []byte{0, 0, 0, 0}}
+		if err := s.SendLight(lp); err != nil {
+			t.Fatalf("SendLight frame %d PE %d: %v", frame, pe, err)
+		}
+		if err := s.SendHeavy(hp); err != nil {
+			t.Fatalf("SendHeavy frame %d PE %d: %v", frame, pe, err)
+		}
+	}
+}
+
+func waitDelivered(t *testing.T, f *Fanout, id string, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		for _, d := range f.Viewers() {
+			if d.ID == id && d.FramesSent >= want {
+				return
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("viewer %q never reached %d delivered pairs: %+v", id, want, f.Viewers())
+}
+
+func TestFanoutMulticastsToAllViewers(t *testing.T) {
+	const pes, frames = 3, 4
+	f, err := NewFanout(pes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sinksA, sinksB, sinksC recordSink
+	for id, rs := range map[string]*recordSink{"a": &sinksA, "b": &sinksB, "c": &sinksC} {
+		if err := f.Attach(id, []FrameSink{rs}); err != nil {
+			t.Fatalf("attach %s: %v", id, err)
+		}
+	}
+	out := f.Sinks()
+	for frame := 0; frame < frames; frame++ {
+		publishFrame(t, out, frame)
+	}
+	if !f.Close(5 * time.Second) {
+		t.Fatal("Close did not drain all senders")
+	}
+	for id, rs := range map[string]*recordSink{"a": &sinksA, "b": &sinksB, "c": &sinksC} {
+		if got := len(rs.pairs()); got != pes*frames {
+			t.Errorf("viewer %s received %d pairs, want %d", id, got, pes*frames)
+		}
+	}
+	for _, d := range f.Viewers() {
+		if d.FramesSent != pes*frames || d.FramesDropped != 0 {
+			t.Errorf("viewer %s delivery = %+v, want %d sent, 0 dropped", d.ID, d, pes*frames)
+		}
+	}
+}
+
+func TestFanoutStalledViewerDropsWithoutBlockingPublish(t *testing.T) {
+	const pes = 2
+	const queue = 2
+	f, err := NewFanout(pes, queue)
+	if err != nil {
+		t.Fatal(err)
+	}
+	healthy := &recordSink{}
+	stalled := &recordSink{block: make(chan struct{})}
+	if err := f.Attach("healthy", []FrameSink{healthy}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Attach("stalled", []FrameSink{stalled}); err != nil {
+		t.Fatal(err)
+	}
+	out := f.Sinks()
+
+	// Publish far more than the stalled viewer's queue can hold, pacing on
+	// the healthy viewer (the analogue of the render loop's frame cadence).
+	// Publishing must never block on the stalled one — this test hangs if it
+	// does.
+	const frames = 10
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for frame := 0; frame < frames; frame++ {
+			publishFrame(t, out, frame)
+			waitDelivered(t, f, "healthy", (frame+1)*pes)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("publishing blocked on a stalled viewer")
+	}
+	close(stalled.block) // release the stalled sender so Close can drain
+	if !f.Close(5 * time.Second) {
+		t.Fatal("Close did not drain after unblocking")
+	}
+
+	var sd, hd ViewerDelivery
+	for _, d := range f.Viewers() {
+		switch d.ID {
+		case "stalled":
+			sd = d
+		case "healthy":
+			hd = d
+		}
+	}
+	if hd.FramesDropped != 0 || hd.FramesSent != pes*frames {
+		t.Errorf("healthy viewer delivery = %+v, want all %d pairs", hd, pes*frames)
+	}
+	if sd.FramesDropped == 0 {
+		t.Errorf("stalled viewer dropped nothing: %+v", sd)
+	}
+	if sd.FramesSent+sd.FramesDropped != pes*frames {
+		t.Errorf("stalled viewer sent %d + dropped %d, want %d total", sd.FramesSent, sd.FramesDropped, pes*frames)
+	}
+}
+
+func TestFanoutLateAttachStartsAtNextFrameBoundary(t *testing.T) {
+	const pes = 2
+	f, err := NewFanout(pes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	early := &recordSink{}
+	if err := f.Attach("early", []FrameSink{early}); err != nil {
+		t.Fatal(err)
+	}
+	out := f.Sinks()
+	publishFrame(t, out, 0)
+	// Tear the boundary: frame 1 published by PE 0 only, then the attach.
+	lp := &wire.LightPayload{Frame: 1, PE: 0, TexWidth: 1, TexHeight: 1, BytesPerPixel: 4}
+	hp := &wire.HeavyPayload{Frame: 1, PE: 0, TexWidth: 1, TexHeight: 1, Texture: []byte{0, 0, 0, 0}}
+	if err := out[0].SendLight(lp); err != nil {
+		t.Fatal(err)
+	}
+	if err := out[0].SendHeavy(hp); err != nil {
+		t.Fatal(err)
+	}
+
+	late := &recordSink{}
+	if err := f.Attach("late", []FrameSink{late}); err != nil {
+		t.Fatal(err)
+	}
+	// Rest of frame 1, then frames 2 and 3.
+	lp2 := &wire.LightPayload{Frame: 1, PE: 1, TexWidth: 1, TexHeight: 1, BytesPerPixel: 4}
+	hp2 := &wire.HeavyPayload{Frame: 1, PE: 1, TexWidth: 1, TexHeight: 1, Texture: []byte{0, 0, 0, 0}}
+	if err := out[1].SendLight(lp2); err != nil {
+		t.Fatal(err)
+	}
+	if err := out[1].SendHeavy(hp2); err != nil {
+		t.Fatal(err)
+	}
+	publishFrame(t, out, 2)
+	publishFrame(t, out, 3)
+	if !f.Close(5 * time.Second) {
+		t.Fatal("Close did not drain")
+	}
+
+	for _, pair := range late.pairs() {
+		if pair[0] < 2 {
+			t.Errorf("late viewer received frame %d PE %d, want nothing before frame 2", pair[0], pair[1])
+		}
+	}
+	if got := len(late.pairs()); got != 2*pes {
+		t.Errorf("late viewer received %d pairs, want %d (frames 2-3, all PEs)", got, 2*pes)
+	}
+	if got := len(early.pairs()); got != 4*pes {
+		t.Errorf("early viewer received %d pairs, want %d", got, 4*pes)
+	}
+	for _, d := range f.Viewers() {
+		if d.ID == "late" && d.StartFrame != 2 {
+			t.Errorf("late viewer StartFrame = %d, want 2", d.StartFrame)
+		}
+	}
+}
+
+func TestFanoutFailedSinkDetachesViewer(t *testing.T) {
+	f, err := NewFanout(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := &recordSink{failErr: errors.New("connection reset")}
+	good := &recordSink{}
+	if err := f.Attach("bad", []FrameSink{bad}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Attach("good", []FrameSink{good}); err != nil {
+		t.Fatal(err)
+	}
+	out := f.Sinks()
+	for frame := 0; frame < 5; frame++ {
+		publishFrame(t, out, frame)
+	}
+	waitDelivered(t, f, "good", 5)
+	if !f.Close(5 * time.Second) {
+		t.Fatal("Close did not drain")
+	}
+	var bd ViewerDelivery
+	for _, d := range f.Viewers() {
+		if d.ID == "bad" {
+			bd = d
+		}
+	}
+	if !bd.Detached || bd.Error == "" || !strings.Contains(bd.Error, "connection reset") {
+		t.Errorf("failed viewer delivery = %+v, want detached with the sink error", bd)
+	}
+}
+
+func TestFanoutDetachAndReuseID(t *testing.T) {
+	f, err := NewFanout(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := &recordSink{}
+	if err := f.Attach("v", []FrameSink{first}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Attach("v", []FrameSink{&recordSink{}}); err == nil {
+		t.Fatal("double attach under one id succeeded")
+	}
+	publishFrame(t, f.Sinks(), 0)
+	waitDelivered(t, f, "v", 1)
+	if err := f.Detach("v"); err != nil {
+		t.Fatalf("detach: %v", err)
+	}
+	if err := f.Detach("v"); err == nil {
+		t.Fatal("double detach succeeded")
+	}
+	// The id is reusable after detach; the old attachment's record is
+	// retired into the snapshot history, not discarded.
+	second := &recordSink{}
+	if err := f.Attach("v", []FrameSink{second}); err != nil {
+		t.Fatalf("re-attach after detach: %v", err)
+	}
+	publishFrame(t, f.Sinks(), 1)
+	waitDelivered(t, f, "v", 1)
+	f.Close(5 * time.Second)
+	if got := len(second.pairs()); got != 1 {
+		t.Errorf("re-attached viewer received %d pairs, want 1", got)
+	}
+	vds := f.Viewers()
+	if len(vds) != 2 {
+		t.Fatalf("snapshot has %d records after id reuse, want both attachments: %+v", len(vds), vds)
+	}
+	if !vds[0].Detached || vds[0].FramesSent != 1 {
+		t.Errorf("retired record = %+v, want the first attachment's counters", vds[0])
+	}
+	if vds[1].Detached || vds[1].FramesSent != 1 {
+		t.Errorf("live record = %+v, want the second attachment's counters", vds[1])
+	}
+}
+
+// TestFanoutDrivenByBackEnd runs a real BackEnd against the fan-out: every
+// viewer sees every (PE, frame) pair and the run statistics are unaffected by
+// the number of viewers.
+func TestFanoutDrivenByBackEnd(t *testing.T) {
+	vol := volume.MustNew(8, 8, 8)
+	src, err := NewMemorySource(vol, vol, vol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const pes = 2
+	f, err := NewFanout(pes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viewers := []*recordSink{{}, {}, {}}
+	for i, rs := range viewers {
+		if err := f.Attach(string(rune('a'+i)), []FrameSink{rs}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	be, err := New(Config{PEs: pes, Source: src, Sinks: f.Sinks()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := be.Run(context.Background())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !f.Close(5 * time.Second) {
+		t.Fatal("Close did not drain")
+	}
+	want := pes * stats.Frames
+	for i, rs := range viewers {
+		if got := len(rs.pairs()); got != want {
+			t.Errorf("viewer %d received %d pairs, want %d", i, got, want)
+		}
+	}
+}

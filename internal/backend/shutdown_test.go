@@ -30,10 +30,10 @@ type slowLoadSource struct {
 	loads atomic.Int64
 }
 
-func (s *slowLoadSource) LoadRegion(t int, r volume.Region) (*volume.Volume, int64, error) {
+func (s *slowLoadSource) LoadRegion(ctx context.Context, t int, r volume.Region) (*volume.Volume, int64, error) {
 	s.loads.Add(1)
 	time.Sleep(s.delay)
-	return s.DataSource.LoadRegion(t, r)
+	return s.DataSource.LoadRegion(ctx, t, r)
 }
 
 // waitGoroutines polls until the goroutine count settles back to the

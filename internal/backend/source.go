@@ -21,6 +21,7 @@
 package backend
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -45,8 +46,11 @@ type DataSource interface {
 	StepBytes() int64
 	// LoadRegion loads the given region of timestep t and returns it as a
 	// standalone sub-volume, along with the number of bytes that crossed the
-	// data-source boundary to satisfy the request.
-	LoadRegion(t int, r volume.Region) (*volume.Volume, int64, error)
+	// data-source boundary to satisfy the request. Cancelling ctx aborts a
+	// network-backed load in flight (a DPSS block read mid-transfer) instead
+	// of at the next frame boundary; in-memory sources only check it on
+	// entry.
+	LoadRegion(ctx context.Context, t int, r volume.Region) (*volume.Volume, int64, error)
 }
 
 // MemorySource serves timesteps already resident in memory. It is the
@@ -84,7 +88,10 @@ func (m *MemorySource) Timesteps() int { return len(m.steps) }
 func (m *MemorySource) StepBytes() int64 { return m.steps[0].SizeBytes() }
 
 // LoadRegion implements DataSource.
-func (m *MemorySource) LoadRegion(t int, r volume.Region) (*volume.Volume, int64, error) {
+func (m *MemorySource) LoadRegion(ctx context.Context, t int, r volume.Region) (*volume.Volume, int64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
 	if t < 0 || t >= len(m.steps) {
 		return nil, 0, fmt.Errorf("backend: timestep %d out of range [0,%d)", t, len(m.steps))
 	}
@@ -136,7 +143,10 @@ func (s *SyntheticSource) step(t int) *volume.Volume {
 }
 
 // LoadRegion implements DataSource.
-func (s *SyntheticSource) LoadRegion(t int, r volume.Region) (*volume.Volume, int64, error) {
+func (s *SyntheticSource) LoadRegion(ctx context.Context, t int, r volume.Region) (*volume.Volume, int64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
 	if t < 0 || t >= s.gen.Timesteps() {
 		return nil, 0, fmt.Errorf("backend: timestep %d out of range [0,%d)", t, s.gen.Timesteps())
 	}
@@ -218,7 +228,7 @@ func (d *DPSSSource) headerBytes() int64 {
 
 // LoadRegion implements DataSource. The returned byte count is the number of
 // voxel-data bytes actually requested from the cache.
-func (d *DPSSSource) LoadRegion(t int, r volume.Region) (*volume.Volume, int64, error) {
+func (d *DPSSSource) LoadRegion(ctx context.Context, t int, r volume.Region) (*volume.Volume, int64, error) {
 	if t < 0 || t >= d.steps {
 		return nil, 0, fmt.Errorf("backend: timestep %d out of range [0,%d)", t, d.steps)
 	}
@@ -226,7 +236,7 @@ func (d *DPSSSource) LoadRegion(t int, r volume.Region) (*volume.Volume, int64, 
 	if err != nil {
 		return nil, 0, err
 	}
-	raw, n, err := readRegionAt(f, d.headerBytes(), d.nx, d.ny, r)
+	raw, n, err := readRegionAt(ctx, f, d.headerBytes(), d.nx, d.ny, r)
 	if err != nil {
 		return nil, n, err
 	}
@@ -252,13 +262,14 @@ func (d *DPSSSource) Close() error {
 // readerAt is the subset of dpss.File LoadRegion needs; taking an interface
 // keeps readRegionAt testable without a live cluster.
 type readerAt interface {
-	ReadAt(p []byte, off int64) (int, error)
+	ReadAtContext(ctx context.Context, p []byte, off int64) (int, error)
 }
 
 // readRegionAt reads the float32 voxels of region r from a serialized volume
 // of size nx x ny x * starting at hdr bytes into the file. It coalesces reads
-// into the largest contiguous ranges the region layout allows.
-func readRegionAt(f readerAt, hdr int64, nx, ny int, r volume.Region) ([]float32, int64, error) {
+// into the largest contiguous ranges the region layout allows. Cancelling ctx
+// aborts the read in flight.
+func readRegionAt(ctx context.Context, f readerAt, hdr int64, nx, ny int, r volume.Region) ([]float32, int64, error) {
 	rx, ry, rz := r.Dims()
 	if rx <= 0 || ry <= 0 || rz <= 0 {
 		return nil, 0, fmt.Errorf("backend: empty region %v", r)
@@ -273,7 +284,7 @@ func readRegionAt(f readerAt, hdr int64, nx, ny int, r volume.Region) ([]float32
 			buf = make([]byte, need)
 		}
 		b := buf[:need]
-		if _, err := f.ReadAt(b, off); err != nil {
+		if _, err := f.ReadAtContext(ctx, b, off); err != nil {
 			return err
 		}
 		bytesRead += int64(need)

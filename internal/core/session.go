@@ -103,12 +103,29 @@ type SessionConfig struct {
 	// as that PE finishes sending the frame. Called concurrently from the
 	// back-end PE goroutines.
 	OnFrame func(backend.FrameStats)
+	// Viewers, when >= 1, runs the session through the back end's fan-out
+	// stage with that many concurrently attached viewers (the paper's
+	// ImmersaDesk + tiled display exhibit). Zero selects the classic
+	// single-viewer pipeline.
+	Viewers int
+	// ViewerQueue bounds each attached viewer's send queue in (PE, frame)
+	// pairs for fan-out sessions; <= 0 selects backend.DefaultViewerQueue.
+	ViewerQueue int
+	// OnFanout, when non-nil, receives the fan-out session's control handle
+	// once the run is live, so callers can attach and detach viewers mid-run
+	// and read per-viewer delivery metrics. Only invoked when Viewers >= 1.
+	OnFanout func(*FanoutControl)
 }
 
 // SessionResult reports what a session did.
 type SessionResult struct {
 	Backend backend.RunStats
-	Viewer  viewer.Stats
+	// Viewer is the (primary) viewer's counter snapshot; for fan-out
+	// sessions it is the first attached viewer's.
+	Viewer viewer.Stats
+	// Viewers reports every viewer of a fan-out session, in attach order
+	// (empty for classic single-viewer sessions).
+	Viewers []ViewerResult
 	// Events is the merged NetLogger stream (empty unless Instrument).
 	Events []netlogger.Event
 	// Elapsed is the end-to-end wall-clock time of the run.
@@ -143,6 +160,9 @@ func RunSession(ctx context.Context, cfg SessionConfig) (*SessionResult, error) 
 	}
 	if cfg.StripeLanes <= 0 {
 		cfg.StripeLanes = 2
+	}
+	if cfg.Viewers >= 1 {
+		return runFanoutSession(ctx, cfg)
 	}
 
 	var beLogger, vLogger *netlogger.Logger

@@ -1,6 +1,7 @@
 package dpss
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -170,19 +171,43 @@ func (c *Client) serverConnFor(addr string) (*serverConn, error) {
 
 // call performs one synchronous block request on a server connection.
 func (sc *serverConn) call(msgType byte, payload []byte) ([]byte, error) {
+	return sc.callContext(context.Background(), msgType, payload)
+}
+
+// callContext is call with cancellation: a ctx cancelled mid-exchange poisons
+// the connection with an immediate deadline, failing the blocked read or
+// write right away instead of at the next frame boundary. The connection is
+// then mid-frame and unusable; the caller must discard it (see
+// Client.dropServerConn).
+func (sc *serverConn) callContext(ctx context.Context, msgType byte, payload []byte) ([]byte, error) {
 	sc.mu.Lock()
 	defer sc.mu.Unlock()
-	if err := writeFrame(sc.out, msgType, payload); err != nil {
+	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	stop := context.AfterFunc(ctx, func() { sc.conn.SetDeadline(time.Unix(1, 0)) })
+	defer stop()
+	if err := writeFrame(sc.out, msgType, payload); err != nil {
+		return nil, ctxPreferred(ctx, err)
 	}
 	respType, resp, err := readFrame(sc.conn)
 	if err != nil {
-		return nil, err
+		return nil, ctxPreferred(ctx, err)
 	}
 	if respType == msgError {
 		return nil, interpretError(string(resp))
 	}
 	return resp, nil
+}
+
+// ctxPreferred surfaces the context's cancellation as the error cause when an
+// I/O failure was (most likely) induced by it, so callers can errors.Is
+// against context.Canceled instead of parsing deadline errors.
+func ctxPreferred(ctx context.Context, err error) error {
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		return fmt.Errorf("dpss: read aborted: %w", ctxErr)
+	}
+	return err
 }
 
 // Create registers a new dataset with the master and returns its layout.
@@ -226,18 +251,28 @@ func (c *Client) Stat(name string) (DatasetInfo, error) {
 	return decodeDatasetInfo(resp)
 }
 
-// readBlock fetches one logical block from its server.
-func (c *Client) readBlock(info DatasetInfo, block int64) ([]byte, error) {
+// readBlock fetches one logical block from its server. A ctx cancellation
+// aborts the exchange in flight and discards the poisoned connection, so the
+// next read against the same server re-dials a clean one.
+func (c *Client) readBlock(ctx context.Context, info DatasetInfo, block int64) ([]byte, error) {
 	if c.compress > 0 {
-		return c.readBlockCompressed(info, block)
+		return c.readBlockCompressed(ctx, info, block)
 	}
-	sc, err := c.serverConnFor(info.ServerFor(block))
+	addr := info.ServerFor(block)
+	sc, err := c.serverConnFor(addr)
 	if err != nil {
 		return nil, err
 	}
 	e := &encoder{}
 	e.str(info.Name).u64(uint64(block))
-	data, err := sc.call(msgReadBlock, e.buf)
+	data, err := sc.callContext(ctx, msgReadBlock, e.buf)
+	// Once the context has fired the connection must go, even when the
+	// exchange itself squeaked through: the cancellation's AfterFunc may
+	// have set (or still be setting) the poison deadline, which would fail
+	// every later read on a pooled connection.
+	if ctx.Err() != nil {
+		c.dropServerConn(addr, sc)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -246,6 +281,18 @@ func (c *Client) readBlock(info DatasetInfo, block int64) ([]byte, error) {
 	c.reads++
 	c.mu.Unlock()
 	return data, nil
+}
+
+// dropServerConn closes and forgets a server connection a cancelled exchange
+// left mid-frame. The sc identity check keeps a stale drop from tearing down
+// a replacement connection dialed in the meantime.
+func (c *Client) dropServerConn(addr string, sc *serverConn) {
+	c.mu.Lock()
+	if cur, ok := c.conns[addr]; ok && cur == sc {
+		delete(c.conns, addr)
+	}
+	c.mu.Unlock()
+	sc.conn.Close()
 }
 
 // writeBlock stores one logical block on its server.
@@ -323,6 +370,13 @@ func (f *File) Size() int64 { return f.info.Size }
 // ReadAt reads len(p) bytes starting at offset off, fetching every involved
 // block from its server in parallel. It implements io.ReaderAt.
 func (f *File) ReadAt(p []byte, off int64) (int, error) {
+	return f.ReadAtContext(context.Background(), p, off)
+}
+
+// ReadAtContext is ReadAt under a context: cancelling ctx aborts the block
+// exchanges in flight (each blocked read fails immediately) rather than
+// letting them run to completion.
+func (f *File) ReadAtContext(ctx context.Context, p []byte, off int64) (int, error) {
 	if off < 0 {
 		return 0, fmt.Errorf("dpss: negative offset %d", off)
 	}
@@ -354,7 +408,7 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			data, err := f.client.readBlock(f.info, block)
+			data, err := f.client.readBlock(ctx, f.info, block)
 			results[i] = result{block: block, data: data, err: err}
 		}()
 	}

@@ -3,6 +3,7 @@ package dpss
 import (
 	"bytes"
 	"compress/flate"
+	"context"
 	"fmt"
 	"io"
 	"net"
@@ -46,14 +47,20 @@ func WithClientCompression(level int) ClientOption {
 
 // readBlockCompressed fetches one block through the compressed-read path and
 // inflates it.
-func (c *Client) readBlockCompressed(info DatasetInfo, block int64) ([]byte, error) {
-	sc, err := c.serverConnFor(info.ServerFor(block))
+func (c *Client) readBlockCompressed(ctx context.Context, info DatasetInfo, block int64) ([]byte, error) {
+	addr := info.ServerFor(block)
+	sc, err := c.serverConnFor(addr)
 	if err != nil {
 		return nil, err
 	}
 	e := &encoder{}
 	e.str(info.Name).u64(uint64(block)).u32(uint32(c.compress))
-	wire, err := sc.call(msgReadBlockZ, e.buf)
+	wire, err := sc.callContext(ctx, msgReadBlockZ, e.buf)
+	// A fired context poisons the pooled connection (see readBlock); drop it
+	// even when this exchange succeeded.
+	if ctx.Err() != nil {
+		c.dropServerConn(addr, sc)
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -11,6 +11,7 @@
 package offline
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -84,7 +85,7 @@ func Thumbnail(client *dpss.Client, base string, nx, ny, nz, timestep int, opts 
 	var bytesRead int64
 	for zi := 0; zi < outNZ; zi++ {
 		z := zi * stride
-		plane, n, err := src.LoadRegion(timestep, volume.Region{X0: 0, X1: nx, Y0: 0, Y1: ny, Z0: z, Z1: z + 1})
+		plane, n, err := src.LoadRegion(context.Background(), timestep, volume.Region{X0: 0, X1: nx, Y0: 0, Y1: ny, Z0: z, Z1: z + 1})
 		if err != nil {
 			return nil, nil, fmt.Errorf("offline: sampling plane %d of %s: %w", z, base, err)
 		}

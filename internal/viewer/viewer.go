@@ -314,20 +314,40 @@ func (v *Viewer) ServeConn(conn *wire.Conn) error {
 // services them concurrently, returning when all streams have ended. It is
 // the network-facing entry point used by cmd/visapult-viewer.
 func (v *Viewer) Serve(l net.Listener) error {
-	var wg sync.WaitGroup
-	errs := make([]error, v.cfg.PEs)
+	conns := make([]*wire.Conn, v.cfg.PEs)
 	for i := 0; i < v.cfg.PEs; i++ {
 		c, err := l.Accept()
 		if err != nil {
+			for _, conn := range conns {
+				if conn != nil {
+					conn.Close()
+				}
+			}
 			return fmt.Errorf("viewer: accepting PE connection %d: %w", i, err)
 		}
+		conns[i] = wire.NewConn(c)
+	}
+	return v.ServeConns(conns...)
+}
+
+// ServeConns services a set of already-established logical back-end
+// connections concurrently, one I/O goroutine per connection, and returns
+// when every stream has ended. It is the dynamic-registration entry point of
+// the receiver: a viewer attaching to an in-flight run (the back end's
+// fan-out stage) builds its connections first — however they were
+// established — and then serves them, picking the stream up at the next
+// frame boundary the sender grants it. Each connection is closed when its
+// stream ends.
+func (v *Viewer) ServeConns(conns ...*wire.Conn) error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(conns))
+	for i, conn := range conns {
 		wg.Add(1)
-		go func(i int, c net.Conn) {
+		go func(i int, conn *wire.Conn) {
 			defer wg.Done()
-			conn := wire.NewConn(c)
 			errs[i] = v.ServeConn(conn)
 			conn.Close()
-		}(i, c)
+		}(i, conn)
 	}
 	wg.Wait()
 	return errors.Join(errs...)

@@ -7,6 +7,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"visapult/internal/core"
 )
 
 // RunState is the lifecycle state of a managed run.
@@ -76,6 +78,12 @@ type RunStatus struct {
 	// Attempts is the placement history: one entry per time the scheduler
 	// put the run somewhere, including the re-queues after worker failures.
 	Attempts []RunAttempt
+	// Viewers is the per-viewer delivery snapshot of a fan-out run (one
+	// created with a Viewers >= 1 spec or WithViewers), in attach order:
+	// frames sent and dropped, queue depth, bytes. Empty for single-viewer
+	// runs and for runs placed on remote workers (the deliveries stay with
+	// the worker's viewers).
+	Viewers []ViewerDelivery
 }
 
 // RunAttempt records one placement of a run on a worker (or locally).
@@ -107,6 +115,11 @@ var (
 	ErrRunActive = errors.New("visapult: run is still active")
 	// ErrNoResult: Result was called on a run not in StateDone.
 	ErrNoResult = errors.New("visapult: run has no result")
+	// ErrNoFanout: a viewer operation was attempted on a run without a live
+	// fan-out stage — it was not created with Viewers >= 1, has not started
+	// executing locally yet, or is placed on a remote worker (whose viewers
+	// are not reachable through this manager).
+	ErrNoFanout = errors.New("visapult: run has no viewer fan-out")
 )
 
 // Manager owns a set of named pipeline runs and executes them on a bounded
@@ -150,6 +163,9 @@ type managedRun struct {
 	done     chan struct{}
 	workerID string
 	attempts []RunAttempt
+	// fanout is the live fan-out control of a WithViewers run executing
+	// locally; nil otherwise. It stays readable after the run finishes.
+	fanout *core.FanoutControl
 }
 
 // NewManager builds a manager executing at most workers runs concurrently on
@@ -294,7 +310,8 @@ func (m *Manager) executeLocal(r *managedRun, ctx context.Context) {
 		return
 	}
 
-	opts := append(append([]Option(nil), r.opts...), WithFrameHook(r.observe))
+	opts := append(append([]Option(nil), r.opts...),
+		WithFrameHook(r.observe), withFanoutControl(r.setFanout))
 	p, err := New(opts...)
 	if err != nil { // cannot happen: validated at Create
 		r.finish(nil, err)
@@ -382,6 +399,24 @@ func (r *managedRun) closeAttemptLocked(when time.Time, errMsg string) {
 		r.attempts[n-1].Ended = when
 		r.attempts[n-1].Error = errMsg
 	}
+}
+
+// setFanout records the fan-out control of a locally executing WithViewers
+// run. A re-queued run replaces the handle of its dead attempt.
+func (r *managedRun) setFanout(fc *core.FanoutControl) {
+	r.mu.Lock()
+	r.fanout = fc
+	r.mu.Unlock()
+}
+
+// fanoutControl returns the run's live fan-out control, or ErrNoFanout.
+func (r *managedRun) fanoutControl() (*core.FanoutControl, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.fanout == nil {
+		return nil, fmt.Errorf("run %q: %w", r.name, ErrNoFanout)
+	}
+	return r.fanout, nil
 }
 
 // observe records one frame metric and fans it out to subscribers.
@@ -496,7 +531,7 @@ func (m *Manager) Status(name string) (RunStatus, error) {
 
 func (r *managedRun) status() RunStatus {
 	r.mu.Lock()
-	defer r.mu.Unlock()
+	fanout := r.fanout
 	st := RunStatus{
 		Name:       r.name,
 		State:      r.state,
@@ -509,6 +544,11 @@ func (r *managedRun) status() RunStatus {
 	}
 	if r.err != nil {
 		st.Error = r.err.Error()
+	}
+	r.mu.Unlock()
+	// Snapshot the deliveries outside r.mu: the fan-out has its own lock.
+	if fanout != nil {
+		st.Viewers = fanout.Viewers()
 	}
 	return st
 }
@@ -573,6 +613,52 @@ func (m *Manager) Subscribe(name string) (<-chan FrameMetric, func(), error) {
 		})
 	}
 	return ch, cancel, nil
+}
+
+// AttachViewer adds a viewer named viewerID to a locally executing fan-out
+// run (one created with Viewers >= 1): a fresh in-process viewer is built
+// with the run's transport and starts receiving at the next frame boundary.
+// Runs without a live fan-out — single-viewer runs, runs not yet executing,
+// or runs placed on remote workers — report ErrNoFanout.
+func (m *Manager) AttachViewer(name, viewerID string) error {
+	r, err := m.get(name)
+	if err != nil {
+		return err
+	}
+	fc, err := r.fanoutControl()
+	if err != nil {
+		return err
+	}
+	return fc.Attach(viewerID)
+}
+
+// DetachViewer removes a previously attached viewer from a fan-out run,
+// tearing its transport down. Its delivery record remains visible in the
+// run's status and final result.
+func (m *Manager) DetachViewer(name, viewerID string) error {
+	r, err := m.get(name)
+	if err != nil {
+		return err
+	}
+	fc, err := r.fanoutControl()
+	if err != nil {
+		return err
+	}
+	return fc.Detach(viewerID)
+}
+
+// Viewers returns the per-viewer delivery snapshot of a fan-out run, in
+// attach order (including viewers that already detached or failed).
+func (m *Manager) Viewers(name string) ([]ViewerDelivery, error) {
+	r, err := m.get(name)
+	if err != nil {
+		return nil, err
+	}
+	fc, err := r.fanoutControl()
+	if err != nil {
+		return nil, err
+	}
+	return fc.Viewers(), nil
 }
 
 // Result returns the finished run's result; an error if the run is not in

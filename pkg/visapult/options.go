@@ -27,6 +27,9 @@ type config struct {
 	renderLoop    bool
 	discardViewer bool
 	onFrame       func(FrameMetric)
+	viewers       int
+	viewerQueue   int
+	onFanout      func(*core.FanoutControl)
 }
 
 func defaultConfig() config {
@@ -54,11 +57,17 @@ func (c *config) validate() error {
 	if c.discardViewer && c.transport != TransportLocal {
 		return errors.New("visapult: WithoutViewer requires the local transport")
 	}
+	if c.viewers < 0 {
+		return fmt.Errorf("visapult: viewer count must be non-negative, got %d", c.viewers)
+	}
+	if c.discardViewer && c.viewers > 0 {
+		return errors.New("visapult: WithViewers and WithoutViewer are mutually exclusive")
+	}
 	return nil
 }
 
 func (c *config) sessionConfig() core.SessionConfig {
-	return core.SessionConfig{
+	sc := core.SessionConfig{
 		PEs:          c.pes,
 		Timesteps:    c.timesteps,
 		Mode:         c.mode,
@@ -73,7 +82,13 @@ func (c *config) sessionConfig() core.SessionConfig {
 		Instrument:   c.instrument,
 		RenderLoop:   c.renderLoop,
 		OnFrame:      c.onFrame,
+		Viewers:      c.viewers,
+		ViewerQueue:  c.viewerQueue,
 	}
+	if c.viewers >= 1 {
+		sc.OnFanout = c.onFanout
+	}
+	return sc
 }
 
 // Option configures a Pipeline built by New.
@@ -166,6 +181,32 @@ func WithRenderLoop() Option {
 // measures only the load/render pipeline. Requires the local transport.
 func WithoutViewer() Option {
 	return func(c *config) { c.discardViewer = true }
+}
+
+// WithViewers runs the pipeline through the back end's fan-out stage with n
+// concurrently attached in-process viewers: each frame is rendered once and
+// its per-slab textures are multicast to every viewer (the paper's
+// ImmersaDesk + tiled display exhibit). Every viewer gets its own bounded
+// send queue, so one slow or dead viewer loses frames instead of stalling
+// the render loop or the other viewers. The per-viewer outcome is reported
+// in Result.Viewers. n = 0 (the default) selects the classic single-viewer
+// pipeline without the fan-out stage.
+func WithViewers(n int) Option {
+	return func(c *config) { c.viewers = n }
+}
+
+// WithViewerQueue bounds each fan-out viewer's send queue in (PE, frame)
+// texture pairs (default 32). Past the bound, frames are dropped for that
+// viewer only.
+func WithViewerQueue(n int) Option {
+	return func(c *config) { c.viewerQueue = n }
+}
+
+// withFanoutControl registers a callback receiving the fan-out control
+// handle once a WithViewers run is live; Manager uses it to expose dynamic
+// viewer attach/detach.
+func withFanoutControl(fn func(*core.FanoutControl)) Option {
+	return func(c *config) { c.onFanout = fn }
 }
 
 // WithFrameHook registers a callback invoked once per (PE, timestep) as soon

@@ -79,6 +79,15 @@ type (
 // ViewerStats is the viewer-side counter snapshot of a run.
 type ViewerStats = viewer.Stats
 
+// ViewerDelivery is the fan-out stage's delivery record for one attached
+// viewer: frames sent and dropped, queue depth, bytes, and whether (and why)
+// the viewer detached.
+type ViewerDelivery = backend.ViewerDelivery
+
+// ViewerResult reports one viewer of a WithViewers fan-out run: its
+// receive-side counters plus its ViewerDelivery record.
+type ViewerResult = core.ViewerResult
+
 // Image is a float RGBA image; WritePPM serializes it for display.
 type Image = render.Image
 

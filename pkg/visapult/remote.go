@@ -24,6 +24,17 @@ import (
 type BackendConfig struct {
 	// ViewerAddr is the host:port of the viewer accepting PE connections.
 	ViewerAddr string
+	// ViewerAddrs, when non-empty, multicasts the run to several viewer
+	// processes at once through the back end's fan-out stage (the paper's
+	// ImmersaDesk + tiled display exhibit): every frame is rendered once and
+	// its per-slab textures are shipped to each address over that viewer's
+	// own connections and bounded send queue, so one slow or dead viewer
+	// loses frames instead of stalling the render loop or the others.
+	// ViewerAddr is ignored when ViewerAddrs is set.
+	ViewerAddrs []string
+	// ViewerQueue bounds each fan-out viewer's send queue in (PE, frame)
+	// pairs; 0 selects the default (32). Only used with ViewerAddrs.
+	ViewerQueue int
 	// PEs is the number of processing elements (default 4).
 	PEs int
 	// Timesteps bounds the run; 0 means every timestep of the source.
@@ -45,6 +56,10 @@ type BackendConfig struct {
 type BackendReport struct {
 	Stats  RunStats
 	Events []Event
+	// Viewers is the per-viewer delivery record of a multicast run (one
+	// entry per ViewerAddrs address, in order); empty for single-viewer
+	// runs.
+	Viewers []ViewerDelivery
 }
 
 // RunBackend dials one viewer connection per PE, executes the back end, and
@@ -59,6 +74,9 @@ func RunBackend(ctx context.Context, cfg BackendConfig) (*BackendReport, error) 
 	}
 	if cfg.PEs <= 0 {
 		cfg.PEs = 4
+	}
+	if len(cfg.ViewerAddrs) > 0 {
+		return runBackendFanout(ctx, cfg)
 	}
 	if cfg.ViewerAddr == "" {
 		return nil, errors.New("visapult: BackendConfig.ViewerAddr is required")
@@ -151,6 +169,126 @@ func RunBackend(ctx context.Context, cfg BackendConfig) (*BackendReport, error) 
 	case <-time.After(5 * time.Second):
 	}
 	rep := &BackendReport{Stats: stats}
+	if logger != nil {
+		col := netlogger.NewCollector()
+		col.AddLogger(logger)
+		rep.Events = col.Events()
+	}
+	return rep, nil
+}
+
+// runBackendFanout is RunBackend's multicast path: one render, N viewer
+// processes, each fed through the fan-out stage over its own per-PE
+// connections.
+func runBackendFanout(ctx context.Context, cfg BackendConfig) (*BackendReport, error) {
+	fan, err := backend.NewFanout(cfg.PEs, cfg.ViewerQueue)
+	if err != nil {
+		return nil, err
+	}
+
+	var dialer net.Dialer
+	var conns []*wire.Conn // every dialed connection, for teardown
+	closeConns := func() {
+		for _, c := range conns {
+			c.Close()
+		}
+	}
+	// Setup-failure cleanup: viewers attached before the failure already
+	// have sender goroutines parked on their queues; closing the fan ends
+	// them (queues are empty this early, so the grace is never consumed).
+	failCleanup := func() {
+		closeConns()
+		fan.Close(time.Second)
+	}
+	var logger *netlogger.Logger
+	if cfg.Instrument {
+		logger = netlogger.New(hostname("backend-host"), "backend")
+	}
+	be, err := backend.New(backend.Config{
+		PEs: cfg.PEs, Timesteps: cfg.Timesteps, Mode: cfg.Mode,
+		Source: cfg.Source, Sinks: fan.Sinks(), Logger: logger,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Dial one connection per PE per viewer and attach each viewer to the
+	// fan-out. The first viewer's axis hints steer the decomposition when
+	// FollowView is set; every connection's return channel is drained either
+	// way so teardown ends in a clean FIN.
+	var hintWG sync.WaitGroup
+	for vi, addr := range cfg.ViewerAddrs {
+		sinks := make([]backend.FrameSink, cfg.PEs)
+		for pe := 0; pe < cfg.PEs; pe++ {
+			c, err := dialer.DialContext(ctx, "tcp", addr)
+			if err != nil {
+				failCleanup()
+				return nil, fmt.Errorf("visapult: connecting PE %d to viewer %s: %w", pe, addr, err)
+			}
+			conn := wire.NewConn(c)
+			conns = append(conns, conn)
+			sinks[pe] = conn
+			primary := vi == 0
+			hintWG.Add(1)
+			go func(conn *wire.Conn) {
+				defer hintWG.Done()
+				for {
+					m, err := conn.ReadMessage()
+					if err != nil {
+						return
+					}
+					if m.Type != wire.MsgAxisHint || !cfg.FollowView || !primary {
+						continue
+					}
+					if hint, err := wire.DecodeAxisHint(m); err == nil {
+						be.SetAxis(hint.Axis)
+					}
+				}
+			}(conn)
+		}
+		if err := fan.Attach(fmt.Sprintf("viewer-%d:%s", vi, addr), sinks); err != nil {
+			failCleanup()
+			return nil, err
+		}
+	}
+
+	// A cancelled context closes every connection: that unblocks fan-out
+	// senders stuck mid-write against stalled viewers.
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			closeConns()
+		case <-watchDone:
+		}
+	}()
+
+	stats, runErr := be.Run(ctx)
+	// Flush the queues, announce end-of-stream on every healthy connection,
+	// give the viewers a moment to read it, then tear the sockets down. The
+	// done markers go out concurrently and the wait is bounded: a connection
+	// wedged behind a stalled viewer would otherwise block the teardown on
+	// its write lock.
+	fan.Close(5 * time.Second)
+	var doneWG sync.WaitGroup
+	for _, c := range conns {
+		doneWG.Add(1)
+		go func(c *wire.Conn) { defer doneWG.Done(); c.SendDone() }(c)
+	}
+	drained := make(chan struct{})
+	go func() { doneWG.Wait(); hintWG.Wait(); close(drained) }()
+	select {
+	case <-drained:
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+	}
+	closeConns()
+	if runErr != nil {
+		return nil, runErr
+	}
+
+	rep := &BackendReport{Stats: stats, Viewers: fan.Viewers()}
 	if logger != nil {
 		col := netlogger.NewCollector()
 		col.AddLogger(logger)

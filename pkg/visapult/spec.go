@@ -29,6 +29,14 @@ type RunSpec struct {
 	ViewAngleDeg        float64 `json:"viewAngleDeg,omitempty"`
 	Instrument          bool    `json:"instrument,omitempty"`
 	RenderLoop          bool    `json:"renderLoop,omitempty"`
+	// Viewers >= 1 runs the pipeline through the back end's fan-out stage
+	// with that many concurrently attached viewers; such runs also accept
+	// dynamic viewer attach/detach through the manager. 0 selects the
+	// classic single-viewer pipeline.
+	Viewers int `json:"viewers,omitempty"`
+	// ViewerQueue bounds each fan-out viewer's send queue in (PE, frame)
+	// pairs; 0 selects the default (32).
+	ViewerQueue int `json:"viewerQueue,omitempty"`
 }
 
 // SourceSpec selects and sizes the data source of a RunSpec.
@@ -116,6 +124,14 @@ func (spec *RunSpec) Options() ([]Option, error) {
 	}
 	if spec.RenderLoop {
 		opts = append(opts, WithRenderLoop())
+	}
+	// != 0 so a negative count reaches the facade's validation and fails at
+	// Create instead of silently running single-viewer.
+	if spec.Viewers != 0 {
+		opts = append(opts, WithViewers(spec.Viewers))
+	}
+	if spec.ViewerQueue > 0 {
+		opts = append(opts, WithViewerQueue(spec.ViewerQueue))
 	}
 	return opts, nil
 }

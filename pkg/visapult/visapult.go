@@ -81,6 +81,7 @@ func (p *Pipeline) Run(ctx context.Context) (*Result, error) {
 	return &Result{
 		Backend:    sr.Backend,
 		Viewer:     sr.Viewer,
+		Viewers:    sr.Viewers,
 		Events:     sr.Events,
 		Elapsed:    sr.Elapsed,
 		FinalImage: sr.FinalImage,
@@ -118,8 +119,13 @@ type Result struct {
 	// traffic counters.
 	Backend RunStats
 	// Viewer is the viewer-side counter snapshot (zero-valued for
-	// WithoutViewer runs).
+	// WithoutViewer runs; the primary viewer's for WithViewers runs).
 	Viewer ViewerStats
+	// Viewers reports every viewer of a WithViewers fan-out run, in attach
+	// order: receive-side counters plus the sender-side delivery record
+	// (frames sent and dropped, bytes, queue depth). Empty for classic
+	// single-viewer runs.
+	Viewers []ViewerResult
 	// Events is the merged NetLogger stream (empty unless instrumentation
 	// was enabled).
 	Events []Event

@@ -103,10 +103,10 @@ type slowTestSource struct {
 	loads atomic.Int64
 }
 
-func (s *slowTestSource) LoadRegion(t int, r Region) (*Volume, int64, error) {
+func (s *slowTestSource) LoadRegion(ctx context.Context, t int, r Region) (*Volume, int64, error) {
 	s.loads.Add(1)
 	time.Sleep(s.delay)
-	return s.Source.LoadRegion(t, r)
+	return s.Source.LoadRegion(ctx, t, r)
 }
 
 // TestRunCancellation cancels a pipeline mid-run and checks it unwinds with

@@ -64,11 +64,14 @@ type RemoteResult struct {
 	Backend RunStats      `json:"backend"`
 	Viewer  ViewerStats   `json:"viewer"`
 	Elapsed time.Duration `json:"elapsed"`
+	// Viewers carries the per-viewer receive and delivery records of a
+	// multi-viewer (fan-out) spec executed on the worker.
+	Viewers []ViewerResult `json:"viewers,omitempty"`
 }
 
 // result converts the wire summary back into a facade Result.
 func (rr *RemoteResult) result() *Result {
-	return &Result{Backend: rr.Backend, Viewer: rr.Viewer, Elapsed: rr.Elapsed}
+	return &Result{Backend: rr.Backend, Viewer: rr.Viewer, Viewers: rr.Viewers, Elapsed: rr.Elapsed}
 }
 
 // WorkerConfig configures ServeWorker.
@@ -309,5 +312,7 @@ func (ws *workerServer) run(req workerRequest, dec *json.Decoder, send func(work
 		return
 	}
 	ws.logf("worker: run %q done in %v", req.Name, res.Elapsed)
-	send(workerReply{Result: &RemoteResult{Backend: res.Backend, Viewer: res.Viewer, Elapsed: res.Elapsed}})
+	send(workerReply{Result: &RemoteResult{
+		Backend: res.Backend, Viewer: res.Viewer, Viewers: res.Viewers, Elapsed: res.Elapsed,
+	}})
 }
