@@ -12,13 +12,16 @@ package visapult_bench
 
 import (
 	"context"
+	"fmt"
 	"net"
+	"sync"
 	"testing"
 
 	"visapult/internal/backend"
 	"visapult/internal/core"
 	"visapult/internal/datagen"
 	"visapult/internal/dpss"
+	"visapult/internal/dpss/fabric"
 	"visapult/internal/ibr"
 	"visapult/internal/netsim"
 	"visapult/internal/render"
@@ -321,6 +324,83 @@ func BenchmarkDPSSRead(b *testing.B) {
 		if _, err := f.ReadAt(buf, off); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkFabricLoadRegion measures aggregate region-read throughput from a
+// federated DPSS fabric as the cluster count grows (1 vs 2 vs 4), each
+// cluster behind its own emulated WAN link. Timesteps shard across the
+// federation by rendezvous hashing, so concurrent loads engage every
+// cluster's link at once — the aggregate-throughput scaling claim of the
+// multi-cache corridor, tracked over time through BENCH_ci.json.
+func BenchmarkFabricLoadRegion(b *testing.B) {
+	const (
+		nx, ny, nz = 32, 32, 32
+		steps      = 8
+		blockSize  = 32 << 10
+		// linkRate caps each cluster's aggregate server traffic, so the
+		// deliverable rate scales with the cluster count, not loopback speed.
+		linkRate = 100 << 20 // 100 MB/s per cluster link
+	)
+	vol := volume.MustNew(nx, ny, nz)
+	vol.Fill(0.5)
+	encoded := vol.Marshal()
+	region := volume.Region{X1: nx, Y1: ny, Z1: nz}
+
+	for _, nClusters := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("%dclusters", nClusters), func(b *testing.B) {
+			var specs []fabric.ClusterSpec
+			for i := 0; i < nClusters; i++ {
+				cluster, err := dpss.StartCluster(dpss.ClusterConfig{
+					Servers: 2, DisksPerServer: 2,
+					ServerShaper: netsim.NewShaper(linkRate, 64<<10),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer cluster.Close()
+				specs = append(specs, fabric.ClusterSpec{Name: fmt.Sprintf("c%d", i), Master: cluster.MasterAddr})
+			}
+			fb, err := fabric.New(fabric.Config{Clusters: specs, Replication: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer fb.Close()
+			ctx := context.Background()
+			for t := 0; t < steps; t++ {
+				name := dpss.TimestepDatasetName("fbench", t)
+				if _, err := fb.LoadBytes(ctx, name, encoded, blockSize); err != nil {
+					b.Fatal(err)
+				}
+			}
+			src, err := backend.NewFabricSource(fb, "fbench", nx, ny, nz, steps)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer src.Close()
+
+			b.SetBytes(int64(steps) * src.StepBytes())
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				errCh := make(chan error, steps)
+				for t := 0; t < steps; t++ {
+					wg.Add(1)
+					go func(t int) {
+						defer wg.Done()
+						if _, _, err := src.LoadRegion(ctx, t, region); err != nil {
+							errCh <- err
+						}
+					}(t)
+				}
+				wg.Wait()
+				select {
+				case err := <-errCh:
+					b.Fatal(err)
+				default:
+				}
+			}
+		})
 	}
 }
 

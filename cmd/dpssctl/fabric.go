@@ -1,0 +1,297 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"visapult/pkg/visapult"
+	"visapult/pkg/visapult/dpss"
+)
+
+// runFabric dispatches the fabric subcommands. With -daemon set they go
+// through a running visapultd's /api/dpss endpoints (so they act on the
+// daemon's live federation — drain state, health history and all);
+// otherwise status and warm operate directly on the -clusters list.
+func runFabric(daemon, clusters string, replication, blockSize int, args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("fabric needs a subcommand: status | warm <base> <NXxNYxNZ> <steps> | drain <cluster> | undrain <cluster>")
+	}
+	if daemon != "" {
+		return runFabricDaemon(strings.TrimRight(daemon, "/"), blockSize, args)
+	}
+	switch args[0] {
+	case "drain", "undrain":
+		return fmt.Errorf("fabric %s acts on a daemon's live federation; point dpssctl at one with -daemon", args[0])
+	}
+	specs, err := parseClusters(clusters)
+	if err != nil {
+		return err
+	}
+	fb, err := dpss.NewFabric(dpss.FabricConfig{
+		Clusters: specs, Replication: replication, AttemptTimeout: 2 * time.Second,
+	})
+	if err != nil {
+		return err
+	}
+	defer fb.Close()
+	switch args[0] {
+	case "status":
+		return fabricStatus(fb)
+	case "warm":
+		return fabricWarm(fb, blockSize, args[1:])
+	default:
+		return fmt.Errorf("unknown fabric subcommand %q", args[0])
+	}
+}
+
+// fabricStatus probes every member and prints health plus the federation
+// catalog.
+func fabricStatus(fb *dpss.Fabric) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	health := fb.Probe(ctx)
+	fmt.Printf("federation : %d clusters, replication %d\n", len(health), fb.Replication())
+	for _, h := range health {
+		printClusterHealth(h.Name, h.Master, h.Healthy, h.Drained, h.Failures, h.LastError)
+	}
+	datasets := fb.Datasets(ctx)
+	fmt.Printf("datasets   : %d\n", len(datasets))
+	for _, d := range datasets {
+		fmt.Printf("  %-28s replicas: %s\n", d.Name, strings.Join(d.Clusters, ", "))
+	}
+	return nil
+}
+
+func printClusterHealth(name, master string, healthy, drained bool, failures int, lastErr string) {
+	state := "healthy"
+	switch {
+	case drained:
+		state = "drained"
+	case !healthy:
+		state = fmt.Sprintf("down (%d failures)", failures)
+	}
+	fmt.Printf("  %-10s %-22s %s", name, master, state)
+	if lastErr != "" {
+		fmt.Printf("  last error: %s", lastErr)
+	}
+	fmt.Println()
+}
+
+// fabricWarm generates the synthetic combustion time-series and warms it
+// into every placement replica, streaming per-cluster progress.
+func fabricWarm(fb *dpss.Fabric, blockSize int, args []string) error {
+	if len(args) != 3 {
+		return fmt.Errorf("fabric warm needs <base> <NXxNYxNZ> <steps>")
+	}
+	base := args[0]
+	var nx, ny, nz int
+	if _, err := fmt.Sscanf(args[1], "%dx%dx%d", &nx, &ny, &nz); err != nil {
+		return fmt.Errorf("parsing dimensions %q: %w", args[1], err)
+	}
+	steps, err := strconv.Atoi(args[2])
+	if err != nil || steps < 1 {
+		return fmt.Errorf("invalid step count %q", args[2])
+	}
+	var mu sync.Mutex
+	report, err := dpss.WarmCombustion(context.Background(), fb, base, nx, ny, nz, steps, 0, dpss.WarmConfig{
+		BlockSize: blockSize,
+		OnProgress: func(p dpss.WarmProgress) {
+			if !p.Done {
+				return
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			if p.Err != "" {
+				fmt.Printf("  %-28s -> %-10s FAILED: %s\n", p.File, p.Cluster, p.Err)
+				return
+			}
+			fmt.Printf("  %-28s -> %-10s %s\n", p.File, p.Cluster, visapult.HumanBytes(p.Staged))
+		},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("warmed %d files (%s total, every replica) in %v: %.1f MB/s aggregate\n",
+		len(report.Files), visapult.HumanBytes(report.Bytes),
+		report.Elapsed.Round(time.Millisecond), report.RateMBps())
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Daemon mode: the same subcommands through visapultd's /api/dpss plane.
+
+func runFabricDaemon(base string, blockSize int, args []string) error {
+	switch args[0] {
+	case "status":
+		return daemonStatus(base)
+	case "warm":
+		return daemonWarm(base, blockSize, args[1:])
+	case "drain", "undrain":
+		if len(args) != 2 {
+			return fmt.Errorf("fabric %s needs a cluster name", args[0])
+		}
+		var out map[string]any
+		if err := daemonCall(http.MethodPost,
+			fmt.Sprintf("%s/api/dpss/clusters/%s/%s", base, args[1], args[0]), nil, &out); err != nil {
+			return err
+		}
+		fmt.Printf("cluster %s: %s requested\n", args[1], args[0])
+		return nil
+	default:
+		return fmt.Errorf("unknown fabric subcommand %q", args[0])
+	}
+}
+
+// daemonHealth mirrors visapultd's cluster-health wire shape.
+type daemonHealth struct {
+	Name      string `json:"name"`
+	Master    string `json:"master"`
+	Healthy   bool   `json:"healthy"`
+	Drained   bool   `json:"drained"`
+	Failures  int    `json:"failures"`
+	LastError string `json:"lastError"`
+}
+
+func daemonStatus(base string) error {
+	var probe struct {
+		Clusters []daemonHealth `json:"clusters"`
+	}
+	if err := daemonCall(http.MethodPost, base+"/api/dpss/probe", nil, &probe); err != nil {
+		return err
+	}
+	var overview struct {
+		Replication int `json:"replication"`
+	}
+	if err := daemonCall(http.MethodGet, base+"/api/dpss", nil, &overview); err != nil {
+		return err
+	}
+	fmt.Printf("federation : %d clusters, replication %d (via %s)\n", len(probe.Clusters), overview.Replication, base)
+	for _, h := range probe.Clusters {
+		printClusterHealth(h.Name, h.Master, h.Healthy, h.Drained, h.Failures, h.LastError)
+	}
+	var cat struct {
+		Datasets []struct {
+			Name     string   `json:"name"`
+			Replicas []string `json:"replicas"`
+		} `json:"datasets"`
+	}
+	if err := daemonCall(http.MethodGet, base+"/api/dpss/datasets", nil, &cat); err != nil {
+		return err
+	}
+	fmt.Printf("datasets   : %d\n", len(cat.Datasets))
+	for _, d := range cat.Datasets {
+		fmt.Printf("  %-28s replicas: %s\n", d.Name, strings.Join(d.Replicas, ", "))
+	}
+	return nil
+}
+
+func daemonWarm(base string, blockSize int, args []string) error {
+	if len(args) != 3 {
+		return fmt.Errorf("fabric warm needs <base> <NXxNYxNZ> <steps>")
+	}
+	var nx, ny, nz int
+	if _, err := fmt.Sscanf(args[1], "%dx%dx%d", &nx, &ny, &nz); err != nil {
+		return fmt.Errorf("parsing dimensions %q: %w", args[1], err)
+	}
+	steps, err := strconv.Atoi(args[2])
+	if err != nil || steps < 1 {
+		return fmt.Errorf("invalid step count %q", args[2])
+	}
+	req := map[string]any{"base": args[0], "nx": nx, "ny": ny, "nz": nz, "steps": steps,
+		"blockSize": blockSize}
+	var started struct {
+		ID string `json:"id"`
+	}
+	if err := daemonCall(http.MethodPost, base+"/api/dpss/warm", req, &started); err != nil {
+		return err
+	}
+	fmt.Printf("warming job %s started\n", started.ID)
+	for {
+		time.Sleep(200 * time.Millisecond)
+		var job struct {
+			State    string  `json:"state"`
+			Error    string  `json:"error"`
+			Bytes    int64   `json:"bytes"`
+			RateMBps float64 `json:"rateMBps"`
+			Files    map[string]map[string]struct {
+				Staged int64 `json:"staged"`
+				Total  int64 `json:"total"`
+				Done   bool  `json:"done"`
+			} `json:"files"`
+		}
+		if err := daemonCall(http.MethodGet, base+"/api/dpss/warm/"+started.ID, nil, &job); err != nil {
+			return err
+		}
+		if job.State == "running" {
+			continue
+		}
+		if job.State == "failed" {
+			return fmt.Errorf("warming failed: %s", job.Error)
+		}
+		files := make([]string, 0, len(job.Files))
+		for f := range job.Files {
+			files = append(files, f)
+		}
+		sort.Strings(files)
+		for _, f := range files {
+			replicas := make([]string, 0, len(job.Files[f]))
+			for c := range job.Files[f] {
+				replicas = append(replicas, c)
+			}
+			sort.Strings(replicas)
+			fmt.Printf("  %-28s replicas: %s\n", f, strings.Join(replicas, ", "))
+		}
+		fmt.Printf("warmed %s at %.1f MB/s aggregate\n", visapult.HumanBytes(job.Bytes), job.RateMBps)
+		return nil
+	}
+}
+
+// daemonCall performs one JSON request against the daemon.
+func daemonCall(method, url string, body any, out any) error {
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 300 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return fmt.Errorf("%s %s: %s", method, url, e.Error)
+		}
+		return fmt.Errorf("%s %s: HTTP %d", method, url, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}

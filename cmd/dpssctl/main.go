@@ -1,12 +1,18 @@
 // Command dpssctl is the administrative client for a running dpssd: it
 // stages datasets into the cache, inspects the catalog, and measures read
-// throughput the way the paper's DPSS numbers were measured.
+// throughput the way the paper's DPSS numbers were measured. The fabric
+// subcommands administer a whole federation of clusters at once.
 //
 // Usage:
 //
 //	dpssctl -master 127.0.0.1:9300 stat combustion.t0000
 //	dpssctl -master 127.0.0.1:9300 load combustion 80x32x32 5
 //	dpssctl -master 127.0.0.1:9300 bench combustion.t0000
+//
+//	dpssctl -clusters lbl=127.0.0.1:9300,anl=127.0.0.1:9310 fabric status
+//	dpssctl -clusters lbl=...,anl=... -replication 2 fabric warm combustion 80x32x32 5
+//	dpssctl -daemon http://127.0.0.1:9600 fabric status
+//	dpssctl -daemon http://127.0.0.1:9600 fabric drain anl
 package main
 
 import (
@@ -14,6 +20,7 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"strings"
 	"time"
 
 	"visapult/pkg/visapult"
@@ -24,11 +31,21 @@ func main() {
 	masterAddr := flag.String("master", "127.0.0.1:9300", "DPSS master address")
 	blockSize := flag.Int("block", dpss.DefaultBlockSize, "logical block size for new datasets")
 	streams := flag.Int("streams", 4, "parallel reader goroutines for bench")
+	clusters := flag.String("clusters", "", "federation members for fabric commands, name=master:port comma-separated")
+	replication := flag.Int("replication", 2, "replicas per dataset for fabric commands")
+	daemon := flag.String("daemon", "", "visapultd base URL; fabric commands then go through its /api/dpss endpoints")
 	flag.Parse()
 
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()
+	}
+	if args[0] == "fabric" {
+		if err := runFabric(*daemon, *clusters, *replication, *blockSize, args[1:]); err != nil {
+			fmt.Fprintf(os.Stderr, "dpssctl: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 	client := dpss.NewClient(*masterAddr)
 	defer client.Close()
@@ -53,8 +70,25 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: dpssctl [-master addr] stat <dataset> | load <base> <NXxNYxNZ> <steps> | bench <dataset> | thumbnail <base> <NXxNYxNZ> <step> <out.ppm>")
+	fmt.Fprintln(os.Stderr, `usage: dpssctl [-master addr] stat <dataset> | load <base> <NXxNYxNZ> <steps> | bench <dataset> | thumbnail <base> <NXxNYxNZ> <step> <out.ppm>
+       dpssctl [-clusters name=addr,... | -daemon url] fabric status | warm <base> <NXxNYxNZ> <steps> | drain <cluster> | undrain <cluster>`)
 	os.Exit(2)
+}
+
+// parseClusters parses the -clusters flag value.
+func parseClusters(v string) ([]dpss.FabricClusterSpec, error) {
+	if v == "" {
+		return nil, fmt.Errorf("fabric commands need -clusters name=master:port,... (or -daemon)")
+	}
+	var out []dpss.FabricClusterSpec
+	for _, part := range strings.Split(v, ",") {
+		name, master, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || name == "" || master == "" {
+			return nil, fmt.Errorf("bad cluster %q, want name=master:port", part)
+		}
+		out = append(out, dpss.FabricClusterSpec{Name: name, Master: master})
+	}
+	return out, nil
 }
 
 // runThumbnail exercises the offline visualization service of the paper's

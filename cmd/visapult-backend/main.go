@@ -20,6 +20,7 @@
 //	visapult-backend -viewer 127.0.0.1:9400 -pes 4 -steps 5 -mode overlapped
 //	visapult-backend -viewers 127.0.0.1:9400,127.0.0.1:9401 -pes 4 -steps 5
 //	visapult-backend -viewer 127.0.0.1:9400 -dpss 127.0.0.1:9300 -dataset combustion -dims 80x32x32 -steps 5
+//	visapult-backend -viewer 127.0.0.1:9400 -dpss lbl=127.0.0.1:9300,anl=127.0.0.1:9310 -dataset combustion -dims 80x32x32 -steps 5
 //	visapult-backend -serve-control 127.0.0.1:9700 -capacity 2
 package main
 
@@ -45,7 +46,8 @@ func main() {
 	steps := flag.Int("steps", 5, "number of timesteps to process")
 	mode := flag.String("mode", "overlapped", "serial or overlapped")
 	scale := flag.Int("scale", 8, "synthetic grid divisor (ignored with -dpss)")
-	dpssMaster := flag.String("dpss", "", "DPSS master address; empty uses the synthetic generator")
+	dpssMaster := flag.String("dpss", "", "DPSS master address, or a whole federation as name=master,name=master (reads then fail over between clusters); empty uses the synthetic generator")
+	replication := flag.Int("replication", 2, "replicas per dataset when -dpss names a federation")
 	dataset := flag.String("dataset", "combustion", "DPSS dataset base name")
 	dims := flag.String("dims", "80x32x32", "DPSS dataset dimensions, NXxNYxNZ")
 	followView := flag.Bool("follow-view", false, "let the viewer's axis hints steer the slab decomposition")
@@ -65,7 +67,33 @@ func main() {
 	}
 
 	var src visapult.Source
-	if *dpssMaster != "" {
+	switch {
+	case strings.Contains(*dpssMaster, "="):
+		// A federation: name=master pairs, read with replica-aware failover.
+		var nx, ny, nz int
+		if _, err := fmt.Sscanf(*dims, "%dx%dx%d", &nx, &ny, &nz); err != nil {
+			fatal(fmt.Errorf("parsing -dims %q: %w", *dims, err))
+		}
+		cfg := visapult.FabricConfig{Replication: *replication, AttemptTimeout: 2 * time.Second}
+		for _, part := range strings.Split(*dpssMaster, ",") {
+			name, master, ok := strings.Cut(strings.TrimSpace(part), "=")
+			if !ok || name == "" || master == "" {
+				fatal(fmt.Errorf("parsing -dpss member %q: want name=master", part))
+			}
+			cfg.Clusters = append(cfg.Clusters, visapult.FabricCluster{Name: name, Master: master})
+		}
+		fb, err := visapult.NewFabric(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		defer fb.Close()
+		s, err := visapult.NewFabricSource(fb, *dataset, nx, ny, nz, *steps)
+		if err != nil {
+			fatal(err)
+		}
+		defer s.Close()
+		src = s
+	case *dpssMaster != "":
 		var nx, ny, nz int
 		if _, err := fmt.Sscanf(*dims, "%dx%dx%d", &nx, &ny, &nz); err != nil {
 			fatal(fmt.Errorf("parsing -dims %q: %w", *dims, err))
@@ -78,7 +106,7 @@ func main() {
 		}
 		defer s.Close()
 		src = s
-	} else {
+	default:
 		src = visapult.NewPaperCombustionSource(*scale, *steps)
 	}
 

@@ -33,6 +33,18 @@
 //	POST   /api/workers/{id}/drain    stop placing runs on the worker
 //	DELETE /api/workers/{id}          forget the worker
 //
+// With a DPSS federation attached (-dpss name=master:port, repeatable):
+//
+//	GET    /api/dpss                          federation overview (replication, cluster health)
+//	POST   /api/dpss/probe                    actively probe every master, refresh health
+//	GET    /api/dpss/datasets                 federation-wide catalog with replica placement
+//	POST   /api/dpss/clusters/{name}/drain    take a cluster out of new placements
+//	POST   /api/dpss/clusters/{name}/undrain  return it to service
+//	GET    /api/dpss/warm                     list warming jobs
+//	POST   /api/dpss/warm                     start a warming job {"base","nx","ny","nz","steps"}
+//	GET    /api/dpss/warm/{id}                warming job progress (per file, per cluster)
+//	GET    /api/dpss/stream                   live cluster-health events (SSE)
+//
 // Example:
 //
 //	curl -X POST localhost:9600/api/runs -d '{
@@ -51,6 +63,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -66,6 +79,18 @@ func main() {
 			workerAddrs = append(workerAddrs, addr)
 			return nil
 		})
+	var fabricClusters []visapult.FabricClusterSpec
+	flag.Func("dpss", "DPSS federation member as name=master:port (repeatable; enables the /api/dpss endpoints)",
+		func(v string) error {
+			name, master, ok := strings.Cut(v, "=")
+			if !ok || name == "" || master == "" {
+				return fmt.Errorf("want name=master:port, got %q", v)
+			}
+			fabricClusters = append(fabricClusters, visapult.FabricClusterSpec{Name: name, Master: master})
+			return nil
+		})
+	replication := flag.Int("replication", 2, "replicas per dataset across the -dpss federation")
+	attemptTimeout := flag.Duration("dpss-attempt-timeout", 2*time.Second, "per-replica read attempt bound before failing over")
 	flag.Parse()
 
 	mgr := visapult.NewManager(*workers)
@@ -85,7 +110,25 @@ func main() {
 			fmt.Printf("visapultd: registered worker %s at %s (capacity %d)\n", ws.ID, ws.Addr, ws.Capacity)
 		}(addr)
 	}
-	srv := &http.Server{Addr: *listen, Handler: newServer(mgr).handler()}
+	websrv := newServer(mgr)
+	if len(fabricClusters) > 0 {
+		spec := visapult.FabricSpec{
+			Replication:      *replication,
+			AttemptTimeoutMs: int(attemptTimeout.Milliseconds()),
+		}
+		for _, c := range fabricClusters {
+			spec.Clusters = append(spec.Clusters, visapult.FabricClusterSpec{Name: c.Name, Master: c.Master})
+		}
+		fb, err := spec.Build(0)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "visapultd: %v\n", err)
+			os.Exit(1)
+		}
+		defer fb.Close()
+		websrv.withFabric(fb)
+		fmt.Printf("visapultd: federating %d DPSS clusters (replication %d)\n", len(fabricClusters), fb.Replication())
+	}
+	srv := &http.Server{Addr: *listen, Handler: websrv.handler()}
 
 	errCh := make(chan error, 1)
 	go func() {

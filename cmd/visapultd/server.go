@@ -17,9 +17,19 @@ import (
 // integrates against.
 type server struct {
 	mgr *visapult.Manager
+	// dpss is the federation admin plane, nil unless the daemon was started
+	// with a fabric (-dpss flags).
+	dpss *fabricAdmin
 }
 
 func newServer(mgr *visapult.Manager) *server { return &server{mgr: mgr} }
+
+// withFabric attaches a DPSS federation to the daemon, enabling the
+// /api/dpss endpoints.
+func (s *server) withFabric(fb *visapult.Fabric) *server {
+	s.dpss = newFabricAdmin(fb)
+	return s
+}
 
 // handler builds the route table.
 func (s *server) handler() http.Handler {
@@ -37,6 +47,15 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET /api/runs/{name}/viewers", s.handleViewerList)
 	mux.HandleFunc("POST /api/runs/{name}/viewers", s.handleViewerAttach)
 	mux.HandleFunc("DELETE /api/runs/{name}/viewers/{id}", s.handleViewerDetach)
+	mux.HandleFunc("GET /api/dpss", s.handleDPSS)
+	mux.HandleFunc("POST /api/dpss/probe", s.handleDPSSProbe)
+	mux.HandleFunc("GET /api/dpss/datasets", s.handleDPSSDatasets)
+	mux.HandleFunc("POST /api/dpss/clusters/{name}/drain", s.handleDPSSDrain)
+	mux.HandleFunc("POST /api/dpss/clusters/{name}/undrain", s.handleDPSSUndrain)
+	mux.HandleFunc("GET /api/dpss/warm", s.handleDPSSWarmList)
+	mux.HandleFunc("POST /api/dpss/warm", s.handleDPSSWarmStart)
+	mux.HandleFunc("GET /api/dpss/warm/{id}", s.handleDPSSWarmStatus)
+	mux.HandleFunc("GET /api/dpss/stream", s.handleDPSSStream)
 	mux.HandleFunc("GET /api/workers", s.handleWorkerList)
 	mux.HandleFunc("POST /api/workers", s.handleWorkerRegister)
 	mux.HandleFunc("POST /api/workers/{id}/drain", s.handleWorkerDrain)

@@ -1,0 +1,125 @@
+package backend
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"visapult/internal/dpss"
+	"visapult/internal/dpss/fabric"
+	"visapult/internal/volume"
+)
+
+// FabricSource reads timesteps from a federated DPSS fabric: the same
+// block-level region reads as DPSSSource, but every read is replica-aware —
+// a timestep dataset is looked up across the federation's clusters and a
+// dark or wedged replica fails over to the next one mid-run. This is the
+// Combustion Corridor configuration: multiple caches warmed from the
+// archive, the back end reading from whichever is close and healthy.
+type FabricSource struct {
+	fb    *fabric.Fabric
+	base  string
+	nx    int
+	ny    int
+	nz    int
+	steps int
+
+	mu    sync.Mutex
+	files map[int]*fabric.File
+}
+
+// NewFabricSource builds a source reading from the given fabric. base is the
+// dataset base name passed to dpss.TimestepDatasetName; dims are the volume
+// dimensions of every timestep; steps is the number of timesteps warmed into
+// the federation.
+func NewFabricSource(fb *fabric.Fabric, base string, nx, ny, nz, steps int) (*FabricSource, error) {
+	if fb == nil {
+		return nil, fmt.Errorf("backend: nil DPSS fabric")
+	}
+	if nx <= 0 || ny <= 0 || nz <= 0 || steps <= 0 {
+		return nil, fmt.Errorf("backend: invalid fabric source geometry %dx%dx%d x %d steps", nx, ny, nz, steps)
+	}
+	return &FabricSource{fb: fb, base: base, nx: nx, ny: ny, nz: nz, steps: steps,
+		files: make(map[int]*fabric.File)}, nil
+}
+
+// Fabric returns the federation this source reads from.
+func (d *FabricSource) Fabric() *fabric.Fabric { return d.fb }
+
+// Dims implements DataSource.
+func (d *FabricSource) Dims() (int, int, int) { return d.nx, d.ny, d.nz }
+
+// Timesteps implements DataSource.
+func (d *FabricSource) Timesteps() int { return d.steps }
+
+// StepBytes implements DataSource.
+func (d *FabricSource) StepBytes() int64 {
+	return int64(d.nx) * int64(d.ny) * int64(d.nz) * 4
+}
+
+// file returns (opening if needed) the federated handle for timestep t.
+func (d *FabricSource) file(ctx context.Context, t int) (*fabric.File, error) {
+	d.mu.Lock()
+	if f, ok := d.files[t]; ok {
+		d.mu.Unlock()
+		return f, nil
+	}
+	d.mu.Unlock()
+	// Open outside the lock: it may walk several replicas of a degraded
+	// federation, and one slow timestep must not serialize the other PEs.
+	f, err := d.fb.Open(ctx, dpss.TimestepDatasetName(d.base, t))
+	if err != nil {
+		return nil, fmt.Errorf("backend: open timestep %d: %w", t, err)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if prev, ok := d.files[t]; ok { // another PE won the race
+		f.Close()
+		return prev, nil
+	}
+	d.files[t] = f
+	return f, nil
+}
+
+// headerBytes is the size of the volume serialization header preceding the
+// voxel data in each dataset.
+func (d *FabricSource) headerBytes() int64 {
+	return volume.EncodedSize(d.nx, d.ny, d.nz) - d.StepBytes()
+}
+
+// LoadRegion implements DataSource. The returned byte count is the number of
+// voxel-data bytes requested from the federation; which cluster served them
+// is the fabric's concern.
+func (d *FabricSource) LoadRegion(ctx context.Context, t int, r volume.Region) (*volume.Volume, int64, error) {
+	if t < 0 || t >= d.steps {
+		return nil, 0, fmt.Errorf("backend: timestep %d out of range [0,%d)", t, d.steps)
+	}
+	f, err := d.file(ctx, t)
+	if err != nil {
+		return nil, 0, err
+	}
+	raw, n, err := readRegionAt(ctx, f, d.headerBytes(), d.nx, d.ny, r)
+	if err != nil {
+		return nil, n, err
+	}
+	rx, ry, rz := r.Dims()
+	sub, err := volume.FromData(rx, ry, rz, raw)
+	if err != nil {
+		return nil, n, err
+	}
+	return sub, n, nil
+}
+
+// Close closes all cached federated handles; the fabric itself stays up.
+func (d *FabricSource) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, f := range d.files {
+		f.Close()
+	}
+	d.files = make(map[int]*fabric.File)
+	return nil
+}
+
+// Compile-time interface check.
+var _ DataSource = (*FabricSource)(nil)

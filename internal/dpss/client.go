@@ -124,6 +124,8 @@ func interpretError(msg string) error {
 	switch {
 	case contains(msg, ErrUnknownDataset.Error()):
 		return fmt.Errorf("%w (%s)", ErrUnknownDataset, msg)
+	case contains(msg, ErrDatasetExists.Error()):
+		return fmt.Errorf("%w (%s)", ErrDatasetExists, msg)
 	case contains(msg, ErrUnknownBlock.Error()):
 		return fmt.Errorf("%w (%s)", ErrUnknownBlock, msg)
 	case contains(msg, ErrAccessDenied.Error()):
@@ -238,6 +240,27 @@ func (c *Client) Open(name string) (*File, error) {
 		c.logger.Log("DPSS_OPEN", netlogger.Str("DATASET", name), netlogger.Int64(netlogger.FieldBytes, info.Size))
 	}
 	return &File{client: c, info: info}, nil
+}
+
+// ListDatasets returns the master's catalog: every dataset name the cluster
+// currently holds, sorted. The fabric layer uses it to build a federation-wide
+// catalog view, and it doubles as a cheap liveness probe (any response proves
+// the master is up).
+func (c *Client) ListDatasets() ([]string, error) {
+	resp, err := c.masterCall(msgList, nil)
+	if err != nil {
+		return nil, err
+	}
+	d := &decoder{buf: resp}
+	n := int(d.u32())
+	names := make([]string, 0, n)
+	for i := 0; i < n && d.err == nil; i++ {
+		names = append(names, d.str())
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	return names, nil
 }
 
 // Stat returns a dataset's layout without opening it.

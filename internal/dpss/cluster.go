@@ -1,6 +1,7 @@
 package dpss
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 
@@ -101,15 +102,10 @@ func (c *Cluster) TotalBytesServed() int64 {
 // cluster through a client, block by block. It is the "migrate the files from
 // HPSS to a nearby DPSS cache" step of the paper.
 func (c *Cluster) LoadBytes(client *Client, name string, data []byte, blockSize int) (DatasetInfo, error) {
-	info, err := client.Create(name, int64(len(data)), blockSize)
-	if err != nil {
-		return DatasetInfo{}, err
-	}
-	f := &File{client: client, info: info}
-	if _, err := f.WriteAt(data, 0); err != nil {
-		return DatasetInfo{}, err
-	}
-	return info, nil
+	// Delegate to the streaming loader so the write path really is one block
+	// per WriteAt call: handing File.WriteAt the whole dataset at once made
+	// every warming call carry the full file through a single giant write.
+	return c.LoadReader(client, name, bytes.NewReader(data), int64(len(data)), blockSize)
 }
 
 // LoadReader streams a dataset of known size from r into the cluster.

@@ -81,7 +81,7 @@ func (m *Master) CreateDataset(name string, size int64, blockSize int) (DatasetI
 		return DatasetInfo{}, errors.New("dpss: no block servers registered")
 	}
 	if _, exists := m.datasets[name]; exists {
-		return DatasetInfo{}, fmt.Errorf("dpss: dataset %q already exists", name)
+		return DatasetInfo{}, fmt.Errorf("%w: %q", ErrDatasetExists, name)
 	}
 	info := DatasetInfo{
 		Name:      name,
@@ -245,6 +245,14 @@ func (m *Master) serveConn(conn net.Conn) {
 			d := &decoder{buf: payload}
 			m.RegisterServer(d.str())
 			writeFrame(conn, msgOK, nil) //nolint:errcheck
+		case msgList:
+			names := m.Datasets()
+			e := &encoder{}
+			e.u32(uint32(len(names)))
+			for _, n := range names {
+				e.str(n)
+			}
+			writeFrame(conn, msgOK, e.buf) //nolint:errcheck
 		default:
 			writeFrame(conn, msgError, []byte(ErrProtocol.Error())) //nolint:errcheck
 		}

@@ -38,6 +38,7 @@ const (
 	msgCreate   = byte(2) // create a dataset: payload = name + size + block size
 	msgStat     = byte(3) // dataset metadata request
 	msgRegister = byte(4) // block server announces itself: payload = its address
+	msgList     = byte(5) // catalog listing: response = count + dataset names
 
 	// Client/loader -> block server.
 	msgReadBlock  = byte(10) // payload = dataset name + logical block id
@@ -51,6 +52,7 @@ const (
 // Protocol errors.
 var (
 	ErrUnknownDataset = errors.New("dpss: unknown dataset")
+	ErrDatasetExists  = errors.New("dpss: dataset already exists")
 	ErrUnknownBlock   = errors.New("dpss: unknown block")
 	ErrAccessDenied   = errors.New("dpss: access denied")
 	ErrProtocol       = errors.New("dpss: protocol error")

@@ -1,0 +1,218 @@
+package hpss
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"visapult/internal/dpss"
+	"visapult/internal/dpss/fabric"
+	"visapult/internal/stats"
+)
+
+// WarmConfig shapes a fabric cache-warming run.
+type WarmConfig struct {
+	// BlockSize is the logical block size of the staged datasets
+	// (dpss.DefaultBlockSize if 0).
+	BlockSize int
+	// WarmAhead is the warm-ahead window for time-series: how many files may
+	// be in flight at once, so file t+1 is already being retrieved from the
+	// archive while file t's replicas are still writing (default 2). 1
+	// degenerates to strictly sequential staging.
+	WarmAhead int
+	// OnProgress, when non-nil, receives per-cluster progress events as each
+	// replica write advances. It is called concurrently from the staging
+	// goroutines.
+	OnProgress func(WarmProgress)
+}
+
+// WarmProgress is one progress event of a warming run: the state of one
+// file's copy on one cluster.
+type WarmProgress struct {
+	// File is the archive file (and dataset) being staged.
+	File string
+	// Cluster is the replica this event reports on.
+	Cluster string
+	// Staged and Total are the bytes written so far and the file size.
+	Staged, Total int64
+	// Done marks the replica complete (Err empty) or failed (Err set).
+	Done bool
+	Err  string
+}
+
+// ReplicaWarmReport summarizes one replica of one warmed file.
+type ReplicaWarmReport struct {
+	Cluster string
+	Bytes   int64
+	Elapsed time.Duration
+	// Err is why this replica's copy failed, empty on success.
+	Err string
+}
+
+// FileWarmReport summarizes one archive file's staging.
+type FileWarmReport struct {
+	File  string
+	Bytes int64
+	// RetrievalTime is the archive (tape) side; Elapsed the whole stage
+	// including every replica write.
+	RetrievalTime time.Duration
+	Elapsed       time.Duration
+	Replicas      []ReplicaWarmReport
+}
+
+// Complete reports whether every replica holds a full copy.
+func (r FileWarmReport) Complete() bool {
+	for _, rep := range r.Replicas {
+		if rep.Err != "" {
+			return false
+		}
+	}
+	return len(r.Replicas) > 0
+}
+
+// WarmReport summarizes a whole warming run.
+type WarmReport struct {
+	Files   []FileWarmReport
+	Bytes   int64
+	Elapsed time.Duration
+}
+
+// RateMBps returns the aggregate warming rate in megabytes per second.
+func (r WarmReport) RateMBps() float64 { return stats.MBps(r.Bytes, r.Elapsed) }
+
+// WarmFabric is the cache-warming pipeline of the federation: it stages the
+// named archive files into every placement replica of the fabric — the
+// paper's "migrate the files from HPSS to a nearby DPSS cache" step, scaled
+// to multiple caches. Files move through a bounded warm-ahead window
+// (archive retrieval of the next timestep overlaps the replica writes of the
+// current one), and within one file every replica is written concurrently
+// with per-cluster progress reported through cfg.OnProgress.
+//
+// A file fails only when no replica ends up complete; degraded files (some
+// replica down) are reported per replica but do not abort the run. The
+// returned report covers every file attempted before ctx fired or a file
+// failed outright.
+func WarmFabric(ctx context.Context, a *Archive, fb *fabric.Fabric, names []string, cfg WarmConfig) (*WarmReport, error) {
+	if cfg.WarmAhead <= 0 {
+		cfg.WarmAhead = 2
+	}
+	start := time.Now()
+	report := &WarmReport{}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	window := make(chan struct{}, cfg.WarmAhead)
+	fileReports := make([]*FileWarmReport, len(names))
+	errCh := make(chan error, len(names))
+
+	for i, name := range names {
+		select {
+		case window <- struct{}{}: // reserve a warm-ahead slot
+		case <-ctx.Done():
+		}
+		// Re-check unconditionally: the select picks randomly when a slot is
+		// free AND ctx already fired, and a cancelled run must report its
+		// unstaged remainder as an error either way.
+		if err := ctx.Err(); err != nil {
+			errCh <- err
+			break
+		}
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			defer func() { <-window }()
+			fr, err := warmOne(ctx, a, fb, name, cfg)
+			mu.Lock()
+			fileReports[i] = fr
+			mu.Unlock()
+			if err != nil {
+				errCh <- fmt.Errorf("hpss: warming %q: %w", name, err)
+			}
+		}(i, name)
+	}
+	wg.Wait()
+	for _, fr := range fileReports {
+		if fr == nil {
+			continue
+		}
+		report.Files = append(report.Files, *fr)
+		report.Bytes += fr.Bytes
+	}
+	report.Elapsed = time.Since(start)
+	select {
+	case err := <-errCh:
+		return report, err
+	default:
+		return report, nil
+	}
+}
+
+// warmOne stages one archive file into all of its fabric replicas.
+func warmOne(ctx context.Context, a *Archive, fb *fabric.Fabric, name string, cfg WarmConfig) (*FileWarmReport, error) {
+	start := time.Now()
+	data, err := a.Retrieve(name)
+	if err != nil {
+		return nil, err
+	}
+	fr := &FileWarmReport{File: name, Bytes: int64(len(data)), RetrievalTime: time.Since(start)}
+
+	accepted, err := fb.Create(ctx, name, int64(len(data)), cfg.BlockSize)
+	if err != nil {
+		fr.Elapsed = time.Since(start)
+		return fr, err
+	}
+	total := int64(len(data))
+	results := make([]ReplicaWarmReport, len(accepted))
+	var wg sync.WaitGroup
+	for i, cluster := range accepted {
+		wg.Add(1)
+		go func(i int, cluster string) {
+			defer wg.Done()
+			repStart := time.Now()
+			onChunk := func(staged int64) {
+				if cfg.OnProgress != nil {
+					cfg.OnProgress(WarmProgress{File: name, Cluster: cluster, Staged: staged, Total: total})
+				}
+			}
+			err := fb.StageOn(ctx, cluster, name, data, onChunk)
+			rep := ReplicaWarmReport{Cluster: cluster, Bytes: total, Elapsed: time.Since(repStart)}
+			if err != nil {
+				rep.Err = err.Error()
+				rep.Bytes = 0
+			}
+			results[i] = rep
+			if cfg.OnProgress != nil {
+				cfg.OnProgress(WarmProgress{File: name, Cluster: cluster, Staged: rep.Bytes, Total: total, Done: true, Err: rep.Err})
+			}
+		}(i, cluster)
+	}
+	wg.Wait()
+	fr.Replicas = results
+	fr.Elapsed = time.Since(start)
+	if !fr.Complete() {
+		var firstErr string
+		complete := 0
+		for _, rep := range results {
+			if rep.Err == "" {
+				complete++
+			} else if firstErr == "" {
+				firstErr = rep.Err
+			}
+		}
+		if complete == 0 {
+			return fr, fmt.Errorf("no replica completed: %s", firstErr)
+		}
+	}
+	return fr, nil
+}
+
+// WarmTimesteps is WarmFabric for the common time-series case: it warms
+// base's timesteps [0, steps) using the dpss.TimestepDatasetName convention,
+// the granularity the federation shards at.
+func WarmTimesteps(ctx context.Context, a *Archive, fb *fabric.Fabric, base string, steps int, cfg WarmConfig) (*WarmReport, error) {
+	names := make([]string, steps)
+	for t := range names {
+		names[t] = dpss.TimestepDatasetName(base, t)
+	}
+	return WarmFabric(ctx, a, fb, names, cfg)
+}

@@ -1,0 +1,204 @@
+package hpss
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"visapult/internal/dpss"
+	"visapult/internal/dpss/fabric"
+)
+
+// startWarmFederation launches n in-process clusters behind a fabric.
+func startWarmFederation(t *testing.T, n, replication int) (*fabric.Fabric, []*dpss.Cluster) {
+	t.Helper()
+	clusters := make([]*dpss.Cluster, n)
+	var specs []fabric.ClusterSpec
+	for i := 0; i < n; i++ {
+		cl, err := dpss.StartCluster(dpss.ClusterConfig{Servers: 2, DisksPerServer: 2})
+		if err != nil {
+			t.Fatalf("starting cluster %d: %v", i, err)
+		}
+		t.Cleanup(func() { cl.Close() })
+		clusters[i] = cl
+		specs = append(specs, fabric.ClusterSpec{Name: fmt.Sprintf("c%d", i), Master: cl.MasterAddr})
+	}
+	fb, err := fabric.New(fabric.Config{Clusters: specs, Replication: replication})
+	if err != nil {
+		t.Fatalf("building fabric: %v", err)
+	}
+	t.Cleanup(func() { fb.Close() })
+	return fb, clusters
+}
+
+func TestWarmTimestepsStagesAllReplicasWithProgress(t *testing.T) {
+	fb, _ := startWarmFederation(t, 3, 2)
+	a := NewArchive()
+	const steps = 4
+	stepData := make(map[string][]byte)
+	for ts := 0; ts < steps; ts++ {
+		name := dpss.TimestepDatasetName("corridor", ts)
+		data := make([]byte, 96*1024)
+		for i := range data {
+			data[i] = byte(i + ts)
+		}
+		a.Store(name, data)
+		stepData[name] = data
+	}
+
+	var mu sync.Mutex
+	doneEvents := make(map[string]map[string]bool) // file -> cluster -> done
+	report, err := WarmTimesteps(context.Background(), a, fb, "corridor", steps, WarmConfig{
+		BlockSize: 32 * 1024,
+		WarmAhead: 2,
+		OnProgress: func(p WarmProgress) {
+			if p.Total != 96*1024 {
+				t.Errorf("progress total = %d, want %d", p.Total, 96*1024)
+			}
+			if !p.Done {
+				return
+			}
+			mu.Lock()
+			if doneEvents[p.File] == nil {
+				doneEvents[p.File] = make(map[string]bool)
+			}
+			doneEvents[p.File][p.Cluster] = p.Err == ""
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatalf("WarmTimesteps: %v", err)
+	}
+	if len(report.Files) != steps {
+		t.Fatalf("report covers %d files, want %d", len(report.Files), steps)
+	}
+	if report.Bytes != int64(steps*96*1024) {
+		t.Fatalf("report bytes = %d, want %d", report.Bytes, steps*96*1024)
+	}
+	for _, fr := range report.Files {
+		if !fr.Complete() {
+			t.Fatalf("file %s incomplete: %+v", fr.File, fr.Replicas)
+		}
+		if len(fr.Replicas) != 2 {
+			t.Fatalf("file %s has %d replicas, want 2", fr.File, len(fr.Replicas))
+		}
+		if doneCount := len(doneEvents[fr.File]); doneCount != 2 {
+			t.Fatalf("file %s emitted %d per-cluster done events, want 2", fr.File, doneCount)
+		}
+	}
+
+	// Every staged timestep reads back correctly through the federation.
+	for name, want := range stepData {
+		f, err := fb.Open(context.Background(), name)
+		if err != nil {
+			t.Fatalf("Open(%s): %v", name, err)
+		}
+		got := make([]byte, len(want))
+		if _, err := f.ReadAtContext(context.Background(), got, 0); err != nil {
+			t.Fatalf("reading %s: %v", name, err)
+		}
+		f.Close()
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%s byte %d = %d, want %d", name, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestWarmDegradesWhenOneReplicaDark(t *testing.T) {
+	fb, clusters := startWarmFederation(t, 2, 2)
+	a := NewArchive()
+	a.Store("deg.t0000", make([]byte, 32*1024))
+
+	clusters[1].Close() // one cache dark; warming must degrade, not fail
+
+	report, err := WarmFabric(context.Background(), a, fb, []string{"deg.t0000"}, WarmConfig{BlockSize: 16 * 1024})
+	if err != nil {
+		t.Fatalf("WarmFabric with one dark replica: %v", err)
+	}
+	if len(report.Files) != 1 {
+		t.Fatalf("report covers %d files, want 1", len(report.Files))
+	}
+	fr := report.Files[0]
+	if len(fr.Replicas) == 0 {
+		t.Fatalf("no replica attempted: %+v", fr)
+	}
+	complete := 0
+	for _, rep := range fr.Replicas {
+		if rep.Err == "" {
+			complete++
+		}
+	}
+	if complete != 1 {
+		t.Fatalf("complete replicas = %d, want exactly 1 (degraded)", complete)
+	}
+	// The surviving copy serves reads.
+	f, err := fb.Open(context.Background(), "deg.t0000")
+	if err != nil {
+		t.Fatalf("Open after degraded warm: %v", err)
+	}
+	defer f.Close()
+	if _, err := f.ReadAtContext(context.Background(), make([]byte, 1024), 0); err != nil {
+		t.Fatalf("reading degraded dataset: %v", err)
+	}
+}
+
+func TestWarmFabricMissingArchiveFile(t *testing.T) {
+	fb, _ := startWarmFederation(t, 2, 2)
+	a := NewArchive()
+	if _, err := WarmFabric(context.Background(), a, fb, []string{"missing"}, WarmConfig{}); err == nil {
+		t.Fatal("warming a missing archive file succeeded")
+	}
+}
+
+func TestWarmFabricCancelledMidRunReportsError(t *testing.T) {
+	fb, _ := startWarmFederation(t, 2, 2)
+	a := NewArchive()
+	const steps = 6
+	for ts := 0; ts < steps; ts++ {
+		a.Store(dpss.TimestepDatasetName("cancel", ts), make([]byte, 32*1024))
+	}
+	// Cancel after the first progress event: the run must stop AND report
+	// the cancellation — a partially warmed series must never read as done.
+	ctx, cancel := context.WithCancel(context.Background())
+	var once sync.Once
+	_, err := WarmTimesteps(ctx, a, fb, "cancel", steps, WarmConfig{
+		WarmAhead: 1,
+		OnProgress: func(WarmProgress) {
+			once.Do(cancel)
+		},
+	})
+	if err == nil {
+		t.Fatal("cancelled warming returned nil error")
+	}
+}
+
+func TestWarmAheadWindowBoundsInFlight(t *testing.T) {
+	fb, _ := startWarmFederation(t, 2, 1)
+	a := NewArchive()
+	// A paced archive makes retrievals observable: with WarmAhead 2 the run
+	// overlaps retrieval t+1 with staging t, so total time stays near the
+	// serial retrieval cost instead of retrieval+staging per file.
+	a.RetrievalRate = 4 * 1024 * 1024 // 4 MB/s over 64 KB files: ~16ms each
+	const steps = 4
+	for ts := 0; ts < steps; ts++ {
+		a.Store(dpss.TimestepDatasetName("win", ts), make([]byte, 64*1024))
+	}
+	start := time.Now()
+	report, err := WarmTimesteps(context.Background(), a, fb, "win", steps, WarmConfig{WarmAhead: 2})
+	if err != nil {
+		t.Fatalf("WarmTimesteps: %v", err)
+	}
+	elapsed := time.Since(start)
+	if len(report.Files) != steps {
+		t.Fatalf("report covers %d files, want %d", len(report.Files), steps)
+	}
+	// Generous bound: 4 serial retrievals are ~64ms; allow plenty of slack
+	// while still catching a window that serializes retrieval AND staging.
+	if elapsed > 3*time.Second {
+		t.Fatalf("warm-ahead run took %v", elapsed)
+	}
+}

@@ -1,0 +1,141 @@
+package testutil
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"visapult/internal/dpss"
+	"visapult/internal/dpss/fabric"
+	"visapult/internal/netsim"
+)
+
+// FabricConfig sizes an in-process DPSS federation for tests. The zero value
+// selects 2 clusters of 2 servers x 2 disks, replication 2, and a 500 ms
+// per-attempt read timeout (short enough that a test killing a cluster
+// mid-run sees failover well inside its own deadline).
+type FabricConfig struct {
+	// Clusters is the number of member clusters (default 2). They are named
+	// cluster0, cluster1, ...
+	Clusters int
+	// Servers and DisksPerServer size each cluster (default 2 x 2 — small,
+	// tests multiply this by the cluster count).
+	Servers        int
+	DisksPerServer int
+	// Replication is the fabric's replica count (default 2, capped at
+	// Clusters by the fabric itself).
+	Replication int
+	// AttemptTimeout bounds one read attempt against one replica (default
+	// 500 ms; set -1 to disable).
+	AttemptTimeout time.Duration
+	// ShaperFor, when non-nil, gives cluster i its own independent
+	// server-side shaper — each cluster sits behind its own emulated WAN
+	// link, the federation topology of the paper's corridor.
+	ShaperFor func(i int) *netsim.Shaper
+}
+
+// FabricHarness is N live in-process DPSS clusters behind one fabric, with
+// the levers e2e tests need: kill a cluster mid-run, stage datasets, watch
+// health.
+type FabricHarness struct {
+	tb testing.TB
+	// Clusters are the live member deployments, in fabric member order.
+	Clusters []*dpss.Cluster
+	// Names are the member names (cluster0, cluster1, ...).
+	Names []string
+	// Fabric is the federation over the clusters.
+	Fabric *fabric.Fabric
+
+	killed []bool
+}
+
+// StartFabric launches cfg.Clusters in-process DPSS clusters — each its own
+// master and block servers, each optionally behind its own shaper — and
+// federates them. Everything is torn down through tb.Cleanup.
+func StartFabric(tb testing.TB, cfg FabricConfig) *FabricHarness {
+	tb.Helper()
+	if cfg.Clusters <= 0 {
+		cfg.Clusters = 2
+	}
+	if cfg.Servers <= 0 {
+		cfg.Servers = 2
+	}
+	if cfg.DisksPerServer <= 0 {
+		cfg.DisksPerServer = 2
+	}
+	if cfg.Replication <= 0 {
+		cfg.Replication = 2
+	}
+	if cfg.AttemptTimeout == 0 {
+		cfg.AttemptTimeout = 500 * time.Millisecond
+	} else if cfg.AttemptTimeout < 0 {
+		cfg.AttemptTimeout = 0
+	}
+
+	fh := &FabricHarness{tb: tb, killed: make([]bool, cfg.Clusters)}
+	var specs []fabric.ClusterSpec
+	for i := 0; i < cfg.Clusters; i++ {
+		ccfg := dpss.ClusterConfig{Servers: cfg.Servers, DisksPerServer: cfg.DisksPerServer}
+		if cfg.ShaperFor != nil {
+			ccfg.ServerShaper = cfg.ShaperFor(i)
+		}
+		cl, err := dpss.StartCluster(ccfg)
+		if err != nil {
+			fh.closeClusters()
+			tb.Fatalf("testutil: starting fabric cluster %d: %v", i, err)
+		}
+		name := fmt.Sprintf("cluster%d", i)
+		fh.Clusters = append(fh.Clusters, cl)
+		fh.Names = append(fh.Names, name)
+		specs = append(specs, fabric.ClusterSpec{Name: name, Master: cl.MasterAddr})
+	}
+	fb, err := fabric.New(fabric.Config{
+		Clusters:       specs,
+		Replication:    cfg.Replication,
+		AttemptTimeout: cfg.AttemptTimeout,
+		// Short backoff so recovery tests do not wait out production windows.
+		BackoffBase: 50 * time.Millisecond,
+		BackoffMax:  2 * time.Second,
+	})
+	if err != nil {
+		fh.closeClusters()
+		tb.Fatalf("testutil: building fabric: %v", err)
+	}
+	fh.Fabric = fb
+	tb.Cleanup(fh.Close)
+	return fh
+}
+
+// KillCluster shuts cluster i down — master and every block server — the
+// mid-run failure the federation exists to survive. Idempotent.
+func (fh *FabricHarness) KillCluster(i int) {
+	fh.tb.Helper()
+	if i < 0 || i >= len(fh.Clusters) {
+		fh.tb.Fatalf("testutil: no fabric cluster %d", i)
+	}
+	if fh.killed[i] {
+		return
+	}
+	fh.killed[i] = true
+	fh.Clusters[i].Close()
+}
+
+// closeClusters tears down whatever clusters came up (also the failed-start
+// path).
+func (fh *FabricHarness) closeClusters() {
+	for i, cl := range fh.Clusters {
+		if !fh.killed[i] {
+			fh.killed[i] = true
+			cl.Close()
+		}
+	}
+}
+
+// Close tears the whole harness down; registered with tb.Cleanup, but safe
+// to call early and more than once.
+func (fh *FabricHarness) Close() {
+	if fh.Fabric != nil {
+		fh.Fabric.Close()
+	}
+	fh.closeClusters()
+}

@@ -1,0 +1,132 @@
+package testutil
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"visapult/internal/backend"
+	"visapult/internal/dpss"
+	"visapult/internal/netsim"
+	"visapult/internal/volume"
+)
+
+// stageTimesteps warms a small synthetic time-series into the fabric.
+func stageTimesteps(t *testing.T, fh *FabricHarness, base string, nx, ny, nz, steps int) {
+	t.Helper()
+	for ts := 0; ts < steps; ts++ {
+		vol := volume.MustNew(nx, ny, nz)
+		for z := 0; z < nz; z++ {
+			for y := 0; y < ny; y++ {
+				for x := 0; x < nx; x++ {
+					vol.Set(x, y, z, float32((x+y+z+ts)%11)/11)
+				}
+			}
+		}
+		name := dpss.TimestepDatasetName(base, ts)
+		if _, err := fh.Fabric.LoadBytes(context.Background(), name, vol.Marshal(), 16*1024); err != nil {
+			t.Fatalf("staging %s: %v", name, err)
+		}
+	}
+}
+
+// TestFabricRunSurvivesClusterKillMidRun is the acceptance scenario of the
+// federation: a back end streaming timesteps from a 2-replica fabric keeps
+// producing frames with zero failures while one entire cluster — master and
+// block servers — is killed mid-run.
+func TestFabricRunSurvivesClusterKillMidRun(t *testing.T) {
+	fh := StartFabric(t, FabricConfig{Clusters: 2, Replication: 2, AttemptTimeout: 400 * time.Millisecond})
+	const (
+		nx, ny, nz = 16, 8, 8
+		steps      = 6
+		pes        = 2
+	)
+	stageTimesteps(t, fh, "survive", nx, ny, nz, steps)
+
+	src, err := backend.NewFabricSource(fh.Fabric, "survive", nx, ny, nz, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+
+	var once sync.Once
+	var frames int
+	var mu sync.Mutex
+	be, err := backend.New(backend.Config{
+		PEs: pes, Timesteps: steps, Source: src,
+		Sinks: []backend.FrameSink{&backend.NullSink{}},
+		OnFrame: func(fs backend.FrameStats) {
+			mu.Lock()
+			frames++
+			mu.Unlock()
+			// First frame delivered: take a whole cluster down mid-run.
+			once.Do(func() { fh.KillCluster(0) })
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := be.Run(context.Background())
+	if err != nil {
+		t.Fatalf("run with mid-run cluster kill failed: %v", err)
+	}
+	if stats.Frames != steps {
+		t.Fatalf("completed %d frames, want %d", stats.Frames, steps)
+	}
+	mu.Lock()
+	got := frames
+	mu.Unlock()
+	if got != steps*pes {
+		t.Fatalf("observed %d (PE, frame) records, want %d", got, steps*pes)
+	}
+	// The killed cluster must be marked unhealthy in the fabric's record.
+	var killedUnhealthy bool
+	for _, h := range fh.Fabric.Health() {
+		if h.Name == fh.Names[0] && !h.Healthy {
+			killedUnhealthy = true
+		}
+	}
+	if !killedUnhealthy {
+		t.Fatalf("killed cluster %s not marked unhealthy: %+v", fh.Names[0], fh.Fabric.Health())
+	}
+}
+
+// TestStartFabricIndependentShapers checks the per-cluster shaper hook: each
+// cluster gets its own link, so killing or throttling one leaves the others'
+// pacing untouched.
+func TestStartFabricIndependentShapers(t *testing.T) {
+	shapers := make([]*netsim.Shaper, 0, 2)
+	fh := StartFabric(t, FabricConfig{
+		Clusters: 2, Replication: 2,
+		ShaperFor: func(i int) *netsim.Shaper {
+			sh := netsim.NewShaper(64<<20, 64<<10)
+			shapers = append(shapers, sh)
+			return sh
+		},
+	})
+	if len(shapers) != 2 {
+		t.Fatalf("ShaperFor called %d times, want 2", len(shapers))
+	}
+	if shapers[0] == shapers[1] {
+		t.Fatal("clusters share one shaper, want independent links")
+	}
+	stageTimesteps(t, fh, "shaped", 8, 4, 4, 1)
+	f, err := fh.Fabric.Open(context.Background(), dpss.TimestepDatasetName("shaped", 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.ReadAtContext(context.Background(), make([]byte, 256), 0); err != nil {
+		t.Fatalf("read through shaped fabric: %v", err)
+	}
+}
+
+// TestFabricHarnessKillIdempotent guards the harness lever itself.
+func TestFabricHarnessKillIdempotent(t *testing.T) {
+	fh := StartFabric(t, FabricConfig{Clusters: 2})
+	fh.KillCluster(1)
+	fh.KillCluster(1) // second kill is a no-op, not a double close
+	fh.Close()
+	fh.Close()
+}

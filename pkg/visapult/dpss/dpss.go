@@ -8,11 +8,14 @@
 package dpss
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"visapult/internal/datagen"
 	"visapult/internal/dpss"
+	"visapult/internal/dpss/fabric"
+	"visapult/internal/hpss"
 	"visapult/internal/offline"
 	"visapult/internal/render"
 	"visapult/internal/volume"
@@ -83,6 +86,50 @@ const DefaultBlockSize = dpss.DefaultBlockSize
 // TimestepDatasetName names timestep t of a multi-step dataset (base.tNNNN).
 var TimestepDatasetName = dpss.TimestepDatasetName
 
+// Fabric federates several DPSS clusters into one logical cache: rendezvous
+// placement, R-way replication, health-tracked client-side failover.
+type Fabric = fabric.Fabric
+
+// FabricConfig sizes a Fabric.
+type FabricConfig = fabric.Config
+
+// FabricClusterSpec names one member cluster and its master address.
+type FabricClusterSpec = fabric.ClusterSpec
+
+// FabricClusterHealth is one member's health snapshot.
+type FabricClusterHealth = fabric.ClusterHealth
+
+// FabricDatasetReplicas describes one dataset's replica presence.
+type FabricDatasetReplicas = fabric.DatasetReplicas
+
+// NewFabric builds a federation handle; no connection is made until use.
+var NewFabric = fabric.New
+
+// Archive is the simulated HPSS tertiary store warming pipelines stage from.
+type Archive = hpss.Archive
+
+// NewArchive creates an empty archive with no delay model.
+var NewArchive = hpss.NewArchive
+
+// NewArchiveWithModel creates an archive paced like late-1990s tape staging.
+var NewArchiveWithModel = hpss.NewArchiveWithModel
+
+// WarmConfig shapes a fabric cache-warming run.
+type WarmConfig = hpss.WarmConfig
+
+// WarmProgress is one per-cluster progress event of a warming run.
+type WarmProgress = hpss.WarmProgress
+
+// WarmReport summarizes a warming run.
+type WarmReport = hpss.WarmReport
+
+// WarmFabric stages archive files into every placement replica of the
+// federation — the HPSS-to-DPSS migration step, scaled to multiple caches.
+var WarmFabric = hpss.WarmFabric
+
+// WarmTimesteps warms base's timesteps [0, steps) into the federation.
+var WarmTimesteps = hpss.WarmTimesteps
+
 // ThumbnailOptions configures offline preview generation.
 type ThumbnailOptions = offline.ThumbnailOptions
 
@@ -129,6 +176,28 @@ func StageCombustion(client *Client, base string, nx, ny, nz, steps, blockSize i
 		}
 	}
 	return stepBytes, writeTime, nil
+}
+
+// WarmCombustion generates the synthetic combustion dataset and warms it
+// into the federation through the HPSS staging pipeline: every timestep is
+// stored whole-file in an in-memory archive, then staged into all of its
+// placement replicas concurrently with the warm-ahead window — the
+// federation-scale version of StageCombustion.
+func WarmCombustion(ctx context.Context, fb *Fabric, base string, nx, ny, nz, steps int, seed int64, cfg WarmConfig) (*WarmReport, error) {
+	if seed == 0 {
+		seed = 2000
+	}
+	if cfg.BlockSize <= 0 {
+		cfg.BlockSize = DefaultBlockSize
+	}
+	gen := datagen.NewCombustion(datagen.CombustionConfig{
+		NX: nx, NY: ny, NZ: nz, Timesteps: steps, Seed: seed,
+	})
+	a := NewArchive()
+	for t := 0; t < steps; t++ {
+		a.Store(TimestepDatasetName(base, t), gen.Generate(t).Marshal())
+	}
+	return WarmTimesteps(ctx, a, fb, base, steps, cfg)
 }
 
 // StageVolumes writes pre-built volumes into the cache as consecutive

@@ -1,0 +1,109 @@
+package visapult
+
+import (
+	"fmt"
+	"time"
+
+	"visapult/internal/backend"
+	"visapult/internal/dpss/fabric"
+)
+
+// Fabric is a federation of DPSS clusters behind one placement and failover
+// layer: datasets are sharded across the member clusters by rendezvous
+// hashing (timestep-granular for time-series), written to R replicas, and
+// read with transparent client-side failover — the paper's Combustion
+// Corridor topology of multiple geographically distinct caches. See
+// visapult/internal/dpss/fabric for the full semantics.
+type Fabric = fabric.Fabric
+
+// FabricConfig sizes a Fabric built with NewFabric.
+type FabricConfig = fabric.Config
+
+// FabricCluster names one member cluster and its master address.
+type FabricCluster = fabric.ClusterSpec
+
+// FabricHealth is a point-in-time snapshot of one member cluster's health.
+type FabricHealth = fabric.ClusterHealth
+
+// FabricDatasetReplicas describes one dataset's presence across the
+// federation, replicas in read-priority order.
+type FabricDatasetReplicas = fabric.DatasetReplicas
+
+// NewFabric validates the config and builds a federation handle. No
+// connection is made until first use.
+var NewFabric = fabric.New
+
+// FabricSource reads timesteps from a federated DPSS fabric with
+// replica-aware failover. It implements Source; Close releases the cached
+// dataset handles (the fabric itself stays up).
+type FabricSource = backend.FabricSource
+
+// NewFabricSource builds a source reading from the given fabric. base is the
+// dataset base name (each timestep is a separate dataset named base.tNNNN,
+// sharded and replicated across the federation); nx, ny, nz are the
+// per-timestep volume dimensions; steps is the number of timesteps warmed
+// into the fabric.
+func NewFabricSource(fb *Fabric, base string, nx, ny, nz, steps int) (*FabricSource, error) {
+	return backend.NewFabricSource(fb, base, nx, ny, nz, steps)
+}
+
+// FabricSpec is the serializable description of a federation: everything a
+// remote worker needs to resolve the same clusters, placement and
+// replication as the scheduler that shipped it the run (it rides in
+// RunSpec.Fabric across the dispatch protocol).
+type FabricSpec struct {
+	Clusters []FabricClusterSpec `json:"clusters"`
+	// Replication is the replica count per dataset (0 selects the fabric
+	// default of 2, capped at the cluster count).
+	Replication int `json:"replication,omitempty"`
+	// AttemptTimeoutMs bounds one read attempt against one replica before
+	// failing over (0 = no bound).
+	AttemptTimeoutMs int `json:"attemptTimeoutMs,omitempty"`
+}
+
+// FabricClusterSpec is the serializable form of one member cluster.
+type FabricClusterSpec struct {
+	Name   string `json:"name"`
+	Master string `json:"master"`
+}
+
+// Build constructs the federation handle the spec describes. replication >
+// 0 overrides the spec's own factor (the WithReplication hook).
+func (s *FabricSpec) Build(replication int) (*Fabric, error) {
+	if s == nil || len(s.Clusters) == 0 {
+		return nil, fmt.Errorf("visapult: fabric spec needs at least one cluster")
+	}
+	cfg := FabricConfig{
+		Replication:    s.Replication,
+		AttemptTimeout: time.Duration(s.AttemptTimeoutMs) * time.Millisecond,
+	}
+	if replication > 0 {
+		cfg.Replication = replication
+	}
+	for _, c := range s.Clusters {
+		cfg.Clusters = append(cfg.Clusters, FabricCluster{Name: c.Name, Master: c.Master})
+	}
+	return NewFabric(cfg)
+}
+
+// FabricDataset describes the warmed time-series a fabric-fed pipeline
+// reads: the dataset base name, the per-timestep volume dimensions, and how
+// many timesteps were staged.
+type FabricDataset struct {
+	Base      string `json:"base"`
+	NX        int    `json:"nx"`
+	NY        int    `json:"ny"`
+	NZ        int    `json:"nz"`
+	Timesteps int    `json:"timesteps"`
+}
+
+func (ds FabricDataset) validate() error {
+	if ds.Base == "" {
+		return fmt.Errorf("visapult: fabric dataset needs a base name")
+	}
+	if ds.NX <= 0 || ds.NY <= 0 || ds.NZ <= 0 || ds.Timesteps <= 0 {
+		return fmt.Errorf("visapult: invalid fabric dataset geometry %dx%dx%d x %d steps",
+			ds.NX, ds.NY, ds.NZ, ds.Timesteps)
+	}
+	return nil
+}

@@ -1,0 +1,184 @@
+package visapult_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"visapult/pkg/visapult"
+	vdpss "visapult/pkg/visapult/dpss"
+)
+
+// startFacadeFederation launches n clusters and returns their specs plus a
+// live fabric handle.
+func startFacadeFederation(t *testing.T, n int) ([]visapult.FabricClusterSpec, *visapult.Fabric) {
+	t.Helper()
+	var specs []visapult.FabricClusterSpec
+	var cfg visapult.FabricConfig
+	for i := 0; i < n; i++ {
+		cl, err := vdpss.StartCluster(vdpss.ClusterConfig{Servers: 2, DisksPerServer: 2})
+		if err != nil {
+			t.Fatalf("starting cluster %d: %v", i, err)
+		}
+		t.Cleanup(func() { cl.Close() })
+		name := fmt.Sprintf("site%d", i)
+		specs = append(specs, visapult.FabricClusterSpec{Name: name, Master: cl.MasterAddr})
+		cfg.Clusters = append(cfg.Clusters, visapult.FabricCluster{Name: name, Master: cl.MasterAddr})
+	}
+	cfg.Replication = 2
+	cfg.AttemptTimeout = time.Second
+	fb, err := visapult.NewFabric(cfg)
+	if err != nil {
+		t.Fatalf("building fabric: %v", err)
+	}
+	t.Cleanup(func() { fb.Close() })
+	return specs, fb
+}
+
+func TestPipelineWithFabric(t *testing.T) {
+	_, fb := startFacadeFederation(t, 2)
+	const (
+		nx, ny, nz = 16, 8, 8
+		steps      = 3
+	)
+	if _, err := vdpss.WarmCombustion(context.Background(), fb, "facade", nx, ny, nz, steps, 0,
+		vdpss.WarmConfig{BlockSize: 16 * 1024}); err != nil {
+		t.Fatalf("warming: %v", err)
+	}
+
+	p, err := visapult.New(
+		visapult.WithFabric(fb, visapult.FabricDataset{Base: "facade", NX: nx, NY: ny, NZ: nz, Timesteps: steps}),
+		visapult.WithPEs(2),
+	)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	res, err := p.Run(context.Background())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Backend.Frames != steps {
+		t.Fatalf("frames = %d, want %d", res.Backend.Frames, steps)
+	}
+	if res.Backend.BytesIn == 0 {
+		t.Fatal("no bytes crossed the fabric boundary")
+	}
+	// A Pipeline stays reusable: the second Run resolves a fresh source.
+	if _, err := p.Run(context.Background()); err != nil {
+		t.Fatalf("second Run: %v", err)
+	}
+}
+
+func TestRunSpecFabricRoundTripAndExecution(t *testing.T) {
+	specs, fb := startFacadeFederation(t, 2)
+	const (
+		nx, ny, nz = 16, 8, 8
+		steps      = 2
+	)
+	if _, err := vdpss.WarmCombustion(context.Background(), fb, "specrun", nx, ny, nz, steps, 0,
+		vdpss.WarmConfig{BlockSize: 16 * 1024}); err != nil {
+		t.Fatalf("warming: %v", err)
+	}
+
+	spec := visapult.RunSpec{
+		Source: visapult.SourceSpec{Kind: "fabric", Base: "specrun", NX: nx, NY: ny, NZ: nz, Timesteps: steps},
+		PEs:    2,
+		Fabric: &visapult.FabricSpec{
+			Clusters:         specs,
+			Replication:      2,
+			AttemptTimeoutMs: 1000,
+		},
+	}
+	// The spec must survive the wire: this is what the dispatch protocol
+	// ships to a remote worker.
+	data, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"fabric"`) {
+		t.Fatalf("serialized spec lacks fabric config: %s", data)
+	}
+	var decoded visapult.RunSpec
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+
+	mgr := visapult.NewManager(1)
+	defer mgr.Close()
+	if err := mgr.CreateSpec("fabric-run", decoded); err != nil {
+		t.Fatalf("CreateSpec: %v", err)
+	}
+	if err := mgr.Start("fabric-run"); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	res, err := mgr.Wait(context.Background(), "fabric-run")
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if res.Backend.Frames != steps {
+		t.Fatalf("frames = %d, want %d", res.Backend.Frames, steps)
+	}
+}
+
+func TestFabricSpecValidation(t *testing.T) {
+	// Fabric kind without a fabric config fails at spec translation.
+	spec := visapult.RunSpec{
+		Source: visapult.SourceSpec{Kind: "fabric", Base: "x", NX: 8, NY: 8, NZ: 8, Timesteps: 1},
+	}
+	if _, err := spec.Options(); err == nil {
+		t.Fatal("fabric source without fabric config validated")
+	}
+
+	// WithSource and WithFabric are mutually exclusive.
+	src := visapult.NewCombustionSource(visapult.CombustionSpec{NX: 8, NY: 8, NZ: 8, Timesteps: 1})
+	_, fb := startFacadeFederation(t, 2)
+	_, err := visapult.New(
+		visapult.WithSource(src),
+		visapult.WithFabric(fb, visapult.FabricDataset{Base: "x", NX: 8, NY: 8, NZ: 8, Timesteps: 1}),
+	)
+	if err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
+		t.Fatalf("WithSource+WithFabric error = %v", err)
+	}
+
+	// A fabric dataset without geometry fails at New.
+	if _, err := visapult.New(visapult.WithFabric(fb, visapult.FabricDataset{Base: "x"})); err == nil {
+		t.Fatal("fabric dataset without geometry validated")
+	}
+
+	// An empty fabric spec fails at New (not mid-queue).
+	_, err = visapult.New(visapult.WithFabricSpec(visapult.FabricSpec{},
+		visapult.FabricDataset{Base: "x", NX: 8, NY: 8, NZ: 8, Timesteps: 1}))
+	if err == nil {
+		t.Fatal("empty fabric spec validated")
+	}
+}
+
+func TestWithReplicationOverridesSpecFabric(t *testing.T) {
+	specs, fb := startFacadeFederation(t, 2)
+	const (
+		nx, ny, nz = 8, 8, 8
+		steps      = 1
+	)
+	if _, err := vdpss.WarmCombustion(context.Background(), fb, "repl", nx, ny, nz, steps, 0,
+		vdpss.WarmConfig{BlockSize: 16 * 1024}); err != nil {
+		t.Fatalf("warming: %v", err)
+	}
+	// Replication 1 in the spec, overridden to 2 — the build must accept it
+	// and the run must read fine either way.
+	p, err := visapult.New(
+		visapult.WithFabricSpec(
+			visapult.FabricSpec{Clusters: specs, Replication: 1},
+			visapult.FabricDataset{Base: "repl", NX: nx, NY: ny, NZ: nz, Timesteps: steps}),
+		visapult.WithReplication(2),
+		visapult.WithPEs(1),
+	)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := p.Run(context.Background()); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}

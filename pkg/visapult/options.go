@@ -30,6 +30,13 @@ type config struct {
 	viewers       int
 	viewerQueue   int
 	onFanout      func(*core.FanoutControl)
+	// fabric / fabricSpec select a federation-fed source (mutually exclusive
+	// with an explicit source): a live handle the caller owns, or a
+	// serializable spec the pipeline builds (and closes) per run.
+	fabric      *Fabric
+	fabricSpec  *FabricSpec
+	fabricDS    FabricDataset
+	replication int
 }
 
 func defaultConfig() config {
@@ -37,8 +44,33 @@ func defaultConfig() config {
 }
 
 func (c *config) validate() error {
-	if c.source == nil {
-		return errors.New("visapult: a Source is required (use WithSource)")
+	hasFabric := c.fabric != nil || c.fabricSpec != nil
+	if c.source == nil && !hasFabric {
+		return errors.New("visapult: a Source is required (use WithSource or WithFabric)")
+	}
+	if c.source != nil && hasFabric {
+		return errors.New("visapult: WithSource and WithFabric are mutually exclusive")
+	}
+	if c.fabric != nil && c.fabricSpec != nil {
+		return errors.New("visapult: WithFabric and WithFabricSpec are mutually exclusive")
+	}
+	if hasFabric {
+		if err := c.fabricDS.validate(); err != nil {
+			return err
+		}
+		if c.fabricSpec != nil {
+			// Validate the spec without dialing anything: fabric construction
+			// is connection-free, so a throwaway build catches bad configs at
+			// New instead of mid-queue.
+			fb, err := c.fabricSpec.Build(c.replication)
+			if err != nil {
+				return err
+			}
+			fb.Close()
+		}
+	}
+	if c.replication < 0 {
+		return fmt.Errorf("visapult: replication must be non-negative, got %d", c.replication)
 	}
 	if c.pes <= 0 {
 		return fmt.Errorf("visapult: PEs must be positive, got %d", c.pes)
@@ -64,6 +96,42 @@ func (c *config) validate() error {
 		return errors.New("visapult: WithViewers and WithoutViewer are mutually exclusive")
 	}
 	return nil
+}
+
+// resolveSource returns the run's data source — the explicit one, or a
+// fabric-backed source built from the WithFabric handle or the
+// WithFabricSpec description — plus a cleanup releasing whatever the
+// resolution created (dataset handles always; the federation itself only
+// when this run built it from a spec).
+func (c *config) resolveSource() (Source, func(), error) {
+	if c.source != nil {
+		return c.source, func() {}, nil
+	}
+	fb := c.fabric
+	owned := false
+	if fb == nil {
+		var err error
+		fb, err = c.fabricSpec.Build(c.replication)
+		if err != nil {
+			return nil, nil, err
+		}
+		owned = true
+	}
+	ds := c.fabricDS
+	src, err := NewFabricSource(fb, ds.Base, ds.NX, ds.NY, ds.NZ, ds.Timesteps)
+	if err != nil {
+		if owned {
+			fb.Close()
+		}
+		return nil, nil, err
+	}
+	cleanup := func() {
+		src.Close()
+		if owned {
+			fb.Close()
+		}
+	}
+	return src, cleanup, nil
 }
 
 func (c *config) sessionConfig() core.SessionConfig {
@@ -200,6 +268,38 @@ func WithViewers(n int) Option {
 // viewer only.
 func WithViewerQueue(n int) Option {
 	return func(c *config) { c.viewerQueue = n }
+}
+
+// WithFabric feeds the pipeline from a live DPSS federation handle instead
+// of a WithSource-supplied source: ds names the warmed time-series (each
+// timestep a dataset base.tNNNN sharded and replicated across the fabric's
+// clusters) and every region load is replica-aware — a dark or wedged
+// cluster fails over to the next replica mid-run. The caller owns fb and its
+// lifetime; the pipeline only opens dataset handles on it.
+func WithFabric(fb *Fabric, ds FabricDataset) Option {
+	return func(c *config) {
+		c.fabric = fb
+		c.fabricDS = ds
+	}
+}
+
+// WithFabricSpec is WithFabric from a serializable federation description:
+// the pipeline builds the fabric per run and closes it afterwards. This is
+// the form RunSpec-described runs use, so a remote worker resolves the same
+// clusters, placement and replication as the scheduler that dispatched it.
+func WithFabricSpec(spec FabricSpec, ds FabricDataset) Option {
+	return func(c *config) {
+		c.fabricSpec = &spec
+		c.fabricDS = ds
+	}
+}
+
+// WithReplication overrides the replication factor of a WithFabricSpec- or
+// RunSpec-built federation (the number of clusters each dataset is written
+// to, default 2). It has no effect on a live WithFabric handle, whose factor
+// was fixed when the fabric was built.
+func WithReplication(r int) Option {
+	return func(c *config) { c.replication = r }
 }
 
 // withFanoutControl registers a callback receiving the fan-out control

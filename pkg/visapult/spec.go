@@ -37,11 +37,16 @@ type RunSpec struct {
 	// ViewerQueue bounds each fan-out viewer's send queue in (PE, frame)
 	// pairs; 0 selects the default (32).
 	ViewerQueue int `json:"viewerQueue,omitempty"`
+	// Fabric is the serializable federation config a source of kind "fabric"
+	// resolves against: cluster names and master addresses, replication,
+	// attempt timeout. Because it is part of the spec, a run placed on a
+	// remote worker reconstructs exactly the federation the scheduler saw.
+	Fabric *FabricSpec `json:"fabric,omitempty"`
 }
 
 // SourceSpec selects and sizes the data source of a RunSpec.
 type SourceSpec struct {
-	Kind      string `json:"kind"` // combustion | cosmology | paper
+	Kind      string `json:"kind"` // combustion | cosmology | paper | fabric
 	NX        int    `json:"nx,omitempty"`
 	NY        int    `json:"ny,omitempty"`
 	NZ        int    `json:"nz,omitempty"`
@@ -49,6 +54,9 @@ type SourceSpec struct {
 	Seed      int64  `json:"seed,omitempty"`
 	// Scale divides the paper's 640x256x256 grid for kind "paper".
 	Scale int `json:"scale,omitempty"`
+	// Base is the dataset base name for kind "fabric" (each timestep is
+	// dataset base.tNNNN warmed across the federation in RunSpec.Fabric).
+	Base string `json:"base,omitempty"`
 }
 
 // source builds the described data source.
@@ -77,11 +85,23 @@ func (s *SourceSpec) source() (Source, error) {
 
 // Options translates the spec into facade options for New.
 func (spec *RunSpec) Options() ([]Option, error) {
-	src, err := spec.Source.source()
-	if err != nil {
-		return nil, err
+	var opts []Option
+	if strings.EqualFold(spec.Source.Kind, "fabric") {
+		if spec.Fabric == nil {
+			return nil, fmt.Errorf("visapult: source kind %q requires a fabric config in the spec", spec.Source.Kind)
+		}
+		opts = append(opts, WithFabricSpec(*spec.Fabric, FabricDataset{
+			Base: spec.Source.Base,
+			NX:   spec.Source.NX, NY: spec.Source.NY, NZ: spec.Source.NZ,
+			Timesteps: spec.Source.Timesteps,
+		}))
+	} else {
+		src, err := spec.Source.source()
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, WithSource(src))
 	}
-	opts := []Option{WithSource(src)}
 
 	if spec.PEs > 0 {
 		opts = append(opts, WithPEs(spec.PEs))

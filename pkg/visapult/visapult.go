@@ -71,10 +71,19 @@ func (p *Pipeline) Run(ctx context.Context) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	if p.cfg.discardViewer {
-		return p.runBackendOnly(ctx)
+	// Work on a copy: resolving a fabric-fed source mutates the source slot,
+	// and a Pipeline must stay reusable across Runs.
+	cfg := p.cfg
+	src, cleanup, err := cfg.resolveSource()
+	if err != nil {
+		return nil, err
 	}
-	sr, err := core.RunSession(ctx, p.cfg.sessionConfig())
+	defer cleanup()
+	cfg.source = src
+	if cfg.discardViewer {
+		return runBackendOnly(ctx, &cfg)
+	}
+	sr, err := core.RunSession(ctx, cfg.sessionConfig())
 	if err != nil {
 		return nil, err
 	}
@@ -91,16 +100,16 @@ func (p *Pipeline) Run(ctx context.Context) (*Result, error) {
 // runBackendOnly executes the back end against a discarding sink — the
 // configuration benchmarks use to measure the load/render pipeline without a
 // viewer.
-func (p *Pipeline) runBackendOnly(ctx context.Context) (*Result, error) {
+func runBackendOnly(ctx context.Context, cfg *config) (*Result, error) {
 	be, err := backend.New(backend.Config{
-		PEs:       p.cfg.pes,
-		Timesteps: p.cfg.timesteps,
-		Mode:      p.cfg.mode,
-		Axis:      p.cfg.axis,
-		Source:    p.cfg.source,
-		TF:        p.cfg.tf,
+		PEs:       cfg.pes,
+		Timesteps: cfg.timesteps,
+		Mode:      cfg.mode,
+		Axis:      cfg.axis,
+		Source:    cfg.source,
+		TF:        cfg.tf,
 		Sinks:     []backend.FrameSink{&backend.NullSink{}},
-		OnFrame:   p.cfg.onFrame,
+		OnFrame:   cfg.onFrame,
 	})
 	if err != nil {
 		return nil, err
