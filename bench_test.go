@@ -404,6 +404,69 @@ func BenchmarkFabricLoadRegion(b *testing.B) {
 	}
 }
 
+// BenchmarkFabricRebalance measures the rebalance engine's cluster-to-cluster
+// migration rate: three clusters behind independent emulated WAN links, R=2,
+// one member drained to empty — every dataset it held is streamed
+// block-by-block onto the surviving members and then deleted off it. The
+// MB/s metric (migrated bytes over wall-clock) is the fabric-repair headline
+// tracked in BENCH_ci.json.
+func BenchmarkFabricRebalance(b *testing.B) {
+	const (
+		datasets    = 6
+		datasetSize = 1 << 20 // 1 MiB each
+		blockSize   = 64 << 10
+		linkRate    = 100 << 20 // 100 MB/s per cluster link
+	)
+	payload := make([]byte, datasetSize)
+	for i := range payload {
+		payload[i] = byte(i % 253)
+	}
+	ctx := context.Background()
+	var lastRate float64
+	var migrated int64
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		var specs []fabric.ClusterSpec
+		var clusters []*dpss.Cluster
+		for c := 0; c < 3; c++ {
+			cluster, err := dpss.StartCluster(dpss.ClusterConfig{
+				Servers: 2, DisksPerServer: 2,
+				ServerShaper: netsim.NewShaper(linkRate, 64<<10),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			clusters = append(clusters, cluster)
+			specs = append(specs, fabric.ClusterSpec{Name: fmt.Sprintf("c%d", c), Master: cluster.MasterAddr})
+		}
+		fb, err := fabric.New(fabric.Config{Clusters: specs, Replication: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for d := 0; d < datasets; d++ {
+			name := dpss.TimestepDatasetName("rbench", d)
+			if _, err := fb.LoadBytes(ctx, name, payload, blockSize); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StartTimer()
+		report, err := fb.DrainToEmpty(ctx, "c0", fabric.RebalanceOptions{})
+		b.StopTimer()
+		if err != nil {
+			b.Fatal(err)
+		}
+		lastRate = report.RateMBps()
+		migrated += report.Bytes
+		fb.Close()
+		for _, cluster := range clusters {
+			cluster.Close()
+		}
+		b.StartTimer()
+	}
+	b.ReportMetric(lastRate, "migrate-MB/s")
+	b.ReportMetric(float64(migrated)/float64(b.N)/(1<<20), "migrated-MiB")
+}
+
 // BenchmarkStripedSocketThroughput measures the striped-socket transport used
 // between the back end and the viewer.
 func BenchmarkStripedSocketThroughput(b *testing.B) {

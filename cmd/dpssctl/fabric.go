@@ -23,7 +23,7 @@ import (
 // otherwise status and warm operate directly on the -clusters list.
 func runFabric(daemon, clusters string, replication, blockSize int, args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("fabric needs a subcommand: status | warm <base> <NXxNYxNZ> <steps> | drain <cluster> | undrain <cluster>")
+		return fmt.Errorf("fabric needs a subcommand: status | warm <base> <NXxNYxNZ> <steps> | rebalance | repair | drain <cluster> | drain-empty <cluster> | undrain <cluster>")
 	}
 	if daemon != "" {
 		return runFabricDaemon(strings.TrimRight(daemon, "/"), blockSize, args)
@@ -48,9 +48,55 @@ func runFabric(daemon, clusters string, replication, blockSize int, args []strin
 		return fabricStatus(fb)
 	case "warm":
 		return fabricWarm(fb, blockSize, args[1:])
+	case "rebalance":
+		report, err := fb.Rebalance(context.Background(), rebalanceOptions())
+		return printRebalance(report, err)
+	case "repair":
+		report, err := fb.Repair(context.Background(), rebalanceOptions())
+		return printRebalance(report, err)
+	case "drain-empty":
+		if len(args) != 2 {
+			return fmt.Errorf("fabric drain-empty needs a cluster name")
+		}
+		report, err := fb.DrainToEmpty(context.Background(), args[1], rebalanceOptions())
+		return printRebalance(report, err)
 	default:
 		return fmt.Errorf("unknown fabric subcommand %q", args[0])
 	}
+}
+
+// rebalanceOptions streams each completed or failed move to stdout.
+func rebalanceOptions() dpss.RebalanceOptions {
+	var mu sync.Mutex
+	return dpss.RebalanceOptions{
+		OnMove: func(mv dpss.DatasetMove) {
+			if mv.State != "done" && mv.State != "failed" {
+				return
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			if mv.Error != "" {
+				fmt.Printf("  %-28s -> %-10s FAILED: %s\n", mv.Dataset, mv.To, mv.Error)
+				return
+			}
+			fmt.Printf("  %-28s %s -> %-10s %s\n", mv.Dataset, mv.From, mv.To, visapult.HumanBytes(mv.Copied))
+		},
+	}
+}
+
+// printRebalance summarizes an engine run; the per-move detail already
+// streamed through rebalanceOptions.
+func printRebalance(report *dpss.RebalanceReport, err error) error {
+	if report != nil {
+		fmt.Printf("%s: epoch %d, %d datasets examined, %d moves (%d failed), %s migrated in %v (%.1f MB/s)",
+			report.Kind, report.Epoch, report.Datasets, len(report.Moves), report.Failed(),
+			visapult.HumanBytes(report.Bytes), report.Elapsed.Round(time.Millisecond), report.RateMBps())
+		if report.Removed > 0 {
+			fmt.Printf(", %d copies removed off the drained cluster", report.Removed)
+		}
+		fmt.Println()
+	}
+	return err
 }
 
 // fabricStatus probes every member and prints health plus the federation
@@ -135,6 +181,13 @@ func runFabricDaemon(base string, blockSize int, args []string) error {
 		return daemonStatus(base)
 	case "warm":
 		return daemonWarm(base, blockSize, args[1:])
+	case "rebalance", "repair":
+		return daemonRebalance(base, args[0], "")
+	case "drain-empty":
+		if len(args) != 2 {
+			return fmt.Errorf("fabric drain-empty needs a cluster name")
+		}
+		return daemonRebalance(base, "drain", args[1])
 	case "drain", "undrain":
 		if len(args) != 2 {
 			return fmt.Errorf("fabric %s needs a cluster name", args[0])
@@ -251,6 +304,77 @@ func daemonWarm(base string, blockSize int, args []string) error {
 			fmt.Printf("  %-28s replicas: %s\n", f, strings.Join(replicas, ", "))
 		}
 		fmt.Printf("warmed %s at %.1f MB/s aggregate\n", visapult.HumanBytes(job.Bytes), job.RateMBps)
+		return nil
+	}
+}
+
+// daemonRebalance starts an asynchronous rebalance job on the daemon and
+// polls it to completion, printing the per-move outcome.
+func daemonRebalance(base, kind, cluster string) error {
+	req := map[string]any{"kind": kind}
+	if cluster != "" {
+		req["cluster"] = cluster
+	}
+	var started struct {
+		ID string `json:"id"`
+	}
+	if err := daemonCall(http.MethodPost, base+"/api/dpss/rebalance", req, &started); err != nil {
+		return err
+	}
+	fmt.Printf("%s job %s started\n", kind, started.ID)
+	for {
+		time.Sleep(200 * time.Millisecond)
+		var job struct {
+			State    string  `json:"state"`
+			Error    string  `json:"error"`
+			Epoch    int     `json:"epoch"`
+			Datasets int     `json:"datasets"`
+			Removed  int     `json:"removed"`
+			Failed   int     `json:"failed"`
+			Bytes    int64   `json:"bytes"`
+			RateMBps float64 `json:"rateMBps"`
+			Moves    map[string]map[string]struct {
+				From   string `json:"from"`
+				Copied int64  `json:"copied"`
+				State  string `json:"state"`
+				Error  string `json:"error"`
+			} `json:"moves"`
+		}
+		if err := daemonCall(http.MethodGet, base+"/api/dpss/rebalance/"+started.ID, nil, &job); err != nil {
+			return err
+		}
+		if job.State == "running" {
+			continue
+		}
+		datasets := make([]string, 0, len(job.Moves))
+		for d := range job.Moves {
+			datasets = append(datasets, d)
+		}
+		sort.Strings(datasets)
+		for _, d := range datasets {
+			targets := make([]string, 0, len(job.Moves[d]))
+			for t := range job.Moves[d] {
+				targets = append(targets, t)
+			}
+			sort.Strings(targets)
+			for _, t := range targets {
+				mv := job.Moves[d][t]
+				if mv.Error != "" {
+					fmt.Printf("  %-28s -> %-10s FAILED: %s\n", d, t, mv.Error)
+					continue
+				}
+				fmt.Printf("  %-28s %s -> %-10s %s\n", d, mv.From, t, visapult.HumanBytes(mv.Copied))
+			}
+		}
+		fmt.Printf("%s: epoch %d, %d datasets examined, %d failed moves, %s migrated (%.1f MB/s)",
+			kind, job.Epoch, job.Datasets, job.Failed, visapult.HumanBytes(job.Bytes), job.RateMBps)
+		if job.Removed > 0 {
+			fmt.Printf(", %d copies removed off the drained cluster", job.Removed)
+		}
+		fmt.Println()
+		if job.State == "failed" {
+			return fmt.Errorf("%s failed: %s", kind, job.Error)
+		}
 		return nil
 	}
 }

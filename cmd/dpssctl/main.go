@@ -11,8 +11,11 @@
 //
 //	dpssctl -clusters lbl=127.0.0.1:9300,anl=127.0.0.1:9310 fabric status
 //	dpssctl -clusters lbl=...,anl=... -replication 2 fabric warm combustion 80x32x32 5
+//	dpssctl -clusters lbl=...,anl=...,snl=... fabric repair
 //	dpssctl -daemon http://127.0.0.1:9600 fabric status
 //	dpssctl -daemon http://127.0.0.1:9600 fabric drain anl
+//	dpssctl -daemon http://127.0.0.1:9600 fabric rebalance
+//	dpssctl -daemon http://127.0.0.1:9600 fabric drain-empty anl
 package main
 
 import (
@@ -71,7 +74,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: dpssctl [-master addr] stat <dataset> | load <base> <NXxNYxNZ> <steps> | bench <dataset> | thumbnail <base> <NXxNYxNZ> <step> <out.ppm>
-       dpssctl [-clusters name=addr,... | -daemon url] fabric status | warm <base> <NXxNYxNZ> <steps> | drain <cluster> | undrain <cluster>`)
+       dpssctl [-clusters name=addr,... | -daemon url] fabric status | warm <base> <NXxNYxNZ> <steps> | rebalance | repair | drain <cluster> | drain-empty <cluster> | undrain <cluster>`)
 	os.Exit(2)
 }
 

@@ -20,13 +20,19 @@ import (
 type fabricAdmin struct {
 	fabric *visapult.Fabric
 
-	mu      sync.Mutex
-	jobs    map[string]*warmJob
-	nextJob int
+	mu        sync.Mutex
+	jobs      map[string]*warmJob
+	nextJob   int
+	rebals    map[string]*rebalJob
+	nextRebal int
 }
 
 func newFabricAdmin(fb *visapult.Fabric) *fabricAdmin {
-	return &fabricAdmin{fabric: fb, jobs: make(map[string]*warmJob)}
+	return &fabricAdmin{
+		fabric: fb,
+		jobs:   make(map[string]*warmJob),
+		rebals: make(map[string]*rebalJob),
+	}
 }
 
 // warmJob is one asynchronous warming run.
@@ -86,8 +92,24 @@ func (s *server) requireFabric(w http.ResponseWriter) *fabricAdmin {
 	return s.dpss
 }
 
+// epochJSON is the wire shape of the fabric's placement epoch.
+type epochJSON struct {
+	Version      int      `json:"version"`
+	Eligible     []string `json:"eligible,omitempty"`
+	PrevEligible []string `json:"prevEligible,omitempty"`
+	Migrating    bool     `json:"migrating,omitempty"`
+}
+
+func toEpochJSON(e visapult.FabricEpoch) epochJSON {
+	return epochJSON{
+		Version: e.Version, Eligible: e.Eligible,
+		PrevEligible: e.PrevEligible, Migrating: e.Migrating(),
+	}
+}
+
 // handleDPSS serves the federation overview: replication factor, members,
-// current health.
+// current health, and the placement epoch (operators stamp the epoch into
+// RunSpec.Fabric.Epoch so remote workers place identically mid-migration).
 func (s *server) handleDPSS(w http.ResponseWriter, r *http.Request) {
 	fa := s.requireFabric(w)
 	if fa == nil {
@@ -95,6 +117,8 @@ func (s *server) handleDPSS(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"replication": fa.fabric.Replication(),
+		"epoch":       toEpochJSON(fa.fabric.Epoch()),
+		"rebalancing": fa.fabric.Rebalancing(),
 		"clusters":    toClusterHealthJSON(fa.fabric.Health()),
 	})
 }
@@ -299,39 +323,45 @@ func (s *server) handleDPSSWarmStatus(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, job.snapshot())
 }
 
-// handleDPSSStream serves federation health as server-sent events: a
-// "health" event with the full cluster snapshot whenever it changes (polled
-// internally), so operators watch failover and recovery live instead of
-// polling /api/dpss.
+// handleDPSSStream serves federation state as server-sent events: a "health"
+// event with the full cluster snapshot whenever it changes, an "epoch" event
+// whenever the placement epoch moves (advance or seal), and a "rebalance"
+// event whenever any rebalance job's progress changes — all polled
+// internally, so operators watch failover, recovery and live migrations
+// without polling /api/dpss. Event writes carry a per-subscriber deadline: a
+// stalled client is disconnected instead of pinning its handler goroutine.
 func (s *server) handleDPSSStream(w http.ResponseWriter, r *http.Request) {
 	fa := s.requireFabric(w)
 	if fa == nil {
 		return
 	}
-	flusher, ok := w.(http.Flusher)
+	stream, ok := newSSEStream(w)
 	if !ok {
-		writeError(w, http.StatusInternalServerError, fmt.Errorf("streaming unsupported"))
 		return
 	}
-	w.Header().Set("Content-Type", "text/event-stream")
-	w.Header().Set("Cache-Control", "no-cache")
-	w.WriteHeader(http.StatusOK)
 
-	var last []byte
-	emit := func() bool {
-		data, err := json.Marshal(toClusterHealthJSON(fa.fabric.Health()))
+	// emitChanged marshals v and sends it under the event name when the
+	// payload differs from the previous emission; it reports write health.
+	lasts := make(map[string][]byte)
+	emitChanged := func(event string, v any) bool {
+		data, err := json.Marshal(v)
 		if err != nil {
 			return true
 		}
-		if string(data) == string(last) {
+		if string(data) == string(lasts[event]) {
 			return true
 		}
-		last = data
-		if _, err := fmt.Fprintf(w, "event: health\ndata: %s\n\n", data); err != nil {
+		lasts[event] = data
+		return stream.send(event, data)
+	}
+	emit := func() bool {
+		if !emitChanged("health", toClusterHealthJSON(fa.fabric.Health())) {
 			return false
 		}
-		flusher.Flush()
-		return true
+		if !emitChanged("epoch", toEpochJSON(fa.fabric.Epoch())) {
+			return false
+		}
+		return emitChanged("rebalance", fa.rebalSnapshots())
 	}
 	if !emit() {
 		return

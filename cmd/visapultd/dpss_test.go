@@ -204,12 +204,18 @@ func TestDPSSHealthStream(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("stream = %d", resp.StatusCode)
 	}
+	// The stream multiplexes health, epoch and rebalance events; this test
+	// watches health only.
 	events := make(chan string, 16)
 	go func() {
 		sc := bufio.NewScanner(resp.Body)
+		event := ""
 		for sc.Scan() {
 			line := sc.Text()
-			if strings.HasPrefix(line, "data: ") {
+			if strings.HasPrefix(line, "event: ") {
+				event = strings.TrimPrefix(line, "event: ")
+			}
+			if strings.HasPrefix(line, "data: ") && event == "health" {
 				events <- strings.TrimPrefix(line, "data: ")
 			}
 		}

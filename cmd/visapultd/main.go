@@ -27,7 +27,9 @@
 //	DELETE /api/runs/{name}           remove a finished run
 //	GET    /api/runs/{name}/result    summary of a completed run
 //	GET    /api/runs/{name}/metrics   per-frame metrics snapshot
-//	GET    /api/runs/{name}/stream    live per-frame metrics (SSE)
+//	GET    /api/runs/{name}/stream    live per-frame metrics (SSE; lossy clients get "dropped" events)
+//	POST   /api/runs/prune            drop terminal runs {"olderThan":"30m"} (empty = all terminal)
+//	GET    /metrics                   Prometheus text exposition (runs, slots, fabric health, rebalance)
 //	GET    /api/workers               list registered workers
 //	POST   /api/workers               register a worker {"addr":"host:port","capacity":2}
 //	POST   /api/workers/{id}/drain    stop placing runs on the worker
@@ -43,7 +45,10 @@
 //	GET    /api/dpss/warm                     list warming jobs
 //	POST   /api/dpss/warm                     start a warming job {"base","nx","ny","nz","steps"}
 //	GET    /api/dpss/warm/{id}                warming job progress (per file, per cluster)
-//	GET    /api/dpss/stream                   live cluster-health events (SSE)
+//	GET    /api/dpss/rebalance                list rebalance jobs
+//	POST   /api/dpss/rebalance                start a job {"kind":"rebalance"|"repair"|"drain","cluster":...}
+//	GET    /api/dpss/rebalance/{id}           rebalance job progress (per dataset, per target cluster)
+//	GET    /api/dpss/stream                   live health + epoch + rebalance events (SSE)
 //
 // Example:
 //
@@ -91,9 +96,32 @@ func main() {
 		})
 	replication := flag.Int("replication", 2, "replicas per dataset across the -dpss federation")
 	attemptTimeout := flag.Duration("dpss-attempt-timeout", 2*time.Second, "per-replica read attempt bound before failing over")
+	retain := flag.Duration("retain", 0, "drop terminal runs older than this (0 keeps them until DELETE/prune)")
 	flag.Parse()
 
 	mgr := visapult.NewManager(*workers)
+	// Run GC: with -retain set, a background pruner keeps the run table (and
+	// its per-frame metric buffers) bounded for long-lived daemons. The sweep
+	// interval tracks the retention window but stays within [10s, 1min] so
+	// short windows expire promptly and long ones do not spin.
+	if *retain > 0 {
+		interval := *retain / 10
+		if interval < 10*time.Second {
+			interval = 10 * time.Second
+		}
+		if interval > time.Minute {
+			interval = time.Minute
+		}
+		go func() {
+			ticker := time.NewTicker(interval)
+			defer ticker.Stop()
+			for range ticker.C {
+				if n := mgr.Prune(*retain); n > 0 {
+					fmt.Printf("visapultd: pruned %d terminal runs older than %v\n", n, *retain)
+				}
+			}
+		}()
+	}
 	// Register boot workers concurrently, off the startup path: a dead
 	// address costs its own 5s probe, not a serial delay of the HTTP API.
 	// A worker that is down at boot is not fatal: the operator can register

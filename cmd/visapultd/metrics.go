@@ -1,0 +1,123 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// handlePrometheus serves GET /metrics in the Prometheus text exposition
+// format (version 0.0.4), hand-rolled so the daemon stays dependency-free:
+// runs by state, local worker-pool occupancy, remote worker slots, DPSS
+// per-cluster health and failure counters, and rebalance job progress. It
+// complements the SSE streams — scrapers poll this, humans watch the events.
+func (s *server) handlePrometheus(w http.ResponseWriter, r *http.Request) {
+	var b strings.Builder
+
+	// Runs by state. Every known state is emitted (zero included) so rate()
+	// and absent() behave across scrapes.
+	counts := make(map[string]int)
+	for _, st := range s.mgr.List() {
+		counts[st.State.String()]++
+	}
+	writeHelp(&b, "visapultd_runs", "gauge", "Managed runs by lifecycle state.")
+	for _, state := range []string{"pending", "queued", "running", "done", "failed", "canceled"} {
+		fmt.Fprintf(&b, "visapultd_runs{state=%q} %d\n", state, counts[state])
+	}
+
+	// Local pool occupancy.
+	used, capacity := s.mgr.Slots()
+	writeHelp(&b, "visapultd_worker_slots_in_use", "gauge", "Local worker-pool slots executing runs.")
+	fmt.Fprintf(&b, "visapultd_worker_slots_in_use %d\n", used)
+	writeHelp(&b, "visapultd_worker_slots_capacity", "gauge", "Local worker-pool capacity.")
+	fmt.Fprintf(&b, "visapultd_worker_slots_capacity %d\n", capacity)
+
+	// Remote workers.
+	workers := s.mgr.Workers()
+	writeHelp(&b, "visapultd_remote_workers", "gauge", "Registered remote workers by state.")
+	remote := make(map[string]int)
+	for _, ws := range workers {
+		remote[ws.State.String()]++
+	}
+	for _, state := range sortedKeys(remote) {
+		fmt.Fprintf(&b, "visapultd_remote_workers{state=%q} %d\n", state, remote[state])
+	}
+	writeHelp(&b, "visapultd_remote_worker_active_runs", "gauge", "Runs executing on each remote worker.")
+	for _, ws := range workers {
+		fmt.Fprintf(&b, "visapultd_remote_worker_active_runs{worker=%q} %d\n", ws.ID, ws.Active)
+	}
+
+	// DPSS federation (only when a fabric is attached).
+	if s.dpss != nil {
+		fb := s.dpss.fabric
+		health := fb.Health()
+		writeHelp(&b, "visapultd_dpss_cluster_healthy", "gauge", "Per-cluster health (1 healthy, 0 backed off).")
+		var failures, drained strings.Builder
+		for _, h := range health {
+			fmt.Fprintf(&b, "visapultd_dpss_cluster_healthy{cluster=%q} %d\n", h.Name, boolGauge(h.Healthy))
+			fmt.Fprintf(&failures, "visapultd_dpss_cluster_failures{cluster=%q} %d\n", h.Name, h.Failures)
+			fmt.Fprintf(&drained, "visapultd_dpss_cluster_drained{cluster=%q} %d\n", h.Name, boolGauge(h.Drained))
+		}
+		if len(health) > 0 {
+			writeHelp(&b, "visapultd_dpss_cluster_failures", "gauge", "Consecutive failed exchanges per cluster (resets on success).")
+			b.WriteString(failures.String())
+			writeHelp(&b, "visapultd_dpss_cluster_drained", "gauge", "Per-cluster administrative drain flag.")
+			b.WriteString(drained.String())
+		}
+		epoch := fb.Epoch()
+		writeHelp(&b, "visapultd_dpss_placement_epoch", "gauge", "Current placement epoch version.")
+		fmt.Fprintf(&b, "visapultd_dpss_placement_epoch %d\n", epoch.Version)
+		writeHelp(&b, "visapultd_dpss_epoch_migrating", "gauge", "1 while a placement migration window is open.")
+		fmt.Fprintf(&b, "visapultd_dpss_epoch_migrating %d\n", boolGauge(epoch.Migrating()))
+
+		// Rebalance jobs: moves done / planned per job, plus a run flag.
+		s.dpss.mu.Lock()
+		jobs := make([]*rebalJob, 0, len(s.dpss.rebals))
+		for _, j := range s.dpss.rebals {
+			jobs = append(jobs, j)
+		}
+		s.dpss.mu.Unlock()
+		sort.Slice(jobs, func(i, j int) bool {
+			if !jobs[i].Started.Equal(jobs[j].Started) {
+				return jobs[i].Started.Before(jobs[j].Started)
+			}
+			return jobs[i].ID < jobs[j].ID
+		})
+		writeHelp(&b, "visapultd_dpss_rebalance_running", "gauge", "1 while the rebalance engine is migrating.")
+		fmt.Fprintf(&b, "visapultd_dpss_rebalance_running %d\n", boolGauge(fb.Rebalancing()))
+		if len(jobs) > 0 {
+			writeHelp(&b, "visapultd_dpss_rebalance_moves_total", "gauge", "Dataset moves planned per rebalance job.")
+			writeHelp(&b, "visapultd_dpss_rebalance_moves_done", "gauge", "Dataset moves completed per rebalance job.")
+			for _, j := range jobs {
+				state, done, total := j.progress()
+				fmt.Fprintf(&b, "visapultd_dpss_rebalance_moves_total{job=%q,kind=%q,state=%q} %d\n", j.ID, j.Kind, state, total)
+				fmt.Fprintf(&b, "visapultd_dpss_rebalance_moves_done{job=%q,kind=%q,state=%q} %d\n", j.ID, j.Kind, state, done)
+			}
+		}
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	w.Write([]byte(b.String())) //nolint:errcheck
+}
+
+func writeHelp(b *strings.Builder, name, kind, help string) {
+	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, kind)
+}
+
+func boolGauge(v bool) int {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"time"
 
@@ -55,7 +56,12 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET /api/dpss/warm", s.handleDPSSWarmList)
 	mux.HandleFunc("POST /api/dpss/warm", s.handleDPSSWarmStart)
 	mux.HandleFunc("GET /api/dpss/warm/{id}", s.handleDPSSWarmStatus)
+	mux.HandleFunc("GET /api/dpss/rebalance", s.handleDPSSRebalanceList)
+	mux.HandleFunc("POST /api/dpss/rebalance", s.handleDPSSRebalanceStart)
+	mux.HandleFunc("GET /api/dpss/rebalance/{id}", s.handleDPSSRebalanceStatus)
 	mux.HandleFunc("GET /api/dpss/stream", s.handleDPSSStream)
+	mux.HandleFunc("POST /api/runs/prune", s.handlePrune)
+	mux.HandleFunc("GET /metrics", s.handlePrometheus)
 	mux.HandleFunc("GET /api/workers", s.handleWorkerList)
 	mux.HandleFunc("POST /api/workers", s.handleWorkerRegister)
 	mux.HandleFunc("POST /api/workers/{id}/drain", s.handleWorkerDrain)
@@ -244,6 +250,80 @@ func errorCode(err error) int {
 
 func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+// pruneRequest is the JSON body of POST /api/runs/prune. An empty body (or
+// zero duration) prunes every terminal run.
+type pruneRequest struct {
+	// OlderThan is a Go duration string ("30m", "24h"); terminal runs that
+	// finished longer ago than this are dropped.
+	OlderThan string `json:"olderThan,omitempty"`
+}
+
+func (s *server) handlePrune(w http.ResponseWriter, r *http.Request) {
+	var req pruneRequest
+	if r.Body != nil {
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("decoding prune request: %w", err))
+			return
+		}
+	}
+	var olderThan time.Duration
+	if req.OlderThan != "" {
+		d, err := time.ParseDuration(req.OlderThan)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("parsing olderThan: %w", err))
+			return
+		}
+		olderThan = d
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"pruned": s.mgr.Prune(olderThan)})
+}
+
+// sseWriteTimeout bounds one SSE event write: a subscriber that cannot drain
+// an event within it is disconnected, so a stalled client never pins its
+// handler goroutine (or the manager subscription feeding it) indefinitely.
+const sseWriteTimeout = 10 * time.Second
+
+// sseStream is a server-sent-events response with per-write deadlines.
+type sseStream struct {
+	w       http.ResponseWriter
+	rc      *http.ResponseController
+	flusher http.Flusher
+}
+
+// newSSEStream prepares w for event streaming. It reports false (after
+// writing the error response) when the writer cannot stream.
+func newSSEStream(w http.ResponseWriter) (*sseStream, bool) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("streaming unsupported"))
+		return nil, false
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	return &sseStream{w: w, rc: http.NewResponseController(w), flusher: flusher}, true
+}
+
+// send writes one event under a write deadline and reports whether the
+// stream is still usable.
+func (s *sseStream) send(event string, data []byte) bool {
+	s.rc.SetWriteDeadline(time.Now().Add(sseWriteTimeout)) //nolint:errcheck // unsupported writers just stream unbounded
+	if _, err := fmt.Fprintf(s.w, "event: %s\ndata: %s\n\n", event, data); err != nil {
+		return false
+	}
+	s.flusher.Flush()
+	return true
+}
+
+// sendJSON marshals v and sends it as one event.
+func (s *sseStream) sendJSON(event string, v any) bool {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return false
+	}
+	return s.send(event, data)
 }
 
 func (s *server) handleList(w http.ResponseWriter, r *http.Request) {
@@ -452,34 +532,35 @@ func (s *server) handleWorkerRemove(w http.ResponseWriter, r *http.Request) {
 
 // handleStream serves per-frame metrics as server-sent events: one "metric"
 // event per (PE, timestep) as the pipeline produces them, then a final
-// "status" event when the run reaches a terminal state.
+// "status" event when the run reaches a terminal state. Every event write is
+// bounded by sseWriteTimeout (a stalled client is disconnected, not waited
+// on), and whenever the subscription's bounded buffer discards frames
+// because this client fell behind, a "dropped" event carries the running
+// tally — the client knows its view is lossy and can re-sync from
+// /api/runs/{name}/metrics.
 func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	ch, cancel, err := s.mgr.Subscribe(name)
+	sub, err := s.mgr.SubscribeMetrics(name)
 	if err != nil {
 		writeError(w, errorCode(err), err)
 		return
 	}
-	defer cancel()
+	defer sub.Cancel()
+	ch := sub.C
 
-	flusher, ok := w.(http.Flusher)
+	stream, ok := newSSEStream(w)
 	if !ok {
-		writeError(w, http.StatusInternalServerError, fmt.Errorf("streaming unsupported"))
 		return
 	}
-	w.Header().Set("Content-Type", "text/event-stream")
-	w.Header().Set("Cache-Control", "no-cache")
-	w.WriteHeader(http.StatusOK)
+	send := stream.sendJSON
 
-	send := func(event string, v any) bool {
-		data, err := json.Marshal(v)
-		if err != nil {
-			return false
+	// emitDropped surfaces the subscription's drop tally when it grows.
+	var lastDropped int64
+	emitDropped := func() bool {
+		if d := sub.Dropped(); d > lastDropped {
+			lastDropped = d
+			return send("dropped", map[string]int64{"dropped": d})
 		}
-		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data); err != nil {
-			return false
-		}
-		flusher.Flush()
 		return true
 	}
 
@@ -507,11 +588,7 @@ func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
 		}
 		lastViewers = data
 		lastViewersAt = time.Now()
-		if _, err := fmt.Fprintf(w, "event: viewers\ndata: %s\n\n", data); err != nil {
-			return false
-		}
-		flusher.Flush()
-		return true
+		return stream.send("viewers", data)
 	}
 
 	// Replay what already happened so late subscribers see the whole run.
@@ -557,6 +634,9 @@ func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
 				if !emitViewers(true) {
 					return
 				}
+				if !emitDropped() {
+					return
+				}
 				if st, err := s.mgr.Status(name); err == nil {
 					send("status", toStatusJSON(st))
 				}
@@ -566,6 +646,9 @@ func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 			if !emitViewers(false) {
+				return
+			}
+			if !emitDropped() {
 				return
 			}
 		case <-r.Context().Done():

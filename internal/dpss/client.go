@@ -263,6 +263,39 @@ func (c *Client) ListDatasets() ([]string, error) {
 	return names, nil
 }
 
+// Remove deletes a dataset from the cluster: its blocks are evicted from
+// every stripe server (best-effort — a dark server simply keeps stale blocks
+// that the catalog no longer maps) and then the master's catalog entry is
+// dropped. Removing a dataset the cluster does not hold is a no-op, so the
+// drain-to-empty path can re-run after a partial failure.
+func (c *Client) Remove(name string) error {
+	info, err := c.Stat(name)
+	if errors.Is(err, ErrUnknownDataset) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	seen := make(map[string]bool, len(info.Servers))
+	for _, addr := range info.Servers {
+		if seen[addr] {
+			continue
+		}
+		seen[addr] = true
+		sc, err := c.serverConnFor(addr)
+		if err != nil {
+			continue
+		}
+		e := &encoder{}
+		e.str(name)
+		sc.call(msgDropDataset, e.buf) //nolint:errcheck // best-effort eviction
+	}
+	e := &encoder{}
+	e.str(name)
+	_, err = c.masterCall(msgRemove, e.buf)
+	return err
+}
+
 // Stat returns a dataset's layout without opening it.
 func (c *Client) Stat(name string) (DatasetInfo, error) {
 	e := &encoder{}

@@ -297,6 +297,62 @@ func TestClusterLoadAndReadBack(t *testing.T) {
 	}
 }
 
+// TestClientRemoveEvictsCatalogAndBlocks covers the removal protocol the
+// fabric's drain-to-empty relies on: Remove drops the master's catalog entry
+// AND evicts the blocks from every stripe server, and removing a dataset the
+// cluster never held is a harmless no-op.
+func TestClientRemoveEvictsCatalogAndBlocks(t *testing.T) {
+	c := startTestCluster(t, ClusterConfig{Servers: 2, DisksPerServer: 2})
+	client := c.NewClient()
+	defer client.Close()
+
+	data := make([]byte, 96*1024)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	if _, err := c.LoadBytes(client, "victim", data, 16<<10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.LoadBytes(client, "survivor", data, 16<<10); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := client.Remove("victim"); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	if _, err := client.Stat("victim"); !errors.Is(err, ErrUnknownDataset) {
+		t.Fatalf("Stat after Remove = %v, want ErrUnknownDataset", err)
+	}
+	// Only the survivor's blocks remain on the servers.
+	want := int((int64(len(data)) + (16 << 10) - 1) / (16 << 10))
+	total := 0
+	for _, s := range c.Servers {
+		total += s.Stats().BlocksStored
+	}
+	if total != want {
+		t.Fatalf("servers store %d blocks after Remove, want %d (survivor only)", total, want)
+	}
+	// The survivor still reads back.
+	f, err := client.Open("survivor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if _, err := f.ReadAt(got, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("survivor corrupted by Remove of its neighbor")
+	}
+	// Idempotent: removing again (or a never-staged name) is a no-op.
+	if err := client.Remove("victim"); err != nil {
+		t.Fatalf("second Remove = %v, want nil", err)
+	}
+	if err := client.Remove("never.staged"); err != nil {
+		t.Fatalf("Remove(never.staged) = %v, want nil", err)
+	}
+}
+
 func TestClusterBlockLevelAccess(t *testing.T) {
 	// The point of the DPSS over an archive: read a small piece of a large
 	// dataset without transferring the whole thing.

@@ -19,6 +19,15 @@
 // replica is dark or wedged. A failed (or per-attempt-timeout aborted) read
 // marks its cluster unhealthy with exponential backoff; a later successful
 // exchange — a read that got through, or an explicit Probe — restores it.
+//
+// Placement is versioned with epochs: each epoch names the member subset
+// eligible for new placements, and advancing the epoch (the first step of a
+// rebalance, drain-to-empty, or repair after an outage) re-hashes every
+// dataset over the new eligible set. While a migration is in flight — the
+// window between AdvanceEpoch and SealEpoch — reads consult the union of the
+// current and the previous epoch's placements, so a run that opened a dataset
+// under the old epoch never loses a replica it was using. The rebalance
+// engine in rebalance.go moves the data; this file keeps the bookkeeping.
 package fabric
 
 import (
@@ -76,7 +85,30 @@ type Config struct {
 	// ClientOptions, when non-nil, supplies extra dpss.ClientOptions for the
 	// named cluster's client (shapers, compression, instrumentation).
 	ClientOptions func(cluster string) []dpss.ClientOption
+	// Epoch, when non-nil, seeds the fabric's placement epoch instead of the
+	// default (version 0, every member eligible). A remote worker resolving a
+	// serialized federation passes the scheduler's epoch state here so both
+	// sides compute identical placements mid-migration.
+	Epoch *EpochState
 }
+
+// EpochState is the serializable snapshot of the fabric's placement epochs:
+// everything another process needs to compute the same placements, including
+// the previous epoch a migration is still draining from.
+type EpochState struct {
+	// Version counts epoch advances; 0 is the birth epoch.
+	Version int
+	// Eligible is the member subset new placements hash over, in
+	// configuration order. Empty means every member.
+	Eligible []string
+	// PrevEligible is the previous epoch's eligible set, non-empty only while
+	// a migration is in flight (between AdvanceEpoch and SealEpoch). Reads
+	// consult the union of both epochs' placements during that window.
+	PrevEligible []string
+}
+
+// Migrating reports whether the state describes an in-flight migration.
+func (e EpochState) Migrating() bool { return len(e.PrevEligible) > 0 }
 
 // member is one cluster plus its client and health record.
 type member struct {
@@ -102,6 +134,14 @@ type Fabric struct {
 
 	mu     sync.Mutex
 	closed bool
+	// epochVersion, eligible and prevEligible are the placement epoch
+	// bookkeeping (see EpochState). eligible is never empty; prevEligible is
+	// nil outside a migration window.
+	epochVersion int
+	eligible     []string
+	prevEligible []string
+	// rebalancing serializes the rebalance engine: one migration at a time.
+	rebalancing bool
 }
 
 // New validates cfg and builds a fabric. No connection is made until first
@@ -135,20 +175,64 @@ func New(cfg Config) (*Fabric, error) {
 		f.members = append(f.members, m)
 		f.byName[cs.Name] = m
 	}
+	f.eligible = f.memberNames()
+	if cfg.Epoch != nil {
+		cur, err := f.validEligible(cfg.Epoch.Eligible)
+		if err != nil {
+			return nil, err
+		}
+		prev, err := f.validEligible(cfg.Epoch.PrevEligible)
+		if err != nil {
+			return nil, err
+		}
+		f.epochVersion = cfg.Epoch.Version
+		if len(cur) > 0 {
+			f.eligible = cur
+		}
+		if cfg.Epoch.Migrating() {
+			f.prevEligible = prev
+		}
+	}
 	return f, nil
 }
 
-// Replication returns the effective replication factor.
-func (f *Fabric) Replication() int { return f.cfg.Replication }
-
-// ClusterNames returns the member names in configuration order.
-func (f *Fabric) ClusterNames() []string {
+// memberNames returns every member name in configuration order.
+func (f *Fabric) memberNames() []string {
 	names := make([]string, len(f.members))
 	for i, m := range f.members {
 		names[i] = m.name
 	}
 	return names
 }
+
+// validEligible checks that every name in the list is a member and returns a
+// copy in configuration order (placement hashes are order-independent, but a
+// canonical order keeps snapshots comparable).
+func (f *Fabric) validEligible(names []string) ([]string, error) {
+	if len(names) == 0 {
+		return nil, nil
+	}
+	set := make(map[string]bool, len(names))
+	for _, n := range names {
+		if _, ok := f.byName[n]; !ok {
+			return nil, fmt.Errorf("%w: %q in epoch eligible set", ErrUnknownCluster, n)
+		}
+		set[n] = true
+	}
+	out := make([]string, 0, len(set))
+	for _, m := range f.members {
+		if set[m.name] {
+			out = append(out, m.name)
+		}
+	}
+	return out, nil
+}
+
+// Replication returns the effective replication factor.
+func (f *Fabric) Replication() int { return f.cfg.Replication }
+
+// ClusterNames returns the member names in configuration order.
+func (f *Fabric) ClusterNames() []string { return f.memberNames() }
 
 // clientFor lazily builds the named member's client.
 func (m *member) clientFor(cfg Config) *dpss.Client {
@@ -176,21 +260,18 @@ func rendezvousScore(dataset, cluster string) uint64 {
 	return h.Sum64()
 }
 
-// Lookup returns every member cluster in the dataset's rendezvous order: the
-// first Replication entries are the dataset's nominal replicas, and the rest
-// are the spill order writes fall back to when a nominal replica is drained
-// or down. Readers walk the same order, so they find spilled copies without
-// coordination. The order depends only on the dataset name and the member
-// names — every process configured with the same federation computes the
-// same list.
-func (f *Fabric) Lookup(dataset string) []string {
+// rendezvousOrder sorts the given cluster names by their rendezvous score for
+// the dataset, highest first. The order depends only on the dataset name and
+// the cluster names — every process hashing the same set computes the same
+// list, which is what lets placement survive serialization to remote workers.
+func rendezvousOrder(dataset string, names []string) []string {
 	type scored struct {
 		name  string
 		score uint64
 	}
-	ss := make([]scored, len(f.members))
-	for i, m := range f.members {
-		ss[i] = scored{m.name, rendezvousScore(dataset, m.name)}
+	ss := make([]scored, len(names))
+	for i, n := range names {
+		ss[i] = scored{n, rendezvousScore(dataset, n)}
 	}
 	sort.Slice(ss, func(i, j int) bool {
 		if ss[i].score != ss[j].score {
@@ -205,26 +286,131 @@ func (f *Fabric) Lookup(dataset string) []string {
 	return out
 }
 
-// Placement returns the clusters a new dataset of this name is written to
-// right now: the first Replication clusters in rendezvous order that are
-// neither drained nor inside their failure backoff. With every cluster
-// demoted it falls back to the nominal head of the rendezvous order rather
-// than refusing to place.
-func (f *Fabric) Placement(dataset string) []string {
-	order := f.Lookup(dataset)
-	out := make([]string, 0, f.cfg.Replication)
+// Lookup returns every member cluster in the dataset's rendezvous order: the
+// spill order reads ultimately fall back to. Placement-relevant subsets (the
+// current epoch's eligible clusters) come first through readSet/Placement;
+// Lookup itself is epoch-independent and covers the whole federation.
+func (f *Fabric) Lookup(dataset string) []string {
+	return rendezvousOrder(dataset, f.memberNames())
+}
+
+// Epoch returns the current placement epoch state.
+func (f *Fabric) Epoch() EpochState {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return EpochState{
+		Version:      f.epochVersion,
+		Eligible:     append([]string(nil), f.eligible...),
+		PrevEligible: append([]string(nil), f.prevEligible...),
+	}
+}
+
+// AdvanceEpoch opens a new placement epoch over the given eligible member
+// subset (nil or empty selects every member). The superseded epoch is kept as
+// the previous epoch until SealEpoch, so in-flight reads keep consulting the
+// placements they opened under. It returns the new state.
+func (f *Fabric) AdvanceEpoch(eligible []string) (EpochState, error) {
+	cur, err := f.validEligible(eligible)
+	if err != nil {
+		return EpochState{}, err
+	}
+	if len(cur) == 0 {
+		cur = f.memberNames()
+	}
+	f.mu.Lock()
+	f.prevEligible = f.eligible
+	f.eligible = cur
+	f.epochVersion++
+	f.mu.Unlock()
+	return f.Epoch(), nil
+}
+
+// SealEpoch ends the migration window: the previous epoch's placements stop
+// being consulted. The rebalance engine calls it once every dataset has been
+// re-replicated onto its current-epoch placement.
+func (f *Fabric) SealEpoch() {
+	f.mu.Lock()
+	f.prevEligible = nil
+	f.mu.Unlock()
+}
+
+// epochSets returns the current and (possibly nil) previous eligible sets.
+func (f *Fabric) epochSets() (cur, prev []string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.eligible, f.prevEligible
+}
+
+// placementOver returns the dataset's placement over one eligible set: the
+// first Replication clusters in the set's rendezvous order that are neither
+// drained nor inside their failure backoff. When an outage inside the epoch
+// leaves fewer than R of them available, the placement spills to available
+// members *outside* the eligible set (federation-wide rendezvous order) — an
+// epoch narrowed for a drain must not strand new data below R while healthy
+// members exist elsewhere — and only then falls back to the nominal head of
+// the eligible order rather than refusing to place.
+func (f *Fabric) placementOver(dataset string, eligible []string) []string {
+	now := time.Now()
+	order := rendezvousOrder(dataset, eligible)
+	r := f.cfg.Replication
+	if r > len(f.members) {
+		r = len(f.members)
+	}
+	out := make([]string, 0, r)
 	for _, name := range order {
-		if len(out) == f.cfg.Replication {
+		if len(out) == r {
 			break
 		}
-		if f.byName[name].available(time.Now()) {
+		if f.byName[name].available(now) {
 			out = append(out, name)
 		}
 	}
-	for _, name := range order { // not enough live clusters: fill nominally
-		if len(out) == f.cfg.Replication {
+	if len(out) < r { // spill beyond the epoch to healthy members
+		for _, name := range f.Lookup(dataset) {
+			if len(out) == r {
+				break
+			}
+			if !contains(order, name) && f.byName[name].available(now) {
+				out = append(out, name)
+			}
+		}
+	}
+	for _, name := range order { // not enough live clusters anywhere: fill nominally
+		if len(out) == r {
 			break
 		}
+		if !contains(out, name) {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// Placement returns the clusters a new dataset of this name is written to
+// right now: the placement over the current epoch's eligible members. Writes
+// always land on the new epoch — that is what drains data off members the
+// epoch excluded.
+func (f *Fabric) Placement(dataset string) []string {
+	cur, _ := f.epochSets()
+	return f.placementOver(dataset, cur)
+}
+
+// readSet returns every member in the dataset's read-priority order: the
+// current epoch's placement first, then — during a migration — the previous
+// epoch's placement (the replicas an in-flight run may still be using), then
+// the rest of the federation as spill. readOrder re-sorts the result by
+// health; this function fixes the placement-priority backbone.
+func (f *Fabric) readSet(dataset string) []string {
+	cur, prev := f.epochSets()
+	out := f.placementOver(dataset, cur)
+	if prev != nil {
+		for _, name := range f.placementOver(dataset, prev) {
+			if !contains(out, name) {
+				out = append(out, name)
+			}
+		}
+	}
+	for _, name := range f.Lookup(dataset) {
 		if !contains(out, name) {
 			out = append(out, name)
 		}
@@ -622,7 +808,17 @@ type DatasetReplicas struct {
 // member's catalog (masters that do not answer are skipped and marked
 // unhealthy), each dataset annotated with the clusters holding it.
 func (f *Fabric) Datasets(ctx context.Context) []DatasetReplicas {
+	out, _ := f.catalogScan(ctx)
+	return out
+}
+
+// catalogScan is Datasets plus the set of members that answered the scan —
+// the rebalance planner restricts copy targets to them, so a freshly dead
+// cluster whose backoff already expired is never chosen to receive data it
+// cannot take.
+func (f *Fabric) catalogScan(ctx context.Context) ([]DatasetReplicas, map[string]bool) {
 	holders := make(map[string][]string)
+	live := make(map[string]bool, len(f.members))
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	for _, m := range f.members {
@@ -642,6 +838,7 @@ func (f *Fabric) Datasets(ctx context.Context) []DatasetReplicas {
 			}
 			f.markSuccess(m)
 			mu.Lock()
+			live[m.name] = true
 			for _, n := range names {
 				holders[n] = append(holders[n], m.name)
 			}
@@ -651,8 +848,8 @@ func (f *Fabric) Datasets(ctx context.Context) []DatasetReplicas {
 	wg.Wait()
 	out := make([]DatasetReplicas, 0, len(holders))
 	for name, clusters := range holders {
-		// Order holders by the dataset's read priority.
-		order := f.Lookup(name)
+		// Order holders by the dataset's read priority (epoch-aware).
+		order := f.readSet(name)
 		sorted := make([]string, 0, len(clusters))
 		for _, c := range order {
 			if contains(clusters, c) {
@@ -662,7 +859,7 @@ func (f *Fabric) Datasets(ctx context.Context) []DatasetReplicas {
 		out = append(out, DatasetReplicas{Name: name, Clusters: sorted})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
-	return out
+	return out, live
 }
 
 // ---------------------------------------------------------------------------
@@ -675,10 +872,6 @@ type File struct {
 	fb   *Fabric
 	name string
 	info dpss.DatasetInfo
-	// order is the dataset's rendezvous order, fixed at Open: it depends only
-	// on the name and the member list, so reads re-classify health but never
-	// re-hash.
-	order []string
 
 	mu    sync.Mutex
 	files map[string]*dpss.File // per-cluster handles, lazily opened
@@ -686,11 +879,14 @@ type File struct {
 
 // Open resolves the dataset against its replicas (first responder wins) and
 // returns a failover-capable handle. Every replica down or ignorant of the
-// dataset yields ErrAllReplicasFailed with the per-cluster detail.
+// dataset yields ErrAllReplicasFailed with the per-cluster detail. The handle
+// is epoch-conscious: each read re-resolves the replica priority against the
+// fabric's current (and, mid-migration, previous) placement epoch, so an
+// epoch advanced after Open neither aborts the handle nor hides the replicas
+// it was reading from.
 func (f *Fabric) Open(ctx context.Context, name string) (*File, error) {
-	lookup := f.Lookup(name)
 	var errs []string
-	for _, m := range f.readOrder(lookup) {
+	for _, m := range f.readOrder(f.readSet(name)) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
@@ -709,7 +905,7 @@ func (f *Fabric) Open(ctx context.Context, name string) (*File, error) {
 			continue
 		}
 		f.markSuccess(m)
-		file := &File{fb: f, name: name, info: df.Info(), order: lookup,
+		file := &File{fb: f, name: name, info: df.Info(),
 			files: map[string]*dpss.File{m.name: df}}
 		return file, nil
 	}
@@ -773,7 +969,10 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 // error is ErrAllReplicasFailed carrying the per-cluster detail — a fully
 // dark dataset reports, it does not hang.
 func (f *File) ReadAtContext(ctx context.Context, p []byte, off int64) (int, error) {
-	order := f.fb.readOrder(f.order)
+	// Re-resolve the replica priority per read: an epoch advance mid-run must
+	// steer this handle to the new placement without invalidating it, and the
+	// migration window keeps the old epoch's replicas in the set.
+	order := f.fb.readOrder(f.fb.readSet(f.name))
 	var errs []string
 	for _, m := range order {
 		if err := ctx.Err(); err != nil {

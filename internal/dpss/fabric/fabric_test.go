@@ -413,6 +413,95 @@ func TestUnknownDatasetAnswerRestoresBackedOffCluster(t *testing.T) {
 	}
 }
 
+// TestReadOrderDemotesDrainedAndBackedOff is the regression contract of the
+// read path's health sort: available clusters first, backed-off ones next,
+// drained last — with Undrain restoring full preference — and a Drain issued
+// mid-read never aborts an already-open File.
+func TestReadOrderDemotesDrainedAndBackedOff(t *testing.T) {
+	fb, _ := startFederation(t, 3, 3, time.Second)
+	ctx := context.Background()
+
+	data := make([]byte, 64*1024)
+	for i := range data {
+		data[i] = byte(i % 199)
+	}
+	if _, err := fb.LoadBytes(ctx, "order.t0000", data, 16*1024); err != nil {
+		t.Fatal(err)
+	}
+	nominal := fb.Lookup("order.t0000")
+
+	names := func(ms []*member) []string {
+		out := make([]string, len(ms))
+		for i, m := range ms {
+			out[i] = m.name
+		}
+		return out
+	}
+
+	// Baseline: all healthy, readOrder preserves the placement order.
+	got := names(fb.readOrder(nominal))
+	for i := range nominal {
+		if got[i] != nominal[i] {
+			t.Fatalf("healthy readOrder = %v, want placement order %v", got, nominal)
+		}
+	}
+
+	// Drain the primary and back off the secondary: the order must become
+	// [third, backed-off second, drained first] — demoted clusters stay in
+	// the list as last resorts, they never vanish.
+	if err := fb.Drain(nominal[0]); err != nil {
+		t.Fatal(err)
+	}
+	fb.markFailure(fb.byName[nominal[1]], errors.New("synthetic outage"))
+	got = names(fb.readOrder(nominal))
+	want := []string{nominal[2], nominal[1], nominal[0]}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("demoted readOrder = %v, want %v", got, want)
+		}
+	}
+
+	// Undrain restores the drained cluster's placement preference (the
+	// backed-off one stays demoted until its window expires or it answers).
+	if err := fb.Undrain(nominal[0]); err != nil {
+		t.Fatal(err)
+	}
+	got = names(fb.readOrder(nominal))
+	want = []string{nominal[0], nominal[2], nominal[1]}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("post-undrain readOrder = %v, want %v", got, want)
+		}
+	}
+	fb.markSuccess(fb.byName[nominal[1]])
+
+	// A Drain landing between two reads of an open File must not abort it:
+	// the handle keeps reading (from the drained replica if it is the only
+	// holder, per last-resort semantics).
+	f, err := fb.Open(ctx, "order.t0000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	buf := make([]byte, 16*1024)
+	if _, err := f.ReadAtContext(ctx, buf, 0); err != nil {
+		t.Fatalf("pre-drain read: %v", err)
+	}
+	for _, c := range fb.ClusterNames() {
+		if err := fb.Drain(c); err != nil { // drain the whole federation
+			t.Fatal(err)
+		}
+	}
+	if _, err := f.ReadAtContext(ctx, buf, 16*1024); err != nil {
+		t.Fatalf("mid-read Drain aborted the open File: %v", err)
+	}
+	for i := range buf {
+		if buf[i] != data[16*1024+i] {
+			t.Fatalf("byte %d read through drained federation = %d, want %d", i, buf[i], data[16*1024+i])
+		}
+	}
+}
+
 func TestCallerCancellationIsNotFailover(t *testing.T) {
 	fb, _ := startFederation(t, 2, 2, 0)
 	bg := context.Background()

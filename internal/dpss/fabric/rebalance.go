@@ -1,0 +1,558 @@
+package fabric
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"visapult/internal/dpss"
+)
+
+// ErrRebalanceActive: a migration is already running on this fabric handle;
+// the engine serializes them because two concurrent epoch advances would
+// leave reads with no consistent previous epoch to fall back to.
+var ErrRebalanceActive = errors.New("fabric: a rebalance is already in progress")
+
+// Rebalance kinds, recorded in reports and surfaced by the admin plane.
+const (
+	// KindRebalance: explicit full migration onto a fresh epoch.
+	KindRebalance = "rebalance"
+	// KindRepair: restore the replication factor of under-replicated datasets.
+	KindRepair = "repair"
+	// KindDrain: drain-to-empty — migrate everything off one member, then
+	// delete its copies.
+	KindDrain = "drain"
+)
+
+// MoveState is the lifecycle of one dataset move.
+type MoveState string
+
+// Move states. A move is one (dataset, target cluster) copy.
+const (
+	MovePending MoveState = "pending"
+	MoveCopying MoveState = "copying"
+	MoveDone    MoveState = "done"
+	MoveFailed  MoveState = "failed"
+)
+
+// DatasetMove is the progress record of copying one dataset onto one target
+// cluster. The engine streams the dataset block-by-block from whichever live
+// holder answers (rotating to the next holder when one fails mid-copy, and
+// resuming at the failed block rather than from zero).
+type DatasetMove struct {
+	// Dataset is the dataset being copied; To the cluster receiving it.
+	Dataset string
+	To      string
+	// From is the holder the bytes are currently streaming from (it can
+	// change mid-move when a holder dies and the copy fails over).
+	From string
+	// Bytes is the dataset size; Copied the bytes landed on To so far.
+	Bytes  int64
+	Copied int64
+	State  MoveState
+	// Error is why the move failed; empty otherwise.
+	Error string
+}
+
+// RebalanceOptions shapes one engine run.
+type RebalanceOptions struct {
+	// OnMove, when non-nil, receives a copy of a move's record every time it
+	// changes: state transitions and per-block progress. It is called
+	// concurrently from the copy goroutines.
+	OnMove func(DatasetMove)
+	// Parallel bounds the number of datasets migrating at once (default 2 —
+	// enough to overlap two cluster links without flooding the federation).
+	Parallel int
+}
+
+// RebalanceReport summarizes one engine run.
+type RebalanceReport struct {
+	// Kind is KindRebalance, KindRepair or KindDrain.
+	Kind string
+	// Epoch is the placement epoch version the run migrated onto.
+	Epoch int
+	// Datasets counts the catalog entries examined; most runs move only a
+	// subset of them.
+	Datasets int
+	// Moves are the final records of every (dataset, target) copy attempted.
+	Moves []DatasetMove
+	// Removed counts the dataset copies deleted off the drained member
+	// (drain-to-empty only).
+	Removed int
+	// Bytes is the total volume migrated; Elapsed the wall-clock time.
+	Bytes   int64
+	Elapsed time.Duration
+}
+
+// Failed counts the moves that did not complete.
+func (r *RebalanceReport) Failed() int {
+	n := 0
+	for _, mv := range r.Moves {
+		if mv.State == MoveFailed {
+			n++
+		}
+	}
+	return n
+}
+
+// RateMBps returns the aggregate migration rate in megabytes per second.
+func (r *RebalanceReport) RateMBps() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Bytes) / (1 << 20) / r.Elapsed.Seconds()
+}
+
+// beginRebalance claims the single engine slot; endRebalance releases it.
+func (f *Fabric) beginRebalance() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.rebalancing {
+		return false
+	}
+	f.rebalancing = true
+	return true
+}
+
+func (f *Fabric) endRebalance() {
+	f.mu.Lock()
+	f.rebalancing = false
+	f.mu.Unlock()
+}
+
+// Rebalancing reports whether an engine run is in flight.
+func (f *Fabric) Rebalancing() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.rebalancing
+}
+
+// undrainedMembers returns the members not administratively drained.
+func (f *Fabric) undrainedMembers() []string {
+	var out []string
+	for _, m := range f.members {
+		m.mu.Lock()
+		drained := m.drained
+		m.mu.Unlock()
+		if !drained {
+			out = append(out, m.name)
+		}
+	}
+	return out
+}
+
+// moveTask is one dataset's migration plan: the live holders to stream from
+// and the placement targets missing a copy.
+type moveTask struct {
+	name    string
+	sources []string
+	targets []string
+}
+
+// planMoves scans the federation catalog and returns one task per dataset
+// whose current-epoch placement is missing copies. With repairOnly set, only
+// datasets below the replication factor are planned (the repair trigger);
+// otherwise every placement gap is (the rebalance/drain triggers).
+func (f *Fabric) planMoves(ctx context.Context, repairOnly bool) ([]moveTask, int) {
+	catalog, live := f.catalogScan(ctx)
+	var tasks []moveTask
+	for _, d := range catalog {
+		placement := f.Placement(d.Name)
+		var missing []string
+		for _, want := range placement {
+			// Only members that answered the scan can receive copies: a dead
+			// cluster resurfacing in the placement (expired backoff) must not
+			// be chosen as a target, or every move to it would fail.
+			if live[want] && !contains(d.Clusters, want) {
+				missing = append(missing, want)
+			}
+		}
+		if len(missing) == 0 {
+			continue
+		}
+		if repairOnly {
+			// Below-R only: a dataset with R live copies parked off its
+			// nominal placement is a rebalance concern, not a repair one.
+			r := f.cfg.Replication
+			if len(placement) < r {
+				r = len(placement)
+			}
+			if len(d.Clusters) >= r {
+				continue
+			}
+			if keep := r - len(d.Clusters); keep < len(missing) {
+				missing = missing[:keep]
+			}
+		}
+		tasks = append(tasks, moveTask{name: d.Name, sources: d.Clusters, targets: missing})
+	}
+	sort.Slice(tasks, func(i, j int) bool { return tasks[i].name < tasks[j].name })
+	return tasks, len(catalog)
+}
+
+// Rebalance migrates the whole federation onto a fresh placement epoch: the
+// epoch advances over the currently undrained members, every dataset whose
+// new placement is missing a copy is streamed block-by-block onto it, and —
+// when every move lands — the epoch is sealed. While the migration runs,
+// reads consult both epochs, so concurrent runs never lose a replica they
+// were using. On partial failure the epoch stays unsealed (the old placements
+// remain readable) and the report carries the per-move errors.
+func (f *Fabric) Rebalance(ctx context.Context, opts RebalanceOptions) (*RebalanceReport, error) {
+	if !f.beginRebalance() {
+		return nil, ErrRebalanceActive
+	}
+	defer f.endRebalance()
+	state, err := f.AdvanceEpoch(f.undrainedMembers())
+	if err != nil {
+		return nil, err
+	}
+	report := &RebalanceReport{Kind: KindRebalance, Epoch: state.Version}
+	if err := f.executePlan(ctx, report, opts, false); err != nil {
+		return report, err
+	}
+	f.SealEpoch()
+	return report, nil
+}
+
+// Repair restores the replication factor of every dataset that lost replicas
+// to a dead cluster: datasets below R are re-replicated from their surviving
+// holders onto healthy members. Placement epochs are untouched — repair fills
+// the availability-aware placement the readers already walk, so the new
+// copies are found without any epoch coordination.
+func (f *Fabric) Repair(ctx context.Context, opts RebalanceOptions) (*RebalanceReport, error) {
+	if !f.beginRebalance() {
+		return nil, ErrRebalanceActive
+	}
+	defer f.endRebalance()
+	report := &RebalanceReport{Kind: KindRepair, Epoch: f.Epoch().Version}
+	return report, f.executePlan(ctx, report, opts, true)
+}
+
+// DrainToEmpty escalates Drain into a full decommission: the member stops
+// taking new placements, the epoch advances without it, every dataset it
+// holds is re-replicated onto the new epoch's placement, and finally its
+// copies are deleted — when it returns without error the drained cluster
+// reports zero datasets. Concurrent readers never error: during the migration
+// they read the union of both epochs, and the deletes only run after every
+// move landed.
+func (f *Fabric) DrainToEmpty(ctx context.Context, cluster string, opts RebalanceOptions) (*RebalanceReport, error) {
+	m, ok := f.byName[cluster]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownCluster, cluster)
+	}
+	if !f.beginRebalance() {
+		return nil, ErrRebalanceActive
+	}
+	defer f.endRebalance()
+	if err := f.Drain(cluster); err != nil {
+		return nil, err
+	}
+	eligible := f.undrainedMembers()
+	if len(eligible) == 0 {
+		return nil, fmt.Errorf("fabric: draining %q would empty the whole federation", cluster)
+	}
+	state, err := f.AdvanceEpoch(eligible)
+	if err != nil {
+		return nil, err
+	}
+	report := &RebalanceReport{Kind: KindDrain, Epoch: state.Version}
+	if err := f.executePlan(ctx, report, opts, false); err != nil {
+		return report, err
+	}
+	// Every planned move landed — but a plan can be vacuously empty (targets
+	// filtered out because the rest of the federation was dark), so deletion
+	// is gated per dataset on a fresh scan proving another live cluster holds
+	// a copy. A copy that cannot be verified elsewhere stays on the drained
+	// member and fails the drain instead of becoming data loss.
+	catalog, _ := f.catalogScan(ctx)
+	elsewhere := make(map[string]bool)
+	for _, d := range catalog {
+		for _, c := range d.Clusters {
+			if c != cluster {
+				elsewhere[d.Name] = true
+			}
+		}
+	}
+	held, err := f.listOn(ctx, m)
+	if err != nil {
+		return report, fmt.Errorf("fabric: listing %q for removal: %w", cluster, err)
+	}
+	var stranded []string
+	for _, name := range held {
+		if err := ctx.Err(); err != nil {
+			return report, err
+		}
+		if !elsewhere[name] {
+			stranded = append(stranded, name)
+			continue
+		}
+		if err := f.removeOn(ctx, m, name); err != nil {
+			return report, fmt.Errorf("fabric: removing %q from %s: %w", name, cluster, err)
+		}
+		report.Removed++
+	}
+	if len(stranded) > 0 {
+		return report, fmt.Errorf("fabric: draining %q: %d datasets have no live copy elsewhere, keeping them: %s",
+			cluster, len(stranded), strings.Join(stranded, ", "))
+	}
+	f.SealEpoch()
+	return report, nil
+}
+
+// executePlan plans and runs the moves, filling the report. It returns the
+// first move error (with every move still attempted) or ctx's error.
+func (f *Fabric) executePlan(ctx context.Context, report *RebalanceReport, opts RebalanceOptions, repairOnly bool) error {
+	start := time.Now()
+	defer func() { report.Elapsed = time.Since(start) }()
+	tasks, examined := f.planMoves(ctx, repairOnly)
+	report.Datasets = examined
+
+	parallel := opts.Parallel
+	if parallel <= 0 {
+		parallel = 2
+	}
+	var (
+		mu       sync.Mutex
+		firstErr error
+	)
+	sem := make(chan struct{}, parallel)
+	var wg sync.WaitGroup
+	for _, task := range tasks {
+		wg.Add(1)
+		go func(task moveTask) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			// One dataset's targets fill sequentially: the second copy can
+			// stream from the first once it lands, and a dataset never
+			// competes with itself for a link.
+			for _, target := range task.targets {
+				mv := f.copyDataset(ctx, task.name, task.sources, target, opts.OnMove)
+				mu.Lock()
+				report.Moves = append(report.Moves, mv)
+				if mv.State == MoveDone {
+					report.Bytes += mv.Copied
+				} else if firstErr == nil {
+					firstErr = fmt.Errorf("fabric: moving %q to %s: %s", mv.Dataset, mv.To, mv.Error)
+				}
+				mu.Unlock()
+			}
+		}(task)
+	}
+	wg.Wait()
+	sort.Slice(report.Moves, func(i, j int) bool {
+		if report.Moves[i].Dataset != report.Moves[j].Dataset {
+			return report.Moves[i].Dataset < report.Moves[j].Dataset
+		}
+		return report.Moves[i].To < report.Moves[j].To
+	})
+	if err := ctx.Err(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}
+
+// copyDataset streams one dataset onto the target cluster, block by block:
+// each block is read from the current source holder (one attempt bounded by
+// the fabric's AttemptTimeout) and written to the target. When a source fails
+// mid-copy the engine rotates to the next holder and resumes at the failed
+// block — the copy never restarts from zero. The returned move records the
+// final state; onMove (when non-nil) observed every step of it.
+func (f *Fabric) copyDataset(ctx context.Context, name string, sources []string, target string, onMove func(DatasetMove)) DatasetMove {
+	mv := DatasetMove{Dataset: name, To: target, State: MovePending}
+	emit := func() {
+		if onMove != nil {
+			onMove(mv)
+		}
+	}
+	fail := func(err error) DatasetMove {
+		mv.State = MoveFailed
+		mv.Error = err.Error()
+		emit()
+		return mv
+	}
+	emit()
+
+	tm, ok := f.byName[target]
+	if !ok {
+		return fail(fmt.Errorf("%w: %q", ErrUnknownCluster, target))
+	}
+	// Open the first answering source holder (the target never doubles as its
+	// own source).
+	var (
+		src     *dpss.File
+		srcMem  *member
+		srcErrs []string
+	)
+	candidates := make([]string, 0, len(sources))
+	for _, s := range sources {
+		if s != target {
+			candidates = append(candidates, s)
+		}
+	}
+	nextSource := 0
+	openNext := func() bool {
+		for nextSource < len(candidates) {
+			m, ok := f.byName[candidates[nextSource]]
+			nextSource++
+			if !ok {
+				continue
+			}
+			df, err := f.openOn(ctx, m, name)
+			if err != nil {
+				if errors.Is(err, dpss.ErrUnknownDataset) {
+					f.markSuccess(m)
+				} else if !errors.Is(err, context.Canceled) {
+					f.markFailure(m, err)
+					m.resetClient()
+				}
+				srcErrs = append(srcErrs, fmt.Sprintf("%s: %v", m.name, err))
+				continue
+			}
+			f.markSuccess(m)
+			src, srcMem = df, m
+			mv.From = m.name
+			return true
+		}
+		return false
+	}
+	if !openNext() {
+		return fail(fmt.Errorf("no live holder: [%s]", strings.Join(srcErrs, "; ")))
+	}
+	info := src.Info()
+	mv.Bytes = info.Size
+
+	// Create on the target — idempotent, so a re-run after a partial failure
+	// resumes into the same dataset rather than erroring out.
+	if _, err := f.createOn(ctx, tm, name, info.Size, info.BlockSize); err != nil && !errors.Is(err, dpss.ErrDatasetExists) {
+		if !errors.Is(err, context.Canceled) {
+			f.markFailure(tm, err)
+			tm.resetClient()
+		}
+		return fail(fmt.Errorf("creating on %s: %v", target, err))
+	}
+	dst, err := f.openOn(ctx, tm, name)
+	if err != nil {
+		if !errors.Is(err, context.Canceled) {
+			f.markFailure(tm, err)
+			tm.resetClient()
+		}
+		return fail(fmt.Errorf("opening on %s: %v", target, err))
+	}
+	defer dst.Close()
+	defer func() {
+		if src != nil {
+			src.Close()
+		}
+	}()
+
+	mv.State = MoveCopying
+	emit()
+	buf := make([]byte, info.BlockSize)
+	var off int64
+	for off < info.Size {
+		if err := ctx.Err(); err != nil {
+			return fail(err)
+		}
+		want := int64(info.BlockSize)
+		if off+want > info.Size {
+			want = info.Size - off
+		}
+		// Read the block from the current source, rotating holders on
+		// failure; the offset does not advance until a holder delivers it.
+		for {
+			actx := ctx
+			cancel := func() {}
+			if f.cfg.AttemptTimeout > 0 {
+				actx, cancel = context.WithTimeout(ctx, f.cfg.AttemptTimeout)
+			}
+			n, rerr := src.ReadAtContext(actx, buf[:want], off)
+			cancel()
+			if (rerr == nil || rerr == io.EOF) && int64(n) == want {
+				f.markSuccess(srcMem)
+				break
+			}
+			if err := ctx.Err(); err != nil { // the caller's own cancellation
+				return fail(err)
+			}
+			if rerr == nil {
+				rerr = fmt.Errorf("short block read: %d of %d bytes", n, want)
+			}
+			f.markFailure(srcMem, rerr)
+			srcMem.resetClient()
+			srcErrs = append(srcErrs, fmt.Sprintf("%s: %v", srcMem.name, rerr))
+			src.Close()
+			src = nil
+			if !openNext() {
+				return fail(fmt.Errorf("block at %d: no holder left: [%s]", off, strings.Join(srcErrs, "; ")))
+			}
+			emit() // mv.From changed
+		}
+		if err := f.writeBlockOn(ctx, tm, dst, buf[:want], off); err != nil {
+			f.markFailure(tm, err)
+			tm.resetClient()
+			return fail(fmt.Errorf("writing block at %d to %s: %v", off, target, err))
+		}
+		off += want
+		mv.Copied = off
+		emit()
+	}
+	f.markSuccess(tm)
+	mv.State = MoveDone
+	emit()
+	return mv
+}
+
+// writeBlockOn writes one block to the target member with the same bound as
+// every other member exchange: a wedged target cluster (accepting socket,
+// frozen process) fails the move within AttemptTimeout instead of pinning
+// the engine — and a pinned engine would hold the single rebalance slot
+// forever, wedging every later Rebalance/Repair/DrainToEmpty.
+func (f *Fabric) writeBlockOn(ctx context.Context, m *member, dst *dpss.File, p []byte, off int64) error {
+	ch := make(chan error, 1)
+	go func() {
+		_, err := dst.WriteAt(p, off)
+		ch <- err
+	}()
+	actx := ctx
+	cancel := func() {}
+	if f.cfg.AttemptTimeout > 0 {
+		actx, cancel = context.WithTimeout(ctx, f.cfg.AttemptTimeout)
+	}
+	defer cancel()
+	select {
+	case err := <-ch:
+		return err
+	case <-actx.Done():
+		m.resetClient() // tears the blocked connection down; the goroutine then finishes
+		<-ch
+		return actx.Err()
+	}
+}
+
+// removeOn deletes one dataset from one member, bounded like every other
+// member exchange so a wedged master cannot pin the drain.
+func (f *Fabric) removeOn(ctx context.Context, m *member, name string) error {
+	client := m.clientFor(f.cfg)
+	ch := make(chan error, 1)
+	go func() { ch <- client.Remove(name) }()
+	actx := ctx
+	cancel := func() {}
+	if f.cfg.AttemptTimeout > 0 {
+		actx, cancel = context.WithTimeout(ctx, f.cfg.AttemptTimeout)
+	}
+	defer cancel()
+	select {
+	case err := <-ch:
+		return err
+	case <-actx.Done():
+		m.resetClient()
+		<-ch
+		return actx.Err()
+	}
+}

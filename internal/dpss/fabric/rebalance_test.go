@@ -1,0 +1,501 @@
+package fabric
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"visapult/internal/dpss"
+)
+
+// stageSeries stages a few small datasets and returns their names and the
+// staged payload (identical for all of them, varied by first byte).
+func stageSeries(t *testing.T, fb *Fabric, base string, n int) ([]string, [][]byte) {
+	t.Helper()
+	ctx := context.Background()
+	names := make([]string, n)
+	payloads := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		data := make([]byte, 48*1024)
+		for j := range data {
+			data[j] = byte((j + i*7) % 251)
+		}
+		names[i] = dpss.TimestepDatasetName(base, i)
+		payloads[i] = data
+		if _, err := fb.LoadBytes(ctx, names[i], data, 16*1024); err != nil {
+			t.Fatalf("staging %s: %v", names[i], err)
+		}
+	}
+	return names, payloads
+}
+
+// holdersOf returns the clusters of the federation catalog holding name.
+func holdersOf(t *testing.T, fb *Fabric, name string) []string {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for _, d := range fb.Datasets(ctx) {
+		if d.Name == name {
+			return d.Clusters
+		}
+	}
+	return nil
+}
+
+func TestEpochAdvanceRedirectsPlacementAndKeepsReadsAlive(t *testing.T) {
+	fb, _ := startFederation(t, 3, 2, time.Second)
+	ctx := context.Background()
+	names, payloads := stageSeries(t, fb, "epoch", 2)
+
+	// Open a handle under the birth epoch.
+	f, err := fb.Open(ctx, names[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	oldPlacement := fb.Placement(names[0])
+	// Advance the epoch without the dataset's primary: new placements must
+	// avoid it, but the open handle (and fresh opens) must keep reading the
+	// old replicas through the migration window.
+	var eligible []string
+	for _, c := range fb.ClusterNames() {
+		if c != oldPlacement[0] {
+			eligible = append(eligible, c)
+		}
+	}
+	state, err := fb.AdvanceEpoch(eligible)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if state.Version != 1 || !state.Migrating() {
+		t.Fatalf("epoch after advance = %+v, want version 1 mid-migration", state)
+	}
+	for _, c := range fb.Placement(names[0]) {
+		if c == oldPlacement[0] {
+			t.Fatalf("new-epoch placement %v still uses excluded cluster %s", fb.Placement(names[0]), oldPlacement[0])
+		}
+	}
+
+	got := make([]byte, len(payloads[0]))
+	if _, err := f.ReadAtContext(ctx, got, 0); err != nil {
+		t.Fatalf("read through open handle mid-migration: %v", err)
+	}
+	f2, err := fb.Open(ctx, names[1])
+	if err != nil {
+		t.Fatalf("fresh open mid-migration: %v", err)
+	}
+	f2.Close()
+
+	fb.SealEpoch()
+	if e := fb.Epoch(); e.Migrating() {
+		t.Fatalf("epoch still migrating after seal: %+v", e)
+	}
+
+	// Epoch state round-trips through Config: a second fabric seeded with the
+	// serialized state computes identical placements (the remote-worker
+	// contract).
+	var specs []ClusterSpec
+	for _, c := range fb.ClusterNames() {
+		specs = append(specs, ClusterSpec{Name: c, Master: "127.0.0.1:1"})
+	}
+	st := fb.Epoch()
+	fb2, err := New(Config{Clusters: specs, Replication: 2, Epoch: &st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fb2.Close()
+	for i := 0; i < 16; i++ {
+		name := dpss.TimestepDatasetName("agree", i)
+		p1, p2 := fb.Placement(name), fb2.Placement(name)
+		if fmt.Sprint(p1) != fmt.Sprint(p2) {
+			t.Fatalf("placement disagrees across serialized epoch: %v vs %v", p1, p2)
+		}
+	}
+
+	if _, err := fb.AdvanceEpoch([]string{"not-a-member"}); !errors.Is(err, ErrUnknownCluster) {
+		t.Fatalf("AdvanceEpoch(bogus) = %v, want ErrUnknownCluster", err)
+	}
+}
+
+func TestRebalanceMigratesOntoNewEpoch(t *testing.T) {
+	fb, _ := startFederation(t, 3, 2, time.Second)
+	names, payloads := stageSeries(t, fb, "rebal", 4)
+
+	// Administratively drain c0, then rebalance: every dataset must end up
+	// fully placed on the remaining members, with per-move progress reported.
+	if err := fb.Drain("c0"); err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var sawCopying, sawDone bool
+	report, err := fb.Rebalance(context.Background(), RebalanceOptions{
+		OnMove: func(mv DatasetMove) {
+			mu.Lock()
+			defer mu.Unlock()
+			switch mv.State {
+			case MoveCopying:
+				sawCopying = true
+			case MoveDone:
+				sawDone = true
+				if mv.Copied != mv.Bytes || mv.Bytes == 0 {
+					t.Errorf("done move %+v has copied %d of %d bytes", mv, mv.Copied, mv.Bytes)
+				}
+			}
+		},
+	})
+	if err != nil {
+		t.Fatalf("Rebalance: %v", err)
+	}
+	if report.Kind != KindRebalance || report.Epoch != 1 {
+		t.Fatalf("report = %+v, want kind rebalance on epoch 1", report)
+	}
+	if e := fb.Epoch(); e.Migrating() {
+		t.Fatalf("epoch not sealed after successful rebalance: %+v", e)
+	}
+	// Some dataset's placement must have shifted off c0 — and all of them
+	// must now hold full current-epoch placements.
+	for _, name := range names {
+		placement := fb.Placement(name)
+		holders := holdersOf(t, fb, name)
+		for _, want := range placement {
+			if !contains(holders, want) {
+				t.Fatalf("%s placement %v not covered by holders %v after rebalance", name, placement, holders)
+			}
+			if want == "c0" {
+				t.Fatalf("%s placed on drained c0 after rebalance", name)
+			}
+		}
+	}
+	// Moves actually moved data, and it reads back intact everywhere.
+	moved := false
+	for _, mv := range report.Moves {
+		if mv.State == MoveDone {
+			moved = true
+		}
+	}
+	if !moved || !sawCopying || !sawDone {
+		t.Fatalf("no completed moves observed: report %+v (copying %v done %v)", report.Moves, sawCopying, sawDone)
+	}
+	ctx := context.Background()
+	for i, name := range names {
+		f, err := fb.Open(ctx, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, len(payloads[i]))
+		if _, err := f.ReadAtContext(ctx, got, 0); err != nil {
+			t.Fatalf("reading %s after rebalance: %v", name, err)
+		}
+		f.Close()
+		for j := range got {
+			if got[j] != payloads[i][j] {
+				t.Fatalf("%s byte %d = %d, want %d after rebalance", name, j, got[j], payloads[i][j])
+			}
+		}
+	}
+}
+
+func TestRepairRestoresReplicationFactor(t *testing.T) {
+	fb, clusters := startFederation(t, 3, 2, 500*time.Millisecond)
+	names, payloads := stageSeries(t, fb, "repair", 4)
+
+	// Kill c0 outright: every dataset it replicated is now below R.
+	clusters[0].Close()
+	degraded := 0
+	for _, name := range names {
+		if len(holdersOf(t, fb, name)) < 2 {
+			degraded++
+		}
+	}
+	if degraded == 0 {
+		t.Fatal("killing c0 degraded nothing; placement never used it?")
+	}
+
+	report, err := fb.Repair(context.Background(), RebalanceOptions{})
+	if err != nil {
+		t.Fatalf("Repair: %v", err)
+	}
+	if report.Kind != KindRepair {
+		t.Fatalf("report kind = %q, want repair", report.Kind)
+	}
+	// Repair never advances the epoch.
+	if e := fb.Epoch(); e.Version != 0 || e.Migrating() {
+		t.Fatalf("repair moved the epoch: %+v", e)
+	}
+	ctx := context.Background()
+	for i, name := range names {
+		holders := holdersOf(t, fb, name)
+		if len(holders) < 2 {
+			t.Fatalf("%s has %d live replicas after repair, want 2 (holders %v)", name, len(holders), holders)
+		}
+		f, err := fb.Open(ctx, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, len(payloads[i]))
+		if _, err := f.ReadAtContext(ctx, got, 0); err != nil {
+			t.Fatalf("reading %s after repair: %v", name, err)
+		}
+		f.Close()
+	}
+}
+
+func TestDrainToEmptyLeavesZeroDatasetsAndReadersAlive(t *testing.T) {
+	fb, clusters := startFederation(t, 3, 2, time.Second)
+	names, payloads := stageSeries(t, fb, "empty", 4)
+
+	// A reader hammers the series concurrently with the drain; it must never
+	// see an error.
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	readErr := make(chan error, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		buf := make([]byte, len(payloads[0]))
+		for i := 0; ctx.Err() == nil; i++ {
+			name := names[i%len(names)]
+			f, err := fb.Open(context.Background(), name)
+			if err != nil {
+				readErr <- fmt.Errorf("open %s: %w", name, err)
+				return
+			}
+			_, err = f.ReadAtContext(context.Background(), buf, 0)
+			f.Close()
+			if err != nil {
+				readErr <- fmt.Errorf("read %s: %w", name, err)
+				return
+			}
+		}
+	}()
+
+	report, err := fb.DrainToEmpty(context.Background(), "c1", RebalanceOptions{})
+	cancel()
+	wg.Wait()
+	select {
+	case err := <-readErr:
+		t.Fatalf("concurrent reader failed during drain-to-empty: %v", err)
+	default:
+	}
+	if err != nil {
+		t.Fatalf("DrainToEmpty: %v", err)
+	}
+	if report.Kind != KindDrain {
+		t.Fatalf("report kind = %q, want drain", report.Kind)
+	}
+
+	// The drained cluster holds nothing.
+	var c1 *dpss.Cluster
+	for i, cl := range clusters {
+		if fmt.Sprintf("c%d", i) == "c1" {
+			c1 = cl
+		}
+	}
+	if held := c1.Master.Datasets(); len(held) != 0 {
+		t.Fatalf("drained cluster still catalogs %v, want none", held)
+	}
+	if report.Removed == 0 {
+		t.Fatalf("report.Removed = 0; drain removed nothing (report %+v)", report)
+	}
+	// Its block servers evicted the data too, not just the catalog entries.
+	if blocks := c1.Servers[0].Stats().BlocksStored + c1.Servers[1].Stats().BlocksStored; blocks != 0 {
+		t.Fatalf("drained cluster still stores %d blocks", blocks)
+	}
+	// Everything still reads back intact, and placements avoid c1.
+	for i, name := range names {
+		for _, c := range fb.Placement(name) {
+			if c == "c1" {
+				t.Fatalf("%s still placed on drained c1", name)
+			}
+		}
+		f, err := fb.Open(context.Background(), name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, len(payloads[i]))
+		if _, err := f.ReadAtContext(context.Background(), got, 0); err != nil {
+			t.Fatalf("reading %s after drain-to-empty: %v", name, err)
+		}
+		f.Close()
+		for j := range got {
+			if got[j] != payloads[i][j] {
+				t.Fatalf("%s byte %d corrupted after drain-to-empty", name, j)
+			}
+		}
+	}
+	if e := fb.Epoch(); e.Version != 1 || e.Migrating() {
+		t.Fatalf("epoch after drain-to-empty = %+v, want sealed version 1", e)
+	}
+}
+
+func TestRebalanceSerializedPerFabric(t *testing.T) {
+	fb, _ := startFederation(t, 2, 2, time.Second)
+	stageSeries(t, fb, "serial", 1)
+	if !fb.beginRebalance() {
+		t.Fatal("could not claim the engine slot")
+	}
+	if _, err := fb.Repair(context.Background(), RebalanceOptions{}); !errors.Is(err, ErrRebalanceActive) {
+		t.Fatalf("Repair while engine busy = %v, want ErrRebalanceActive", err)
+	}
+	fb.endRebalance()
+	if _, err := fb.Repair(context.Background(), RebalanceOptions{}); err != nil {
+		t.Fatalf("Repair after release: %v", err)
+	}
+}
+
+// TestCopyDatasetFailsOverMidCopy kills the source cluster mid-copy; the move
+// must resume from the surviving holder at the failed block, not restart or
+// fail.
+func TestCopyDatasetFailsOverMidCopy(t *testing.T) {
+	fb, clusters := startFederation(t, 3, 2, 300*time.Millisecond)
+	ctx := context.Background()
+	data := make([]byte, 128*1024)
+	for i := range data {
+		data[i] = byte(i % 241)
+	}
+	if _, err := fb.LoadBytes(ctx, "mid.t0000", data, 8*1024); err != nil {
+		t.Fatal(err)
+	}
+	holders := holdersOf(t, fb, "mid.t0000")
+	if len(holders) != 2 {
+		t.Fatalf("holders = %v, want 2", holders)
+	}
+	var target string
+	for _, c := range fb.ClusterNames() {
+		if !contains(holders, c) {
+			target = c
+		}
+	}
+
+	// Kill the preferred source after the first block lands, so the copy
+	// fails over to the second holder partway through.
+	var once sync.Once
+	killed := make(chan string, 1)
+	mv := fb.copyDataset(ctx, "mid.t0000", holders, target, func(mv DatasetMove) {
+		if mv.State == MoveCopying && mv.Copied > 0 {
+			once.Do(func() {
+				for i := range clusters {
+					if fmt.Sprintf("c%d", i) == mv.From {
+						clusters[i].Close()
+						killed <- mv.From
+					}
+				}
+			})
+		}
+	})
+	if mv.State != MoveDone {
+		t.Fatalf("move = %+v, want done after mid-copy source kill", mv)
+	}
+	select {
+	case from := <-killed:
+		if mv.From == from {
+			t.Fatalf("move still reports dead source %s after failover", from)
+		}
+	default:
+		t.Fatal("kill hook never fired")
+	}
+	if mv.Copied != int64(len(data)) {
+		t.Fatalf("copied %d bytes, want %d", mv.Copied, len(data))
+	}
+	// The target's copy is complete and intact: read it via a direct client.
+	var tcl *dpss.Cluster
+	for i := range clusters {
+		if fmt.Sprintf("c%d", i) == target {
+			tcl = clusters[i]
+		}
+	}
+	client := tcl.NewClient()
+	defer client.Close()
+	f, err := client.Open("mid.t0000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if _, err := f.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != data[i] {
+			t.Fatalf("byte %d = %d, want %d on migration target", i, got[i], data[i])
+		}
+	}
+}
+
+// TestRepairSpillsBeyondNarrowedEpoch is the regression for the live
+// scenario that motivated placement spill: after a drain-to-empty narrows
+// the epoch to [a, b], the drained member is undrained and b dies — repair
+// must restore R by spilling onto the healthy member outside the epoch's
+// eligible set, not report "nothing to do" while every dataset sits at one
+// replica.
+func TestRepairSpillsBeyondNarrowedEpoch(t *testing.T) {
+	fb, clusters := startFederation(t, 3, 2, 500*time.Millisecond)
+	names, _ := stageSeries(t, fb, "spill", 3)
+
+	if _, err := fb.DrainToEmpty(context.Background(), "c2", RebalanceOptions{}); err != nil {
+		t.Fatalf("DrainToEmpty: %v", err)
+	}
+	if err := fb.Undrain("c2"); err != nil {
+		t.Fatal(err)
+	}
+	// Kill one of the two remaining epoch members: every dataset drops to a
+	// single live replica, and the only healthy target is outside the epoch.
+	clusters[1].Close()
+
+	if _, err := fb.Repair(context.Background(), RebalanceOptions{}); err != nil {
+		t.Fatalf("Repair: %v", err)
+	}
+	for _, name := range names {
+		holders := holdersOf(t, fb, name)
+		if len(holders) < 2 {
+			t.Fatalf("%s has %d live replicas after spill repair, want 2 (holders %v)", name, len(holders), holders)
+		}
+		if !contains(holders, "c2") && !contains(holders, "c0") {
+			t.Fatalf("%s holders %v never spilled to a healthy member", name, holders)
+		}
+	}
+}
+
+// TestDrainToEmptyRefusesToDeleteLastCopy is the data-loss regression: when
+// the rest of the federation is dark, the move plan is vacuously empty — the
+// drain must then refuse to delete the member's copies rather than report a
+// "successful" drain that destroyed the only replica.
+func TestDrainToEmptyRefusesToDeleteLastCopy(t *testing.T) {
+	fb, clusters := startFederation(t, 2, 1, 300*time.Millisecond)
+	ctx := context.Background()
+	data := make([]byte, 32*1024)
+	if _, err := fb.LoadBytes(ctx, "last.t0000", data, 8*1024); err != nil {
+		t.Fatal(err)
+	}
+	holder := holdersOf(t, fb, "last.t0000")[0]
+	// Kill the only other cluster, then try to drain the holder to empty.
+	var holderCluster *dpss.Cluster
+	for i, cl := range clusters {
+		if fmt.Sprintf("c%d", i) == holder {
+			holderCluster = cl
+		} else {
+			cl.Close()
+		}
+	}
+	report, err := fb.DrainToEmpty(ctx, holder, RebalanceOptions{})
+	if err == nil {
+		t.Fatalf("DrainToEmpty of the last live copy succeeded: %+v", report)
+	}
+	if report != nil && report.Removed != 0 {
+		t.Fatalf("drain removed %d copies despite having nowhere to put them", report.Removed)
+	}
+	// The only copy survives.
+	if held := holderCluster.Master.Datasets(); len(held) != 1 || held[0] != "last.t0000" {
+		t.Fatalf("holder catalogs %v after refused drain, want the surviving copy", held)
+	}
+	// The member stays drained, but its data is intact and still readable as
+	// the last resort.
+	f, err := fb.Open(ctx, "last.t0000")
+	if err != nil {
+		t.Fatalf("open after refused drain: %v", err)
+	}
+	f.Close()
+}

@@ -245,6 +245,10 @@ func (m *Master) serveConn(conn net.Conn) {
 			d := &decoder{buf: payload}
 			m.RegisterServer(d.str())
 			writeFrame(conn, msgOK, nil) //nolint:errcheck
+		case msgRemove:
+			d := &decoder{buf: payload}
+			m.RemoveDataset(d.str())
+			writeFrame(conn, msgOK, nil) //nolint:errcheck
 		case msgList:
 			names := m.Datasets()
 			e := &encoder{}

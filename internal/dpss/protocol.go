@@ -39,10 +39,13 @@ const (
 	msgStat     = byte(3) // dataset metadata request
 	msgRegister = byte(4) // block server announces itself: payload = its address
 	msgList     = byte(5) // catalog listing: response = count + dataset names
+	msgRemove   = byte(6) // drop a dataset from the catalog: payload = name (idempotent)
 
 	// Client/loader -> block server.
-	msgReadBlock  = byte(10) // payload = dataset name + logical block id
-	msgWriteBlock = byte(11) // payload = dataset name + logical block id + data
+	msgReadBlock   = byte(10) // payload = dataset name + logical block id
+	msgWriteBlock  = byte(11) // payload = dataset name + logical block id + data
+	msgDropDataset = byte(13) // evict a dataset's blocks: payload = dataset name; response = evicted count
+	// (12 is msgReadBlockZ, the compressed read; see compress.go.)
 
 	// Responses.
 	msgOK    = byte(20)

@@ -168,6 +168,8 @@ func (s *BlockServer) serveConn(conn net.Conn) {
 			s.handleReadCompressed(out, payload)
 		case msgWriteBlock:
 			s.handleWrite(out, payload)
+		case msgDropDataset:
+			s.handleDrop(out, payload)
 		default:
 			s.replyError(out, fmt.Errorf("%w: unexpected message %d", ErrProtocol, msgType))
 		}
@@ -211,6 +213,22 @@ func (s *BlockServer) handleWrite(out net.Conn, payload []byte) {
 	s.stored += int64(len(data))
 	s.mu.Unlock()
 	writeFrame(out, msgOK, nil) //nolint:errcheck
+}
+
+// handleDrop serves a msgDropDataset request: every block of the dataset is
+// evicted from the server's disks (the cache-eviction half of a dataset
+// removal; the master's catalog entry goes separately via msgRemove).
+func (s *BlockServer) handleDrop(out net.Conn, payload []byte) {
+	d := &decoder{buf: payload}
+	dataset := d.str()
+	if d.err != nil {
+		s.replyError(out, d.err)
+		return
+	}
+	dropped := s.DropDataset(dataset)
+	e := &encoder{}
+	e.u32(uint32(dropped))
+	writeFrame(out, msgOK, e.buf) //nolint:errcheck
 }
 
 func (s *BlockServer) replyError(out net.Conn, err error) {

@@ -93,6 +93,10 @@ func (r WarmReport) RateMBps() float64 { return stats.MBps(r.Bytes, r.Elapsed) }
 // replica down) are reported per replica but do not abort the run. The
 // returned report covers every file attempted before ctx fired or a file
 // failed outright.
+//
+// Warming is epoch-conscious through the fabric's placement: each file's
+// replicas land on the current placement epoch, so a warm running during a
+// drain or rebalance stages onto the new members, never the departing one.
 func WarmFabric(ctx context.Context, a *Archive, fb *fabric.Fabric, names []string, cfg WarmConfig) (*WarmReport, error) {
 	if cfg.WarmAhead <= 0 {
 		cfg.WarmAhead = 2

@@ -106,6 +106,36 @@ func StartFabric(tb testing.TB, cfg FabricConfig) *FabricHarness {
 	return fh
 }
 
+// DatasetsOn returns the dataset names cluster i's master currently
+// catalogs — the lever drain-to-empty tests use to prove a drained member
+// really ended up holding nothing.
+func (fh *FabricHarness) DatasetsOn(i int) []string {
+	fh.tb.Helper()
+	if i < 0 || i >= len(fh.Clusters) {
+		fh.tb.Fatalf("testutil: no fabric cluster %d", i)
+	}
+	return fh.Clusters[i].Master.Datasets()
+}
+
+// LiveReplicas returns how many live clusters hold the named dataset right
+// now (killed clusters do not answer and are not counted) — the lever repair
+// tests use to prove the replication factor was restored.
+func (fh *FabricHarness) LiveReplicas(name string) int {
+	fh.tb.Helper()
+	n := 0
+	for i := range fh.Clusters {
+		if fh.killed[i] {
+			continue
+		}
+		for _, d := range fh.DatasetsOn(i) {
+			if d == name {
+				n++
+			}
+		}
+	}
+	return n
+}
+
 // KillCluster shuts cluster i down — master and every block server — the
 // mid-run failure the federation exists to survive. Idempotent.
 func (fh *FabricHarness) KillCluster(i int) {

@@ -1,0 +1,153 @@
+package testutil
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"visapult/internal/backend"
+	"visapult/internal/dpss"
+	"visapult/internal/dpss/fabric"
+)
+
+// TestRepairRestoresReplicationWhileRunCompletes is the PR's acceptance
+// scenario: with R=2 over 3 clusters, an entire cluster is killed mid-run and
+// replica repair runs concurrently with the pipeline. The run must complete
+// with zero failed frames (failover covers the gap) and, by the time repair
+// returns, every dataset must be back at 2 live replicas.
+func TestRepairRestoresReplicationWhileRunCompletes(t *testing.T) {
+	fh := StartFabric(t, FabricConfig{Clusters: 3, Replication: 2, AttemptTimeout: 400 * time.Millisecond})
+	const (
+		nx, ny, nz = 16, 8, 8
+		steps      = 6
+		pes        = 2
+	)
+	stageTimesteps(t, fh, "heal", nx, ny, nz, steps)
+
+	src, err := backend.NewFabricSource(fh.Fabric, "heal", nx, ny, nz, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+
+	repairDone := make(chan error, 1)
+	var once sync.Once
+	be, err := backend.New(backend.Config{
+		PEs: pes, Timesteps: steps, Source: src,
+		Sinks: []backend.FrameSink{&backend.NullSink{}},
+		OnFrame: func(fs backend.FrameStats) {
+			// First frame out: kill a whole cluster, then repair while the
+			// run keeps streaming.
+			once.Do(func() {
+				fh.KillCluster(0)
+				go func() {
+					_, err := fh.Fabric.Repair(context.Background(), fabric.RebalanceOptions{})
+					repairDone <- err
+				}()
+			})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := be.Run(context.Background())
+	if err != nil {
+		t.Fatalf("run with mid-run cluster kill + repair failed: %v", err)
+	}
+	if stats.Frames != steps {
+		t.Fatalf("completed %d frames, want %d", stats.Frames, steps)
+	}
+
+	select {
+	case err := <-repairDone:
+		if err != nil {
+			t.Fatalf("Repair: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("repair never finished")
+	}
+	// Every dataset is back at full replication on the two surviving
+	// clusters.
+	for ts := 0; ts < steps; ts++ {
+		name := dpss.TimestepDatasetName("heal", ts)
+		if got := fh.LiveReplicas(name); got != 2 {
+			t.Fatalf("%s has %d live replicas after repair, want 2", name, got)
+		}
+	}
+}
+
+// TestDrainToEmptyDuringRun drains a member to empty while a pipeline is
+// streaming from the fabric: the run completes with zero failed frames, the
+// drained cluster ends up cataloging nothing, and the data it held lives on
+// at full replication on the remaining members.
+func TestDrainToEmptyDuringRun(t *testing.T) {
+	fh := StartFabric(t, FabricConfig{Clusters: 3, Replication: 2, AttemptTimeout: 400 * time.Millisecond})
+	const (
+		nx, ny, nz = 16, 8, 8
+		steps      = 6
+		pes        = 2
+	)
+	stageTimesteps(t, fh, "migrate", nx, ny, nz, steps)
+
+	src, err := backend.NewFabricSource(fh.Fabric, "migrate", nx, ny, nz, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+
+	drainDone := make(chan error, 1)
+	var once sync.Once
+	be, err := backend.New(backend.Config{
+		PEs: pes, Timesteps: steps, Source: src,
+		Sinks: []backend.FrameSink{&backend.NullSink{}},
+		OnFrame: func(fs backend.FrameStats) {
+			once.Do(func() {
+				go func() {
+					_, err := fh.Fabric.DrainToEmpty(context.Background(), fh.Names[1], fabric.RebalanceOptions{})
+					drainDone <- err
+				}()
+			})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := be.Run(context.Background())
+	if err != nil {
+		t.Fatalf("run with concurrent drain-to-empty failed: %v", err)
+	}
+	if stats.Frames != steps {
+		t.Fatalf("completed %d frames, want %d", stats.Frames, steps)
+	}
+	select {
+	case err := <-drainDone:
+		if err != nil {
+			t.Fatalf("DrainToEmpty: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("drain-to-empty never finished")
+	}
+
+	if held := fh.DatasetsOn(1); len(held) != 0 {
+		t.Fatalf("drained cluster still catalogs %v, want none", held)
+	}
+	for ts := 0; ts < steps; ts++ {
+		name := dpss.TimestepDatasetName("migrate", ts)
+		if got := fh.LiveReplicas(name); got != 2 {
+			t.Fatalf("%s has %d live replicas after drain-to-empty, want 2", name, got)
+		}
+	}
+	// And the series still reads end to end through the fabric.
+	for ts := 0; ts < steps; ts++ {
+		name := dpss.TimestepDatasetName("migrate", ts)
+		f, err := fh.Fabric.Open(context.Background(), name)
+		if err != nil {
+			t.Fatalf("open %s after drain: %v", name, err)
+		}
+		if _, err := f.ReadAtContext(context.Background(), make([]byte, 512), 0); err != nil {
+			t.Fatalf("read %s after drain: %v", name, err)
+		}
+		f.Close()
+	}
+}

@@ -102,6 +102,20 @@ type FabricClusterHealth = fabric.ClusterHealth
 // FabricDatasetReplicas describes one dataset's replica presence.
 type FabricDatasetReplicas = fabric.DatasetReplicas
 
+// FabricEpochState is the serializable placement-epoch snapshot (see
+// Fabric.Epoch, Fabric.AdvanceEpoch, Fabric.SealEpoch).
+type FabricEpochState = fabric.EpochState
+
+// RebalanceOptions shapes one rebalance-engine run; RebalanceReport
+// summarizes it; DatasetMove is one live (dataset, target) copy record. The
+// engine itself is driven through Fabric.Rebalance, Fabric.Repair and
+// Fabric.DrainToEmpty.
+type (
+	RebalanceOptions = fabric.RebalanceOptions
+	RebalanceReport  = fabric.RebalanceReport
+	DatasetMove      = fabric.DatasetMove
+)
+
 // NewFabric builds a federation handle; no connection is made until use.
 var NewFabric = fabric.New
 

@@ -29,6 +29,23 @@ type FabricHealth = fabric.ClusterHealth
 // federation, replicas in read-priority order.
 type FabricDatasetReplicas = fabric.DatasetReplicas
 
+// FabricEpoch is the serializable placement-epoch state: the member subset
+// new placements hash over, plus — mid-migration — the previous epoch reads
+// still consult. See Fabric.Epoch / Fabric.AdvanceEpoch.
+type FabricEpoch = fabric.EpochState
+
+// FabricRebalanceOptions shapes one rebalance-engine run (progress callback,
+// migration parallelism).
+type FabricRebalanceOptions = fabric.RebalanceOptions
+
+// FabricRebalanceReport summarizes one rebalance-engine run: the moves, the
+// bytes migrated, the epoch migrated onto.
+type FabricRebalanceReport = fabric.RebalanceReport
+
+// FabricDatasetMove is the live progress record of copying one dataset onto
+// one target cluster during a rebalance, repair or drain-to-empty.
+type FabricDatasetMove = fabric.DatasetMove
+
 // NewFabric validates the config and builds a federation handle. No
 // connection is made until first use.
 var NewFabric = fabric.New
@@ -59,12 +76,32 @@ type FabricSpec struct {
 	// AttemptTimeoutMs bounds one read attempt against one replica before
 	// failing over (0 = no bound).
 	AttemptTimeoutMs int `json:"attemptTimeoutMs,omitempty"`
+	// Epoch, when non-nil, seeds the resolved fabric's placement epoch. A
+	// scheduler mid-rebalance stamps its own epoch state here (see
+	// Fabric.Epoch), so a remote worker resolving the spec computes the same
+	// placements — including the previous-epoch replicas a migration is still
+	// draining from. Nil selects the birth epoch over every member.
+	Epoch *FabricEpochSpec `json:"epoch,omitempty"`
 }
 
 // FabricClusterSpec is the serializable form of one member cluster.
 type FabricClusterSpec struct {
 	Name   string `json:"name"`
 	Master string `json:"master"`
+}
+
+// FabricEpochSpec is the JSON form of a placement epoch (FabricEpoch).
+type FabricEpochSpec struct {
+	Version      int      `json:"version"`
+	Eligible     []string `json:"eligible,omitempty"`
+	PrevEligible []string `json:"prevEligible,omitempty"`
+}
+
+// FabricEpochSpecOf captures a live fabric's current epoch in spec form, for
+// stamping into the RunSpecs shipped to remote workers.
+func FabricEpochSpecOf(fb *Fabric) *FabricEpochSpec {
+	e := fb.Epoch()
+	return &FabricEpochSpec{Version: e.Version, Eligible: e.Eligible, PrevEligible: e.PrevEligible}
 }
 
 // Build constructs the federation handle the spec describes. replication >
@@ -76,6 +113,13 @@ func (s *FabricSpec) Build(replication int) (*Fabric, error) {
 	cfg := FabricConfig{
 		Replication:    s.Replication,
 		AttemptTimeout: time.Duration(s.AttemptTimeoutMs) * time.Millisecond,
+	}
+	if s.Epoch != nil {
+		cfg.Epoch = &FabricEpoch{
+			Version:      s.Epoch.Version,
+			Eligible:     s.Epoch.Eligible,
+			PrevEligible: s.Epoch.PrevEligible,
+		}
 	}
 	if replication > 0 {
 		cfg.Replication = replication

@@ -182,3 +182,54 @@ func TestWithReplicationOverridesSpecFabric(t *testing.T) {
 		t.Fatalf("Run: %v", err)
 	}
 }
+
+// TestFabricSpecEpochRoundTrip pins the epoch-aware remote-placement
+// contract: a fabric mid-migration serializes its epoch into the spec, the
+// spec survives JSON (the dispatch wire), and a fabric rebuilt from it
+// computes identical placements — including consulting the previous epoch.
+func TestFabricSpecEpochRoundTrip(t *testing.T) {
+	specs, fb := startFacadeFederation(t, 3)
+
+	// Advance the live fabric onto an epoch without site0, mid-migration.
+	var eligible []string
+	for _, cs := range specs[1:] {
+		eligible = append(eligible, cs.Name)
+	}
+	if _, err := fb.AdvanceEpoch(eligible); err != nil {
+		t.Fatal(err)
+	}
+
+	spec := visapult.FabricSpec{Clusters: specs, Replication: 2, Epoch: visapult.FabricEpochSpecOf(fb)}
+	raw, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"epoch"`) || !strings.Contains(string(raw), `"prevEligible"`) {
+		t.Fatalf("serialized spec lacks epoch state: %s", raw)
+	}
+	var decoded visapult.FabricSpec
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	remote, err := decoded.Build(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+
+	if got, want := remote.Epoch(), fb.Epoch(); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("rebuilt epoch = %+v, want %+v", got, want)
+	}
+	for i := 0; i < 32; i++ {
+		name := fmt.Sprintf("combustion.t%04d", i)
+		local, remotePlacement := fb.Placement(name), remote.Placement(name)
+		if fmt.Sprint(local) != fmt.Sprint(remotePlacement) {
+			t.Fatalf("placement of %s disagrees across the wire: %v vs %v", name, local, remotePlacement)
+		}
+		for _, c := range remotePlacement {
+			if c == specs[0].Name {
+				t.Fatalf("rebuilt fabric placed %s on the excluded member: %v", name, remotePlacement)
+			}
+		}
+	}
+}

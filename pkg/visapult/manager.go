@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"visapult/internal/core"
@@ -154,7 +155,7 @@ type managedRun struct {
 	err      error
 	result   *Result
 	metrics  []FrameMetric
-	subs     map[int]chan FrameMetric
+	subs     map[int]*metricSub
 	nextSub  int
 	created  time.Time
 	startedT time.Time
@@ -228,7 +229,7 @@ func (m *Manager) create(name string, opts []Option, spec *RunSpec) error {
 		opts:    opts,
 		spec:    spec,
 		state:   StatePending,
-		subs:    make(map[int]chan FrameMetric),
+		subs:    make(map[int]*metricSub),
 		created: time.Now(),
 		done:    make(chan struct{}),
 	}
@@ -423,10 +424,13 @@ func (r *managedRun) fanoutControl() (*core.FanoutControl, error) {
 func (r *managedRun) observe(fm FrameMetric) {
 	r.mu.Lock()
 	r.metrics = append(r.metrics, fm)
-	for _, ch := range r.subs {
+	for _, sub := range r.subs {
 		select {
-		case ch <- fm:
-		default: // slow subscriber: drop rather than stall the pipeline
+		case sub.ch <- fm:
+		default:
+			// Slow subscriber: drop rather than stall the pipeline, but keep
+			// the tally so the SSE layer can surface the backpressure.
+			sub.dropped.Add(1)
 		}
 	}
 	r.mu.Unlock()
@@ -467,8 +471,8 @@ func (r *managedRun) finishLocked(res *Result, err error) {
 		r.state = StateFailed
 		r.err = err
 	}
-	for id, ch := range r.subs {
-		close(ch)
+	for id, sub := range r.subs {
+		close(sub.ch)
 		delete(r.subs, id)
 	}
 	close(r.done)
@@ -581,38 +585,77 @@ func (m *Manager) Metrics(name string) ([]FrameMetric, error) {
 	return append([]FrameMetric(nil), r.metrics...), nil
 }
 
+// metricSub is one live frame-metric subscription: its bounded channel plus
+// the count of frames dropped because the subscriber fell behind.
+type metricSub struct {
+	ch      chan FrameMetric
+	dropped atomic.Int64
+}
+
+// MetricSubscription is a handle on one live frame-metric subscription. C is
+// closed when the run finishes; Dropped reports how many frames the bounded
+// buffer discarded because this subscriber fell behind — the backpressure
+// signal the SSE layer surfaces to streaming clients.
+type MetricSubscription struct {
+	C      <-chan FrameMetric
+	sub    *metricSub
+	cancel func()
+}
+
+// Dropped returns the frames discarded for this subscriber so far.
+func (s *MetricSubscription) Dropped() int64 {
+	if s.sub == nil {
+		return 0
+	}
+	return s.sub.dropped.Load()
+}
+
+// Cancel releases the subscription. Safe to call more than once.
+func (s *MetricSubscription) Cancel() { s.cancel() }
+
 // Subscribe returns a channel of live frame metrics for the named run and a
 // cancel function releasing the subscription. The channel is closed when the
 // run finishes. A subscriber that falls behind misses frames rather than
-// stalling the pipeline; pair Subscribe with Metrics for a complete record.
+// stalling the pipeline; pair Subscribe with Metrics for a complete record,
+// or use SubscribeMetrics to observe the drop count as well.
 func (m *Manager) Subscribe(name string) (<-chan FrameMetric, func(), error) {
-	r, err := m.get(name)
+	s, err := m.SubscribeMetrics(name)
 	if err != nil {
 		return nil, nil, err
 	}
-	ch := make(chan FrameMetric, 64)
+	return s.C, s.Cancel, nil
+}
+
+// SubscribeMetrics is Subscribe with drop accounting: the returned handle
+// exposes how many frames the subscription's bounded buffer discarded.
+func (m *Manager) SubscribeMetrics(name string) (*MetricSubscription, error) {
+	r, err := m.get(name)
+	if err != nil {
+		return nil, err
+	}
+	sub := &metricSub{ch: make(chan FrameMetric, 64)}
 	r.mu.Lock()
 	if r.state.Terminal() {
 		r.mu.Unlock()
-		close(ch)
-		return ch, func() {}, nil
+		close(sub.ch)
+		return &MetricSubscription{C: sub.ch, sub: sub, cancel: func() {}}, nil
 	}
 	id := r.nextSub
 	r.nextSub++
-	r.subs[id] = ch
+	r.subs[id] = sub
 	r.mu.Unlock()
 	once := sync.Once{}
 	cancel := func() {
 		once.Do(func() {
 			r.mu.Lock()
-			if sub, ok := r.subs[id]; ok {
-				close(sub)
+			if s, ok := r.subs[id]; ok {
+				close(s.ch)
 				delete(r.subs, id)
 			}
 			r.mu.Unlock()
 		})
 	}
-	return ch, cancel, nil
+	return &MetricSubscription{C: sub.ch, sub: sub, cancel: cancel}, nil
 }
 
 // AttachViewer adds a viewer named viewerID to a locally executing fan-out
@@ -692,6 +735,33 @@ func (m *Manager) Remove(name string) error {
 	}
 	delete(m.runs, name)
 	return nil
+}
+
+// Prune removes every terminal run that finished more than olderThan ago and
+// returns how many were dropped — the retention policy keeping a long-lived
+// daemon's run table (and its per-frame metric buffers) bounded. A negative
+// or zero olderThan prunes every terminal run. Active runs are never touched.
+func (m *Manager) Prune(olderThan time.Duration) int {
+	cutoff := time.Now().Add(-olderThan)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	pruned := 0
+	for name, r := range m.runs {
+		r.mu.Lock()
+		expired := r.state.Terminal() && !r.finished.After(cutoff)
+		r.mu.Unlock()
+		if expired {
+			delete(m.runs, name)
+			pruned++
+		}
+	}
+	return pruned
+}
+
+// Slots reports the local worker pool's occupancy: slots executing right now
+// and the pool capacity. Remote capacity is reported per worker by Workers.
+func (m *Manager) Slots() (used, capacity int) {
+	return len(m.sem), cap(m.sem)
 }
 
 // Close cancels every run, waits for the workers to unwind, and marks the

@@ -363,3 +363,91 @@ func TestManagerCloseFailsPendingRun(t *testing.T) {
 		t.Errorf("Wait returned %v, want ErrManagerClosed", err)
 	}
 }
+
+// TestManagerPrune covers the run GC policy: only terminal runs older than
+// the retention window are dropped, active and young runs survive.
+func TestManagerPrune(t *testing.T) {
+	m := NewManager(2)
+	defer m.Close()
+
+	if err := m.Create("finished", smallOpts()...); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start("finished"); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, err := m.Wait(ctx, "finished"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Create("still-pending", smallOpts()...); err != nil {
+		t.Fatal(err)
+	}
+
+	if n := m.Prune(time.Hour); n != 0 {
+		t.Fatalf("Prune(1h) dropped %d young runs", n)
+	}
+	if n := m.Prune(0); n != 1 {
+		t.Fatalf("Prune(0) dropped %d runs, want 1", n)
+	}
+	if _, err := m.Status("finished"); !errors.Is(err, ErrUnknownRun) {
+		t.Fatalf("pruned run still present: %v", err)
+	}
+	// The pending run is untouchable by Prune regardless of age.
+	if _, err := m.Status("still-pending"); err != nil {
+		t.Fatalf("pending run pruned: %v", err)
+	}
+	if n := m.Prune(0); n != 0 {
+		t.Fatalf("second Prune dropped %d, want 0", n)
+	}
+}
+
+// TestSubscribeMetricsCountsDrops pins the backpressure accounting: a
+// subscriber that never drains its bounded buffer loses the overflow — and
+// the subscription reports exactly how much.
+func TestSubscribeMetricsCountsDrops(t *testing.T) {
+	m := NewManager(1)
+	defer m.Close()
+	if err := m.Create("lossy", smallOpts()...); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := m.SubscribeMetrics("lossy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Cancel()
+
+	r, err := m.get("lossy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Push past the 64-slot buffer without draining: the excess must be
+	// counted, not block the producer.
+	const pushed = 70
+	for i := 0; i < pushed; i++ {
+		r.observe(FrameMetric{Frame: i})
+	}
+	if d := sub.Dropped(); d != pushed-64 {
+		t.Fatalf("Dropped() = %d, want %d", d, pushed-64)
+	}
+	// The full record is still in the snapshot for re-sync.
+	metrics, err := m.Metrics("lossy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(metrics) != pushed {
+		t.Fatalf("snapshot has %d metrics, want %d", len(metrics), pushed)
+	}
+}
+
+// TestManagerSlots covers the pool occupancy gauge the /metrics endpoint
+// scrapes.
+func TestManagerSlots(t *testing.T) {
+	m := NewManager(3)
+	defer m.Close()
+	used, capacity := m.Slots()
+	if used != 0 || capacity != 3 {
+		t.Fatalf("Slots() = (%d, %d), want (0, 3)", used, capacity)
+	}
+}
