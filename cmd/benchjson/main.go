@@ -41,6 +41,12 @@ type Benchmark struct {
 	// the standard ns/op and B/op as well as the custom b.ReportMetric
 	// quantities the experiment benchmarks emit.
 	Metrics map[string]float64 `json:"metrics"`
+	// BytesPerOp and AllocsPerOp surface the -benchmem allocation columns
+	// as first-class fields so perf diffs can key on them without knowing
+	// the unit spellings; omitted when the run did not pass -benchmem.
+	// The raw pairs stay in Metrics as well.
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
 }
 
 // Doc is the JSON document benchjson emits.
@@ -123,5 +129,12 @@ func parseLine(line string) (Benchmark, bool) {
 		}
 		metrics[fields[i+1]] = v
 	}
-	return Benchmark{Name: name, Iterations: iters, Metrics: metrics}, true
+	b := Benchmark{Name: name, Iterations: iters, Metrics: metrics}
+	if v, ok := metrics["B/op"]; ok {
+		b.BytesPerOp = &v
+	}
+	if v, ok := metrics["allocs/op"]; ok {
+		b.AllocsPerOp = &v
+	}
+	return b, true
 }

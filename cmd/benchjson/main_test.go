@@ -51,6 +51,43 @@ func TestParse(t *testing.T) {
 	}
 }
 
+func TestParseBenchmemColumns(t *testing.T) {
+	const withMem = `BenchmarkE1_DPSSThroughput-8   1   52143761 ns/op   980.9 LAN-Mbps   2097152 B/op   1742 allocs/op
+BenchmarkRenderSlab-8          1     867037 ns/op
+`
+	doc, err := parse(strings.NewReader(withMem))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(doc.Benchmarks))
+	}
+
+	e1 := doc.Benchmarks[0]
+	if e1.BytesPerOp == nil || *e1.BytesPerOp != 2097152 {
+		t.Errorf("BytesPerOp = %v, want 2097152", e1.BytesPerOp)
+	}
+	if e1.AllocsPerOp == nil || *e1.AllocsPerOp != 1742 {
+		t.Errorf("AllocsPerOp = %v, want 1742", e1.AllocsPerOp)
+	}
+	// The raw pairs stay in Metrics alongside the custom quantities.
+	if got := e1.Metrics["B/op"]; got != 2097152 {
+		t.Errorf("Metrics[B/op] = %v, want 2097152", got)
+	}
+	if got := e1.Metrics["allocs/op"]; got != 1742 {
+		t.Errorf("Metrics[allocs/op] = %v, want 1742", got)
+	}
+	if got := e1.Metrics["LAN-Mbps"]; got != 980.9 {
+		t.Errorf("Metrics[LAN-Mbps] = %v, want 980.9", got)
+	}
+
+	// A line without the -benchmem columns omits the alloc fields entirely.
+	slab := doc.Benchmarks[1]
+	if slab.BytesPerOp != nil || slab.AllocsPerOp != nil {
+		t.Errorf("RenderSlab alloc fields = %v/%v, want nil/nil", slab.BytesPerOp, slab.AllocsPerOp)
+	}
+}
+
 func TestParseIgnoresNoise(t *testing.T) {
 	noise := `random text
 Benchmark

@@ -19,6 +19,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -109,7 +110,7 @@ func runThumbnail(client *dpss.Client, args []string) error {
 	if err != nil || step < 0 {
 		return fmt.Errorf("invalid timestep %q", args[2])
 	}
-	img, meta, err := dpss.Thumbnail(client, base, nx, ny, nz, step, dpss.ThumbnailOptions{MaxDim: 64})
+	img, meta, err := dpss.Thumbnail(context.Background(), client, base, nx, ny, nz, step, dpss.ThumbnailOptions{MaxDim: 64})
 	if err != nil {
 		return err
 	}

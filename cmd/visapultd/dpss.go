@@ -19,21 +19,37 @@ import (
 // /api/dpss endpoints report 404 otherwise.
 type fabricAdmin struct {
 	fabric *visapult.Fabric
+	// ctx is the root lifecycle of the admin plane: daemon shutdown cancels
+	// it, which aborts every running warm and rebalance job instead of
+	// leaving their migrations running against a closing fabric.
+	ctx    context.Context
+	cancel context.CancelFunc
 
-	mu        sync.Mutex
-	jobs      map[string]*warmJob
-	nextJob   int
-	rebals    map[string]*rebalJob
+	mu sync.Mutex
+	// guarded by mu
+	jobs map[string]*warmJob
+	// guarded by mu
+	nextJob int
+	// guarded by mu
+	rebals map[string]*rebalJob
+	// guarded by mu
 	nextRebal int
 }
 
 func newFabricAdmin(fb *visapult.Fabric) *fabricAdmin {
+	ctx, cancel := context.WithCancel(context.Background())
 	return &fabricAdmin{
 		fabric: fb,
+		ctx:    ctx,
+		cancel: cancel,
 		jobs:   make(map[string]*warmJob),
 		rebals: make(map[string]*rebalJob),
 	}
 }
+
+// close aborts every running warm and rebalance job: their fabric operations
+// return with a context error and the jobs transition to failed.
+func (fa *fabricAdmin) close() { fa.cancel() }
 
 // warmJob is one asynchronous warming run.
 type warmJob struct {
@@ -42,12 +58,17 @@ type warmJob struct {
 	Steps   int
 	Started time.Time
 
-	mu       sync.Mutex
-	state    string // running | done | failed
-	err      string
+	mu sync.Mutex
+	// state is running | done | failed.
+	// guarded by mu
+	state string
+	err   string // guarded by mu
+	// guarded by mu
 	finished time.Time
-	report   *vdpss.WarmReport
+	// guarded by mu
+	report *vdpss.WarmReport
 	// progress maps file -> cluster -> staged bytes, updated live.
+	// guarded by mu
 	progress map[string]map[string]warmProgressJSON
 }
 
@@ -222,7 +243,11 @@ func (s *server) handleDPSSWarmStart(w http.ResponseWriter, r *http.Request) {
 	fa.jobs[job.ID] = job
 	fa.mu.Unlock()
 
+	// The job outlives the HTTP request but not the daemon: it derives from
+	// the admin plane's root context, so shutdown cancels it.
+	ctx, cancel := context.WithCancel(fa.ctx)
 	go func() {
+		defer cancel()
 		cfg := vdpss.WarmConfig{
 			BlockSize: req.BlockSize,
 			WarmAhead: req.WarmAhead,
@@ -237,7 +262,7 @@ func (s *server) handleDPSSWarmStart(w http.ResponseWriter, r *http.Request) {
 				job.mu.Unlock()
 			},
 		}
-		report, err := vdpss.WarmCombustion(context.Background(), fa.fabric,
+		report, err := vdpss.WarmCombustion(ctx, fa.fabric,
 			req.Base, req.NX, req.NY, req.NZ, req.Steps, req.Seed, cfg)
 		job.mu.Lock()
 		job.report = report

@@ -180,6 +180,11 @@ func main() {
 	// Close the manager first: it cancels every run and closes their metric
 	// channels, which is what lets open SSE streams end. With the streams
 	// unblocked, Shutdown can actually drain instead of burning its timeout.
+	// The fabric admin plane goes down with it: cancelling its root context
+	// aborts any warm or rebalance job still migrating data.
+	if websrv.dpss != nil {
+		websrv.dpss.close()
+	}
 	mgr.Close()
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()

@@ -25,12 +25,17 @@ type rebalJob struct {
 	Cluster string
 	Started time.Time
 
-	mu       sync.Mutex
-	state    string // running | done | failed
-	err      string
+	mu sync.Mutex
+	// state is running | done | failed.
+	// guarded by mu
+	state string
+	err   string // guarded by mu
+	// guarded by mu
 	finished time.Time
-	report   *visapult.FabricRebalanceReport
+	// guarded by mu
+	report *visapult.FabricRebalanceReport
 	// moves maps dataset -> target cluster -> live copy progress.
+	// guarded by mu
 	moves map[string]map[string]moveProgressJSON
 }
 
@@ -93,7 +98,11 @@ func (s *server) handleDPSSRebalanceStart(w http.ResponseWriter, r *http.Request
 	fa.rebals[job.ID] = job
 	fa.mu.Unlock()
 
+	// The job outlives the HTTP request but not the daemon: it derives from
+	// the admin plane's root context, so shutdown cancels it.
+	ctx, cancel := context.WithCancel(fa.ctx)
 	go func() {
+		defer cancel()
 		opts := visapult.FabricRebalanceOptions{
 			Parallel: req.Parallel,
 			OnMove: func(mv visapult.FabricDatasetMove) {
@@ -114,11 +123,11 @@ func (s *server) handleDPSSRebalanceStart(w http.ResponseWriter, r *http.Request
 		var err error
 		switch kind {
 		case "repair":
-			report, err = fa.fabric.Repair(context.Background(), opts)
+			report, err = fa.fabric.Repair(ctx, opts)
 		case "drain":
-			report, err = fa.fabric.DrainToEmpty(context.Background(), req.Cluster, opts)
+			report, err = fa.fabric.DrainToEmpty(ctx, req.Cluster, opts)
 		default:
-			report, err = fa.fabric.Rebalance(context.Background(), opts)
+			report, err = fa.fabric.Rebalance(ctx, opts)
 		}
 		job.mu.Lock()
 		job.report = report

@@ -1,0 +1,109 @@
+// Command vislint runs visapult's project-specific static analysis suite: the
+// concurrency and I/O invariants the scheduler, fabric, and viewer stack
+// depend on, enforced before merge instead of diagnosed after the fact.
+//
+// Usage:
+//
+//	go run ./cmd/vislint ./...          # the CI gate
+//	go run ./cmd/vislint -list          # describe the analyzers
+//	go run ./cmd/vislint -only boundedio,lockguard ./pkg/...
+//
+// Findings print as file:line:col: analyzer: message and make the exit status
+// 1. Suppress an individual finding with a justified directive on or above
+// the flagged line:
+//
+//	//vislint:ignore boundedio idle request loop; conn lifecycle is owned by Close
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"visapult/internal/analysis"
+	"visapult/internal/analysis/boundedio"
+	"visapult/internal/analysis/ctxbackground"
+	"visapult/internal/analysis/goroutinelife"
+	"visapult/internal/analysis/lockguard"
+	"visapult/internal/analysis/ssedeadline"
+)
+
+var all = []*analysis.Analyzer{
+	boundedio.Analyzer,
+	ctxbackground.Analyzer,
+	goroutinelife.Analyzer,
+	lockguard.Analyzer,
+	ssedeadline.Analyzer,
+}
+
+func main() {
+	list := flag.Bool("list", false, "describe the analyzers and exit")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	ctxAllow := flag.String("ctx-allow", "", "comma-separated package paths additionally exempt from ctxbackground")
+	flag.Parse()
+
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	for _, p := range splitList(*ctxAllow) {
+		ctxbackground.Allowlist[p] = true
+	}
+
+	analyzers := all
+	if *only != "" {
+		byName := make(map[string]*analysis.Analyzer)
+		for _, a := range all {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range splitList(*only) {
+			a, ok := byName[name]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "vislint: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vislint: %v\n", err)
+		os.Exit(2)
+	}
+	findings, err := analysis.Run(analyzers, pkgs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vislint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "vislint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+		os.Exit(1)
+	}
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

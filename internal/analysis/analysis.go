@@ -1,0 +1,70 @@
+// Package analysis is vislint's analysis kernel: a small, self-contained
+// reimplementation of the golang.org/x/tools/go/analysis surface (Analyzer,
+// Pass, Diagnostic) plus a package loader and a driver.
+//
+// The API deliberately mirrors go/analysis so the suite can migrate to the
+// upstream framework by swapping imports once the module takes the external
+// dependency; until then the kernel keeps vislint free of third-party code.
+// The visapult-specific analyzers live in subpackages (boundedio,
+// goroutinelife, lockguard, ctxbackground, ssedeadline) and encode the
+// concurrency and I/O invariants the scheduler/fabric/viewer stack relies on:
+// every network exchange is deadline- or context-bounded, every goroutine has
+// a join or cancellation path, annotated struct fields are only touched with
+// their mutex held, and streaming HTTP handlers cannot stall on a dead client.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one vislint check.
+type Analyzer struct {
+	// Name identifies the analyzer in findings and in ignore directives.
+	Name string
+	// Doc is the one-paragraph description printed by `vislint -list`.
+	Doc string
+	// AppliesTo, when non-nil, restricts which package import paths the
+	// driver runs this analyzer on. The fixture runner ignores it so
+	// testdata packages always exercise the check.
+	AppliesTo func(pkgPath string) bool
+	// Run performs the check on one package.
+	Run func(*Pass) error
+}
+
+// Pass carries one analyzed package to an Analyzer's Run function.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report delivers one finding.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// PathPrefixes returns an AppliesTo predicate matching packages equal to or
+// under any of the given import paths.
+func PathPrefixes(prefixes ...string) func(string) bool {
+	return func(pkgPath string) bool {
+		for _, p := range prefixes {
+			if pkgPath == p || (len(pkgPath) > len(p) && pkgPath[:len(p)] == p && pkgPath[len(p)] == '/') {
+				return true
+			}
+		}
+		return false
+	}
+}

@@ -1,0 +1,221 @@
+// Package analysistest runs a vislint analyzer over fixture packages and
+// checks its diagnostics against // want comments, mirroring the upstream
+// golang.org/x/tools/go/analysis/analysistest contract:
+//
+//	conn.Read(buf) // want `unbounded Read`
+//
+// Each backquoted string is a regexp that must match exactly one diagnostic
+// reported on that line; diagnostics with no matching expectation, and
+// expectations with no matching diagnostic, fail the test. Fixtures live in
+// testdata/src/<pkg>/ next to the analyzer and may import the standard
+// library (resolved through compiler export data, offline).
+package analysistest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"visapult/internal/analysis"
+)
+
+// Run loads testdata/src/<pkg> for each named fixture package, applies the
+// analyzer, and reports mismatches through t.
+func Run(t *testing.T, analyzer *analysis.Analyzer, fixturePkgs ...string) {
+	t.Helper()
+	for _, name := range fixturePkgs {
+		runOne(t, analyzer, name)
+	}
+}
+
+func runOne(t *testing.T, analyzer *analysis.Analyzer, fixture string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", fixture)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("%s: reading fixture dir: %v", fixture, err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("%s: %v", fixture, err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("%s: fixture has no Go files", fixture)
+	}
+
+	imp, err := stdImporter(fset, files)
+	if err != nil {
+		t.Fatalf("%s: %v", fixture, err)
+	}
+	info := analysis.NewTypesInfo()
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(fixture, fset, files, info)
+	if err != nil {
+		t.Fatalf("%s: typechecking fixture: %v", fixture, err)
+	}
+
+	var got []analysis.Finding
+	pass := &analysis.Pass{
+		Analyzer:  analyzer,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+		Report: func(d analysis.Diagnostic) {
+			got = append(got, analysis.Finding{
+				Analyzer: analyzer.Name, Pos: fset.Position(d.Pos), Message: d.Message,
+			})
+		},
+	}
+	if err := analyzer.Run(pass); err != nil {
+		t.Fatalf("%s: analyzer: %v", fixture, err)
+	}
+
+	checkExpectations(t, fixture, fset, files, got)
+}
+
+// expectation is one backquoted regexp from a want comment.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	met  bool
+}
+
+var wantRE = regexp.MustCompile("`([^`]*)`")
+
+func checkExpectations(t *testing.T, fixture string, fset *token.FileSet, files []*ast.File, got []analysis.Finding) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				body, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				ms := wantRE.FindAllStringSubmatch(body, -1)
+				if len(ms) == 0 {
+					t.Errorf("%s:%d: malformed want comment (no backquoted regexp)", pos.Filename, pos.Line)
+					continue
+				}
+				for _, m := range ms {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Errorf("%s:%d: bad want regexp: %v", pos.Filename, pos.Line, err)
+						continue
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+
+	sort.Slice(got, func(i, j int) bool {
+		if got[i].Pos.Filename != got[j].Pos.Filename {
+			return got[i].Pos.Filename < got[j].Pos.Filename
+		}
+		return got[i].Pos.Line < got[j].Pos.Line
+	})
+	for _, d := range got {
+		matched := false
+		for _, w := range wants {
+			if !w.met && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.met = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %v", fixture, d)
+		}
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("%s: %s:%d: no diagnostic matching %q", fixture, w.file, w.line, w.re)
+		}
+	}
+}
+
+// exportCache maps import paths to export data files, shared across fixtures
+// so `go list` runs once per new set of imports.
+var (
+	exportMu    sync.Mutex
+	exportCache = make(map[string]string)
+)
+
+// stdImporter builds an importer covering the fixture files' (standard
+// library) imports from compiler export data.
+func stdImporter(fset *token.FileSet, files []*ast.File) (types.Importer, error) {
+	var missing []string
+	exportMu.Lock()
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if _, ok := exportCache[path]; !ok && path != "unsafe" {
+				missing = append(missing, path)
+			}
+		}
+	}
+	exportMu.Unlock()
+	if len(missing) > 0 {
+		if err := listExports(missing); err != nil {
+			return nil, err
+		}
+	}
+	exportMu.Lock()
+	snapshot := make(map[string]string, len(exportCache))
+	for k, v := range exportCache {
+		snapshot[k] = v
+	}
+	exportMu.Unlock()
+	return analysis.ExportImporter(fset, snapshot), nil
+}
+
+func listExports(paths []string) error {
+	args := append([]string{"list", "-e", "-export", "-deps", "-json=ImportPath,Export"}, paths...)
+	cmd := exec.Command("go", args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return fmt.Errorf("go list %s: %v\n%s", strings.Join(paths, " "), err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	exportMu.Lock()
+	defer exportMu.Unlock()
+	for {
+		var e struct{ ImportPath, Export string }
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return fmt.Errorf("decoding go list output: %w", err)
+		}
+		if e.Export != "" {
+			exportCache[e.ImportPath] = e.Export
+		}
+	}
+	return nil
+}

@@ -1,0 +1,257 @@
+// Package boundedio flags network I/O that nothing bounds: a stalled or
+// malicious peer must never be able to pin a goroutine forever (the PR 3
+// stalled-server hang and the PR 5 AttemptTimeout rule, made mechanical).
+//
+// Within each function, an exchange on a conn-like value (anything with
+// SetReadDeadline/SetWriteDeadline — net.Conn and every wrapper) is flagged
+// unless one of the following holds first, in source order:
+//
+//   - a deadline call covering the direction of the exchange on the same
+//     value: SetReadDeadline for reads, SetWriteDeadline for writes,
+//     SetDeadline for both;
+//   - the function watches a context: it calls context.AfterFunc or selects
+//     on a context's Done channel (the poison-deadline pattern the dpss
+//     client uses to abort exchanges in flight).
+//
+// Three call shapes count as exchanges: direct conn.Read/conn.Write; the io
+// helpers (io.ReadFull, io.Copy, ...) applied to a conn; and a conn escaping
+// into any io.Reader/io.Writer-typed parameter — the shape of this codebase's
+// writeFrame(w io.Writer)/readFrame(r io.Reader) protocol helpers, where the
+// unbounded blocking happens out of the caller's sight.
+package boundedio
+
+import (
+	"go/ast"
+	"go/types"
+
+	"visapult/internal/analysis"
+)
+
+// Analyzer is the boundedio check. It applies to the packages that move
+// frames and blocks over TCP; everything else talks HTTP or is test harness.
+var Analyzer = &analysis.Analyzer{
+	Name: "boundedio",
+	Doc: "flags net.Conn reads/writes (direct, via io helpers, or escaping into " +
+		"io.Reader/io.Writer parameters) with no prior deadline and no context watcher",
+	AppliesTo: analysis.PathPrefixes(
+		"visapult/internal/dpss",
+		"visapult/internal/backend",
+		"visapult/internal/viewer",
+		"visapult/internal/netlogger",
+		"visapult/pkg/visapult",
+	),
+	Run: run,
+}
+
+// Direction bitmask for deadlines and exchanges.
+const (
+	readDir  = 1
+	writeDir = 2
+)
+
+var deadlineMethods = map[string]uint8{
+	"SetDeadline":      readDir | writeDir,
+	"SetReadDeadline":  readDir,
+	"SetWriteDeadline": writeDir,
+}
+
+// ioHelpers maps the io functions that loop on a reader/writer argument to
+// the direction each argument exchanges in (0 = not a stream argument).
+var ioHelpers = map[string][]uint8{
+	"io.ReadFull":    {readDir},
+	"io.ReadAtLeast": {readDir},
+	"io.ReadAll":     {readDir},
+	"io.Copy":        {writeDir, readDir},
+	"io.CopyN":       {writeDir, readDir},
+	"io.CopyBuffer":  {writeDir, readDir},
+}
+
+// ioInterfaceDirs maps package io's interfaces to the direction a conn
+// passed as one will be used in.
+var ioInterfaceDirs = map[string]uint8{
+	"Reader":          readDir,
+	"ReadCloser":      readDir,
+	"Writer":          writeDir,
+	"WriteCloser":     writeDir,
+	"ReadWriter":      readDir | writeDir,
+	"ReadWriteCloser": readDir | writeDir,
+}
+
+func run(pass *analysis.Pass) error {
+	analysis.InspectFuncs(pass.Files, func(name string, decl *ast.FuncDecl, body *ast.BlockStmt) {
+		if hasContextWatcher(pass.TypesInfo, body) {
+			return
+		}
+		checkBody(pass, body)
+	})
+	return nil
+}
+
+// hasContextWatcher reports whether the function arranges for a context to
+// interrupt its I/O: a context.AfterFunc registration or a select over
+// ctx.Done().
+func hasContextWatcher(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		if analysis.FullName(info, call) == "context.AfterFunc" {
+			found = true
+			return false
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" && len(call.Args) == 0 {
+			if isContext(info.TypeOf(sel.X)) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func isContext(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// ioInterfaceDir returns the exchange direction for package io's interfaces,
+// 0 for any other type.
+func ioInterfaceDir(t types.Type) uint8 {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return 0
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "io" {
+		return 0
+	}
+	return ioInterfaceDirs[obj.Name()]
+}
+
+func dirWord(dir uint8) string {
+	switch dir {
+	case readDir:
+		return "read"
+	case writeDir:
+		return "write"
+	default:
+		return "read/write"
+	}
+}
+
+// checkBody walks one function body in source order, tracking which conn
+// values have had deadlines set in which direction and flagging unbounded
+// exchanges.
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+	bounded := make(map[string]uint8)
+
+	covered := func(e ast.Expr, dir uint8) bool {
+		k, ok := analysis.ExprKey(info, e)
+		return ok && bounded[k]&dir == dir
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+
+		// Conversion to an io interface: io.Writer(conn) launders the conn's
+		// deadline methods away.
+		if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+			if dir := ioInterfaceDir(tv.Type); dir != 0 &&
+				analysis.ConnLike(info.TypeOf(call.Args[0])) && !covered(call.Args[0], dir) {
+				pass.Reportf(call.Pos(), "conn-like %s converted to %s with no %s deadline set; later I/O on it is unbounded",
+					types.ExprString(call.Args[0]), tv.Type, dirWord(dir))
+			}
+			return true
+		}
+
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if analysis.ConnLike(info.TypeOf(sel.X)) {
+				if dir, isSet := deadlineMethods[sel.Sel.Name]; isSet {
+					if k, ok := analysis.ExprKey(info, sel.X); ok {
+						bounded[k] |= dir
+					}
+					return true
+				}
+				var dir uint8
+				switch sel.Sel.Name {
+				case "Read":
+					dir = readDir
+				case "Write":
+					dir = writeDir
+				}
+				if dir != 0 {
+					if !covered(sel.X, dir) {
+						pass.Reportf(call.Pos(), "unbounded %s on conn-like %s: set a %s deadline first or guard the exchange with a context watcher",
+							sel.Sel.Name, types.ExprString(sel.X), dirWord(dir))
+					}
+					return true
+				}
+			}
+		}
+
+		if dirs, ok := ioHelpers[analysis.FullName(info, call)]; ok {
+			for i, arg := range call.Args {
+				if i >= len(dirs) || dirs[i] == 0 {
+					break
+				}
+				if analysis.ConnLike(info.TypeOf(arg)) && !covered(arg, dirs[i]) {
+					pass.Reportf(call.Pos(), "conn-like %s passed to %s with no %s deadline set: a stalled peer blocks this forever",
+						types.ExprString(arg), analysis.FullName(info, call), dirWord(dirs[i]))
+				}
+			}
+			return true
+		}
+
+		// General escape: a conn flowing into an io.Reader/io.Writer-typed
+		// parameter of any function (writeFrame, bufio.NewWriter, Fprintf...).
+		sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+		if !ok {
+			return true
+		}
+		for i, arg := range call.Args {
+			pt := paramType(sig, i)
+			if pt == nil {
+				continue
+			}
+			dir := ioInterfaceDir(pt)
+			if dir == 0 {
+				continue
+			}
+			if analysis.ConnLike(info.TypeOf(arg)) && !covered(arg, dir) {
+				pass.Reportf(arg.Pos(), "conn-like %s escapes into the %s parameter of %s with no %s deadline set",
+					types.ExprString(arg), pt, types.ExprString(call.Fun), dirWord(dir))
+			}
+		}
+		return true
+	})
+}
+
+// paramType returns the type of parameter i, folding the variadic tail.
+func paramType(sig *types.Signature, i int) types.Type {
+	params := sig.Params()
+	if params.Len() == 0 {
+		return nil
+	}
+	if i >= params.Len()-1 && sig.Variadic() {
+		last := params.At(params.Len() - 1).Type()
+		if s, ok := last.(*types.Slice); ok {
+			return s.Elem()
+		}
+		return last
+	}
+	if i >= params.Len() {
+		return nil
+	}
+	return params.At(i).Type()
+}

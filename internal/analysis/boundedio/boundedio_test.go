@@ -1,0 +1,28 @@
+package boundedio_test
+
+import (
+	"testing"
+
+	"visapult/internal/analysis/analysistest"
+	"visapult/internal/analysis/boundedio"
+)
+
+func TestBoundedIO(t *testing.T) {
+	analysistest.Run(t, boundedio.Analyzer, "boundedio")
+}
+
+func TestAppliesTo(t *testing.T) {
+	for path, want := range map[string]bool{
+		"visapult/internal/dpss":        true,
+		"visapult/internal/dpss/fabric": true,
+		"visapult/pkg/visapult":         true,
+		"visapult/internal/netlogger":   true,
+		"visapult/internal/wire":        false, // has its own framing-level bounds
+		"visapult/internal/render":      false,
+		"visapult/internal/dpssextra":   false, // prefix match is per path element
+	} {
+		if got := boundedio.Analyzer.AppliesTo(path); got != want {
+			t.Errorf("AppliesTo(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

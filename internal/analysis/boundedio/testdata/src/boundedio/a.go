@@ -1,0 +1,115 @@
+// Fixture for the boundedio analyzer: every exchange on a conn-like value
+// must be deadline-bounded or guarded by a context watcher.
+package boundedio
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"time"
+)
+
+func frameOut(w io.Writer, p []byte) error { _, err := w.Write(p); return err }
+func frameIn(r io.Reader, p []byte) error  { _, err := io.ReadFull(r, p); return err }
+
+// Direct reads and writes with no deadline are flagged.
+func direct(conn net.Conn, buf []byte) {
+	conn.Read(buf)  // want `unbounded Read on conn-like conn`
+	conn.Write(buf) // want `unbounded Write on conn-like conn`
+}
+
+// A deadline covering the direction bounds later exchanges on the same conn.
+func withDeadlines(conn net.Conn, buf []byte) {
+	conn.SetReadDeadline(time.Now().Add(time.Second))
+	conn.Read(buf)  // bounded: read deadline set above
+	conn.Write(buf) // want `unbounded Write on conn-like conn`
+	conn.SetWriteDeadline(time.Now().Add(time.Second))
+	conn.Write(buf) // bounded now
+}
+
+// SetDeadline covers both directions.
+func withFullDeadline(conn net.Conn, buf []byte) {
+	conn.SetDeadline(time.Now().Add(time.Second))
+	conn.Read(buf)
+	conn.Write(buf)
+}
+
+// Deadlines are tracked per conn value, not per function.
+func twoConns(a, b net.Conn, buf []byte) {
+	a.SetDeadline(time.Now().Add(time.Second))
+	a.Read(buf)
+	b.Read(buf) // want `unbounded Read on conn-like b`
+}
+
+// io helpers that loop on a conn are exchanges too.
+func helpers(conn net.Conn, buf []byte) {
+	io.ReadFull(conn, buf)      // want `conn-like conn passed to io.ReadFull with no read deadline`
+	io.Copy(io.Discard, conn)   // want `conn-like conn passed to io.Copy with no read deadline`
+	io.Copy(conn, &nopReader{}) // want `conn-like conn passed to io.Copy with no write deadline`
+	conn.SetDeadline(time.Now().Add(time.Second))
+	io.ReadFull(conn, buf) // bounded
+}
+
+// A conn escaping into an io.Reader/io.Writer parameter hides unbounded
+// blocking inside the helper: the frame codec shape.
+func escapes(conn net.Conn, buf []byte) {
+	frameOut(conn, buf)          // want `conn-like conn escapes into the io.Writer parameter of frameOut`
+	frameIn(conn, buf)           // want `conn-like conn escapes into the io.Reader parameter of frameIn`
+	bufio.NewWriter(conn)        // want `conn-like conn escapes into the io.Writer parameter of bufio.NewWriter`
+	fmt.Fprintf(conn, "hello\n") // want `conn-like conn escapes into the io.Writer parameter of fmt.Fprintf`
+	conn.SetDeadline(time.Now().Add(time.Second))
+	frameOut(conn, buf) // bounded
+}
+
+// Converting a conn to an io interface launders its deadline methods away.
+func converts(conn net.Conn) {
+	var w io.Writer = io.Writer(conn) // want `conn-like conn converted to io.Writer with no write deadline`
+	_ = w
+}
+
+// Field chains are tracked like plain variables.
+type wrapped struct{ conn net.Conn }
+
+func (w *wrapped) flush(p []byte) {
+	w.conn.SetWriteDeadline(time.Now().Add(time.Second))
+	w.conn.Write(p)
+	w.conn.Read(p) // want `unbounded Read on conn-like w.conn`
+}
+
+// A context watcher exempts the whole function: cancellation poisons the
+// conn's deadline out-of-band (the dpss client pattern).
+func watcherAfterFunc(ctx context.Context, conn net.Conn, buf []byte) {
+	stop := context.AfterFunc(ctx, func() { conn.SetDeadline(time.Unix(1, 0)) })
+	defer stop()
+	conn.Read(buf)
+	frameOut(conn, buf)
+}
+
+func watcherSelect(ctx context.Context, conn net.Conn, buf []byte) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		conn.Read(buf)
+	}()
+	select {
+	case <-ctx.Done():
+		conn.SetDeadline(time.Unix(1, 0))
+	case <-done:
+	}
+}
+
+// Passing a conn to a net.Conn-typed parameter is not an escape: the callee
+// is analyzed on its own.
+func wrap(conn net.Conn) *wrapped { return &wrapped{conn: conn} }
+
+// Plain readers and writers are not conns; nothing to bound.
+func plainIO(r io.Reader, w io.Writer, buf []byte) {
+	io.ReadFull(r, buf)
+	w.Write(buf)
+}
+
+type nopReader struct{}
+
+func (*nopReader) Read(p []byte) (int, error) { return 0, io.EOF }

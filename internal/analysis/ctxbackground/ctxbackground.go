@@ -1,0 +1,154 @@
+// Package ctxbackground flags context.Background() and context.TODO() in
+// library code. PR 1 and PR 3 plumbed cancellation through the whole stack —
+// run contexts reach down to individual DPSS block exchanges — and a fresh
+// Background() in a library silently detaches everything below it from that
+// plumbing. Roots belong in main functions and tests; libraries accept a
+// ctx. Interface-compatibility shims (io.ReaderAt and friends, which have no
+// ctx parameter) carry an explicit //vislint:ignore with that justification.
+//
+// One shape is exempt without annotation: the nil-ctx guard
+//
+//	func Run(ctx context.Context) error {
+//		if ctx == nil {
+//			ctx = context.Background()
+//		}
+//
+// — reassigning the function's own context parameter. The function does
+// accept a ctx; Background only fills in for a caller that passed nil, so
+// nothing is detached.
+package ctxbackground
+
+import (
+	"go/ast"
+	"go/types"
+
+	"visapult/internal/analysis"
+)
+
+// Analyzer is the ctxbackground check. The driver applies it to library
+// packages (internal/... and pkg/...); package main and per-path allowlist
+// entries are exempt.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxbackground",
+	Doc: "flags context.Background()/context.TODO() in library code, " +
+		"where they detach callees from the caller's cancellation",
+	AppliesTo: func(pkgPath string) bool {
+		if allowlisted(pkgPath) {
+			return false
+		}
+		return analysis.PathPrefixes("visapult/internal", "visapult/pkg")(pkgPath)
+	},
+	Run: run,
+}
+
+// Allowlist exempts whole packages whose job is to own context roots.
+// internal/testutil is the in-process e2e harness: it stands in for the
+// process main of the servers it spawns.
+var Allowlist = map[string]bool{
+	"visapult/internal/testutil": true,
+}
+
+func allowlisted(pkgPath string) bool { return Allowlist[pkgPath] }
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Name() == "main" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch analysis.FullName(pass.TypesInfo, call) {
+			case "context.Background", "context.TODO":
+				if isNilGuard(pass.TypesInfo, f, call) {
+					return true
+				}
+				pass.Reportf(call.Pos(), "%s in library code detaches callees from the caller's cancellation; accept a ctx instead",
+					analysis.FullName(pass.TypesInfo, call))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isNilGuard reports whether call is the RHS of an assignment whose LHS is a
+// context-typed parameter of the enclosing function — the nil-ctx default.
+func isNilGuard(info *types.Info, f *ast.File, call *ast.CallExpr) bool {
+	path := enclosing(f, call)
+	var assign *ast.AssignStmt
+	for i := len(path) - 1; i >= 0; i-- {
+		if a, ok := path[i].(*ast.AssignStmt); ok {
+			assign = a
+			break
+		}
+	}
+	if assign == nil || assign.Tok.String() != "=" || len(assign.Lhs) != len(assign.Rhs) {
+		return false
+	}
+	var lhs *ast.Ident
+	for i, rhs := range assign.Rhs {
+		if ast.Unparen(rhs) == call {
+			lhs, _ = assign.Lhs[i].(*ast.Ident)
+			break
+		}
+	}
+	if lhs == nil {
+		return false
+	}
+	obj, ok := info.Uses[lhs].(*types.Var)
+	if !ok {
+		return false
+	}
+	return paramOfEnclosingFunc(info, path, obj)
+}
+
+// enclosing returns the node path from f down to (and excluding) target.
+func enclosing(f *ast.File, target ast.Node) []ast.Node {
+	var path, found []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		if n == nil {
+			path = path[:len(path)-1]
+			return true
+		}
+		if n == target {
+			found = append([]ast.Node(nil), path...)
+			return false
+		}
+		path = append(path, n)
+		return true
+	})
+	return found
+}
+
+// paramOfEnclosingFunc reports whether obj is declared as a parameter of the
+// innermost function declaration or literal on path.
+func paramOfEnclosingFunc(info *types.Info, path []ast.Node, obj *types.Var) bool {
+	for i := len(path) - 1; i >= 0; i-- {
+		var ft *ast.FuncType
+		switch n := path[i].(type) {
+		case *ast.FuncDecl:
+			ft = n.Type
+		case *ast.FuncLit:
+			ft = n.Type
+		default:
+			continue
+		}
+		if ft.Params != nil {
+			for _, field := range ft.Params.List {
+				for _, name := range field.Names {
+					if info.Defs[name] == obj {
+						return true
+					}
+				}
+			}
+		}
+		return false // only the innermost function counts
+	}
+	return false
+}

@@ -1,0 +1,27 @@
+package ctxbackground_test
+
+import (
+	"testing"
+
+	"visapult/internal/analysis/analysistest"
+	"visapult/internal/analysis/ctxbackground"
+)
+
+func TestCtxBackground(t *testing.T) {
+	analysistest.Run(t, ctxbackground.Analyzer, "ctxbackground")
+}
+
+func TestAppliesTo(t *testing.T) {
+	for path, want := range map[string]bool{
+		"visapult/internal/dpss":     true,
+		"visapult/pkg/visapult":      true,
+		"visapult/pkg/visapult/dpss": true,
+		"visapult/cmd/visapultd":     false, // binaries own their roots
+		"visapult/internal/testutil": false, // allowlisted harness
+		"other/internal":             false,
+	} {
+		if got := ctxbackground.Analyzer.AppliesTo(path); got != want {
+			t.Errorf("AppliesTo(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

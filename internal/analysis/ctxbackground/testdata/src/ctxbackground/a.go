@@ -1,0 +1,56 @@
+// Fixture for the ctxbackground analyzer: context roots belong in main and
+// tests, not in library code.
+package ctxbackground
+
+import "context"
+
+func fresh() context.Context {
+	return context.Background() // want `context.Background in library code detaches callees`
+}
+
+func todo() context.Context {
+	return context.TODO() // want `context.TODO in library code detaches callees`
+}
+
+// Deriving from a caller-supplied ctx is the point.
+func derived(ctx context.Context) (context.Context, context.CancelFunc) {
+	return context.WithCancel(ctx)
+}
+
+// Referencing the function without calling it is not flagged: only the call
+// creates a detached root.
+var root = context.Background
+
+func indirect() context.Context {
+	return root()
+}
+
+// The nil-ctx guard is exempt: the function accepts a ctx, Background only
+// fills in for a caller that passed nil.
+func nilGuard(ctx context.Context) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return ctx
+}
+
+// Assigning to something that is not the function's own parameter is still a
+// detached root.
+func notAParam(ctx context.Context) context.Context {
+	var local context.Context
+	if ctx == nil {
+		local = context.Background() // want `context.Background in library code detaches callees`
+	}
+	return local
+}
+
+// A literal's own ctx parameter counts; the enclosing function's does not
+// leak into the literal's exemption.
+func litGuard() func(context.Context) context.Context {
+	return func(ctx context.Context) context.Context {
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		return ctx
+	}
+}

@@ -1,0 +1,111 @@
+// Package goroutinelife flags fire-and-forget goroutines: `go func` literals
+// whose body has no cancellation or join path. This is the exact shape of the
+// two leaks PR 1 fixed by hand — a spawned worker that nothing can stop and
+// nothing waits for outlives its run, holds its captures, and accumulates
+// under load.
+//
+// A goroutine body passes the check if it contains any lifecycle signal:
+//
+//   - a select statement (quit channels, ctx.Done, timeouts);
+//   - a channel receive, send, close, or a range over a channel (the
+//     goroutine either drains until its producer closes, or signals a
+//     joiner when it finishes);
+//   - a call to a Done method (sync.WaitGroup join, context watch);
+//   - creating a deadline-scoped context (context.WithTimeout/WithDeadline):
+//     the goroutine's work is bounded by that deadline;
+//   - calling a context.CancelFunc: the goroutine participates in
+//     cancellation, either releasing its own scope or propagating
+//     termination to the work it watches.
+//
+// The check is syntactic and local by design: it cannot prove liveness, but
+// every legitimate long-lived goroutine in this codebase carries one of these
+// shapes, and one that carries none deserves either a signal or an explicit
+// //vislint:ignore with the reason it terminates.
+package goroutinelife
+
+import (
+	"go/ast"
+	"go/types"
+
+	"visapult/internal/analysis"
+)
+
+// Analyzer is the goroutinelife check; it applies to every package.
+var Analyzer = &analysis.Analyzer{
+	Name: "goroutinelife",
+	Doc: "flags `go func` literals with no cancellation or join path " +
+		"(no select, channel op, or Done call in the body)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := g.Call.Fun.(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			if !hasLifecycleSignal(pass.TypesInfo, lit.Body) {
+				pass.Reportf(g.Pos(), "goroutine has no cancellation or join path: select on ctx.Done()/a quit channel, signal a done channel, or join it with a WaitGroup")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func hasLifecycleSignal(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SelectStmt, *ast.SendStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if _, ok := info.TypeOf(n.X).Underlying().(*types.Chan); ok {
+				found = true
+			}
+		case *ast.CallExpr:
+			switch fun := n.Fun.(type) {
+			case *ast.Ident:
+				if b, ok := info.Uses[fun].(*types.Builtin); ok && b.Name() == "close" {
+					found = true
+				}
+			case *ast.SelectorExpr:
+				if fun.Sel.Name == "Done" {
+					found = true // wg.Done() join or ctx.Done() watch
+				}
+			}
+			if !found {
+				switch analysis.FullName(info, n) {
+				case "context.WithTimeout", "context.WithDeadline":
+					found = true // deadline-scoped: the work is time-bounded
+				}
+			}
+			if !found && isCancelFunc(info.TypeOf(n.Fun)) {
+				found = true // releases or propagates a cancellation scope
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func isCancelFunc(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "CancelFunc"
+}

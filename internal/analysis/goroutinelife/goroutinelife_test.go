@@ -1,0 +1,12 @@
+package goroutinelife_test
+
+import (
+	"testing"
+
+	"visapult/internal/analysis/analysistest"
+	"visapult/internal/analysis/goroutinelife"
+)
+
+func TestGoroutineLife(t *testing.T) {
+	analysistest.Run(t, goroutinelife.Analyzer, "goroutinelife")
+}

@@ -1,0 +1,107 @@
+// Fixture for the goroutinelife analyzer: every `go func` literal needs a
+// cancellation or join path.
+package goroutinelife
+
+import (
+	"context"
+	"sync"
+)
+
+func work()       {}
+func loopBody()   {}
+func sideEffect() {}
+
+// Fire-and-forget loops are the PR 1 leak shape.
+func leaky() {
+	go func() { // want `goroutine has no cancellation or join path`
+		for {
+			loopBody()
+		}
+	}()
+	go func() { // want `goroutine has no cancellation or join path`
+		sideEffect()
+	}()
+}
+
+// A WaitGroup join is a lifecycle.
+func joined() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// Selecting on ctx.Done is a lifecycle.
+func cancellable(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+// Signalling a done channel is a lifecycle.
+func signalled() <-chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		work()
+	}()
+	return done
+}
+
+// Draining a channel until the producer closes it is a lifecycle: the
+// producer's close is the cancellation path.
+func drainer(ch chan int) {
+	go func() {
+		for v := range ch {
+			_ = v
+		}
+	}()
+}
+
+// Receives and sends count: the goroutine is coupled to a peer.
+func coupled(in chan int, out chan int) {
+	go func() {
+		out <- <-in
+	}()
+}
+
+// A deadline-scoped context bounds the goroutine's lifetime.
+func deadlineScoped(ctx context.Context) {
+	go func() {
+		tctx, cancel := context.WithTimeout(ctx, 0)
+		defer cancel()
+		_ = tctx
+	}()
+}
+
+// Calling a CancelFunc couples the goroutine to a cancellation scope: the
+// connection-monitor shape, which terminates with what it watches.
+func monitor(dec interface{ Decode(any) error }) context.CancelFunc {
+	_, cancel := context.WithCancel(context.Background())
+	go func() {
+		for {
+			var msg struct{}
+			if err := dec.Decode(&msg); err != nil {
+				cancel()
+				return
+			}
+		}
+	}()
+	return cancel
+}
+
+// Named-function goroutines are out of scope: the callee owns its lifecycle
+// and is analyzed where it is defined.
+func named() {
+	go work()
+}

@@ -1,0 +1,190 @@
+// Package lockguard enforces the `// guarded by <mu>` annotation convention:
+// a struct field carrying that comment may only be accessed in a function
+// that first locks the named mutex on the same instance.
+//
+//	type Manager struct {
+//		mu   sync.Mutex
+//		runs map[string]*managedRun // guarded by mu
+//	}
+//
+// The check is flow-insensitive but source-ordered: an access to x.runs is
+// accepted when the enclosing function contains x.mu.Lock() or x.mu.RLock()
+// at an earlier position (defer x.mu.Unlock() keeps the usual idiom intact),
+// or when the function's name ends in "Locked" — the convention for helpers
+// whose contract is "caller holds the lock". Composite literals
+// (&Manager{runs: ...}) are not selector accesses and pass; a constructor
+// that writes fields after publication is exactly the bug the check exists
+// to catch.
+package lockguard
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"visapult/internal/analysis"
+)
+
+// Analyzer is the lockguard check; it applies to every package.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockguard",
+	Doc: "checks that fields annotated `// guarded by <mu>` are only accessed " +
+		"with the named mutex held in the enclosing function",
+	Run: run,
+}
+
+// guardedRE matches an annotation line: the whole comment line must read
+// "guarded by <mutex>", so prose mentioning a guard in passing ("...guarded
+// by the fan-out mutex...") is not an annotation.
+var guardedRE = regexp.MustCompile(`(?mi)^\s*guarded by (\w+)\s*$`)
+
+// guardedField records one annotated field: its owning named struct type and
+// the name of the mutex field protecting it.
+type guardedField struct {
+	mutex string
+}
+
+func run(pass *analysis.Pass) error {
+	guards := collectGuards(pass)
+	if len(guards) == 0 {
+		return nil
+	}
+	analysis.InspectFuncs(pass.Files, func(name string, decl *ast.FuncDecl, body *ast.BlockStmt) {
+		if strings.HasSuffix(name, "Locked") {
+			return
+		}
+		checkBody(pass, guards, body)
+	})
+	return nil
+}
+
+// collectGuards scans struct declarations for guarded-by annotations, keyed
+// by the defining *types.TypeName and field name.
+func collectGuards(pass *analysis.Pass) map[*types.TypeName]map[string]guardedField {
+	guards := make(map[*types.TypeName]map[string]guardedField)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			tn, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mu := guardAnnotation(field)
+				if mu == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					if guards[tn] == nil {
+						guards[tn] = make(map[string]guardedField)
+					}
+					guards[tn][name.Name] = guardedField{mutex: mu}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+func guardAnnotation(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedRE.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// checkBody verifies every guarded-field access in one function body.
+func checkBody(pass *analysis.Pass, guards map[*types.TypeName]map[string]guardedField, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+
+	// locked maps "<instance-key>.<mutex>" to the position of the first
+	// Lock/RLock call on it.
+	locked := make(map[string]lockMark)
+	type access struct {
+		sel   *ast.SelectorExpr
+		key   string // instance key
+		mutex string
+	}
+	var accesses []access
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+				return true
+			}
+			if k, ok := analysis.ExprKey(info, sel.X); ok {
+				if _, seen := locked[k]; !seen {
+					locked[k] = lockMark{pos: int(n.Pos())}
+				}
+			}
+		case *ast.SelectorExpr:
+			tn, fieldName := selectedField(info, n)
+			if tn == nil {
+				return true
+			}
+			g, ok := guards[tn][fieldName]
+			if !ok {
+				return true
+			}
+			k, ok := analysis.ExprKey(info, n.X)
+			if !ok {
+				// No stable identity for the instance (call result etc.):
+				// report, the access cannot be proven locked.
+				k = ""
+			}
+			accesses = append(accesses, access{sel: n, key: k, mutex: g.mutex})
+		}
+		return true
+	})
+
+	for _, a := range accesses {
+		lock, ok := locked[a.key+"."+a.mutex]
+		if ok && lock.pos < int(a.sel.Pos()) {
+			continue
+		}
+		pass.Reportf(a.sel.Pos(), "%s is guarded by %s, which is not held here (lock %s.%s first, or name the helper *Locked)",
+			types.ExprString(a.sel), a.mutex, types.ExprString(a.sel.X), a.mutex)
+	}
+}
+
+type lockMark struct{ pos int }
+
+// selectedField resolves a selector to (owning named type, field name) when
+// it selects a struct field; (nil, "") otherwise.
+func selectedField(info *types.Info, sel *ast.SelectorExpr) (*types.TypeName, string) {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil, ""
+	}
+	t := s.Recv()
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return nil, ""
+	}
+	// Embedded promotions select through intermediate structs; attribute the
+	// field to the struct that declares it.
+	obj := s.Obj()
+	if v, ok := obj.(*types.Var); ok && v.IsField() {
+		return n.Obj(), v.Name()
+	}
+	return nil, ""
+}

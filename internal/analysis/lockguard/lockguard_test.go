@@ -1,0 +1,12 @@
+package lockguard_test
+
+import (
+	"testing"
+
+	"visapult/internal/analysis/analysistest"
+	"visapult/internal/analysis/lockguard"
+)
+
+func TestLockGuard(t *testing.T) {
+	analysistest.Run(t, lockguard.Analyzer, "lockguard")
+}

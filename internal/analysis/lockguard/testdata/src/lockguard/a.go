@@ -1,0 +1,76 @@
+// Fixture for the lockguard analyzer: fields annotated `// guarded by <mu>`
+// may only be touched with the named mutex held.
+package lockguard
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+
+	statsMu sync.RWMutex
+	// hits is tracked separately from n.
+	// guarded by statsMu
+	hits int
+
+	free int // unannotated fields are not checked
+}
+
+func (c *counter) inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+func (c *counter) incUnsafe() {
+	c.n++ // want `c.n is guarded by mu, which is not held here`
+}
+
+func (c *counter) wrongMutex() {
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
+	c.n++ // want `c.n is guarded by mu, which is not held here`
+}
+
+func (c *counter) readHits() int {
+	c.statsMu.RLock()
+	defer c.statsMu.RUnlock()
+	return c.hits
+}
+
+func (c *counter) peekHits() int {
+	return c.hits // want `c.hits is guarded by statsMu, which is not held here`
+}
+
+// The lock must precede the access in source order.
+func (c *counter) lockTooLate() {
+	c.n++ // want `c.n is guarded by mu, which is not held here`
+	c.mu.Lock()
+	defer c.mu.Unlock()
+}
+
+// Helpers named *Locked are the caller-holds-the-lock convention.
+func (c *counter) bumpLocked() {
+	c.n++
+}
+
+// Unannotated fields are free.
+func (c *counter) touchFree() {
+	c.free++
+}
+
+// Non-method functions are held to the same rule, per instance.
+func swap(a, b *counter) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.n, b.n = b.n, a.n // want `b.n is guarded by mu` `b.n is guarded by mu`
+}
+
+// Writing fields after construction is an access like any other: the check
+// cannot know the instance is still private.
+func fresh() *counter {
+	c := &counter{n: 1} // composite literals are initialization, not access
+	c.free = 2
+	c.n = 3 // want `c.n is guarded by mu, which is not held here`
+	return c
+}

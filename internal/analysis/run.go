@@ -1,0 +1,146 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Finding is one diagnostic resolved to a position, after suppression
+// filtering.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String formats the finding the way compilers do, so editors and CI
+// annotators pick the position up.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// Run executes every analyzer over every package (honoring AppliesTo) and
+// returns the surviving findings sorted by position.
+//
+// A finding is suppressed by an ignore directive naming its analyzer:
+//
+//	//vislint:ignore boundedio <reason>
+//
+// placed either at the end of the flagged line or on a line of its own
+// immediately above it. Several analyzers may be named, comma-separated, and
+// the reason is mandatory. The staticcheck-style spelling //lint:ignore is
+// accepted too.
+func Run(analyzers []*Analyzer, pkgs []*Package) ([]Finding, error) {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		ignores := collectIgnores(pkg)
+		for _, a := range analyzers {
+			if a.AppliesTo != nil && !a.AppliesTo(pkg.PkgPath) {
+				continue
+			}
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Pkg,
+				TypesInfo: pkg.TypesInfo,
+			}
+			pass.Report = func(d Diagnostic) {
+				pos := pkg.Fset.Position(d.Pos)
+				if ignores.match(a.Name, pos) {
+					return
+				}
+				findings = append(findings, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.PkgPath, err)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+// ignoreSet maps file -> line -> analyzer names suppressed on that line.
+type ignoreSet map[string]map[int][]string
+
+func (s ignoreSet) match(analyzer string, pos token.Position) bool {
+	for _, name := range s[pos.Filename][pos.Line] {
+		if name == analyzer || name == "*" {
+			return true
+		}
+	}
+	return false
+}
+
+// collectIgnores scans a package's comments for ignore directives.
+func collectIgnores(pkg *Package) ignoreSet {
+	set := make(ignoreSet)
+	add := func(file string, line int, names []string) {
+		if set[file] == nil {
+			set[file] = make(map[int][]string)
+		}
+		set[file][line] = append(set[file][line], names...)
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				names, ok := parseIgnore(c.Text)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				// A trailing directive suppresses its own line; a directive
+				// alone on a line suppresses the next one. Both registrations
+				// are harmless, so make them and let positions disambiguate.
+				add(pos.Filename, pos.Line, names)
+				add(pos.Filename, pos.Line+1, names)
+			}
+		}
+	}
+	return set
+}
+
+// parseIgnore recognizes "//vislint:ignore name1,name2 reason" (and the
+// lint:ignore spelling). A directive without a reason is ignored — the point
+// of the suppression convention is that every exception is justified in situ.
+func parseIgnore(text string) ([]string, bool) {
+	body, ok := strings.CutPrefix(text, "//vislint:ignore ")
+	if !ok {
+		body, ok = strings.CutPrefix(text, "//lint:ignore ")
+	}
+	if !ok {
+		return nil, false
+	}
+	fields := strings.Fields(body)
+	if len(fields) < 2 {
+		return nil, false // no reason given
+	}
+	return strings.Split(fields[0], ","), true
+}
+
+// InspectFuncs walks every function body in the pass — declarations and
+// function literals — calling fn with the enclosing declaration name ("" for
+// literals outside a declaration). Analyzers that reason per-function share
+// this traversal.
+func InspectFuncs(files []*ast.File, fn func(name string, decl *ast.FuncDecl, body *ast.BlockStmt)) {
+	for _, f := range files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				fn(fd.Name.Name, fd, fd.Body)
+			}
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+func TestParseIgnore(t *testing.T) {
+	cases := []struct {
+		text  string
+		names []string
+	}{
+		{"//vislint:ignore boundedio idle request loop", []string{"boundedio"}},
+		{"//vislint:ignore boundedio,lockguard both justified", []string{"boundedio", "lockguard"}},
+		{"//lint:ignore ctxbackground io.ReaderAt compatibility", []string{"ctxbackground"}},
+		{"//vislint:ignore boundedio", nil}, // no reason, no suppression
+		{"// vislint:ignore boundedio spaced directives are not directives", nil},
+		{"//nolint:errcheck", nil},
+		{"// plain comment", nil},
+	}
+	for _, c := range cases {
+		names, ok := parseIgnore(c.text)
+		if c.names == nil {
+			if ok {
+				t.Errorf("parseIgnore(%q) = %v, want no directive", c.text, names)
+			}
+			continue
+		}
+		if !ok || strings.Join(names, ",") != strings.Join(c.names, ",") {
+			t.Errorf("parseIgnore(%q) = %v, %v; want %v", c.text, names, ok, c.names)
+		}
+	}
+}
+
+func TestPathPrefixes(t *testing.T) {
+	p := PathPrefixes("visapult/internal/dpss", "visapult/pkg/visapult")
+	for path, want := range map[string]bool{
+		"visapult/internal/dpss":        true,
+		"visapult/internal/dpss/fabric": true,
+		"visapult/internal/dpssx":       false,
+		"visapult/pkg/visapult":         true,
+		"other":                         false,
+	} {
+		if got := p(path); got != want {
+			t.Errorf("PathPrefixes(%q) = %v, want %v", path, got, want)
+		}
+	}
+}
+
+// loadSrc typechecks one import-free source string into a Package.
+func loadSrc(t *testing.T, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := NewTypesInfo()
+	pkg, err := (&types.Config{}).Check("x", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Package{PkgPath: "x", Fset: fset, Files: []*ast.File{f}, Pkg: pkg, TypesInfo: info}
+}
+
+// flagCalls reports every call expression; Run's suppression filtering does
+// the rest.
+var flagCalls = &Analyzer{
+	Name: "flagcalls",
+	Doc:  "test analyzer: reports every call",
+	Run: func(pass *Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if c, ok := n.(*ast.CallExpr); ok {
+					pass.Reportf(c.Pos(), "call here")
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+func TestRunSuppression(t *testing.T) {
+	pkg := loadSrc(t, `package x
+
+func f() {}
+
+func g() {
+	f() // line 6: flagged
+	f() //vislint:ignore flagcalls trailing directive suppresses its own line
+	//vislint:ignore flagcalls standalone directive suppresses the next line
+	f()
+	f() //vislint:ignore othercheck a different analyzer's directive does not apply
+	f() //vislint:ignore flagcalls,othercheck lists match any named analyzer
+}
+`)
+	findings, err := Run([]*Analyzer{flagCalls}, []*Package{pkg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lines []int
+	for _, f := range findings {
+		lines = append(lines, f.Pos.Line)
+	}
+	want := []int{6, 10}
+	if len(lines) != len(want) {
+		t.Fatalf("findings on lines %v, want %v", lines, want)
+	}
+	for i := range want {
+		if lines[i] != want[i] {
+			t.Fatalf("findings on lines %v, want %v", lines, want)
+		}
+	}
+}
+
+func TestRunHonorsAppliesTo(t *testing.T) {
+	pkg := loadSrc(t, "package x\n\nfunc f() {}\nfunc g() { f() }\n")
+	scoped := &Analyzer{
+		Name:      "scoped",
+		Doc:       "test analyzer with AppliesTo",
+		AppliesTo: PathPrefixes("elsewhere"),
+		Run:       flagCalls.Run,
+	}
+	findings, err := Run([]*Analyzer{scoped}, []*Package{pkg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("AppliesTo not honored: %v", findings)
+	}
+}

@@ -1,0 +1,81 @@
+// Package ssedeadline flags streaming HTTP handlers that flush events to the
+// client but never arm a write deadline. net/http has no default write
+// timeout usable for long-lived streams, so without a per-write deadline via
+// http.ResponseController a subscriber that stops reading pins the handler
+// goroutine (and whatever feeds it) forever — the failure mode PR 5's
+// backpressure-aware SSE removed from visapultd.
+//
+// The rule is function-local: any function that calls Flush on an
+// http.Flusher or an *http.ResponseController must also call
+// SetWriteDeadline. Centralizing both in one send helper (the sseStream
+// pattern) satisfies it naturally; a handler that flushes in its own loop
+// must arm the deadline in that loop.
+package ssedeadline
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"visapult/internal/analysis"
+)
+
+// Analyzer is the ssedeadline check; it applies to every package.
+var Analyzer = &analysis.Analyzer{
+	Name: "ssedeadline",
+	Doc: "flags functions that Flush an http stream without ever calling " +
+		"SetWriteDeadline (use http.NewResponseController(w).SetWriteDeadline)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	analysis.InspectFuncs(pass.Files, func(name string, decl *ast.FuncDecl, body *ast.BlockStmt) {
+		var firstFlush token.Pos
+		setsDeadline := false
+		ast.Inspect(body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "Flush":
+				if firstFlush == token.NoPos && isHTTPFlusher(pass.TypesInfo.TypeOf(sel.X)) {
+					firstFlush = call.Pos()
+				}
+			case "SetWriteDeadline":
+				setsDeadline = true
+			}
+			return true
+		})
+		if firstFlush != token.NoPos && !setsDeadline {
+			pass.Reportf(firstFlush, "stream is flushed but the function never sets a write deadline: a subscriber that stops reading pins this goroutine (use http.NewResponseController(w).SetWriteDeadline per write)")
+		}
+	})
+	return nil
+}
+
+// isHTTPFlusher reports whether t is net/http.Flusher or
+// *net/http.ResponseController (the two flush surfaces of a streaming
+// response). bufio and csv writers also have Flush; they are not network
+// streams and are excluded by the package check.
+func isHTTPFlusher(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "net/http" {
+		return false
+	}
+	return obj.Name() == "Flusher" || obj.Name() == "ResponseController"
+}

@@ -1,0 +1,12 @@
+package ssedeadline_test
+
+import (
+	"testing"
+
+	"visapult/internal/analysis/analysistest"
+	"visapult/internal/analysis/ssedeadline"
+)
+
+func TestSSEDeadline(t *testing.T) {
+	analysistest.Run(t, ssedeadline.Analyzer, "ssedeadline")
+}

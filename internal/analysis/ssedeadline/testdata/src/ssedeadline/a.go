@@ -1,0 +1,70 @@
+// Fixture for the ssedeadline analyzer: a function that flushes a streaming
+// HTTP response must arm a write deadline.
+package ssedeadline
+
+import (
+	"bufio"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// Flushing in a loop with no deadline pins the handler on a dead client.
+func leakyHandler(w http.ResponseWriter, r *http.Request) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		return
+	}
+	for i := 0; i < 100; i++ {
+		fmt.Fprintf(w, "data: %d\n\n", i)
+		flusher.Flush() // want `stream is flushed but the function never sets a write deadline`
+	}
+}
+
+// The ResponseController's Flush counts too.
+func leakyController(w http.ResponseWriter, r *http.Request) {
+	rc := http.NewResponseController(w)
+	fmt.Fprint(w, "data: hi\n\n")
+	rc.Flush() // want `stream is flushed but the function never sets a write deadline`
+}
+
+// Arming the deadline in the same function passes.
+func boundedHandler(w http.ResponseWriter, r *http.Request) {
+	rc := http.NewResponseController(w)
+	for i := 0; i < 100; i++ {
+		rc.SetWriteDeadline(time.Now().Add(10 * time.Second))
+		fmt.Fprintf(w, "data: %d\n\n", i)
+		rc.Flush()
+	}
+}
+
+// The sseStream pattern: the assertion lives in a constructor that never
+// flushes, and the send helper pairs every flush with a deadline.
+type stream struct {
+	w       http.ResponseWriter
+	rc      *http.ResponseController
+	flusher http.Flusher
+}
+
+func newStream(w http.ResponseWriter) (*stream, bool) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		return nil, false
+	}
+	return &stream{w: w, rc: http.NewResponseController(w), flusher: flusher}, true
+}
+
+func (s *stream) send(data string) bool {
+	s.rc.SetWriteDeadline(time.Now().Add(10 * time.Second))
+	if _, err := fmt.Fprintf(s.w, "data: %s\n\n", data); err != nil {
+		return false
+	}
+	s.flusher.Flush()
+	return true
+}
+
+// bufio flushes are not network streams.
+func buffered(w *bufio.Writer) {
+	fmt.Fprint(w, "hello")
+	w.Flush()
+}

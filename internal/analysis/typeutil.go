@@ -1,0 +1,119 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// ConnLike reports whether t is a net.Conn-shaped type: its method set (or
+// its pointer's) carries both SetReadDeadline and SetWriteDeadline. The check
+// is structural so it covers net.Conn itself, *net.TCPConn, the wire and
+// netsim wrappers, and any future conn type, without needing the net package
+// object in scope. os.File is excluded by name: it carries the deadline
+// methods for the pipe/socket case, but in this codebase it is always a disk
+// file, where blocking I/O is bounded by the filesystem, not a peer.
+func ConnLike(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if isOSFile(t) {
+		return false
+	}
+	return HasMethod(t, "SetReadDeadline") && HasMethod(t, "SetWriteDeadline")
+}
+
+func isOSFile(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "os" && obj.Name() == "File"
+}
+
+// HasMethod reports whether name is in the method set of t or *t.
+func HasMethod(t types.Type, name string) bool {
+	if lookup(t, name) {
+		return true
+	}
+	if _, ok := t.Underlying().(*types.Pointer); ok {
+		return false
+	}
+	return lookup(types.NewPointer(t), name)
+}
+
+func lookup(t types.Type, name string) bool {
+	ms := types.NewMethodSet(t)
+	for i := 0; i < ms.Len(); i++ {
+		if ms.At(i).Obj().Name() == name {
+			return true
+		}
+	}
+	return false
+}
+
+// CalleeFunc resolves the called function or method of call, or nil for
+// builtins, type conversions and indirect calls through non-identifiers.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// FullName returns the package-qualified name of the callee of call
+// ("io.ReadFull", "context.Background"), or "" when it cannot be resolved.
+// Methods report their bare selector-style name via types.Func.FullName.
+func FullName(info *types.Info, call *ast.CallExpr) string {
+	fn := CalleeFunc(info, call)
+	if fn == nil {
+		return ""
+	}
+	return fn.FullName()
+}
+
+// ExprKey derives a stable identity for an expression naming a variable or a
+// field chain rooted at one ("conn", "sc.conn", "c.master"), so analyzers can
+// ask "is this the same conn / the same mutex as before?". The bool result is
+// false for expressions with no stable identity (call results, literals).
+func ExprKey(info *types.Info, e ast.Expr) (string, bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := info.Uses[e]
+		if obj == nil {
+			obj = info.Defs[e]
+		}
+		if obj == nil {
+			return "", false
+		}
+		return fmt.Sprintf("%p", obj), true
+	case *ast.SelectorExpr:
+		// Package-qualified name: the selected object is the identity.
+		if id, ok := ast.Unparen(e.X).(*ast.Ident); ok {
+			if _, isPkg := info.Uses[id].(*types.PkgName); isPkg {
+				obj := info.Uses[e.Sel]
+				if obj == nil {
+					return "", false
+				}
+				return fmt.Sprintf("%p", obj), true
+			}
+		}
+		base, ok := ExprKey(info, e.X)
+		if !ok {
+			return "", false
+		}
+		return base + "." + e.Sel.Name, true
+	}
+	return "", false
+}

@@ -32,19 +32,21 @@ type Fanout struct {
 	queue int
 
 	mu      sync.Mutex
-	viewers map[string]*fanViewer
+	viewers map[string]*fanViewer // guarded by mu
 	// history retains detached viewers whose id was reused by a later
 	// Attach (keyed out of the live map), so no attachment's record ever
 	// vanishes from Viewers snapshots. Live pointers, not eager snapshots:
 	// a retired sender still draining (a wedged Detach that timed out)
 	// keeps updating its counters, and the snapshot must see the final
 	// tally.
+	// guarded by mu
 	history []*fanViewer
-	order   int
+	order   int // guarded by mu
 	// maxFrame is the highest frame number any PE has published so far; -1
 	// until the first publish. Late attaches start at maxFrame+1.
+	// guarded by mu
 	maxFrame int
-	closed   bool
+	closed   bool // guarded by mu
 }
 
 // DefaultViewerQueue bounds a viewer's send queue when no bound is given:

@@ -27,6 +27,9 @@ type Client struct {
 	// compress, when positive, requests DEFLATE-compressed blocks at that
 	// level (the section 5 "wire level compression" extension).
 	compress int
+	// opTimeout bounds every request/response exchange whose context carries
+	// no deadline of its own; 0 disables the bound.
+	opTimeout time.Duration
 
 	mu     sync.Mutex
 	master net.Conn
@@ -40,10 +43,20 @@ type Client struct {
 	compressedReads int64
 }
 
+// DefaultOpTimeout is the per-exchange deadline applied when neither the
+// caller's context nor WithClientTimeout supplies one. A master or block
+// server that stops mid-frame (wedged process, dead link with no RST) fails
+// the exchange within this bound instead of blocking the caller forever.
+const DefaultOpTimeout = 30 * time.Second
+
 // serverConn serializes request/response exchanges on one block-server
 // connection. Parallelism across servers comes from having one of these per
 // server, mirroring the original client's thread-per-server design.
 type serverConn struct {
+	// opTimeout mirrors Client.opTimeout for exchanges whose context has no
+	// deadline; set at dial time, read-only afterwards.
+	opTimeout time.Duration
+
 	mu   sync.Mutex
 	conn net.Conn
 	out  io.Writer
@@ -69,10 +82,27 @@ func WithClientLogger(l *netlogger.Logger) ClientOption {
 	return func(c *Client) { c.logger = l }
 }
 
+// WithClientTimeout overrides DefaultOpTimeout as the bound on exchanges
+// whose context carries no deadline. d <= 0 disables the bound entirely —
+// exchanges then block until the peer responds, the connection dies, or the
+// caller's context fires.
+func WithClientTimeout(d time.Duration) ClientOption {
+	return func(c *Client) {
+		if d <= 0 {
+			d = 0
+		}
+		c.opTimeout = d
+	}
+}
+
 // NewClient creates a client for the master at masterAddr. No connection is
 // made until the first call.
 func NewClient(masterAddr string, opts ...ClientOption) *Client {
-	c := &Client{masterAddr: masterAddr, conns: make(map[string]*serverConn)}
+	c := &Client{
+		masterAddr: masterAddr,
+		conns:      make(map[string]*serverConn),
+		opTimeout:  DefaultOpTimeout,
+	}
 	for _, o := range opts {
 		o(c)
 	}
@@ -97,7 +127,9 @@ func (c *Client) masterConn() (net.Conn, error) {
 	return conn, nil
 }
 
-// masterCall performs one synchronous request/response with the master.
+// masterCall performs one synchronous request/response with the master,
+// bounded by the client's op timeout. An exchange that fails at the I/O level
+// leaves the connection mid-frame, so it is dropped; the next call re-dials.
 func (c *Client) masterCall(msgType byte, payload []byte) ([]byte, error) {
 	conn, err := c.masterConn()
 	if err != nil {
@@ -105,17 +137,32 @@ func (c *Client) masterCall(msgType byte, payload []byte) ([]byte, error) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.opTimeout > 0 {
+		conn.SetDeadline(time.Now().Add(c.opTimeout)) //nolint:errcheck // the exchange below surfaces a dead conn
+	}
 	if err := writeFrame(conn, msgType, payload); err != nil {
+		c.dropMasterLocked(conn)
 		return nil, err
 	}
 	respType, resp, err := readFrame(conn)
 	if err != nil {
+		c.dropMasterLocked(conn)
 		return nil, err
 	}
 	if respType == msgError {
 		return nil, interpretError(string(resp))
 	}
 	return resp, nil
+}
+
+// dropMasterLocked closes and forgets the master connection after a failed
+// exchange left it mid-frame. The identity check keeps a stale drop from
+// tearing down a replacement dialed in the meantime.
+func (c *Client) dropMasterLocked(conn net.Conn) {
+	conn.Close()
+	if c.master == conn {
+		c.master = nil
+	}
 }
 
 // interpretError maps an error string from the wire back to a sentinel error
@@ -166,40 +213,74 @@ func (c *Client) serverConnFor(addr string) (*serverConn, error) {
 	if c.shaper != nil || c.latency > 0 {
 		out = netsim.NewShapedConn(conn, c.shaper, c.latency)
 	}
-	sc := &serverConn{conn: conn, out: out}
+	sc := &serverConn{opTimeout: c.opTimeout, conn: conn, out: out}
 	c.conns[addr] = sc
 	return sc, nil
 }
 
-// call performs one synchronous block request on a server connection.
-func (sc *serverConn) call(msgType byte, payload []byte) ([]byte, error) {
-	return sc.callContext(context.Background(), msgType, payload)
-}
+// connError marks an exchange failure that left the connection mid-frame:
+// the conn must be discarded, not returned to the pool.
+type connError struct{ err error }
 
-// callContext is call with cancellation: a ctx cancelled mid-exchange poisons
-// the connection with an immediate deadline, failing the blocked read or
-// write right away instead of at the next frame boundary. The connection is
-// then mid-frame and unusable; the caller must discard it (see
-// Client.dropServerConn).
+func (e *connError) Error() string { return e.err.Error() }
+func (e *connError) Unwrap() error { return e.err }
+
+// callContext performs one synchronous block request with cancellation: a ctx
+// cancelled mid-exchange poisons the connection with an immediate deadline,
+// failing the blocked read or write right away instead of at the next frame
+// boundary. A ctx with no deadline of its own gets the client's op timeout,
+// so an exchange is never unbounded. Either way a failed exchange leaves the
+// connection mid-frame and unusable; the error is a *connError and the caller
+// must discard the conn (see Client.exchange / dropServerConn).
 func (sc *serverConn) callContext(ctx context.Context, msgType byte, payload []byte) ([]byte, error) {
 	sc.mu.Lock()
 	defer sc.mu.Unlock()
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	deadline, ok := ctx.Deadline()
+	if !ok && sc.opTimeout > 0 {
+		deadline, ok = time.Now().Add(sc.opTimeout), true
+	}
+	if ok {
+		sc.conn.SetDeadline(deadline) //nolint:errcheck // the exchange below surfaces a dead conn
+	} else {
+		// Clear any deadline a previous exchange left behind.
+		sc.conn.SetDeadline(time.Time{}) //nolint:errcheck
+	}
 	stop := context.AfterFunc(ctx, func() { sc.conn.SetDeadline(time.Unix(1, 0)) })
 	defer stop()
 	if err := writeFrame(sc.out, msgType, payload); err != nil {
-		return nil, ctxPreferred(ctx, err)
+		return nil, &connError{ctxPreferred(ctx, err)}
 	}
 	respType, resp, err := readFrame(sc.conn)
 	if err != nil {
-		return nil, ctxPreferred(ctx, err)
+		return nil, &connError{ctxPreferred(ctx, err)}
 	}
 	if respType == msgError {
 		return nil, interpretError(string(resp))
 	}
 	return resp, nil
+}
+
+// exchange runs one request/response against the block server at addr,
+// discarding the pooled connection when the exchange broke it (I/O-level
+// failure, or a fired context whose poison deadline may land late).
+func (c *Client) exchange(ctx context.Context, addr string, msgType byte, payload []byte) ([]byte, error) {
+	sc, err := c.serverConnFor(addr)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := sc.callContext(ctx, msgType, payload)
+	var ce *connError
+	// Once the context has fired the connection must go even when the
+	// exchange itself squeaked through: the cancellation's AfterFunc may
+	// have set (or still be setting) the poison deadline, which would fail
+	// every later exchange on a pooled connection.
+	if errors.As(err, &ce) || ctx.Err() != nil {
+		c.dropServerConn(addr, sc)
+	}
+	return resp, err
 }
 
 // ctxPreferred surfaces the context's cancellation as the error cause when an
@@ -269,6 +350,14 @@ func (c *Client) ListDatasets() ([]string, error) {
 // dropped. Removing a dataset the cluster does not hold is a no-op, so the
 // drain-to-empty path can re-run after a partial failure.
 func (c *Client) Remove(name string) error {
+	// Compatibility shim: each exchange below is still bounded by the
+	// client's op timeout.
+	return c.RemoveContext(context.Background(), name) //vislint:ignore ctxbackground ctx-less legacy API; see RemoveContext
+}
+
+// RemoveContext is Remove under a context: cancelling ctx aborts the eviction
+// or catalog exchange in flight.
+func (c *Client) RemoveContext(ctx context.Context, name string) error {
 	info, err := c.Stat(name)
 	if errors.Is(err, ErrUnknownDataset) {
 		return nil
@@ -282,13 +371,12 @@ func (c *Client) Remove(name string) error {
 			continue
 		}
 		seen[addr] = true
-		sc, err := c.serverConnFor(addr)
-		if err != nil {
-			continue
-		}
 		e := &encoder{}
 		e.str(name)
-		sc.call(msgDropDataset, e.buf) //nolint:errcheck // best-effort eviction
+		c.exchange(ctx, addr, msgDropDataset, e.buf) //nolint:errcheck // best-effort eviction
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 	}
 	e := &encoder{}
 	e.str(name)
@@ -307,28 +395,16 @@ func (c *Client) Stat(name string) (DatasetInfo, error) {
 	return decodeDatasetInfo(resp)
 }
 
-// readBlock fetches one logical block from its server. A ctx cancellation
-// aborts the exchange in flight and discards the poisoned connection, so the
-// next read against the same server re-dials a clean one.
+// readBlock fetches one logical block from its server. A ctx cancellation or
+// op-timeout expiry aborts the exchange in flight and discards the poisoned
+// connection, so the next read against the same server re-dials a clean one.
 func (c *Client) readBlock(ctx context.Context, info DatasetInfo, block int64) ([]byte, error) {
 	if c.compress > 0 {
 		return c.readBlockCompressed(ctx, info, block)
 	}
-	addr := info.ServerFor(block)
-	sc, err := c.serverConnFor(addr)
-	if err != nil {
-		return nil, err
-	}
 	e := &encoder{}
 	e.str(info.Name).u64(uint64(block))
-	data, err := sc.callContext(ctx, msgReadBlock, e.buf)
-	// Once the context has fired the connection must go, even when the
-	// exchange itself squeaked through: the cancellation's AfterFunc may
-	// have set (or still be setting) the poison deadline, which would fail
-	// every later read on a pooled connection.
-	if ctx.Err() != nil {
-		c.dropServerConn(addr, sc)
-	}
+	data, err := c.exchange(ctx, info.ServerFor(block), msgReadBlock, e.buf)
 	if err != nil {
 		return nil, err
 	}
@@ -351,15 +427,12 @@ func (c *Client) dropServerConn(addr string, sc *serverConn) {
 	sc.conn.Close()
 }
 
-// writeBlock stores one logical block on its server.
-func (c *Client) writeBlock(info DatasetInfo, block int64, data []byte) error {
-	sc, err := c.serverConnFor(info.ServerFor(block))
-	if err != nil {
-		return err
-	}
+// writeBlock stores one logical block on its server, bounded by ctx and the
+// client's op timeout like every other exchange.
+func (c *Client) writeBlock(ctx context.Context, info DatasetInfo, block int64, data []byte) error {
 	e := &encoder{}
 	e.str(info.Name).u64(uint64(block)).bytes(data)
-	_, err = sc.call(msgWriteBlock, e.buf)
+	_, err := c.exchange(ctx, info.ServerFor(block), msgWriteBlock, e.buf)
 	return err
 }
 
@@ -424,9 +497,11 @@ func (f *File) Info() DatasetInfo { return f.info }
 func (f *File) Size() int64 { return f.info.Size }
 
 // ReadAt reads len(p) bytes starting at offset off, fetching every involved
-// block from its server in parallel. It implements io.ReaderAt.
+// block from its server in parallel. It implements io.ReaderAt, whose
+// signature has no context; each block exchange is still bounded by the
+// client's op timeout.
 func (f *File) ReadAt(p []byte, off int64) (int, error) {
-	return f.ReadAtContext(context.Background(), p, off)
+	return f.ReadAtContext(context.Background(), p, off) //vislint:ignore ctxbackground io.ReaderAt compatibility shim; see ReadAtContext
 }
 
 // ReadAtContext is ReadAt under a context: cancelling ctx aborts the block
@@ -538,8 +613,17 @@ func (f *File) Seek(offset int64, whence int) (int64, error) {
 func (f *File) Close() error { return nil }
 
 // WriteAt stores len(p) bytes at offset off, used by the dataset loader. The
-// write must be block-aligned except for the final partial block.
+// write must be block-aligned except for the final partial block. It
+// implements io.WriterAt, whose signature has no context; each block exchange
+// is still bounded by the client's op timeout.
 func (f *File) WriteAt(p []byte, off int64) (int, error) {
+	return f.WriteAtContext(context.Background(), p, off) //vislint:ignore ctxbackground io.WriterAt compatibility shim; see WriteAtContext
+}
+
+// WriteAtContext is WriteAt under a context: cancelling ctx aborts the block
+// exchange in flight (a blocked write fails immediately) rather than letting
+// the remaining blocks go out.
+func (f *File) WriteAtContext(ctx context.Context, p []byte, off int64) (int, error) {
 	if off%int64(f.info.BlockSize) != 0 {
 		return 0, fmt.Errorf("dpss: write offset %d not block-aligned", off)
 	}
@@ -551,7 +635,7 @@ func (f *File) WriteAt(p []byte, off int64) (int, error) {
 		if end > len(p) {
 			end = len(p)
 		}
-		if err := f.client.writeBlock(f.info, block, p[written:end]); err != nil {
+		if err := f.client.writeBlock(ctx, f.info, block, p[written:end]); err != nil {
 			return written, err
 		}
 		written = end

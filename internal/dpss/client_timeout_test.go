@@ -1,0 +1,86 @@
+package dpss
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestWriteAtTimesOutAgainstStalledServer is the regression test for the
+// operation-timeout write path: a block write whose server accepts the frame
+// but never acknowledges it must fail within the client's op timeout even
+// when the caller supplied no context deadline at all — before the timeout
+// existed, this write pinned its goroutine forever.
+func TestWriteAtTimesOutAgainstStalledServer(t *testing.T) {
+	const blockSize = 1024
+	srv := newStalledBlockServer(t, blockSize)
+
+	client := NewClient("127.0.0.1:1", WithClientTimeout(150*time.Millisecond))
+	defer client.Close()
+	f := &File{client: client, info: DatasetInfo{
+		Name: "wstall.t0000", Size: 4 * blockSize, BlockSize: blockSize,
+		Servers: []string{srv.l.Addr().String()},
+	}}
+
+	buf := make([]byte, blockSize)
+	start := time.Now()
+	done := make(chan error, 1)
+	go func() {
+		_, err := f.WriteAtContext(context.Background(), buf, 0)
+		done <- err
+	}()
+	var err error
+	select {
+	case err = <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("WriteAtContext did not return: the stalled block write was not bounded by the op timeout")
+	}
+	if err == nil {
+		t.Fatal("WriteAtContext returned nil error against a stalled server")
+	}
+	var nerr net.Error
+	if !errors.As(err, &nerr) || !nerr.Timeout() {
+		t.Fatalf("WriteAtContext error = %v, want a net timeout", err)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("stalled write took %v to fail, want roughly the 150ms op timeout", elapsed)
+	}
+
+	// The timed-out exchange died mid-conversation; its connection must have
+	// been discarded. Once the server behaves, a fresh write succeeds on a
+	// newly dialed connection instead of failing on the poisoned one.
+	srv.stalled.Store(false)
+	if _, err := f.WriteAtContext(context.Background(), buf, 0); err != nil {
+		t.Fatalf("write after recovery: %v (poisoned connection reused?)", err)
+	}
+}
+
+// TestWriteAtContextDeadlineBeatsOpTimeout: a caller context deadline shorter
+// than the op timeout wins, and the error carries the context cause.
+func TestWriteAtContextDeadlineBeatsOpTimeout(t *testing.T) {
+	const blockSize = 256
+	srv := newStalledBlockServer(t, blockSize)
+
+	client := NewClient("127.0.0.1:1", WithClientTimeout(30*time.Second))
+	defer client.Close()
+	f := &File{client: client, info: DatasetInfo{
+		Name: "wctx.t0000", Size: blockSize, BlockSize: blockSize,
+		Servers: []string{srv.l.Addr().String()},
+	}}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := f.WriteAtContext(ctx, make([]byte, blockSize), 0)
+	if err == nil {
+		t.Fatal("WriteAtContext returned nil error against a stalled server")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("WriteAtContext error = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("context-bounded write took %v, want roughly the 100ms context deadline", elapsed)
+	}
+}

@@ -48,19 +48,9 @@ func WithClientCompression(level int) ClientOption {
 // readBlockCompressed fetches one block through the compressed-read path and
 // inflates it.
 func (c *Client) readBlockCompressed(ctx context.Context, info DatasetInfo, block int64) ([]byte, error) {
-	addr := info.ServerFor(block)
-	sc, err := c.serverConnFor(addr)
-	if err != nil {
-		return nil, err
-	}
 	e := &encoder{}
 	e.str(info.Name).u64(uint64(block)).u32(uint32(c.compress))
-	wire, err := sc.callContext(ctx, msgReadBlockZ, e.buf)
-	// A fired context poisons the pooled connection (see readBlock); drop it
-	// even when this exchange succeeded.
-	if ctx.Err() != nil {
-		c.dropServerConn(addr, sc)
-	}
+	wire, err := c.exchange(ctx, info.ServerFor(block), msgReadBlockZ, e.buf)
 	if err != nil {
 		return nil, err
 	}
@@ -124,7 +114,7 @@ func (s *BlockServer) handleReadCompressed(out net.Conn, payload []byte) {
 	s.mu.Lock()
 	s.served += int64(buf.Len())
 	s.mu.Unlock()
-	writeFrame(out, msgOK, buf.Bytes()) //nolint:errcheck // client disconnects surface on next read
+	reply(out, msgOK, buf.Bytes())
 }
 
 // CompressionRatio returns raw bytes delivered over bytes that crossed the

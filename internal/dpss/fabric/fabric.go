@@ -115,14 +115,20 @@ type member struct {
 	name   string
 	master string
 
-	mu      sync.Mutex
-	client  *dpss.Client
+	mu sync.Mutex
+	// guarded by mu
+	client *dpss.Client
+	// guarded by mu
 	healthy bool
 	// failures counts consecutive failures; reset by any success.
-	failures  int
+	// guarded by mu
+	failures int
+	// guarded by mu
 	downUntil time.Time
-	lastErr   string
-	drained   bool
+	// guarded by mu
+	lastErr string
+	// guarded by mu
+	drained bool
 }
 
 // Fabric is a federation of DPSS clusters behind one placement and failover
@@ -132,15 +138,17 @@ type Fabric struct {
 	members []*member
 	byName  map[string]*member
 
-	mu     sync.Mutex
+	mu sync.Mutex
+	// guarded by mu
 	closed bool
 	// epochVersion, eligible and prevEligible are the placement epoch
 	// bookkeeping (see EpochState). eligible is never empty; prevEligible is
 	// nil outside a migration window.
-	epochVersion int
-	eligible     []string
-	prevEligible []string
+	epochVersion int      // guarded by mu
+	eligible     []string // guarded by mu
+	prevEligible []string // guarded by mu
 	// rebalancing serializes the rebalance engine: one migration at a time.
+	// guarded by mu
 	rebalancing bool
 }
 
@@ -175,6 +183,8 @@ func New(cfg Config) (*Fabric, error) {
 		f.members = append(f.members, m)
 		f.byName[cs.Name] = m
 	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	f.eligible = f.memberNames()
 	if cfg.Epoch != nil {
 		cur, err := f.validEligible(cfg.Epoch.Eligible)
@@ -240,8 +250,14 @@ func (m *member) clientFor(cfg Config) *dpss.Client {
 	defer m.mu.Unlock()
 	if m.client == nil {
 		var opts []dpss.ClientOption
+		if cfg.AttemptTimeout > 0 {
+			// Align the client's own per-exchange bound with the fabric's
+			// attempt bound, so even the ctx-less master exchanges (Stat,
+			// Remove's catalog drop) fail over within AttemptTimeout.
+			opts = append(opts, dpss.WithClientTimeout(cfg.AttemptTimeout))
+		}
 		if cfg.ClientOptions != nil {
-			opts = cfg.ClientOptions(m.name)
+			opts = append(opts, cfg.ClientOptions(m.name)...)
 		}
 		m.client = dpss.NewClient(m.master, opts...)
 	}
@@ -873,8 +889,10 @@ type File struct {
 	name string
 	info dpss.DatasetInfo
 
-	mu    sync.Mutex
-	files map[string]*dpss.File // per-cluster handles, lazily opened
+	mu sync.Mutex
+	// per-cluster handles, lazily opened
+	// guarded by mu
+	files map[string]*dpss.File
 }
 
 // Open resolves the dataset against its replicas (first responder wins) and
@@ -955,9 +973,10 @@ func (f *File) dropHandle(m *member) {
 }
 
 // ReadAt reads len(p) bytes at offset off with replica failover. It
-// implements io.ReaderAt.
+// implements io.ReaderAt, whose signature has no context; each replica
+// attempt is still bounded by the fabric's AttemptTimeout.
 func (f *File) ReadAt(p []byte, off int64) (int, error) {
-	return f.ReadAtContext(context.Background(), p, off)
+	return f.ReadAtContext(context.Background(), p, off) //vislint:ignore ctxbackground io.ReaderAt compatibility shim; see ReadAtContext
 }
 
 // ReadAtContext is ReadAt under a context. Replicas are tried in health

@@ -512,47 +512,36 @@ func (f *Fabric) copyDataset(ctx context.Context, name string, sources []string,
 // every other member exchange: a wedged target cluster (accepting socket,
 // frozen process) fails the move within AttemptTimeout instead of pinning
 // the engine — and a pinned engine would hold the single rebalance slot
-// forever, wedging every later Rebalance/Repair/DrainToEmpty.
+// forever, wedging every later Rebalance/Repair/DrainToEmpty. The context
+// cancellation rides the client's own in-exchange abort (WriteAtContext
+// poisons the blocked connection), so no watchdog goroutine is needed.
 func (f *Fabric) writeBlockOn(ctx context.Context, m *member, dst *dpss.File, p []byte, off int64) error {
-	ch := make(chan error, 1)
-	go func() {
-		_, err := dst.WriteAt(p, off)
-		ch <- err
-	}()
 	actx := ctx
 	cancel := func() {}
 	if f.cfg.AttemptTimeout > 0 {
 		actx, cancel = context.WithTimeout(ctx, f.cfg.AttemptTimeout)
 	}
 	defer cancel()
-	select {
-	case err := <-ch:
-		return err
-	case <-actx.Done():
-		m.resetClient() // tears the blocked connection down; the goroutine then finishes
-		<-ch
-		return actx.Err()
+	_, err := dst.WriteAtContext(actx, p, off)
+	if actx.Err() != nil {
+		m.resetClient()
 	}
+	return err
 }
 
 // removeOn deletes one dataset from one member, bounded like every other
 // member exchange so a wedged master cannot pin the drain.
 func (f *Fabric) removeOn(ctx context.Context, m *member, name string) error {
 	client := m.clientFor(f.cfg)
-	ch := make(chan error, 1)
-	go func() { ch <- client.Remove(name) }()
 	actx := ctx
 	cancel := func() {}
 	if f.cfg.AttemptTimeout > 0 {
 		actx, cancel = context.WithTimeout(ctx, f.cfg.AttemptTimeout)
 	}
 	defer cancel()
-	select {
-	case err := <-ch:
-		return err
-	case <-actx.Done():
+	err := client.RemoveContext(actx, name)
+	if actx.Err() != nil {
 		m.resetClient()
-		<-ch
-		return actx.Err()
 	}
+	return err
 }

@@ -6,7 +6,21 @@ import (
 	"net"
 	"sort"
 	"sync"
+	"time"
 )
+
+// respWriteTimeout bounds one response write on a master or block-server
+// connection: a client that stops draining cannot pin a serve loop (and the
+// per-conn goroutine behind it) forever.
+const respWriteTimeout = 30 * time.Second
+
+// reply writes one response frame under a write deadline. Errors are
+// deliberately dropped: a dead or stalled client surfaces on the serve
+// loop's next read, which tears the connection down.
+func reply(conn net.Conn, msgType byte, payload []byte) {
+	conn.SetWriteDeadline(time.Now().Add(respWriteTimeout)) //nolint:errcheck
+	writeFrame(conn, msgType, payload)                      //nolint:errcheck
+}
 
 // Master is the DPSS master: it keeps the dataset catalog, decides block
 // placement (logical-to-physical mapping via round-robin striping over the
@@ -206,7 +220,7 @@ func (m *Master) serveConn(conn net.Conn) {
 		m.mu.Unlock()
 	}()
 	for {
-		msgType, payload, err := readFrame(conn)
+		msgType, payload, err := readFrame(conn) //vislint:ignore boundedio idle request loop: a master connection legitimately waits forever for its client's next request
 		if err != nil {
 			return
 		}
@@ -216,20 +230,20 @@ func (m *Master) serveConn(conn net.Conn) {
 				m.mu.Lock()
 				m.denials++
 				m.mu.Unlock()
-				writeFrame(conn, msgError, []byte(ErrAccessDenied.Error())) //nolint:errcheck
+				reply(conn, msgError, []byte(ErrAccessDenied.Error()))
 				continue
 			}
 			d := &decoder{buf: payload}
 			name := d.str()
 			info, err := m.Lookup(name)
 			if err != nil {
-				writeFrame(conn, msgError, []byte(err.Error())) //nolint:errcheck
+				reply(conn, msgError, []byte(err.Error()))
 				continue
 			}
 			m.mu.Lock()
 			m.opens++
 			m.mu.Unlock()
-			writeFrame(conn, msgOK, encodeDatasetInfo(info)) //nolint:errcheck
+			reply(conn, msgOK, encodeDatasetInfo(info))
 		case msgCreate:
 			d := &decoder{buf: payload}
 			name := d.str()
@@ -237,18 +251,18 @@ func (m *Master) serveConn(conn net.Conn) {
 			blockSize := int(d.u32())
 			info, err := m.CreateDataset(name, size, blockSize)
 			if err != nil {
-				writeFrame(conn, msgError, []byte(err.Error())) //nolint:errcheck
+				reply(conn, msgError, []byte(err.Error()))
 				continue
 			}
-			writeFrame(conn, msgOK, encodeDatasetInfo(info)) //nolint:errcheck
+			reply(conn, msgOK, encodeDatasetInfo(info))
 		case msgRegister:
 			d := &decoder{buf: payload}
 			m.RegisterServer(d.str())
-			writeFrame(conn, msgOK, nil) //nolint:errcheck
+			reply(conn, msgOK, nil)
 		case msgRemove:
 			d := &decoder{buf: payload}
 			m.RemoveDataset(d.str())
-			writeFrame(conn, msgOK, nil) //nolint:errcheck
+			reply(conn, msgOK, nil)
 		case msgList:
 			names := m.Datasets()
 			e := &encoder{}
@@ -256,9 +270,9 @@ func (m *Master) serveConn(conn net.Conn) {
 			for _, n := range names {
 				e.str(n)
 			}
-			writeFrame(conn, msgOK, e.buf) //nolint:errcheck
+			reply(conn, msgOK, e.buf)
 		default:
-			writeFrame(conn, msgError, []byte(ErrProtocol.Error())) //nolint:errcheck
+			reply(conn, msgError, []byte(ErrProtocol.Error()))
 		}
 	}
 }

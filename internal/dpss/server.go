@@ -154,7 +154,7 @@ func (s *BlockServer) serveConn(conn net.Conn) {
 		out = netsim.NewShapedConn(conn, s.shaper, 0)
 	}
 	for {
-		msgType, payload, err := readFrame(conn)
+		msgType, payload, err := readFrame(conn) //vislint:ignore boundedio idle request loop: a block-server connection legitimately waits forever for its client's next request
 		if err != nil {
 			return
 		}
@@ -196,7 +196,7 @@ func (s *BlockServer) handleRead(out net.Conn, payload []byte) {
 	s.mu.Lock()
 	s.served += int64(len(data))
 	s.mu.Unlock()
-	writeFrame(out, msgOK, data) //nolint:errcheck // client disconnects surface on next read
+	reply(out, msgOK, data)
 }
 
 func (s *BlockServer) handleWrite(out net.Conn, payload []byte) {
@@ -212,7 +212,7 @@ func (s *BlockServer) handleWrite(out net.Conn, payload []byte) {
 	s.mu.Lock()
 	s.stored += int64(len(data))
 	s.mu.Unlock()
-	writeFrame(out, msgOK, nil) //nolint:errcheck
+	reply(out, msgOK, nil)
 }
 
 // handleDrop serves a msgDropDataset request: every block of the dataset is
@@ -228,14 +228,14 @@ func (s *BlockServer) handleDrop(out net.Conn, payload []byte) {
 	dropped := s.DropDataset(dataset)
 	e := &encoder{}
 	e.u32(uint32(dropped))
-	writeFrame(out, msgOK, e.buf) //nolint:errcheck
+	reply(out, msgOK, e.buf)
 }
 
 func (s *BlockServer) replyError(out net.Conn, err error) {
 	s.mu.Lock()
 	s.errored++
 	s.mu.Unlock()
-	writeFrame(out, msgError, []byte(err.Error())) //nolint:errcheck
+	reply(out, msgError, []byte(err.Error()))
 }
 
 // ServerStats summarizes a block server's activity.

@@ -88,6 +88,7 @@ func (d *Daemon) serveConn(conn net.Conn) {
 		delete(d.conns, conn)
 		d.mu.Unlock()
 	}()
+	//vislint:ignore boundedio idle ingest loop: a netlogd connection legitimately waits forever for the instrumented app's next log line
 	d.Ingest(conn) //nolint:errcheck // connection teardown is expected
 }
 

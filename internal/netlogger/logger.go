@@ -199,6 +199,11 @@ func (c *Collector) WriteULM(w io.Writer) error {
 	return nil
 }
 
+// sinkWriteTimeout bounds one buffered write+flush to a netlogd daemon: a
+// wedged daemon breaks the sink instead of stalling the instrumented
+// application at its next Log call.
+const sinkWriteTimeout = 10 * time.Second
+
 // DialSink connects to a netlogd daemon and returns a writer suitable for
 // WithSink/AddSink. The returned writer buffers lines and is safe for
 // concurrent use by a single Logger (which serializes writes itself).
@@ -207,6 +212,7 @@ func DialSink(addr string) (io.WriteCloser, error) {
 	if err != nil {
 		return nil, fmt.Errorf("netlogger: dial %s: %w", addr, err)
 	}
+	conn.SetWriteDeadline(time.Now().Add(sinkWriteTimeout)) //nolint:errcheck // re-armed per Write
 	return &connSink{conn: conn, bw: bufio.NewWriter(conn)}, nil
 }
 
@@ -219,6 +225,7 @@ type connSink struct {
 func (s *connSink) Write(p []byte) (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.conn.SetWriteDeadline(time.Now().Add(sinkWriteTimeout)) //nolint:errcheck // a dead conn surfaces on the flush below
 	n, err := s.bw.Write(p)
 	if err != nil {
 		return n, err

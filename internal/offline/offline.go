@@ -54,8 +54,12 @@ type Metadata struct {
 // Thumbnail renders a small preview of one timestep dataset stored in a DPSS
 // cache and returns it with the catalog metadata. dims are the stored
 // volume's dimensions; the dataset must have been written by LoadVolume /
-// dpssctl load (a serialized volume).
-func Thumbnail(client *dpss.Client, base string, nx, ny, nz, timestep int, opts ThumbnailOptions) (*render.Image, *Metadata, error) {
+// dpssctl load (a serialized volume). Cancelling ctx aborts the cache reads
+// in flight.
+func Thumbnail(ctx context.Context, client *dpss.Client, base string, nx, ny, nz, timestep int, opts ThumbnailOptions) (*render.Image, *Metadata, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if client == nil {
 		return nil, nil, fmt.Errorf("offline: nil DPSS client")
 	}
@@ -85,7 +89,7 @@ func Thumbnail(client *dpss.Client, base string, nx, ny, nz, timestep int, opts 
 	var bytesRead int64
 	for zi := 0; zi < outNZ; zi++ {
 		z := zi * stride
-		plane, n, err := src.LoadRegion(context.Background(), timestep, volume.Region{X0: 0, X1: nx, Y0: 0, Y1: ny, Z0: z, Z1: z + 1})
+		plane, n, err := src.LoadRegion(ctx, timestep, volume.Region{X0: 0, X1: nx, Y0: 0, Y1: ny, Z0: z, Z1: z + 1})
 		if err != nil {
 			return nil, nil, fmt.Errorf("offline: sampling plane %d of %s: %w", z, base, err)
 		}

@@ -1,6 +1,7 @@
 package offline
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -35,7 +36,7 @@ func TestThumbnailRendersAndSummarizes(t *testing.T) {
 	const nx, ny, nz = 64, 48, 32
 	_, client, v := stagedCluster(t, nx, ny, nz)
 
-	img, meta, err := Thumbnail(client, "thumb", nx, ny, nz, 0, ThumbnailOptions{MaxDim: 16})
+	img, meta, err := Thumbnail(context.Background(), client, "thumb", nx, ny, nz, 0, ThumbnailOptions{MaxDim: 16})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +78,7 @@ func TestThumbnailDefaultsAndErrors(t *testing.T) {
 	_, client, _ := stagedCluster(t, nx, ny, nz)
 
 	// Zero options pick sensible defaults.
-	img, meta, err := Thumbnail(client, "thumb", nx, ny, nz, 0, ThumbnailOptions{})
+	img, meta, err := Thumbnail(context.Background(), client, "thumb", nx, ny, nz, 0, ThumbnailOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,13 +86,13 @@ func TestThumbnailDefaultsAndErrors(t *testing.T) {
 		t.Fatalf("defaults produced image %dx%d with stride %d", img.W, img.H, meta.Stride)
 	}
 
-	if _, _, err := Thumbnail(nil, "thumb", nx, ny, nz, 0, ThumbnailOptions{}); err == nil {
+	if _, _, err := Thumbnail(context.Background(), nil, "thumb", nx, ny, nz, 0, ThumbnailOptions{}); err == nil {
 		t.Fatal("expected error for nil client")
 	}
-	if _, _, err := Thumbnail(client, "missing", nx, ny, nz, 0, ThumbnailOptions{}); err == nil {
+	if _, _, err := Thumbnail(context.Background(), client, "missing", nx, ny, nz, 0, ThumbnailOptions{}); err == nil {
 		t.Fatal("expected error for unknown dataset")
 	}
-	if _, _, err := Thumbnail(client, "thumb", 0, 0, 0, 0, ThumbnailOptions{}); err == nil {
+	if _, _, err := Thumbnail(context.Background(), client, "thumb", 0, 0, 0, 0, ThumbnailOptions{}); err == nil {
 		t.Fatal("expected error for invalid dimensions")
 	}
 }

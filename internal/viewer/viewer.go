@@ -325,6 +325,7 @@ func (v *Viewer) Serve(l net.Listener) error {
 			}
 			return fmt.Errorf("viewer: accepting PE connection %d: %w", i, err)
 		}
+		//vislint:ignore boundedio PE streams are long-lived: a viewer legitimately waits as long as the back end computes between frames
 		conns[i] = wire.NewConn(c)
 	}
 	return v.ServeConns(conns...)

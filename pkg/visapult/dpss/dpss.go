@@ -151,9 +151,10 @@ type ThumbnailOptions = offline.ThumbnailOptions
 type ThumbnailMetadata = offline.Metadata
 
 // Thumbnail renders a preview image plus catalog metadata for one cached
-// timestep — the paper's section 5 offline visualization service.
-func Thumbnail(client *Client, base string, nx, ny, nz, timestep int, opts ThumbnailOptions) (*Image, *ThumbnailMetadata, error) {
-	return offline.Thumbnail(client, base, nx, ny, nz, timestep, opts)
+// timestep — the paper's section 5 offline visualization service. Cancelling
+// ctx aborts the cache reads in flight.
+func Thumbnail(ctx context.Context, client *Client, base string, nx, ny, nz, timestep int, opts ThumbnailOptions) (*Image, *ThumbnailMetadata, error) {
+	return offline.Thumbnail(ctx, client, base, nx, ny, nz, timestep, opts)
 }
 
 // StageCombustion generates the synthetic combustion dataset and writes each

@@ -132,9 +132,9 @@ type Manager struct {
 	pool *workerPool
 
 	mu          sync.Mutex
-	runs        map[string]*managedRun
-	closed      bool
-	maxAttempts int
+	runs        map[string]*managedRun // guarded by mu
+	closed      bool                   // guarded by mu
+	maxAttempts int                    // guarded by mu
 
 	baseCtx   context.Context
 	cancelAll context.CancelFunc
@@ -151,15 +151,15 @@ type managedRun struct {
 	spec *RunSpec
 
 	mu       sync.Mutex
-	state    RunState
-	err      error
-	result   *Result
-	metrics  []FrameMetric
-	subs     map[int]*metricSub
-	nextSub  int
+	state    RunState           // guarded by mu
+	err      error              // guarded by mu
+	result   *Result            // guarded by mu
+	metrics  []FrameMetric      // guarded by mu
+	subs     map[int]*metricSub // guarded by mu
+	nextSub  int                // guarded by mu
 	created  time.Time
-	startedT time.Time
-	finished time.Time
+	startedT time.Time // guarded by mu
+	finished time.Time // guarded by mu
 	cancel   context.CancelFunc
 	done     chan struct{}
 	workerID string
@@ -177,7 +177,9 @@ func NewManager(workers int) *Manager {
 	if workers <= 0 {
 		workers = 4
 	}
-	ctx, cancel := context.WithCancel(context.Background())
+	// The manager owns this root: every run derives from baseCtx and Close
+	// cancels it, which is the manager's whole lifecycle contract.
+	ctx, cancel := context.WithCancel(context.Background()) //vislint:ignore ctxbackground the manager is a lifecycle root; Close cancels everything derived from it
 	return &Manager{
 		sem:         make(chan struct{}, workers),
 		pool:        newWorkerPool(),

@@ -97,11 +97,15 @@ func (w *poolWorker) status() WorkerStatus {
 // capacity may have appeared (registration, slot release, death, removal).
 type workerPool struct {
 	mu      sync.Mutex
-	workers map[string]*poolWorker
+	workers map[string]*poolWorker // guarded by mu
 	// order preserves registration order for deterministic tie-breaks.
+	// guarded by mu
 	order  []string
-	nextID int
-	wait   chan struct{}
+	nextID int // guarded by mu
+	// wait is the broadcast channel capacity waiters block on; replaced
+	// (closed and remade) on every wake.
+	// guarded by mu
+	wait chan struct{}
 }
 
 func newWorkerPool() *workerPool {

@@ -31,6 +31,11 @@ const (
 	opCancel = "cancel"
 )
 
+// workerIOTimeout bounds the dispatch handshake read and each reply write on
+// a worker control connection: a peer that connects and goes silent, or stops
+// draining replies, breaks its own connection instead of pinning the worker.
+const workerIOTimeout = 30 * time.Second
+
 // workerRequest is a client -> worker control message.
 type workerRequest struct {
 	Op   string   `json:"op"`
@@ -231,20 +236,29 @@ func (ws *workerServer) handle(conn net.Conn) {
 	defer ws.untrack(conn)
 	defer conn.Close()
 
+	// The first decode is a handshake: a client that connects and then sends
+	// nothing must not pin this goroutine forever.
+	conn.SetReadDeadline(time.Now().Add(workerIOTimeout)) //nolint:errcheck
 	dec := json.NewDecoder(conn)
 	var req workerRequest
 	if err := dec.Decode(&req); err != nil {
 		return
 	}
+	// Past the handshake the request stream is the run-cancel monitor, which
+	// legitimately waits as long as the run does.
+	conn.SetReadDeadline(time.Time{}) //nolint:errcheck
 	// Frame replies come concurrently from the PE goroutines while the
 	// terminal reply comes from this goroutine; one mutex serializes them on
-	// the wire.
+	// the wire, and a per-reply write deadline keeps a stalled dispatcher
+	// from wedging the run's frame hooks.
+	conn.SetWriteDeadline(time.Now().Add(workerIOTimeout)) //nolint:errcheck // re-armed per send below
 	enc := json.NewEncoder(conn)
 	var sendMu sync.Mutex
 	send := func(rep workerReply) {
 		sendMu.Lock()
 		defer sendMu.Unlock()
-		enc.Encode(rep) // a failed write means the dispatcher is gone; nothing to do
+		conn.SetWriteDeadline(time.Now().Add(workerIOTimeout)) //nolint:errcheck
+		enc.Encode(rep)                                        // a failed write means the dispatcher is gone; nothing to do
 	}
 
 	switch req.Op {
