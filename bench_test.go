@@ -28,6 +28,7 @@ import (
 	"visapult/internal/transfer"
 	"visapult/internal/volume"
 	"visapult/internal/wire"
+	"visapult/pkg/visapult"
 )
 
 // ---------------------------------------------------------------------------
@@ -652,5 +653,121 @@ func BenchmarkTransferModel(b *testing.B) {
 		_ = cm.SerialTotal()
 		_ = cm.OverlappedTotal()
 		_ = cm.DatasetTransferTime()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Frame cache and coalescing benchmarks. These drive the facade Manager the
+// way visapultd does, so the numbers bound what the daemon's replay cache and
+// submission coalescing buy end to end.
+
+// benchSpec is the content every cache/coalesce benchmark renders: small
+// enough to keep iterations fast, large enough that skipping the raycaster
+// is visible.
+func benchSpec() visapult.RunSpec {
+	return visapult.RunSpec{
+		Source: visapult.SourceSpec{Kind: "combustion", NX: 32, NY: 24, NZ: 24, Timesteps: 3, Seed: 42},
+		PEs:    2, Mode: "overlapped",
+	}
+}
+
+func benchRun(b *testing.B, m *visapult.Manager, name string) *visapult.Result {
+	b.Helper()
+	if err := m.CreateSpec(name, benchSpec()); err != nil {
+		b.Fatal(err)
+	}
+	if err := m.Start(name); err != nil {
+		b.Fatal(err)
+	}
+	res, err := m.Wait(context.Background(), name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := m.Remove(name); err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// BenchmarkFrameCache contrasts a cold render (cache flushed every iteration)
+// with a warm replay of the same content served entirely from the
+// slab-texture cache.
+func BenchmarkFrameCache(b *testing.B) {
+	b.Run("cold", func(b *testing.B) {
+		m := visapult.NewManager(2)
+		defer m.Close()
+		m.SetFrameCacheCapacity(256 << 20)
+		for i := 0; i < b.N; i++ {
+			m.FlushFrameCache()
+			benchRun(b, m, fmt.Sprintf("cold-%d", i))
+		}
+		st := m.FrameCacheStats()
+		if st.Hits != 0 {
+			b.Fatalf("cold path hit the cache: %+v", st)
+		}
+	})
+	b.Run("hit", func(b *testing.B) {
+		m := visapult.NewManager(2)
+		defer m.Close()
+		m.SetFrameCacheCapacity(256 << 20)
+		benchRun(b, m, "warmup") // populate the cache once
+		base := m.FrameCacheStats()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			benchRun(b, m, fmt.Sprintf("hit-%d", i))
+		}
+		b.StopTimer()
+		st := m.FrameCacheStats()
+		if st.Hits == base.Hits || st.Misses != base.Misses {
+			b.Fatalf("hit path re-rendered: before %+v after %+v", base, st)
+		}
+		hitRate := float64(st.Hits-base.Hits) / float64(b.N)
+		b.ReportMetric(hitRate, "cache-hits/op")
+	})
+}
+
+// BenchmarkCoalescedSubmit measures N identical concurrent submissions
+// resolving through run coalescing: one render, N-1 followers riding it.
+func BenchmarkCoalescedSubmit(b *testing.B) {
+	const fanIn = 4
+	m := visapult.NewManager(2)
+	defer m.Close()
+	for i := 0; i < b.N; i++ {
+		names := make([]string, fanIn)
+		for j := range names {
+			names[j] = fmt.Sprintf("co-%d-%d", i, j)
+			if err := m.CreateSpec(names[j], benchSpec()); err != nil {
+				b.Fatal(err)
+			}
+		}
+		var wg sync.WaitGroup
+		for _, name := range names {
+			wg.Add(1)
+			go func(name string) {
+				defer wg.Done()
+				if err := m.Start(name); err != nil {
+					b.Error(err)
+					return
+				}
+				if _, err := m.Wait(context.Background(), name); err != nil {
+					b.Error(err)
+				}
+			}(name)
+		}
+		wg.Wait()
+		coalesced := 0
+		for _, name := range names {
+			st, err := m.Status(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(st.Worker) > 10 && st.Worker[:10] == "coalesced:" {
+				coalesced++
+			}
+			if err := m.Remove(name); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(coalesced), "coalesced/submit")
 	}
 }

@@ -6,8 +6,11 @@
 //
 // With -serve-control it instead runs as a dispatch worker: it listens for
 // runs placed on it by a visapultd scheduler (register the worker with
-// POST /api/workers) and streams per-frame metrics back over the control
-// connection, so many backend processes form one scheduled pool.
+// POST /api/v1/workers) and streams per-frame metrics back over the control
+// connection, so many backend processes form one scheduled pool. A bounded
+// slab-texture cache (-frame-cache-mb) is shared across the worker's runs, so
+// repeat dispatches of the same content replay rendered frames instead of
+// raycasting again.
 //
 // With -viewers (plural) the run is multicast: every frame is rendered once
 // and its per-slab textures are shipped to each listed viewer over that
@@ -54,10 +57,11 @@ func main() {
 	logOut := flag.String("netlog", "", "optional file for the back end's ULM event stream")
 	serveControl := flag.String("serve-control", "", "worker mode: listen on this address for runs dispatched by visapultd")
 	capacity := flag.Int("capacity", 2, "concurrent dispatched runs in -serve-control mode")
+	frameCacheMB := flag.Int64("frame-cache-mb", 256, "slab-texture frame cache capacity in MiB for -serve-control mode (0 disables replay caching)")
 	flag.Parse()
 
 	if *serveControl != "" {
-		serveWorker(*serveControl, *capacity)
+		serveWorker(*serveControl, *capacity, *frameCacheMB)
 		return
 	}
 
@@ -158,7 +162,7 @@ func main() {
 }
 
 // serveWorker runs the process as a dispatch worker until interrupted.
-func serveWorker(addr string, capacity int) {
+func serveWorker(addr string, capacity int, frameCacheMB int64) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		fatal(err)
@@ -168,7 +172,8 @@ func serveWorker(addr string, capacity int) {
 	fmt.Printf("visapult-backend: worker mode, control on %s, capacity %d (ctrl-c to stop)\n",
 		ln.Addr(), capacity)
 	err = visapult.ServeWorker(ctx, ln, visapult.WorkerConfig{
-		Capacity: capacity,
+		Capacity:        capacity,
+		FrameCacheBytes: frameCacheMB << 20,
 		Logf: func(format string, args ...any) {
 			fmt.Printf("visapult-backend: "+format+"\n", args...)
 		},

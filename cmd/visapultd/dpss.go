@@ -107,7 +107,7 @@ func toClusterHealthJSON(hs []visapult.FabricHealth) []clusterHealthJSON {
 // requireFabric 404s requests against a daemon with no federation attached.
 func (s *server) requireFabric(w http.ResponseWriter) *fabricAdmin {
 	if s.dpss == nil {
-		writeError(w, http.StatusNotFound, fmt.Errorf("no DPSS fabric configured (start visapultd with -dpss)"))
+		writeAPIError(w, http.StatusNotFound, "not_found", fmt.Errorf("no DPSS fabric configured (start visapultd with -dpss)"))
 		return nil
 	}
 	return s.dpss
@@ -186,7 +186,7 @@ func (s *server) handleDPSSDrain(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := fa.fabric.Drain(r.PathValue("name")); err != nil {
-		writeError(w, http.StatusNotFound, err)
+		writeAPIError(w, http.StatusNotFound, "not_found", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]bool{"draining": true})
@@ -198,7 +198,7 @@ func (s *server) handleDPSSUndrain(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := fa.fabric.Undrain(r.PathValue("name")); err != nil {
-		writeError(w, http.StatusNotFound, err)
+		writeAPIError(w, http.StatusNotFound, "not_found", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]bool{"draining": false})
@@ -226,11 +226,11 @@ func (s *server) handleDPSSWarmStart(w http.ResponseWriter, r *http.Request) {
 	}
 	var req warmRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding warm request: %w", err))
+		writeAPIError(w, http.StatusBadRequest, "bad_request", fmt.Errorf("decoding warm request: %w", err))
 		return
 	}
 	if req.Base == "" || req.NX <= 0 || req.NY <= 0 || req.NZ <= 0 || req.Steps <= 0 {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("warm request needs base, nx, ny, nz and steps"))
+		writeAPIError(w, http.StatusBadRequest, "bad_request", fmt.Errorf("warm request needs base, nx, ny, nz and steps"))
 		return
 	}
 	fa.mu.Lock()
@@ -342,7 +342,7 @@ func (s *server) handleDPSSWarmStatus(w http.ResponseWriter, r *http.Request) {
 	job, ok := fa.jobs[r.PathValue("id")]
 	fa.mu.Unlock()
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("unknown warm job %q", r.PathValue("id")))
+		writeAPIError(w, http.StatusNotFound, "not_found", fmt.Errorf("unknown warm job %q", r.PathValue("id")))
 		return
 	}
 	writeJSON(w, http.StatusOK, job.snapshot())

@@ -16,39 +16,50 @@
 //	visapultd -listen 127.0.0.1:9600 -workers 4
 //	visapultd -listen 127.0.0.1:9600 -worker 127.0.0.1:9700 -worker 127.0.0.1:9701
 //
+// The control API is versioned under /api/v1/. The pre-versioning /api/
+// paths remain as deprecated aliases of the same handlers: they answer
+// identically but carry a Deprecation header and a Link to the successor
+// route. Errors on every route share one JSON envelope,
+// {"error":{"code","message"}}, with a "fields" list on invalid-spec 400s.
+//
 // Endpoints:
 //
-//	GET    /healthz                   liveness probe
-//	GET    /api/runs                  list runs
-//	POST   /api/runs                  create a run (JSON spec; "start":true launches it)
-//	GET    /api/runs/{name}           run status (includes placement attempts)
-//	POST   /api/runs/{name}/start     queue the run on the worker pool
-//	POST   /api/runs/{name}/cancel    cancel the run
-//	DELETE /api/runs/{name}           remove a finished run
-//	GET    /api/runs/{name}/result    summary of a completed run
-//	GET    /api/runs/{name}/metrics   per-frame metrics snapshot
-//	GET    /api/runs/{name}/stream    live per-frame metrics (SSE; lossy clients get "dropped" events)
-//	POST   /api/runs/prune            drop terminal runs {"olderThan":"30m"} (empty = all terminal)
-//	GET    /metrics                   Prometheus text exposition (runs, slots, fabric health, rebalance)
-//	GET    /api/workers               list registered workers
-//	POST   /api/workers               register a worker {"addr":"host:port","capacity":2}
-//	POST   /api/workers/{id}/drain    stop placing runs on the worker
-//	DELETE /api/workers/{id}          forget the worker
+//	GET    /healthz                      liveness probe
+//	GET    /metrics                      Prometheus text exposition (runs, slots, frame cache, fabric health)
+//	GET    /api/v1/runs                  list runs
+//	POST   /api/v1/runs                  create a run (JSON spec; "start":true launches it)
+//	GET    /api/v1/runs/{name}           run status (includes placement attempts)
+//	POST   /api/v1/runs/{name}/start     queue the run on the worker pool
+//	POST   /api/v1/runs/{name}/cancel    cancel the run
+//	DELETE /api/v1/runs/{name}           remove a finished run
+//	GET    /api/v1/runs/{name}/result    summary of a completed run
+//	GET    /api/v1/runs/{name}/metrics   per-frame metrics snapshot
+//	GET    /api/v1/runs/{name}/stream    live per-frame metrics (SSE; lossy clients get "dropped" events)
+//	GET    /api/v1/runs/{name}/viewers   fan-out viewer deliveries (local or remotely placed runs)
+//	POST   /api/v1/runs/{name}/viewers   attach a viewer {"id":"wall-3"} — travels the dispatch protocol for remote runs
+//	DELETE /api/v1/runs/{name}/viewers/{id}  detach a viewer
+//	POST   /api/v1/runs/prune            drop terminal runs {"olderThan":"30m"} (empty = all terminal)
+//	GET    /api/v1/workers               list registered workers
+//	POST   /api/v1/workers               register a worker {"addr":"host:port","capacity":2}
+//	POST   /api/v1/workers/{id}/drain    stop placing runs on the worker
+//	DELETE /api/v1/workers/{id}          forget the worker
+//	GET    /api/v1/cache                 frame cache hit/miss/eviction counters and residency
+//	POST   /api/v1/cache/flush           drop every cached frame (counters survive)
 //
 // With a DPSS federation attached (-dpss name=master:port, repeatable):
 //
-//	GET    /api/dpss                          federation overview (replication, cluster health)
-//	POST   /api/dpss/probe                    actively probe every master, refresh health
-//	GET    /api/dpss/datasets                 federation-wide catalog with replica placement
-//	POST   /api/dpss/clusters/{name}/drain    take a cluster out of new placements
-//	POST   /api/dpss/clusters/{name}/undrain  return it to service
-//	GET    /api/dpss/warm                     list warming jobs
-//	POST   /api/dpss/warm                     start a warming job {"base","nx","ny","nz","steps"}
-//	GET    /api/dpss/warm/{id}                warming job progress (per file, per cluster)
-//	GET    /api/dpss/rebalance                list rebalance jobs
-//	POST   /api/dpss/rebalance                start a job {"kind":"rebalance"|"repair"|"drain","cluster":...}
-//	GET    /api/dpss/rebalance/{id}           rebalance job progress (per dataset, per target cluster)
-//	GET    /api/dpss/stream                   live health + epoch + rebalance events (SSE)
+//	GET    /api/v1/dpss                          federation overview (replication, cluster health)
+//	POST   /api/v1/dpss/probe                    actively probe every master, refresh health
+//	GET    /api/v1/dpss/datasets                 federation-wide catalog with replica placement
+//	POST   /api/v1/dpss/clusters/{name}/drain    take a cluster out of new placements
+//	POST   /api/v1/dpss/clusters/{name}/undrain  return it to service
+//	GET    /api/v1/dpss/warm                     list warming jobs
+//	POST   /api/v1/dpss/warm                     start a warming job {"base","nx","ny","nz","steps"}
+//	GET    /api/v1/dpss/warm/{id}                warming job progress (per file, per cluster)
+//	GET    /api/v1/dpss/rebalance                list rebalance jobs
+//	POST   /api/v1/dpss/rebalance                start a job {"kind":"rebalance"|"repair"|"drain","cluster":...}
+//	GET    /api/v1/dpss/rebalance/{id}           rebalance job progress (per dataset, per target cluster)
+//	GET    /api/v1/dpss/stream                   live health + epoch + rebalance events (SSE)
 //
 // Example:
 //
@@ -97,9 +108,13 @@ func main() {
 	replication := flag.Int("replication", 2, "replicas per dataset across the -dpss federation")
 	attemptTimeout := flag.Duration("dpss-attempt-timeout", 2*time.Second, "per-replica read attempt bound before failing over")
 	retain := flag.Duration("retain", 0, "drop terminal runs older than this (0 keeps them until DELETE/prune)")
+	frameCacheMB := flag.Int64("frame-cache-mb", 256, "slab-texture frame cache capacity in MiB (0 disables replay caching)")
 	flag.Parse()
 
 	mgr := visapult.NewManager(*workers)
+	if *frameCacheMB > 0 {
+		mgr.SetFrameCacheCapacity(*frameCacheMB << 20)
+	}
 	// Run GC: with -retain set, a background pruner keeps the run table (and
 	// its per-frame metric buffers) bounded for long-lived daemons. The sweep
 	// interval tracks the retention window but stays within [10s, 1min] so

@@ -33,6 +33,22 @@ func (s *server) handlePrometheus(w http.ResponseWriter, r *http.Request) {
 	writeHelp(&b, "visapultd_worker_slots_capacity", "gauge", "Local worker-pool capacity.")
 	fmt.Fprintf(&b, "visapultd_worker_slots_capacity %d\n", capacity)
 
+	// Frame cache: replay hit rate and residency. All zeros when disabled
+	// (-frame-cache-mb 0), which keeps the series present for absent().
+	cs := s.mgr.FrameCacheStats()
+	writeHelp(&b, "visapultd_framecache_hits_total", "counter", "Slab-texture frames served from the cache instead of the raycaster.")
+	fmt.Fprintf(&b, "visapultd_framecache_hits_total %d\n", cs.Hits)
+	writeHelp(&b, "visapultd_framecache_misses_total", "counter", "Slab-texture cache lookups that fell through to rendering.")
+	fmt.Fprintf(&b, "visapultd_framecache_misses_total %d\n", cs.Misses)
+	writeHelp(&b, "visapultd_framecache_evictions_total", "counter", "Cached frames evicted to stay within the byte capacity.")
+	fmt.Fprintf(&b, "visapultd_framecache_evictions_total %d\n", cs.Evictions)
+	writeHelp(&b, "visapultd_framecache_entries", "gauge", "Complete frames currently resident in the cache.")
+	fmt.Fprintf(&b, "visapultd_framecache_entries %d\n", cs.Entries)
+	writeHelp(&b, "visapultd_framecache_bytes", "gauge", "Bytes of slab textures currently resident in the cache.")
+	fmt.Fprintf(&b, "visapultd_framecache_bytes %d\n", cs.Bytes)
+	writeHelp(&b, "visapultd_framecache_capacity_bytes", "gauge", "Configured frame cache capacity in bytes.")
+	fmt.Fprintf(&b, "visapultd_framecache_capacity_bytes %d\n", cs.Capacity)
+
 	// Remote workers.
 	workers := s.mgr.Workers()
 	writeHelp(&b, "visapultd_remote_workers", "gauge", "Registered remote workers by state.")

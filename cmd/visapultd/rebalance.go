@@ -70,7 +70,7 @@ func (s *server) handleDPSSRebalanceStart(w http.ResponseWriter, r *http.Request
 	var req rebalRequest
 	// An empty body selects the default full rebalance, mirroring handlePrune.
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding rebalance request: %w", err))
+		writeAPIError(w, http.StatusBadRequest, "bad_request", fmt.Errorf("decoding rebalance request: %w", err))
 		return
 	}
 	kind := strings.ToLower(req.Kind)
@@ -80,11 +80,11 @@ func (s *server) handleDPSSRebalanceStart(w http.ResponseWriter, r *http.Request
 	case "repair":
 	case "drain":
 		if req.Cluster == "" {
-			writeError(w, http.StatusBadRequest, fmt.Errorf(`kind "drain" needs a cluster name`))
+			writeAPIError(w, http.StatusBadRequest, "bad_request", fmt.Errorf(`kind "drain" needs a cluster name`))
 			return
 		}
 	default:
-		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown rebalance kind %q (want rebalance, repair or drain)", req.Kind))
+		writeAPIError(w, http.StatusBadRequest, "bad_request", fmt.Errorf("unknown rebalance kind %q (want rebalance, repair or drain)", req.Kind))
 		return
 	}
 
@@ -243,7 +243,7 @@ func (s *server) handleDPSSRebalanceStatus(w http.ResponseWriter, r *http.Reques
 	job, ok := fa.rebals[r.PathValue("id")]
 	fa.mu.Unlock()
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("unknown rebalance job %q", r.PathValue("id")))
+		writeAPIError(w, http.StatusNotFound, "not_found", fmt.Errorf("unknown rebalance job %q", r.PathValue("id")))
 		return
 	}
 	writeJSON(w, http.StatusOK, job.snapshot())

@@ -32,41 +32,63 @@ func (s *server) withFabric(fb *visapult.Fabric) *server {
 	return s
 }
 
-// handler builds the route table.
+// handler builds the route table. Every control route lives under the
+// versioned /api/v1/ prefix; the pre-versioning /api/ paths stay as aliases
+// for existing clients, answered by the same handlers but marked with a
+// Deprecation header and a Link to the successor route. /healthz and /metrics
+// are operational endpoints, not API surface, and stay unversioned.
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
-	mux.HandleFunc("GET /api/runs", s.handleList)
-	mux.HandleFunc("POST /api/runs", s.handleCreate)
-	mux.HandleFunc("GET /api/runs/{name}", s.handleStatus)
-	mux.HandleFunc("DELETE /api/runs/{name}", s.handleRemove)
-	mux.HandleFunc("POST /api/runs/{name}/start", s.handleStart)
-	mux.HandleFunc("POST /api/runs/{name}/cancel", s.handleCancel)
-	mux.HandleFunc("GET /api/runs/{name}/result", s.handleResult)
-	mux.HandleFunc("GET /api/runs/{name}/metrics", s.handleMetrics)
-	mux.HandleFunc("GET /api/runs/{name}/stream", s.handleStream)
-	mux.HandleFunc("GET /api/runs/{name}/viewers", s.handleViewerList)
-	mux.HandleFunc("POST /api/runs/{name}/viewers", s.handleViewerAttach)
-	mux.HandleFunc("DELETE /api/runs/{name}/viewers/{id}", s.handleViewerDetach)
-	mux.HandleFunc("GET /api/dpss", s.handleDPSS)
-	mux.HandleFunc("POST /api/dpss/probe", s.handleDPSSProbe)
-	mux.HandleFunc("GET /api/dpss/datasets", s.handleDPSSDatasets)
-	mux.HandleFunc("POST /api/dpss/clusters/{name}/drain", s.handleDPSSDrain)
-	mux.HandleFunc("POST /api/dpss/clusters/{name}/undrain", s.handleDPSSUndrain)
-	mux.HandleFunc("GET /api/dpss/warm", s.handleDPSSWarmList)
-	mux.HandleFunc("POST /api/dpss/warm", s.handleDPSSWarmStart)
-	mux.HandleFunc("GET /api/dpss/warm/{id}", s.handleDPSSWarmStatus)
-	mux.HandleFunc("GET /api/dpss/rebalance", s.handleDPSSRebalanceList)
-	mux.HandleFunc("POST /api/dpss/rebalance", s.handleDPSSRebalanceStart)
-	mux.HandleFunc("GET /api/dpss/rebalance/{id}", s.handleDPSSRebalanceStatus)
-	mux.HandleFunc("GET /api/dpss/stream", s.handleDPSSStream)
-	mux.HandleFunc("POST /api/runs/prune", s.handlePrune)
 	mux.HandleFunc("GET /metrics", s.handlePrometheus)
-	mux.HandleFunc("GET /api/workers", s.handleWorkerList)
-	mux.HandleFunc("POST /api/workers", s.handleWorkerRegister)
-	mux.HandleFunc("POST /api/workers/{id}/drain", s.handleWorkerDrain)
-	mux.HandleFunc("DELETE /api/workers/{id}", s.handleWorkerRemove)
+
+	reg := func(method, path string, h http.HandlerFunc) {
+		mux.HandleFunc(method+" /api/v1"+path, h)
+		mux.HandleFunc(method+" /api"+path, deprecated(path, h))
+	}
+	reg("GET", "/runs", s.handleList)
+	reg("POST", "/runs", s.handleCreate)
+	reg("POST", "/runs/prune", s.handlePrune)
+	reg("GET", "/runs/{name}", s.handleStatus)
+	reg("DELETE", "/runs/{name}", s.handleRemove)
+	reg("POST", "/runs/{name}/start", s.handleStart)
+	reg("POST", "/runs/{name}/cancel", s.handleCancel)
+	reg("GET", "/runs/{name}/result", s.handleResult)
+	reg("GET", "/runs/{name}/metrics", s.handleMetrics)
+	reg("GET", "/runs/{name}/stream", s.handleStream)
+	reg("GET", "/runs/{name}/viewers", s.handleViewerList)
+	reg("POST", "/runs/{name}/viewers", s.handleViewerAttach)
+	reg("DELETE", "/runs/{name}/viewers/{id}", s.handleViewerDetach)
+	reg("GET", "/workers", s.handleWorkerList)
+	reg("POST", "/workers", s.handleWorkerRegister)
+	reg("POST", "/workers/{id}/drain", s.handleWorkerDrain)
+	reg("DELETE", "/workers/{id}", s.handleWorkerRemove)
+	reg("GET", "/cache", s.handleCacheStats)
+	reg("POST", "/cache/flush", s.handleCacheFlush)
+	reg("GET", "/dpss", s.handleDPSS)
+	reg("POST", "/dpss/probe", s.handleDPSSProbe)
+	reg("GET", "/dpss/datasets", s.handleDPSSDatasets)
+	reg("POST", "/dpss/clusters/{name}/drain", s.handleDPSSDrain)
+	reg("POST", "/dpss/clusters/{name}/undrain", s.handleDPSSUndrain)
+	reg("GET", "/dpss/warm", s.handleDPSSWarmList)
+	reg("POST", "/dpss/warm", s.handleDPSSWarmStart)
+	reg("GET", "/dpss/warm/{id}", s.handleDPSSWarmStatus)
+	reg("GET", "/dpss/rebalance", s.handleDPSSRebalanceList)
+	reg("POST", "/dpss/rebalance", s.handleDPSSRebalanceStart)
+	reg("GET", "/dpss/rebalance/{id}", s.handleDPSSRebalanceStatus)
+	reg("GET", "/dpss/stream", s.handleDPSSStream)
 	return mux
+}
+
+// deprecated wraps a legacy unversioned route: same behavior as its /api/v1
+// successor, plus RFC 9745's Deprecation header and a successor-version Link
+// so clients can discover the migration target mechanically.
+func deprecated(path string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", "</api/v1"+path+`>; rel="successor-version"`)
+		h(w, r)
+	}
 }
 
 // runSpec is the JSON shape of a run creation request: the serializable
@@ -204,6 +226,9 @@ type metricJSON struct {
 	SendMs      float64 `json:"sendMs"`
 	BytesLoaded int64   `json:"bytesLoaded"`
 	BytesSent   int64   `json:"bytesSent"`
+	// CacheHit marks a frame served from the slab-texture cache instead of
+	// the raycaster.
+	CacheHit bool `json:"cacheHit,omitempty"`
 }
 
 func toMetricJSON(fm visapult.FrameMetric) metricJSON {
@@ -215,6 +240,7 @@ func toMetricJSON(fm visapult.FrameMetric) metricJSON {
 		SendMs:      float64(fm.Send) / float64(time.Millisecond),
 		BytesLoaded: fm.BytesLoaded,
 		BytesSent:   fm.BytesSent,
+		CacheHit:    fm.CacheHit,
 	}
 }
 
@@ -224,27 +250,66 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
-func writeError(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, map[string]string{"error": err.Error()})
+// errorEnvelope is the uniform error shape of every API error response, on
+// the versioned and legacy routes alike:
+//
+//	{"error":{"code":"unknown_run","message":"...","fields":[...]}}
+//
+// code is a stable machine-readable discriminator; fields appears only on
+// invalid_spec responses, one entry per failing RunSpec field.
+type errorEnvelope struct {
+	Error errorBody `json:"error"`
 }
 
-// errorCode maps manager errors onto HTTP statuses.
-func errorCode(err error) int {
+type errorBody struct {
+	Code    string                `json:"code"`
+	Message string                `json:"message"`
+	Fields  []visapult.FieldError `json:"fields,omitempty"`
+}
+
+// writeError renders a manager error as the JSON envelope, deriving status
+// and code from the error's sentinel.
+func writeError(w http.ResponseWriter, err error) {
+	status, code := errorCode(err)
+	body := errorBody{Code: code, Message: err.Error()}
+	var verr *visapult.ValidationError
+	if errors.As(err, &verr) {
+		body.Fields = verr.Fields
+	}
+	writeJSON(w, status, errorEnvelope{Error: body})
+}
+
+// writeAPIError renders an error whose status and code the handler chose
+// itself (malformed request bodies, subsystem-specific not-founds).
+func writeAPIError(w http.ResponseWriter, status int, code string, err error) {
+	writeJSON(w, status, errorEnvelope{Error: errorBody{Code: code, Message: err.Error()}})
+}
+
+// errorCode maps manager errors onto an HTTP status and a stable error code.
+func errorCode(err error) (int, string) {
 	switch {
-	case errors.Is(err, visapult.ErrUnknownRun),
-		errors.Is(err, visapult.ErrUnknownWorker):
-		return http.StatusNotFound
-	case errors.Is(err, visapult.ErrRunExists),
-		errors.Is(err, visapult.ErrRunNotPending),
-		errors.Is(err, visapult.ErrRunActive),
-		errors.Is(err, visapult.ErrWorkerExists),
-		errors.Is(err, visapult.ErrNoFanout),
-		errors.Is(err, visapult.ErrNoResult):
-		return http.StatusConflict
+	case errors.Is(err, visapult.ErrUnknownRun):
+		return http.StatusNotFound, "unknown_run"
+	case errors.Is(err, visapult.ErrUnknownWorker):
+		return http.StatusNotFound, "unknown_worker"
+	case errors.Is(err, visapult.ErrRunExists):
+		return http.StatusConflict, "run_exists"
+	case errors.Is(err, visapult.ErrRunNotPending):
+		return http.StatusConflict, "not_pending"
+	case errors.Is(err, visapult.ErrRunActive):
+		return http.StatusConflict, "run_active"
+	case errors.Is(err, visapult.ErrWorkerExists):
+		return http.StatusConflict, "worker_exists"
+	case errors.Is(err, visapult.ErrNoFanout):
+		return http.StatusConflict, "no_fanout"
+	case errors.Is(err, visapult.ErrNoResult):
+		return http.StatusConflict, "no_result"
+	case errors.Is(err, visapult.ErrInvalidSpec):
+		return http.StatusBadRequest, "invalid_spec"
 	case errors.Is(err, visapult.ErrManagerClosed):
-		return http.StatusServiceUnavailable
+		return http.StatusServiceUnavailable, "manager_closed"
 	default:
-		return http.StatusBadRequest
+		return http.StatusBadRequest, "bad_request"
 	}
 }
 
@@ -264,7 +329,7 @@ func (s *server) handlePrune(w http.ResponseWriter, r *http.Request) {
 	var req pruneRequest
 	if r.Body != nil {
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("decoding prune request: %w", err))
+			writeAPIError(w, http.StatusBadRequest, "bad_request", fmt.Errorf("decoding prune request: %w", err))
 			return
 		}
 	}
@@ -272,7 +337,7 @@ func (s *server) handlePrune(w http.ResponseWriter, r *http.Request) {
 	if req.OlderThan != "" {
 		d, err := time.ParseDuration(req.OlderThan)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("parsing olderThan: %w", err))
+			writeAPIError(w, http.StatusBadRequest, "bad_request", fmt.Errorf("parsing olderThan: %w", err))
 			return
 		}
 		olderThan = d
@@ -297,7 +362,7 @@ type sseStream struct {
 func newSSEStream(w http.ResponseWriter) (*sseStream, bool) {
 	flusher, ok := w.(http.Flusher)
 	if !ok {
-		writeError(w, http.StatusInternalServerError, fmt.Errorf("streaming unsupported"))
+		writeAPIError(w, http.StatusInternalServerError, "internal", fmt.Errorf("streaming unsupported"))
 		return nil, false
 	}
 	w.Header().Set("Content-Type", "text/event-stream")
@@ -338,28 +403,28 @@ func (s *server) handleList(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	var spec runSpec
 	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding run spec: %w", err))
+		writeAPIError(w, http.StatusBadRequest, "bad_request", fmt.Errorf("decoding run spec: %w", err))
 		return
 	}
 	if spec.Name == "" {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("run name is required"))
+		writeAPIError(w, http.StatusBadRequest, "bad_request", fmt.Errorf("run name is required"))
 		return
 	}
 	// CreateSpec keeps the serializable spec alongside the run, which is
 	// what makes it placeable on registered remote workers.
 	if err := s.mgr.CreateSpec(spec.Name, spec.RunSpec); err != nil {
-		writeError(w, errorCode(err), err)
+		writeError(w, err)
 		return
 	}
 	if spec.Start {
 		if err := s.mgr.Start(spec.Name); err != nil {
-			writeError(w, errorCode(err), err)
+			writeError(w, err)
 			return
 		}
 	}
 	st, err := s.mgr.Status(spec.Name)
 	if err != nil {
-		writeError(w, errorCode(err), err)
+		writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, toStatusJSON(st))
@@ -368,7 +433,7 @@ func (s *server) handleCreate(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	st, err := s.mgr.Status(r.PathValue("name"))
 	if err != nil {
-		writeError(w, errorCode(err), err)
+		writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, toStatusJSON(st))
@@ -377,7 +442,7 @@ func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleStart(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	if err := s.mgr.Start(name); err != nil {
-		writeError(w, errorCode(err), err)
+		writeError(w, err)
 		return
 	}
 	st, _ := s.mgr.Status(name)
@@ -387,7 +452,7 @@ func (s *server) handleStart(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	if err := s.mgr.Cancel(name); err != nil {
-		writeError(w, errorCode(err), err)
+		writeError(w, err)
 		return
 	}
 	st, _ := s.mgr.Status(name)
@@ -396,7 +461,7 @@ func (s *server) handleCancel(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) handleRemove(w http.ResponseWriter, r *http.Request) {
 	if err := s.mgr.Remove(r.PathValue("name")); err != nil {
-		writeError(w, errorCode(err), err)
+		writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]bool{"removed": true})
@@ -405,7 +470,7 @@ func (s *server) handleRemove(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleResult(w http.ResponseWriter, r *http.Request) {
 	res, err := s.mgr.Result(r.PathValue("name"))
 	if err != nil {
-		writeError(w, errorCode(err), err)
+		writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -426,7 +491,7 @@ func (s *server) handleResult(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	metrics, err := s.mgr.Metrics(r.PathValue("name"))
 	if err != nil {
-		writeError(w, errorCode(err), err)
+		writeError(w, err)
 		return
 	}
 	out := make([]metricJSON, len(metrics))
@@ -446,7 +511,7 @@ type viewerAttachRequest struct {
 func (s *server) handleViewerList(w http.ResponseWriter, r *http.Request) {
 	vds, err := s.mgr.Viewers(r.PathValue("name"))
 	if err != nil {
-		writeError(w, errorCode(err), err)
+		writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"viewers": toViewerDeliveriesJSON(vds)})
@@ -456,15 +521,15 @@ func (s *server) handleViewerAttach(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	var req viewerAttachRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding viewer attach request: %w", err))
+		writeAPIError(w, http.StatusBadRequest, "bad_request", fmt.Errorf("decoding viewer attach request: %w", err))
 		return
 	}
 	if req.ID == "" {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("viewer id is required"))
+		writeAPIError(w, http.StatusBadRequest, "bad_request", fmt.Errorf("viewer id is required"))
 		return
 	}
 	if err := s.mgr.AttachViewer(name, req.ID); err != nil {
-		writeError(w, errorCode(err), err)
+		writeError(w, err)
 		return
 	}
 	vds, _ := s.mgr.Viewers(name)
@@ -473,10 +538,23 @@ func (s *server) handleViewerAttach(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) handleViewerDetach(w http.ResponseWriter, r *http.Request) {
 	if err := s.mgr.DetachViewer(r.PathValue("name"), r.PathValue("id")); err != nil {
-		writeError(w, errorCode(err), err)
+		writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]bool{"detached": true})
+}
+
+// handleCacheStats serves GET /api/v1/cache: the frame cache's hit, miss and
+// eviction counters plus current residency and capacity.
+func (s *server) handleCacheStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.mgr.FrameCacheStats())
+}
+
+// handleCacheFlush serves POST /api/v1/cache/flush: drop every cached frame
+// (counters and capacity survive), forcing the next replay to re-render.
+func (s *server) handleCacheFlush(w http.ResponseWriter, r *http.Request) {
+	s.mgr.FlushFrameCache()
+	writeJSON(w, http.StatusOK, map[string]bool{"flushed": true})
 }
 
 // workerRegisterRequest is the JSON body of POST /api/workers.
@@ -499,16 +577,16 @@ func (s *server) handleWorkerList(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleWorkerRegister(w http.ResponseWriter, r *http.Request) {
 	var req workerRegisterRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding worker registration: %w", err))
+		writeAPIError(w, http.StatusBadRequest, "bad_request", fmt.Errorf("decoding worker registration: %w", err))
 		return
 	}
 	if req.Addr == "" {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("worker addr is required"))
+		writeAPIError(w, http.StatusBadRequest, "bad_request", fmt.Errorf("worker addr is required"))
 		return
 	}
 	ws, err := s.mgr.RegisterWorker(r.Context(), req.Addr, req.Capacity)
 	if err != nil {
-		writeError(w, errorCode(err), err)
+		writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, toWorkerJSON(ws))
@@ -516,7 +594,7 @@ func (s *server) handleWorkerRegister(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) handleWorkerDrain(w http.ResponseWriter, r *http.Request) {
 	if err := s.mgr.DrainWorker(r.PathValue("id")); err != nil {
-		writeError(w, errorCode(err), err)
+		writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]bool{"draining": true})
@@ -524,7 +602,7 @@ func (s *server) handleWorkerDrain(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) handleWorkerRemove(w http.ResponseWriter, r *http.Request) {
 	if err := s.mgr.RemoveWorker(r.PathValue("id")); err != nil {
-		writeError(w, errorCode(err), err)
+		writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]bool{"removed": true})
@@ -542,7 +620,7 @@ func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	sub, err := s.mgr.SubscribeMetrics(name)
 	if err != nil {
-		writeError(w, errorCode(err), err)
+		writeError(w, err)
 		return
 	}
 	defer sub.Cancel()

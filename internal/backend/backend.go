@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"visapult/internal/amr"
+	"visapult/internal/backend/framecache"
 	"visapult/internal/ibr"
 	"visapult/internal/netlogger"
 	"visapult/internal/render"
@@ -114,6 +115,18 @@ type Config struct {
 	// Elevation, when true, ships the quadmesh elevation map of the IBRAVR
 	// depth extension with each texture.
 	Elevation bool
+	// Cache, when non-nil, serves rendered slab payloads content-addressed by
+	// (CacheDataset + decomposition, timestep, CacheTF) and absorbs freshly
+	// rendered ones, so a replay of the same dataset skips both the data
+	// source and the raycaster. Caching additionally requires a non-empty
+	// CacheDataset and is disabled for runs shipping AMR grids or elevation
+	// maps (their extra payloads are not part of the cache identity).
+	Cache *framecache.Cache
+	// CacheDataset names the voxel content this run renders (source kind,
+	// dims, seed, ...); empty disables the cache for this run.
+	CacheDataset string
+	// CacheTF is the canonical transfer-function string of this run.
+	CacheTF string
 }
 
 // FrameStats records what one PE did for one timestep.
@@ -134,6 +147,10 @@ type FrameStats struct {
 	BytesLoaded int64
 	// BytesSent is the light + heavy payload volume shipped to the viewer.
 	BytesSent int64
+	// CacheHit reports that this frame was served from the slab-texture
+	// cache: no data was loaded and the raycaster never ran (Load, Render and
+	// BytesLoaded are zero).
+	CacheHit bool
 }
 
 // RunStats aggregates a whole back-end run.
@@ -296,11 +313,35 @@ type loadedFrame struct {
 	// OverlappedProcessPair mode.
 	copyDur time.Duration
 	err     error
+	// cached carries the finished payloads when the frame was served from the
+	// slab-texture cache (hit true); vol stays nil and no render happens.
+	cached framecache.Slab
+	hit    bool
+}
+
+// cacheKey addresses this run's slab of the given frame in the shared cache,
+// folding the decomposition (axis, PE count) into the dataset identity so a
+// run decomposing differently never sees another run's slabs. ok is false
+// when caching is disabled for this run.
+func (b *BackEnd) cacheKey(frame int, axis volume.Axis) (framecache.Key, bool) {
+	if b.cfg.Cache == nil || b.cfg.CacheDataset == "" || b.cfg.Grid != nil || b.cfg.Elevation {
+		return framecache.Key{}, false
+	}
+	return framecache.Key{
+		Dataset:  fmt.Sprintf("%s|axis=%d|pes=%d", b.cfg.CacheDataset, int(axis), b.cfg.PEs),
+		Timestep: frame,
+		TF:       b.cfg.CacheTF,
+	}, true
 }
 
 // load fetches one PE's slab of one timestep and logs the load phase. A
 // cancelled ctx aborts a network-backed load in flight.
 func (b *BackEnd) load(ctx context.Context, rank, frame int, axis volume.Axis) loadedFrame {
+	if key, ok := b.cacheKey(frame, axis); ok {
+		if slab, hit := b.cfg.Cache.Slab(key, rank); hit {
+			return loadedFrame{frame: frame, axis: axis, cached: slab, hit: true}
+		}
+	}
 	regions := volume.Slabs(b.nx, b.ny, b.nz, axis, b.cfg.PEs)
 	region := regions[rank]
 	b.log(netlogger.BELoadStart, frame, rank, region.Bytes())
@@ -314,58 +355,71 @@ func (b *BackEnd) load(ctx context.Context, rank, frame int, axis volume.Axis) l
 // renderAndSend renders one loaded slab and ships the light and heavy
 // payloads to the viewer, returning the per-frame statistics.
 func (b *BackEnd) renderAndSend(rank int, lf loadedFrame) (FrameStats, error) {
-	fs := FrameStats{Frame: lf.frame, PE: rank, Load: lf.dur, Copy: lf.copyDur, BytesLoaded: lf.bytes}
+	fs := FrameStats{Frame: lf.frame, PE: rank, Load: lf.dur, Copy: lf.copyDur, BytesLoaded: lf.bytes, CacheHit: lf.hit}
 	if lf.err != nil {
 		return fs, fmt.Errorf("backend: PE %d frame %d load: %w", rank, lf.frame, lf.err)
 	}
 
-	// Render phase.
-	b.log(netlogger.BERenderStart, lf.frame, rank, 0)
-	renderStart := time.Now()
-	full := volume.Region{X1: lf.vol.NX, Y1: lf.vol.NY, Z1: lf.vol.NZ}
-	img, _ := render.RenderSlab(lf.vol, full, b.tf, lf.axis)
-	var grid []amr.Segment
-	if b.cfg.Grid != nil {
-		h := amr.Build(lf.vol, *b.cfg.Grid)
-		grid = h.WireframeSegments()
-	}
-	var elev []float32
-	if b.cfg.Elevation {
-		elev = ibr.QuadmeshElevation(lf.vol, full, b.tf, lf.axis)
-	}
-	fs.Render = time.Since(renderStart)
-	b.log(netlogger.BERenderEnd, lf.frame, rank, 0)
+	var light *wire.LightPayload
+	var heavy *wire.HeavyPayload
+	if lf.hit {
+		// Cache hit: the finished payloads were rendered by an earlier run of
+		// the same content identity. The raycaster never runs.
+		light, heavy = lf.cached.Light, lf.cached.Heavy
+	} else {
+		// Render phase.
+		b.log(netlogger.BERenderStart, lf.frame, rank, 0)
+		renderStart := time.Now()
+		full := volume.Region{X1: lf.vol.NX, Y1: lf.vol.NY, Z1: lf.vol.NZ}
+		img, _ := render.RenderSlab(lf.vol, full, b.tf, lf.axis)
+		var grid []amr.Segment
+		if b.cfg.Grid != nil {
+			h := amr.Build(lf.vol, *b.cfg.Grid)
+			grid = h.WireframeSegments()
+		}
+		var elev []float32
+		if b.cfg.Elevation {
+			elev = ibr.QuadmeshElevation(lf.vol, full, b.tf, lf.axis)
+		}
+		fs.Render = time.Since(renderStart)
+		b.log(netlogger.BERenderEnd, lf.frame, rank, 0)
 
-	// Payload assembly: place the slab-center quad in source-volume
-	// coordinates so the viewer's scene graph lines up across PEs.
-	cx, cy, cz := lf.region.Center()
-	rx, ry, rz := lf.region.Dims()
-	var width, height, depth float64
-	switch lf.axis {
-	case volume.AxisX:
-		width, height, depth = float64(ry), float64(rz), float64(rx)
-	case volume.AxisY:
-		width, height, depth = float64(rx), float64(rz), float64(ry)
-	default:
-		width, height, depth = float64(rx), float64(ry), float64(rz)
-	}
-	heavy := &wire.HeavyPayload{
-		Frame: lf.frame, PE: rank,
-		TexWidth: img.W, TexHeight: img.H,
-		Texture:   img.ToRGBA8(),
-		Grid:      grid,
-		Elevation: elev,
-	}
-	light := &wire.LightPayload{
-		Frame: lf.frame, PE: rank,
-		SlabIndex: rank, SlabCount: b.cfg.PEs,
-		Axis:     lf.axis,
-		TexWidth: img.W, TexHeight: img.H, BytesPerPixel: 4,
-		CenterX: cx, CenterY: cy, CenterZ: cz,
-		Width: width, Height: height, Depth: depth,
-		HeavyBytes:   heavy.WireSize(),
-		GridSegments: len(grid),
-		HasElevation: elev != nil,
+		// Payload assembly: place the slab-center quad in source-volume
+		// coordinates so the viewer's scene graph lines up across PEs.
+		cx, cy, cz := lf.region.Center()
+		rx, ry, rz := lf.region.Dims()
+		var width, height, depth float64
+		switch lf.axis {
+		case volume.AxisX:
+			width, height, depth = float64(ry), float64(rz), float64(rx)
+		case volume.AxisY:
+			width, height, depth = float64(rx), float64(rz), float64(ry)
+		default:
+			width, height, depth = float64(rx), float64(ry), float64(rz)
+		}
+		heavy = &wire.HeavyPayload{
+			Frame: lf.frame, PE: rank,
+			TexWidth: img.W, TexHeight: img.H,
+			Texture:   img.ToRGBA8(),
+			Grid:      grid,
+			Elevation: elev,
+		}
+		light = &wire.LightPayload{
+			Frame: lf.frame, PE: rank,
+			SlabIndex: rank, SlabCount: b.cfg.PEs,
+			Axis:     lf.axis,
+			TexWidth: img.W, TexHeight: img.H, BytesPerPixel: 4,
+			CenterX: cx, CenterY: cy, CenterZ: cz,
+			Width: width, Height: height, Depth: depth,
+			HeavyBytes:   heavy.WireSize(),
+			GridSegments: len(grid),
+			HasElevation: elev != nil,
+		}
+		if key, ok := b.cacheKey(lf.frame, lf.axis); ok {
+			// Cached payloads are shared by reference across future runs and
+			// their fan-out viewers; they are immutable from here on.
+			b.cfg.Cache.PutSlab(key, rank, b.cfg.PEs, framecache.Slab{Light: light, Heavy: heavy})
+		}
 	}
 
 	// Send phase: light payload (metadata) then heavy payload (texture).
@@ -544,7 +598,7 @@ func (b *BackEnd) runPEOverlapped(ctx context.Context, rank int, barrier *cyclic
 					return
 				}
 				lf := b.load(ctx, rank, r.frame, r.axis)
-				if b.cfg.Mode == OverlappedProcessPair && lf.err == nil {
+				if b.cfg.Mode == OverlappedProcessPair && lf.err == nil && !lf.hit {
 					copyStart := time.Now()
 					lf.vol = lf.vol.Clone()
 					lf.copyDur = time.Since(copyStart)

@@ -1,0 +1,219 @@
+// Package framecache is the content-addressed slab-texture cache behind the
+// scheduler's run coalescing: rendered frames are keyed by (dataset identity,
+// timestep, transfer-function hash), so a replay of an already-rendered spec —
+// or a viewer scrubbing back and forth across timesteps — is served the
+// finished light/heavy payload pair without touching the data source or the
+// raycaster. This is the same data-reduction instinct the paper applies
+// between source and viewer (ship textures, not volumes), applied in time:
+// never render the same pixels twice.
+//
+// The cache is bounded in bytes and evicts least-recently-used whole frames.
+// Entries are immutable once inserted: every consumer shares the same payload
+// pointers, exactly like the fan-out stage shares one rendered frame across
+// attached viewers.
+package framecache
+
+import (
+	"container/list"
+	"sync"
+
+	"visapult/internal/wire"
+)
+
+// Key addresses one cached frame: the canonical dataset identity (source
+// kind, dimensions, seed, decomposition), the timestep, and the
+// transfer-function hash. Everything that changes the rendered pixels must be
+// folded into one of the three components by the caller.
+type Key struct {
+	Dataset  string
+	Timestep int
+	TF       string
+}
+
+// Slab is one PE's rendered contribution to a frame: the metadata payload and
+// the texture payload, exactly as they go on the wire. Cached slabs are
+// shared between runs and must not be mutated.
+type Slab struct {
+	Light *wire.LightPayload
+	Heavy *wire.HeavyPayload
+}
+
+// bytes returns the payload volume the slab pins in memory, measured in wire
+// bytes (the texture dominates).
+func (s Slab) bytes() int64 {
+	var n int64
+	if s.Light != nil {
+		n += s.Light.WireSize()
+	}
+	if s.Heavy != nil {
+		n += s.Heavy.WireSize()
+	}
+	return n
+}
+
+// Stats is a point-in-time snapshot of the cache's counters.
+type Stats struct {
+	// Hits and Misses count Slab lookups; a replayed frame scores one hit
+	// per PE per timestep.
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	// Evictions counts frames discarded to make room (not flushed ones).
+	Evictions int64 `json:"evictions"`
+	// Entries and Bytes describe the current residency; Capacity is the
+	// configured byte bound.
+	Entries  int   `json:"entries"`
+	Bytes    int64 `json:"bytes"`
+	Capacity int64 `json:"capacity"`
+}
+
+// entry is one fully assembled cached frame: every PE's slab.
+type entry struct {
+	key   Key
+	slabs []Slab
+	bytes int64
+}
+
+// pending accumulates a frame's slabs until every PE rank has contributed;
+// only complete frames enter the LRU, so a run that dies mid-frame never
+// leaves a torn entry behind.
+type pending struct {
+	slabs []Slab
+	have  int
+}
+
+// Cache is a byte-bounded LRU of rendered frames. All methods are safe for
+// concurrent use; the zero value is not usable — construct with New.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int64                 // guarded by mu
+	lru      *list.List            // guarded by mu; front = most recent
+	entries  map[Key]*list.Element // guarded by mu
+	building map[Key]*pending      // guarded by mu
+	bytes    int64                 // guarded by mu
+	hits     int64                 // guarded by mu
+	misses   int64                 // guarded by mu
+	evicted  int64                 // guarded by mu
+}
+
+// New builds a cache bounded to capacity bytes of payload data. capacity <= 0
+// returns a nil cache, which every method treats as "caching disabled".
+func New(capacity int64) *Cache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &Cache{
+		capacity: capacity,
+		lru:      list.New(),
+		entries:  make(map[Key]*list.Element),
+		building: make(map[Key]*pending),
+	}
+}
+
+// Slab returns PE rank's cached slab of the keyed frame, if the whole frame
+// is resident. Lookups against a nil cache miss without counting.
+func (c *Cache) Slab(key Key, rank int) (Slab, bool) {
+	if c == nil {
+		return Slab{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return Slab{}, false
+	}
+	e := el.Value.(*entry)
+	if rank < 0 || rank >= len(e.slabs) {
+		c.misses++
+		return Slab{}, false
+	}
+	c.lru.MoveToFront(el)
+	c.hits++
+	return e.slabs[rank], true
+}
+
+// PutSlab contributes PE rank's rendered slab to the keyed frame. The frame
+// enters the cache once all total ranks have contributed; a frame larger than
+// the whole cache is discarded rather than inserted. No-op on a nil cache.
+func (c *Cache) PutSlab(key Key, rank, total int, slab Slab) {
+	if c == nil || rank < 0 || total <= 0 || rank >= total || slab.Light == nil || slab.Heavy == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, resident := c.entries[key]; resident {
+		return
+	}
+	p, ok := c.building[key]
+	if !ok {
+		p = &pending{slabs: make([]Slab, total)}
+		c.building[key] = p
+	}
+	if len(p.slabs) != total { // conflicting decomposition: start over
+		p = &pending{slabs: make([]Slab, total)}
+		c.building[key] = p
+	}
+	if p.slabs[rank].Heavy == nil {
+		p.have++
+	}
+	p.slabs[rank] = slab
+	if p.have < total {
+		return
+	}
+	delete(c.building, key)
+	e := &entry{key: key, slabs: p.slabs}
+	for _, s := range p.slabs {
+		e.bytes += s.bytes()
+	}
+	if e.bytes > c.capacity {
+		return
+	}
+	c.entries[key] = c.lru.PushFront(e)
+	c.bytes += e.bytes
+	for c.bytes > c.capacity {
+		c.evictOldestLocked()
+	}
+}
+
+// evictOldestLocked drops the least-recently-used frame; c.mu must be held.
+func (c *Cache) evictOldestLocked() {
+	el := c.lru.Back()
+	if el == nil {
+		return
+	}
+	e := c.lru.Remove(el).(*entry)
+	delete(c.entries, e.key)
+	c.bytes -= e.bytes
+	c.evicted++
+}
+
+// Clear flushes every resident frame and in-flight assembly, keeping the
+// hit/miss/eviction counters. No-op on a nil cache.
+func (c *Cache) Clear() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.lru.Init()
+	c.entries = make(map[Key]*list.Element)
+	c.building = make(map[Key]*pending)
+	c.bytes = 0
+}
+
+// Stats snapshots the cache counters. A nil cache reports all zeros.
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evicted,
+		Entries:   c.lru.Len(),
+		Bytes:     c.bytes,
+		Capacity:  c.capacity,
+	}
+}

@@ -1,0 +1,210 @@
+package framecache
+
+import (
+	"fmt"
+	"testing"
+
+	"visapult/internal/wire"
+)
+
+// slab builds a test slab whose heavy payload carries a texture of n bytes
+// (n must be a multiple of 4 to stay a valid RGBA buffer).
+func slab(frame, pe, texBytes int) Slab {
+	return Slab{
+		Light: &wire.LightPayload{Frame: frame, PE: pe, TexWidth: texBytes / 4, TexHeight: 1, BytesPerPixel: 4},
+		Heavy: &wire.HeavyPayload{Frame: frame, PE: pe, TexWidth: texBytes / 4, TexHeight: 1, Texture: make([]byte, texBytes)},
+	}
+}
+
+func key(ts int) Key { return Key{Dataset: "combustion/64x64x64", Timestep: ts, TF: "fire"} }
+
+// putFrame inserts a complete 2-PE frame for timestep ts.
+func putFrame(c *Cache, ts, texBytes int) {
+	for pe := 0; pe < 2; pe++ {
+		c.PutSlab(key(ts), pe, 2, slab(ts, pe, texBytes))
+	}
+}
+
+func TestCacheHitMiss(t *testing.T) {
+	c := New(1 << 20)
+	if _, ok := c.Slab(key(0), 0); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	putFrame(c, 0, 1024)
+	for pe := 0; pe < 2; pe++ {
+		s, ok := c.Slab(key(0), pe)
+		if !ok {
+			t.Fatalf("PE %d: expected hit after PutSlab", pe)
+		}
+		if s.Heavy.PE != pe || s.Heavy.Frame != 0 {
+			t.Fatalf("PE %d: wrong slab returned: frame %d pe %d", pe, s.Heavy.Frame, s.Heavy.PE)
+		}
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v, want 2 hits, 1 miss, 1 entry", st)
+	}
+	if st.Bytes <= 0 || st.Bytes > st.Capacity {
+		t.Fatalf("implausible byte accounting: %+v", st)
+	}
+}
+
+func TestCachePartialFrameNeverServed(t *testing.T) {
+	c := New(1 << 20)
+	c.PutSlab(key(0), 0, 2, slab(0, 0, 1024)) // only PE 0 of 2
+	if _, ok := c.Slab(key(0), 0); ok {
+		t.Fatal("partial frame served from cache")
+	}
+	if st := c.Stats(); st.Entries != 0 {
+		t.Fatalf("partial frame counted as entry: %+v", st)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// Each 2-PE frame is ~2x2 KiB plus headers; cap the cache so only two
+	// frames fit.
+	frameBytes := slab(0, 0, 2048).bytes() * 2
+	c := New(frameBytes*2 + frameBytes/2)
+	putFrame(c, 0, 2048)
+	putFrame(c, 1, 2048)
+	// Touch frame 0 so frame 1 is the LRU victim.
+	if _, ok := c.Slab(key(0), 0); !ok {
+		t.Fatal("frame 0 missing before eviction")
+	}
+	putFrame(c, 2, 2048)
+	if _, ok := c.Slab(key(1), 0); ok {
+		t.Fatal("LRU frame 1 survived eviction")
+	}
+	if _, ok := c.Slab(key(0), 0); !ok {
+		t.Fatal("recently used frame 0 was evicted")
+	}
+	if _, ok := c.Slab(key(2), 0); !ok {
+		t.Fatal("newest frame 2 was evicted")
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Entries != 2 {
+		t.Fatalf("stats = %+v, want 1 eviction, 2 entries", st)
+	}
+}
+
+func TestCacheOversizedFrameSkipped(t *testing.T) {
+	c := New(256) // smaller than one frame
+	putFrame(c, 0, 4096)
+	if st := c.Stats(); st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("oversized frame was inserted: %+v", st)
+	}
+}
+
+func TestCacheClear(t *testing.T) {
+	c := New(1 << 20)
+	putFrame(c, 0, 1024)
+	c.Slab(key(0), 0)
+	c.Clear()
+	if st := c.Stats(); st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("Clear left residency: %+v", st)
+	}
+	if st := c.Stats(); st.Hits != 1 {
+		t.Fatalf("Clear reset counters: %+v", st)
+	}
+	if _, ok := c.Slab(key(0), 0); ok {
+		t.Fatal("cleared frame still served")
+	}
+}
+
+func TestCacheNilSafe(t *testing.T) {
+	var c *Cache
+	if _, ok := c.Slab(key(0), 0); ok {
+		t.Fatal("nil cache reported a hit")
+	}
+	c.PutSlab(key(0), 0, 1, slab(0, 0, 64))
+	c.Clear()
+	if st := c.Stats(); st != (Stats{}) {
+		t.Fatalf("nil cache stats = %+v, want zeros", st)
+	}
+	if New(0) != nil {
+		t.Fatal("New(0) should disable caching with a nil cache")
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	c := New(1 << 22)
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 200; i++ {
+				ts := (g*200 + i) % 32
+				for pe := 0; pe < 2; pe++ {
+					c.PutSlab(key(ts), pe, 2, slab(ts, pe, 512))
+					c.Slab(key(ts), pe)
+				}
+				if i%50 == 0 {
+					c.Stats()
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	st := c.Stats()
+	if st.Entries == 0 {
+		t.Fatalf("no entries after concurrent load: %+v", st)
+	}
+	if st.Entries > 32 {
+		t.Fatalf("more entries than distinct keys: %+v", st)
+	}
+}
+
+func TestCacheDistinctTFDistinctEntries(t *testing.T) {
+	c := New(1 << 20)
+	k1 := Key{Dataset: "d", Timestep: 0, TF: "fire"}
+	k2 := Key{Dataset: "d", Timestep: 0, TF: "cool"}
+	c.PutSlab(k1, 0, 1, slab(0, 0, 256))
+	if _, ok := c.Slab(k2, 0); ok {
+		t.Fatal("transfer-function change hit the old entry")
+	}
+	c.PutSlab(k2, 0, 1, slab(0, 0, 256))
+	if st := c.Stats(); st.Entries != 2 {
+		t.Fatalf("want 2 entries for 2 TF hashes, got %+v", st)
+	}
+}
+
+func TestCacheDecompositionChangeRestartsAssembly(t *testing.T) {
+	c := New(1 << 20)
+	k := key(0)
+	c.PutSlab(k, 0, 4, slab(0, 0, 256))
+	// Same key, different total: the stale partial must not merge.
+	c.PutSlab(k, 0, 2, slab(0, 0, 256))
+	c.PutSlab(k, 1, 2, slab(0, 1, 256))
+	s, ok := c.Slab(k, 1)
+	if !ok {
+		t.Fatal("frame with restarted assembly never completed")
+	}
+	if s.Heavy.PE != 1 {
+		t.Fatalf("wrong slab: %+v", s.Heavy.PE)
+	}
+}
+
+func BenchmarkCacheSlab(b *testing.B) {
+	c := New(1 << 24)
+	for ts := 0; ts < 16; ts++ {
+		putFrame(c, ts, 4096)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := c.Slab(key(i%16), i%2); !ok {
+			b.Fatal("unexpected miss")
+		}
+	}
+}
+
+func ExampleCache() {
+	c := New(1 << 20)
+	k := Key{Dataset: "combustion/64x64x64/ts4", Timestep: 2, TF: "fire"}
+	c.PutSlab(k, 0, 1, slab(2, 0, 1024))
+	_, hit := c.Slab(k, 0)
+	fmt.Println(hit)
+	// Output: true
+}

@@ -65,6 +65,15 @@ func newFanoutControl(ctx context.Context, cfg SessionConfig, fan *backend.Fanou
 	return &FanoutControl{cfg: cfg, ctx: ctx, fan: fan, be: be, instances: make(map[string]*viewerInstance)}
 }
 
+// Active reports whether the fan-out still accepts viewer operations (the
+// session has not begun tearing down). A retention sweep uses it to tell a
+// finished session's historical viewer records from live attachments.
+func (fc *FanoutControl) Active() bool {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	return !fc.closed
+}
+
 // setAxis forwards a best-axis hint from the primary viewer to the back end.
 func (fc *FanoutControl) setAxis(axis volume.Axis) {
 	fc.mu.Lock()
@@ -291,15 +300,18 @@ func runFanoutSession(ctx context.Context, cfg SessionConfig) (*SessionResult, e
 		beLogger = netlogger.New("backend-host", "backend")
 	}
 	be, err = backend.New(backend.Config{
-		PEs:       cfg.PEs,
-		Timesteps: cfg.Timesteps,
-		Mode:      cfg.Mode,
-		Axis:      cfg.Axis,
-		Source:    cfg.Source,
-		TF:        cfg.TF,
-		Sinks:     fan.Sinks(),
-		Logger:    beLogger,
-		OnFrame:   cfg.OnFrame,
+		PEs:          cfg.PEs,
+		Timesteps:    cfg.Timesteps,
+		Mode:         cfg.Mode,
+		Axis:         cfg.Axis,
+		Source:       cfg.Source,
+		TF:           cfg.TF,
+		Sinks:        fan.Sinks(),
+		Logger:       beLogger,
+		OnFrame:      cfg.OnFrame,
+		Cache:        cfg.Cache,
+		CacheDataset: cfg.CacheDataset,
+		CacheTF:      cfg.CacheTF,
 	})
 	if err != nil {
 		fc.teardownAll()

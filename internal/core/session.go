@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"visapult/internal/backend"
+	"visapult/internal/backend/framecache"
 	"visapult/internal/netlogger"
 	"visapult/internal/netsim"
 	"visapult/internal/render"
@@ -115,6 +116,12 @@ type SessionConfig struct {
 	// once the run is live, so callers can attach and detach viewers mid-run
 	// and read per-viewer delivery metrics. Only invoked when Viewers >= 1.
 	OnFanout func(*FanoutControl)
+	// Cache, CacheDataset and CacheTF configure the content-addressed slab
+	// cache in the back end; see backend.Config. A nil Cache (or empty
+	// CacheDataset) disables caching for this session.
+	Cache        *framecache.Cache
+	CacheDataset string
+	CacheTF      string
 }
 
 // SessionResult reports what a session did.
@@ -200,15 +207,18 @@ func RunSession(ctx context.Context, cfg SessionConfig) (*SessionResult, error) 
 	defer tr.closeAll()
 
 	be, err = backend.New(backend.Config{
-		PEs:       cfg.PEs,
-		Timesteps: cfg.Timesteps,
-		Mode:      cfg.Mode,
-		Axis:      cfg.Axis,
-		Source:    cfg.Source,
-		TF:        cfg.TF,
-		Sinks:     tr.sinks,
-		Logger:    beLogger,
-		OnFrame:   cfg.OnFrame,
+		PEs:          cfg.PEs,
+		Timesteps:    cfg.Timesteps,
+		Mode:         cfg.Mode,
+		Axis:         cfg.Axis,
+		Source:       cfg.Source,
+		TF:           cfg.TF,
+		Sinks:        tr.sinks,
+		Logger:       beLogger,
+		OnFrame:      cfg.OnFrame,
+		Cache:        cfg.Cache,
+		CacheDataset: cfg.CacheDataset,
+		CacheTF:      cfg.CacheTF,
 	})
 	if err != nil {
 		return nil, err

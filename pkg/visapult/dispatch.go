@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sync"
 	"time"
 )
 
@@ -27,6 +28,138 @@ func (e *remoteRunError) Error() string { return e.msg }
 // or a capacity registered higher than the worker's); it is retried without
 // declaring the worker dead.
 var errWorkerBusy = errors.New("visapult: worker at capacity")
+
+// errDispatchClosed reports a viewer control operation attempted after the
+// run's dispatch connection ended.
+var errDispatchClosed = errors.New("visapult: dispatch connection closed")
+
+// dispatchHandle is the client end of a live dispatched run's control
+// channel: it multiplexes seq-numbered viewer operations (attach, detach,
+// viewers) onto the same connection the frame stream rides, and correlates
+// the worker's ctrl acks back to their waiting callers.
+type dispatchHandle struct {
+	conn net.Conn
+
+	wmu sync.Mutex    // serializes control writes on conn
+	enc *json.Encoder // guarded by wmu
+
+	mu      sync.Mutex
+	seq     int64                  // guarded by mu
+	pending map[int64]chan ctrlAck // guarded by mu
+	closed  bool                   // guarded by mu
+}
+
+func newDispatchHandle(conn net.Conn) *dispatchHandle {
+	conn.SetWriteDeadline(time.Now().Add(workerIOTimeout)) //nolint:errcheck // re-armed per control write
+	return &dispatchHandle{conn: conn, enc: json.NewEncoder(conn),
+		pending: make(map[int64]chan ctrlAck)}
+}
+
+// roundTrip sends one control request and waits for its ack. The write is
+// deadline-bounded; the wait is bounded by ctx and by the connection's
+// lifetime (fail closes every pending channel).
+func (h *dispatchHandle) roundTrip(ctx context.Context, req workerRequest) (ctrlAck, error) {
+	ch := make(chan ctrlAck, 1)
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return ctrlAck{}, errDispatchClosed
+	}
+	h.seq++
+	req.Seq = h.seq
+	h.pending[req.Seq] = ch
+	h.mu.Unlock()
+
+	h.wmu.Lock()
+	h.conn.SetWriteDeadline(time.Now().Add(workerIOTimeout)) //nolint:errcheck
+	err := h.enc.Encode(req)
+	h.wmu.Unlock()
+	if err != nil {
+		h.drop(req.Seq)
+		return ctrlAck{}, fmt.Errorf("visapult: sending %s to worker: %w", req.Op, err)
+	}
+	select {
+	case ack, ok := <-ch:
+		if !ok {
+			return ctrlAck{}, errDispatchClosed
+		}
+		return ack, nil
+	case <-ctx.Done():
+		h.drop(req.Seq)
+		return ctrlAck{}, ctx.Err()
+	}
+}
+
+func (h *dispatchHandle) drop(seq int64) {
+	h.mu.Lock()
+	delete(h.pending, seq)
+	h.mu.Unlock()
+}
+
+// deliver routes one ctrl ack from the frame-stream decode loop to the
+// round-trip waiting on its sequence number.
+func (h *dispatchHandle) deliver(ack ctrlAck) {
+	h.mu.Lock()
+	ch := h.pending[ack.Seq]
+	delete(h.pending, ack.Seq)
+	h.mu.Unlock()
+	if ch != nil {
+		ch <- ack
+	}
+}
+
+// fail marks the connection ended and releases every pending round-trip.
+func (h *dispatchHandle) fail() {
+	h.mu.Lock()
+	h.closed = true
+	for seq, ch := range h.pending {
+		close(ch)
+		delete(h.pending, seq)
+	}
+	h.mu.Unlock()
+}
+
+// viewerOp runs one attach/detach against the remote fan-out, translating a
+// NoFanout ack back into the ErrNoFanout sentinel local runs produce.
+func (h *dispatchHandle) viewerOp(ctx context.Context, op, id string) error {
+	ack, err := h.roundTrip(ctx, workerRequest{Op: op, Viewer: id})
+	if err != nil {
+		return err
+	}
+	if ack.NoFanout {
+		return fmt.Errorf("remote viewer %q: %w", id, ErrNoFanout)
+	}
+	if ack.Err != "" {
+		return errors.New(ack.Err)
+	}
+	return nil
+}
+
+// remotePort is the viewerPort of a run placed on a remote worker: viewer
+// operations travel the run's dispatch connection as control messages.
+type remotePort struct{ h *dispatchHandle }
+
+func (p remotePort) attach(ctx context.Context, id string) error {
+	return p.h.viewerOp(ctx, opAttach, id)
+}
+
+func (p remotePort) detach(ctx context.Context, id string) error {
+	return p.h.viewerOp(ctx, opDetach, id)
+}
+
+func (p remotePort) viewers(ctx context.Context) ([]ViewerDelivery, error) {
+	ack, err := p.h.roundTrip(ctx, workerRequest{Op: opViewers})
+	if err != nil {
+		return nil, err
+	}
+	if ack.NoFanout {
+		return nil, fmt.Errorf("remote run: %w", ErrNoFanout)
+	}
+	if ack.Err != "" {
+		return nil, errors.New(ack.Err)
+	}
+	return ack.Viewers, nil
+}
 
 // pingTimeout bounds a health probe when the caller's context has no
 // deadline of its own.
@@ -68,9 +201,12 @@ func pingWorker(ctx context.Context, addr string) (WorkerHello, error) {
 }
 
 // dispatchRun executes one spec on the worker at addr, invoking onFrame for
-// every streamed frame metric, and returns the run's result. Cancelling ctx
+// every streamed frame metric, and returns the run's result. onHandle, when
+// non-nil, receives the live dispatch handle once the run request is on the
+// wire — the scheduler publishes it as the run's viewer port so attach/detach
+// reach the worker's fan-out; the handle dies with this call. Cancelling ctx
 // closes the connection, which cancels the run on the worker too.
-func dispatchRun(ctx context.Context, addr, name string, spec RunSpec, onFrame func(FrameMetric)) (*Result, error) {
+func dispatchRun(ctx context.Context, addr, name string, spec RunSpec, onFrame func(FrameMetric), onHandle func(*dispatchHandle)) (*Result, error) {
 	var d net.Dialer
 	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
@@ -82,11 +218,19 @@ func dispatchRun(ctx context.Context, addr, name string, spec RunSpec, onFrame f
 	stop := context.AfterFunc(ctx, func() { conn.Close() })
 	defer stop()
 
-	if err := json.NewEncoder(conn).Encode(workerRequest{Op: opRun, Name: name, Spec: &spec}); err != nil {
+	h := newDispatchHandle(conn)
+	defer h.fail()
+	h.wmu.Lock()
+	err = h.enc.Encode(workerRequest{Op: opRun, Name: name, Spec: &spec})
+	h.wmu.Unlock()
+	if err != nil {
 		if ctxErr := ctx.Err(); ctxErr != nil {
 			return nil, ctxErr
 		}
 		return nil, fmt.Errorf("visapult: sending run %q to worker %s: %w", name, addr, err)
+	}
+	if onHandle != nil {
+		onHandle(h)
 	}
 	dec := json.NewDecoder(conn)
 	for {
@@ -103,6 +247,8 @@ func dispatchRun(ctx context.Context, addr, name string, spec RunSpec, onFrame f
 			if onFrame != nil {
 				onFrame(*rep.Frame)
 			}
+		case rep.Ctrl != nil:
+			h.deliver(*rep.Ctrl)
 		case rep.Result != nil:
 			return rep.Result.result(), nil
 		case rep.Error != "":

@@ -9,8 +9,13 @@ import (
 	"sync/atomic"
 	"time"
 
+	"visapult/internal/backend/framecache"
 	"visapult/internal/core"
 )
+
+// FrameCacheStats is the frame cache's counter snapshot; see
+// Manager.FrameCacheStats.
+type FrameCacheStats = framecache.Stats
 
 // RunState is the lifecycle state of a managed run.
 type RunState int
@@ -117,9 +122,9 @@ var (
 	// ErrNoResult: Result was called on a run not in StateDone.
 	ErrNoResult = errors.New("visapult: run has no result")
 	// ErrNoFanout: a viewer operation was attempted on a run without a live
-	// fan-out stage — it was not created with Viewers >= 1, has not started
-	// executing locally yet, or is placed on a remote worker (whose viewers
-	// are not reachable through this manager).
+	// fan-out stage — it was not created with Viewers >= 1, or its pipeline
+	// has not started executing yet. Runs placed on remote workers are
+	// reachable: their viewer operations travel the dispatch connection.
 	ErrNoFanout = errors.New("visapult: run has no viewer fan-out")
 )
 
@@ -135,6 +140,12 @@ type Manager struct {
 	runs        map[string]*managedRun // guarded by mu
 	closed      bool                   // guarded by mu
 	maxAttempts int                    // guarded by mu
+	// coalesce maps each render hash to the run currently leading it: the
+	// run identical submissions ride instead of rendering again.
+	coalesce map[string]*managedRun // guarded by mu
+	// frameCache is the shared slab-texture cache spec-described local runs
+	// render into and replay from; nil until SetFrameCacheCapacity enables it.
+	frameCache *framecache.Cache // guarded by mu
 
 	baseCtx   context.Context
 	cancelAll context.CancelFunc
@@ -149,6 +160,9 @@ type managedRun struct {
 	// eligible for remote placement (options are closures and cannot cross
 	// the wire).
 	spec *RunSpec
+	// renderKey is the spec's canonical render hash (empty for option-built
+	// runs): submissions sharing it coalesce onto one live render.
+	renderKey string
 
 	mu       sync.Mutex
 	state    RunState           // guarded by mu
@@ -167,6 +181,16 @@ type managedRun struct {
 	// fanout is the live fan-out control of a WithViewers run executing
 	// locally; nil otherwise. It stays readable after the run finishes.
 	fanout *core.FanoutControl
+	// port is the run's live viewer attach/detach channel: a localPort over
+	// fanout for in-process execution, a remotePort over the dispatch
+	// connection for runs placed on a worker; nil while no placement is live.
+	port viewerPort // guarded by mu
+	// portWait is closed (and remade) whenever port is published, waking
+	// coalesced followers waiting to attach their viewers.
+	portWait chan struct{} // guarded by mu
+	// relays are the coalesced follower runs live frame metrics are copied
+	// to. Lock order: this run's mu strictly before any follower's.
+	relays []*managedRun // guarded by mu
 }
 
 // NewManager builds a manager executing at most workers runs concurrently on
@@ -184,10 +208,48 @@ func NewManager(workers int) *Manager {
 		sem:         make(chan struct{}, workers),
 		pool:        newWorkerPool(),
 		runs:        make(map[string]*managedRun),
+		coalesce:    make(map[string]*managedRun),
 		maxAttempts: defaultMaxAttempts,
 		baseCtx:     ctx,
 		cancelAll:   cancel,
 	}
+}
+
+// SetFrameCacheCapacity (re)configures the manager's content-addressed
+// slab-texture cache to the given byte bound; bytes <= 0 disables caching.
+// The cache is shared by every spec-described run the manager executes
+// locally: a replay of an already-rendered spec is served finished frames
+// without touching the data source or the raycaster. Reconfiguring replaces
+// the cache, so previously cached frames are dropped.
+func (m *Manager) SetFrameCacheCapacity(bytes int64) {
+	m.mu.Lock()
+	m.frameCache = framecache.New(bytes)
+	m.mu.Unlock()
+}
+
+// FrameCacheStats snapshots the frame cache's hit/miss/eviction counters and
+// residency. All zeros when the cache is disabled.
+func (m *Manager) FrameCacheStats() FrameCacheStats {
+	m.mu.Lock()
+	c := m.frameCache
+	m.mu.Unlock()
+	return c.Stats()
+}
+
+// FlushFrameCache drops every cached frame, keeping the counters and the
+// configured capacity.
+func (m *Manager) FlushFrameCache() {
+	m.mu.Lock()
+	c := m.frameCache
+	m.mu.Unlock()
+	c.Clear()
+}
+
+// frameCacheHandle returns the live cache (nil when disabled).
+func (m *Manager) frameCacheHandle() *framecache.Cache {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.frameCache
 }
 
 // Create registers a new named run with the given pipeline options. The
@@ -226,15 +288,20 @@ func (m *Manager) create(name string, opts []Option, spec *RunSpec) error {
 	if _, ok := m.runs[name]; ok {
 		return fmt.Errorf("run %q: %w", name, ErrRunExists)
 	}
-	m.runs[name] = &managedRun{
-		name:    name,
-		opts:    opts,
-		spec:    spec,
-		state:   StatePending,
-		subs:    make(map[int]*metricSub),
-		created: time.Now(),
-		done:    make(chan struct{}),
+	r := &managedRun{
+		name:     name,
+		opts:     opts,
+		spec:     spec,
+		state:    StatePending,
+		subs:     make(map[int]*metricSub),
+		created:  time.Now(),
+		done:     make(chan struct{}),
+		portWait: make(chan struct{}),
 	}
+	if spec != nil {
+		r.renderKey = spec.RenderHash()
+	}
+	m.runs[name] = r
 	return nil
 }
 
@@ -286,12 +353,12 @@ func (m *Manager) Start(name string) error {
 	return nil
 }
 
-// execute routes a queued run to the scheduler (spec-described runs) or the
-// local worker pool (option-built runs).
+// execute routes a queued run to the coalescing scheduler (spec-described
+// runs) or the local worker pool (option-built runs).
 func (m *Manager) execute(r *managedRun, ctx context.Context) {
 	defer m.wg.Done()
 	if r.spec != nil {
-		m.executeRemote(r, ctx, *r.spec)
+		m.executeSpec(r, ctx)
 		return
 	}
 	m.executeLocal(r, ctx)
@@ -315,6 +382,14 @@ func (m *Manager) executeLocal(r *managedRun, ctx context.Context) {
 
 	opts := append(append([]Option(nil), r.opts...),
 		WithFrameHook(r.observe), withFanoutControl(r.setFanout))
+	if r.spec != nil {
+		// Spec-described runs have a content identity, so they render into —
+		// and replay from — the manager's shared frame cache.
+		if cache := m.frameCacheHandle(); cache != nil {
+			dataset, tf := r.spec.cacheIdentity()
+			opts = append(opts, withFrameCache(cache, dataset, tf))
+		}
+	}
 	p, err := New(opts...)
 	if err != nil { // cannot happen: validated at Create
 		r.finish(nil, err)
@@ -405,10 +480,14 @@ func (r *managedRun) closeAttemptLocked(when time.Time, errMsg string) {
 }
 
 // setFanout records the fan-out control of a locally executing WithViewers
-// run. A re-queued run replaces the handle of its dead attempt.
+// run and publishes it as the run's viewer port, waking coalesced followers
+// waiting to attach. A re-queued run replaces the handle of its dead attempt.
 func (r *managedRun) setFanout(fc *core.FanoutControl) {
 	r.mu.Lock()
 	r.fanout = fc
+	r.port = localPort{fc}
+	close(r.portWait)
+	r.portWait = make(chan struct{})
 	r.mu.Unlock()
 }
 
@@ -422,7 +501,9 @@ func (r *managedRun) fanoutControl() (*core.FanoutControl, error) {
 	return r.fanout, nil
 }
 
-// observe records one frame metric and fans it out to subscribers.
+// observe records one frame metric, fans it out to subscribers, and relays
+// it to coalesced followers (lock order: this run's mu, then each
+// follower's inside its own observe).
 func (r *managedRun) observe(fm FrameMetric) {
 	r.mu.Lock()
 	r.metrics = append(r.metrics, fm)
@@ -435,7 +516,11 @@ func (r *managedRun) observe(fm FrameMetric) {
 			sub.dropped.Add(1)
 		}
 	}
+	relays := append([]*managedRun(nil), r.relays...)
 	r.mu.Unlock()
+	for _, f := range relays {
+		f.observe(fm)
+	}
 }
 
 // finish moves the run to its terminal state and closes subscriptions.
@@ -660,50 +745,67 @@ func (m *Manager) SubscribeMetrics(name string) (*MetricSubscription, error) {
 	return &MetricSubscription{C: sub.ch, sub: sub, cancel: cancel}, nil
 }
 
-// AttachViewer adds a viewer named viewerID to a locally executing fan-out
-// run (one created with Viewers >= 1): a fresh in-process viewer is built
-// with the run's transport and starts receiving at the next frame boundary.
-// Runs without a live fan-out — single-viewer runs, runs not yet executing,
-// or runs placed on remote workers — report ErrNoFanout.
+// AttachViewer adds a viewer named viewerID to an executing fan-out run (one
+// created with Viewers >= 1). For local execution a fresh in-process viewer
+// is built with the run's transport; for a run placed on a remote worker the
+// attach travels the dispatch connection and the viewer is built worker-side.
+// Either way it starts receiving at the next frame boundary. A run riding a
+// coalesce leader proxies the attach to that leader's fan-out. Runs without a
+// live fan-out — single-viewer runs, or runs not yet executing — report
+// ErrNoFanout.
 func (m *Manager) AttachViewer(name, viewerID string) error {
 	r, err := m.get(name)
 	if err != nil {
 		return err
 	}
-	fc, err := r.fanoutControl()
+	port, err := m.viewerPortOf(r)
 	if err != nil {
 		return err
 	}
-	return fc.Attach(viewerID)
+	ctx, cancel := m.viewerCtx()
+	defer cancel()
+	return port.attach(ctx, viewerID)
 }
 
 // DetachViewer removes a previously attached viewer from a fan-out run,
 // tearing its transport down. Its delivery record remains visible in the
-// run's status and final result.
+// run's status and final result. Works across the dispatch protocol for
+// remotely placed runs, like AttachViewer.
 func (m *Manager) DetachViewer(name, viewerID string) error {
 	r, err := m.get(name)
 	if err != nil {
 		return err
 	}
-	fc, err := r.fanoutControl()
+	port, err := m.viewerPortOf(r)
 	if err != nil {
 		return err
 	}
-	return fc.Detach(viewerID)
+	ctx, cancel := m.viewerCtx()
+	defer cancel()
+	return port.detach(ctx, viewerID)
 }
 
 // Viewers returns the per-viewer delivery snapshot of a fan-out run, in
-// attach order (including viewers that already detached or failed).
+// attach order (including viewers that already detached or failed). For a
+// finished local run the final snapshot stays readable; for a remotely
+// placed run the snapshot is fetched over the live dispatch connection.
 func (m *Manager) Viewers(name string) ([]ViewerDelivery, error) {
 	r, err := m.get(name)
 	if err != nil {
 		return nil, err
 	}
-	fc, err := r.fanoutControl()
+	// A finished (or still-local) fan-out run answers from its control even
+	// after the placement's port was retracted.
+	if fc, err := r.fanoutControl(); err == nil {
+		return fc.Viewers(), nil
+	}
+	port, err := m.viewerPortOf(r)
 	if err != nil {
 		return nil, err
 	}
-	return fc.Viewers(), nil
+	ctx, cancel := m.viewerCtx()
+	defer cancel()
+	return port.viewers(ctx)
 }
 
 // Result returns the finished run's result; an error if the run is not in
@@ -742,22 +844,44 @@ func (m *Manager) Remove(name string) error {
 // Prune removes every terminal run that finished more than olderThan ago and
 // returns how many were dropped — the retention policy keeping a long-lived
 // daemon's run table (and its per-frame metric buffers) bounded. A negative
-// or zero olderThan prunes every terminal run. Active runs are never touched.
+// or zero olderThan prunes every terminal run. Active runs are never touched,
+// and neither are runs still serving someone: the standing coalesce target
+// of its render hash (a new identical submission would ride it), a run whose
+// frame metrics are still being relayed to coalesced followers, or a run
+// whose fan-out still has viewers attached.
 func (m *Manager) Prune(olderThan time.Duration) int {
 	cutoff := time.Now().Add(-olderThan)
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	pruned := 0
 	for name, r := range m.runs {
-		r.mu.Lock()
-		expired := r.state.Terminal() && !r.finished.After(cutoff)
-		r.mu.Unlock()
-		if expired {
-			delete(m.runs, name)
-			pruned++
+		if r.renderKey != "" && m.coalesce[r.renderKey] == r {
+			continue
 		}
+		r.mu.Lock()
+		expired := r.state.Terminal() && !r.finished.After(cutoff) && len(r.relays) == 0
+		fanout := r.fanout
+		r.mu.Unlock()
+		if !expired {
+			continue
+		}
+		if fanout != nil && fanout.Active() && hasAttachedViewer(fanout.Viewers()) {
+			continue
+		}
+		delete(m.runs, name)
+		pruned++
 	}
 	return pruned
+}
+
+// hasAttachedViewer reports whether any delivery record is still attached.
+func hasAttachedViewer(deliveries []ViewerDelivery) bool {
+	for _, d := range deliveries {
+		if !d.Detached {
+			return true
+		}
+	}
+	return false
 }
 
 // Slots reports the local worker pool's occupancy: slots executing right now

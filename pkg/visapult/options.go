@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"visapult/internal/backend"
+	"visapult/internal/backend/framecache"
 	"visapult/internal/core"
 	"visapult/internal/netsim"
 )
@@ -37,6 +38,12 @@ type config struct {
 	fabricSpec  *FabricSpec
 	fabricDS    FabricDataset
 	replication int
+	// frameCache / cacheDataset / cacheTF wire a shared slab-texture cache
+	// into the back end; set only through the unexported withFrameCache, so
+	// the cache identity is always derived from a canonicalized RunSpec.
+	frameCache   *framecache.Cache
+	cacheDataset string
+	cacheTF      string
 }
 
 func defaultConfig() config {
@@ -152,6 +159,9 @@ func (c *config) sessionConfig() core.SessionConfig {
 		OnFrame:      c.onFrame,
 		Viewers:      c.viewers,
 		ViewerQueue:  c.viewerQueue,
+		Cache:        c.frameCache,
+		CacheDataset: c.cacheDataset,
+		CacheTF:      c.cacheTF,
 	}
 	if c.viewers >= 1 {
 		sc.OnFanout = c.onFanout
@@ -300,6 +310,18 @@ func WithFabricSpec(spec FabricSpec, ds FabricDataset) Option {
 // was fixed when the fabric was built.
 func WithReplication(r int) Option {
 	return func(c *config) { c.replication = r }
+}
+
+// withFrameCache wires the shared slab-texture cache into the run. dataset
+// and tf are the cache-identity strings derived from the run's canonicalized
+// spec (RunSpec.cacheIdentity); a nil cache or empty dataset disables
+// caching. Unexported: only spec-described runs have a content identity.
+func withFrameCache(cache *framecache.Cache, dataset, tf string) Option {
+	return func(c *config) {
+		c.frameCache = cache
+		c.cacheDataset = dataset
+		c.cacheTF = tf
+	}
 }
 
 // withFanoutControl registers a callback receiving the fan-out control

@@ -101,6 +101,22 @@ func CombustionTF() TransferFunction { return render.DefaultCombustionTF() }
 // cosmology dataset.
 func CosmologyTF() TransferFunction { return render.DefaultCosmologyTF() }
 
+// FireTF is the black-body combustion colormap (TransferSpec kind "fire").
+type FireTF = render.FireTF
+
+// GrayscaleTF is the linear gray ramp (TransferSpec kind "grayscale").
+type GrayscaleTF = render.Grayscale
+
+// CoolTF is the blue/white cosmology colormap (TransferSpec kind "cool").
+type CoolTF = render.CoolTF
+
+// PiecewiseTF is a table-driven transfer function (TransferSpec kind
+// "piecewise"): control points are linearly interpolated.
+type PiecewiseTF = render.Piecewise
+
+// TransferControlPoint is one (value -> color) entry of a PiecewiseTF.
+type TransferControlPoint = render.ControlPoint
+
 // Event is one NetLogger event; see package visapult/pkg/visapult/netlog for
 // analysis, ULM serialization and NLV rendering.
 type Event = netlogger.Event

@@ -396,7 +396,12 @@ func (m *Manager) executeRemote(r *managedRun, ctx context.Context, spec RunSpec
 			m.pool.release(w)
 			return
 		}
-		res, err := dispatchRun(ctx, w.addr, r.name, spec, r.observe)
+		// Publish the live dispatch handle as the run's viewer port so
+		// attach/detach (and coalesced followers' viewers) reach the remote
+		// fan-out; retract it when this placement ends either way.
+		res, err := dispatchRun(ctx, w.addr, r.name, spec, r.observe,
+			func(h *dispatchHandle) { r.setPort(remotePort{h}) })
+		r.clearPort()
 		m.pool.release(w)
 		if err == nil {
 			r.finish(res, nil)

@@ -37,6 +37,10 @@ type RunSpec struct {
 	// ViewerQueue bounds each fan-out viewer's send queue in (PE, frame)
 	// pairs; 0 selects the default (32).
 	ViewerQueue int `json:"viewerQueue,omitempty"`
+	// TF selects the volume-rendering transfer function; nil selects the
+	// default combustion colormap (fire). It is part of the render identity:
+	// two specs differing only here hash (and cache) differently.
+	TF *TransferSpec `json:"tf,omitempty"`
 	// Fabric is the serializable federation config a source of kind "fabric"
 	// resolves against: cluster names and master addresses, replication,
 	// attempt timeout. Because it is part of the spec, a run placed on a
@@ -83,8 +87,13 @@ func (s *SourceSpec) source() (Source, error) {
 	}
 }
 
-// Options translates the spec into facade options for New.
+// Options translates the spec into facade options for New. It validates
+// first, so every consumer of a spec — local facade, scheduler, remote
+// worker — rejects a bad spec with the same typed field errors.
 func (spec *RunSpec) Options() ([]Option, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
 	var opts []Option
 	if strings.EqualFold(spec.Source.Kind, "fabric") {
 		if spec.Fabric == nil {
@@ -152,6 +161,9 @@ func (spec *RunSpec) Options() ([]Option, error) {
 	}
 	if spec.ViewerQueue > 0 {
 		opts = append(opts, WithViewerQueue(spec.ViewerQueue))
+	}
+	if tf := spec.TF.transferFunction(); tf != nil {
+		opts = append(opts, WithTransferFunction(tf))
 	}
 	return opts, nil
 }

@@ -9,6 +9,9 @@ import (
 	"sync/atomic"
 	"syscall"
 	"time"
+
+	"visapult/internal/backend/framecache"
+	"visapult/internal/core"
 )
 
 // The scheduler's control protocol: newline-delimited JSON over one TCP
@@ -17,18 +20,25 @@ import (
 // plane places work on them.
 //
 // Client -> worker: one workerRequest ("ping" or "run"), optionally followed
-// by {"op":"cancel"}. Worker -> client: for "ping" a single pong reply; for
-// "run" a stream of frame replies (one per (PE, timestep), feeding the same
-// Subscribe/SSE path local runs use) terminated by exactly one result or
-// error reply. A worker that dies mid-run simply drops the connection — the
-// missing terminal reply is how the dispatcher distinguishes a dead worker
-// (re-queue the run elsewhere) from a run that failed on a healthy one.
+// by further control messages on the same connection: {"op":"cancel"}, or
+// seq-numbered viewer operations ("attach", "detach", "viewers") that
+// manipulate the dispatched run's fan-out stage remotely — each answered by a
+// ctrl reply echoing the sequence number. Worker -> client: for "ping" a
+// single pong reply; for "run" a stream of frame replies (one per (PE,
+// timestep), feeding the same Subscribe/SSE path local runs use) interleaved
+// with ctrl acks and terminated by exactly one result or error reply. A
+// worker that dies mid-run simply drops the connection — the missing terminal
+// reply is how the dispatcher distinguishes a dead worker (re-queue the run
+// elsewhere) from a run that failed on a healthy one.
 
 // Control protocol operations.
 const (
-	opPing   = "ping"
-	opRun    = "run"
-	opCancel = "cancel"
+	opPing    = "ping"
+	opRun     = "run"
+	opCancel  = "cancel"
+	opAttach  = "attach"
+	opDetach  = "detach"
+	opViewers = "viewers"
 )
 
 // workerIOTimeout bounds the dispatch handshake read and each reply write on
@@ -41,6 +51,11 @@ type workerRequest struct {
 	Op   string   `json:"op"`
 	Name string   `json:"name,omitempty"`
 	Spec *RunSpec `json:"spec,omitempty"`
+	// Viewer names the fan-out viewer an attach/detach operation targets.
+	Viewer string `json:"viewer,omitempty"`
+	// Seq correlates a viewer operation with its ctrl ack; the client picks
+	// it, the worker echoes it.
+	Seq int64 `json:"seq,omitempty"`
 }
 
 // workerReply is a worker -> client control message; exactly one field is
@@ -52,6 +67,19 @@ type workerReply struct {
 	Error  string        `json:"error,omitempty"`
 	// Busy marks an Error reply caused by capacity, not by the run itself.
 	Busy bool `json:"busy,omitempty"`
+	// Ctrl acknowledges one viewer control operation (attach/detach/viewers).
+	Ctrl *ctrlAck `json:"ctrl,omitempty"`
+}
+
+// ctrlAck is the worker's answer to one seq-numbered viewer operation. A
+// NoFanout ack maps back to ErrNoFanout on the client, which is how a
+// coalesced follower knows to retry its attach while the remote pipeline is
+// still starting.
+type ctrlAck struct {
+	Seq      int64            `json:"seq"`
+	Err      string           `json:"err,omitempty"`
+	NoFanout bool             `json:"noFanout,omitempty"`
+	Viewers  []ViewerDelivery `json:"viewers,omitempty"`
 }
 
 // WorkerHello is a worker's answer to a ping: its configured capacity and
@@ -85,6 +113,11 @@ type WorkerConfig struct {
 	// concurrently (default 2); beyond it, dispatch requests are rejected
 	// with a busy reply.
 	Capacity int
+	// FrameCacheBytes bounds a slab-texture cache shared by every run this
+	// worker executes: repeat dispatches of a spec with the same content
+	// identity replay rendered frames instead of raycasting again. Zero or
+	// negative disables caching.
+	FrameCacheBytes int64
 	// Logf, when non-nil, receives one line per accepted and completed run.
 	Logf func(format string, args ...any)
 }
@@ -112,6 +145,7 @@ func ServeWorker(ctx context.Context, l net.Listener, cfg WorkerConfig) error {
 		logf = func(string, ...any) {}
 	}
 	ws := &workerServer{ctx: ctx, capacity: cfg.Capacity, logf: logf,
+		cache: framecache.New(cfg.FrameCacheBytes),
 		conns: make(map[net.Conn]struct{})}
 
 	// Close the listener AND the accepted connections on cancellation, in
@@ -178,6 +212,7 @@ type workerServer struct {
 	ctx      context.Context
 	capacity int
 	logf     func(string, ...any)
+	cache    *framecache.Cache // shared across runs; nil = caching disabled
 	active   atomic.Int64
 	wg       sync.WaitGroup
 
@@ -291,23 +326,73 @@ func (ws *workerServer) run(req workerRequest, dec *json.Decoder, send func(work
 	opts = append(opts, WithFrameHook(func(fm FrameMetric) {
 		send(workerReply{Frame: &fm})
 	}))
+	if ws.cache != nil {
+		dataset, tf := req.Spec.cacheIdentity()
+		opts = append(opts, withFrameCache(ws.cache, dataset, tf))
+	}
+	// Capture the run's fan-out control once its pipeline goes live, so the
+	// monitor goroutine can service remote viewer attach/detach against it.
+	var fanoutMu sync.Mutex
+	var fanout *core.FanoutControl // guarded by fanoutMu
+	opts = append(opts, withFanoutControl(func(fc *core.FanoutControl) {
+		fanoutMu.Lock()
+		fanout = fc
+		fanoutMu.Unlock()
+	}))
 	p, err := New(opts...)
 	if err != nil {
 		send(workerReply{Error: err.Error()})
 		return
 	}
 
+	// viewerOp services one attach/detach/viewers control message against the
+	// live fan-out. Before the pipeline publishes its control (or for a spec
+	// without viewers) the ack carries NoFanout, which the client maps back to
+	// ErrNoFanout — the retryable "not live yet" signal.
+	viewerOp := func(msg workerRequest) *ctrlAck {
+		ack := &ctrlAck{Seq: msg.Seq}
+		fanoutMu.Lock()
+		fc := fanout
+		fanoutMu.Unlock()
+		if fc == nil || !fc.Active() {
+			ack.NoFanout = true
+			ack.Err = ErrNoFanout.Error()
+			return ack
+		}
+		switch msg.Op {
+		case opAttach:
+			if err := fc.Attach(msg.Viewer); err != nil {
+				ack.Err = err.Error()
+			}
+		case opDetach:
+			if err := fc.Detach(msg.Viewer); err != nil {
+				ack.Err = err.Error()
+			}
+		case opViewers:
+			ack.Viewers = fc.Viewers()
+		}
+		return ack
+	}
+
 	// The run lives as long as the worker and the dispatcher both do: the
 	// monitor goroutine cancels it when the client drops the connection or
-	// sends an explicit cancel.
+	// sends an explicit cancel, and services viewer control operations in
+	// between.
 	runCtx, cancel := context.WithCancel(ws.ctx)
 	defer cancel()
 	go func() {
 		for {
 			var msg workerRequest
-			if err := dec.Decode(&msg); err != nil || msg.Op == opCancel {
+			if err := dec.Decode(&msg); err != nil {
 				cancel()
 				return
+			}
+			switch msg.Op {
+			case opCancel:
+				cancel()
+				return
+			case opAttach, opDetach, opViewers:
+				send(workerReply{Ctrl: viewerOp(msg)})
 			}
 		}
 	}()
