@@ -58,10 +58,11 @@ func main() {
 	serveControl := flag.String("serve-control", "", "worker mode: listen on this address for runs dispatched by visapultd")
 	capacity := flag.Int("capacity", 2, "concurrent dispatched runs in -serve-control mode")
 	frameCacheMB := flag.Int64("frame-cache-mb", 256, "slab-texture frame cache capacity in MiB for -serve-control mode (0 disables replay caching)")
+	wireVer := flag.Int("wire", 2, "max dispatch wire version to accept in -serve-control mode (1 = JSON only, 2 = binary)")
 	flag.Parse()
 
 	if *serveControl != "" {
-		serveWorker(*serveControl, *capacity, *frameCacheMB)
+		serveWorker(*serveControl, *capacity, *frameCacheMB, *wireVer)
 		return
 	}
 
@@ -162,7 +163,7 @@ func main() {
 }
 
 // serveWorker runs the process as a dispatch worker until interrupted.
-func serveWorker(addr string, capacity int, frameCacheMB int64) {
+func serveWorker(addr string, capacity int, frameCacheMB int64, wireVer int) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		fatal(err)
@@ -174,6 +175,7 @@ func serveWorker(addr string, capacity int, frameCacheMB int64) {
 	err = visapult.ServeWorker(ctx, ln, visapult.WorkerConfig{
 		Capacity:        capacity,
 		FrameCacheBytes: frameCacheMB << 20,
+		MaxWireVersion:  wireVer,
 		Logf: func(format string, args ...any) {
 			fmt.Printf("visapult-backend: "+format+"\n", args...)
 		},

@@ -47,8 +47,13 @@ func TestAPIVersioningAndDeprecationHeaders(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("GET /api/runs: %d", resp.StatusCode)
 	}
-	if got := resp.Header.Get("Deprecation"); got != "true" {
-		t.Errorf("legacy alias Deprecation header = %q, want \"true\"", got)
+	// RFC 9745 §2: the Deprecation field is a structured-field Date item,
+	// "@" followed by a Unix timestamp — not a boolean.
+	if got := resp.Header.Get("Deprecation"); got != legacyDeprecationDate {
+		t.Errorf("legacy alias Deprecation header = %q, want %q", got, legacyDeprecationDate)
+	}
+	if !strings.HasPrefix(legacyDeprecationDate, "@") {
+		t.Errorf("legacyDeprecationDate = %q, want RFC 9745 @<unix-timestamp> form", legacyDeprecationDate)
 	}
 	if link := resp.Header.Get("Link"); !strings.Contains(link, "/api/v1/runs") ||
 		!strings.Contains(link, `rel="successor-version"`) {

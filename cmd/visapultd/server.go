@@ -80,12 +80,18 @@ func (s *server) handler() http.Handler {
 	return mux
 }
 
+// legacyDeprecationDate is the Deprecation header value for the unversioned
+// routes: RFC 9745 defines the field as a structured-field Date item
+// ("@" + Unix timestamp), not the boolean the earlier draft used. This is
+// 2026-08-01T00:00:00Z, the date the /api/v1 successors shipped.
+const legacyDeprecationDate = "@1785542400"
+
 // deprecated wraps a legacy unversioned route: same behavior as its /api/v1
 // successor, plus RFC 9745's Deprecation header and a successor-version Link
 // so clients can discover the migration target mechanically.
 func deprecated(path string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Deprecation", legacyDeprecationDate)
 		w.Header().Set("Link", "</api/v1"+path+`>; rel="successor-version"`)
 		h(w, r)
 	}
@@ -198,6 +204,7 @@ type workerJSON struct {
 	Addr       string `json:"addr"`
 	Capacity   int    `json:"capacity"`
 	Active     int    `json:"active"`
+	Wire       int    `json:"wire"`
 	State      string `json:"state"`
 	Registered string `json:"registered,omitempty"`
 	Failures   int    `json:"failures,omitempty"`
@@ -210,6 +217,7 @@ func toWorkerJSON(ws visapult.WorkerStatus) workerJSON {
 		Addr:       ws.Addr,
 		Capacity:   ws.Capacity,
 		Active:     ws.Active,
+		Wire:       ws.Wire,
 		State:      ws.State.String(),
 		Registered: fmtTime(ws.Registered),
 		Failures:   ws.Failures,

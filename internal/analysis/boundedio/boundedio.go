@@ -38,6 +38,7 @@ var Analyzer = &analysis.Analyzer{
 		"visapult/internal/backend",
 		"visapult/internal/viewer",
 		"visapult/internal/netlogger",
+		"visapult/internal/wire",
 		"visapult/pkg/visapult",
 	),
 	Run: run,

@@ -17,7 +17,7 @@ func TestAppliesTo(t *testing.T) {
 		"visapult/internal/dpss/fabric": true,
 		"visapult/pkg/visapult":         true,
 		"visapult/internal/netlogger":   true,
-		"visapult/internal/wire":        false, // has its own framing-level bounds
+		"visapult/internal/wire":        true, // dispatch v2 handshakes dial raw conns
 		"visapult/internal/render":      false,
 		"visapult/internal/dpssextra":   false, // prefix match is per path element
 	} {

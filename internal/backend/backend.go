@@ -109,6 +109,13 @@ type Config struct {
 	// live per-frame metrics; it is called from the PE goroutines and must be
 	// safe for concurrent use.
 	OnFrame func(FrameStats)
+	// OnSlab, when non-nil, receives every rendered (or cache-replayed)
+	// slab payload pair as soon as it has been sent, for runs not shipping
+	// AMR grids or elevation maps. Dispatch workers use it to stream raw
+	// slab textures back to the scheduler's frame cache. The payloads are
+	// immutable shared data; the hook is called from the PE goroutines and
+	// must be safe for concurrent use.
+	OnSlab func(light *wire.LightPayload, heavy *wire.HeavyPayload)
 	// Grid, when non-nil, builds an AMR hierarchy over each PE's slab and
 	// ships its wireframe with the heavy payload (Figure 3).
 	Grid *amr.Config
@@ -214,6 +221,10 @@ type BackEnd struct {
 
 	mu       sync.Mutex
 	perFrame []FrameStats
+	// contributed tracks every cache key this run has fed slabs into, so an
+	// aborted run can abandon its partial assemblies instead of stranding
+	// them in the cache's pending map forever. guarded by mu
+	contributed map[framecache.Key]struct{}
 }
 
 // New validates the configuration and prepares a back end.
@@ -328,7 +339,7 @@ func (b *BackEnd) cacheKey(frame int, axis volume.Axis) (framecache.Key, bool) {
 		return framecache.Key{}, false
 	}
 	return framecache.Key{
-		Dataset:  fmt.Sprintf("%s|axis=%d|pes=%d", b.cfg.CacheDataset, int(axis), b.cfg.PEs),
+		Dataset:  framecache.DatasetKey(b.cfg.CacheDataset, int(axis), b.cfg.PEs),
 		Timestep: frame,
 		TF:       b.cfg.CacheTF,
 	}, true
@@ -417,8 +428,15 @@ func (b *BackEnd) renderAndSend(rank int, lf loadedFrame) (FrameStats, error) {
 		}
 		if key, ok := b.cacheKey(lf.frame, lf.axis); ok {
 			// Cached payloads are shared by reference across future runs and
-			// their fan-out viewers; they are immutable from here on.
-			b.cfg.Cache.PutSlab(key, rank, b.cfg.PEs, framecache.Slab{Light: light, Heavy: heavy})
+			// their fan-out viewers; they are immutable from here on — which
+			// is what lets this insert transfer ownership instead of copying.
+			b.cfg.Cache.PutSlabOwned(key, rank, b.cfg.PEs, framecache.Slab{Light: light, Heavy: heavy})
+			b.mu.Lock()
+			if b.contributed == nil {
+				b.contributed = make(map[framecache.Key]struct{})
+			}
+			b.contributed[key] = struct{}{}
+			b.mu.Unlock()
 		}
 	}
 
@@ -437,6 +455,9 @@ func (b *BackEnd) renderAndSend(rank int, lf loadedFrame) (FrameStats, error) {
 	b.log(netlogger.BEHeavyEnd, lf.frame, rank, heavy.WireSize())
 	fs.Send = time.Since(sendStart)
 	fs.BytesSent = light.WireSize() + heavy.WireSize()
+	if b.cfg.OnSlab != nil && b.cfg.Grid == nil && !b.cfg.Elevation {
+		b.cfg.OnSlab(light, heavy)
+	}
 	return fs, nil
 }
 
@@ -513,12 +534,32 @@ func (b *BackEnd) Run(ctx context.Context) (RunStats, error) {
 		if peErr == nil {
 			continue
 		}
+		// The run is aborting: any frame it only partially assembled in the
+		// shared cache will never complete. Abandon those assemblies so they
+		// do not sit in the cache's pending map for the daemon's lifetime.
+		b.abandonContributed()
 		if err := ctx.Err(); err != nil {
 			return rs, err
 		}
 		return rs, peErr
 	}
 	return rs, nil
+}
+
+// abandonContributed drops this run's unfinished frame assemblies from the
+// shared cache. Completed (resident) frames are untouched — Abandon only
+// affects the pending map — so concurrent runs sharing the cache lose at
+// most the frames this run was mid-way through contributing.
+func (b *BackEnd) abandonContributed() {
+	b.mu.Lock()
+	keys := make([]framecache.Key, 0, len(b.contributed))
+	for key := range b.contributed {
+		keys = append(keys, key)
+	}
+	b.mu.Unlock()
+	for _, key := range keys {
+		b.cfg.Cache.Abandon(key)
+	}
 }
 
 // runPESerial is the serial per-PE loop: load, render, send, barrier.

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"visapult/internal/amr"
+	"visapult/internal/backend/framecache"
 	"visapult/internal/datagen"
 	"visapult/internal/netlogger"
 	"visapult/internal/render"
@@ -573,5 +574,68 @@ func TestLoadRegionDecompositionCoversVolumeProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// gatedSource serves rank 0's regions normally but holds rank 1's load until
+// the gate closes, then fails it — so rank 0 contributes its slab to the
+// cache's pending assembly and rank 1 never does.
+type gatedSource struct {
+	*MemorySource
+	gate chan struct{}
+}
+
+func (s *gatedSource) LoadRegion(ctx context.Context, t int, r volume.Region) (*volume.Volume, int64, error) {
+	if r.Z0 != 0 { // rank 1's slab of the AxisZ decomposition
+		select {
+		case <-s.gate:
+			return nil, 0, errors.New("injected load failure")
+		case <-ctx.Done():
+			return nil, 0, ctx.Err()
+		}
+	}
+	return s.MemorySource.LoadRegion(ctx, t, r)
+}
+
+// gateClosingSink closes the gate when the first light payload is sent —
+// which happens strictly after the sending PE's PutSlabOwned contribution.
+type gateClosingSink struct {
+	gate chan struct{}
+	once sync.Once
+}
+
+func (s *gateClosingSink) SendLight(*wire.LightPayload) error {
+	s.once.Do(func() { close(s.gate) })
+	return nil
+}
+func (s *gateClosingSink) SendHeavy(*wire.HeavyPayload) error { return nil }
+
+// Regression: a run aborted between its PEs' PutSlab contributions used to
+// strand the partial frame assembly in the cache's pending map forever. The
+// teardown path must abandon every assembly the run contributed to.
+func TestAbortedRunAbandonsPendingAssemblies(t *testing.T) {
+	cache := framecache.New(1 << 20)
+	gate := make(chan struct{})
+	src := &gatedSource{MemorySource: memSource(t, 3, 12, 9, 6), gate: gate}
+	sinks := []FrameSink{&gateClosingSink{gate: gate}, &collectSink{}}
+	be, err := New(Config{
+		PEs: 2, Source: src, Sinks: sinks, Axis: volume.AxisZ,
+		Cache: cache, CacheDataset: "mem/12x9x6", CacheTF: "default",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := be.Run(context.Background()); err == nil {
+		t.Fatal("aborted run reported success")
+	}
+	st := cache.Stats()
+	if st.PendingEntries != 0 || st.PendingBytes != 0 {
+		t.Fatalf("aborted run stranded pending assemblies: %+v", st)
+	}
+	if st.Abandoned == 0 {
+		t.Fatalf("no assembly abandoned — PE 0's contribution leaked elsewhere: %+v", st)
+	}
+	if st.Entries != 0 {
+		t.Fatalf("partial frame completed somehow: %+v", st)
 	}
 }

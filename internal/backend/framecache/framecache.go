@@ -10,13 +10,17 @@
 // The cache is bounded in bytes and evicts least-recently-used whole frames.
 // Entries are immutable once inserted: every consumer shares the same payload
 // pointers, exactly like the fan-out stage shares one rendered frame across
-// attached viewers.
+// attached viewers. Because entries are shared, the cache owns its bytes:
+// PutSlab deep-copies payloads on insert, and producers that can prove they
+// are handing over freshly built payloads use PutSlabOwned to skip the copy.
 package framecache
 
 import (
 	"container/list"
+	"fmt"
 	"sync"
 
+	"visapult/internal/amr"
 	"visapult/internal/wire"
 )
 
@@ -28,6 +32,14 @@ type Key struct {
 	Dataset  string
 	Timestep int
 	TF       string
+}
+
+// DatasetKey folds the slab decomposition parameters into a cache dataset
+// identity. Both the back end's own insert path and the dispatcher's remote
+// slab-delivery path build keys through this, so a slab rendered on a worker
+// is replayable by any node that derives the same identity.
+func DatasetKey(dataset string, axis, pes int) string {
+	return fmt.Sprintf("%s|axis=%d|pes=%d", dataset, axis, pes)
 }
 
 // Slab is one PE's rendered contribution to a frame: the metadata payload and
@@ -51,6 +63,30 @@ func (s Slab) bytes() int64 {
 	return n
 }
 
+// clone deep-copies the slab so the cache's copy shares no bytes with the
+// caller's. Producers reuse payload buffers frame to frame (and the v2
+// dispatch wire pools them), so an aliased insert would let a recycled
+// buffer silently corrupt cached textures.
+func (s Slab) clone() Slab {
+	var out Slab
+	if s.Light != nil {
+		lp := *s.Light
+		out.Light = &lp
+	}
+	if s.Heavy != nil {
+		hp := *s.Heavy
+		hp.Texture = append([]byte(nil), s.Heavy.Texture...)
+		if s.Heavy.Grid != nil {
+			hp.Grid = append([]amr.Segment(nil), s.Heavy.Grid...)
+		}
+		if s.Heavy.Elevation != nil {
+			hp.Elevation = append([]float32(nil), s.Heavy.Elevation...)
+		}
+		out.Heavy = &hp
+	}
+	return out
+}
+
 // Stats is a point-in-time snapshot of the cache's counters.
 type Stats struct {
 	// Hits and Misses count Slab lookups; a replayed frame scores one hit
@@ -64,6 +100,12 @@ type Stats struct {
 	Entries  int   `json:"entries"`
 	Bytes    int64 `json:"bytes"`
 	Capacity int64 `json:"capacity"`
+	// PendingEntries and PendingBytes describe in-flight frame assemblies
+	// that have not yet seen every PE rank; Abandoned counts assemblies
+	// dropped before completing (cancelled runs, pending-bound sweeps).
+	PendingEntries int   `json:"pendingEntries"`
+	PendingBytes   int64 `json:"pendingBytes"`
+	Abandoned      int64 `json:"abandoned"`
 }
 
 // entry is one fully assembled cached frame: every PE's slab.
@@ -79,7 +121,13 @@ type entry struct {
 type pending struct {
 	slabs []Slab
 	have  int
+	bytes int64
 }
+
+// maxPendingAssemblies bounds how many frames may be mid-assembly at once.
+// Runs contribute a handful of concurrent frames each; anything beyond this
+// is leaked state from dead runs, swept oldest-first.
+const maxPendingAssemblies = 64
 
 // Cache is a byte-bounded LRU of rendered frames. All methods are safe for
 // concurrent use; the zero value is not usable — construct with New.
@@ -89,10 +137,15 @@ type Cache struct {
 	lru      *list.List            // guarded by mu; front = most recent
 	entries  map[Key]*list.Element // guarded by mu
 	building map[Key]*pending      // guarded by mu
-	bytes    int64                 // guarded by mu
-	hits     int64                 // guarded by mu
-	misses   int64                 // guarded by mu
-	evicted  int64                 // guarded by mu
+	// buildOrder lists in-flight assemblies oldest-first, so the pending
+	// sweep and Clear can drain them deterministically. guarded by mu
+	buildOrder []Key
+	buildBytes int64 // guarded by mu; bytes pinned by in-flight assemblies
+	bytes      int64 // guarded by mu
+	hits       int64 // guarded by mu
+	misses     int64 // guarded by mu
+	evicted    int64 // guarded by mu
+	abandoned  int64 // guarded by mu
 }
 
 // New builds a cache bounded to capacity bytes of payload data. capacity <= 0
@@ -132,13 +185,32 @@ func (c *Cache) Slab(key Key, rank int) (Slab, bool) {
 	return e.slabs[rank], true
 }
 
-// PutSlab contributes PE rank's rendered slab to the keyed frame. The frame
+// PutSlab contributes PE rank's rendered slab to the keyed frame. The slab is
+// deep-copied on insert — the cache never aliases caller-owned buffers, so
+// the caller is free to recycle or mutate its payloads afterwards. The frame
 // enters the cache once all total ranks have contributed; a frame larger than
 // the whole cache is discarded rather than inserted. No-op on a nil cache.
 func (c *Cache) PutSlab(key Key, rank, total int, slab Slab) {
 	if c == nil || rank < 0 || total <= 0 || rank >= total || slab.Light == nil || slab.Heavy == nil {
 		return
 	}
+	// Clone outside the lock: the copy is the expensive part.
+	c.put(key, rank, total, slab.clone())
+}
+
+// PutSlabOwned is PutSlab with transfer of ownership: the caller asserts the
+// payloads are freshly built, reach no other consumer, and will never be
+// mutated again — so the cache may retain them without the defensive copy.
+// The back end's render path and the dispatcher's slab-delivery decode path
+// qualify; anything recycling buffers must use PutSlab.
+func (c *Cache) PutSlabOwned(key Key, rank, total int, slab Slab) {
+	if c == nil || rank < 0 || total <= 0 || rank >= total || slab.Light == nil || slab.Heavy == nil {
+		return
+	}
+	c.put(key, rank, total, slab)
+}
+
+func (c *Cache) put(key Key, rank, total int, slab Slab) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if _, resident := c.entries[key]; resident {
@@ -148,23 +220,30 @@ func (c *Cache) PutSlab(key Key, rank, total int, slab Slab) {
 	if !ok {
 		p = &pending{slabs: make([]Slab, total)}
 		c.building[key] = p
+		c.buildOrder = append(c.buildOrder, key)
 	}
 	if len(p.slabs) != total { // conflicting decomposition: start over
+		c.buildBytes -= p.bytes
 		p = &pending{slabs: make([]Slab, total)}
 		c.building[key] = p
 	}
 	if p.slabs[rank].Heavy == nil {
 		p.have++
+	} else {
+		old := p.slabs[rank].bytes()
+		p.bytes -= old
+		c.buildBytes -= old
 	}
 	p.slabs[rank] = slab
+	sb := slab.bytes()
+	p.bytes += sb
+	c.buildBytes += sb
 	if p.have < total {
+		c.sweepPendingLocked(key)
 		return
 	}
-	delete(c.building, key)
-	e := &entry{key: key, slabs: p.slabs}
-	for _, s := range p.slabs {
-		e.bytes += s.bytes()
-	}
+	c.removePendingLocked(key, p)
+	e := &entry{key: key, slabs: p.slabs, bytes: p.bytes}
 	if e.bytes > c.capacity {
 		return
 	}
@@ -173,6 +252,68 @@ func (c *Cache) PutSlab(key Key, rank, total int, slab Slab) {
 	for c.bytes > c.capacity {
 		c.evictOldestLocked()
 	}
+}
+
+// Abandon drops the keyed frame's in-flight assembly, if any. Run teardown
+// paths call this for every frame they contributed to, so a run cancelled
+// mid-frame does not strand its partial slabs in the pending map for the
+// daemon's lifetime. A completed (resident) frame is unaffected.
+func (c *Cache) Abandon(key Key) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.dropPendingLocked(key)
+}
+
+// dropPendingLocked abandons one in-flight assembly and counts it;
+// c.mu must be held. No-op when the key has no pending assembly.
+func (c *Cache) dropPendingLocked(key Key) {
+	p, ok := c.building[key]
+	if !ok {
+		return
+	}
+	c.removePendingLocked(key, p)
+	c.abandoned++
+}
+
+// removePendingLocked detaches an assembly from the pending bookkeeping
+// without counting it as abandoned (completion also comes through here);
+// c.mu must be held.
+func (c *Cache) removePendingLocked(key Key, p *pending) {
+	delete(c.building, key)
+	c.buildBytes -= p.bytes
+	for i, k := range c.buildOrder {
+		if k == key {
+			c.buildOrder = append(c.buildOrder[:i], c.buildOrder[i+1:]...)
+			break
+		}
+	}
+}
+
+// sweepPendingLocked bounds the pending map by count and bytes, dropping the
+// oldest assemblies first while sparing current (the frame being contributed
+// to right now — abandoning it would make its remaining ranks rebuild it
+// forever). c.mu must be held.
+func (c *Cache) sweepPendingLocked(current Key) {
+	for len(c.building) > maxPendingAssemblies || c.buildBytes > c.capacity {
+		victim, ok := c.oldestPendingLocked(current)
+		if !ok {
+			return
+		}
+		c.dropPendingLocked(victim)
+	}
+}
+
+// oldestPendingLocked returns the oldest in-flight assembly other than spare.
+func (c *Cache) oldestPendingLocked(spare Key) (Key, bool) {
+	for _, k := range c.buildOrder {
+		if k != spare {
+			return k, true
+		}
+	}
+	return Key{}, false
 }
 
 // evictOldestLocked drops the least-recently-used frame; c.mu must be held.
@@ -198,6 +339,8 @@ func (c *Cache) Clear() {
 	c.lru.Init()
 	c.entries = make(map[Key]*list.Element)
 	c.building = make(map[Key]*pending)
+	c.buildOrder = nil
+	c.buildBytes = 0
 	c.bytes = 0
 }
 
@@ -209,11 +352,14 @@ func (c *Cache) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return Stats{
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Evictions: c.evicted,
-		Entries:   c.lru.Len(),
-		Bytes:     c.bytes,
-		Capacity:  c.capacity,
+		Hits:           c.hits,
+		Misses:         c.misses,
+		Evictions:      c.evicted,
+		Entries:        c.lru.Len(),
+		Bytes:          c.bytes,
+		Capacity:       c.capacity,
+		PendingEntries: len(c.building),
+		PendingBytes:   c.buildBytes,
+		Abandoned:      c.abandoned,
 	}
 }

@@ -208,3 +208,123 @@ func ExampleCache() {
 	fmt.Println(hit)
 	// Output: true
 }
+
+// Regression: PutSlab used to store the caller's payload slices uncopied, so
+// a back end recycling its texture buffer between frames silently corrupted
+// cached entries. The cache must deep-copy on insert.
+func TestPutSlabCopiesCallerBuffers(t *testing.T) {
+	c := New(1 << 20)
+	s0 := slab(0, 0, 1024)
+	for i := range s0.Heavy.Texture {
+		s0.Heavy.Texture[i] = 0xAB
+	}
+	c.PutSlab(key(0), 0, 2, s0)
+	// Mutate everything the caller handed in before the frame completes.
+	for i := range s0.Heavy.Texture {
+		s0.Heavy.Texture[i] = 0xEE
+	}
+	s0.Light.Frame = 999
+	s0.Heavy.TexWidth = 1
+	c.PutSlab(key(0), 1, 2, slab(0, 1, 1024))
+	got, ok := c.Slab(key(0), 0)
+	if !ok {
+		t.Fatal("completed frame missing")
+	}
+	if got.Light.Frame != 0 {
+		t.Fatalf("cached light payload tracked caller mutation: Frame = %d", got.Light.Frame)
+	}
+	for i, b := range got.Heavy.Texture {
+		if b != 0xAB {
+			t.Fatalf("cached texture byte %d = %#x, tracked caller mutation", i, b)
+		}
+	}
+}
+
+// PutSlabOwned is the documented ownership transfer: no defensive copy, the
+// cache retains exactly the payloads it was handed.
+func TestPutSlabOwnedRetainsPayloads(t *testing.T) {
+	c := New(1 << 20)
+	s0, s1 := slab(0, 0, 1024), slab(0, 1, 1024)
+	c.PutSlabOwned(key(0), 0, 2, s0)
+	c.PutSlabOwned(key(0), 1, 2, s1)
+	got, ok := c.Slab(key(0), 0)
+	if !ok {
+		t.Fatal("completed frame missing")
+	}
+	if got.Heavy != s0.Heavy {
+		t.Fatal("PutSlabOwned copied the payload it was given ownership of")
+	}
+}
+
+// Regression: a cancelled run used to strand its partial frame assembly in
+// the pending map forever. Abandon (wired into run teardown) must drain it.
+func TestAbandonDrainsPendingAssembly(t *testing.T) {
+	c := New(1 << 20)
+	c.PutSlab(key(0), 0, 4, slab(0, 0, 1024)) // rank 0 of 4, then the run dies
+	st := c.Stats()
+	if st.PendingEntries != 1 || st.PendingBytes <= 0 {
+		t.Fatalf("pending assembly not tracked: %+v", st)
+	}
+	c.Abandon(key(0))
+	st = c.Stats()
+	if st.PendingEntries != 0 || st.PendingBytes != 0 || st.Abandoned != 1 {
+		t.Fatalf("Abandon left pending state: %+v", st)
+	}
+	// Abandoning again, or a key never built, is a no-op.
+	c.Abandon(key(0))
+	c.Abandon(key(7))
+	if st = c.Stats(); st.Abandoned != 1 {
+		t.Fatalf("no-op Abandon counted: %+v", st)
+	}
+	// The frame can still assemble cleanly afterwards.
+	putFrame(c, 0, 1024)
+	if _, ok := c.Slab(key(0), 0); !ok {
+		t.Fatal("frame cannot assemble after Abandon")
+	}
+}
+
+// An abandoned key's resident (completed) entry is unaffected.
+func TestAbandonSparesResidentFrames(t *testing.T) {
+	c := New(1 << 20)
+	putFrame(c, 0, 1024)
+	c.Abandon(key(0))
+	if _, ok := c.Slab(key(0), 0); !ok {
+		t.Fatal("Abandon evicted a completed frame")
+	}
+}
+
+// Even without Abandon, dead runs' partial assemblies must not accumulate
+// without bound: the pending map is swept oldest-first past its count bound.
+func TestPendingAssemblyCountBound(t *testing.T) {
+	c := New(1 << 30)
+	for ts := 0; ts < maxPendingAssemblies+10; ts++ {
+		c.PutSlab(key(ts), 0, 2, slab(ts, 0, 256)) // never completed
+	}
+	st := c.Stats()
+	if st.PendingEntries > maxPendingAssemblies {
+		t.Fatalf("pending map grew past bound: %+v", st)
+	}
+	if st.Abandoned != 10 {
+		t.Fatalf("sweep abandoned %d assemblies, want 10: %+v", st.Abandoned, st)
+	}
+}
+
+// The pending map is also byte-bounded (at the cache capacity), and the sweep
+// spares the frame currently being contributed to.
+func TestPendingAssemblyByteBoundSparesCurrent(t *testing.T) {
+	one := slab(0, 0, 4096).bytes()
+	c := New(3 * one)
+	c.PutSlab(key(0), 0, 2, slab(0, 0, 4096))
+	c.PutSlab(key(1), 0, 2, slab(1, 0, 4096))
+	c.PutSlab(key(2), 0, 2, slab(2, 0, 4096))
+	c.PutSlab(key(3), 0, 2, slab(3, 0, 4096)) // pushes bytes past capacity
+	st := c.Stats()
+	if st.PendingBytes > st.Capacity {
+		t.Fatalf("pending bytes exceed capacity: %+v", st)
+	}
+	// Key 3 (current) must have survived; the oldest assemblies were swept.
+	c.PutSlab(key(3), 1, 2, slab(3, 1, 4096))
+	if _, ok := c.Slab(key(3), 0); !ok {
+		t.Fatal("sweep dropped the assembly being contributed to")
+	}
+}

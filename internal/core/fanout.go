@@ -309,6 +309,7 @@ func runFanoutSession(ctx context.Context, cfg SessionConfig) (*SessionResult, e
 		Sinks:        fan.Sinks(),
 		Logger:       beLogger,
 		OnFrame:      cfg.OnFrame,
+		OnSlab:       cfg.OnSlab,
 		Cache:        cfg.Cache,
 		CacheDataset: cfg.CacheDataset,
 		CacheTF:      cfg.CacheTF,

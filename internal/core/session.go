@@ -104,6 +104,10 @@ type SessionConfig struct {
 	// as that PE finishes sending the frame. Called concurrently from the
 	// back-end PE goroutines.
 	OnFrame func(backend.FrameStats)
+	// OnSlab, when non-nil, receives each rendered (or replayed) slab
+	// payload pair after it has been sent; see backend.Config.OnSlab.
+	// Called concurrently from the back-end PE goroutines.
+	OnSlab func(light *wire.LightPayload, heavy *wire.HeavyPayload)
 	// Viewers, when >= 1, runs the session through the back end's fan-out
 	// stage with that many concurrently attached viewers (the paper's
 	// ImmersaDesk + tiled display exhibit). Zero selects the classic
@@ -216,6 +220,7 @@ func RunSession(ctx context.Context, cfg SessionConfig) (*SessionResult, error) 
 		Sinks:        tr.sinks,
 		Logger:       beLogger,
 		OnFrame:      cfg.OnFrame,
+		OnSlab:       cfg.OnSlab,
 		Cache:        cfg.Cache,
 		CacheDataset: cfg.CacheDataset,
 		CacheTF:      cfg.CacheTF,

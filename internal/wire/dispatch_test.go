@@ -1,0 +1,419 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+
+	"visapult/internal/volume"
+)
+
+// dispatchPair returns two DispatchConns joined back to back over in-memory
+// buffers: what a writes, b reads, and vice versa.
+func dispatchPair() (*DispatchConn, *DispatchConn) {
+	var ab, ba bytes.Buffer
+	a := NewDispatchConn(&ba, &ab)
+	b := NewDispatchConn(&ab, &ba)
+	return a, b
+}
+
+func slabLight() *LightPayload {
+	return &LightPayload{
+		Frame: 4, PE: 1, SlabIndex: 1, SlabCount: 4,
+		Axis: volume.AxisZ, TexWidth: 64, TexHeight: 32, BytesPerPixel: 4,
+		CenterX: 32, CenterY: 16, CenterZ: 8,
+		Width: 64, Height: 32, Depth: 8,
+		HeavyBytes: 64 * 32 * 4,
+	}
+}
+
+func slabHeavy(w, h int) *HeavyPayload {
+	tex := make([]byte, w*h*4)
+	for i := range tex {
+		tex[i] = byte(i * 13)
+	}
+	return &HeavyPayload{Frame: 4, PE: 1, TexWidth: w, TexHeight: h, Texture: tex}
+}
+
+func TestDispatchFrameRoundTrip(t *testing.T) {
+	a, b := dispatchPair()
+	in := DispatchFrame{
+		Frame: 12, PE: 3,
+		LoadNS: 1e6, RenderNS: 2e6, SendNS: 3e6, CopyNS: 4e5,
+		BytesLoaded: 1 << 20, BytesSent: 1 << 18, CacheHit: true,
+	}
+	buf := in.Append(nil)
+	if len(buf) != dispatchFrameSize {
+		t.Fatalf("encoded metric is %d bytes, want %d", len(buf), dispatchFrameSize)
+	}
+	if err := a.WriteFrame(DFrame, buf); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err := b.ReadFrame()
+	if err != nil || typ != DFrame {
+		t.Fatalf("ReadFrame = %v, %v, want DFrame", typ, err)
+	}
+	var out DispatchFrame
+	if err := out.Decode(payload); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip mismatch:\n  in  %+v\n  out %+v", in, out)
+	}
+}
+
+func TestDispatchRunRoundTrip(t *testing.T) {
+	a, b := dispatchPair()
+	in := DispatchRun{WantSlabs: true, Name: "combustion-0", Spec: []byte(`{"pes":4}`)}
+	if err := a.WriteFrame(DRun, in.Append(nil)); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err := b.ReadFrame()
+	if err != nil || typ != DRun {
+		t.Fatalf("ReadFrame = %v, %v", typ, err)
+	}
+	var out DispatchRun
+	if err := out.Decode(payload); err != nil {
+		t.Fatal(err)
+	}
+	if out.WantSlabs != in.WantSlabs || out.Name != in.Name || !bytes.Equal(out.Spec, in.Spec) {
+		t.Fatalf("round trip mismatch:\n  in  %+v\n  out %+v", in, out)
+	}
+}
+
+func TestDispatchCtrlAndAckRoundTrip(t *testing.T) {
+	a, b := dispatchPair()
+	ctrl := DispatchCtrl{Op: DCtrlAttach, Seq: 41, Viewer: "desk-1"}
+	if err := a.WriteFrame(DCtrl, ctrl.Append(nil)); err != nil {
+		t.Fatal(err)
+	}
+	_, payload, err := b.ReadFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotCtrl DispatchCtrl
+	if err := gotCtrl.Decode(payload); err != nil {
+		t.Fatal(err)
+	}
+	if gotCtrl != ctrl {
+		t.Fatalf("ctrl mismatch: in %+v out %+v", ctrl, gotCtrl)
+	}
+
+	ack := DispatchCtrlAck{
+		Seq: 41,
+		Viewers: []DispatchViewer{
+			{ID: "desk-1", AttachedUnixNano: 1234567890, StartFrame: 2,
+				FramesSent: 9, FramesDropped: 1, QueueDepth: 3, BytesSent: 1 << 16},
+			{ID: "wall-2", Detached: true, Error: "queue overflow"},
+		},
+	}
+	if err := b.WriteFrame(DCtrlAck, ack.Append(nil)); err != nil {
+		t.Fatal(err)
+	}
+	_, payload, err = a.ReadFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotAck DispatchCtrlAck
+	if err := gotAck.Decode(payload); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotAck, ack) {
+		t.Fatalf("ack mismatch:\n  in  %+v\n  out %+v", ack, gotAck)
+	}
+}
+
+func TestDispatchErrorRoundTrip(t *testing.T) {
+	in := DispatchError{Busy: true, Msg: "worker at capacity"}
+	var out DispatchError
+	if err := out.Decode(in.Append(nil)); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip mismatch: in %+v out %+v", in, out)
+	}
+}
+
+// A multi-segment WriteFrame must produce bytes identical to the equivalent
+// single-segment write — the vectored path is an optimization, not a format.
+func TestDispatchWriteFrameSegmentsEquivalent(t *testing.T) {
+	payload := []byte("abcdefghijklmnopqrstuvwxyz")
+	var one, many bytes.Buffer
+	if err := NewDispatchConn(strings.NewReader(""), &one).WriteFrame(DSlab, payload); err != nil {
+		t.Fatal(err)
+	}
+	c := NewDispatchConn(strings.NewReader(""), &many)
+	if err := c.WriteFrame(DSlab, payload[:7], payload[7:20], payload[20:]); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(one.Bytes(), many.Bytes()) {
+		t.Fatalf("segmented write differs from contiguous write:\n  one  %x\n  many %x", one.Bytes(), many.Bytes())
+	}
+}
+
+func TestDispatchChecksumDetectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewDispatchConn(strings.NewReader(""), &buf)
+	if err := c.WriteFrame(DFrame, new(DispatchFrame).Append(nil)); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[len(raw)-1] ^= 0x40 // flip a payload bit
+	r := NewDispatchConn(bytes.NewReader(raw), io.Discard)
+	if _, _, err := r.ReadFrame(); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("corrupt payload: err = %v, want ErrChecksum", err)
+	}
+}
+
+func TestDispatchOversizedLengthPrefix(t *testing.T) {
+	var hdr [dispatchHeaderSize]byte
+	hdr[0] = byte(DFrame)
+	binary.BigEndian.PutUint32(hdr[1:], MaxDispatchPayload+1)
+	r := NewDispatchConn(bytes.NewReader(hdr[:]), io.Discard)
+	if _, _, err := r.ReadFrame(); err == nil || errors.Is(err, io.EOF) {
+		t.Fatalf("oversized length prefix: err = %v, want explicit limit error", err)
+	}
+}
+
+func TestDispatchWriteFrameRejectsOversizedPayload(t *testing.T) {
+	c := NewDispatchConn(strings.NewReader(""), io.Discard)
+	half := make([]byte, MaxDispatchPayload/2+1)
+	if err := c.WriteFrame(DSlab, half, half); err == nil {
+		t.Fatal("oversized segmented payload accepted")
+	}
+}
+
+func TestDispatchTruncatedStream(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewDispatchConn(strings.NewReader(""), &buf)
+	if err := c.WriteFrame(DResult, []byte(`{"frames":5}`)); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for cut := 1; cut < len(raw); cut++ {
+		r := NewDispatchConn(bytes.NewReader(raw[:cut]), io.Discard)
+		if _, _, err := r.ReadFrame(); err == nil {
+			t.Fatalf("truncation at %d of %d bytes read as a full frame", cut, len(raw))
+		}
+	}
+}
+
+// The reused read buffer means a frame payload is only valid until the next
+// ReadFrame — verify the documented aliasing actually happens so callers that
+// copy are not cargo-culting.
+func TestDispatchReadFrameReusesBuffer(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewDispatchConn(strings.NewReader(""), &buf)
+	if err := w.WriteFrame(DResult, []byte("first-payload")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteFrame(DResult, []byte("second-paylod")); err != nil {
+		t.Fatal(err)
+	}
+	r := NewDispatchConn(bytes.NewReader(buf.Bytes()), io.Discard)
+	_, p1, err := r.ReadFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	keep := string(p1)
+	_, p2, err := r.ReadFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &p1[0] != &p2[0] {
+		t.Fatal("second ReadFrame did not reuse the read buffer (equal-size payloads)")
+	}
+	if keep != "first-payload" || string(p2) != "second-paylod" {
+		t.Fatalf("payload contents wrong: %q then %q", keep, p2)
+	}
+}
+
+func TestDispatchSlabRoundTrip(t *testing.T) {
+	light := slabLight()
+	heavy := slabHeavy(64, 32)
+	hdr, err := AppendDispatchSlabHeader(nil, light, heavy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	c := NewDispatchConn(strings.NewReader(""), &buf)
+	if err := c.WriteFrame(DSlab, hdr, heavy.Texture); err != nil {
+		t.Fatal(err)
+	}
+	r := NewDispatchConn(bytes.NewReader(buf.Bytes()), io.Discard)
+	typ, payload, err := r.ReadFrame()
+	if err != nil || typ != DSlab {
+		t.Fatalf("ReadFrame = %v, %v", typ, err)
+	}
+	gotLight, gotHeavy, err := DecodeDispatchSlab(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*gotLight, *light) {
+		t.Fatalf("light mismatch:\n  in  %+v\n  out %+v", *light, *gotLight)
+	}
+	if !bytes.Equal(gotHeavy.Texture, heavy.Texture) || gotHeavy.TexWidth != 64 || gotHeavy.TexHeight != 32 {
+		t.Fatal("heavy payload mismatch")
+	}
+	// The decoded texture must be an independent copy: the frame payload
+	// aliases the connection's read buffer.
+	payload[len(payload)-1] ^= 0xFF
+	if !bytes.Equal(gotHeavy.Texture, heavy.Texture) {
+		t.Fatal("decoded texture aliases the read buffer")
+	}
+}
+
+func TestDispatchSlabRejectsGridAndElevation(t *testing.T) {
+	light := slabLight()
+	if _, err := AppendDispatchSlabHeader(nil, light, sampleHeavy(64, 32)); err == nil {
+		t.Fatal("grid+elevation heavy accepted into a slab frame")
+	}
+	bad := slabHeavy(64, 32)
+	bad.Texture = bad.Texture[:len(bad.Texture)-4]
+	if _, err := AppendDispatchSlabHeader(nil, light, bad); err == nil {
+		t.Fatal("short texture accepted into a slab frame")
+	}
+}
+
+// Regression for a fuzzer-found panic: a heavy-payload header whose
+// TexWidth*TexHeight*4 overflows int produced a negative slice bound instead
+// of a truncation error.
+func TestHeavyPayloadTextureSizeOverflow(t *testing.T) {
+	buf := appendU32(nil, 0)              // frame
+	buf = appendU32(buf, 0)               // pe
+	buf = appendU32(buf, uint32(1<<31-1)) // texWidth
+	buf = appendU32(buf, uint32(1<<31-1)) // texHeight
+	buf = appendU32(buf, 0)               // grid
+	buf = appendU32(buf, 0)               // elevation
+	buf = append(buf, make([]byte, 32)...)
+	var hp HeavyPayload
+	if err := hp.UnmarshalBinary(buf); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("overflowing texture dims: err = %v, want ErrTruncated", err)
+	}
+}
+
+// A hostile ack may promise more viewer records than its payload can hold;
+// the decoder must reject the count before allocating for it.
+func TestDispatchCtrlAckRejectsOversizedViewerCount(t *testing.T) {
+	buf := appendU64(nil, 7) // seq
+	buf = append(buf, 0)     // flags
+	buf = appendString(buf, "")
+	buf = appendU32(buf, 1<<30) // viewer count far beyond the payload
+	var ack DispatchCtrlAck
+	if err := ack.Decode(buf); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("oversized viewer count: err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestDispatchBufPool(t *testing.T) {
+	b := GetDispatchBuf()
+	if len(*b) != 0 {
+		t.Fatalf("pooled buffer not empty: %d bytes", len(*b))
+	}
+	*b = append(*b, make([]byte, 128)...)
+	PutDispatchBuf(b)
+	big := make([]byte, 0, dispatchBufPoolMax+1)
+	bigp := &big
+	PutDispatchBuf(bigp) // must be dropped, not pooled
+	PutDispatchBuf(nil)  // must not panic
+	c := GetDispatchBuf()
+	if len(*c) != 0 {
+		t.Fatalf("recycled buffer not reset: %d bytes", len(*c))
+	}
+	PutDispatchBuf(c)
+}
+
+// ---------------------------------------------------------------------------
+// Fuzz targets: arbitrary bytes must produce errors, never panics, and never
+// allocations beyond the frame limit.
+
+// FuzzDispatchReadFrame feeds raw byte streams to the frame reader.
+func FuzzDispatchReadFrame(f *testing.F) {
+	var seed bytes.Buffer
+	c := NewDispatchConn(strings.NewReader(""), &seed)
+	fm := DispatchFrame{Frame: 1, PE: 0, RenderNS: 5e6, BytesSent: 4096}
+	if err := c.WriteFrame(DFrame, fm.Append(nil)); err != nil {
+		f.Fatal(err)
+	}
+	ctrl := DispatchCtrl{Op: DCtrlViewers, Seq: 3}
+	if err := c.WriteFrame(DCtrl, ctrl.Append(nil)); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte(DispatchMagic))
+	f.Add([]byte{byte(DFrame), 0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewDispatchConn(bytes.NewReader(data), io.Discard)
+		for i := 0; i < 16; i++ {
+			typ, payload, err := r.ReadFrame()
+			if err != nil {
+				return
+			}
+			if len(payload) > MaxDispatchPayload {
+				t.Fatalf("frame %v payload %d exceeds MaxDispatchPayload", typ, len(payload))
+			}
+			// Decode whatever the frame claims to be; decoders must be
+			// total over arbitrary payloads.
+			switch typ {
+			case DRun:
+				_ = new(DispatchRun).Decode(payload)
+			case DCtrl:
+				_ = new(DispatchCtrl).Decode(payload)
+			case DFrame:
+				_ = new(DispatchFrame).Decode(payload)
+			case DCtrlAck:
+				_ = new(DispatchCtrlAck).Decode(payload)
+			case DSlab:
+				_, _, _ = DecodeDispatchSlab(payload)
+			case DError:
+				_ = new(DispatchError).Decode(payload)
+			}
+		}
+	})
+}
+
+// FuzzDispatchCtrlAckDecode hammers the only decoder with a length-driven
+// allocation (the viewer record slice).
+func FuzzDispatchCtrlAckDecode(f *testing.F) {
+	ack := DispatchCtrlAck{Seq: 9, Err: "x", Viewers: []DispatchViewer{{ID: "v"}}}
+	f.Add(ack.Append(nil))
+	f.Add(appendU32(appendString(append(appendU64(nil, 1), 0), ""), 2))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var m DispatchCtrlAck
+		if err := m.Decode(data); err != nil {
+			return
+		}
+		// On success every decoded record fit inside the payload.
+		if len(m.Viewers) > len(data)/34+1 {
+			t.Fatalf("%d viewer records decoded from %d bytes", len(m.Viewers), len(data))
+		}
+	})
+}
+
+// FuzzDispatchSlabDecode targets the slab path: light payload parsing, heavy
+// header parsing, and the texture copy.
+func FuzzDispatchSlabDecode(f *testing.F) {
+	hdr, err := AppendDispatchSlabHeader(nil, slabLight(), slabHeavy(8, 4))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(append(hdr, slabHeavy(8, 4).Texture...))
+	f.Add(appendU32(nil, 101))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		light, heavy, err := DecodeDispatchSlab(data)
+		if err != nil {
+			return
+		}
+		if light == nil || heavy == nil {
+			t.Fatal("nil payloads without error")
+		}
+		if len(heavy.Texture) > len(data) {
+			t.Fatalf("decoded texture of %d bytes from %d input bytes", len(heavy.Texture), len(data))
+		}
+	})
+}

@@ -82,15 +82,22 @@ const lightFixedSize = 8*4 + 6*8 + 8 + 4 + 1
 // MarshalBinary encodes the light payload into the compact fixed-size form
 // sent on the wire.
 func (lp *LightPayload) MarshalBinary() ([]byte, error) {
-	buf := make([]byte, lightFixedSize)
-	off := 0
+	return lp.AppendBinary(make([]byte, 0, lightFixedSize))
+}
+
+// AppendBinary appends the wire form to buf and returns the extended slice,
+// so hot paths (the v2 dispatch slab frames) can encode into pooled buffers
+// without a per-payload allocation.
+func (lp *LightPayload) AppendBinary(buf []byte) ([]byte, error) {
+	start := len(buf)
+	var scratch [8]byte
 	put32 := func(v int) {
-		binary.BigEndian.PutUint32(buf[off:], uint32(int32(v)))
-		off += 4
+		binary.BigEndian.PutUint32(scratch[:4], uint32(int32(v)))
+		buf = append(buf, scratch[:4]...)
 	}
 	putF := func(v float64) {
-		binary.BigEndian.PutUint64(buf[off:], math.Float64bits(v))
-		off += 8
+		binary.BigEndian.PutUint64(scratch[:], math.Float64bits(v))
+		buf = append(buf, scratch[:]...)
 	}
 	put32(lp.Frame)
 	put32(lp.PE)
@@ -106,15 +113,16 @@ func (lp *LightPayload) MarshalBinary() ([]byte, error) {
 	putF(lp.Width)
 	putF(lp.Height)
 	putF(lp.Depth)
-	binary.BigEndian.PutUint64(buf[off:], uint64(lp.HeavyBytes))
-	off += 8
+	binary.BigEndian.PutUint64(scratch[:], uint64(lp.HeavyBytes))
+	buf = append(buf, scratch[:]...)
 	put32(lp.GridSegments)
+	var elev byte
 	if lp.HasElevation {
-		buf[off] = 1
+		elev = 1
 	}
-	off++
-	if off != lightFixedSize {
-		return nil, fmt.Errorf("wire: internal size mismatch (%d != %d)", off, lightFixedSize)
+	buf = append(buf, elev)
+	if len(buf)-start != lightFixedSize {
+		return nil, fmt.Errorf("wire: internal size mismatch (%d != %d)", len(buf)-start, lightFixedSize)
 	}
 	return buf, nil
 }
@@ -260,9 +268,18 @@ func (hp *HeavyPayload) UnmarshalBinary(data []byte) error {
 	if hp.TexWidth < 0 || hp.TexHeight < 0 || nGrid < 0 || nElev < 0 {
 		return fmt.Errorf("wire: heavy payload header has negative counts")
 	}
-	texBytes := hp.TexWidth * hp.TexHeight * 4
-	need := hdr + texBytes + nGrid*segmentWireSize + nElev*4
-	if len(data) < need {
+	// The counts are untrusted until checked against len(data); do the size
+	// arithmetic in 64 bits so a hostile header cannot overflow int into a
+	// negative slice bound. A texture needs 4 bytes per pixel, so any pixel
+	// count beyond len(data) is already truncated — rejecting it here keeps
+	// the 4x product below from overflowing too.
+	texPixels := int64(hp.TexWidth) * int64(hp.TexHeight)
+	if texPixels > int64(len(data)) {
+		return fmt.Errorf("%w: heavy payload %d bytes, header promises %d-pixel texture", ErrTruncated, len(data), texPixels)
+	}
+	texBytes := int(texPixels) * 4
+	need := int64(hdr) + int64(texBytes) + int64(nGrid)*segmentWireSize + int64(nElev)*4
+	if int64(len(data)) < need {
 		return fmt.Errorf("%w: heavy payload %d bytes, header promises %d", ErrTruncated, len(data), need)
 	}
 	hp.Texture = append([]byte(nil), data[off:off+texBytes]...)

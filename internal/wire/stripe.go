@@ -304,11 +304,16 @@ func DialStriped(addr string, n, chunkSize int) (*Stripe, error) {
 		binary.BigEndian.PutUint32(hello[12:], nonce)
 		binary.BigEndian.PutUint16(hello[16:], uint16(i))
 		binary.BigEndian.PutUint16(hello[18:], uint16(n))
+		// Bound the handshake: a lane whose peer stalls before reading the
+		// hello must not pin the dial forever. Cleared once the lane joins
+		// the stripe — steady-state deadlines belong to the stripe's owner.
+		c.SetDeadline(time.Now().Add(10 * time.Second)) //nolint:errcheck
 		if _, err := c.Write(hello[:]); err != nil {
 			c.Close()
 			cleanup()
 			return nil, fmt.Errorf("wire: stripe handshake: %w", err)
 		}
+		c.SetDeadline(time.Time{}) //nolint:errcheck
 		conns = append(conns, c)
 	}
 	return NewStripe(conns, chunkSize)

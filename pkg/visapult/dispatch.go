@@ -8,6 +8,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"visapult/internal/wire"
 )
 
 // Client side of the scheduler's control protocol: dial a worker, ship a
@@ -16,6 +18,13 @@ import (
 // remoteRunError means the worker is healthy and the run itself failed (retry
 // elsewhere, worker stays live), while any transport-level error means the
 // worker is gone (retry elsewhere AND mark the worker dead).
+//
+// The conversation runs over whichever wire version the pool negotiated for
+// the worker (the ping reply's advertised maximum, capped by the manager's):
+// v1 is newline-delimited JSON, v2 the binary framing of
+// internal/wire/dispatch.go. Both carry the same message flow; v2
+// additionally streams raw slab payloads back when asked, so the dispatcher
+// can seed its own frame cache from remote renders.
 
 // remoteRunError is a run failure reported by a live worker over the
 // protocol, as opposed to a dropped connection.
@@ -36,12 +45,13 @@ var errDispatchClosed = errors.New("visapult: dispatch connection closed")
 // dispatchHandle is the client end of a live dispatched run's control
 // channel: it multiplexes seq-numbered viewer operations (attach, detach,
 // viewers) onto the same connection the frame stream rides, and correlates
-// the worker's ctrl acks back to their waiting callers.
+// the worker's ctrl acks back to their waiting callers. The wire version is
+// abstracted behind sendCtrl.
 type dispatchHandle struct {
 	conn net.Conn
 
-	wmu sync.Mutex    // serializes control writes on conn
-	enc *json.Encoder // guarded by wmu
+	wmu      sync.Mutex                                      // serializes control writes on conn
+	sendCtrl func(op string, seq int64, viewer string) error // guarded by wmu
 
 	mu      sync.Mutex
 	seq     int64                  // guarded by mu
@@ -49,16 +59,46 @@ type dispatchHandle struct {
 	closed  bool                   // guarded by mu
 }
 
-func newDispatchHandle(conn net.Conn) *dispatchHandle {
-	conn.SetWriteDeadline(time.Now().Add(workerIOTimeout)) //nolint:errcheck // re-armed per control write
-	return &dispatchHandle{conn: conn, enc: json.NewEncoder(conn),
-		pending: make(map[int64]chan ctrlAck)}
+// newJSONDispatchHandle builds the v1 handle: control ops go out as JSON
+// workerRequest lines.
+func newJSONDispatchHandle(conn net.Conn, enc *json.Encoder) *dispatchHandle {
+	sendCtrl := func(op string, seq int64, viewer string) error {
+		return enc.Encode(workerRequest{Op: op, Seq: seq, Viewer: viewer})
+	}
+	return &dispatchHandle{conn: conn, sendCtrl: sendCtrl, pending: make(map[int64]chan ctrlAck)}
+}
+
+// newV2DispatchHandle builds the binary handle: control ops go out as
+// fixed-layout DCtrl frames through pooled encode buffers.
+func newV2DispatchHandle(conn net.Conn, dc *wire.DispatchConn) *dispatchHandle {
+	sendCtrl := func(op string, seq int64, viewer string) error {
+		var wop wire.DispatchCtrlOp
+		switch op {
+		case opCancel:
+			wop = wire.DCtrlCancel
+		case opAttach:
+			wop = wire.DCtrlAttach
+		case opDetach:
+			wop = wire.DCtrlDetach
+		case opViewers:
+			wop = wire.DCtrlViewers
+		default:
+			return fmt.Errorf("visapult: unknown control op %q", op)
+		}
+		c := wire.DispatchCtrl{Op: wop, Seq: seq, Viewer: viewer}
+		buf := wire.GetDispatchBuf()
+		*buf = c.Append(*buf)
+		err := dc.WriteFrame(wire.DCtrl, *buf)
+		wire.PutDispatchBuf(buf)
+		return err
+	}
+	return &dispatchHandle{conn: conn, sendCtrl: sendCtrl, pending: make(map[int64]chan ctrlAck)}
 }
 
 // roundTrip sends one control request and waits for its ack. The write is
 // deadline-bounded; the wait is bounded by ctx and by the connection's
 // lifetime (fail closes every pending channel).
-func (h *dispatchHandle) roundTrip(ctx context.Context, req workerRequest) (ctrlAck, error) {
+func (h *dispatchHandle) roundTrip(ctx context.Context, op, viewer string) (ctrlAck, error) {
 	ch := make(chan ctrlAck, 1)
 	h.mu.Lock()
 	if h.closed {
@@ -66,17 +106,17 @@ func (h *dispatchHandle) roundTrip(ctx context.Context, req workerRequest) (ctrl
 		return ctrlAck{}, errDispatchClosed
 	}
 	h.seq++
-	req.Seq = h.seq
-	h.pending[req.Seq] = ch
+	seq := h.seq
+	h.pending[seq] = ch
 	h.mu.Unlock()
 
 	h.wmu.Lock()
 	h.conn.SetWriteDeadline(time.Now().Add(workerIOTimeout)) //nolint:errcheck
-	err := h.enc.Encode(req)
+	err := h.sendCtrl(op, seq, viewer)
 	h.wmu.Unlock()
 	if err != nil {
-		h.drop(req.Seq)
-		return ctrlAck{}, fmt.Errorf("visapult: sending %s to worker: %w", req.Op, err)
+		h.drop(seq)
+		return ctrlAck{}, fmt.Errorf("visapult: sending %s to worker: %w", op, err)
 	}
 	select {
 	case ack, ok := <-ch:
@@ -85,7 +125,7 @@ func (h *dispatchHandle) roundTrip(ctx context.Context, req workerRequest) (ctrl
 		}
 		return ack, nil
 	case <-ctx.Done():
-		h.drop(req.Seq)
+		h.drop(seq)
 		return ctrlAck{}, ctx.Err()
 	}
 }
@@ -122,7 +162,7 @@ func (h *dispatchHandle) fail() {
 // viewerOp runs one attach/detach against the remote fan-out, translating a
 // NoFanout ack back into the ErrNoFanout sentinel local runs produce.
 func (h *dispatchHandle) viewerOp(ctx context.Context, op, id string) error {
-	ack, err := h.roundTrip(ctx, workerRequest{Op: op, Viewer: id})
+	ack, err := h.roundTrip(ctx, op, id)
 	if err != nil {
 		return err
 	}
@@ -148,7 +188,7 @@ func (p remotePort) detach(ctx context.Context, id string) error {
 }
 
 func (p remotePort) viewers(ctx context.Context) ([]ViewerDelivery, error) {
-	ack, err := p.h.roundTrip(ctx, workerRequest{Op: opViewers})
+	ack, err := p.h.roundTrip(ctx, opViewers, "")
 	if err != nil {
 		return nil, err
 	}
@@ -166,7 +206,8 @@ func (p remotePort) viewers(ctx context.Context) ([]ViewerDelivery, error) {
 const pingTimeout = 5 * time.Second
 
 // pingWorker checks that a worker answers the control protocol and returns
-// its advertised capacity and load.
+// its advertised capacity, load and wire version. Pings are always JSON —
+// they are the channel wire negotiation itself rides on.
 func pingWorker(ctx context.Context, addr string) (WorkerHello, error) {
 	// Bound the whole probe — including the dial, which against a
 	// blackholed address would otherwise block for the kernel's SYN retry
@@ -200,28 +241,46 @@ func pingWorker(ctx context.Context, addr string) (WorkerHello, error) {
 	return *rep.Pong, nil
 }
 
-// dispatchRun executes one spec on the worker at addr, invoking onFrame for
-// every streamed frame metric, and returns the run's result. onHandle, when
-// non-nil, receives the live dispatch handle once the run request is on the
-// wire — the scheduler publishes it as the run's viewer port so attach/detach
-// reach the worker's fan-out; the handle dies with this call. Cancelling ctx
-// closes the connection, which cancels the run on the worker too.
-func dispatchRun(ctx context.Context, addr, name string, spec RunSpec, onFrame func(FrameMetric), onHandle func(*dispatchHandle)) (*Result, error) {
+// slabSink receives raw slab payload pairs streamed back by a v2 worker; the
+// payloads are freshly decoded and owned by the callee.
+type slabSink func(light *wire.LightPayload, heavy *wire.HeavyPayload)
+
+// dispatchRun executes one spec on the worker at addr over the negotiated
+// wire version, invoking onFrame for every streamed frame metric, and
+// returns the run's result. onHandle, when non-nil, receives the live
+// dispatch handle once the run request is on the wire — the scheduler
+// publishes it as the run's viewer port so attach/detach reach the worker's
+// fan-out; the handle dies with this call. onSlab, when non-nil and the wire
+// is v2, asks the worker to stream rendered slab payloads back. Cancelling
+// ctx closes the connection, which cancels the run on the worker too.
+func dispatchRun(ctx context.Context, addr, name string, spec RunSpec, wireVer int,
+	onFrame func(FrameMetric), onHandle func(*dispatchHandle), onSlab slabSink) (*Result, error) {
 	var d net.Dialer
 	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("visapult: dialing worker %s: %w", addr, err)
 	}
 	defer conn.Close()
-	// A cancelled dispatch context closes the connection: that both unblocks
-	// the decode loop below and tells the worker to abort the run.
+
+	if wireVer >= wire.DispatchV2 {
+		return dispatchRunV2(ctx, conn, addr, name, spec, onFrame, onHandle, onSlab)
+	}
+	return dispatchRunV1(ctx, conn, addr, name, spec, onFrame, onHandle)
+}
+
+// dispatchRunV1 is the JSON leg of dispatchRun.
+func dispatchRunV1(ctx context.Context, conn net.Conn, addr, name string, spec RunSpec,
+	onFrame func(FrameMetric), onHandle func(*dispatchHandle)) (*Result, error) {
+	// A cancelled dispatch context closes the connection: that bounds every
+	// exchange below and tells the worker to abort the run.
 	stop := context.AfterFunc(ctx, func() { conn.Close() })
 	defer stop()
-
-	h := newDispatchHandle(conn)
+	enc := json.NewEncoder(conn)
+	h := newJSONDispatchHandle(conn, enc)
 	defer h.fail()
 	h.wmu.Lock()
-	err = h.enc.Encode(workerRequest{Op: opRun, Name: name, Spec: &spec})
+	conn.SetWriteDeadline(time.Now().Add(workerIOTimeout)) //nolint:errcheck
+	err := enc.Encode(workerRequest{Op: opRun, Name: name, Spec: &spec})
 	h.wmu.Unlock()
 	if err != nil {
 		if ctxErr := ctx.Err(); ctxErr != nil {
@@ -256,6 +315,101 @@ func dispatchRun(ctx context.Context, addr, name string, spec RunSpec, onFrame f
 				return nil, errWorkerBusy
 			}
 			return nil, &remoteRunError{rep.Error}
+		}
+	}
+}
+
+// dispatchRunV2 is the binary leg of dispatchRun: magic preamble, one DRun
+// frame, then the reply stream.
+func dispatchRunV2(ctx context.Context, conn net.Conn, addr, name string, spec RunSpec,
+	onFrame func(FrameMetric), onHandle func(*dispatchHandle), onSlab slabSink) (*Result, error) {
+	specJSON, err := json.Marshal(&spec)
+	if err != nil {
+		return nil, fmt.Errorf("visapult: encoding run %q spec: %w", name, err)
+	}
+	// A cancelled dispatch context closes the connection: that bounds every
+	// exchange below and tells the worker to abort the run.
+	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	defer stop()
+	dc := wire.NewDispatchConn(conn, conn)
+	h := newV2DispatchHandle(conn, dc)
+	defer h.fail()
+
+	conn.SetWriteDeadline(time.Now().Add(workerIOTimeout)) //nolint:errcheck // re-armed per control write
+	if err := wire.WriteDispatchMagic(conn); err == nil {
+		rm := wire.DispatchRun{WantSlabs: onSlab != nil, Name: name, Spec: specJSON}
+		buf := wire.GetDispatchBuf()
+		*buf = rm.Append(*buf)
+		err = dc.WriteFrame(wire.DRun, *buf)
+		wire.PutDispatchBuf(buf)
+	}
+	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, ctxErr
+		}
+		return nil, fmt.Errorf("visapult: sending run %q to worker %s: %w", name, addr, err)
+	}
+	if onHandle != nil {
+		onHandle(h)
+	}
+	for {
+		t, payload, err := dc.ReadFrame()
+		if err != nil {
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				return nil, ctxErr
+			}
+			// The stream ended without a terminal reply: the worker died.
+			return nil, fmt.Errorf("visapult: worker %s dropped run %q: %w", addr, name, err)
+		}
+		switch t {
+		case wire.DFrame:
+			var df wire.DispatchFrame
+			if err := df.Decode(payload); err != nil {
+				return nil, fmt.Errorf("visapult: worker %s run %q: %w", addr, name, err)
+			}
+			if onFrame != nil {
+				onFrame(frameMetricOf(df))
+			}
+		case wire.DCtrlAck:
+			var wa wire.DispatchCtrlAck
+			if err := wa.Decode(payload); err != nil {
+				return nil, fmt.Errorf("visapult: worker %s run %q: %w", addr, name, err)
+			}
+			ack := ctrlAck{Seq: wa.Seq, Err: wa.Err, NoFanout: wa.NoFanout}
+			if len(wa.Viewers) > 0 {
+				ack.Viewers = make([]ViewerDelivery, len(wa.Viewers))
+				for i, v := range wa.Viewers {
+					ack.Viewers[i] = viewerDeliveryOf(v)
+				}
+			}
+			h.deliver(ack)
+		case wire.DSlab:
+			// DecodeDispatchSlab copies the texture out of the read buffer,
+			// so the payloads handed to onSlab are safe to retain.
+			light, heavy, err := wire.DecodeDispatchSlab(payload)
+			if err != nil {
+				return nil, fmt.Errorf("visapult: worker %s run %q slab: %w", addr, name, err)
+			}
+			if onSlab != nil {
+				onSlab(light, heavy)
+			}
+		case wire.DResult:
+			var rr RemoteResult
+			if err := json.Unmarshal(payload, &rr); err != nil {
+				return nil, fmt.Errorf("visapult: worker %s run %q result: %w", addr, name, err)
+			}
+			return rr.result(), nil
+		case wire.DError:
+			var de wire.DispatchError
+			if err := de.Decode(payload); err != nil {
+				return nil, fmt.Errorf("visapult: worker %s run %q: %w", addr, name, err)
+			}
+			if de.Busy {
+				return nil, errWorkerBusy
+			}
+			return nil, &remoteRunError{de.Msg}
+		default:
+			return nil, fmt.Errorf("visapult: worker %s run %q: unexpected %v frame", addr, name, t)
 		}
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"visapult/internal/backend/framecache"
 	"visapult/internal/core"
 	"visapult/internal/netsim"
+	"visapult/internal/wire"
 )
 
 // config collects everything the options can set; New validates it and Run
@@ -28,6 +29,7 @@ type config struct {
 	renderLoop    bool
 	discardViewer bool
 	onFrame       func(FrameMetric)
+	onSlab        func(light *wire.LightPayload, heavy *wire.HeavyPayload)
 	viewers       int
 	viewerQueue   int
 	onFanout      func(*core.FanoutControl)
@@ -157,6 +159,7 @@ func (c *config) sessionConfig() core.SessionConfig {
 		Instrument:   c.instrument,
 		RenderLoop:   c.renderLoop,
 		OnFrame:      c.onFrame,
+		OnSlab:       c.onSlab,
 		Viewers:      c.viewers,
 		ViewerQueue:  c.viewerQueue,
 		Cache:        c.frameCache,
@@ -322,6 +325,15 @@ func withFrameCache(cache *framecache.Cache, dataset, tf string) Option {
 		c.cacheDataset = dataset
 		c.cacheTF = tf
 	}
+}
+
+// withSlabHook registers a callback receiving every rendered (or replayed)
+// slab payload pair after it has been sent. Dispatch workers use it to
+// stream raw slab textures back to the scheduler over the v2 wire; the
+// payloads are shared immutable data and the hook runs concurrently from
+// the PE goroutines. Unexported: slab delivery is a protocol concern.
+func withSlabHook(fn func(light *wire.LightPayload, heavy *wire.HeavyPayload)) Option {
+	return func(c *config) { c.onSlab = fn }
 }
 
 // withFanoutControl registers a callback receiving the fan-out control

@@ -1,9 +1,12 @@
 package visapult
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
+	"io"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -12,24 +15,39 @@ import (
 
 	"visapult/internal/backend/framecache"
 	"visapult/internal/core"
+	"visapult/internal/wire"
 )
 
-// The scheduler's control protocol: newline-delimited JSON over one TCP
-// connection per dispatched run, mirroring the paper's deployment where a
+// The scheduler's control protocol, in two wire versions over one TCP
+// connection per dispatched run — mirroring the paper's deployment where a
 // pool of back-end workers executes sessions near the data while a control
 // plane places work on them.
 //
-// Client -> worker: one workerRequest ("ping" or "run"), optionally followed
-// by further control messages on the same connection: {"op":"cancel"}, or
-// seq-numbered viewer operations ("attach", "detach", "viewers") that
-// manipulate the dispatched run's fan-out stage remotely — each answered by a
-// ctrl reply echoing the sequence number. Worker -> client: for "ping" a
-// single pong reply; for "run" a stream of frame replies (one per (PE,
-// timestep), feeding the same Subscribe/SSE path local runs use) interleaved
-// with ctrl acks and terminated by exactly one result or error reply. A
-// worker that dies mid-run simply drops the connection — the missing terminal
-// reply is how the dispatcher distinguishes a dead worker (re-queue the run
-// elsewhere) from a run that failed on a healthy one.
+// Version 1 is newline-delimited JSON. Client -> worker: one workerRequest
+// ("ping" or "run"), optionally followed by further control messages on the
+// same connection: {"op":"cancel"}, or seq-numbered viewer operations
+// ("attach", "detach", "viewers") that manipulate the dispatched run's
+// fan-out stage remotely — each answered by a ctrl reply echoing the sequence
+// number. Worker -> client: for "ping" a single pong reply; for "run" a
+// stream of frame replies (one per (PE, timestep), feeding the same
+// Subscribe/SSE path local runs use) interleaved with ctrl acks and
+// terminated by exactly one result or error reply.
+//
+// Version 2 (internal/wire/dispatch.go) carries the same conversation in
+// length-prefixed CRC-checked binary frames: the spec and terminal result
+// stay JSON inside their frames, while per-frame metrics, control ops and
+// acks are fixed-layout, and rendered slab payloads stream back raw for
+// dispatcher-side cache seeding. Negotiation is two-sided: the worker's ping
+// reply advertises the highest version it speaks (WorkerHello.Wire; absent
+// means 1), and the first byte of each connection tells the worker what the
+// dispatcher chose — '{' opens a JSON request, the "VPD2" magic opens a v2
+// stream — so either end can lag the other and the pair still talks.
+//
+// In both versions a worker that dies mid-run simply drops the connection —
+// the missing terminal reply is how the dispatcher distinguishes a dead
+// worker (re-queue the run elsewhere) from a run that failed on a healthy
+// one. Pings are always JSON: they predate v2 and are the negotiation
+// channel itself.
 
 // Control protocol operations.
 const (
@@ -46,7 +64,8 @@ const (
 // draining replies, breaks its own connection instead of pinning the worker.
 const workerIOTimeout = 30 * time.Second
 
-// workerRequest is a client -> worker control message.
+// workerRequest is a client -> worker control message (JSON form; the v2
+// equivalents are wire.DispatchRun and wire.DispatchCtrl).
 type workerRequest struct {
 	Op   string   `json:"op"`
 	Name string   `json:"name,omitempty"`
@@ -82,11 +101,15 @@ type ctrlAck struct {
 	Viewers  []ViewerDelivery `json:"viewers,omitempty"`
 }
 
-// WorkerHello is a worker's answer to a ping: its configured capacity and
-// current load.
+// WorkerHello is a worker's answer to a ping: its configured capacity,
+// current load, and the highest dispatch wire version it speaks.
 type WorkerHello struct {
 	Capacity int `json:"capacity"`
 	Active   int `json:"active"`
+	// Wire is the highest dispatch protocol version this worker accepts;
+	// absent (zero) means a pre-v2 worker, i.e. JSON only. Dispatchers use
+	// min(their own max, Wire) per worker.
+	Wire int `json:"wire,omitempty"`
 }
 
 // RemoteResult is the summary a worker ships back for a completed run. It
@@ -118,6 +141,10 @@ type WorkerConfig struct {
 	// identity replay rendered frames instead of raycasting again. Zero or
 	// negative disables caching.
 	FrameCacheBytes int64
+	// MaxWireVersion caps the dispatch protocol version this worker
+	// advertises and accepts: 1 pins it to JSON (exercising dispatcher
+	// fallback), 0 or 2 selects the binary v2 wire.
+	MaxWireVersion int
 	// Logf, when non-nil, receives one line per accepted and completed run.
 	Logf func(format string, args ...any)
 }
@@ -140,11 +167,18 @@ func ServeWorker(ctx context.Context, l net.Listener, cfg WorkerConfig) error {
 	if cfg.Capacity <= 0 {
 		cfg.Capacity = 2
 	}
+	maxWire := cfg.MaxWireVersion
+	switch {
+	case maxWire <= 0 || maxWire > wire.DispatchV2:
+		maxWire = wire.DispatchV2
+	case maxWire < wire.DispatchV1:
+		maxWire = wire.DispatchV1
+	}
 	logf := cfg.Logf
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
-	ws := &workerServer{ctx: ctx, capacity: cfg.Capacity, logf: logf,
+	ws := &workerServer{ctx: ctx, capacity: cfg.Capacity, maxWire: maxWire, logf: logf,
 		cache: framecache.New(cfg.FrameCacheBytes),
 		conns: make(map[net.Conn]struct{})}
 
@@ -211,6 +245,7 @@ func isTransientAccept(err error) bool {
 type workerServer struct {
 	ctx      context.Context
 	capacity int
+	maxWire  int
 	logf     func(string, ...any)
 	cache    *framecache.Cache // shared across runs; nil = caching disabled
 	active   atomic.Int64
@@ -264,70 +299,336 @@ func (ws *workerServer) tryAcquire() bool {
 	}
 }
 
-// handle services one control connection: a single request, then (for runs)
-// the reply stream.
+// ctrlMsg is one decoded client control message, wire-version neutral.
+type ctrlMsg struct {
+	op     string
+	seq    int64
+	viewer string
+}
+
+// replyLink abstracts one dispatched run's control connection over the wire
+// version the dispatcher chose. Send methods are safe for concurrent use
+// (frames arrive from the PE goroutines while acks and the terminal reply
+// come from others); next is called only by the run's monitor goroutine. A
+// failed send is deliberately swallowed — a dispatcher that stopped reading
+// is indistinguishable from a dead one, and the monitor's read error is what
+// cancels the run.
+type replyLink interface {
+	// next decodes the next control message from the dispatcher.
+	next() (ctrlMsg, error)
+	sendFrame(fm FrameMetric)
+	sendCtrlAck(ack ctrlAck)
+	sendResult(rr *RemoteResult)
+	sendError(msg string, busy bool)
+	// sendSlab ships one rendered slab payload pair; a no-op on links whose
+	// wire version (or dispatcher) does not take slab delivery.
+	sendSlab(light *wire.LightPayload, heavy *wire.HeavyPayload)
+	// wantSlabs reports whether the dispatcher asked for slab delivery.
+	wantSlabs() bool
+}
+
+// jsonLink is the v1 replyLink: newline-delimited JSON both ways.
+type jsonLink struct {
+	conn net.Conn
+	dec  *json.Decoder
+
+	mu  sync.Mutex    // serializes reply writes on conn
+	enc *json.Encoder // guarded by mu
+}
+
+func newJSONLink(conn net.Conn, r io.Reader) *jsonLink {
+	// The encoder captures conn as a bare io.Writer, so arm the initial
+	// write deadline here; send re-arms it before every reply.
+	conn.SetWriteDeadline(time.Now().Add(workerIOTimeout)) //nolint:errcheck
+	return &jsonLink{conn: conn, dec: json.NewDecoder(r), enc: json.NewEncoder(conn)}
+}
+
+// send writes one reply under a fresh deadline. A failed write means the
+// dispatcher is gone; nothing to do.
+func (l *jsonLink) send(rep workerReply) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.conn.SetWriteDeadline(time.Now().Add(workerIOTimeout)) //nolint:errcheck
+	l.enc.Encode(rep)                                        //nolint:errcheck
+}
+
+func (l *jsonLink) next() (ctrlMsg, error) {
+	var msg workerRequest
+	if err := l.dec.Decode(&msg); err != nil {
+		return ctrlMsg{}, err
+	}
+	return ctrlMsg{op: msg.Op, seq: msg.Seq, viewer: msg.Viewer}, nil
+}
+
+func (l *jsonLink) sendFrame(fm FrameMetric)    { l.send(workerReply{Frame: &fm}) }
+func (l *jsonLink) sendCtrlAck(ack ctrlAck)     { l.send(workerReply{Ctrl: &ack}) }
+func (l *jsonLink) sendResult(rr *RemoteResult) { l.send(workerReply{Result: rr}) }
+func (l *jsonLink) sendError(msg string, busy bool) {
+	l.send(workerReply{Error: msg, Busy: busy})
+}
+func (l *jsonLink) sendSlab(*wire.LightPayload, *wire.HeavyPayload) {}
+func (l *jsonLink) wantSlabs() bool                                 { return false }
+
+// v2Link is the binary replyLink: fixed-layout frames through a
+// wire.DispatchConn, with pooled encode buffers and vectored writes.
+type v2Link struct {
+	conn  net.Conn
+	dc    *wire.DispatchConn
+	slabs bool
+}
+
+// write arms a fresh write deadline and sends one frame. DispatchConn
+// serializes concurrent writers internally.
+func (l *v2Link) write(t wire.DType, segs ...[]byte) {
+	l.conn.SetWriteDeadline(time.Now().Add(workerIOTimeout)) //nolint:errcheck
+	l.dc.WriteFrame(t, segs...)                              //nolint:errcheck // see replyLink: a failed send means the dispatcher is gone
+}
+
+func (l *v2Link) next() (ctrlMsg, error) {
+	t, payload, err := l.dc.ReadFrame()
+	if err != nil {
+		return ctrlMsg{}, err
+	}
+	if t != wire.DCtrl {
+		return ctrlMsg{}, fmt.Errorf("visapult: unexpected %v frame on dispatch control stream", t)
+	}
+	var c wire.DispatchCtrl
+	if err := c.Decode(payload); err != nil {
+		return ctrlMsg{}, err
+	}
+	var op string
+	switch c.Op {
+	case wire.DCtrlCancel:
+		op = opCancel
+	case wire.DCtrlAttach:
+		op = opAttach
+	case wire.DCtrlDetach:
+		op = opDetach
+	case wire.DCtrlViewers:
+		op = opViewers
+	default:
+		return ctrlMsg{}, fmt.Errorf("visapult: unknown dispatch control op %d", c.Op)
+	}
+	return ctrlMsg{op: op, seq: c.Seq, viewer: c.Viewer}, nil
+}
+
+func (l *v2Link) sendFrame(fm FrameMetric) {
+	df := dispatchFrameOf(fm)
+	buf := wire.GetDispatchBuf()
+	*buf = df.Append(*buf)
+	l.write(wire.DFrame, *buf)
+	wire.PutDispatchBuf(buf)
+}
+
+func (l *v2Link) sendCtrlAck(ack ctrlAck) {
+	wa := wire.DispatchCtrlAck{Seq: ack.Seq, NoFanout: ack.NoFanout, Err: ack.Err}
+	if len(ack.Viewers) > 0 {
+		wa.Viewers = make([]wire.DispatchViewer, len(ack.Viewers))
+		for i, v := range ack.Viewers {
+			wa.Viewers[i] = dispatchViewerOf(v)
+		}
+	}
+	buf := wire.GetDispatchBuf()
+	*buf = wa.Append(*buf)
+	l.write(wire.DCtrlAck, *buf)
+	wire.PutDispatchBuf(buf)
+}
+
+func (l *v2Link) sendResult(rr *RemoteResult) {
+	// The terminal result is sent once per run: JSON inside a binary frame
+	// keeps the cold path simple without reopening the schema.
+	data, err := json.Marshal(rr)
+	if err != nil {
+		l.sendError("visapult: encoding run result: "+err.Error(), false)
+		return
+	}
+	l.write(wire.DResult, data)
+}
+
+func (l *v2Link) sendError(msg string, busy bool) {
+	de := wire.DispatchError{Busy: busy, Msg: msg}
+	buf := wire.GetDispatchBuf()
+	*buf = de.Append(*buf)
+	l.write(wire.DError, *buf)
+	wire.PutDispatchBuf(buf)
+}
+
+func (l *v2Link) sendSlab(light *wire.LightPayload, heavy *wire.HeavyPayload) {
+	buf := wire.GetDispatchBuf()
+	hdr, err := wire.AppendDispatchSlabHeader(*buf, light, heavy)
+	*buf = hdr
+	if err == nil {
+		// Header and texture go out as two segments of one vectored write;
+		// the texture bytes are never copied.
+		l.write(wire.DSlab, *buf, heavy.Texture)
+	}
+	wire.PutDispatchBuf(buf)
+}
+
+func (l *v2Link) wantSlabs() bool { return l.slabs }
+
+// dispatchFrameOf converts a frame metric to its fixed-layout wire form.
+func dispatchFrameOf(fm FrameMetric) wire.DispatchFrame {
+	return wire.DispatchFrame{
+		Frame: fm.Frame, PE: fm.PE,
+		LoadNS: int64(fm.Load), RenderNS: int64(fm.Render),
+		SendNS: int64(fm.Send), CopyNS: int64(fm.Copy),
+		BytesLoaded: fm.BytesLoaded, BytesSent: fm.BytesSent,
+		CacheHit: fm.CacheHit,
+	}
+}
+
+// frameMetricOf is the inverse of dispatchFrameOf.
+func frameMetricOf(df wire.DispatchFrame) FrameMetric {
+	return FrameMetric{
+		Frame: df.Frame, PE: df.PE,
+		Load: time.Duration(df.LoadNS), Render: time.Duration(df.RenderNS),
+		Send: time.Duration(df.SendNS), Copy: time.Duration(df.CopyNS),
+		BytesLoaded: df.BytesLoaded, BytesSent: df.BytesSent,
+		CacheHit: df.CacheHit,
+	}
+}
+
+// dispatchViewerOf converts a delivery record to its wire form.
+func dispatchViewerOf(v ViewerDelivery) wire.DispatchViewer {
+	var attached int64
+	if !v.Attached.IsZero() {
+		attached = v.Attached.UnixNano()
+	}
+	return wire.DispatchViewer{
+		ID: v.ID, AttachedUnixNano: attached,
+		StartFrame: v.StartFrame, FramesSent: v.FramesSent,
+		FramesDropped: v.FramesDropped, QueueDepth: v.QueueDepth,
+		BytesSent: v.BytesSent, Detached: v.Detached, Error: v.Error,
+	}
+}
+
+// viewerDeliveryOf is the inverse of dispatchViewerOf.
+func viewerDeliveryOf(v wire.DispatchViewer) ViewerDelivery {
+	var attached time.Time
+	if v.AttachedUnixNano != 0 {
+		attached = time.Unix(0, v.AttachedUnixNano)
+	}
+	return ViewerDelivery{
+		ID: v.ID, Attached: attached,
+		StartFrame: v.StartFrame, FramesSent: v.FramesSent,
+		FramesDropped: v.FramesDropped, QueueDepth: v.QueueDepth,
+		BytesSent: v.BytesSent, Detached: v.Detached, Error: v.Error,
+	}
+}
+
+// handle services one control connection: a peek decides the wire version,
+// then a single request, then (for runs) the reply stream.
 func (ws *workerServer) handle(conn net.Conn) {
 	defer ws.wg.Done()
 	defer ws.untrack(conn)
 	defer conn.Close()
 
-	// The first decode is a handshake: a client that connects and then sends
+	// The first read is a handshake: a client that connects and then sends
 	// nothing must not pin this goroutine forever.
 	conn.SetReadDeadline(time.Now().Add(workerIOTimeout)) //nolint:errcheck
-	dec := json.NewDecoder(conn)
+	br := bufio.NewReaderSize(conn, 64<<10)
+	first, err := br.Peek(1)
+	if err != nil {
+		return
+	}
+	if first[0] != '{' {
+		// Not JSON: this must be the v2 preamble. A JSON-pinned worker
+		// (MaxWireVersion 1) never advertised v2, so a binary opener is a
+		// protocol violation — drop it.
+		if ws.maxWire < wire.DispatchV2 {
+			return
+		}
+		var magic [len(wire.DispatchMagic)]byte
+		if _, err := io.ReadFull(br, magic[:]); err != nil || string(magic[:]) != wire.DispatchMagic {
+			return
+		}
+		ws.handleV2(conn, br)
+		return
+	}
+	ws.handleJSON(conn, br)
+}
+
+// handleJSON services a v1 (JSON) connection: ping, or a run request.
+func (ws *workerServer) handleJSON(conn net.Conn, br *bufio.Reader) {
+	link := newJSONLink(conn, br)
 	var req workerRequest
-	if err := dec.Decode(&req); err != nil {
+	if err := link.dec.Decode(&req); err != nil {
 		return
 	}
 	// Past the handshake the request stream is the run-cancel monitor, which
 	// legitimately waits as long as the run does.
 	conn.SetReadDeadline(time.Time{}) //nolint:errcheck
-	// Frame replies come concurrently from the PE goroutines while the
-	// terminal reply comes from this goroutine; one mutex serializes them on
-	// the wire, and a per-reply write deadline keeps a stalled dispatcher
-	// from wedging the run's frame hooks.
-	conn.SetWriteDeadline(time.Now().Add(workerIOTimeout)) //nolint:errcheck // re-armed per send below
-	enc := json.NewEncoder(conn)
-	var sendMu sync.Mutex
-	send := func(rep workerReply) {
-		sendMu.Lock()
-		defer sendMu.Unlock()
-		conn.SetWriteDeadline(time.Now().Add(workerIOTimeout)) //nolint:errcheck
-		enc.Encode(rep)                                        // a failed write means the dispatcher is gone; nothing to do
-	}
 
 	switch req.Op {
 	case opPing:
-		send(workerReply{Pong: &WorkerHello{Capacity: ws.capacity, Active: int(ws.active.Load())}})
+		link.send(workerReply{Pong: &WorkerHello{
+			Capacity: ws.capacity,
+			Active:   int(ws.active.Load()),
+			Wire:     ws.maxWire,
+		}})
 	case opRun:
-		ws.run(req, dec, send)
+		ws.run(req.Name, req.Spec, link)
 	default:
-		send(workerReply{Error: "visapult: unknown control op " + req.Op})
+		link.sendError("visapult: unknown control op "+req.Op, false)
 	}
 }
 
+// handleV2 services a binary connection whose magic has been consumed: the
+// first frame must be the run request.
+func (ws *workerServer) handleV2(conn net.Conn, br *bufio.Reader) {
+	// The framing captures conn as a bare io.Writer, so arm the initial
+	// write deadline here; v2Link.write re-arms it before every reply.
+	conn.SetWriteDeadline(time.Now().Add(workerIOTimeout)) //nolint:errcheck
+	dc := wire.NewDispatchConn(br, conn)
+	link := &v2Link{conn: conn, dc: dc}
+	t, payload, err := dc.ReadFrame()
+	if err != nil || t != wire.DRun {
+		return
+	}
+	var rm wire.DispatchRun
+	if err := rm.Decode(payload); err != nil {
+		return
+	}
+	spec := new(RunSpec)
+	// Decode the spec before the monitor goroutine's next ReadFrame recycles
+	// the buffer rm.Spec aliases.
+	if err := json.Unmarshal(rm.Spec, spec); err != nil {
+		link.sendError("visapult: malformed run spec: "+err.Error(), false)
+		return
+	}
+	conn.SetReadDeadline(time.Time{}) //nolint:errcheck // the control stream waits as long as the run
+	link.slabs = rm.WantSlabs
+	ws.run(rm.Name, spec, link)
+}
+
 // run executes one dispatched spec, streaming frames and a terminal reply.
-func (ws *workerServer) run(req workerRequest, dec *json.Decoder, send func(workerReply)) {
-	if req.Spec == nil {
-		send(workerReply{Error: "visapult: dispatch request carries no spec"})
+func (ws *workerServer) run(name string, spec *RunSpec, link replyLink) {
+	if spec == nil {
+		link.sendError("visapult: dispatch request carries no spec", false)
 		return
 	}
 	if !ws.tryAcquire() {
-		send(workerReply{Error: "visapult: worker at capacity", Busy: true})
+		link.sendError("visapult: worker at capacity", true)
 		return
 	}
 	defer ws.active.Add(-1)
 
-	opts, err := req.Spec.Options()
+	opts, err := spec.Options()
 	if err != nil {
-		send(workerReply{Error: err.Error()})
+		link.sendError(err.Error(), false)
 		return
 	}
 	opts = append(opts, WithFrameHook(func(fm FrameMetric) {
-		send(workerReply{Frame: &fm})
+		link.sendFrame(fm)
 	}))
+	if link.wantSlabs() {
+		opts = append(opts, withSlabHook(func(light *wire.LightPayload, heavy *wire.HeavyPayload) {
+			link.sendSlab(light, heavy)
+		}))
+	}
 	if ws.cache != nil {
-		dataset, tf := req.Spec.cacheIdentity()
+		dataset, tf := spec.cacheIdentity()
 		opts = append(opts, withFrameCache(ws.cache, dataset, tf))
 	}
 	// Capture the run's fan-out control once its pipeline goes live, so the
@@ -341,7 +642,7 @@ func (ws *workerServer) run(req workerRequest, dec *json.Decoder, send func(work
 	}))
 	p, err := New(opts...)
 	if err != nil {
-		send(workerReply{Error: err.Error()})
+		link.sendError(err.Error(), false)
 		return
 	}
 
@@ -349,8 +650,8 @@ func (ws *workerServer) run(req workerRequest, dec *json.Decoder, send func(work
 	// live fan-out. Before the pipeline publishes its control (or for a spec
 	// without viewers) the ack carries NoFanout, which the client maps back to
 	// ErrNoFanout — the retryable "not live yet" signal.
-	viewerOp := func(msg workerRequest) *ctrlAck {
-		ack := &ctrlAck{Seq: msg.Seq}
+	viewerOp := func(msg ctrlMsg) ctrlAck {
+		ack := ctrlAck{Seq: msg.seq}
 		fanoutMu.Lock()
 		fc := fanout
 		fanoutMu.Unlock()
@@ -359,13 +660,13 @@ func (ws *workerServer) run(req workerRequest, dec *json.Decoder, send func(work
 			ack.Err = ErrNoFanout.Error()
 			return ack
 		}
-		switch msg.Op {
+		switch msg.op {
 		case opAttach:
-			if err := fc.Attach(msg.Viewer); err != nil {
+			if err := fc.Attach(msg.viewer); err != nil {
 				ack.Err = err.Error()
 			}
 		case opDetach:
-			if err := fc.Detach(msg.Viewer); err != nil {
+			if err := fc.Detach(msg.viewer); err != nil {
 				ack.Err = err.Error()
 			}
 		case opViewers:
@@ -382,22 +683,22 @@ func (ws *workerServer) run(req workerRequest, dec *json.Decoder, send func(work
 	defer cancel()
 	go func() {
 		for {
-			var msg workerRequest
-			if err := dec.Decode(&msg); err != nil {
+			msg, err := link.next()
+			if err != nil {
 				cancel()
 				return
 			}
-			switch msg.Op {
+			switch msg.op {
 			case opCancel:
 				cancel()
 				return
 			case opAttach, opDetach, opViewers:
-				send(workerReply{Ctrl: viewerOp(msg)})
+				link.sendCtrlAck(viewerOp(msg))
 			}
 		}
 	}()
 
-	ws.logf("worker: run %q dispatched (%d active)", req.Name, ws.active.Load())
+	ws.logf("worker: run %q dispatched (%d active)", name, ws.active.Load())
 	res, err := p.Run(runCtx)
 	if err != nil {
 		// On worker shutdown, say nothing: the dropped connection is the
@@ -406,12 +707,12 @@ func (ws *workerServer) run(req workerRequest, dec *json.Decoder, send func(work
 		if ws.ctx.Err() != nil {
 			return
 		}
-		ws.logf("worker: run %q failed: %v", req.Name, err)
-		send(workerReply{Error: err.Error()})
+		ws.logf("worker: run %q failed: %v", name, err)
+		link.sendError(err.Error(), false)
 		return
 	}
-	ws.logf("worker: run %q done in %v", req.Name, res.Elapsed)
-	send(workerReply{Result: &RemoteResult{
+	ws.logf("worker: run %q done in %v", name, res.Elapsed)
+	link.sendResult(&RemoteResult{
 		Backend: res.Backend, Viewer: res.Viewer, Viewers: res.Viewers, Elapsed: res.Elapsed,
-	}})
+	})
 }
