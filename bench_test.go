@@ -269,6 +269,54 @@ func BenchmarkRenderSlab(b *testing.B) {
 	}
 }
 
+// BenchmarkRenderKernel compares the raycaster variants of PR 9 on the
+// standard bench volume: the scalar oracle, the LUT kernel, the LUT kernel
+// with empty-space skipping, and the shared pool at 1/2/4 workers. The
+// parallel runs draw images from the free list, so with -benchmem they
+// demonstrate the 0 allocs/frame steady state.
+func BenchmarkRenderKernel(b *testing.B) {
+	v := benchVolume(b, 80, 64, 64)
+	r := volume.Region{X1: v.NX, Y1: v.NY, Z1: v.NZ / 4}
+	tf := render.DefaultCombustionTF()
+	lut := render.BuildLUT(tf)
+	cells := render.BuildMacrocells(v)
+
+	b.Run("scalar", func(b *testing.B) {
+		b.SetBytes(r.Bytes())
+		for i := 0; i < b.N; i++ {
+			render.RenderSlab(v, r, tf, volume.AxisZ)
+		}
+	})
+	b.Run("lut", func(b *testing.B) {
+		b.SetBytes(r.Bytes())
+		for i := 0; i < b.N; i++ {
+			render.RenderSlabLUT(v, r, lut, nil, volume.AxisZ)
+		}
+	})
+	b.Run("lut-skip", func(b *testing.B) {
+		b.SetBytes(r.Bytes())
+		for i := 0; i < b.N; i++ {
+			render.RenderSlabLUT(v, r, lut, cells, volume.AxisZ)
+		}
+	})
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("parallel-%d", workers), func(b *testing.B) {
+			pool := render.NewPool(workers)
+			defer pool.Close()
+			ctx := context.Background()
+			b.SetBytes(r.Bytes())
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				img := render.GetImage(80, 64)
+				if _, err := pool.RenderSlab(ctx, v, r, lut, cells, volume.AxisZ, img); err != nil {
+					b.Fatal(err)
+				}
+				render.PutImage(img)
+			}
+		})
+	}
+}
+
 // BenchmarkIBRComposite measures the viewer-side IBR compositing of slab
 // textures into a view.
 func BenchmarkIBRComposite(b *testing.B) {

@@ -59,10 +59,13 @@ func main() {
 	capacity := flag.Int("capacity", 2, "concurrent dispatched runs in -serve-control mode")
 	frameCacheMB := flag.Int64("frame-cache-mb", 256, "slab-texture frame cache capacity in MiB for -serve-control mode (0 disables replay caching)")
 	wireVer := flag.Int("wire", 2, "max dispatch wire version to accept in -serve-control mode (1 = JSON only, 2 = binary)")
+	renderWorkers := flag.Int("render-workers", 0, "render-pool goroutines shared by the PEs (0 = GOMAXPROCS; dispatched specs with renderWorkers set win)")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty disables profiling)")
 	flag.Parse()
 
+	startPprof(*pprofAddr)
 	if *serveControl != "" {
-		serveWorker(*serveControl, *capacity, *frameCacheMB, *wireVer)
+		serveWorker(*serveControl, *capacity, *frameCacheMB, *wireVer, *renderWorkers)
 		return
 	}
 
@@ -132,15 +135,16 @@ func main() {
 	}
 	fmt.Printf("visapult-backend: %d PEs, %d timesteps, %s mode -> %s\n", *pes, *steps, m, target)
 	rep, err := visapult.RunBackend(ctx, visapult.BackendConfig{
-		ViewerAddr:  *viewerAddr,
-		ViewerAddrs: addrs,
-		ViewerQueue: *viewerQueue,
-		PEs:         *pes,
-		Timesteps:   *steps,
-		Mode:        m,
-		Source:      src,
-		FollowView:  *followView,
-		Instrument:  true,
+		ViewerAddr:    *viewerAddr,
+		ViewerAddrs:   addrs,
+		ViewerQueue:   *viewerQueue,
+		PEs:           *pes,
+		Timesteps:     *steps,
+		Mode:          m,
+		Source:        src,
+		FollowView:    *followView,
+		Instrument:    true,
+		RenderWorkers: *renderWorkers,
 	})
 	if err != nil {
 		fatal(err)
@@ -163,7 +167,7 @@ func main() {
 }
 
 // serveWorker runs the process as a dispatch worker until interrupted.
-func serveWorker(addr string, capacity int, frameCacheMB int64, wireVer int) {
+func serveWorker(addr string, capacity int, frameCacheMB int64, wireVer, renderWorkers int) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		fatal(err)
@@ -176,6 +180,7 @@ func serveWorker(addr string, capacity int, frameCacheMB int64, wireVer int) {
 		Capacity:        capacity,
 		FrameCacheBytes: frameCacheMB << 20,
 		MaxWireVersion:  wireVer,
+		RenderWorkers:   renderWorkers,
 		Logf: func(format string, args ...any) {
 			fmt.Printf("visapult-backend: "+format+"\n", args...)
 		},

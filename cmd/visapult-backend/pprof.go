@@ -1,0 +1,36 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"os"
+)
+
+// startPprof serves the net/http/pprof handlers on addr in the background.
+// The endpoint is opt-in (-pprof-addr, empty by default) and gets its own
+// mux: the profiling surface never rides on the public API listener, so an
+// operator can bind it to localhost while the API faces the network. A
+// listen failure is reported and otherwise ignored — profiling is a
+// diagnostic aid, never worth taking the daemon down for.
+func startPprof(addr string) {
+	if addr == "" {
+		return
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- http.ListenAndServe(addr, mux)
+	}()
+	go func() {
+		if err := <-errCh; err != nil {
+			fmt.Fprintf(os.Stderr, "visapult-backend: pprof listener on %s failed: %v\n", addr, err)
+		}
+	}()
+	fmt.Printf("visapult-backend: pprof profiling on http://%s/debug/pprof/\n", addr)
+}

@@ -5,6 +5,8 @@ import (
 	"net/http"
 	"sort"
 	"strings"
+
+	"visapult/pkg/visapult"
 )
 
 // handlePrometheus serves GET /metrics in the Prometheus text exposition
@@ -48,6 +50,20 @@ func (s *server) handlePrometheus(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&b, "visapultd_framecache_bytes %d\n", cs.Bytes)
 	writeHelp(&b, "visapultd_framecache_capacity_bytes", "gauge", "Configured frame cache capacity in bytes.")
 	fmt.Fprintf(&b, "visapultd_framecache_capacity_bytes %d\n", cs.Capacity)
+
+	// Render pool: occupancy of the shared tile-rendering goroutines across
+	// every in-process run (see internal/render.Pool).
+	ps := visapult.GlobalRenderPoolStats()
+	writeHelp(&b, "visapultd_renderpool_workers", "gauge", "Live render-pool worker goroutines.")
+	fmt.Fprintf(&b, "visapultd_renderpool_workers %d\n", ps.Workers)
+	writeHelp(&b, "visapultd_renderpool_busy", "gauge", "Render-pool workers currently rendering tiles.")
+	fmt.Fprintf(&b, "visapultd_renderpool_busy %d\n", ps.Busy)
+	writeHelp(&b, "visapultd_renderpool_queued", "gauge", "Submitted slab renders not yet picked up by a pool worker.")
+	fmt.Fprintf(&b, "visapultd_renderpool_queued %d\n", ps.Queued)
+	writeHelp(&b, "visapultd_renderpool_frames_total", "counter", "Slab renders completed by the render pool.")
+	fmt.Fprintf(&b, "visapultd_renderpool_frames_total %d\n", ps.Frames)
+	writeHelp(&b, "visapultd_renderpool_tiles_total", "counter", "Row-tiles rendered by the render pool.")
+	fmt.Fprintf(&b, "visapultd_renderpool_tiles_total %d\n", ps.Tiles)
 
 	// Remote workers.
 	workers := s.mgr.Workers()

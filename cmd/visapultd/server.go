@@ -237,18 +237,22 @@ type metricJSON struct {
 	// CacheHit marks a frame served from the slab-texture cache instead of
 	// the raycaster.
 	CacheHit bool `json:"cacheHit,omitempty"`
+	// TilesSkipped counts macrocell ray segments the renderer skipped as
+	// empty space; 0 (and omitted) for cache-replayed frames.
+	TilesSkipped int `json:"tilesSkipped,omitempty"`
 }
 
 func toMetricJSON(fm visapult.FrameMetric) metricJSON {
 	return metricJSON{
-		Frame:       fm.Frame,
-		PE:          fm.PE,
-		LoadMs:      float64(fm.Load) / float64(time.Millisecond),
-		RenderMs:    float64(fm.Render) / float64(time.Millisecond),
-		SendMs:      float64(fm.Send) / float64(time.Millisecond),
-		BytesLoaded: fm.BytesLoaded,
-		BytesSent:   fm.BytesSent,
-		CacheHit:    fm.CacheHit,
+		Frame:        fm.Frame,
+		PE:           fm.PE,
+		LoadMs:       float64(fm.Load) / float64(time.Millisecond),
+		RenderMs:     float64(fm.Render) / float64(time.Millisecond),
+		SendMs:       float64(fm.Send) / float64(time.Millisecond),
+		BytesLoaded:  fm.BytesLoaded,
+		BytesSent:    fm.BytesSent,
+		CacheHit:     fm.CacheHit,
+		TilesSkipped: fm.TilesSkipped,
 	}
 }
 

@@ -134,6 +134,12 @@ type Config struct {
 	CacheDataset string
 	// CacheTF is the canonical transfer-function string of this run.
 	CacheTF string
+	// RenderWorkers sizes the shared render pool every PE's raycasts are
+	// tiled across: min(GOMAXPROCS, RenderWorkers) goroutines, <= 0 selecting
+	// GOMAXPROCS. One pool serves all PEs, so concurrent slab renders share
+	// the machine instead of oversubscribing it. The pool is bit-exact at any
+	// worker count; this knob never changes pixels.
+	RenderWorkers int
 }
 
 // FrameStats records what one PE did for one timestep.
@@ -154,6 +160,9 @@ type FrameStats struct {
 	BytesLoaded int64
 	// BytesSent is the light + heavy payload volume shipped to the viewer.
 	BytesSent int64
+	// TilesSkipped counts the macrocell segments the raycaster's empty-space
+	// skipping removed while rendering this frame (zero on cache hits).
+	TilesSkipped int
 	// CacheHit reports that this frame was served from the slab-texture
 	// cache: no data was loaded and the raycaster never ran (Load, Render and
 	// BytesLoaded are zero).
@@ -209,6 +218,11 @@ func (rs RunStats) meanPhase(get func(FrameStats) time.Duration) time.Duration {
 type BackEnd struct {
 	cfg Config
 	tf  render.TransferFunction
+	// lut is cfg.TF quantized once per run; every PE's raycasts read it.
+	lut *render.LUT
+	// pool is the shared render pool, created by Run before the PE goroutines
+	// start and closed after they join.
+	pool *render.Pool
 
 	nx, ny, nz int
 	frames     int
@@ -254,7 +268,10 @@ func New(cfg Config) (*BackEnd, error) {
 	if tf == nil {
 		tf = render.DefaultCombustionTF()
 	}
-	b := &BackEnd{cfg: cfg, tf: tf, nx: nx, ny: ny, nz: nz, frames: frames, frameAxis: cfg.Axis}
+	if cfg.RenderWorkers < 0 {
+		return nil, fmt.Errorf("backend: RenderWorkers must be non-negative, got %d", cfg.RenderWorkers)
+	}
+	b := &BackEnd{cfg: cfg, tf: tf, lut: render.BuildLUT(tf), nx: nx, ny: ny, nz: nz, frames: frames, frameAxis: cfg.Axis}
 	b.pendingAxis.Store(int32(cfg.Axis))
 	return b, nil
 }
@@ -318,8 +335,13 @@ type loadedFrame struct {
 	axis   volume.Axis
 	region volume.Region
 	vol    *volume.Volume
-	bytes  int64
-	dur    time.Duration
+	// cells is vol's min/max macrocell summary, built once per loaded
+	// timestep by the loader so the renderer's empty-space skipping never
+	// pays the scan. It summarizes values only, so it remains valid for the
+	// process-pair mode's deep copy of vol.
+	cells *render.Macrocells
+	bytes int64
+	dur   time.Duration
 	// copyDur is the reader-to-renderer transmission cost paid in
 	// OverlappedProcessPair mode.
 	copyDur time.Duration
@@ -358,14 +380,25 @@ func (b *BackEnd) load(ctx context.Context, rank, frame int, axis volume.Axis) l
 	b.log(netlogger.BELoadStart, frame, rank, region.Bytes())
 	start := time.Now()
 	vol, bytes, err := b.cfg.Source.LoadRegion(ctx, frame, region)
+	var cells *render.Macrocells
+	if err == nil && vol != nil {
+		// Summarize on the loader side: in overlapped mode this overlaps the
+		// previous frame's render, so the raycaster gets skipping for free.
+		cells = render.BuildMacrocells(vol)
+	}
 	dur := time.Since(start)
 	b.log(netlogger.BELoadEnd, frame, rank, bytes)
-	return loadedFrame{frame: frame, axis: axis, region: region, vol: vol, bytes: bytes, dur: dur, err: err}
+	return loadedFrame{frame: frame, axis: axis, region: region, vol: vol, cells: cells, bytes: bytes, dur: dur, err: err}
 }
 
 // renderAndSend renders one loaded slab and ships the light and heavy
-// payloads to the viewer, returning the per-frame statistics.
-func (b *BackEnd) renderAndSend(rank int, lf loadedFrame) (FrameStats, error) {
+// payloads to the viewer, returning the per-frame statistics. The raycast is
+// tiled across the shared render pool (built from the run's LUT, skipping
+// empty space through the loader-built macrocells) and draws its image from
+// the free list, so steady-state frames allocate only their wire payloads.
+// A ctx cancelled mid-frame abandons the remaining tiles and returns the
+// context error.
+func (b *BackEnd) renderAndSend(ctx context.Context, rank int, lf loadedFrame) (FrameStats, error) {
 	fs := FrameStats{Frame: lf.frame, PE: rank, Load: lf.dur, Copy: lf.copyDur, BytesLoaded: lf.bytes, CacheHit: lf.hit}
 	if lf.err != nil {
 		return fs, fmt.Errorf("backend: PE %d frame %d load: %w", rank, lf.frame, lf.err)
@@ -382,7 +415,13 @@ func (b *BackEnd) renderAndSend(rank int, lf loadedFrame) (FrameStats, error) {
 		b.log(netlogger.BERenderStart, lf.frame, rank, 0)
 		renderStart := time.Now()
 		full := volume.Region{X1: lf.vol.NX, Y1: lf.vol.NY, Z1: lf.vol.NZ}
-		img, _ := render.RenderSlab(lf.vol, full, b.tf, lf.axis)
+		img := render.GetImage(render.PlaneDims(full, lf.axis))
+		st, rerr := b.pool.RenderSlab(ctx, lf.vol, full, b.lut, lf.cells, lf.axis, img)
+		if rerr != nil {
+			render.PutImage(img)
+			return fs, fmt.Errorf("backend: PE %d frame %d render: %w", rank, lf.frame, rerr)
+		}
+		fs.TilesSkipped = st.TilesSkipped
 		var grid []amr.Segment
 		if b.cfg.Grid != nil {
 			h := amr.Build(lf.vol, *b.cfg.Grid)
@@ -426,6 +465,9 @@ func (b *BackEnd) renderAndSend(rank int, lf loadedFrame) (FrameStats, error) {
 			GridSegments: len(grid),
 			HasElevation: elev != nil,
 		}
+		// The payloads hold their own RGBA8 copy; the float image goes back
+		// to the free list for the next frame.
+		render.PutImage(img)
 		if key, ok := b.cacheKey(lf.frame, lf.axis); ok {
 			// Cached payloads are shared by reference across future runs and
 			// their fan-out viewers; they are immutable from here on — which
@@ -484,6 +526,13 @@ func (b *BackEnd) Run(ctx context.Context) (RunStats, error) {
 	}
 	start := time.Now()
 	b.latchAxis()
+
+	// One render pool for the whole run: every PE tiles its raycasts across
+	// it, bounding total render parallelism at min(GOMAXPROCS, RenderWorkers)
+	// regardless of PE count. Closed only after every PE goroutine has
+	// joined, so no render is in flight at Close.
+	b.pool = render.NewPool(b.cfg.RenderWorkers)
+	defer b.pool.Close()
 
 	barrier := newCyclicBarrier(b.cfg.PEs, b.latchAxis)
 	// A cancelled context releases every PE blocked at the barrier.
@@ -572,7 +621,7 @@ func (b *BackEnd) runPESerial(ctx context.Context, rank int, barrier *cyclicBarr
 		axis := b.Axis()
 		b.log(netlogger.BEFrameStart, frame, rank, 0)
 		lf := b.load(ctx, rank, frame, axis)
-		fs, err := b.renderAndSend(rank, lf)
+		fs, err := b.renderAndSend(ctx, rank, lf)
 		if err != nil {
 			barrier.Abort()
 			return err
@@ -683,7 +732,7 @@ func (b *BackEnd) runPEOverlapped(ctx context.Context, rank int, barrier *cyclic
 				axis  volume.Axis
 			}{frame + 1, b.Axis()}
 		}
-		fs, err := b.renderAndSend(rank, lf)
+		fs, err := b.renderAndSend(ctx, rank, lf)
 		if err != nil {
 			barrier.Abort()
 			return err

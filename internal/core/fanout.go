@@ -300,19 +300,20 @@ func runFanoutSession(ctx context.Context, cfg SessionConfig) (*SessionResult, e
 		beLogger = netlogger.New("backend-host", "backend")
 	}
 	be, err = backend.New(backend.Config{
-		PEs:          cfg.PEs,
-		Timesteps:    cfg.Timesteps,
-		Mode:         cfg.Mode,
-		Axis:         cfg.Axis,
-		Source:       cfg.Source,
-		TF:           cfg.TF,
-		Sinks:        fan.Sinks(),
-		Logger:       beLogger,
-		OnFrame:      cfg.OnFrame,
-		OnSlab:       cfg.OnSlab,
-		Cache:        cfg.Cache,
-		CacheDataset: cfg.CacheDataset,
-		CacheTF:      cfg.CacheTF,
+		PEs:           cfg.PEs,
+		Timesteps:     cfg.Timesteps,
+		Mode:          cfg.Mode,
+		Axis:          cfg.Axis,
+		Source:        cfg.Source,
+		TF:            cfg.TF,
+		Sinks:         fan.Sinks(),
+		Logger:        beLogger,
+		OnFrame:       cfg.OnFrame,
+		OnSlab:        cfg.OnSlab,
+		Cache:         cfg.Cache,
+		CacheDataset:  cfg.CacheDataset,
+		CacheTF:       cfg.CacheTF,
+		RenderWorkers: cfg.RenderWorkers,
 	})
 	if err != nil {
 		fc.teardownAll()

@@ -116,6 +116,9 @@ type SessionConfig struct {
 	// ViewerQueue bounds each attached viewer's send queue in (PE, frame)
 	// pairs for fan-out sessions; <= 0 selects backend.DefaultViewerQueue.
 	ViewerQueue int
+	// RenderWorkers sizes the back end's shared render pool; <= 0 selects
+	// GOMAXPROCS. See backend.Config.RenderWorkers.
+	RenderWorkers int
 	// OnFanout, when non-nil, receives the fan-out session's control handle
 	// once the run is live, so callers can attach and detach viewers mid-run
 	// and read per-viewer delivery metrics. Only invoked when Viewers >= 1.
@@ -211,19 +214,20 @@ func RunSession(ctx context.Context, cfg SessionConfig) (*SessionResult, error) 
 	defer tr.closeAll()
 
 	be, err = backend.New(backend.Config{
-		PEs:          cfg.PEs,
-		Timesteps:    cfg.Timesteps,
-		Mode:         cfg.Mode,
-		Axis:         cfg.Axis,
-		Source:       cfg.Source,
-		TF:           cfg.TF,
-		Sinks:        tr.sinks,
-		Logger:       beLogger,
-		OnFrame:      cfg.OnFrame,
-		OnSlab:       cfg.OnSlab,
-		Cache:        cfg.Cache,
-		CacheDataset: cfg.CacheDataset,
-		CacheTF:      cfg.CacheTF,
+		PEs:           cfg.PEs,
+		Timesteps:     cfg.Timesteps,
+		Mode:          cfg.Mode,
+		Axis:          cfg.Axis,
+		Source:        cfg.Source,
+		TF:            cfg.TF,
+		Sinks:         tr.sinks,
+		Logger:        beLogger,
+		OnFrame:       cfg.OnFrame,
+		OnSlab:        cfg.OnSlab,
+		Cache:         cfg.Cache,
+		CacheDataset:  cfg.CacheDataset,
+		CacheTF:       cfg.CacheTF,
+		RenderWorkers: cfg.RenderWorkers,
 	})
 	if err != nil {
 		return nil, err

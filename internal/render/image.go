@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 )
 
 // Image is a float32 RGBA image with straight (non-premultiplied) alpha,
@@ -197,6 +198,43 @@ func clamp8(f float32) byte {
 		f = 1
 	}
 	return byte(f*255 + 0.5)
+}
+
+// imageFreeList recycles *Image values across frames so steady-state
+// rendering allocates nothing per frame. Entries keep their Pix capacity;
+// GetImage reslices and zeroes rather than reallocating.
+var imageFreeList = sync.Pool{New: func() any { return new(Image) }}
+
+// GetImage returns a transparent black w x h image, reusing a pooled backing
+// array when one with sufficient capacity is available. Pass the image to
+// PutImage when its pixels are no longer referenced.
+func GetImage(w, h int) *Image {
+	if w < 1 {
+		w = 1
+	}
+	if h < 1 {
+		h = 1
+	}
+	im := imageFreeList.Get().(*Image)
+	n := w * h * 4
+	if cap(im.Pix) < n {
+		im.Pix = make([]float32, n)
+	} else {
+		im.Pix = im.Pix[:n]
+		clear(im.Pix)
+	}
+	im.W, im.H = w, h
+	return im
+}
+
+// PutImage returns an image obtained from GetImage to the free list. The
+// caller must not retain im or its Pix slice afterwards. A nil image is
+// ignored, so deferred returns on error paths stay unconditional.
+func PutImage(im *Image) {
+	if im == nil {
+		return
+	}
+	imageFreeList.Put(im)
 }
 
 // ShiftX returns a copy of the image translated horizontally by dx pixels

@@ -1,0 +1,142 @@
+package render
+
+// Transfer-function lookup tables. The scalar raycaster pays an interface
+// call per sample (tf.Map); BuildLUT quantizes any TransferFunction into a
+// fixed table once per run, turning that call into an array load. The table
+// stores straight-alpha RGBA — not premultiplied — deliberately: the
+// optimized march loops reuse the scalar kernel's exact accumulation
+// expressions on the table entries, which is what keeps the fast path
+// bit-exact against RenderSlab driven by the same LUT (the equivalence
+// oracle). A premultiplied table would reassociate the (1-accA)*a*r product
+// and drift in the last ulp.
+
+// LUTSize is the number of quantization bins of a transfer-function LUT.
+// 4096 bins resolve value steps of ~2.4e-4, far below what an 8-bit output
+// texture can express.
+const LUTSize = 4096
+
+// LUT is a TransferFunction quantized into LUTSize straight-alpha RGBA
+// entries. Entry i holds the color at value i/(LUTSize-1); lookups round to
+// the nearest entry. A LUT is itself a TransferFunction, and it is the
+// reference the optimized kernels are bit-exact against: for any volume,
+// RenderSlab(v, r, lut, axis) and the LUT-driven fast paths produce
+// identical pixels.
+type LUT struct {
+	// Tab is the interleaved RGBA table: entry i at Tab[i*4 .. i*4+3].
+	Tab [LUTSize * 4]float32
+	// opaque[i] counts entries j < i with alpha > 0, so any index range can
+	// be classified as all-transparent in O(1) — the query empty-space
+	// skipping asks per macrocell.
+	opaque [LUTSize + 1]int32
+}
+
+// lutIndex maps a voxel value to its table entry: clamp to [0, 1], scale to
+// the table, round to nearest. NaN maps to entry 0 so the conversion is
+// defined; LUT.Map and the march loops share this function, which is what
+// makes them agree sample-for-sample.
+func lutIndex(v float32) int {
+	if !(v > 0) { // negatives and NaN
+		return 0
+	}
+	if v > 1 {
+		v = 1
+	}
+	return int(v*(LUTSize-1) + 0.5)
+}
+
+// BuildLUT quantizes tf into a lookup table. A Piecewise transfer function
+// is built by walking its control-point segments in step with the table —
+// O(points + LUTSize) — instead of evaluating a per-entry search; every
+// other TransferFunction is sampled per entry. A nil tf builds the default
+// combustion colormap.
+func BuildLUT(tf TransferFunction) *LUT {
+	if tf == nil {
+		tf = DefaultCombustionTF()
+	}
+	l := &LUT{}
+	if pw, ok := tf.(Piecewise); ok {
+		l.fillPiecewise(pw)
+	} else {
+		for i := 0; i < LUTSize; i++ {
+			v := float32(i) / (LUTSize - 1)
+			r, g, b, a := tf.Map(v)
+			l.Tab[i*4+0] = r
+			l.Tab[i*4+1] = g
+			l.Tab[i*4+2] = b
+			l.Tab[i*4+3] = a
+		}
+	}
+	for i := 0; i < LUTSize; i++ {
+		l.opaque[i+1] = l.opaque[i]
+		if l.Tab[i*4+3] > 0 {
+			l.opaque[i+1]++
+		}
+	}
+	return l
+}
+
+// fillPiecewise builds the table by advancing one segment cursor as the
+// entry value sweeps 0 -> 1, computing each entry with exactly the
+// interpolation expressions Piecewise.Map uses so the two agree bitwise.
+func (l *LUT) fillPiecewise(t Piecewise) {
+	pts := t.Points
+	if len(pts) == 0 {
+		return // all transparent black, matching Map's empty-table answer
+	}
+	seg := 1 // candidate upper control point
+	for i := 0; i < LUTSize; i++ {
+		v := float32(i) / (LUTSize - 1)
+		var r, g, b, a float32
+		switch {
+		case v <= pts[0].Value:
+			p := pts[0]
+			r, g, b, a = p.R, p.G, p.B, p.A
+		default:
+			for seg < len(pts) && v > pts[seg].Value {
+				seg++
+			}
+			if seg == len(pts) {
+				p := pts[len(pts)-1]
+				r, g, b, a = p.R, p.G, p.B, p.A
+				break
+			}
+			lo, hi := pts[seg-1], pts[seg]
+			span := hi.Value - lo.Value
+			var f float32
+			if span > 0 {
+				f = (v - lo.Value) / span
+			}
+			r = lo.R + f*(hi.R-lo.R)
+			g = lo.G + f*(hi.G-lo.G)
+			b = lo.B + f*(hi.B-lo.B)
+			a = lo.A + f*(hi.A-lo.A)
+		}
+		l.Tab[i*4+0] = r
+		l.Tab[i*4+1] = g
+		l.Tab[i*4+2] = b
+		l.Tab[i*4+3] = a
+	}
+}
+
+// Map implements TransferFunction with a table lookup, making the LUT usable
+// anywhere a transfer function is — including as the scalar oracle the
+// optimized kernels are verified against.
+func (l *LUT) Map(v float32) (r, g, b, a float32) {
+	i := lutIndex(v) * 4
+	return l.Tab[i], l.Tab[i+1], l.Tab[i+2], l.Tab[i+3]
+}
+
+// RangeEmpty reports whether every value in [lo, hi] maps to zero (or
+// negative) opacity under the LUT. lutIndex is monotone, so the quantized
+// images of the interval all land in [lutIndex(lo), lutIndex(hi)] and a
+// prefix-count subtraction answers the query in O(1). Empty-space skipping
+// may therefore drop a macrocell with this range without changing a single
+// output pixel: the scalar kernel would have discarded each of its samples
+// at the alpha test anyway.
+func (l *LUT) RangeEmpty(lo, hi float32) bool {
+	i0, i1 := lutIndex(lo), lutIndex(hi)
+	if i1 < i0 { // inverted range (NaN endpoints): never skip
+		return false
+	}
+	return l.opaque[i1+1] == l.opaque[i0]
+}

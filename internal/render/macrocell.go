@@ -1,0 +1,76 @@
+package render
+
+import "visapult/internal/volume"
+
+// MacroBlock is the edge length of one macrocell: the volume is partitioned
+// into MacroBlock^3 blocks whose value ranges are precomputed once per
+// loaded timestep, so rays can skip whole blocks that the active transfer
+// function maps to zero opacity (empty-space skipping).
+const MacroBlock = 16
+
+// Macrocells is the min/max summary grid of one volume. It depends only on
+// the voxel data — not on the transfer function or view axis — so the back
+// end builds it once per loaded timestep (on the loader side, overlapping
+// the previous frame's render) and reuses it for every ray of every view.
+type Macrocells struct {
+	// BX, BY, BZ are the grid dimensions in blocks (ceil(dim/MacroBlock)).
+	BX, BY, BZ int
+	// Min and Max hold each block's value range, indexed
+	// bx + by*BX + bz*BX*BY. A block containing NaN records an inverted
+	// range (Min > Max), which no skip test accepts — its samples always
+	// reach the per-sample path, exactly like the scalar kernel.
+	Min, Max []float32
+}
+
+// BuildMacrocells summarizes v into a macrocell grid.
+func BuildMacrocells(v *volume.Volume) *Macrocells {
+	bx := (v.NX + MacroBlock - 1) / MacroBlock
+	by := (v.NY + MacroBlock - 1) / MacroBlock
+	bz := (v.NZ + MacroBlock - 1) / MacroBlock
+	m := &Macrocells{BX: bx, BY: by, BZ: bz,
+		Min: make([]float32, bx*by*bz),
+		Max: make([]float32, bx*by*bz)}
+	first := make([]bool, bx*by*bz)
+	nan := make([]bool, bx*by*bz)
+	data := v.Data
+	nx, ny := v.NX, v.NY
+	for z := 0; z < v.NZ; z++ {
+		bzOff := (z / MacroBlock) * bx * by
+		for y := 0; y < ny; y++ {
+			row := (z*ny + y) * nx
+			bRow := bzOff + (y/MacroBlock)*bx
+			for x := 0; x < nx; x++ {
+				val := data[row+x]
+				b := bRow + x/MacroBlock
+				if val != val {
+					nan[b] = true
+					continue
+				}
+				if !first[b] {
+					first[b] = true
+					m.Min[b], m.Max[b] = val, val
+					continue
+				}
+				if val < m.Min[b] {
+					m.Min[b] = val
+				}
+				if val > m.Max[b] {
+					m.Max[b] = val
+				}
+			}
+		}
+	}
+	for b := range nan {
+		if nan[b] || !first[b] {
+			m.Min[b], m.Max[b] = 1, -1 // inverted: never skipped
+		}
+	}
+	return m
+}
+
+// Range returns the value range of the block containing voxel (x, y, z).
+// An inverted range (min > max) marks a block that must not be skipped.
+func (m *Macrocells) Range(x, y, z int) (min, max float32) {
+	b := x/MacroBlock + (y/MacroBlock)*m.BX + (z/MacroBlock)*m.BX*m.BY
+	return m.Min[b], m.Max[b]
+}

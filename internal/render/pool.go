@@ -1,0 +1,238 @@
+package render
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"visapult/internal/volume"
+)
+
+// Pool fans one slab render across a bounded set of worker goroutines by
+// splitting the image plane into row-tiles. It is designed to be shared: the
+// back end owns one pool and every PE submits to it, so concurrent PEs never
+// oversubscribe the machine. Output is deterministic — tiles are disjoint
+// row ranges of one image, so the assembled pixels are independent of
+// scheduling order — and per-tile RenderStats are merged atomically.
+//
+// The submitting goroutine always renders tiles itself alongside the
+// workers (work donation), so a render completes even when every pool
+// worker is busy with other slabs; the pool bounds parallelism, it is never
+// a deadlock point.
+type Pool struct {
+	workers int
+	tasks   chan *renderJob
+	wg      sync.WaitGroup // joins the worker goroutines on Close
+	closed  atomic.Bool
+}
+
+// Package-level occupancy gauges, aggregated across all pools so the daemons
+// can expose render-pool occupancy on /metrics without threading pool
+// handles through every layer.
+var (
+	poolLiveWorkers atomic.Int64
+	poolBusyWorkers atomic.Int64
+	poolQueuedJobs  atomic.Int64
+	poolFrames      atomic.Int64
+	poolTiles       atomic.Int64
+)
+
+// PoolStats is a snapshot of render-pool occupancy across the process.
+type PoolStats struct {
+	// Workers is the number of live pool worker goroutines.
+	Workers int64 `json:"workers"`
+	// Busy is how many of them are currently rendering tiles.
+	Busy int64 `json:"busy"`
+	// Queued is the number of submitted slab renders not yet picked up by
+	// any worker (the submitter may still be draining them itself).
+	Queued int64 `json:"queued"`
+	// Frames and Tiles count completed slab renders and rendered tiles.
+	Frames int64 `json:"frames"`
+	Tiles  int64 `json:"tiles"`
+}
+
+// GlobalPoolStats returns process-wide render-pool occupancy.
+func GlobalPoolStats() PoolStats {
+	return PoolStats{
+		Workers: poolLiveWorkers.Load(),
+		Busy:    poolBusyWorkers.Load(),
+		Queued:  poolQueuedJobs.Load(),
+		Frames:  poolFrames.Load(),
+		Tiles:   poolTiles.Load(),
+	}
+}
+
+// renderJob is one slab render in flight: immutable inputs plus the shared
+// tile cursor and stat accumulators the participants race on (atomically).
+type renderJob struct {
+	vol   *volume.Volume
+	geom  slabGeom
+	lut   *LUT
+	cells *Macrocells
+	img   *Image
+	ctx   context.Context
+
+	rowsPerTile int
+	tiles       int
+	next        atomic.Int64 // next unclaimed tile index
+	cancelled   atomic.Bool
+
+	rays, samples, nonEmpty, early, skipped atomic.Int64
+
+	// helpers joins the pool workers that picked this job up; the submitter
+	// waits on it after draining its own share of tiles.
+	helpers sync.WaitGroup
+}
+
+// jobFreeList recycles renderJob structs so steady-state submission
+// allocates nothing per frame.
+var jobFreeList = sync.Pool{New: func() any { return new(renderJob) }}
+
+// NewPool starts a render pool with min(GOMAXPROCS, workers) goroutines
+// (workers <= 0 selects GOMAXPROCS). Close must be called exactly once,
+// after every in-flight RenderSlab call has returned.
+func NewPool(workers int) *Pool {
+	maxp := runtime.GOMAXPROCS(0)
+	if workers <= 0 || workers > maxp {
+		workers = maxp
+	}
+	p := &Pool{workers: workers, tasks: make(chan *renderJob, workers)}
+	p.wg.Add(workers)
+	poolLiveWorkers.Add(int64(workers))
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer p.wg.Done()
+			// Lifecycle: ranges until Close closes tasks; queued jobs are
+			// drained before exit, so a submitted job is never orphaned.
+			for job := range p.tasks {
+				poolQueuedJobs.Add(-1)
+				poolBusyWorkers.Add(1)
+				job.drain()
+				poolBusyWorkers.Add(-1)
+				job.helpers.Done()
+			}
+		}()
+	}
+	return p
+}
+
+// Workers returns the pool's goroutine count.
+func (p *Pool) Workers() int { return p.workers }
+
+// Close stops the worker goroutines and waits for them to exit. No
+// RenderSlab call may be in flight or issued afterwards.
+func (p *Pool) Close() {
+	if p.closed.Swap(true) {
+		return
+	}
+	close(p.tasks)
+	p.wg.Wait()
+	poolLiveWorkers.Add(-int64(p.workers))
+}
+
+// RenderSlab renders the region of v viewed along axis into img (dimensions
+// must equal imagePlaneDims(r, axis); pixels must be zero — use GetImage),
+// fanning row-tiles across the pool workers plus the calling goroutine. The
+// pixels are bit-identical to the serial RenderSlabLUT call with the same
+// arguments, whatever the worker count or schedule.
+//
+// Cancellation is checked between tiles: when ctx is done the remaining
+// tiles are abandoned and the context error is returned; the image contents
+// are then undefined and must not be shipped (but may still be PutImage'd).
+func (p *Pool) RenderSlab(ctx context.Context, v *volume.Volume, r volume.Region, lut *LUT, cells *Macrocells, axis volume.Axis, img *Image) (RenderStats, error) {
+	start := time.Now()
+	g := slabGeometry(v, r, axis, cells)
+	if w, h := imagePlaneDims(r, axis); img.W != w || img.H != h {
+		return RenderStats{}, fmt.Errorf("render: pool image is %dx%d, slab needs %dx%d", img.W, img.H, w, h)
+	}
+	job := jobFreeList.Get().(*renderJob)
+	job.vol, job.geom, job.lut, job.cells, job.img, job.ctx = v, g, lut, cells, img, ctx
+	job.next.Store(0)
+	job.cancelled.Store(false)
+	job.rays.Store(0)
+	job.samples.Store(0)
+	job.nonEmpty.Store(0)
+	job.early.Store(0)
+	job.skipped.Store(0)
+
+	// Aim for a few tiles per participant so claim-order imbalance (rays
+	// that early-terminate are cheaper) evens out, with at least one row per
+	// tile.
+	job.rowsPerTile = g.dv / (4 * p.workers)
+	if job.rowsPerTile < 1 {
+		job.rowsPerTile = 1
+	}
+	job.tiles = (g.dv + job.rowsPerTile - 1) / job.rowsPerTile
+
+	// Offer the job to up to workers-many helpers without blocking: if the
+	// pool is saturated by other slabs, the submitter just renders alone.
+	// helpers.Add precedes each send so Done can never race ahead of it.
+	for offered := 0; offered < p.workers && offered+1 < job.tiles; offered++ {
+		job.helpers.Add(1)
+		select {
+		case p.tasks <- job:
+			poolQueuedJobs.Add(1)
+		default:
+			job.helpers.Done()
+			offered = p.workers // stop offering
+		}
+	}
+
+	job.drain() // work donation: the submitter renders too
+	job.helpers.Wait()
+
+	var err error
+	if job.cancelled.Load() {
+		err = ctx.Err()
+		if err == nil {
+			err = context.Canceled
+		}
+	}
+	st := RenderStats{
+		Rays:             int(job.rays.Load()),
+		Samples:          int(job.samples.Load()),
+		NonEmptySamples:  int(job.nonEmpty.Load()),
+		EarlyTerminated:  int(job.early.Load()),
+		TilesSkipped:     int(job.skipped.Load()),
+		OutputPixelBytes: img.Bytes(),
+		WallTime:         time.Since(start),
+	}
+	job.vol, job.lut, job.cells, job.img, job.ctx = nil, nil, nil, nil, nil
+	jobFreeList.Put(job)
+	if err == nil {
+		poolFrames.Add(1)
+	}
+	return st, err
+}
+
+// drain claims and renders tiles until none remain or the job's context is
+// cancelled. Stats accumulate in a tile-local RenderStats and merge once per
+// tile, keeping the per-sample path free of atomics.
+func (j *renderJob) drain() {
+	for {
+		t := int(j.next.Add(1)) - 1
+		if t >= j.tiles {
+			return
+		}
+		if j.ctx != nil && j.ctx.Err() != nil {
+			j.cancelled.Store(true)
+			return
+		}
+		v0 := t * j.rowsPerTile
+		v1 := v0 + j.rowsPerTile
+		if v1 > j.geom.dv {
+			v1 = j.geom.dv
+		}
+		var st RenderStats
+		renderRowsLUT(j.vol, j.geom, j.lut, j.cells, j.img, v0, v1, &st)
+		j.rays.Add(int64(st.Rays))
+		j.samples.Add(int64(st.Samples))
+		j.nonEmpty.Add(int64(st.NonEmptySamples))
+		j.early.Add(int64(st.EarlyTerminated))
+		j.skipped.Add(int64(st.TilesSkipped))
+		poolTiles.Add(1)
+	}
+}

@@ -2,6 +2,7 @@ package render
 
 import (
 	"math"
+	"time"
 
 	"visapult/internal/volume"
 )
@@ -27,14 +28,44 @@ func imagePlaneDims(r volume.Region, axis volume.Axis) (w, h int) {
 	}
 }
 
+// PlaneDims returns the image width and height a render of region r viewed
+// along axis produces — the dimensions to request from GetImage when
+// rendering through Pool.RenderSlab or RenderSlabLUTInto.
+func PlaneDims(r volume.Region, axis volume.Axis) (w, h int) {
+	return imagePlaneDims(r, axis)
+}
+
 // RenderStats reports the work a rendering call performed; experiment E12
 // uses it to compare decomposition strategies.
+//
+// The scalar kernels count every marched voxel in Samples; the LUT kernels
+// count only the samples they actually evaluated, with the blocks removed by
+// empty-space skipping reported in TilesSkipped instead — so Samples +
+// (skipped voxels) in the optimized path corresponds to the scalar Samples.
 type RenderStats struct {
 	Rays             int
 	Samples          int
 	NonEmptySamples  int
 	EarlyTerminated  int
 	OutputPixelBytes int64
+	// TilesSkipped counts the per-ray macrocell segments dropped by
+	// empty-space skipping (always zero on the scalar paths).
+	TilesSkipped int
+	// WallTime is the elapsed wall-clock duration of the call, set by the
+	// LUT/pool entry points (zero on the scalar paths).
+	WallTime time.Duration
+}
+
+// add accumulates other into st (WallTime sums; callers that want the
+// per-slab maximum keep their own).
+func (st *RenderStats) add(other RenderStats) {
+	st.Rays += other.Rays
+	st.Samples += other.Samples
+	st.NonEmptySamples += other.NonEmptySamples
+	st.EarlyTerminated += other.EarlyTerminated
+	st.OutputPixelBytes += other.OutputPixelBytes
+	st.TilesSkipped += other.TilesSkipped
+	st.WallTime += other.WallTime
 }
 
 // RenderSlab volume-renders the given region of v viewed along axis, using
@@ -101,6 +132,224 @@ func RenderSlab(v *volume.Volume, r volume.Region, tf TransferFunction, axis vol
 		}
 	}
 	return img, st
+}
+
+// slabGeom binds one (volume, region, axis) render to flat-array iteration:
+// precomputed strides into Volume.Data plus the absolute origin coordinates
+// needed for macrocell lookups. Binding the axis switch here — once per slab,
+// not once per sample — is what makes the LUT march loops monomorphic.
+type slabGeom struct {
+	du, dv, dd int // extents along image-u, image-v and depth
+	base       int // linear index of the region origin voxel
+	su, sv, sd int // Data strides per unit step of u, v, depth
+	// Absolute volume coordinates of the region origin along the image-u,
+	// image-v and depth axes, for locating macrocell blocks.
+	uOrg, vOrg, dOrg int
+	// Macrocell-grid strides per block step along u, v and depth.
+	ubs, vbs, dbs int
+}
+
+// slabGeometry maps a region viewed along axis onto strided iteration over
+// v.Data. The volume is X-fastest row-major, so the depth axis of an AxisX
+// view marches with stride 1 (memory-contiguous); AxisY marches with stride
+// NX and AxisZ with stride NX*NY. Block strides are filled against cells'
+// grid when non-nil.
+func slabGeometry(v *volume.Volume, r volume.Region, axis volume.Axis, cells *Macrocells) slabGeom {
+	sx, sy, sz := 1, v.NX, v.NX*v.NY
+	g := slabGeom{base: r.X0 + r.Y0*sy + r.Z0*sz}
+	bx, bxy := 0, 0
+	if cells != nil {
+		bx, bxy = cells.BX, cells.BX*cells.BY
+	}
+	switch axis {
+	case volume.AxisX: // image-u = y, image-v = z, depth = x (stride 1)
+		g.du, g.dv, g.dd = r.Y1-r.Y0, r.Z1-r.Z0, r.X1-r.X0
+		g.su, g.sv, g.sd = sy, sz, sx
+		g.uOrg, g.vOrg, g.dOrg = r.Y0, r.Z0, r.X0
+		g.ubs, g.vbs, g.dbs = bx, bxy, 1
+	case volume.AxisY: // image-u = x, image-v = z, depth = y
+		g.du, g.dv, g.dd = r.X1-r.X0, r.Z1-r.Z0, r.Y1-r.Y0
+		g.su, g.sv, g.sd = sx, sz, sy
+		g.uOrg, g.vOrg, g.dOrg = r.X0, r.Z0, r.Y0
+		g.ubs, g.vbs, g.dbs = 1, bxy, bx
+	default: // AxisZ: image-u = x, image-v = y, depth = z
+		g.du, g.dv, g.dd = r.X1-r.X0, r.Y1-r.Y0, r.Z1-r.Z0
+		g.su, g.sv, g.sd = sx, sy, sz
+		g.uOrg, g.vOrg, g.dOrg = r.X0, r.Y0, r.Z0
+		g.ubs, g.vbs, g.dbs = 1, bx, bxy
+	}
+	return g
+}
+
+// marchRay1 is the stride-1 march: the depth axis is memory-contiguous
+// (AxisX views), so the ray reads data[idx0 : idx0+dd] sequentially. It
+// accumulates with the exact expressions of the scalar kernel — the alpha
+// test, the (1-accA)*sa*c products and the 0.98 cutoff — on LUT entries, so
+// its output is bit-identical to RenderSlab driven by the same LUT.
+func marchRay1(data []float32, lut *LUT, idx0, dd int, st *RenderStats) (accR, accG, accB, accA float32) {
+	const opacityCutoff = 0.98
+	ray := data[idx0 : idx0+dd]
+	for _, val := range ray {
+		st.Samples++
+		ti := lutIndex(val) * 4
+		sa := lut.Tab[ti+3]
+		if sa <= 0 {
+			continue
+		}
+		st.NonEmptySamples++
+		accR += (1 - accA) * sa * lut.Tab[ti]
+		accG += (1 - accA) * sa * lut.Tab[ti+1]
+		accB += (1 - accA) * sa * lut.Tab[ti+2]
+		accA += (1 - accA) * sa
+		if accA >= opacityCutoff {
+			st.EarlyTerminated++
+			break
+		}
+	}
+	return
+}
+
+// marchRayN is the strided march for AxisY/AxisZ views (depth stride NX or
+// NX*NY). Same accumulation contract as marchRay1.
+func marchRayN(data []float32, lut *LUT, idx0, sd, dd int, st *RenderStats) (accR, accG, accB, accA float32) {
+	const opacityCutoff = 0.98
+	idx := idx0
+	for d := 0; d < dd; d++ {
+		st.Samples++
+		val := data[idx]
+		idx += sd
+		ti := lutIndex(val) * 4
+		sa := lut.Tab[ti+3]
+		if sa <= 0 {
+			continue
+		}
+		st.NonEmptySamples++
+		accR += (1 - accA) * sa * lut.Tab[ti]
+		accG += (1 - accA) * sa * lut.Tab[ti+1]
+		accB += (1 - accA) * sa * lut.Tab[ti+2]
+		accA += (1 - accA) * sa
+		if accA >= opacityCutoff {
+			st.EarlyTerminated++
+			break
+		}
+	}
+	return
+}
+
+// renderRowsLUT renders image rows [v0, v1) of the slab bound by g into img,
+// merging the tile's work counters into st. With cells non-nil each ray walks
+// its macrocell segments and skips those whose value range is transparent
+// under the LUT: every sample in a skipped segment would have failed the
+// sa <= 0 test anyway, so skipping changes no pixel — only the Samples /
+// TilesSkipped accounting. Rays resolve their block row once per ray; only
+// the depth block index advances inside the march.
+func renderRowsLUT(v *volume.Volume, g slabGeom, lut *LUT, cells *Macrocells, img *Image, v0, v1 int, st *RenderStats) {
+	data := v.Data
+	const opacityCutoff = 0.98
+	for vv := v0; vv < v1; vv++ {
+		rowIdx := g.base + vv*g.sv
+		vBlock := ((g.vOrg + vv) / MacroBlock) * g.vbs
+		for u := 0; u < g.du; u++ {
+			st.Rays++
+			idx0 := rowIdx + u*g.su
+			var accR, accG, accB, accA float32
+			if cells == nil {
+				if g.sd == 1 {
+					accR, accG, accB, accA = marchRay1(data, lut, idx0, g.dd, st)
+				} else {
+					accR, accG, accB, accA = marchRayN(data, lut, idx0, g.sd, g.dd, st)
+				}
+			} else {
+				blockRow := vBlock + ((g.uOrg+u)/MacroBlock)*g.ubs
+				d := 0
+			ray:
+				for d < g.dd {
+					// Current absolute depth coordinate and the end of its block.
+					dc := g.dOrg + d
+					dNext := d + MacroBlock - dc%MacroBlock
+					if dNext > g.dd {
+						dNext = g.dd
+					}
+					b := blockRow + (dc/MacroBlock)*g.dbs
+					if lo, hi := cells.Min[b], cells.Max[b]; lo <= hi && lut.RangeEmpty(lo, hi) {
+						st.TilesSkipped++
+						d = dNext
+						continue
+					}
+					if g.sd == 1 {
+						seg := data[idx0+d : idx0+dNext]
+						for _, val := range seg {
+							st.Samples++
+							ti := lutIndex(val) * 4
+							sa := lut.Tab[ti+3]
+							if sa <= 0 {
+								continue
+							}
+							st.NonEmptySamples++
+							accR += (1 - accA) * sa * lut.Tab[ti]
+							accG += (1 - accA) * sa * lut.Tab[ti+1]
+							accB += (1 - accA) * sa * lut.Tab[ti+2]
+							accA += (1 - accA) * sa
+							if accA >= opacityCutoff {
+								st.EarlyTerminated++
+								break ray
+							}
+						}
+					} else {
+						idx := idx0 + d*g.sd
+						for ; d < dNext; d++ {
+							st.Samples++
+							val := data[idx]
+							idx += g.sd
+							ti := lutIndex(val) * 4
+							sa := lut.Tab[ti+3]
+							if sa <= 0 {
+								continue
+							}
+							st.NonEmptySamples++
+							accR += (1 - accA) * sa * lut.Tab[ti]
+							accG += (1 - accA) * sa * lut.Tab[ti+1]
+							accB += (1 - accA) * sa * lut.Tab[ti+2]
+							accA += (1 - accA) * sa
+							if accA >= opacityCutoff {
+								st.EarlyTerminated++
+								break ray
+							}
+						}
+					}
+					d = dNext
+				}
+			}
+			if accA > 0 {
+				img.Set(u, vv, accR/accA, accG/accA, accB/accA, accA)
+			}
+		}
+	}
+}
+
+// RenderSlabLUT is the single-goroutine optimized raycaster: the LUT replaces
+// the per-sample transfer-function call, the march loops index Volume.Data by
+// precomputed stride, and a non-nil cells grid enables empty-space skipping.
+// Its pixels are bit-identical to RenderSlab(v, r, lut, axis); Samples and
+// TilesSkipped account for skipped work as described on RenderStats.
+func RenderSlabLUT(v *volume.Volume, r volume.Region, lut *LUT, cells *Macrocells, axis volume.Axis) (*Image, RenderStats) {
+	w, h := imagePlaneDims(r, axis)
+	img := NewImage(w, h)
+	st := RenderSlabLUTInto(v, r, lut, cells, axis, img)
+	return img, st
+}
+
+// RenderSlabLUTInto renders into a caller-provided image (typically from
+// GetImage) whose dimensions must match imagePlaneDims(r, axis) and whose
+// pixels must be zero. It is the allocation-free core of the optimized path.
+func RenderSlabLUTInto(v *volume.Volume, r volume.Region, lut *LUT, cells *Macrocells, axis volume.Axis, img *Image) RenderStats {
+	start := time.Now()
+	g := slabGeometry(v, r, axis, cells)
+	var st RenderStats
+	renderRowsLUT(v, g, lut, cells, img, 0, g.dv, &st)
+	st.OutputPixelBytes = img.Bytes()
+	st.WallTime = time.Since(start)
+	return st
 }
 
 // RenderSlabs renders each region of a slab decomposition and returns the

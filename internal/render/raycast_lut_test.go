@@ -1,0 +1,458 @@
+package render
+
+import (
+	"context"
+	"math"
+	"sync"
+	"testing"
+
+	"visapult/internal/datagen"
+	"visapult/internal/volume"
+)
+
+// equivVolume is large enough to span several macrocells on every axis with
+// odd remainders, so block-boundary arithmetic is exercised.
+func equivVolume() *volume.Volume {
+	gen := datagen.NewCombustion(datagen.CombustionConfig{NX: 41, NY: 35, NZ: 29, Timesteps: 2, Seed: 7})
+	return gen.Generate(1)
+}
+
+// equivTFs returns the transfer functions the equivalence suite sweeps: the
+// branchy default, a trivially smooth one, a piecewise table, and an
+// all-transparent function (skipping should remove everything).
+func equivTFs() map[string]TransferFunction {
+	return map[string]TransferFunction{
+		"fire":      DefaultCombustionTF(),
+		"grayscale": Grayscale{},
+		"piecewise": Piecewise{Points: []ControlPoint{
+			{Value: 0.1, A: 0},
+			{Value: 0.3, R: 0.2, G: 0.4, B: 0.9, A: 0.35},
+			{Value: 0.8, R: 1, G: 0.6, B: 0.1, A: 0.9},
+		}},
+		"transparent": Piecewise{Points: []ControlPoint{{Value: 0, A: 0}, {Value: 1, A: 0}}},
+	}
+}
+
+func equivRegions(v *volume.Volume) map[string]volume.Region {
+	return map[string]volume.Region{
+		"full":     {X1: v.NX, Y1: v.NY, Z1: v.NZ},
+		"sub-odd":  {X0: 3, X1: v.NX - 2, Y0: 1, Y1: v.NY - 4, Z0: 5, Z1: v.NZ - 1},
+		"size-one": {X0: 17, X1: 18, Y0: 16, Y1: 17, Z0: 15, Z1: 16},
+		"thin":     {X1: v.NX, Y1: v.NY, Z0: v.NZ / 2, Z1: v.NZ/2 + 1},
+	}
+}
+
+func samePix(t *testing.T, want, got *Image, label string) {
+	t.Helper()
+	if want.W != got.W || want.H != got.H {
+		t.Fatalf("%s: size %dx%d vs %dx%d", label, want.W, want.H, got.W, got.H)
+	}
+	for i := range want.Pix {
+		if want.Pix[i] != got.Pix[i] {
+			t.Fatalf("%s: pixel float %d differs: %v vs %v", label, i, want.Pix[i], got.Pix[i])
+		}
+	}
+}
+
+// TestRenderSlabLUTEquivalence is the golden suite of the optimized kernel:
+// for every axis, region and transfer function, the LUT path (with and
+// without empty-space skipping) must reproduce the scalar RenderSlab driven
+// by the same LUT bit-for-bit.
+func TestRenderSlabLUTEquivalence(t *testing.T) {
+	v := equivVolume()
+	cells := BuildMacrocells(v)
+	axes := map[string]volume.Axis{"x": volume.AxisX, "y": volume.AxisY, "z": volume.AxisZ}
+	for tfName, tf := range equivTFs() {
+		lut := BuildLUT(tf)
+		for rName, r := range equivRegions(v) {
+			for aName, axis := range axes {
+				label := tfName + "/" + rName + "/" + aName
+				want, wantSt := RenderSlab(v, r, lut, axis)
+				got, gotSt := RenderSlabLUT(v, r, lut, nil, axis)
+				samePix(t, want, got, label+"/no-skip")
+				if wantSt.Rays != gotSt.Rays || wantSt.Samples != gotSt.Samples ||
+					wantSt.NonEmptySamples != gotSt.NonEmptySamples ||
+					wantSt.EarlyTerminated != gotSt.EarlyTerminated {
+					t.Errorf("%s: stats diverge without skipping: %+v vs %+v", label, wantSt, gotSt)
+				}
+				skip, skipSt := RenderSlabLUT(v, r, lut, cells, axis)
+				samePix(t, want, skip, label+"/skip")
+				if skipSt.NonEmptySamples != wantSt.NonEmptySamples {
+					t.Errorf("%s: skipping changed NonEmptySamples: %d vs %d",
+						label, skipSt.NonEmptySamples, wantSt.NonEmptySamples)
+				}
+			}
+		}
+	}
+}
+
+// TestRenderSlabLUTEarlyTermination forces the 0.98 cutoff and checks the
+// optimized path terminates rays at the identical sample.
+func TestRenderSlabLUTEarlyTermination(t *testing.T) {
+	v, err := volume.New(40, 24, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range v.Data {
+		v.Data[i] = 0.9
+	}
+	lut := BuildLUT(Piecewise{Points: []ControlPoint{{Value: 0, R: 1, A: 0.7}, {Value: 1, R: 1, A: 0.7}}})
+	cells := BuildMacrocells(v)
+	full := volume.Region{X1: v.NX, Y1: v.NY, Z1: v.NZ}
+	for _, axis := range []volume.Axis{volume.AxisX, volume.AxisY, volume.AxisZ} {
+		want, wantSt := RenderSlab(v, full, lut, axis)
+		if wantSt.EarlyTerminated != wantSt.Rays {
+			t.Fatalf("axis %v: oracle did not early-terminate every ray", axis)
+		}
+		got, gotSt := RenderSlabLUT(v, full, lut, cells, axis)
+		samePix(t, want, got, "early")
+		if gotSt.EarlyTerminated != wantSt.EarlyTerminated || gotSt.Samples != wantSt.Samples {
+			t.Errorf("axis %v: termination stats %+v vs %+v", axis, gotSt, wantSt)
+		}
+	}
+}
+
+// TestRenderSlabLUTAllTransparentSkipsEverything checks the degenerate
+// volume: when the LUT maps the whole value range to zero opacity, skipping
+// removes every sample and the image stays fully transparent.
+func TestRenderSlabLUTAllTransparentSkipsEverything(t *testing.T) {
+	v := equivVolume()
+	cells := BuildMacrocells(v)
+	lut := BuildLUT(Piecewise{Points: []ControlPoint{{Value: 0, A: 0}, {Value: 1, A: 0}}})
+	full := volume.Region{X1: v.NX, Y1: v.NY, Z1: v.NZ}
+	img, st := RenderSlabLUT(v, full, lut, cells, volume.AxisZ)
+	for i, p := range img.Pix {
+		if p != 0 {
+			t.Fatalf("pixel float %d = %v on all-transparent volume", i, p)
+		}
+	}
+	if st.Samples != 0 || st.TilesSkipped == 0 {
+		t.Errorf("expected all samples skipped, got %+v", st)
+	}
+}
+
+// TestRenderSlabLUTNaNBlocksNeverSkipped poisons part of the volume with NaN
+// and checks the optimized path still matches the oracle exactly: NaN blocks
+// record inverted ranges and always march.
+func TestRenderSlabLUTNaNBlocksNeverSkipped(t *testing.T) {
+	v := equivVolume()
+	nan := float32(math.NaN())
+	for i := 0; i < len(v.Data); i += 97 {
+		v.Data[i] = nan
+	}
+	cells := BuildMacrocells(v)
+	lut := BuildLUT(DefaultCombustionTF())
+	full := volume.Region{X1: v.NX, Y1: v.NY, Z1: v.NZ}
+	for _, axis := range []volume.Axis{volume.AxisX, volume.AxisY, volume.AxisZ} {
+		want, _ := RenderSlab(v, full, lut, axis)
+		got, _ := RenderSlabLUT(v, full, lut, cells, axis)
+		samePix(t, want, got, "nan")
+	}
+}
+
+// TestPoolEquivalence proves the tiled parallel path is deterministic and
+// bit-identical to the serial kernels at several worker counts.
+func TestPoolEquivalence(t *testing.T) {
+	v := equivVolume()
+	cells := BuildMacrocells(v)
+	lut := BuildLUT(DefaultCombustionTF())
+	full := volume.Region{X1: v.NX, Y1: v.NY, Z1: v.NZ}
+	for _, workers := range []int{1, 2, 4} {
+		p := NewPool(workers)
+		for _, axis := range []volume.Axis{volume.AxisX, volume.AxisY, volume.AxisZ} {
+			want, wantSt := RenderSlab(v, full, lut, axis)
+			img := GetImage(imagePlaneDims(full, axis))
+			st, err := p.RenderSlab(context.Background(), v, full, lut, cells, axis, img)
+			if err != nil {
+				t.Fatalf("workers=%d axis=%v: %v", workers, axis, err)
+			}
+			samePix(t, want, img, "pool")
+			if st.Rays != wantSt.Rays || st.NonEmptySamples != wantSt.NonEmptySamples {
+				t.Errorf("workers=%d axis=%v: stats %+v vs %+v", workers, axis, st, wantSt)
+			}
+			PutImage(img)
+		}
+		p.Close()
+	}
+}
+
+// TestPoolSharedAcrossPEs races several "processing elements" over one pool,
+// the way the back end uses it; run under -race this is the data-race proof.
+func TestPoolSharedAcrossPEs(t *testing.T) {
+	v := equivVolume()
+	cells := BuildMacrocells(v)
+	lut := BuildLUT(DefaultCombustionTF())
+	full := volume.Region{X1: v.NX, Y1: v.NY, Z1: v.NZ}
+	want, _ := RenderSlab(v, full, lut, volume.AxisZ)
+	p := NewPool(2)
+	defer p.Close()
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for pe := 0; pe < 8; pe++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for frame := 0; frame < 3; frame++ {
+				img := GetImage(imagePlaneDims(full, volume.AxisZ))
+				_, err := p.RenderSlab(context.Background(), v, full, lut, cells, volume.AxisZ, img)
+				if err != nil {
+					errs <- err
+					return
+				}
+				for i := range want.Pix {
+					if want.Pix[i] != img.Pix[i] {
+						t.Errorf("pe image diverged at float %d", i)
+						break
+					}
+				}
+				PutImage(img)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestPoolCancelMidFrame submits a render with an already-expiring context
+// and checks the pool reports the context error instead of a full frame.
+func TestPoolCancelMidFrame(t *testing.T) {
+	v := equivVolume()
+	lut := BuildLUT(DefaultCombustionTF())
+	full := volume.Region{X1: v.NX, Y1: v.NY, Z1: v.NZ}
+	p := NewPool(2)
+	defer p.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	img := GetImage(imagePlaneDims(full, volume.AxisZ))
+	defer PutImage(img)
+	if _, err := p.RenderSlab(ctx, v, full, lut, nil, volume.AxisZ, img); err == nil {
+		t.Fatal("cancelled render returned nil error")
+	}
+}
+
+// TestPoolImageSizeMismatch checks the defensive dimension guard.
+func TestPoolImageSizeMismatch(t *testing.T) {
+	v := equivVolume()
+	lut := BuildLUT(DefaultCombustionTF())
+	full := volume.Region{X1: v.NX, Y1: v.NY, Z1: v.NZ}
+	p := NewPool(1)
+	defer p.Close()
+	img := NewImage(3, 3)
+	if _, err := p.RenderSlab(context.Background(), v, full, lut, nil, volume.AxisZ, img); err == nil {
+		t.Fatal("mismatched image accepted")
+	}
+}
+
+// indirectTF hides a Piecewise behind another type so BuildLUT takes the
+// generic per-entry path, giving a reference table for the segment walk.
+type indirectTF struct{ pw Piecewise }
+
+func (i indirectTF) Map(v float32) (r, g, b, a float32) { return i.pw.Map(v) }
+
+// TestLUTPiecewiseSegmentWalkMatchesGeneric pins that the O(points + size)
+// segment walk fills exactly the table the per-entry evaluation would.
+func TestLUTPiecewiseSegmentWalkMatchesGeneric(t *testing.T) {
+	cases := map[string]Piecewise{
+		"ramp": {Points: []ControlPoint{{Value: 0, A: 0}, {Value: 1, R: 1, A: 1}}},
+		"steps": {Points: []ControlPoint{
+			{Value: 0.2, R: 0.1, A: 0.1},
+			{Value: 0.2001, R: 0.9, A: 0.8},
+			{Value: 0.7, B: 1, A: 0.3},
+		}},
+		"interior": {Points: []ControlPoint{{Value: 0.4, G: 1, A: 0.5}, {Value: 0.6, R: 1, A: 0.9}}},
+		"single":   {Points: []ControlPoint{{Value: 0.5, R: 1, G: 1, B: 1, A: 1}}},
+		"empty":    {},
+	}
+	for name, pw := range cases {
+		fast := BuildLUT(pw)
+		ref := BuildLUT(indirectTF{pw})
+		if fast.Tab != ref.Tab {
+			for i := range fast.Tab {
+				if fast.Tab[i] != ref.Tab[i] {
+					t.Fatalf("%s: table entry %d: %v vs %v", name, i, fast.Tab[i], ref.Tab[i])
+				}
+			}
+		}
+		if fast.opaque != ref.opaque {
+			t.Errorf("%s: opacity prefix counts differ", name)
+		}
+	}
+}
+
+// TestLUTMapMatchesLookup checks LUT.Map against direct quantization of the
+// source function, including the NaN and out-of-range clamps.
+func TestLUTMapMatchesLookup(t *testing.T) {
+	lut := BuildLUT(DefaultCombustionTF())
+	values := []float32{-1, 0, 0.25, 0.5, 0.999, 1, 2, float32(math.NaN())}
+	for _, v := range values {
+		r, g, b, a := lut.Map(v)
+		i := lutIndex(v) * 4
+		if r != lut.Tab[i] || g != lut.Tab[i+1] || b != lut.Tab[i+2] || a != lut.Tab[i+3] {
+			t.Errorf("Map(%v) disagrees with table entry", v)
+		}
+	}
+	if lutIndex(float32(math.NaN())) != 0 || lutIndex(-5) != 0 || lutIndex(7) != LUTSize-1 {
+		t.Error("lutIndex clamp broken")
+	}
+}
+
+// TestLUTRangeEmpty pins the O(1) range classification against brute force.
+func TestLUTRangeEmpty(t *testing.T) {
+	lut := BuildLUT(DefaultCombustionTF()) // transparent below its threshold
+	cases := []struct{ lo, hi float32 }{
+		{0, 0.01}, {0, 0.04}, {0.02, 0.03}, {0, 0.5}, {0.1, 0.9}, {0.9, 1},
+	}
+	for _, c := range cases {
+		want := true
+		for i := lutIndex(c.lo); i <= lutIndex(c.hi); i++ {
+			if lut.Tab[i*4+3] > 0 {
+				want = false
+				break
+			}
+		}
+		if got := lut.RangeEmpty(c.lo, c.hi); got != want {
+			t.Errorf("RangeEmpty(%v, %v) = %v, brute force %v", c.lo, c.hi, got, want)
+		}
+	}
+	if lut.RangeEmpty(1, -1) {
+		t.Error("inverted (NaN-poisoned) range must never be skippable")
+	}
+}
+
+// TestMacrocellRanges checks block ranges against brute force on an odd-size
+// volume, including the NaN poisoning rule.
+func TestMacrocellRanges(t *testing.T) {
+	v := equivVolume()
+	v.Data[v.Index(1, 2, 3)] = float32(math.NaN())
+	m := BuildMacrocells(v)
+	for bz := 0; bz < m.BZ; bz++ {
+		for by := 0; by < m.BY; by++ {
+			for bx := 0; bx < m.BX; bx++ {
+				lo, hi := float32(math.Inf(1)), float32(math.Inf(-1))
+				sawNaN := false
+				for z := bz * MacroBlock; z < (bz+1)*MacroBlock && z < v.NZ; z++ {
+					for y := by * MacroBlock; y < (by+1)*MacroBlock && y < v.NY; y++ {
+						for x := bx * MacroBlock; x < (bx+1)*MacroBlock && x < v.NX; x++ {
+							val := v.At(x, y, z)
+							if val != val {
+								sawNaN = true
+								continue
+							}
+							if val < lo {
+								lo = val
+							}
+							if val > hi {
+								hi = val
+							}
+						}
+					}
+				}
+				gotLo, gotHi := m.Range(bx*MacroBlock, by*MacroBlock, bz*MacroBlock)
+				if sawNaN {
+					if gotLo <= gotHi {
+						t.Fatalf("block %d,%d,%d: NaN block not poisoned: [%v, %v]", bx, by, bz, gotLo, gotHi)
+					}
+				} else if gotLo != lo || gotHi != hi {
+					t.Fatalf("block %d,%d,%d: range [%v, %v], want [%v, %v]", bx, by, bz, gotLo, gotHi, lo, hi)
+				}
+			}
+		}
+	}
+}
+
+// linearPiecewiseMap is the historical O(points) scan Piecewise.Map replaced
+// with a binary search, kept verbatim as the reference semantics.
+func linearPiecewiseMap(t Piecewise, v float32) (r, g, b, a float32) {
+	pts := t.Points
+	if len(pts) == 0 {
+		return 0, 0, 0, 0
+	}
+	v = clamp01(v)
+	if v <= pts[0].Value {
+		p := pts[0]
+		return p.R, p.G, p.B, p.A
+	}
+	for i := 1; i < len(pts); i++ {
+		if v <= pts[i].Value {
+			p0, p1 := pts[i-1], pts[i]
+			span := p1.Value - p0.Value
+			var f float32
+			if span > 0 {
+				f = (v - p0.Value) / span
+			}
+			return p0.R + f*(p1.R-p0.R),
+				p0.G + f*(p1.G-p0.G),
+				p0.B + f*(p1.B-p0.B),
+				p0.A + f*(p1.A-p0.A)
+		}
+	}
+	p := pts[len(pts)-1]
+	return p.R, p.G, p.B, p.A
+}
+
+// TestPiecewiseBinarySearchMatchesLinearReference pins that the binary-search
+// Map is bit-exact against the linear scan it replaced, on every valid table
+// shape (Check-passing points), over a dense sweep of lookup values.
+func TestPiecewiseBinarySearchMatchesLinearReference(t *testing.T) {
+	tables := map[string]Piecewise{
+		"two":     {Points: []ControlPoint{{Value: 0.1, R: 1, A: 0.2}, {Value: 0.9, B: 1, A: 1}}},
+		"single":  {Points: []ControlPoint{{Value: 0.5, G: 1, A: 0.7}}},
+		"many":    {},
+		"tight":   {Points: []ControlPoint{{Value: 0.3, A: 0.1}, {Value: 0.3000001, R: 1, A: 0.9}, {Value: 0.8, A: 0.2}}},
+		"endless": {Points: []ControlPoint{{Value: 0, A: 0.5}, {Value: 1, R: 1, A: 1}}},
+	}
+	many := &Piecewise{}
+	for i := 0; i < 17; i++ {
+		f := float32(i) / 16
+		many.Points = append(many.Points, ControlPoint{Value: f * f, R: f, G: 1 - f, B: f * 0.5, A: f})
+	}
+	tables["many"] = *many
+
+	for name, pw := range tables {
+		if len(pw.Points) > 0 {
+			if _, _, ok := pw.Check(); !ok {
+				t.Fatalf("%s: test table violates the Map precondition", name)
+			}
+		}
+		for i := -8; i <= LUTSize+8; i++ {
+			v := float32(i) / LUTSize
+			gr, gg, gb, ga := pw.Map(v)
+			wr, wg, wb, wa := linearPiecewiseMap(pw, v)
+			if gr != wr || gg != wg || gb != wb || ga != wa {
+				t.Fatalf("%s: Map(%v) = (%v,%v,%v,%v), linear reference (%v,%v,%v,%v)",
+					name, v, gr, gg, gb, ga, wr, wg, wb, wa)
+			}
+		}
+		// The exact control-point values themselves are the boundary cases the
+		// search invariant is most sensitive to.
+		for _, p := range pw.Points {
+			gr, gg, gb, ga := pw.Map(p.Value)
+			wr, wg, wb, wa := linearPiecewiseMap(pw, p.Value)
+			if gr != wr || gg != wg || gb != wb || ga != wa {
+				t.Fatalf("%s: Map at control point %v diverges from the linear reference", name, p.Value)
+			}
+		}
+	}
+}
+
+// TestImageFreeListReturnsZeroedImages pins the GetImage contract the
+// kernels rely on: recycled images come back transparent black.
+func TestImageFreeListReturnsZeroedImages(t *testing.T) {
+	im := GetImage(8, 6)
+	im.Fill(0.5, 0.5, 0.5, 0.5)
+	PutImage(im)
+	re := GetImage(4, 4) // smaller: must reslice and zero the recycled array
+	for i, p := range re.Pix {
+		if p != 0 {
+			t.Fatalf("recycled pixel float %d = %v", i, p)
+		}
+	}
+	if re.W != 4 || re.H != 4 || len(re.Pix) != 64 {
+		t.Fatalf("recycled image shape %dx%d len %d", re.W, re.H, len(re.Pix))
+	}
+	PutImage(re)
+	PutImage(nil) // must be a no-op
+}

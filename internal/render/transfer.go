@@ -96,7 +96,10 @@ type ControlPoint struct {
 	R, G, B, A float32
 }
 
-// Map implements TransferFunction.
+// Map implements TransferFunction. It requires the control points to be
+// sorted by strictly increasing Value (see Piecewise.Check); under that
+// precondition the binary search below selects exactly the segment the
+// historical linear scan did, with the same interpolation expressions.
 func (t Piecewise) Map(v float32) (r, g, b, a float32) {
 	pts := t.Points
 	if len(pts) == 0 {
@@ -107,22 +110,48 @@ func (t Piecewise) Map(v float32) (r, g, b, a float32) {
 		p := pts[0]
 		return p.R, p.G, p.B, p.A
 	}
-	for i := 1; i < len(pts); i++ {
-		if v <= pts[i].Value {
-			lo, hi := pts[i-1], pts[i]
-			span := hi.Value - lo.Value
-			var f float32
-			if span > 0 {
-				f = (v - lo.Value) / span
-			}
-			return lo.R + f*(hi.R-lo.R),
-				lo.G + f*(hi.G-lo.G),
-				lo.B + f*(hi.B-lo.B),
-				lo.A + f*(hi.A-lo.A)
+	if v > pts[len(pts)-1].Value {
+		p := pts[len(pts)-1]
+		return p.R, p.G, p.B, p.A
+	}
+	// Lower bound: smallest i >= 1 with v <= pts[i].Value. The loop keeps the
+	// invariant pts[lo].Value < v <= pts[hi].Value.
+	lo, hi := 0, len(pts)-1
+	for hi-lo > 1 {
+		mid := int(uint(lo+hi) >> 1)
+		if v <= pts[mid].Value {
+			hi = mid
+		} else {
+			lo = mid
 		}
 	}
-	p := pts[len(pts)-1]
-	return p.R, p.G, p.B, p.A
+	p0, p1 := pts[lo], pts[hi]
+	span := p1.Value - p0.Value
+	var f float32
+	if span > 0 {
+		f = (v - p0.Value) / span
+	}
+	return p0.R + f*(p1.R-p0.R),
+		p0.G + f*(p1.G-p0.G),
+		p0.B + f*(p1.B-p0.B),
+		p0.A + f*(p1.A-p0.A)
+}
+
+// Check verifies Map's precondition: control-point Values must be sorted in
+// strictly increasing order (sorted and deduplicated). It returns the index
+// of the first offending point and whether it is a duplicate of — or out of
+// order with — its predecessor; ok is true for a valid table. The facade
+// surfaces violations through RunSpec.Validate as a typed field error.
+func (t Piecewise) Check() (index int, duplicate bool, ok bool) {
+	for i := 1; i < len(t.Points); i++ {
+		if t.Points[i].Value == t.Points[i-1].Value {
+			return i, true, false
+		}
+		if t.Points[i].Value < t.Points[i-1].Value {
+			return i, false, false
+		}
+	}
+	return 0, false, true
 }
 
 // DefaultCombustionTF returns the transfer function the examples use for the

@@ -161,6 +161,9 @@ func (spec *RunSpec) Validate() error {
 	if spec.ViewerQueue < 0 {
 		add("viewerQueue", "negative", "viewerQueue must be >= 0")
 	}
+	if spec.RenderWorkers < 0 {
+		add("renderWorkers", "negative", "renderWorkers must be >= 0")
+	}
 
 	if tf := spec.TF; tf != nil {
 		switch strings.ToLower(tf.Kind) {
@@ -169,10 +172,16 @@ func (spec *RunSpec) Validate() error {
 			if len(tf.Points) == 0 {
 				add("tf.points", "required", "piecewise transfer function needs at least one control point")
 			}
-			for i := 1; i < len(tf.Points); i++ {
-				if tf.Points[i].Value < tf.Points[i-1].Value {
-					add("tf.points", "unordered", "piecewise control points must be in increasing value order")
-					break
+			// Check Map's documented precondition on the float32 points the
+			// renderer will actually see (so float64 values that collapse to
+			// the same float32 are caught as duplicates here, not later).
+			if pw, ok := tf.transferFunction().(PiecewiseTF); ok {
+				if i, duplicate, valid := pw.Check(); !valid {
+					if duplicate {
+						add("tf.points", "duplicate", fmt.Sprintf("piecewise control point %d repeats the previous value; values must be distinct", i))
+					} else {
+						add("tf.points", "unordered", "piecewise control points must be in strictly increasing value order")
+					}
 				}
 			}
 		default:
@@ -250,6 +259,11 @@ func (spec RunSpec) Canonical() RunSpec {
 	if c.Transport == "" {
 		c.Transport = "local"
 	}
+	// The render pool is bit-exact at any worker count, so RenderWorkers is a
+	// throughput knob like the transport fields — two submissions differing
+	// only here describe the same render. Canonicalization drops it, which is
+	// what keeps it out of RenderHash and the coalescing key.
+	c.RenderWorkers = 0
 
 	tf := TransferSpec{Kind: "fire"}
 	if c.TF != nil {

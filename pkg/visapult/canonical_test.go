@@ -117,6 +117,32 @@ func TestRenderHashSensitivity(t *testing.T) {
 	}
 }
 
+// RenderWorkers tunes how the pixels are computed, never which pixels: the
+// parallel kernel is bit-exact against the serial one, so the field must stay
+// out of the render identity. Any worker count must coalesce, cache-hit, and
+// hash with any other — this test pins that exclusion so the field is never
+// accidentally folded into Canonical()'s surviving fields or RenderHash.
+func TestRenderWorkersOutsideRenderIdentity(t *testing.T) {
+	base := quickSpec()
+	want := base.RenderHash()
+	wd, wt := base.cacheIdentity()
+
+	for _, workers := range []int{1, 2, 8, 64} {
+		spec := base
+		spec.RenderWorkers = workers
+		if got := spec.RenderHash(); got != want {
+			t.Errorf("renderWorkers=%d moved the render hash: %s != %s", workers, got, want)
+		}
+		gd, gt := spec.cacheIdentity()
+		if gd != wd || gt != wt {
+			t.Errorf("renderWorkers=%d moved the cache identity", workers)
+		}
+		if c := spec.Canonical(); c.RenderWorkers != 0 {
+			t.Errorf("Canonical kept renderWorkers=%d; execution tuning must not survive canonicalization", c.RenderWorkers)
+		}
+	}
+}
+
 // Canonical is a value transformation: the receiver (including its TF
 // pointer) must not be mutated.
 func TestCanonicalDoesNotMutate(t *testing.T) {
@@ -169,11 +195,12 @@ func TestRunSpecJSONRoundTripThroughDispatch(t *testing.T) {
 
 func TestValidateFieldErrors(t *testing.T) {
 	spec := RunSpec{
-		Source:    SourceSpec{Kind: "volcano", Timesteps: -1},
-		PEs:       -2,
-		Mode:      "quantum",
-		Transport: "carrier-pigeon",
-		TF:        &TransferSpec{Kind: "piecewise"},
+		Source:        SourceSpec{Kind: "volcano", Timesteps: -1},
+		PEs:           -2,
+		Mode:          "quantum",
+		Transport:     "carrier-pigeon",
+		TF:            &TransferSpec{Kind: "piecewise"},
+		RenderWorkers: -1,
 	}
 	err := spec.Validate()
 	if err == nil {
@@ -197,6 +224,7 @@ func TestValidateFieldErrors(t *testing.T) {
 		"mode":             "unknown_enum",
 		"transport":        "unknown_enum",
 		"tf.points":        "required",
+		"renderWorkers":    "negative",
 	}
 	for field, code := range want {
 		if got[field] != code {
@@ -213,6 +241,19 @@ func TestValidateFieldErrors(t *testing.T) {
 	}
 	if len(verr.Fields) != 1 || verr.Fields[0].Code != "unordered" {
 		t.Errorf("unordered points: got %+v", verr.Fields)
+	}
+
+	// Duplicate control points get their own code: the binary-search Map
+	// precondition is *strictly* increasing values, and "you listed 0.5
+	// twice" is a better diagnostic than "unordered".
+	spec = quickSpec()
+	spec.TF = &TransferSpec{Kind: "piecewise", Points: []TransferPoint{{Value: 0.1}, {Value: 0.5}, {Value: 0.5}}}
+	err = spec.Validate()
+	if !errors.As(err, &verr) {
+		t.Fatalf("expected *ValidationError for duplicate points, got %v", err)
+	}
+	if len(verr.Fields) != 1 || verr.Fields[0].Code != "duplicate" {
+		t.Errorf("duplicate points: got %+v", verr.Fields)
 	}
 
 	// A healthy spec validates clean.

@@ -151,6 +151,10 @@ type Manager struct {
 	// maxWire caps the dispatch wire version negotiated with workers;
 	// SetMaxWireVersion(1) pins every dispatch to JSON v1.
 	maxWire int // guarded by mu
+	// renderWorkers is the default render-pool size applied to locally
+	// executed runs that do not set their own; 0 leaves the facade default
+	// (GOMAXPROCS). guarded by mu
+	renderWorkers int
 
 	baseCtx   context.Context
 	cancelAll context.CancelFunc
@@ -231,6 +235,26 @@ func (m *Manager) SetFrameCacheCapacity(bytes int64) {
 	m.mu.Lock()
 	m.frameCache = framecache.New(bytes)
 	m.mu.Unlock()
+}
+
+// SetDefaultRenderWorkers sets the render-pool size applied to every run the
+// manager executes locally that does not carry its own WithRenderWorkers /
+// RunSpec.RenderWorkers; n <= 0 restores the facade default (GOMAXPROCS).
+// Worker counts never change pixels, so this affects latency only.
+func (m *Manager) SetDefaultRenderWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	m.mu.Lock()
+	m.renderWorkers = n
+	m.mu.Unlock()
+}
+
+// defaultRenderWorkers reads the manager-wide render-pool default.
+func (m *Manager) defaultRenderWorkers() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.renderWorkers
 }
 
 // FrameCacheStats snapshots the frame cache's hit/miss/eviction counters and
@@ -407,7 +431,13 @@ func (m *Manager) executeLocal(r *managedRun, ctx context.Context) {
 		return
 	}
 
-	opts := append(append([]Option(nil), r.opts...),
+	// The manager-wide render-worker default is prepended so a run's own
+	// WithRenderWorkers (later in the slice) wins.
+	var opts []Option
+	if def := m.defaultRenderWorkers(); def > 0 {
+		opts = append(opts, WithRenderWorkers(def))
+	}
+	opts = append(append(opts, r.opts...),
 		WithFrameHook(r.observe), withFanoutControl(r.setFanout))
 	if r.spec != nil {
 		// Spec-described runs have a content identity, so they render into —

@@ -32,6 +32,7 @@ type config struct {
 	onSlab        func(light *wire.LightPayload, heavy *wire.HeavyPayload)
 	viewers       int
 	viewerQueue   int
+	renderWorkers int
 	onFanout      func(*core.FanoutControl)
 	// fabric / fabricSpec select a federation-fed source (mutually exclusive
 	// with an explicit source): a live handle the caller owns, or a
@@ -101,6 +102,9 @@ func (c *config) validate() error {
 	if c.viewers < 0 {
 		return fmt.Errorf("visapult: viewer count must be non-negative, got %d", c.viewers)
 	}
+	if c.renderWorkers < 0 {
+		return fmt.Errorf("visapult: render workers must be non-negative, got %d", c.renderWorkers)
+	}
 	if c.discardViewer && c.viewers > 0 {
 		return errors.New("visapult: WithViewers and WithoutViewer are mutually exclusive")
 	}
@@ -145,26 +149,27 @@ func (c *config) resolveSource() (Source, func(), error) {
 
 func (c *config) sessionConfig() core.SessionConfig {
 	sc := core.SessionConfig{
-		PEs:          c.pes,
-		Timesteps:    c.timesteps,
-		Mode:         c.mode,
-		Axis:         c.axis,
-		Source:       c.source,
-		TF:           c.tf,
-		Transport:    c.transport,
-		StripeLanes:  c.stripeLanes,
-		ViewerShaper: c.viewerShaper,
-		FollowView:   c.followView,
-		ViewAngle:    c.viewAngle,
-		Instrument:   c.instrument,
-		RenderLoop:   c.renderLoop,
-		OnFrame:      c.onFrame,
-		OnSlab:       c.onSlab,
-		Viewers:      c.viewers,
-		ViewerQueue:  c.viewerQueue,
-		Cache:        c.frameCache,
-		CacheDataset: c.cacheDataset,
-		CacheTF:      c.cacheTF,
+		PEs:           c.pes,
+		Timesteps:     c.timesteps,
+		Mode:          c.mode,
+		Axis:          c.axis,
+		Source:        c.source,
+		TF:            c.tf,
+		Transport:     c.transport,
+		StripeLanes:   c.stripeLanes,
+		ViewerShaper:  c.viewerShaper,
+		FollowView:    c.followView,
+		ViewAngle:     c.viewAngle,
+		Instrument:    c.instrument,
+		RenderLoop:    c.renderLoop,
+		OnFrame:       c.onFrame,
+		OnSlab:        c.onSlab,
+		Viewers:       c.viewers,
+		ViewerQueue:   c.viewerQueue,
+		RenderWorkers: c.renderWorkers,
+		Cache:         c.frameCache,
+		CacheDataset:  c.cacheDataset,
+		CacheTF:       c.cacheTF,
 	}
 	if c.viewers >= 1 {
 		sc.OnFanout = c.onFanout
@@ -281,6 +286,15 @@ func WithViewers(n int) Option {
 // viewer only.
 func WithViewerQueue(n int) Option {
 	return func(c *config) { c.viewerQueue = n }
+}
+
+// WithRenderWorkers sizes the back end's shared render pool: each slab
+// render is tiled across min(GOMAXPROCS, n) goroutines that all PEs share,
+// so concurrent PEs never oversubscribe the machine. n = 0 (the default)
+// sizes the pool to GOMAXPROCS. The pool is bit-exact at any worker count —
+// this knob changes frame latency, never pixels.
+func WithRenderWorkers(n int) Option {
+	return func(c *config) { c.renderWorkers = n }
 }
 
 // WithFabric feeds the pipeline from a live DPSS federation handle instead

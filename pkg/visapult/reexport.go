@@ -117,6 +117,14 @@ type PiecewiseTF = render.Piecewise
 // TransferControlPoint is one (value -> color) entry of a PiecewiseTF.
 type TransferControlPoint = render.ControlPoint
 
+// RenderPoolStats is a process-wide snapshot of render-pool occupancy:
+// live/busy workers, queued slab renders, and completed frame/tile counts.
+type RenderPoolStats = render.PoolStats
+
+// GlobalRenderPoolStats reports render-pool occupancy aggregated across every
+// pool in the process; the daemons expose it on /metrics.
+func GlobalRenderPoolStats() RenderPoolStats { return render.GlobalPoolStats() }
+
 // Event is one NetLogger event; see package visapult/pkg/visapult/netlog for
 // analysis, ULM serialization and NLV rendering.
 type Event = netlogger.Event

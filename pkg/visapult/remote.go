@@ -47,6 +47,9 @@ type BackendConfig struct {
 	// decomposition (section 3.3). When false the hints are still drained
 	// off the connections — required for a clean teardown — but ignored.
 	FollowView bool
+	// RenderWorkers sizes the back end's shared render pool; <= 0 selects
+	// GOMAXPROCS. See backend.Config.RenderWorkers.
+	RenderWorkers int
 	// Instrument enables NetLogger instrumentation; the events are returned
 	// in BackendReport.Events.
 	Instrument bool
@@ -108,6 +111,7 @@ func RunBackend(ctx context.Context, cfg BackendConfig) (*BackendReport, error) 
 	be, err := backend.New(backend.Config{
 		PEs: cfg.PEs, Timesteps: cfg.Timesteps, Mode: cfg.Mode,
 		Source: cfg.Source, Sinks: sinks, Logger: logger,
+		RenderWorkers: cfg.RenderWorkers,
 	})
 	if err != nil {
 		return nil, err
@@ -207,6 +211,7 @@ func runBackendFanout(ctx context.Context, cfg BackendConfig) (*BackendReport, e
 	be, err := backend.New(backend.Config{
 		PEs: cfg.PEs, Timesteps: cfg.Timesteps, Mode: cfg.Mode,
 		Source: cfg.Source, Sinks: fan.Sinks(), Logger: logger,
+		RenderWorkers: cfg.RenderWorkers,
 	})
 	if err != nil {
 		return nil, err

@@ -90,9 +90,14 @@ func quickSpec() RunSpec {
 	}
 }
 
+// slowSpec describes a run that stays in flight long enough for tests to
+// interact with it mid-run (kill its worker, attach late viewers, observe
+// coalescing). The generous volume and timestep count keep that window open:
+// per-frame cost is dominated by data generation, so the window survives
+// raycaster speedups.
 func slowSpec() RunSpec {
 	return RunSpec{
-		Source: SourceSpec{Kind: "combustion", NX: 64, NY: 32, NZ: 32, Timesteps: 20, Seed: 42},
+		Source: SourceSpec{Kind: "combustion", NX: 96, NY: 48, NZ: 48, Timesteps: 30, Seed: 42},
 		PEs:    2, Mode: "overlapped",
 	}
 }
@@ -273,8 +278,9 @@ func TestKilledWorkerRequeuesOntoSecondWorker(t *testing.T) {
 	if err != nil {
 		t.Fatalf("run did not recover from the killed worker: %v", err)
 	}
-	if res.Backend.Frames != 20 {
-		t.Errorf("recovered run rendered %d frames, want 20", res.Backend.Frames)
+	wantFrames := slowSpec().Source.Timesteps
+	if res.Backend.Frames != wantFrames {
+		t.Errorf("recovered run rendered %d frames, want %d", res.Backend.Frames, wantFrames)
 	}
 
 	st, err := m.Status("victim")
@@ -296,8 +302,8 @@ func TestKilledWorkerRequeuesOntoSecondWorker(t *testing.T) {
 	if st.Attempts[1].Worker != w2.ID || st.Attempts[1].Error != "" {
 		t.Errorf("second attempt %+v, want a clean run on %s", st.Attempts[1], w2.ID)
 	}
-	if st.FramesSent != 2*20 { // re-streamed in full by the second worker
-		t.Errorf("framesSent %d, want 40", st.FramesSent)
+	if st.FramesSent != 2*wantFrames { // re-streamed in full by the second worker
+		t.Errorf("framesSent %d, want %d", st.FramesSent, 2*wantFrames)
 	}
 
 	// The dead worker is quarantined, not forgotten.

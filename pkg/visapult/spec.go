@@ -37,6 +37,11 @@ type RunSpec struct {
 	// ViewerQueue bounds each fan-out viewer's send queue in (PE, frame)
 	// pairs; 0 selects the default (32).
 	ViewerQueue int `json:"viewerQueue,omitempty"`
+	// RenderWorkers sizes the back end's shared render pool (0 = GOMAXPROCS).
+	// Like the transport knobs it changes how fast frames appear, never what
+	// they look like — the pool is bit-exact at any worker count — so it is
+	// deliberately excluded from RenderHash and never coalesces runs apart.
+	RenderWorkers int `json:"renderWorkers,omitempty"`
 	// TF selects the volume-rendering transfer function; nil selects the
 	// default combustion colormap (fire). It is part of the render identity:
 	// two specs differing only here hash (and cache) differently.
@@ -161,6 +166,9 @@ func (spec *RunSpec) Options() ([]Option, error) {
 	}
 	if spec.ViewerQueue > 0 {
 		opts = append(opts, WithViewerQueue(spec.ViewerQueue))
+	}
+	if spec.RenderWorkers > 0 {
+		opts = append(opts, WithRenderWorkers(spec.RenderWorkers))
 	}
 	if tf := spec.TF.transferFunction(); tf != nil {
 		opts = append(opts, WithTransferFunction(tf))

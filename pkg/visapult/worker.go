@@ -145,6 +145,10 @@ type WorkerConfig struct {
 	// advertises and accepts: 1 pins it to JSON (exercising dispatcher
 	// fallback), 0 or 2 selects the binary v2 wire.
 	MaxWireVersion int
+	// RenderWorkers is the default render-pool size for dispatched runs that
+	// do not carry their own RunSpec.RenderWorkers; 0 leaves the facade
+	// default (GOMAXPROCS).
+	RenderWorkers int
 	// Logf, when non-nil, receives one line per accepted and completed run.
 	Logf func(format string, args ...any)
 }
@@ -179,8 +183,9 @@ func ServeWorker(ctx context.Context, l net.Listener, cfg WorkerConfig) error {
 		logf = func(string, ...any) {}
 	}
 	ws := &workerServer{ctx: ctx, capacity: cfg.Capacity, maxWire: maxWire, logf: logf,
-		cache: framecache.New(cfg.FrameCacheBytes),
-		conns: make(map[net.Conn]struct{})}
+		cache:         framecache.New(cfg.FrameCacheBytes),
+		renderWorkers: cfg.RenderWorkers,
+		conns:         make(map[net.Conn]struct{})}
 
 	// Close the listener AND the accepted connections on cancellation, in
 	// that order: connections dropping before any polite error reply can be
@@ -248,8 +253,10 @@ type workerServer struct {
 	maxWire  int
 	logf     func(string, ...any)
 	cache    *framecache.Cache // shared across runs; nil = caching disabled
-	active   atomic.Int64
-	wg       sync.WaitGroup
+	// renderWorkers is the default render-pool size for dispatched runs.
+	renderWorkers int
+	active        atomic.Int64
+	wg            sync.WaitGroup
 
 	mu     sync.Mutex
 	closed bool
@@ -618,6 +625,11 @@ func (ws *workerServer) run(name string, spec *RunSpec, link replyLink) {
 	if err != nil {
 		link.sendError(err.Error(), false)
 		return
+	}
+	// The worker-wide render-pool default applies only when the dispatched
+	// spec does not size the pool itself.
+	if ws.renderWorkers > 0 && spec.RenderWorkers == 0 {
+		opts = append(opts, WithRenderWorkers(ws.renderWorkers))
 	}
 	opts = append(opts, WithFrameHook(func(fm FrameMetric) {
 		link.sendFrame(fm)
