@@ -379,6 +379,84 @@ func BenchmarkDPSSRead(b *testing.B) {
 	}
 }
 
+// BenchmarkDPSSRegionRead measures the striped, pipelined DPSS data path on a
+// general-case region read (one extent per row — the access pattern that used
+// to cost one lock-step round trip per row) at 1, 2 and 4 stripes per block
+// server, over two link shapes:
+//
+//   - lan: unshaped loopback — stripes should neither help nor hurt much.
+//   - wan: every server connection is individually capped at 8 MB/s, the
+//     window-limited single-TCP-socket ceiling of the paper's WAN paths.
+//     Striping is the paper's answer: parallel sockets aggregate to the full
+//     path rate, so 4 stripes must deliver well over 2x the 1-stripe rate.
+//
+// The whole region travels as a handful of msgReadv exchanges and scatters
+// straight into the region slab; -benchmem shows the steady state allocating
+// nothing per block.
+func BenchmarkDPSSRegionRead(b *testing.B) {
+	const (
+		nx, ny, nz = 64, 64, 64
+		blockSize  = 32 << 10
+		wanRate    = 8 << 20 // per-connection ceiling, bytes/s
+	)
+	vol := volume.MustNew(nx, ny, nz)
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				vol.Set(x, y, z, float32((x+2*y+3*z)%97)/97)
+			}
+		}
+	}
+	// Not full-X: the general decomposition, one extent per (y, z) row.
+	region := volume.Region{X0: 8, X1: 56, Y0: 8, Y1: 56, Z0: 0, Z1: nz}
+
+	shapes := []struct {
+		name    string
+		perConn func() *netsim.Shaper
+	}{
+		{"lan", nil},
+		{"wan", func() *netsim.Shaper { return netsim.NewShaper(wanRate, 64<<10) }},
+	}
+	for _, shape := range shapes {
+		cluster, err := dpss.StartCluster(dpss.ClusterConfig{
+			Servers: 2, DisksPerServer: 2, PerConnShaper: shape.perConn,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer cluster.Close()
+		loader := cluster.NewClient()
+		if _, err := cluster.LoadVolume(loader, dpss.TimestepDatasetName("region", 0), vol, blockSize); err != nil {
+			b.Fatal(err)
+		}
+		loader.Close()
+
+		for _, stripes := range []int{1, 2, 4} {
+			b.Run(fmt.Sprintf("%s/stripes-%d", shape.name, stripes), func(b *testing.B) {
+				client := cluster.NewClient(dpss.WithStripes(stripes))
+				defer client.Close()
+				src, err := backend.NewDPSSSource(client, "region", nx, ny, nz, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer src.Close()
+				ctx := context.Background()
+				// Warm: version probe, stripe dials, pool population.
+				if _, _, err := src.LoadRegion(ctx, 0, region); err != nil {
+					b.Fatal(err)
+				}
+				b.SetBytes(region.Bytes())
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, _, err := src.LoadRegion(ctx, 0, region); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkFabricLoadRegion measures aggregate region-read throughput from a
 // federated DPSS fabric as the cluster count grows (1 vs 2 vs 4), each
 // cluster behind its own emulated WAN link. Timesteps shard across the

@@ -21,7 +21,7 @@ import (
 // through a running visapultd's /api/dpss endpoints (so they act on the
 // daemon's live federation — drain state, health history and all);
 // otherwise status and warm operate directly on the -clusters list.
-func runFabric(daemon, clusters string, replication, blockSize int, args []string) error {
+func runFabric(daemon, clusters string, replication, stripes, blockSize int, args []string) error {
 	if len(args) == 0 {
 		return fmt.Errorf("fabric needs a subcommand: status | warm <base> <NXxNYxNZ> <steps> | rebalance | repair | drain <cluster> | drain-empty <cluster> | undrain <cluster>")
 	}
@@ -37,7 +37,7 @@ func runFabric(daemon, clusters string, replication, blockSize int, args []strin
 		return err
 	}
 	fb, err := dpss.NewFabric(dpss.FabricConfig{
-		Clusters: specs, Replication: replication, AttemptTimeout: 2 * time.Second,
+		Clusters: specs, Replication: replication, AttemptTimeout: 2 * time.Second, Stripes: stripes,
 	})
 	if err != nil {
 		return err
@@ -105,16 +105,43 @@ func fabricStatus(fb *dpss.Fabric) error {
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	health := fb.Probe(ctx)
-	fmt.Printf("federation : %d clusters, replication %d\n", len(health), fb.Replication())
+	fmt.Printf("federation : %d clusters, replication %d, %d stripes per block server\n",
+		len(health), fb.Replication(), fb.Stripes())
 	for _, h := range health {
 		printClusterHealth(h.Name, h.Master, h.Healthy, h.Drained, h.Failures, h.LastError)
 	}
+	printStripeStats(fb.StripeStats())
 	datasets := fb.Datasets(ctx)
 	fmt.Printf("datasets   : %d\n", len(datasets))
 	for _, d := range datasets {
 		fmt.Printf("  %-28s replicas: %s\n", d.Name, strings.Join(d.Clusters, ", "))
 	}
 	return nil
+}
+
+// printStripeStats renders the striped data path's per-connection counters,
+// one row per (cluster, block server, stripe). Nothing is printed before any
+// member client has moved data — a cold federation has no stripes yet.
+func printStripeStats(stats map[string][]dpss.StripeStat) {
+	if len(stats) == 0 {
+		return
+	}
+	clusters := make([]string, 0, len(stats))
+	for c := range stats {
+		clusters = append(clusters, c)
+	}
+	sort.Strings(clusters)
+	fmt.Println("stripes    :")
+	for _, c := range clusters {
+		for _, st := range stats[c] {
+			state := "idle"
+			if st.Connected {
+				state = fmt.Sprintf("up/v%d", st.Wire)
+			}
+			fmt.Printf("  %-10s %-22s #%d %-7s %10s  reads %-7d fails %d\n",
+				c, st.Server, st.Stripe, state, visapult.HumanBytes(st.Bytes), st.Reads, st.Failures)
+		}
+	}
 }
 
 func printClusterHealth(name, master string, healthy, drained bool, failures int, lastErr string) {
@@ -222,15 +249,19 @@ func daemonStatus(base string) error {
 		return err
 	}
 	var overview struct {
-		Replication int `json:"replication"`
+		Replication int                          `json:"replication"`
+		Stripes     int                          `json:"stripes"`
+		StripeStats map[string][]dpss.StripeStat `json:"stripeStats"`
 	}
 	if err := daemonCall(http.MethodGet, base+"/api/dpss", nil, &overview); err != nil {
 		return err
 	}
-	fmt.Printf("federation : %d clusters, replication %d (via %s)\n", len(probe.Clusters), overview.Replication, base)
+	fmt.Printf("federation : %d clusters, replication %d, %d stripes per block server (via %s)\n",
+		len(probe.Clusters), overview.Replication, overview.Stripes, base)
 	for _, h := range probe.Clusters {
 		printClusterHealth(h.Name, h.Master, h.Healthy, h.Drained, h.Failures, h.LastError)
 	}
+	printStripeStats(overview.StripeStats)
 	var cat struct {
 		Datasets []struct {
 			Name     string   `json:"name"`

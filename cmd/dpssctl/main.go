@@ -37,6 +37,7 @@ func main() {
 	streams := flag.Int("streams", 4, "parallel reader goroutines for bench")
 	clusters := flag.String("clusters", "", "federation members for fabric commands, name=master:port comma-separated")
 	replication := flag.Int("replication", 2, "replicas per dataset for fabric commands")
+	stripes := flag.Int("stripes", 0, "parallel striped connections per block server for fabric commands (0 = client default)")
 	daemon := flag.String("daemon", "", "visapultd base URL; fabric commands then go through its /api/dpss endpoints")
 	flag.Parse()
 
@@ -45,7 +46,7 @@ func main() {
 		usage()
 	}
 	if args[0] == "fabric" {
-		if err := runFabric(*daemon, *clusters, *replication, *blockSize, args[1:]); err != nil {
+		if err := runFabric(*daemon, *clusters, *replication, *stripes, *blockSize, args[1:]); err != nil {
 			fmt.Fprintf(os.Stderr, "dpssctl: %v\n", err)
 			os.Exit(1)
 		}

@@ -27,6 +27,7 @@ func main() {
 	masterAddr := flag.String("master", "127.0.0.1:9300", "address for the DPSS master")
 	servers := flag.Int("servers", 4, "number of block servers")
 	disks := flag.Int("disks", 4, "disks per block server")
+	pipeWorkers := flag.Int("pipeline-workers", 0, "concurrent pipelined requests served per client connection (0 = server default)")
 	load := flag.String("load", "", "synthetic dataset base name to pre-stage (empty: none)")
 	dims := flag.String("dims", "80x32x32", "synthetic dataset dimensions, NXxNYxNZ")
 	steps := flag.Int("steps", 5, "synthetic dataset timesteps")
@@ -42,7 +43,11 @@ func main() {
 
 	var blockServers []*dpss.BlockServer
 	for i := 0; i < *servers; i++ {
-		srv := dpss.NewBlockServer(dpss.WithDisks(*disks))
+		sopts := []dpss.ServerOption{dpss.WithDisks(*disks)}
+		if *pipeWorkers > 0 {
+			sopts = append(sopts, dpss.WithPipelineWorkers(*pipeWorkers))
+		}
+		srv := dpss.NewBlockServer(sopts...)
 		sAddr, err := srv.Listen("127.0.0.1:0")
 		if err != nil {
 			fatal(err)

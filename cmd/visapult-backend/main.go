@@ -51,6 +51,7 @@ func main() {
 	scale := flag.Int("scale", 8, "synthetic grid divisor (ignored with -dpss)")
 	dpssMaster := flag.String("dpss", "", "DPSS master address, or a whole federation as name=master,name=master (reads then fail over between clusters); empty uses the synthetic generator")
 	replication := flag.Int("replication", 2, "replicas per dataset when -dpss names a federation")
+	stripes := flag.Int("stripes", 0, "parallel striped connections per DPSS block server (0 = client default)")
 	dataset := flag.String("dataset", "combustion", "DPSS dataset base name")
 	dims := flag.String("dims", "80x32x32", "DPSS dataset dimensions, NXxNYxNZ")
 	followView := flag.Bool("follow-view", false, "let the viewer's axis hints steer the slab decomposition")
@@ -82,7 +83,7 @@ func main() {
 		if _, err := fmt.Sscanf(*dims, "%dx%dx%d", &nx, &ny, &nz); err != nil {
 			fatal(fmt.Errorf("parsing -dims %q: %w", *dims, err))
 		}
-		cfg := visapult.FabricConfig{Replication: *replication, AttemptTimeout: 2 * time.Second}
+		cfg := visapult.FabricConfig{Replication: *replication, AttemptTimeout: 2 * time.Second, Stripes: *stripes}
 		for _, part := range strings.Split(*dpssMaster, ",") {
 			name, master, ok := strings.Cut(strings.TrimSpace(part), "=")
 			if !ok || name == "" || master == "" {
@@ -106,7 +107,11 @@ func main() {
 		if _, err := fmt.Sscanf(*dims, "%dx%dx%d", &nx, &ny, &nz); err != nil {
 			fatal(fmt.Errorf("parsing -dims %q: %w", *dims, err))
 		}
-		client := dpss.NewClient(*dpssMaster)
+		var copts []dpss.ClientOption
+		if *stripes > 0 {
+			copts = append(copts, dpss.WithStripes(*stripes))
+		}
+		client := dpss.NewClient(*dpssMaster, copts...)
 		defer client.Close()
 		s, err := visapult.NewDPSSSource(client, *dataset, nx, ny, nz, *steps)
 		if err != nil {

@@ -136,12 +136,19 @@ func (s *server) handleDPSS(w http.ResponseWriter, r *http.Request) {
 	if fa == nil {
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	out := map[string]any{
 		"replication": fa.fabric.Replication(),
+		"stripes":     fa.fabric.Stripes(),
 		"epoch":       toEpochJSON(fa.fabric.Epoch()),
 		"rebalancing": fa.fabric.Rebalancing(),
 		"clusters":    toClusterHealthJSON(fa.fabric.Health()),
-	})
+	}
+	// Per-stripe transfer counters, keyed by cluster; present only once a
+	// member client has actually moved data.
+	if ss := fa.fabric.StripeStats(); len(ss) > 0 {
+		out["stripeStats"] = ss
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 // handleDPSSProbe actively probes every member master and returns the

@@ -107,6 +107,7 @@ func main() {
 		})
 	replication := flag.Int("replication", 2, "replicas per dataset across the -dpss federation")
 	attemptTimeout := flag.Duration("dpss-attempt-timeout", 2*time.Second, "per-replica read attempt bound before failing over")
+	dpssStripes := flag.Int("dpss-stripes", 0, "parallel striped connections per DPSS block server (0 = client default)")
 	retain := flag.Duration("retain", 0, "drop terminal runs older than this (0 keeps them until DELETE/prune)")
 	frameCacheMB := flag.Int64("frame-cache-mb", 256, "slab-texture frame cache capacity in MiB (0 disables replay caching)")
 	wireVer := flag.Int("wire", 2, "max dispatch wire version to negotiate with workers (1 = JSON only, 2 = binary)")
@@ -164,6 +165,7 @@ func main() {
 		spec := visapult.FabricSpec{
 			Replication:      *replication,
 			AttemptTimeoutMs: int(attemptTimeout.Milliseconds()),
+			Stripes:          *dpssStripes,
 		}
 		for _, c := range fabricClusters {
 			spec.Clusters = append(spec.Clusters, visapult.FabricClusterSpec{Name: c.Name, Master: c.Master})

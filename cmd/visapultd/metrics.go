@@ -97,6 +97,25 @@ func (s *server) handlePrometheus(w http.ResponseWriter, r *http.Request) {
 			writeHelp(&b, "visapultd_dpss_cluster_drained", "gauge", "Per-cluster administrative drain flag.")
 			b.WriteString(drained.String())
 		}
+		// Striped data path: per-stripe transfer counters, one series per
+		// (cluster, block server, stripe index). Only clusters whose member
+		// client has been built appear; a cold fabric emits nothing here.
+		stripeStats := fb.StripeStats()
+		if len(stripeStats) > 0 {
+			writeHelp(&b, "visapultd_dpss_stripe_bytes_total", "counter", "Data bytes read over each striped block-server connection.")
+			writeHelp(&b, "visapultd_dpss_stripe_reads_total", "counter", "Read exchanges completed over each striped connection.")
+			writeHelp(&b, "visapultd_dpss_stripe_failures_total", "counter", "Exchanges failed (and connections replaced) per stripe.")
+			writeHelp(&b, "visapultd_dpss_stripe_connected", "gauge", "1 while the stripe holds a live connection.")
+			for _, cluster := range sortedStatKeys(stripeStats) {
+				for _, st := range stripeStats[cluster] {
+					labels := fmt.Sprintf("{cluster=%q,server=%q,stripe=\"%d\"}", cluster, st.Server, st.Stripe)
+					fmt.Fprintf(&b, "visapultd_dpss_stripe_bytes_total%s %d\n", labels, st.Bytes)
+					fmt.Fprintf(&b, "visapultd_dpss_stripe_reads_total%s %d\n", labels, st.Reads)
+					fmt.Fprintf(&b, "visapultd_dpss_stripe_failures_total%s %d\n", labels, st.Failures)
+					fmt.Fprintf(&b, "visapultd_dpss_stripe_connected%s %d\n", labels, boolGauge(st.Connected))
+				}
+			}
+		}
 		epoch := fb.Epoch()
 		writeHelp(&b, "visapultd_dpss_placement_epoch", "gauge", "Current placement epoch version.")
 		fmt.Fprintf(&b, "visapultd_dpss_placement_epoch %d\n", epoch.Version)
@@ -146,6 +165,15 @@ func boolGauge(v bool) int {
 }
 
 func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sortedStatKeys[V any](m map[string]V) []string {
 	keys := make([]string, 0, len(m))
 	for k := range m {
 		keys = append(keys, k)

@@ -22,6 +22,7 @@ package backend
 
 import (
 	"context"
+	"encoding/binary"
 	"fmt"
 	"math"
 	"sync"
@@ -259,77 +260,92 @@ func (d *DPSSSource) Close() error {
 	return nil
 }
 
-// readerAt is the subset of dpss.File LoadRegion needs; taking an interface
-// keeps readRegionAt testable without a live cluster.
+// readerAt is the subset of dpss.File (and fabric.File) LoadRegion needs;
+// taking an interface keeps readRegionAt testable without a live cluster.
 type readerAt interface {
-	ReadAtContext(ctx context.Context, p []byte, off int64) (int, error)
+	ReadvScatter(ctx context.Context, exts []dpss.Extent) error
+}
+
+// slabPool recycles the raw byte slab a region is scattered into before
+// decoding, so steady-state region loads allocate only the float32 output.
+var slabPool = sync.Pool{
+	New: func() any {
+		s := []byte(nil)
+		return &s
+	},
+}
+
+// extentPool recycles the extent list handed to ReadvScatter.
+var extentPool = sync.Pool{
+	New: func() any {
+		s := make([]dpss.Extent, 0, 64)
+		return &s
+	},
 }
 
 // readRegionAt reads the float32 voxels of region r from a serialized volume
-// of size nx x ny x * starting at hdr bytes into the file. It coalesces reads
-// into the largest contiguous ranges the region layout allows. Cancelling ctx
-// aborts the read in flight.
+// of size nx x ny x * starting at hdr bytes into the file. The whole region is
+// expressed as one extent list — one extent for a full-XY-plane slab, one per
+// z for full-X rows, one per (y,z) row in the general case — and fetched in a
+// single vectored ReadvScatter call, which the DPSS client batches into a
+// handful of wire exchanges and scatters straight into a pooled byte slab.
+// Cancelling ctx aborts the read in flight.
 func readRegionAt(ctx context.Context, f readerAt, hdr int64, nx, ny int, r volume.Region) ([]float32, int64, error) {
 	rx, ry, rz := r.Dims()
 	if rx <= 0 || ry <= 0 || rz <= 0 {
 		return nil, 0, fmt.Errorf("backend: empty region %v", r)
 	}
 	out := make([]float32, rx*ry*rz)
-	buf := make([]byte, 0)
-	var bytesRead int64
+	need := len(out) * 4
 
-	readInto := func(off int64, dst []float32) error {
-		need := len(dst) * 4
-		if cap(buf) < need {
-			buf = make([]byte, need)
-		}
-		b := buf[:need]
-		if _, err := f.ReadAtContext(ctx, b, off); err != nil {
-			return err
-		}
-		bytesRead += int64(need)
-		for i := range dst {
-			dst[i] = float32frombytes(b[i*4:])
-		}
-		return nil
+	slabp := slabPool.Get().(*[]byte)
+	defer slabPool.Put(slabp)
+	if cap(*slabp) < need {
+		*slabp = make([]byte, need)
 	}
+	slab := (*slabp)[:need]
+
+	extp := extentPool.Get().(*[]dpss.Extent)
+	defer func() {
+		clear(*extp) // drop slab references so the pool entry pins nothing
+		*extp = (*extp)[:0]
+		extentPool.Put(extp)
+	}()
+	exts := (*extp)[:0]
 
 	switch {
 	case r.X0 == 0 && r.X1 == nx && r.Y0 == 0 && r.Y1 == ny:
-		// Full XY planes: one contiguous range for the whole slab.
+		// Full XY planes: one contiguous extent for the whole slab.
 		off := hdr + int64(r.Z0)*int64(nx)*int64(ny)*4
-		if err := readInto(off, out); err != nil {
-			return nil, bytesRead, err
-		}
+		exts = append(exts, dpss.Extent{Off: off, Len: need, Dst: slab})
 	case r.X0 == 0 && r.X1 == nx:
-		// Full X rows: one contiguous range per (z) of the Y span.
-		rowLen := rx * ry
+		// Full X rows: one contiguous extent per z of the Y span.
+		rowLen := rx * ry * 4
 		for z := 0; z < rz; z++ {
 			off := hdr + (int64(r.Z0+z)*int64(nx)*int64(ny)+int64(r.Y0)*int64(nx))*4
-			if err := readInto(off, out[z*rowLen:(z+1)*rowLen]); err != nil {
-				return nil, bytesRead, err
-			}
+			exts = append(exts, dpss.Extent{Off: off, Len: rowLen, Dst: slab[z*rowLen : (z+1)*rowLen]})
 		}
 	default:
-		// General case: one read per (y, z) row.
+		// General case: one extent per (y, z) row.
+		rowLen := rx * 4
 		for z := 0; z < rz; z++ {
 			for y := 0; y < ry; y++ {
 				off := hdr + ((int64(r.Z0+z)*int64(ny)+int64(r.Y0+y))*int64(nx)+int64(r.X0))*4
-				dst := out[(z*ry+y)*rx : (z*ry+y+1)*rx]
-				if err := readInto(off, dst); err != nil {
-					return nil, bytesRead, err
-				}
+				i := (z*ry + y) * rowLen
+				exts = append(exts, dpss.Extent{Off: off, Len: rowLen, Dst: slab[i : i+rowLen]})
 			}
 		}
 	}
-	return out, bytesRead, nil
-}
+	*extp = exts
 
-// float32frombytes decodes one little-endian float32 (the volume
-// serialization byte order).
-func float32frombytes(b []byte) float32 {
-	bits := uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
-	return math.Float32frombits(bits)
+	if err := f.ReadvScatter(ctx, exts); err != nil {
+		return nil, 0, err
+	}
+	// Bulk little-endian decode (the volume serialization byte order).
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(slab[i*4:]))
+	}
+	return out, int64(need), nil
 }
 
 // Compile-time interface checks.

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"strings"
 	"sync"
 	"time"
 
@@ -30,10 +31,16 @@ type Client struct {
 	// opTimeout bounds every request/response exchange whose context carries
 	// no deadline of its own; 0 disables the bound.
 	opTimeout time.Duration
+	// stripes is how many parallel connections the client keeps per block
+	// server for reads; window bounds pipelined requests in flight per
+	// stripe. See WithStripes / WithStripeWindow.
+	stripes int
+	window  int
 
 	mu     sync.Mutex
 	master net.Conn
 	conns  map[string]*serverConn
+	pools  map[string]*stripePool
 	closed bool
 
 	bytesRead       int64
@@ -101,7 +108,10 @@ func NewClient(masterAddr string, opts ...ClientOption) *Client {
 	c := &Client{
 		masterAddr: masterAddr,
 		conns:      make(map[string]*serverConn),
+		pools:      make(map[string]*stripePool),
 		opTimeout:  DefaultOpTimeout,
+		stripes:    DefaultStripes,
+		window:     DefaultStripeWindow,
 	}
 	for _, o := range opts {
 		o(c)
@@ -169,30 +179,17 @@ func (c *Client) dropMasterLocked(conn net.Conn) {
 // where possible so callers can use errors.Is.
 func interpretError(msg string) error {
 	switch {
-	case contains(msg, ErrUnknownDataset.Error()):
+	case strings.Contains(msg, ErrUnknownDataset.Error()):
 		return fmt.Errorf("%w (%s)", ErrUnknownDataset, msg)
-	case contains(msg, ErrDatasetExists.Error()):
+	case strings.Contains(msg, ErrDatasetExists.Error()):
 		return fmt.Errorf("%w (%s)", ErrDatasetExists, msg)
-	case contains(msg, ErrUnknownBlock.Error()):
+	case strings.Contains(msg, ErrUnknownBlock.Error()):
 		return fmt.Errorf("%w (%s)", ErrUnknownBlock, msg)
-	case contains(msg, ErrAccessDenied.Error()):
+	case strings.Contains(msg, ErrAccessDenied.Error()):
 		return fmt.Errorf("%w (%s)", ErrAccessDenied, msg)
 	default:
 		return errors.New(msg)
 	}
-}
-
-func contains(s, sub string) bool {
-	return len(s) >= len(sub) && (s == sub || len(sub) == 0 || indexOf(s, sub) >= 0)
-}
-
-func indexOf(s, sub string) int {
-	for i := 0; i+len(sub) <= len(s); i++ {
-		if s[i:i+len(sub)] == sub {
-			return i
-		}
-	}
-	return -1
 }
 
 // serverConnFor lazily dials a block server.
@@ -395,26 +392,6 @@ func (c *Client) Stat(name string) (DatasetInfo, error) {
 	return decodeDatasetInfo(resp)
 }
 
-// readBlock fetches one logical block from its server. A ctx cancellation or
-// op-timeout expiry aborts the exchange in flight and discards the poisoned
-// connection, so the next read against the same server re-dials a clean one.
-func (c *Client) readBlock(ctx context.Context, info DatasetInfo, block int64) ([]byte, error) {
-	if c.compress > 0 {
-		return c.readBlockCompressed(ctx, info, block)
-	}
-	e := &encoder{}
-	e.str(info.Name).u64(uint64(block))
-	data, err := c.exchange(ctx, info.ServerFor(block), msgReadBlock, e.buf)
-	if err != nil {
-		return nil, err
-	}
-	c.mu.Lock()
-	c.bytesRead += int64(len(data))
-	c.reads++
-	c.mu.Unlock()
-	return data, nil
-}
-
 // dropServerConn closes and forgets a server connection a cancelled exchange
 // left mid-frame. The sc identity check keeps a stale drop from tearing down
 // a replacement connection dialed in the meantime.
@@ -453,16 +430,22 @@ type ClientStats struct {
 func (c *Client) Stats() ClientStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	servers := make(map[string]struct{}, len(c.conns)+len(c.pools))
+	for addr := range c.conns {
+		servers[addr] = struct{}{}
+	}
+	for addr := range c.pools {
+		servers[addr] = struct{}{}
+	}
 	return ClientStats{
-		BytesRead: c.bytesRead, Reads: c.reads, Servers: len(c.conns),
+		BytesRead: c.bytesRead, Reads: c.reads, Servers: len(servers),
 		WireBytes: c.wireBytes, CompressedReads: c.compressedReads,
 	}
 }
 
-// Close tears down every connection.
+// Close tears down every connection, failing any exchange still in flight.
 func (c *Client) Close() error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.closed = true
 	var first error
 	if c.master != nil {
@@ -476,6 +459,20 @@ func (c *Client) Close() error {
 			first = err
 		}
 		delete(c.conns, addr)
+	}
+	pools := make([]*stripePool, 0, len(c.pools))
+	for addr, p := range c.pools {
+		pools = append(pools, p)
+		delete(c.pools, addr)
+	}
+	c.mu.Unlock()
+	// Stripe teardown resolves in-flight calls (sends on their resp
+	// channels), so it happens outside the client lock.
+	errClosed := errors.New("dpss: client closed")
+	for _, p := range pools {
+		for _, s := range p.stripes {
+			s.close(errClosed)
+		}
 	}
 	return first
 }
@@ -506,7 +503,9 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 
 // ReadAtContext is ReadAt under a context: cancelling ctx aborts the block
 // exchanges in flight (each blocked read fails immediately) rather than
-// letting them run to completion.
+// letting them run to completion. It is a single-extent ReadvScatter, so a
+// large read is pipelined over the per-server stripe pools under a bounded
+// in-flight window — never a goroutine per block.
 func (f *File) ReadAtContext(ctx context.Context, p []byte, off int64) (int, error) {
 	if off < 0 {
 		return 0, fmt.Errorf("dpss: negative offset %d", off)
@@ -521,57 +520,14 @@ func (f *File) ReadAtContext(ctx context.Context, p []byte, off int64) (int, err
 	if want == 0 {
 		return 0, nil
 	}
-	blockSize := int64(f.info.BlockSize)
-	firstBlock := off / blockSize
-	lastBlock := (off + want - 1) / blockSize
-
-	type result struct {
-		block int64
-		data  []byte
-		err   error
+	ext := [1]Extent{{Off: off, Len: int(want), Dst: p[:want]}}
+	if err := f.client.readvScatter(ctx, f.info, ext[:]); err != nil {
+		return 0, err
 	}
-	numBlocks := int(lastBlock - firstBlock + 1)
-	results := make([]result, numBlocks)
-	var wg sync.WaitGroup
-	for i := 0; i < numBlocks; i++ {
-		i := i
-		block := firstBlock + int64(i)
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			data, err := f.client.readBlock(ctx, f.info, block)
-			results[i] = result{block: block, data: data, err: err}
-		}()
+	if want < int64(len(p)) {
+		return int(want), io.EOF
 	}
-	wg.Wait()
-
-	total := 0
-	for _, r := range results {
-		if r.err != nil {
-			return total, r.err
-		}
-		blockStart := r.block * blockSize
-		// Portion of this block that overlaps [off, off+want).
-		copyFrom := int64(0)
-		if off > blockStart {
-			copyFrom = off - blockStart
-		}
-		copyTo := int64(len(r.data))
-		if blockStart+copyTo > off+want {
-			copyTo = off + want - blockStart
-		}
-		if copyFrom >= copyTo {
-			continue
-		}
-		dst := blockStart + copyFrom - off
-		n := copy(p[dst:dst+(copyTo-copyFrom)], r.data[copyFrom:copyTo])
-		total += n
-	}
-	var err error
-	if int64(total) < int64(len(p)) {
-		err = io.EOF
-	}
-	return total, err
+	return int(want), nil
 }
 
 // Read reads from the current offset, advancing it. It implements io.Reader.

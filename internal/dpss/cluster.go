@@ -33,6 +33,11 @@ type ClusterConfig struct {
 	// single shared shaper models all servers sitting behind the same WAN
 	// link, which is the paper's topology.
 	ServerShaper *netsim.Shaper
+	// PerConnShaper, when non-nil, gives each accepted server connection its
+	// own shaper — the per-socket throughput ceiling that makes parallel
+	// striped connections pay off (see WithConnShaperFactory). Takes
+	// precedence over ServerShaper.
+	PerConnShaper func() *netsim.Shaper
 }
 
 // StartCluster launches the master and block servers on ephemeral loopback
@@ -54,6 +59,9 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 		opts := []ServerOption{WithDisks(cfg.DisksPerServer)}
 		if cfg.ServerShaper != nil {
 			opts = append(opts, WithServerShaper(cfg.ServerShaper))
+		}
+		if cfg.PerConnShaper != nil {
+			opts = append(opts, WithConnShaperFactory(cfg.PerConnShaper))
 		}
 		srv := NewBlockServer(opts...)
 		addr, err := srv.Listen("127.0.0.1:0")

@@ -82,6 +82,10 @@ type Config struct {
 	// BackoffMax). Defaults: 250ms base, 15s max.
 	BackoffBase time.Duration
 	BackoffMax  time.Duration
+	// Stripes is how many parallel connections each member client keeps per
+	// block server (the paper's striped-socket transfers). Zero keeps the
+	// dpss client's default; ClientOptions can still override per cluster.
+	Stripes int
 	// ClientOptions, when non-nil, supplies extra dpss.ClientOptions for the
 	// named cluster's client (shapers, compression, instrumentation).
 	ClientOptions func(cluster string) []dpss.ClientOption
@@ -255,6 +259,9 @@ func (m *member) clientFor(cfg Config) *dpss.Client {
 			// attempt bound, so even the ctx-less master exchanges (Stat,
 			// Remove's catalog drop) fail over within AttemptTimeout.
 			opts = append(opts, dpss.WithClientTimeout(cfg.AttemptTimeout))
+		}
+		if cfg.Stripes > 0 {
+			opts = append(opts, dpss.WithStripes(cfg.Stripes))
 		}
 		if cfg.ClientOptions != nil {
 			opts = append(opts, cfg.ClientOptions(m.name)...)
@@ -1029,6 +1036,74 @@ func (f *File) ReadAtContext(ctx context.Context, p []byte, off int64) (int, err
 	}
 	return 0, fmt.Errorf("%w: reading %q at %d: [%s]", ErrAllReplicasFailed, f.name, off, strings.Join(errs, "; "))
 }
+
+// ReadvScatter reads every extent into its destination slice in one
+// vectored, striped pass (see dpss.File.ReadvScatter) with replica failover:
+// a batch that fails mid-read — a cluster killed while extents are in
+// flight — is retried in full against the next replica, so destinations are
+// simply overwritten with the same bytes and the caller never observes a
+// torn extent. Error accounting mirrors ReadAtContext: a failed attempt
+// marks its cluster unhealthy, a healthy cluster without a copy stays
+// healthy, and with every replica failed the error is ErrAllReplicasFailed.
+func (f *File) ReadvScatter(ctx context.Context, exts []dpss.Extent) error {
+	order := f.fb.readOrder(f.fb.readSet(f.name))
+	var errs []string
+	for _, m := range order {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		df, err := f.handle(ctx, m)
+		if err == nil {
+			attemptCtx := ctx
+			cancel := func() {}
+			if f.fb.cfg.AttemptTimeout > 0 {
+				attemptCtx, cancel = context.WithTimeout(ctx, f.fb.cfg.AttemptTimeout)
+			}
+			rerr := df.ReadvScatter(attemptCtx, exts)
+			cancel()
+			if rerr == nil {
+				f.fb.markSuccess(m)
+				return nil
+			}
+			err = rerr
+		}
+		if ctxErr := ctx.Err(); ctxErr != nil { // the caller's own cancellation
+			return ctxErr
+		}
+		if errors.Is(err, dpss.ErrUnknownDataset) {
+			f.fb.markSuccess(m)
+			f.forgetHandle(m)
+		} else {
+			f.fb.markFailure(m, err)
+			f.dropHandle(m)
+		}
+		errs = append(errs, fmt.Sprintf("%s: %v", m.name, err))
+	}
+	return fmt.Errorf("%w: vectored read of %q: [%s]", ErrAllReplicasFailed, f.name, strings.Join(errs, "; "))
+}
+
+// StripeStats returns every member client's per-stripe transfer counters,
+// keyed by cluster name. Clusters whose client has not been built (never
+// read from) are omitted.
+func (f *Fabric) StripeStats() map[string][]dpss.StripeStat {
+	out := make(map[string][]dpss.StripeStat, len(f.members))
+	for _, m := range f.members {
+		m.mu.Lock()
+		c := m.client
+		m.mu.Unlock()
+		if c == nil {
+			continue
+		}
+		if st := c.StripeStats(); len(st) > 0 {
+			out[m.name] = st
+		}
+	}
+	return out
+}
+
+// Stripes returns the configured per-server stripe count (0 = client
+// default).
+func (f *Fabric) Stripes() int { return f.cfg.Stripes }
 
 // Close releases the handle. The fabric's connections stay up for other
 // files.

@@ -1,0 +1,99 @@
+package dpss
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadvRequestDecode hammers the server-side msgReadv request decoder
+// with hostile extent counts, lying length fields and truncations. Whatever
+// comes in, the decoder must either reject it or return a request the server
+// can serve within its resource bounds — never panic, never admit an extent
+// table that disagrees with the protocol limits.
+func FuzzReadvRequestDecode(f *testing.F) {
+	valid := appendReadvRequest(nil, "combustion.t0001", []blockExtent{
+		{block: 0, off: 0, n: 4096},
+		{block: 1, off: 128, n: 64},
+		{block: 7, off: 65024, n: 512},
+	})
+	f.Add(valid)
+	f.Add(valid[:len(valid)-5]) // truncated extent table
+	f.Add(valid[:3])            // truncated dataset name
+	f.Add([]byte{})
+	// A count field claiming far more extents than the payload carries.
+	lying := append([]byte(nil), valid...)
+	lying[len(lying)-4*16-4] = 0xFF
+	f.Add(lying)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dataset, exts, err := decodeReadvRequest(data)
+		if err != nil {
+			return
+		}
+		if dataset == "" {
+			t.Fatal("accepted request with empty dataset name")
+		}
+		if len(exts) == 0 || len(exts) > MaxReadvExtents {
+			t.Fatalf("accepted %d extents, protocol bound is [1,%d]", len(exts), MaxReadvExtents)
+		}
+		var total uint64
+		for _, x := range exts {
+			if x.block < 0 {
+				t.Fatalf("accepted negative block %d", x.block)
+			}
+			if x.n == 0 {
+				t.Fatal("accepted empty extent")
+			}
+			if uint64(x.off)+uint64(x.n) > maxFrame {
+				t.Fatalf("accepted extent [%d,+%d) beyond the frame bound", x.off, x.n)
+			}
+			total += uint64(x.n)
+		}
+		if total > maxReadvBytes && len(exts) > 1 {
+			t.Fatalf("accepted %d-extent request of %d bytes, response bound is %d", len(exts), total, maxReadvBytes)
+		}
+	})
+}
+
+// FuzzReadvResponseScatter feeds arbitrary response bodies — including ones
+// shorter than the extent table demands — through the zero-copy scatter
+// loop. A short body must surface as an error with no write outside any
+// destination slice; a sufficient body must land byte-exact.
+func FuzzReadvResponseScatter(f *testing.F) {
+	f.Add([]byte{}, uint16(3))
+	f.Add(patternData(4096), uint16(5))
+	f.Add(patternData(257), uint16(1))
+	f.Add(patternData(64<<10), uint16(63))
+	f.Fuzz(func(t *testing.T, body []byte, pieces uint16) {
+		n := int(pieces%64) + 1
+		sizes := make([]int, n)
+		total := 0
+		for i := range sizes {
+			sizes[i] = (i*31+7)%257 + 1
+			total += sizes[i]
+		}
+		buf := make([]byte, total)
+		dsts := make([][]byte, n)
+		off := 0
+		for i, sz := range sizes {
+			dsts[i] = buf[off : off+sz]
+			off += sz
+		}
+		refreshes := 0
+		err := scatterExtents(bytes.NewReader(body), dsts, func() { refreshes++ })
+		if total > len(body) {
+			if err == nil {
+				t.Fatalf("scattered %d bytes out of a %d-byte body without error", total, len(body))
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("body of %d bytes covers %d-byte extent table, got error %v", len(body), total, err)
+		}
+		if !bytes.Equal(buf, body[:total]) {
+			t.Fatal("scattered bytes differ from the response body")
+		}
+		if refreshes != n {
+			t.Fatalf("deadline refreshed %d times for %d extents", refreshes, n)
+		}
+	})
+}

@@ -16,18 +16,23 @@ import (
 // servers, each with several disk controllers and several disks per
 // controller.
 type BlockServer struct {
-	mu      sync.Mutex
-	disks   []*Disk
-	ln      net.Listener
-	conns   map[net.Conn]struct{}
-	closed  bool
-	wg      sync.WaitGroup
-	shaper  *netsim.Shaper
-	logger  *netlogger.Logger
-	served  int64 // bytes sent to clients
-	stored  int64 // bytes written by loaders
-	reqs    int64
-	errored int64
+	mu     sync.Mutex
+	disks  []*Disk
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+	shaper *netsim.Shaper
+	// connShaper, when set, gives each accepted connection its own shaper.
+	connShaper func() *netsim.Shaper
+	logger     *netlogger.Logger
+	// pipeWorkers bounds per-connection service concurrency on the v2
+	// pipelined path; see WithPipelineWorkers.
+	pipeWorkers int
+	served      int64 // bytes sent to clients
+	stored      int64 // bytes written by loaders
+	reqs        int64
+	errored     int64
 }
 
 // ServerOption configures a BlockServer.
@@ -62,6 +67,15 @@ func WithServerShaper(sh *netsim.Shaper) ServerOption {
 	return func(s *BlockServer) { s.shaper = sh }
 }
 
+// WithConnShaperFactory gives every accepted connection its own shaper — the
+// per-socket throughput ceiling of a window-limited WAN path, the very effect
+// the paper's parallel striped sockets exist to overcome. Contrast
+// WithServerShaper, whose single shared shaper models the aggregate link;
+// when both are set the per-connection shaper wins.
+func WithConnShaperFactory(f func() *netsim.Shaper) ServerOption {
+	return func(s *BlockServer) { s.connShaper = f }
+}
+
 // WithServerLogger attaches a NetLogger logger for server-side events.
 func WithServerLogger(l *netlogger.Logger) ServerOption {
 	return func(s *BlockServer) { s.logger = l }
@@ -70,7 +84,7 @@ func WithServerLogger(l *netlogger.Logger) ServerOption {
 // NewBlockServer creates a block server with the given options (4 in-memory
 // disks by default).
 func NewBlockServer(opts ...ServerOption) *BlockServer {
-	s := &BlockServer{conns: make(map[net.Conn]struct{})}
+	s := &BlockServer{conns: make(map[net.Conn]struct{}), pipeWorkers: DefaultPipelineWorkers}
 	WithDisks(4)(s)
 	for _, o := range opts {
 		o(s)
@@ -150,9 +164,21 @@ func (s *BlockServer) serveConn(conn net.Conn) {
 		s.mu.Unlock()
 	}()
 	var out net.Conn = conn
-	if s.shaper != nil {
+	if s.connShaper != nil {
+		if sh := s.connShaper(); sh != nil {
+			out = netsim.NewShapedConn(conn, sh, 0)
+		}
+	} else if s.shaper != nil {
 		out = netsim.NewShapedConn(conn, s.shaper, 0)
 	}
+	// pipe serves this conn's sequenced (v2) requests out of order through a
+	// bounded worker pool; created on the first such request, joined on exit.
+	var pipe *connPipeline
+	defer func() {
+		if pipe != nil {
+			pipe.stop()
+		}
+	}()
 	for {
 		msgType, payload, err := readFrame(conn) //vislint:ignore boundedio idle request loop: a block-server connection legitimately waits forever for its client's next request
 		if err != nil {
@@ -170,6 +196,13 @@ func (s *BlockServer) serveConn(conn net.Conn) {
 			s.handleWrite(out, payload)
 		case msgDropDataset:
 			s.handleDrop(out, payload)
+		case msgHello:
+			s.handleHello(out, payload)
+		case msgRead2, msgReadv:
+			if pipe == nil {
+				pipe = s.startPipeline(out)
+			}
+			pipe.enqueue(msgType, payload)
 		default:
 			s.replyError(out, fmt.Errorf("%w: unexpected message %d", ErrProtocol, msgType))
 		}

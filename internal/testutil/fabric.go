@@ -32,6 +32,9 @@ type FabricConfig struct {
 	// server-side shaper — each cluster sits behind its own emulated WAN
 	// link, the federation topology of the paper's corridor.
 	ShaperFor func(i int) *netsim.Shaper
+	// Stripes sets how many striped connections each member client keeps per
+	// block server (0 keeps the dpss client default).
+	Stripes int
 }
 
 // FabricHarness is N live in-process DPSS clusters behind one fabric, with
@@ -93,6 +96,7 @@ func StartFabric(tb testing.TB, cfg FabricConfig) *FabricHarness {
 		Clusters:       specs,
 		Replication:    cfg.Replication,
 		AttemptTimeout: cfg.AttemptTimeout,
+		Stripes:        cfg.Stripes,
 		// Short backoff so recovery tests do not wait out production windows.
 		BackoffBase: 50 * time.Millisecond,
 		BackoffMax:  2 * time.Second,

@@ -92,6 +92,85 @@ func TestFabricRunSurvivesClusterKillMidRun(t *testing.T) {
 	}
 }
 
+// TestFabricVectoredReadFailsOverMidRead kills the primary replica's whole
+// cluster while a striped vectored read is streaming from it, and requires
+// the read to complete from the surviving replica with every destination
+// byte intact: the fabric retries the full extent batch against the next
+// replica, so a partially scattered attempt is simply overwritten and the
+// caller never observes a torn extent.
+func TestFabricVectoredReadFailsOverMidRead(t *testing.T) {
+	fh := StartFabric(t, FabricConfig{
+		Clusters: 2, Replication: 2, Stripes: 2,
+		AttemptTimeout: 5 * time.Second,
+		// ~4 MB/s per cluster keeps the staged payload in flight long enough
+		// to take the serving cluster down mid-transfer.
+		ShaperFor: func(i int) *netsim.Shaper {
+			return netsim.NewShaper(4<<20, 32<<10)
+		},
+	})
+	const name = "vector-failover"
+	payload := make([]byte, 768*1024)
+	for i := range payload {
+		payload[i] = byte((i*2654435761 + i>>9) >> 7)
+	}
+	if _, err := fh.Fabric.LoadBytes(context.Background(), name, payload, 8*1024); err != nil {
+		t.Fatal(err)
+	}
+
+	// Find which member answers first for this dataset, so the kill is
+	// guaranteed to hit the cluster actually serving the read.
+	primary := -1
+	for _, d := range fh.Fabric.Datasets(context.Background()) {
+		if d.Name != name || len(d.Clusters) == 0 {
+			continue
+		}
+		for i, n := range fh.Names {
+			if n == d.Clusters[0] {
+				primary = i
+			}
+		}
+	}
+	if primary < 0 {
+		t.Fatalf("dataset %q has no replica order in the catalog", name)
+	}
+
+	f, err := fh.Fabric.Open(context.Background(), name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	// Odd-length extents so pieces straddle block boundaries.
+	got := make([]byte, len(payload))
+	const pieceLen = 4093
+	var exts []dpss.Extent
+	for off := 0; off < len(got); off += pieceLen {
+		end := off + pieceLen
+		if end > len(got) {
+			end = len(got)
+		}
+		exts = append(exts, dpss.Extent{Off: int64(off), Len: end - off, Dst: got[off:end]})
+	}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- f.ReadvScatter(context.Background(), exts) }()
+	time.Sleep(50 * time.Millisecond) // let the vectored read get into flight
+	fh.KillCluster(primary)
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("vectored read with mid-read cluster kill failed: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("vectored read did not complete after failover")
+	}
+	for i := range got {
+		if got[i] != payload[i] {
+			t.Fatalf("byte %d differs after failover: got %#x want %#x (torn extent)", i, got[i], payload[i])
+		}
+	}
+}
+
 // TestStartFabricIndependentShapers checks the per-cluster shaper hook: each
 // cluster gets its own link, so killing or throttling one leaves the others'
 // pacing untouched.

@@ -45,6 +45,21 @@ var WithClientCompression = dpss.WithClientCompression
 // WithClientShaper shapes the client's reads to emulate a WAN.
 var WithClientShaper = dpss.WithClientShaper
 
+// WithStripes sets how many parallel striped connections the client keeps
+// per block server (the paper's parallel-socket data path).
+var WithStripes = dpss.WithStripes
+
+// WithStripeWindow bounds how many pipelined requests may be in flight per
+// stripe connection.
+var WithStripeWindow = dpss.WithStripeWindow
+
+// Extent is one (offset, length, destination) piece of a vectored read; see
+// File.ReadvScatter.
+type Extent = dpss.Extent
+
+// StripeStat is a per-stripe-connection transfer counter snapshot.
+type StripeStat = dpss.StripeStat
+
 // File is an open dataset handle; it implements io.ReaderAt over the
 // cluster's blocks.
 type File = dpss.File
@@ -69,6 +84,10 @@ var NewBlockServer = dpss.NewBlockServer
 
 // WithDisks sets the number of disks a block server stripes over.
 var WithDisks = dpss.WithDisks
+
+// WithPipelineWorkers bounds how many pipelined (v2) requests a block server
+// services concurrently per client connection.
+var WithPipelineWorkers = dpss.WithPipelineWorkers
 
 // Cluster is an in-process DPSS installation (master plus block servers),
 // the stand-in for the paper's four-server terabyte DPSS at LBL.

@@ -76,6 +76,11 @@ type FabricSpec struct {
 	// AttemptTimeoutMs bounds one read attempt against one replica before
 	// failing over (0 = no bound).
 	AttemptTimeoutMs int `json:"attemptTimeoutMs,omitempty"`
+	// Stripes is how many parallel striped connections each member client
+	// keeps per block server (0 selects the dpss client default). It shapes
+	// only the data path, not placement, so it is excluded from the canonical
+	// run-spec hash.
+	Stripes int `json:"stripes,omitempty"`
 	// Epoch, when non-nil, seeds the resolved fabric's placement epoch. A
 	// scheduler mid-rebalance stamps its own epoch state here (see
 	// Fabric.Epoch), so a remote worker resolving the spec computes the same
@@ -113,6 +118,7 @@ func (s *FabricSpec) Build(replication int) (*Fabric, error) {
 	cfg := FabricConfig{
 		Replication:    s.Replication,
 		AttemptTimeout: time.Duration(s.AttemptTimeoutMs) * time.Millisecond,
+		Stripes:        s.Stripes,
 	}
 	if s.Epoch != nil {
 		cfg.Epoch = &FabricEpoch{
